@@ -1,0 +1,262 @@
+//! Graph connectivity (CC) as a PIE program — the running example of the
+//! paper (§2 Figs 2–3, §3 Example 3, §4 correctness discussion).
+//!
+//! `PEval` computes the connected components of the local fragment
+//! (including mirrors, i.e. the cut edges participate) and labels each with
+//! the minimum global vertex id it contains (`cid`). Instead of the paper's
+//! explicit "root node" trick we keep a component index per vertex and a
+//! `cid` per component — the same information, one indirection flatter.
+//! `IncEval` applies `min`-aggregated border cids: a message can only
+//! *lower* a component's cid; lowered components re-announce their border
+//! members. Local components never merge after `PEval` (messages add no
+//! edges), so `IncEval` is bounded in the changed set, matching the paper's
+//! claim that CC's `IncEval` is a bounded incremental algorithm.
+//!
+//! Conditions T1–T3 (§4): cids come from the finite set of vertex ids (T1);
+//! `min` only decreases them (T2, contracting); and smaller inputs yield
+//! smaller outputs (T3, monotonic) — so Theorem 2 applies and every
+//! asynchronous run converges to `Q(G)`.
+
+use crate::common::gather_owned;
+use aap_core::pie::{Messages, PieProgram, UpdateCtx};
+use aap_graph::{Fragment, LocalId, VertexId};
+use std::sync::Arc;
+
+/// The CC PIE program: connected components of undirected graphs, or
+/// *weakly* connected components of directed ones. Supports edge-cut and
+/// vertex-cut partitions.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConnectedComponents;
+
+/// Which vertices announce their component's cid.
+///
+/// Mirrors always ship to their owner (the paper's `M(i,j) = {v.cid | v ∈
+/// Fi.O ∩ Fj.I}`). For *undirected* edge-cut graphs that alone suffices:
+/// the symmetric replicated cut edge carries information back. For
+/// directed graphs (weak connectivity must flow against edge direction)
+/// and for vertex-cut copies, owned border vertices additionally broadcast
+/// to the fragments holding their copies.
+fn cc_emits<V, E>(frag: &Fragment<V, E>, l: LocalId) -> bool {
+    if frag.is_owned(l) {
+        (frag.is_vertex_cut() || frag.local_graph().is_directed())
+            && !frag.mirror_holders(l).is_empty()
+    } else {
+        true
+    }
+}
+
+/// Per-fragment CC state.
+#[derive(Debug)]
+pub struct CcState {
+    /// Local vertex -> local component index.
+    comp_of: Vec<u32>,
+    /// Component -> current cid (minimum known global id).
+    comp_cid: Vec<VertexId>,
+    /// Component -> its border members (emission targets).
+    comp_border: Vec<Vec<LocalId>>,
+}
+
+impl CcState {
+    /// The current cid of local vertex `l`.
+    pub fn cid(&self, l: LocalId) -> VertexId {
+        self.comp_cid[self.comp_of[l as usize] as usize]
+    }
+}
+
+impl<V: Sync + Send, E: Sync + Send> PieProgram<V, E> for ConnectedComponents {
+    type Query = ();
+    type Val = VertexId;
+    type State = CcState;
+    type Out = Vec<VertexId>;
+
+    fn combine(&self, a: &mut VertexId, b: VertexId) -> bool {
+        if b < *a {
+            *a = b;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peval(&self, _q: &(), frag: &Fragment<V, E>, ctx: &mut UpdateCtx<VertexId>) -> CcState {
+        let n = frag.local_count();
+        // Union-find over local edges; union through mirrors is deliberate:
+        // the fragment includes its cut edges, so u — mirror(v) — u' chains
+        // are genuine local connectivity (the paper's DFS does the same).
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        for u in frag.local_vertices() {
+            for &v in frag.neighbors(u) {
+                let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+                if ru != rv {
+                    parent[ru.max(rv) as usize] = ru.min(rv);
+                }
+            }
+        }
+        // Densify component indices and compute min-global-id cids.
+        let mut comp_index: Vec<u32> = vec![u32::MAX; n];
+        let mut comp_cid: Vec<VertexId> = Vec::new();
+        let mut comp_of: Vec<u32> = vec![0; n];
+        for l in 0..n as u32 {
+            let root = find(&mut parent, l);
+            let idx = if comp_index[root as usize] == u32::MAX {
+                let idx = comp_cid.len() as u32;
+                comp_index[root as usize] = idx;
+                comp_cid.push(VertexId::MAX);
+                idx
+            } else {
+                comp_index[root as usize]
+            };
+            comp_of[l as usize] = idx;
+            let g = frag.global(l);
+            if g < comp_cid[idx as usize] {
+                comp_cid[idx as usize] = g;
+            }
+        }
+        let mut comp_border: Vec<Vec<LocalId>> = vec![Vec::new(); comp_cid.len()];
+        for l in 0..n as LocalId {
+            if cc_emits(frag, l) {
+                comp_border[comp_of[l as usize] as usize].push(l);
+            }
+        }
+        // Message segment: cids of candidate border nodes (Fig 2).
+        for (c, members) in comp_border.iter().enumerate() {
+            for &l in members {
+                ctx.send(l, comp_cid[c]);
+            }
+        }
+        ctx.charge_work((frag.edge_count() + n) as u64);
+        CcState { comp_of, comp_cid, comp_border }
+    }
+
+    fn inceval(
+        &self,
+        _q: &(),
+        _frag: &Fragment<V, E>,
+        state: &mut CcState,
+        msgs: Messages<VertexId>,
+        ctx: &mut UpdateCtx<VertexId>,
+    ) {
+        // "Merge" components by lowering their cids (Fig 3); propagate each
+        // lowered cid to the component's border members.
+        let mut changed: Vec<u32> = Vec::new();
+        for (l, cid) in msgs {
+            let c = state.comp_of[l as usize];
+            if cid < state.comp_cid[c as usize] {
+                state.comp_cid[c as usize] = cid;
+                changed.push(c);
+                ctx.note_effective(1);
+            } else {
+                ctx.note_redundant(1);
+            }
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        let mut work = 0u64;
+        for c in changed {
+            let cid = state.comp_cid[c as usize];
+            work += state.comp_border[c as usize].len() as u64;
+            for &l in &state.comp_border[c as usize] {
+                ctx.send(l, cid);
+            }
+        }
+        ctx.charge_work(work + 1);
+    }
+
+    fn assemble(
+        &self,
+        _q: &(),
+        frags: &[Arc<Fragment<V, E>>],
+        states: Vec<CcState>,
+    ) -> Vec<VertexId> {
+        gather_owned(frags, &states, 0, |s, _, l| s.cid(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+    use aap_core::{Engine, EngineOpts, Mode};
+    use aap_graph::partition::{
+        build_fragments, build_fragments_vertex_cut, hash_partition, skewed_partition,
+        vertex_cut_partition,
+    };
+    use aap_graph::{generate, Graph};
+
+    fn check_modes(g: &Graph<(), u32>, m: usize) {
+        let expect = seq::connected_components(g);
+        for mode in [Mode::Bsp, Mode::Ap, Mode::Ssp { c: 2 }, Mode::aap()] {
+            let frags = build_fragments(g, &hash_partition(g, m));
+            let engine = Engine::new(
+                frags,
+                EngineOpts { threads: 4, mode: mode.clone(), max_rounds: Some(100_000) },
+            );
+            let out = engine.run(&ConnectedComponents, &());
+            assert_eq!(out.out, expect, "mode {mode:?}");
+            assert!(!out.stats.aborted);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_small_world() {
+        let g = generate::small_world(300, 2, 0.05, 11);
+        check_modes(&g, 4);
+    }
+
+    #[test]
+    fn matches_sequential_on_disconnected_graph() {
+        // several components of different sizes
+        let mut b = aap_graph::GraphBuilder::new_undirected(40);
+        for v in 0..10u32 {
+            b.add_edge(v, (v + 1) % 10, 1); // ring 0..10
+        }
+        for v in 20..25u32 {
+            b.add_edge(v, v + 1, 1); // path 20..26
+        }
+        let g = b.build();
+        check_modes(&g, 3);
+    }
+
+    #[test]
+    fn works_on_skewed_partition() {
+        let g = generate::small_world(400, 3, 0.1, 3);
+        let expect = seq::connected_components(&g);
+        let frags = build_fragments(&g, &skewed_partition(&g, 5, 4.0));
+        let engine = Engine::new(frags, EngineOpts::default());
+        assert_eq!(engine.run(&ConnectedComponents, &()).out, expect);
+    }
+
+    #[test]
+    fn works_on_vertex_cut() {
+        let g = generate::small_world(200, 2, 0.2, 9);
+        let expect = seq::connected_components(&g);
+        let frags = build_fragments_vertex_cut(&g, &vertex_cut_partition(&g, 4));
+        for mode in [Mode::Bsp, Mode::aap()] {
+            let engine = Engine::new(
+                build_fragments_vertex_cut(&g, &vertex_cut_partition(&g, 4)),
+                EngineOpts { threads: 4, mode, max_rounds: Some(100_000) },
+            );
+            assert_eq!(engine.run(&ConnectedComponents, &()).out, expect);
+        }
+        drop(frags);
+    }
+
+    #[test]
+    fn single_fragment_degenerates_to_sequential() {
+        let g = generate::lattice2d(10, 10, 4);
+        let expect = seq::connected_components(&g);
+        let frags = build_fragments(&g, &vec![0u16; g.num_vertices()]);
+        let engine = Engine::new(frags, EngineOpts::default());
+        let out = engine.run(&ConnectedComponents, &());
+        assert_eq!(out.out, expect);
+        // one PEval round per worker, no messages
+        assert_eq!(out.stats.total_updates(), 0);
+    }
+}

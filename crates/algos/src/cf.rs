@@ -1,0 +1,357 @@
+//! Collaborative filtering by mini-batch SGD (§5.2).
+//!
+//! The bipartite rating graph has users `U` and items (products) `P`;
+//! user vertices are partitioned across fragments, item vertices are
+//! replicated wherever their ratings live (they arrive as edge-cut mirrors
+//! of the user → item edges). Each fragment runs mini-batch SGD over its
+//! local ratings; accumulated item gradients travel mirror → owner, the
+//! owner applies them and broadcasts refreshed factor vectors owner →
+//! mirrors — the parameter-server shape the paper compares against Petuum.
+//!
+//! The status variable of an item node is `(f, δ, t)` — factor vector,
+//! accumulated gradient, timestamp — exactly the PEval declaration of
+//! §5.2; `faggr` sums gradients and takes the max-timestamp factor.
+//!
+//! Unlike CC/SSSP/PageRank, CF's convergence argument needs **bounded
+//! staleness** (§5.2, [30, 53]): run it under `Mode::Ssp { c }` or
+//! `Mode::Aap` with `staleness_bound: Some(c)`. The fixpoint is not unique
+//! (no Church–Rosser property) — different schedules give slightly
+//! different factors — so tests assert RMSE quality, not bitwise equality.
+
+use aap_core::pie::{Messages, PieProgram, UpdateCtx};
+use aap_graph::{Fragment, LocalId, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Deterministic initial factor vector for vertex `v` — identical on every
+/// copy of `v`, so replicas start consistent without communication.
+pub fn seeded_factors(v: VertexId, dim: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ aap_graph::fxhash::hash_u64(v as u64));
+    (0..dim).map(|_| rng.gen_range(0.2f32..0.6)).collect()
+}
+
+/// CF message values: item gradients (mirror → owner) and refreshed factor
+/// vectors (owner → mirrors).
+#[derive(Debug, Clone)]
+pub enum CfVal {
+    /// Accumulated gradient for an item with the number of contributing
+    /// mini-batches; `faggr` sums both, and owners apply the *average*, so
+    /// many workers' gradients against the same stale factor do not
+    /// overshoot (the weighted-sum aggregation of §5.2).
+    Grad(Vec<f32>, u32),
+    /// New factor vector with a version timestamp; `faggr` keeps the max
+    /// version (the `max` on timestamps of §5.2).
+    Factor(Vec<f32>, u32),
+}
+
+/// Factor components are clamped to this symmetric range after every
+/// update, keeping runaway stale gradients (unbounded staleness under pure
+/// AP) from overflowing — the paper's observation that CF *needs* bounded
+/// staleness shows up as much slower, but finite, AP convergence.
+const FACTOR_CLAMP: f32 = 4.0;
+
+/// The CF PIE program.
+#[derive(Debug, Clone, Copy)]
+pub struct Cf {
+    /// Latent dimensionality.
+    pub dim: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// L2 regularisation λ.
+    pub lambda: f32,
+    /// Local SGD epochs per fragment.
+    pub epochs: u32,
+    /// Factor initialisation seed.
+    pub seed: u64,
+}
+
+impl Default for Cf {
+    fn default() -> Self {
+        Cf { dim: 8, lr: 0.05, lambda: 0.01, epochs: 20, seed: 42 }
+    }
+}
+
+/// CF query: where the item id range begins (`|U|`, from the generator).
+#[derive(Debug, Clone, Copy)]
+pub struct CfQuery {
+    /// First item vertex id.
+    pub item_base: VertexId,
+}
+
+/// Per-fragment CF state.
+pub struct CfState {
+    /// Factor vector per local vertex (users and item copies).
+    pub fac: Vec<Vec<f32>>,
+    /// Factor version per local vertex (items only).
+    version: Vec<u32>,
+    /// Completed local epochs.
+    pub epoch: u32,
+}
+
+/// Final CF output.
+#[derive(Debug, Clone)]
+pub struct CfOutput {
+    /// Factor vectors by global vertex id (owner copies).
+    pub factors: Vec<Vec<f32>>,
+    /// Training RMSE over all ratings, computed with the owner factors.
+    pub rmse: f64,
+}
+
+impl Cf {
+    /// One SGD pass over the fragment's local ratings. Updates user factors
+    /// and local item copies in place; accumulates per-item deltas for the
+    /// owners.
+    fn sgd_pass<V>(
+        &self,
+        q: &CfQuery,
+        frag: &Fragment<V, f32>,
+        st: &mut CfState,
+    ) -> Vec<(LocalId, Vec<f32>)> {
+        let mut delta: aap_graph::FxHashMap<LocalId, Vec<f32>> = aap_graph::FxHashMap::default();
+        for u in frag.owned_vertices() {
+            if frag.global(u) >= q.item_base {
+                continue; // items don't own edges in the bipartite layout
+            }
+            for e in 0..frag.neighbors(u).len() {
+                let p = frag.neighbors(u)[e];
+                let r = frag.edge_data(u)[e];
+                let dot: f32 = st.fac[u as usize]
+                    .iter()
+                    .zip(&st.fac[p as usize])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let err = r - dot;
+                let dp = delta.entry(p).or_insert_with(|| vec![0.0; self.dim]);
+                #[allow(clippy::needless_range_loop)]
+                for k in 0..self.dim {
+                    let fu = st.fac[u as usize][k];
+                    let fp = st.fac[p as usize][k];
+                    let du = self.lr * (err * fp - self.lambda * fu);
+                    let dpk = self.lr * (err * fu - self.lambda * fp);
+                    st.fac[u as usize][k] =
+                        (st.fac[u as usize][k] + du).clamp(-FACTOR_CLAMP, FACTOR_CLAMP);
+                    // local view advances; owners learn the same delta
+                    st.fac[p as usize][k] =
+                        (st.fac[p as usize][k] + dpk).clamp(-FACTOR_CLAMP, FACTOR_CLAMP);
+                    dp[k] += dpk;
+                }
+            }
+        }
+        st.epoch += 1;
+        let mut out: Vec<(LocalId, Vec<f32>)> = delta.into_iter().collect();
+        out.sort_unstable_by_key(|&(l, _)| l);
+        out
+    }
+
+    /// Emit accumulated item deltas: gradients for mirrors, immediate
+    /// factor broadcasts for owned items.
+    fn emit_deltas<V>(
+        &self,
+        frag: &Fragment<V, f32>,
+        st: &mut CfState,
+        deltas: Vec<(LocalId, Vec<f32>)>,
+        ctx: &mut UpdateCtx<CfVal>,
+    ) {
+        for (p, d) in deltas {
+            if frag.is_owned(p) {
+                // Owner applied the delta in-place during the pass; bump the
+                // version and broadcast to the item's copies.
+                st.version[p as usize] += 1;
+                if !frag.mirror_holders(p).is_empty() {
+                    ctx.send(p, CfVal::Factor(st.fac[p as usize].clone(), st.version[p as usize]));
+                }
+            } else {
+                ctx.send(p, CfVal::Grad(d, 1));
+            }
+        }
+    }
+}
+
+impl<V: Sync + Send> PieProgram<V, f32> for Cf {
+    type Query = CfQuery;
+    type Val = CfVal;
+    type State = CfState;
+    type Out = CfOutput;
+
+    fn combine(&self, a: &mut CfVal, b: CfVal) -> bool {
+        match (a, b) {
+            (CfVal::Grad(ga, ca), CfVal::Grad(gb, cb)) => {
+                for (x, y) in ga.iter_mut().zip(gb) {
+                    *x += y;
+                }
+                *ca += cb;
+                true
+            }
+            (CfVal::Factor(fa, va), CfVal::Factor(fb, vb))
+                if vb > *va => {
+                    *fa = fb;
+                    *va = vb;
+                    true
+                }
+            // Mixed kinds cannot target the same vertex by construction
+            // (owners receive gradients, mirrors receive factors); keep the
+            // existing value defensively.
+            _ => false,
+        }
+    }
+
+    fn peval(&self, q: &CfQuery, frag: &Fragment<V, f32>, ctx: &mut UpdateCtx<CfVal>) -> CfState {
+        let n = frag.local_count();
+        let mut st = CfState {
+            fac: (0..n)
+                .map(|l| seeded_factors(frag.global(l as LocalId), self.dim, self.seed))
+                .collect(),
+            version: vec![0; n],
+            epoch: 0,
+        };
+        if self.epochs > 0 {
+            let deltas = self.sgd_pass(q, frag, &mut st);
+            ctx.charge_work(frag.edge_count() as u64 * self.dim as u64);
+            self.emit_deltas(frag, &mut st, deltas, ctx);
+        }
+        st
+    }
+
+    fn inceval(
+        &self,
+        q: &CfQuery,
+        frag: &Fragment<V, f32>,
+        st: &mut CfState,
+        msgs: Messages<CfVal>,
+        ctx: &mut UpdateCtx<CfVal>,
+    ) {
+        let mut got_factors = false;
+        for (l, val) in msgs {
+            match val {
+                CfVal::Factor(f, ver) => {
+                    if ver > st.version[l as usize] {
+                        st.fac[l as usize] = f;
+                        st.version[l as usize] = ver;
+                        got_factors = true;
+                        ctx.note_effective(1);
+                    } else {
+                        ctx.note_redundant(1);
+                    }
+                }
+                CfVal::Grad(d, batches) => {
+                    // This worker owns item `l`: apply the *averaged*
+                    // aggregated gradient and broadcast refreshed factors.
+                    debug_assert!(frag.is_owned(l));
+                    let scale = 1.0 / batches.max(1) as f32;
+                    for (x, y) in st.fac[l as usize].iter_mut().zip(&d) {
+                        *x = (*x + *y * scale).clamp(-FACTOR_CLAMP, FACTOR_CLAMP);
+                    }
+                    st.version[l as usize] += 1;
+                    ctx.note_effective(1);
+                    if !frag.mirror_holders(l).is_empty() {
+                        ctx.send(
+                            l,
+                            CfVal::Factor(st.fac[l as usize].clone(), st.version[l as usize]),
+                        );
+                    }
+                }
+            }
+        }
+        // Fresh factors fuel the next local epoch, up to the budget.
+        if got_factors && st.epoch < self.epochs {
+            let deltas = self.sgd_pass(q, frag, st);
+            ctx.charge_work(frag.edge_count() as u64 * self.dim as u64);
+            self.emit_deltas(frag, st, deltas, ctx);
+        }
+    }
+
+    fn assemble(
+        &self,
+        _q: &CfQuery,
+        frags: &[Arc<Fragment<V, f32>>],
+        states: Vec<CfState>,
+    ) -> CfOutput {
+        let n: usize = frags.iter().map(|f| f.owned_count()).sum();
+        let mut factors: Vec<Vec<f32>> = vec![Vec::new(); n];
+        for (f, s) in frags.iter().zip(&states) {
+            for l in f.owned_vertices() {
+                factors[f.global(l) as usize] = s.fac[l as usize].clone();
+            }
+        }
+        // Global training RMSE with owner factors.
+        let mut se = 0.0f64;
+        let mut cnt = 0usize;
+        for f in frags {
+            for u in f.owned_vertices() {
+                let gu = f.global(u) as usize;
+                for (p, &r) in f.edges(u) {
+                    let gp = f.global(p) as usize;
+                    let dot: f32 =
+                        factors[gu].iter().zip(&factors[gp]).map(|(a, b)| a * b).sum();
+                    se += ((r - dot) as f64).powi(2);
+                    cnt += 1;
+                }
+            }
+        }
+        let rmse = if cnt == 0 { 0.0 } else { (se / cnt as f64).sqrt() };
+        CfOutput { factors, rmse }
+    }
+
+    fn val_bytes(&self, v: &CfVal) -> usize {
+        match v {
+            CfVal::Grad(g, _) => 5 + 4 * g.len(),
+            CfVal::Factor(f, _) => 5 + 4 * f.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aap_core::{AapConfig, Engine, EngineOpts, Mode};
+    use aap_graph::generate;
+    use aap_graph::partition::{build_fragments_n, hash_partition};
+
+    fn ratings() -> generate::RatingsGraph {
+        generate::bipartite_ratings(80, 24, 12, 4, 5)
+    }
+
+    fn run(mode: Mode, epochs: u32) -> CfOutput {
+        let r = ratings();
+        // Partition by users; items follow as mirrors of the rating edges.
+        let assignment = hash_partition(&r.graph, 4);
+        let frags = build_fragments_n(&r.graph, &assignment, 4);
+        let engine =
+            Engine::new(frags, EngineOpts { threads: 4, mode, max_rounds: Some(100_000) });
+        let cf = Cf { epochs, ..Cf::default() };
+        engine.run(&cf, &CfQuery { item_base: r.item_base() }).out
+    }
+
+    #[test]
+    fn training_reduces_rmse_under_bounded_staleness() {
+        let untrained = run(Mode::Bsp, 0).rmse;
+        for mode in [
+            Mode::Bsp,
+            Mode::Ssp { c: 3 },
+            Mode::Aap(AapConfig { staleness_bound: Some(3), ..AapConfig::default() }),
+        ] {
+            let trained = run(mode.clone(), 25).rmse;
+            assert!(
+                trained < untrained * 0.75,
+                "mode {mode:?}: rmse {trained} vs untrained {untrained}"
+            );
+            assert!(trained < 0.30, "mode {mode:?}: rmse {trained}");
+        }
+    }
+
+    #[test]
+    fn parallel_cf_in_ballpark_of_sequential() {
+        let r = ratings();
+        let seq = crate::seq::cf_sgd(&r, 8, 0.05, 0.01, 25, 42);
+        let par = run(Mode::Ssp { c: 2 }, 25).rmse;
+        assert!(par < seq * 3.0 + 0.2, "par {par} vs seq {seq}");
+    }
+
+    #[test]
+    fn factors_have_right_shape() {
+        let out = run(Mode::Bsp, 2);
+        assert_eq!(out.factors.len(), 80 + 24);
+        assert!(out.factors.iter().all(|f| f.len() == 8));
+    }
+}

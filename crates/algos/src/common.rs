@@ -1,0 +1,135 @@
+//! Shared helpers for PIE programs.
+
+use aap_graph::{Fragment, LocalId};
+use std::sync::Arc;
+
+/// Gather a per-vertex quantity from the *owned* vertices of every fragment
+/// into one global vector (the usual shape of `Assemble`).
+pub fn gather_owned<V, E, S, T, F>(
+    frags: &[Arc<Fragment<V, E>>],
+    states: &[S],
+    default: T,
+    get: F,
+) -> Vec<T>
+where
+    T: Clone,
+    F: Fn(&S, &Fragment<V, E>, LocalId) -> T,
+{
+    let n: usize = frags.iter().map(|f| f.owned_count()).sum();
+    let mut out = vec![default; n];
+    for (f, s) in frags.iter().zip(states) {
+        for l in f.owned_vertices() {
+            out[f.global(l) as usize] = get(s, f, l);
+        }
+    }
+    out
+}
+
+/// Distance value used by SSSP/BFS: `u64::MAX` encodes `∞`.
+pub const INF: u64 = u64::MAX;
+
+/// Relax local shortest-path distances from a seed set via Dijkstra,
+/// recording every *border* vertex whose distance improved. Returns the
+/// work performed (heap pops + edges scanned) for cost accounting.
+///
+/// `weight` extracts an edge length; mirrors carry no out-edges under
+/// edge-cut so relaxation stops at fragment boundaries, which is exactly
+/// where messages take over.
+pub fn dijkstra_from_seeds<V, E>(
+    frag: &Fragment<V, E>,
+    dist: &mut [u64],
+    seeds: &[LocalId],
+    weight: impl Fn(&E) -> u64,
+    changed_border: &mut Vec<LocalId>,
+) -> u64 {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(u64, LocalId)>> = BinaryHeap::new();
+    for &s in seeds {
+        heap.push(Reverse((dist[s as usize], s)));
+    }
+    let mut changed: Vec<bool> = vec![false; dist.len()];
+    for &s in seeds {
+        if frag.is_border(s) {
+            changed[s as usize] = true;
+        }
+    }
+    let mut work: u64 = 0;
+    while let Some(Reverse((d, u))) = heap.pop() {
+        work += 1;
+        if d > dist[u as usize] {
+            continue; // stale heap entry
+        }
+        work += frag.neighbors(u).len() as u64;
+        for (v, e) in frag.edges(u) {
+            let nd = d.saturating_add(weight(e));
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+                if frag.is_border(v) {
+                    changed[v as usize] = true;
+                }
+            }
+        }
+    }
+    changed_border.extend(
+        changed.iter().enumerate().filter(|&(_, &c)| c).map(|(l, _)| l as LocalId),
+    );
+    work
+}
+
+/// Decide which changed border vertices must be shipped: mirrors always
+/// (mirror → owner); owned border vertices only under vertex-cut partitions,
+/// where copies carry edges and need the owner's value broadcast back.
+pub fn emit_policy<V, E>(frag: &Fragment<V, E>, l: LocalId) -> bool {
+    if frag.is_owned(l) {
+        frag.is_vertex_cut() && !frag.mirror_holders(l).is_empty()
+    } else {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aap_graph::partition::build_fragments;
+    use aap_graph::GraphBuilder;
+
+    #[test]
+    fn dijkstra_respects_fragment_boundary() {
+        // 0 -5-> 1 -7-> 2, fragments {0,1} | {2}.
+        let mut b = GraphBuilder::new_directed(3);
+        b.add_edge(0, 1, 5u32);
+        b.add_edge(1, 2, 7);
+        let g = b.build();
+        let frags = build_fragments(&g, &[0, 0, 1]);
+        let f0 = &frags[0];
+        let mut dist = vec![INF; f0.local_count()];
+        let src = f0.local(0).unwrap();
+        dist[src as usize] = 0;
+        let mut changed = Vec::new();
+        dijkstra_from_seeds(f0, &mut dist, &[src], |&w| w as u64, &mut changed);
+        assert_eq!(dist[f0.local(1).unwrap() as usize], 5);
+        assert_eq!(dist[f0.local(2).unwrap() as usize], 12); // mirror got relaxed
+        let globals: Vec<u32> = changed.iter().map(|&l| f0.global(l)).collect();
+        assert!(globals.contains(&2), "mirror of 2 should be reported: {globals:?}");
+    }
+
+    #[test]
+    fn gather_owned_collects_by_global_id() {
+        let mut b = GraphBuilder::new_undirected(4);
+        b.add_edge(0, 1, 1u32);
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let frags: Vec<_> = build_fragments(&g, &[1, 1, 0, 0])
+            .into_iter()
+            .map(std::sync::Arc::new)
+            .collect();
+        let states: Vec<Vec<u32>> = frags
+            .iter()
+            .map(|f| (0..f.local_count() as u32).map(|l| f.global(l) * 10).collect())
+            .collect();
+        let out = gather_owned(&frags, &states, 0u32, |s, _, l| s[l as usize]);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+}

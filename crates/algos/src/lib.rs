@@ -1,0 +1,36 @@
+//! # aap-algos
+//!
+//! The paper's PIE algorithm suite and baselines:
+//!
+//! * [`cc`] — graph connectivity via local components + `min` cid merging
+//!   (§2, Figs 2–3);
+//! * [`sssp`] — single-source shortest paths: Dijkstra `PEval` +
+//!   incremental (Ramalingam–Reps style) `IncEval` (§5.1);
+//! * [`bfs`] — unweighted hop counts, sharing the SSSP machinery;
+//! * [`pagerank`] — delta-based accumulative PageRank (§5.3, Maiter-style);
+//! * [`cf`] — collaborative filtering by mini-batch SGD with replicated
+//!   item factors (§5.2);
+//! * [`vertex_centric`] — a Pregel-style `compute()` adapter compiled onto
+//!   PIE per Proposition 3, plus vertex-centric SSSP / CC / PageRank used
+//!   as the Giraph/GraphLab stand-in baselines of §7;
+//! * [`seq`] — sequential single-machine references used for validating
+//!   every parallel run and for the paper's single-thread comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod cc;
+pub mod cf;
+pub mod common;
+pub mod pagerank;
+pub mod seq;
+pub mod sssp;
+pub mod vertex_centric;
+
+pub use bfs::Bfs;
+pub use cc::ConnectedComponents;
+pub use cf::{Cf, CfOutput};
+pub use pagerank::PageRank;
+pub use sssp::Sssp;
+pub use vertex_centric::{VertexCentric, VertexProgram};

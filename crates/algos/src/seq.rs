@@ -1,0 +1,243 @@
+//! Sequential single-machine reference algorithms.
+//!
+//! These are the "existing sequential algorithms" the paper parallelises;
+//! we use them (a) to validate every parallel run — the Church–Rosser
+//! guarantee says the parallel fixpoint must equal the sequential answer —
+//! and (b) for the single-thread comparison of §7 Exp-1.
+
+use crate::common::INF;
+use aap_graph::{Graph, VertexId};
+
+/// Dijkstra's algorithm (the paper's PEval for SSSP uses exactly this).
+pub fn dijkstra(g: &Graph<(), u32>, src: VertexId) -> Vec<u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    if (src as usize) >= n {
+        return dist;
+    }
+    dist[src as usize] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u64, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (v, &w) in g.edges(u) {
+            let nd = d + w as u64;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Unweighted hop counts from `src`.
+pub fn bfs(g: &Graph<(), u32>, src: VertexId) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    if (src as usize) >= n {
+        return dist;
+    }
+    let mut queue = std::collections::VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == INF {
+                dist[v as usize] = dist[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components: every vertex labelled with the minimum vertex id
+/// in its (weakly) connected component.
+pub fn connected_components<V, E>(g: &Graph<V, E>) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for (u, v, _) in g.all_edges() {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            // union by smaller root id keeps the min-id invariant directly
+            let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+            parent[hi as usize] = lo;
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+/// Delta-based PageRank (the sequential counterpart of §5.3): push residual
+/// mass until every residual is below `epsilon`. Returns unnormalised
+/// scores `Pv = (1 − d) + d · Σ ...` as in the paper.
+pub fn pagerank_delta<V>(g: &Graph<V, u32>, damping: f64, epsilon: f64) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut score = vec![0.0f64; n];
+    let mut residual = vec![1.0 - damping; n];
+    let mut queue: std::collections::VecDeque<VertexId> = g.vertices().collect();
+    let mut queued = vec![true; n];
+    while let Some(u) = queue.pop_front() {
+        queued[u as usize] = false;
+        let r = residual[u as usize];
+        if r < epsilon {
+            continue;
+        }
+        residual[u as usize] = 0.0;
+        score[u as usize] += r;
+        let deg = g.degree(u);
+        if deg == 0 {
+            continue;
+        }
+        let push = damping * r / deg as f64;
+        for &v in g.neighbors(u) {
+            residual[v as usize] += push;
+            if residual[v as usize] >= epsilon && !queued[v as usize] {
+                queued[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    for v in 0..n {
+        score[v] += residual[v]; // fold sub-threshold mass for accuracy
+    }
+    score
+}
+
+/// Plain single-thread SGD matrix factorisation; returns the final
+/// training RMSE. Mirrors the update rule used by the parallel CF program.
+pub fn cf_sgd(
+    ratings: &aap_graph::generate::RatingsGraph,
+    dim: usize,
+    lr: f32,
+    lambda: f32,
+    epochs: u32,
+    seed: u64,
+) -> f64 {
+    let g = &ratings.graph;
+    let n = g.num_vertices();
+    let mut fac: Vec<Vec<f32>> = (0..n)
+        .map(|v| crate::cf::seeded_factors(v as VertexId, dim, seed))
+        .collect();
+    for _ in 0..epochs {
+        for u in g.vertices() {
+            for (p, &r) in g.edges(u) {
+                let dot: f32 =
+                    fac[u as usize].iter().zip(&fac[p as usize]).map(|(a, b)| a * b).sum();
+                let err = r - dot;
+                #[allow(clippy::needless_range_loop)]
+                for k in 0..dim {
+                    let fu = fac[u as usize][k];
+                    let fp = fac[p as usize][k];
+                    fac[u as usize][k] += lr * (err * fp - lambda * fu);
+                    fac[p as usize][k] += lr * (err * fu - lambda * fp);
+                }
+            }
+        }
+    }
+    rmse(g, &fac)
+}
+
+/// Training RMSE of a factor table over all rated edges.
+pub fn rmse(g: &Graph<(), f32>, fac: &[Vec<f32>]) -> f64 {
+    let mut se = 0.0f64;
+    let mut cnt = 0usize;
+    for (u, p, &r) in g.all_edges() {
+        let dot: f32 = fac[u as usize].iter().zip(&fac[p as usize]).map(|(a, b)| a * b).sum();
+        se += ((r - dot) as f64).powi(2);
+        cnt += 1;
+    }
+    if cnt == 0 {
+        0.0
+    } else {
+        (se / cnt as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aap_graph::{generate, GraphBuilder};
+
+    #[test]
+    fn dijkstra_small() {
+        let mut b = GraphBuilder::new_directed(4);
+        b.add_edge(0, 1, 1u32);
+        b.add_edge(1, 2, 2);
+        b.add_edge(0, 2, 5);
+        let g = b.build();
+        let d = dijkstra(&g, 0);
+        assert_eq!(d, vec![0, 1, 3, INF]);
+    }
+
+    #[test]
+    fn bfs_counts_hops() {
+        let mut b = GraphBuilder::new_undirected(5);
+        for v in 0..4u32 {
+            b.add_edge(v, v + 1, 9);
+        }
+        let g = b.build();
+        assert_eq!(bfs(&g, 0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cc_labels_min_id() {
+        let mut b = GraphBuilder::new_undirected(6);
+        b.add_edge(1, 4, 1u32);
+        b.add_edge(4, 2, 1);
+        b.add_edge(3, 5, 1);
+        let g = b.build();
+        assert_eq!(connected_components(&g), vec![0, 1, 1, 3, 1, 3]);
+    }
+
+    #[test]
+    fn pagerank_sums_to_n() {
+        // With residual folding, Σ Pv ≈ n for any graph without dangling
+        // leakage; a cycle has no dangling nodes.
+        let mut b = GraphBuilder::new_directed(10);
+        for v in 0..10u32 {
+            b.add_edge(v, (v + 1) % 10, 1);
+        }
+        let g = b.build();
+        let pr = pagerank_delta(&g, 0.85, 1e-9);
+        let total: f64 = pr.iter().sum();
+        assert!((total - 10.0).abs() < 1e-3, "total {total}");
+        // symmetric cycle: all scores equal
+        assert!(pr.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-6));
+    }
+
+    #[test]
+    fn pagerank_ranks_hub_higher() {
+        // star: everyone points at 0
+        let mut b = GraphBuilder::new_directed(5);
+        for v in 1..5u32 {
+            b.add_edge(v, 0, 1);
+        }
+        let g = b.build();
+        let pr = pagerank_delta(&g, 0.85, 1e-10);
+        assert!(pr[0] > pr[1] * 3.0);
+    }
+
+    #[test]
+    fn cf_reduces_rmse() {
+        let ratings = generate::bipartite_ratings(60, 20, 12, 4, 7);
+        let untrained = cf_sgd(&ratings, 8, 0.0, 0.0, 0, 1);
+        let trained = cf_sgd(&ratings, 8, 0.05, 0.01, 30, 1);
+        assert!(
+            trained < untrained * 0.5,
+            "rmse {trained} vs untrained {untrained}"
+        );
+        assert!(trained < 0.3, "rmse {trained}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Single-source shortest paths (SSSP) as a PIE program (§5.1).
+//!
+//! `PEval` is Dijkstra's algorithm over the local fragment; `IncEval` is the
+//! incremental shortest-path algorithm of Ramalingam–Reps specialised to
+//! monotonically decreasing distances: message-induced improvements seed a
+//! multi-source Dijkstra, so the cost is a function of the changed region
+//! (`|Mi| + |ΔOi|`), not of `|Fi|` — the *bounded incremental* property the
+//! paper leans on.
+//!
+//! Status variable: `xv = dist(s, v)`, initially `∞`; candidate set
+//! `Ci = Fi.O`; `faggr = min` (§5.1). T1–T3 hold (finite weighted-path
+//! lengths, `min` contraction, monotone relaxation), so all asynchronous
+//! runs converge to the true distances (Theorem 2).
+
+use crate::common::{dijkstra_from_seeds, emit_policy, gather_owned, INF};
+use aap_core::pie::{Messages, PieProgram, UpdateCtx};
+use aap_graph::{Fragment, LocalId, VertexId};
+use std::sync::Arc;
+
+/// The SSSP PIE program over graphs with `u32` edge weights.
+/// Query = source vertex.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Sssp;
+
+/// Per-fragment SSSP state: current distance per local vertex.
+#[derive(Debug)]
+pub struct SsspState {
+    /// `dist[l]` = best known distance from the source to local vertex `l`.
+    pub dist: Vec<u64>,
+}
+
+impl<V: Sync + Send> PieProgram<V, u32> for Sssp {
+    type Query = VertexId;
+    type Val = u64;
+    type State = SsspState;
+    type Out = Vec<u64>;
+
+    fn combine(&self, a: &mut u64, b: u64) -> bool {
+        if b < *a {
+            *a = b;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peval(
+        &self,
+        src: &VertexId,
+        frag: &Fragment<V, u32>,
+        ctx: &mut UpdateCtx<u64>,
+    ) -> SsspState {
+        let mut dist = vec![INF; frag.local_count()];
+        let mut changed = Vec::new();
+        if let Some(l) = frag.local(*src) {
+            dist[l as usize] = 0;
+            let work = dijkstra_from_seeds(frag, &mut dist, &[l], |&w| w as u64, &mut changed);
+            ctx.charge_work(work);
+        }
+        for l in changed {
+            if emit_policy(frag, l) {
+                ctx.send(l, dist[l as usize]);
+            }
+        }
+        SsspState { dist }
+    }
+
+    fn inceval(
+        &self,
+        _src: &VertexId,
+        frag: &Fragment<V, u32>,
+        state: &mut SsspState,
+        msgs: Messages<u64>,
+        ctx: &mut UpdateCtx<u64>,
+    ) {
+        let mut seeds: Vec<LocalId> = Vec::with_capacity(msgs.len());
+        for (l, d) in msgs {
+            if d < state.dist[l as usize] {
+                state.dist[l as usize] = d;
+                seeds.push(l);
+                ctx.note_effective(1);
+            } else {
+                ctx.note_redundant(1);
+            }
+        }
+        if seeds.is_empty() {
+            return;
+        }
+        let mut changed = Vec::new();
+        let work =
+            dijkstra_from_seeds(frag, &mut state.dist, &seeds, |&w| w as u64, &mut changed);
+        ctx.charge_work(work);
+        for l in changed {
+            if emit_policy(frag, l) {
+                ctx.send(l, state.dist[l as usize]);
+            }
+        }
+    }
+
+    fn assemble(
+        &self,
+        _src: &VertexId,
+        frags: &[Arc<Fragment<V, u32>>],
+        states: Vec<SsspState>,
+    ) -> Vec<u64> {
+        gather_owned(frags, &states, INF, |s, _, l| s.dist[l as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+    use aap_core::{Engine, EngineOpts, Mode};
+    use aap_graph::partition::{
+        build_fragments, build_fragments_vertex_cut, hash_partition, range_partition,
+        vertex_cut_partition,
+    };
+    use aap_graph::{generate, Graph};
+
+    fn check(g: &Graph<(), u32>, src: VertexId, m: usize) {
+        let expect = seq::dijkstra(g, src);
+        for mode in [Mode::Bsp, Mode::Ap, Mode::Ssp { c: 1 }, Mode::aap()] {
+            let frags = build_fragments(g, &hash_partition(g, m));
+            let engine = Engine::new(
+                frags,
+                EngineOpts { threads: 4, mode: mode.clone(), max_rounds: Some(100_000) },
+            );
+            let out = engine.run(&Sssp, &src);
+            assert_eq!(out.out, expect, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_lattice() {
+        let g = generate::lattice2d(12, 12, 5);
+        check(&g, 0, 4);
+    }
+
+    #[test]
+    fn matches_dijkstra_on_power_law() {
+        let g = generate::rmat(9, 6, true, 21);
+        check(&g, 0, 6);
+        check(&g, 17, 6);
+    }
+
+    #[test]
+    fn unreachable_stay_infinite() {
+        let mut b = aap_graph::GraphBuilder::new_directed(6);
+        b.add_edge(0, 1, 3u32);
+        b.add_edge(1, 2, 4);
+        // 3,4,5 unreachable
+        b.add_edge(3, 4, 1);
+        let g = b.build();
+        let frags = build_fragments(&g, &hash_partition(&g, 3));
+        let engine = Engine::new(frags, EngineOpts::default());
+        let out = engine.run(&Sssp, &0);
+        assert_eq!(out.out, vec![0, 3, 7, INF, INF, INF]);
+    }
+
+    #[test]
+    fn range_partition_on_lattice() {
+        let g = generate::lattice2d(20, 10, 8);
+        let expect = seq::dijkstra(&g, 5);
+        let frags = build_fragments(&g, &range_partition(&g, 5));
+        let engine = Engine::new(frags, EngineOpts::default());
+        assert_eq!(engine.run(&Sssp, &5).out, expect);
+    }
+
+    #[test]
+    fn vertex_cut_partition_works() {
+        let g = generate::small_world(150, 3, 0.1, 2);
+        let expect = seq::dijkstra(&g, 7);
+        let frags = build_fragments_vertex_cut(&g, &vertex_cut_partition(&g, 4));
+        let engine = Engine::new(frags, EngineOpts::default());
+        assert_eq!(engine.run(&Sssp, &7).out, expect);
+    }
+
+    #[test]
+    fn source_not_in_graph_yields_all_infinite() {
+        let g = generate::lattice2d(4, 4, 1);
+        let frags = build_fragments(&g, &hash_partition(&g, 2));
+        let engine = Engine::new(frags, EngineOpts::default());
+        let out = engine.run(&Sssp, &999);
+        assert!(out.out.iter().all(|&d| d == INF));
+        assert_eq!(out.stats.total_updates(), 0);
+    }
+}

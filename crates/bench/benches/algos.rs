@@ -1,0 +1,97 @@
+//! Criterion benchmarks of the algorithm layer: each PIE program against
+//! its sequential reference (threaded engine, wall-clock).
+
+use aap_algos::{seq, Bfs, ConnectedComponents, PageRank, Sssp};
+use aap_core::{Engine, EngineOpts, Mode};
+use aap_graph::generate;
+use aap_graph::partition::{build_fragments, hash_partition};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_sssp(c: &mut Criterion) {
+    let g = generate::rmat(12, 8, true, 11);
+    let mut group = c.benchmark_group("sssp");
+    group.sample_size(10);
+    group.bench_function("sequential_dijkstra", |b| b.iter(|| black_box(seq::dijkstra(&g, 0))));
+    group.bench_function("pie_aap_8workers", |b| {
+        b.iter_batched(
+            || {
+                Engine::new(
+                    build_fragments(&g, &hash_partition(&g, 8)),
+                    EngineOpts { threads: 8, mode: Mode::aap(), max_rounds: Some(100_000) },
+                )
+            },
+            |e| black_box(e.run(&Sssp, &0).out),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+fn bench_cc(c: &mut Criterion) {
+    let g = generate::small_world(4096, 3, 0.1, 12);
+    let mut group = c.benchmark_group("cc");
+    group.sample_size(10);
+    group.bench_function("sequential_union_find", |b| {
+        b.iter(|| black_box(seq::connected_components(&g)))
+    });
+    group.bench_function("pie_aap_8workers", |b| {
+        b.iter_batched(
+            || {
+                Engine::new(
+                    build_fragments(&g, &hash_partition(&g, 8)),
+                    EngineOpts { threads: 8, mode: Mode::aap(), max_rounds: Some(100_000) },
+                )
+            },
+            |e| black_box(e.run(&ConnectedComponents, &()).out),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+fn bench_pagerank(c: &mut Criterion) {
+    let g = generate::rmat(11, 8, true, 13);
+    let pr = PageRank { damping: 0.85, epsilon: 1e-6 };
+    let mut group = c.benchmark_group("pagerank");
+    group.sample_size(10);
+    group.bench_function("sequential_delta", |b| {
+        b.iter(|| black_box(seq::pagerank_delta(&g, 0.85, 1e-6)))
+    });
+    group.bench_function("pie_aap_8workers", |b| {
+        b.iter_batched(
+            || {
+                Engine::new(
+                    build_fragments(&g, &hash_partition(&g, 8)),
+                    EngineOpts { threads: 8, mode: Mode::aap(), max_rounds: Some(1_000_000) },
+                )
+            },
+            |e| black_box(e.run(&pr, &()).out),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let g = generate::lattice2d(64, 64, 14);
+    let mut group = c.benchmark_group("bfs");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| b.iter(|| black_box(seq::bfs(&g, 0))));
+    group.bench_function("pie_aap_4workers", |b| {
+        b.iter_batched(
+            || {
+                Engine::new(
+                    build_fragments(&g, &hash_partition(&g, 4)),
+                    EngineOpts { threads: 4, mode: Mode::aap(), max_rounds: Some(100_000) },
+                )
+            },
+            |e| black_box(e.run(&Bfs, &0).out),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sssp, bench_cc, bench_pagerank, bench_bfs);
+criterion_main!(benches);

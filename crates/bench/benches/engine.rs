@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the engine substrate: fragment
+//! construction, message routing/inbox handling, and full small runs under
+//! each execution mode (threaded engine, wall-clock).
+
+use aap_algos::ConnectedComponents;
+use aap_core::inbox::Inbox;
+use aap_core::pie::{route_updates, Batch};
+use aap_core::{Engine, EngineOpts, Mode};
+use aap_graph::generate;
+use aap_graph::partition::{build_fragments, hash_partition, ldg_partition};
+use aap_graph::LocalId;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_partitioning(c: &mut Criterion) {
+    let g = generate::rmat(12, 8, true, 1);
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(20);
+    group.bench_function("hash_partition_4k_vertices", |b| {
+        b.iter(|| black_box(hash_partition(&g, 16)))
+    });
+    group.bench_function("ldg_partition_4k_vertices", |b| {
+        b.iter(|| black_box(ldg_partition(&g, 16, 1.2)))
+    });
+    let assignment = hash_partition(&g, 16);
+    group.bench_function("build_fragments_16", |b| {
+        b.iter(|| black_box(build_fragments(&g, &assignment)))
+    });
+    group.finish();
+}
+
+fn bench_inbox(c: &mut Criterion) {
+    let g = generate::small_world(512, 2, 0.1, 2);
+    let frags = build_fragments(&g, &hash_partition(&g, 2));
+    let frag = &frags[0];
+    let updates: Vec<(u32, u32)> =
+        frag.mirrors().map(|m| (frag.global(m), frag.global(m) / 2)).collect();
+    let mut group = c.benchmark_group("messaging");
+    group.bench_function("inbox_push_drain_64_batches", |b| {
+        b.iter_batched(
+            || {
+                let mut inbox: Inbox<u32> = Inbox::default();
+                for r in 0..64u32 {
+                    inbox.push(Batch { src: 1, round: r, updates: updates.clone() });
+                }
+                inbox
+            },
+            |mut inbox| {
+                let (msgs, info) = inbox.drain(&ConnectedComponents, frag);
+                black_box((msgs, info))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let locals: Vec<(LocalId, u32)> =
+        frag.mirrors().map(|m| (m, frag.global(m))).collect();
+    group.bench_function("route_updates", |b| {
+        b.iter(|| {
+            black_box(route_updates(&ConnectedComponents, frag, 1, locals.clone()))
+        })
+    });
+    group.finish();
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let g = generate::rmat(11, 8, true, 3);
+    let mut group = c.benchmark_group("cc_by_mode_threaded");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("bsp", Mode::Bsp),
+        ("ap", Mode::Ap),
+        ("ssp2", Mode::Ssp { c: 2 }),
+        ("aap", Mode::aap()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    Engine::new(
+                        build_fragments(&g, &hash_partition(&g, 8)),
+                        EngineOpts { threads: 4, mode: mode.clone(), max_rounds: Some(100_000) },
+                    )
+                },
+                |engine| black_box(engine.run(&ConnectedComponents, &()).stats.total_rounds()),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning, bench_inbox, bench_modes);
+criterion_main!(benches);

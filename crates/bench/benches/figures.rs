@@ -1,0 +1,86 @@
+//! Criterion smoke-benchmarks of the figure-regeneration paths: reduced
+//! versions of the per-figure simulations, so `cargo bench` exercises every
+//! harness code path and tracks its cost over time. The full-scale tables
+//! come from the `repro` binary.
+
+use aap_algos::{ConnectedComponents, PageRank, Sssp};
+use aap_bench::experiments::fig1_fragments;
+use aap_bench::runner::{run_sim, Cluster};
+use aap_core::Mode;
+use aap_graph::generate;
+use aap_sim::{CostModel, SimEngine, SimOpts};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_timing_diagram");
+    group.sample_size(20);
+    for (name, mode) in [("bsp", Mode::Bsp), ("aap", Mode::aap())] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let sim = SimEngine::new(
+                    fig1_fragments(),
+                    SimOpts {
+                        mode: mode.clone(),
+                        latency: 1.0,
+                        cost: CostModel::FixedPerWorker(vec![3.0, 3.0, 6.0]),
+                        max_rounds: Some(10_000),
+                    },
+                );
+                black_box(sim.run(&ConnectedComponents, &()).stats.makespan)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig6_point(c: &mut Criterion) {
+    let g = generate::rmat(10, 8, true, 21);
+    let mut group = c.benchmark_group("fig6_panel_point");
+    group.sample_size(10);
+    for (name, mode) in [("sssp_aap_32w", Mode::aap()), ("sssp_bsp_32w", Mode::Bsp)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cluster = Cluster::balanced(32);
+                cluster.skew = 2.0;
+                black_box(run_sim(&cluster, &g, &Sssp, &0, name, mode.clone()).0.time)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig7_point(c: &mut Criterion) {
+    let g = generate::rmat(10, 8, true, 22);
+    let pr = PageRank { damping: 0.85, epsilon: 1e-3 };
+    let mut group = c.benchmark_group("fig7_straggler_point");
+    group.sample_size(10);
+    for (name, mode) in [("pagerank_ap", Mode::Ap), ("pagerank_aap", Mode::aap())] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let cluster = Cluster::with_straggler(16, 5, 4.0);
+                black_box(run_sim(&cluster, &g, &pr, &(), name, mode.clone()).0.time)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cc_straggler(c: &mut Criterion) {
+    let g = generate::small_world(2048, 3, 0.1, 23);
+    let mut group = c.benchmark_group("fig6k_skew_point");
+    group.sample_size(10);
+    for skew in [1.0f64, 5.0] {
+        group.bench_function(format!("cc_aap_skew{skew}"), |b| {
+            b.iter(|| {
+                let mut cluster = Cluster::balanced(16);
+                cluster.skew = skew;
+                black_box(run_sim(&cluster, &g, &ConnectedComponents, &(), "cc", Mode::aap()).0.time)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1, bench_fig6_point, bench_fig7_point, bench_cc_straggler);
+criterion_main!(benches);

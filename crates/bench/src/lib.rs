@@ -1,0 +1,20 @@
+//! # aap-bench
+//!
+//! The reproduction harness: one experiment per table and figure of the
+//! paper's evaluation (§7 + Appendix B). See DESIGN.md for the experiment
+//! index and EXPERIMENTS.md for recorded results.
+//!
+//! Run everything:
+//!
+//! ```sh
+//! cargo run --release -p aap-bench --bin repro -- all
+//! ```
+//!
+//! or a single experiment: `repro fig6a`, `repro table1`, `repro fig7`, ...
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+pub mod workloads;

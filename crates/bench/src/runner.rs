@@ -1,0 +1,215 @@
+//! Shared experiment infrastructure: mode line-ups, simulated-cluster
+//! execution, and markdown table rendering.
+
+use aap_core::pie::PieProgram;
+use aap_core::policy::{AapConfig, HsyncConfig};
+use aap_core::Mode;
+use aap_graph::{partition, FragId, Graph};
+use aap_sim::{CostModel, SimEngine, SimOpts, Timeline};
+
+/// One measured run.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// System/mode label as it appears in the paper's tables.
+    pub system: String,
+    /// Virtual completion time.
+    pub time: f64,
+    /// Maximum rounds at any worker (straggler depth).
+    pub rounds_max: u64,
+    /// Total rounds across workers.
+    pub rounds_total: u64,
+    /// Parameter updates shipped.
+    pub updates: u64,
+    /// Bytes shipped.
+    pub bytes: u64,
+    /// Fraction of received updates that were redundant.
+    pub stale: f64,
+}
+
+/// The four GRAPE+ modes the paper compares in every Fig 6 panel.
+pub fn grape_modes() -> Vec<(String, Mode)> {
+    vec![
+        ("GRAPE+ (AAP)".into(), Mode::aap()),
+        ("GRAPE+BSP".into(), Mode::Bsp),
+        ("GRAPE+AP".into(), Mode::Ap),
+        ("GRAPE+SSP (c=2)".into(), Mode::Ssp { c: 2 }),
+    ]
+}
+
+/// Extended line-up including the Hsync (PowerSwitch) baseline.
+pub fn all_modes() -> Vec<(String, Mode)> {
+    let mut v = grape_modes();
+    v.push(("PowerSwitch (Hsync)".into(), Mode::Hsync(HsyncConfig::default())));
+    v
+}
+
+/// AAP with the CF-style bounded staleness enabled.
+pub fn aap_bounded(c: u32) -> Mode {
+    Mode::Aap(AapConfig {
+        staleness_bound: Some(c),
+        l_floor_frac: Some(0.6),
+        ..AapConfig::default()
+    })
+}
+
+/// Options for one simulated cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Number of (virtual) workers.
+    pub workers: usize,
+    /// Message latency in virtual units.
+    pub latency: f64,
+    /// Per-worker speed multipliers; empty = uniform.
+    pub speed: Vec<f64>,
+    /// Partition skew dial for [`partition::skewed_partition`]; 1.0 =
+    /// balanced hash partition.
+    pub skew: f64,
+}
+
+impl Cluster {
+    /// A balanced cluster of `workers` workers.
+    pub fn balanced(workers: usize) -> Self {
+        Cluster { workers, latency: 2.0, speed: Vec::new(), skew: 1.0 }
+    }
+
+    /// A cluster with one CPU-straggler (`factor`× slower) at `at`.
+    pub fn with_straggler(workers: usize, at: usize, factor: f64) -> Self {
+        let mut speed = vec![1.0; workers];
+        speed[at] = factor;
+        Cluster { workers, latency: 2.0, speed, skew: 1.0 }
+    }
+
+    /// Partition `g` for this cluster.
+    pub fn fragments<V: Clone + Send + Sync, E: Clone + Send + Sync>(
+        &self,
+        g: &Graph<V, E>,
+    ) -> Vec<aap_graph::Fragment<V, E>> {
+        let assignment: Vec<FragId> = if self.skew > 1.0 {
+            partition::skewed_partition(g, self.workers, self.skew)
+        } else {
+            partition::hash_partition(g, self.workers)
+        };
+        partition::build_fragments_n(g, &assignment, self.workers)
+    }
+
+    fn opts(&self, mode: Mode) -> SimOpts {
+        SimOpts {
+            mode,
+            latency: self.latency,
+            cost: CostModel::skewed_work(self.speed.clone()),
+            max_rounds: Some(1_000_000),
+        }
+    }
+}
+
+/// Run `prog` on the simulated cluster under `mode`; returns the row plus
+/// the raw output and timelines (for figure rendering).
+pub fn run_sim<V, E, P>(
+    cluster: &Cluster,
+    g: &Graph<V, E>,
+    prog: &P,
+    q: &P::Query,
+    label: &str,
+    mode: Mode,
+) -> (Row, P::Out, Vec<Timeline>)
+where
+    V: Clone + Send + Sync,
+    E: Clone + Send + Sync,
+    P: PieProgram<V, E>,
+{
+    let engine = SimEngine::new(cluster.fragments(g), cluster.opts(mode));
+    let out = engine.run(prog, q);
+    assert!(!out.stats.aborted, "run aborted: {label}");
+    let row = Row {
+        system: label.to_string(),
+        time: out.stats.makespan,
+        rounds_max: out.stats.max_rounds(),
+        rounds_total: out.stats.total_rounds(),
+        updates: out.stats.total_updates(),
+        bytes: out.stats.total_bytes(),
+        stale: out.stats.stale_ratio(),
+    };
+    (row, out.out, out.timelines)
+}
+
+/// Render rows as a markdown table, normalising times to the first row.
+pub fn table(title: &str, rows: &[Row]) -> String {
+    let mut s = format!("### {title}\n\n");
+    s.push_str("| system | time | vs first | rounds(max) | rounds(total) | updates | bytes | stale % |\n");
+    s.push_str("|---|---:|---:|---:|---:|---:|---:|---:|\n");
+    let t0 = rows.first().map(|r| r.time).unwrap_or(1.0).max(1e-12);
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {:.1} | {:.2}x | {} | {} | {} | {} | {:.1} |\n",
+            r.system,
+            r.time,
+            r.time / t0,
+            r.rounds_max,
+            r.rounds_total,
+            r.updates,
+            r.bytes,
+            100.0 * r.stale
+        ));
+    }
+    s.push('\n');
+    s
+}
+
+/// Render a series (x vs per-mode time) as a markdown table — the textual
+/// form of a Fig 6 line chart.
+pub fn series_table(title: &str, x_name: &str, xs: &[String], series: &[(String, Vec<f64>)]) -> String {
+    let mut s = format!("### {title}\n\n| {x_name} |");
+    for (name, _) in series {
+        s.push_str(&format!(" {name} |"));
+    }
+    s.push('\n');
+    s.push_str("|---|");
+    for _ in series {
+        s.push_str("---:|");
+    }
+    s.push('\n');
+    for (i, x) in xs.iter().enumerate() {
+        s.push_str(&format!("| {x} |"));
+        for (_, ys) in series {
+            s.push_str(&format!(" {:.1} |", ys[i]));
+        }
+        s.push('\n');
+    }
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aap_algos::ConnectedComponents;
+    use aap_graph::generate;
+
+    #[test]
+    fn run_sim_produces_row() {
+        let g = generate::small_world(200, 2, 0.1, 1);
+        let cluster = Cluster::balanced(4);
+        let (row, out, tl) = run_sim(&cluster, &g, &ConnectedComponents, &(), "cc", Mode::aap());
+        assert_eq!(out.len(), 200);
+        assert_eq!(tl.len(), 4);
+        assert!(row.time > 0.0);
+        assert!(row.updates > 0);
+    }
+
+    #[test]
+    fn tables_render() {
+        let rows = vec![Row {
+            system: "X".into(),
+            time: 10.0,
+            rounds_max: 2,
+            rounds_total: 4,
+            updates: 100,
+            bytes: 1000,
+            stale: 0.5,
+        }];
+        let t = table("t", &rows);
+        assert!(t.contains("| X | 10.0 | 1.00x | 2 | 4 | 100 | 1000 | 50.0 |"));
+        let s = series_table("s", "n", &["64".into()], &[("A".into(), vec![1.0])]);
+        assert!(s.contains("| 64 | 1.0 |"));
+    }
+}

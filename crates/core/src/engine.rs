@@ -1,0 +1,804 @@
+//! The multithreaded AAP engine — GRAPE+ (§3 workflow, §6 implementation).
+//!
+//! `m` virtual workers (one per fragment) are scheduled onto `n ≤ m` OS
+//! threads. Message passing is point-to-point and push-based: a completing
+//! round locks only the destination's inbox, so no global synchronisation
+//! barrier exists on the async path. Each worker's next round is gated by
+//! the delay-stretch function `δ` of [`crate::policy`]; a suspended worker
+//! releases its thread to other virtual workers, which is exactly the
+//! paper's "resources are allocated to other (virtual) workers to do useful
+//! computation".
+//!
+//! Two execution paths:
+//!
+//! * **BSP** runs an honest superstep barrier (messages produced in
+//!   superstep `r` become visible only in `r + 1`) — this is GRAPE, and the
+//!   baseline the paper calls `GRAPE+BSP`.
+//! * **AP / SSP / AAP / Hsync** run the asynchronous scheduler where `δ`
+//!   makes per-worker decisions; termination follows §3's
+//!   inactive/terminate protocol (a worker with an empty buffer becomes
+//!   inactive; any arriving message revives it; the run ends when no worker
+//!   is active and no messages are buffered).
+
+use crate::inbox::Inbox;
+use crate::pie::{route_updates, Batch, PieProgram, UpdateCtx};
+use crate::policy::{self, Decision, Mode, PolicyState, SharedRates};
+use crate::stats::{RunStats, WorkerStats, BATCH_HEADER_BYTES, UPDATE_KEY_BYTES};
+use aap_graph::Fragment;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Engine construction options.
+#[derive(Debug, Clone)]
+pub struct EngineOpts {
+    /// Physical worker threads (`n`); virtual workers (`m`) = fragments.
+    pub threads: usize,
+    /// Execution mode (the `δ` policy).
+    pub mode: Mode,
+    /// Abort the run if any worker exceeds this many rounds (safety valve
+    /// for non-terminating programs; `None` = unbounded).
+    pub max_rounds: Option<u32>,
+}
+
+impl Default for EngineOpts {
+    fn default() -> Self {
+        EngineOpts {
+            threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4),
+            mode: Mode::aap(),
+            max_rounds: None,
+        }
+    }
+}
+
+/// Result of one engine run.
+#[derive(Debug)]
+pub struct RunOutput<Out> {
+    /// The assembled answer `ρ(Q, G)`.
+    pub out: Out,
+    /// Statistics collected during the run.
+    pub stats: RunStats,
+}
+
+/// The GRAPE+ engine over a fixed partition. A graph is partitioned once
+/// and the engine reused for any number of queries (§3: "G is partitioned
+/// once for all queries Q posed on G").
+pub struct Engine<V, E> {
+    frags: Vec<Arc<Fragment<V, E>>>,
+    opts: EngineOpts,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Status {
+    Ready,
+    Running,
+    /// Suspended with an optional wake deadline; `None` = held until the
+    /// global round bounds move or a message arrives.
+    Suspended(Option<Instant>),
+    Inactive,
+}
+
+struct Cell<Val, St> {
+    inbox: Mutex<Inbox<Val>>,
+    /// Mirror of `inbox.eta()`, readable without the inbox lock.
+    eta: AtomicUsize,
+    state: Mutex<Option<St>>,
+    stats: Mutex<WorkerStats>,
+    /// Completed rounds (`ri`); PEval completion sets this to 1.
+    rounds: AtomicU32,
+}
+
+impl<Val, St> Cell<Val, St> {
+    fn new() -> Self {
+        Cell {
+            inbox: Mutex::new(Inbox::default()),
+            eta: AtomicUsize::new(0),
+            state: Mutex::new(None),
+            stats: Mutex::new(WorkerStats::default()),
+            rounds: AtomicU32::new(0),
+        }
+    }
+}
+
+struct Coord {
+    status: Vec<Status>,
+    suspend_began: Vec<Option<Instant>>,
+    /// Vertex-centric adapters may have local-only work pending.
+    local_work: Vec<bool>,
+    pstates: Vec<PolicyState>,
+    ready: VecDeque<usize>,
+    /// Workers in {Ready, Running, Suspended}.
+    pending: usize,
+    done: bool,
+    aborted: bool,
+    rmin: u32,
+    rmax: u32,
+}
+
+impl Coord {
+    /// Recompute `rmin`/`rmax` over non-inactive workers (§3 "bounds rmin
+    /// and rmax"); inactive workers would otherwise pin `rmin` forever and
+    /// deadlock lockstep modes. Returns whether either bound moved.
+    fn recompute_bounds<Val, St>(&mut self, cells: &[Cell<Val, St>]) -> bool {
+        let mut rmin = u32::MAX;
+        let mut rmax = 0;
+        for (w, st) in self.status.iter().enumerate() {
+            let r = cells[w].rounds.load(Ordering::Relaxed);
+            rmax = rmax.max(r);
+            if !matches!(st, Status::Inactive) {
+                rmin = rmin.min(r);
+            }
+        }
+        if rmin == u32::MAX {
+            rmin = rmax;
+        }
+        let changed = rmin != self.rmin || rmax != self.rmax;
+        self.rmin = rmin;
+        self.rmax = rmax;
+        changed
+    }
+}
+
+impl<V, E> Engine<V, E>
+where
+    V: Send + Sync,
+    E: Send + Sync,
+{
+    /// Create an engine over pre-built fragments.
+    pub fn new(frags: Vec<Fragment<V, E>>, opts: EngineOpts) -> Self {
+        Engine { frags: frags.into_iter().map(Arc::new).collect(), opts }
+    }
+
+    /// The fragments this engine computes over.
+    pub fn fragments(&self) -> &[Arc<Fragment<V, E>>] {
+        &self.frags
+    }
+
+    /// Engine options.
+    pub fn opts(&self) -> &EngineOpts {
+        &self.opts
+    }
+
+    /// Evaluate one query with the PIE program `prog` (§3 parallel model:
+    /// PEval everywhere, asynchronous IncEval until fixpoint, Assemble).
+    pub fn run<P>(&self, prog: &P, q: &P::Query) -> RunOutput<P::Out>
+    where
+        P: PieProgram<V, E>,
+    {
+        match self.opts.mode {
+            Mode::Bsp => self.run_bsp(prog, q),
+            _ => self.run_async(prog, q),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // BSP path: honest supersteps with a barrier (GRAPE / GRAPE+BSP).
+    // ------------------------------------------------------------------
+    fn run_bsp<P>(&self, prog: &P, q: &P::Query) -> RunOutput<P::Out>
+    where
+        P: PieProgram<V, E>,
+    {
+        let m = self.frags.len();
+        let start = Instant::now();
+        let cells: Vec<Cell<P::Val, P::State>> = (0..m).map(|_| Cell::new()).collect();
+        let nthreads = self.opts.threads.clamp(1, m.max(1));
+        let mut aborted = false;
+
+        // Superstep 0: PEval everywhere.
+        let mut active: Vec<usize> = (0..m).collect();
+        let mut superstep: u32 = 0;
+        while !active.is_empty() {
+            if let Some(maxr) = self.opts.max_rounds {
+                if superstep > maxr {
+                    aborted = true;
+                    break;
+                }
+            }
+            // Outgoing batches per executing worker, delivered post-barrier.
+            type Outbox<Val> = Mutex<Vec<(aap_graph::FragId, Batch<Val>)>>;
+            let outs: Vec<Outbox<P::Val>> =
+                active.iter().map(|_| Mutex::new(Vec::new())).collect();
+            let next_work: Vec<Mutex<bool>> = active.iter().map(|_| Mutex::new(false)).collect();
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..nthreads {
+                    s.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= active.len() {
+                            return;
+                        }
+                        let w = active[i];
+                        let frag = &self.frags[w];
+                        let cell = &cells[w];
+                        let t0 = Instant::now();
+                        let (msgs, _info) = {
+                            let mut inbox = cell.inbox.lock();
+                            let r = inbox.drain(prog, frag);
+                            cell.eta.store(0, Ordering::Relaxed);
+                            r
+                        };
+                        let delivered = msgs.len() as u64;
+                        let mut ctx = UpdateCtx::new();
+                        if superstep == 0 {
+                            let st = prog.peval(q, frag, &mut ctx);
+                            *cell.state.lock() = Some(st);
+                        } else {
+                            let mut guard = cell.state.lock();
+                            let st = guard.as_mut().expect("state initialised by PEval");
+                            prog.inceval(q, frag, st, msgs, &mut ctx);
+                        }
+                        let dt = t0.elapsed().as_secs_f64();
+                        let (effective, redundant) = ctx.effect_counts();
+                        let (updates, local_work) = ctx.take();
+                        let batches = route_updates(prog, frag, superstep, updates);
+                        {
+                            let mut st = cell.stats.lock();
+                            st.rounds += 1;
+                            st.compute_time += dt;
+                            st.updates_delivered += delivered;
+                            st.effective_updates += effective;
+                            st.redundant_updates += redundant;
+                            for (_, b) in &batches {
+                                st.batches_out += 1;
+                                st.updates_out += b.updates.len() as u64;
+                                st.bytes_out += (BATCH_HEADER_BYTES
+                                    + b.updates
+                                        .iter()
+                                        .map(|(_, v)| UPDATE_KEY_BYTES + prog.val_bytes(v))
+                                        .sum::<usize>())
+                                    as u64;
+                            }
+                        }
+                        cell.rounds.fetch_add(1, Ordering::Relaxed);
+                        *outs[i].lock() = batches;
+                        *next_work[i].lock() = local_work;
+                    });
+                }
+            });
+            // Barrier: deliver all batches, then find the next active set.
+            let mut next: Vec<usize> = Vec::new();
+            let mut want_local: Vec<bool> = vec![false; m];
+            for (i, out) in outs.iter().enumerate() {
+                want_local[active[i]] = *next_work[i].lock();
+                for (dst, b) in out.lock().drain(..) {
+                    let cell = &cells[dst as usize];
+                    {
+                        let mut st = cell.stats.lock();
+                        st.batches_in += 1;
+                        st.updates_in += b.updates.len() as u64;
+                    }
+                    let mut inbox = cell.inbox.lock();
+                    let eta = inbox.push(b);
+                    cell.eta.store(eta, Ordering::Relaxed);
+                }
+            }
+            next.extend(
+                (0..m).filter(|&w| cells[w].eta.load(Ordering::Relaxed) > 0 || want_local[w]),
+            );
+            active = next;
+            superstep += 1;
+        }
+
+        self.finish(prog, q, cells, start, aborted)
+    }
+
+    // ------------------------------------------------------------------
+    // Asynchronous path: AP / SSP / AAP / Hsync via δ.
+    // ------------------------------------------------------------------
+    fn run_async<P>(&self, prog: &P, q: &P::Query) -> RunOutput<P::Out>
+    where
+        P: PieProgram<V, E>,
+    {
+        let m = self.frags.len();
+        let start = Instant::now();
+        let cells: Vec<Cell<P::Val, P::State>> = (0..m).map(|_| Cell::new()).collect();
+        let rates = SharedRates::new(m);
+        let l0 = match &self.opts.mode {
+            Mode::Aap(cfg) => policy::l_floor(cfg, m),
+            _ => 0.0,
+        };
+        let coord = Mutex::new(Coord {
+            status: vec![Status::Ready; m],
+            suspend_began: vec![None; m],
+            local_work: vec![false; m],
+            pstates: (0..m).map(|_| PolicyState::new(l0)).collect(),
+            ready: (0..m).collect(),
+            pending: m,
+            done: m == 0,
+            aborted: false,
+            rmin: 0,
+            rmax: 0,
+        });
+        let cv = Condvar::new();
+        let nthreads = self.opts.threads.clamp(1, m.max(1));
+
+        std::thread::scope(|s| {
+            for _ in 0..nthreads {
+                s.spawn(|| {
+                    self.async_worker_loop(prog, q, &cells, &coord, &cv, &rates, start)
+                });
+            }
+        });
+
+        let aborted = coord.lock().aborted;
+        self.finish(prog, q, cells, start, aborted)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn async_worker_loop<P>(
+        &self,
+        prog: &P,
+        q: &P::Query,
+        cells: &[Cell<P::Val, P::State>],
+        coord: &Mutex<Coord>,
+        cv: &Condvar,
+        rates: &SharedRates,
+        start: Instant,
+    ) where
+        P: PieProgram<V, E>,
+    {
+        loop {
+            // --- acquire a runnable virtual worker ---
+            let w = {
+                let mut c = coord.lock();
+                loop {
+                    if c.done {
+                        return;
+                    }
+                    promote_due(&mut c, cells, Instant::now());
+                    if let Some(w) = c.ready.pop_front() {
+                        c.status[w] = Status::Running;
+                        break w;
+                    }
+                    // Sleep until the earliest suspend deadline (or a
+                    // notification from another thread).
+                    let deadline = c
+                        .status
+                        .iter()
+                        .filter_map(|s| match s {
+                            Status::Suspended(Some(t)) => Some(*t),
+                            _ => None,
+                        })
+                        .min();
+                    match deadline {
+                        Some(t) => {
+                            cv.wait_until(&mut c, t);
+                        }
+                        None => {
+                            cv.wait(&mut c);
+                        }
+                    }
+                }
+            };
+
+            // --- execute one round of worker w ---
+            let frag = &self.frags[w];
+            let cell = &cells[w];
+            let now0 = start.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let round = cell.rounds.load(Ordering::Relaxed);
+            // PEval (round 0) must NOT drain: messages from faster peers'
+            // PEval rounds may already be buffered and belong to IncEval.
+            let msgs = if round == 0 {
+                Vec::new()
+            } else {
+                let (msgs, info) = {
+                    let mut inbox = cell.inbox.lock();
+                    let r = inbox.drain(prog, frag);
+                    cell.eta.store(0, Ordering::Relaxed);
+                    r
+                };
+                let mut c = coord.lock();
+                let avg = rates.avg_rate();
+                let fast = rates.fast_count();
+                policy::on_drain(
+                    &self.opts.mode,
+                    &mut c.pstates[w],
+                    info.batches,
+                    now0,
+                    cells.len(),
+                    avg,
+                    fast,
+                );
+                msgs
+            };
+            let delivered = msgs.len() as u64;
+            let mut ctx = UpdateCtx::new();
+            if round == 0 {
+                let st = prog.peval(q, frag, &mut ctx);
+                *cell.state.lock() = Some(st);
+            } else {
+                let mut guard = cell.state.lock();
+                let st = guard.as_mut().expect("state initialised by PEval");
+                prog.inceval(q, frag, st, msgs, &mut ctx);
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            let (effective, redundant) = ctx.effect_counts();
+            let (updates, local_work) = ctx.take();
+            let batches = route_updates(prog, frag, round, updates);
+
+            // --- self stats ---
+            {
+                let mut st = cell.stats.lock();
+                st.rounds += 1;
+                st.compute_time += dt;
+                st.updates_delivered += delivered;
+                st.effective_updates += effective;
+                st.redundant_updates += redundant;
+                for (_, b) in &batches {
+                    st.batches_out += 1;
+                    st.updates_out += b.updates.len() as u64;
+                    st.bytes_out += (BATCH_HEADER_BYTES
+                        + b.updates
+                            .iter()
+                            .map(|(_, v)| UPDATE_KEY_BYTES + prog.val_bytes(v))
+                            .sum::<usize>()) as u64;
+                }
+            }
+
+            // --- deliver messages (push-based, immediate) ---
+            let mut dests: Vec<usize> = Vec::with_capacity(batches.len());
+            for (dst, b) in batches {
+                let dcell = &cells[dst as usize];
+                {
+                    let mut st = dcell.stats.lock();
+                    st.batches_in += 1;
+                    st.updates_in += b.updates.len() as u64;
+                }
+                let mut inbox = dcell.inbox.lock();
+                let eta = inbox.push(b);
+                dcell.eta.store(eta, Ordering::Relaxed);
+                drop(inbox);
+                dests.push(dst as usize);
+            }
+
+            // --- post-round coordination ---
+            let now1 = start.elapsed().as_secs_f64();
+            {
+                let mut c = coord.lock();
+                cell.rounds.store(round + 1, Ordering::Relaxed);
+                if let Some(maxr) = self.opts.max_rounds {
+                    if round + 1 > maxr {
+                        c.done = true;
+                        c.aborted = true;
+                        cv.notify_all();
+                        return;
+                    }
+                }
+                c.local_work[w] = local_work;
+                policy::on_round_complete(&self.opts.mode, &mut c.pstates[w], dt, now1);
+                rates.publish(w, c.pstates[w].s_rate, c.pstates[w].t_round);
+                if let Mode::Hsync(cfg) = &self.opts.mode {
+                    rates.hsync_on_round(cfg);
+                }
+                c.recompute_bounds(cells);
+
+                // Decide the fate of this worker.
+                let d = self.decide::<P>(&c, cells, rates, w, now1);
+                apply_decision(&mut c, cells, cv, w, d, true);
+
+                // Message arrivals re-evaluate their targets (§3: "when Pi
+                // receives a new message, DSi is adjusted").
+                dests.sort_unstable();
+                dests.dedup();
+                for dst in dests {
+                    if matches!(c.status[dst], Status::Ready | Status::Running) {
+                        continue;
+                    }
+                    let d = self.decide::<P>(&c, cells, rates, dst, now1);
+                    apply_decision(&mut c, cells, cv, dst, d, false);
+                }
+
+                // Round-bound movement can release held workers (BSP-like
+                // holds, SSP bounds, AAP staleness predicate).
+                c.recompute_bounds(cells);
+                let held: Vec<usize> = c
+                    .status
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| matches!(s, Status::Suspended(_)))
+                    .map(|(i, _)| i)
+                    .collect();
+                for h in held {
+                    let d = self.decide::<P>(&c, cells, rates, h, now1);
+                    apply_decision(&mut c, cells, cv, h, d, false);
+                }
+
+                if c.pending == 0 {
+                    c.done = true;
+                    cv.notify_all();
+                }
+            }
+        }
+    }
+
+    fn decide<P>(
+        &self,
+        c: &Coord,
+        cells: &[Cell<P::Val, P::State>],
+        rates: &SharedRates,
+        w: usize,
+        now: f64,
+    ) -> Decision
+    where
+        P: PieProgram<V, E>,
+    {
+        let inputs = policy::DeltaInputs {
+            eta: cells[w].eta.load(Ordering::Relaxed),
+            local_work: c.local_work[w],
+            ri: cells[w].rounds.load(Ordering::Relaxed),
+            rmin: c.rmin,
+            rmax: c.rmax,
+            now,
+            avg_rate: rates.avg_rate(),
+            hsync_sync: rates.hsync_sync(),
+        };
+        policy::delta(&self.opts.mode, &c.pstates[w], &inputs)
+    }
+
+    fn finish<P>(
+        &self,
+        prog: &P,
+        q: &P::Query,
+        cells: Vec<Cell<P::Val, P::State>>,
+        start: Instant,
+        aborted: bool,
+    ) -> RunOutput<P::Out>
+    where
+        P: PieProgram<V, E>,
+    {
+        let makespan = start.elapsed().as_secs_f64();
+        let mut workers = Vec::with_capacity(cells.len());
+        let mut states = Vec::with_capacity(cells.len());
+        for cell in cells {
+            workers.push(cell.stats.into_inner());
+            states.push(cell.state.into_inner().expect("PEval ran on every fragment"));
+        }
+        let stats =
+            RunStats { mode: self.opts.mode.name().to_string(), makespan, workers, aborted };
+        let out = prog.assemble(q, &self.frags, states);
+        RunOutput { out, stats }
+    }
+}
+
+/// Move suspended workers whose deadline has passed to the ready queue.
+fn promote_due<Val, St>(c: &mut Coord, cells: &[Cell<Val, St>], now: Instant) {
+    for w in 0..c.status.len() {
+        if let Status::Suspended(Some(t)) = c.status[w] {
+            if t <= now {
+                record_suspend_end(c, cells, w, now);
+                c.status[w] = Status::Ready;
+                c.ready.push_back(w);
+            }
+        }
+    }
+}
+
+fn record_suspend_end<Val, St>(c: &mut Coord, cells: &[Cell<Val, St>], w: usize, now: Instant) {
+    if let Some(began) = c.suspend_began[w].take() {
+        let dt = now.saturating_duration_since(began).as_secs_f64();
+        cells[w].stats.lock().suspend_time += dt;
+    }
+}
+
+/// Apply a δ decision to worker `w`'s scheduler status, maintaining the
+/// `pending` count that drives termination.
+fn apply_decision<Val, St>(
+    c: &mut Coord,
+    cells: &[Cell<Val, St>],
+    cv: &Condvar,
+    w: usize,
+    d: Decision,
+    was_running: bool,
+) {
+    let now = Instant::now();
+    let old = c.status[w];
+    let new_status = match d {
+        Decision::Run => Status::Ready,
+        Decision::Delay(ds) => {
+            let dl = now + std::time::Duration::from_secs_f64(ds.clamp(0.0, 3600.0));
+            Status::Suspended(Some(dl))
+        }
+        Decision::Hold => Status::Suspended(None),
+        Decision::Inactive => Status::Inactive,
+    };
+    // Suspend-time accounting across the transition.
+    match (old, new_status) {
+        (Status::Suspended(_), Status::Suspended(_)) => {} // keep original start
+        (Status::Suspended(_), _) => record_suspend_end(c, cells, w, now),
+        (_, Status::Suspended(_)) => c.suspend_began[w] = Some(now),
+        _ => {}
+    }
+    if matches!(new_status, Status::Ready) && (was_running || !matches!(old, Status::Ready)) {
+        c.ready.push_back(w);
+        cv.notify_one();
+    }
+    if matches!(new_status, Status::Suspended(Some(_))) {
+        // A sleeping scheduler thread may need to adopt this (possibly
+        // earlier) wake deadline.
+        cv.notify_one();
+    }
+    c.status[w] = new_status;
+    let was_pending = was_running || !matches!(old, Status::Inactive);
+    let is_pending = !matches!(new_status, Status::Inactive);
+    match (was_pending, is_pending) {
+        (true, false) => c.pending -= 1,
+        (false, true) => c.pending += 1,
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pie::Messages;
+    use aap_graph::partition::{build_fragments_n, hash_partition};
+    use aap_graph::{GraphBuilder, LocalId};
+
+    /// Minimal min-label propagation (toy CC) for engine-level tests.
+    struct MinLabel;
+
+    impl PieProgram<(), u32> for MinLabel {
+        type Query = ();
+        type Val = u32;
+        type State = Vec<u32>;
+        type Out = Vec<u32>;
+
+        fn combine(&self, a: &mut u32, b: u32) -> bool {
+            if b < *a {
+                *a = b;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn peval(
+            &self,
+            _q: &(),
+            f: &Fragment<(), u32>,
+            ctx: &mut UpdateCtx<u32>,
+        ) -> Vec<u32> {
+            let mut lab: Vec<u32> = (0..f.local_count() as u32).map(|l| f.global(l)).collect();
+            propagate(f, &mut lab, (0..f.local_count() as LocalId).collect(), ctx);
+            lab
+        }
+
+        fn inceval(
+            &self,
+            _q: &(),
+            f: &Fragment<(), u32>,
+            lab: &mut Vec<u32>,
+            msgs: Messages<u32>,
+            ctx: &mut UpdateCtx<u32>,
+        ) {
+            let mut dirty = Vec::new();
+            for (l, v) in msgs {
+                if v < lab[l as usize] {
+                    lab[l as usize] = v;
+                    dirty.push(l);
+                    ctx.note_effective(1);
+                } else {
+                    ctx.note_redundant(1);
+                }
+            }
+            propagate(f, lab, dirty, ctx);
+        }
+
+        fn assemble(
+            &self,
+            _q: &(),
+            frags: &[Arc<Fragment<(), u32>>],
+            states: Vec<Vec<u32>>,
+        ) -> Vec<u32> {
+            let n = frags.iter().map(|f| f.owned_count()).sum();
+            let mut out = vec![0; n];
+            for (f, lab) in frags.iter().zip(states) {
+                for l in f.owned_vertices() {
+                    out[f.global(l) as usize] = lab[l as usize];
+                }
+            }
+            out
+        }
+    }
+
+    fn propagate(
+        f: &Fragment<(), u32>,
+        lab: &mut [u32],
+        mut work: Vec<LocalId>,
+        ctx: &mut UpdateCtx<u32>,
+    ) {
+        let mut changed = std::collections::BTreeSet::new();
+        for &l in &work {
+            if f.is_border(l) {
+                changed.insert(l);
+            }
+        }
+        while let Some(u) = work.pop() {
+            for &v in f.neighbors(u) {
+                if lab[u as usize] < lab[v as usize] {
+                    lab[v as usize] = lab[u as usize];
+                    work.push(v);
+                    if f.is_border(v) {
+                        changed.insert(v);
+                    }
+                }
+            }
+        }
+        for b in changed {
+            ctx.send(b, lab[b as usize]);
+        }
+    }
+
+    fn ring_frags(n: usize, m: usize) -> Vec<Fragment<(), u32>> {
+        let mut b = GraphBuilder::new_undirected(n);
+        for v in 0..n as u32 {
+            b.add_edge(v, (v + 1) % n as u32, 1);
+        }
+        let g = b.build();
+        build_fragments_n(&g, &hash_partition(&g, m), m)
+    }
+
+    #[test]
+    fn one_thread_hosts_many_virtual_workers() {
+        // n (threads) < m (virtual workers): the paper's multiplexed setup.
+        let engine = Engine::new(
+            ring_frags(200, 12),
+            EngineOpts { threads: 1, mode: Mode::aap(), max_rounds: Some(100_000) },
+        );
+        let out = engine.run(&MinLabel, &());
+        assert!(out.out.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_fixpoint() {
+        let expect: Vec<u32> = vec![0; 150];
+        for threads in [1usize, 2, 8, 32] {
+            let engine = Engine::new(
+                ring_frags(150, 6),
+                EngineOpts { threads, mode: Mode::Ap, max_rounds: Some(100_000) },
+            );
+            assert_eq!(engine.run(&MinLabel, &()).out, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn bsp_rounds_are_lockstep() {
+        let engine = Engine::new(
+            ring_frags(300, 5),
+            EngineOpts { threads: 4, mode: Mode::Bsp, max_rounds: Some(100_000) },
+        );
+        let out = engine.run(&MinLabel, &());
+        assert!(out.out.iter().all(|&l| l == 0));
+        // Under supersteps, no worker can be more than the full superstep
+        // count ahead of another that stayed active throughout.
+        let max = out.stats.max_rounds();
+        for w in &out.stats.workers {
+            assert!(w.rounds <= max);
+            assert!(w.rounds >= 1, "every worker ran PEval");
+        }
+    }
+
+    #[test]
+    fn redundant_updates_are_counted() {
+        // A dense ring partitioned finely generates plenty of redundant
+        // min-updates under AP.
+        let engine = Engine::new(
+            ring_frags(400, 8),
+            EngineOpts { threads: 4, mode: Mode::Ap, max_rounds: Some(100_000) },
+        );
+        let out = engine.run(&MinLabel, &());
+        let eff: u64 = out.stats.workers.iter().map(|w| w.effective_updates).sum();
+        assert!(eff > 0, "some updates must have improved labels");
+    }
+
+    #[test]
+    fn empty_engine_terminates() {
+        let engine: Engine<(), u32> = Engine::new(Vec::new(), EngineOpts::default());
+        let out = engine.run(&MinLabel, &());
+        assert!(out.out.is_empty());
+        assert_eq!(out.stats.workers.len(), 0);
+    }
+}

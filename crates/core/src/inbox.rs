@@ -1,0 +1,201 @@
+//! The per-worker message buffer `Bx̄i` of §3.
+//!
+//! Workers receive batches `M(j, i)` at any time and stash them here without
+//! blocking. The *staleness* `ηi` — "the number of messages in buffer
+//! `Bx̄i` received by `Pi` from distinct workers" — is the number of
+//! buffered batches (each batch is one designated message from one worker's
+//! round). Draining applies `faggr` across all buffered values per vertex,
+//! producing the aggregated change set `Mi = faggr(Bx̄i ∪ Ci.x̄)` that
+//! `IncEval` consumes.
+
+use crate::pie::{Batch, Messages, PieProgram, Round};
+use aap_graph::{FragId, Fragment, FxHashMap, FxHashSet};
+
+/// Message buffer for one virtual worker.
+#[derive(Debug)]
+pub struct Inbox<Val> {
+    batches: Vec<Batch<Val>>,
+    /// Total raw updates buffered (for stats).
+    buffered_updates: usize,
+}
+
+impl<Val> Default for Inbox<Val> {
+    fn default() -> Self {
+        Inbox { batches: Vec::new(), buffered_updates: 0 }
+    }
+}
+
+/// Summary of one drain, feeding the δ-function statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainInfo {
+    /// Batches consumed (the staleness `ηi` at drain time).
+    pub batches: usize,
+    /// Raw updates consumed (before `faggr` deduplication).
+    pub raw_updates: usize,
+    /// Distinct sending workers.
+    pub distinct_sources: usize,
+    /// Highest round tag among consumed batches.
+    pub max_round: Round,
+}
+
+impl<Val> Inbox<Val> {
+    /// Buffer one incoming batch. Returns the new staleness `ηi`.
+    pub fn push(&mut self, batch: Batch<Val>) -> usize {
+        self.buffered_updates += batch.updates.len();
+        self.batches.push(batch);
+        self.batches.len()
+    }
+
+    /// Current staleness `ηi` (number of buffered batches).
+    #[inline]
+    pub fn eta(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// True if no messages are buffered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// Raw buffered update count.
+    #[inline]
+    pub fn buffered_updates(&self) -> usize {
+        self.buffered_updates
+    }
+
+    /// Drain everything, combining values per *local* vertex with the
+    /// program's `faggr`. Updates for vertices unknown to `frag` are
+    /// impossible by construction of the routing tables and are rejected in
+    /// debug builds.
+    pub fn drain<V, E, P>(
+        &mut self,
+        prog: &P,
+        frag: &Fragment<V, E>,
+    ) -> (Messages<P::Val>, DrainInfo)
+    where
+        P: PieProgram<V, E, Val = Val> + ?Sized,
+    {
+        let mut map: FxHashMap<aap_graph::LocalId, Val> = FxHashMap::default();
+        let mut sources: FxHashSet<FragId> = FxHashSet::default();
+        let mut max_round = 0;
+        let info_batches = self.batches.len();
+        let info_raw = self.buffered_updates;
+        for batch in self.batches.drain(..) {
+            sources.insert(batch.src);
+            max_round = max_round.max(batch.round);
+            for (g, v) in batch.updates {
+                let Some(l) = frag.local(g) else {
+                    debug_assert!(false, "update for vertex {g} not present in fragment");
+                    continue;
+                };
+                match map.entry(l) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        prog.combine(e.get_mut(), v);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(v);
+                    }
+                }
+            }
+        }
+        self.buffered_updates = 0;
+        let mut msgs: Messages<Val> = map.into_iter().collect();
+        msgs.sort_unstable_by_key(|&(l, _)| l);
+        let info = DrainInfo {
+            batches: info_batches,
+            raw_updates: info_raw,
+            distinct_sources: sources.len(),
+            max_round,
+        };
+        (msgs, info)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aap_graph::partition::build_fragments;
+    use aap_graph::GraphBuilder;
+
+    struct Min;
+    impl PieProgram<(), u32> for Min {
+        type Query = ();
+        type Val = u64;
+        type State = ();
+        type Out = ();
+        fn combine(&self, a: &mut u64, b: u64) -> bool {
+            if b < *a {
+                *a = b;
+                true
+            } else {
+                false
+            }
+        }
+        fn peval(
+            &self,
+            _: &(),
+            _: &Fragment<(), u32>,
+            _: &mut crate::pie::UpdateCtx<u64>,
+        ) {
+        }
+        fn inceval(
+            &self,
+            _: &(),
+            _: &Fragment<(), u32>,
+            _: &mut (),
+            _: Messages<u64>,
+            _: &mut crate::pie::UpdateCtx<u64>,
+        ) {
+        }
+        fn assemble(
+            &self,
+            _: &(),
+            _: &[std::sync::Arc<Fragment<(), u32>>],
+            _: Vec<()>,
+        ) {
+        }
+    }
+
+    fn frag() -> Fragment<(), u32> {
+        let mut b = GraphBuilder::new_undirected(4);
+        b.add_edge(0, 1, 1u32);
+        b.add_edge(1, 2, 1);
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let mut frags = build_fragments(&g, &[0, 0, 1, 1]);
+        frags.swap_remove(1) // fragment 1, owns {2, 3}, mirrors {1}
+    }
+
+    #[test]
+    fn eta_counts_batches_not_updates() {
+        let f = frag();
+        let mut inbox: Inbox<u64> = Inbox::default();
+        inbox.push(Batch { src: 0, round: 1, updates: vec![(2, 5)] });
+        inbox.push(Batch { src: 0, round: 2, updates: vec![(2, 4), (3, 9)] });
+        assert_eq!(inbox.eta(), 2);
+        assert_eq!(inbox.buffered_updates(), 3);
+        let (msgs, info) = inbox.drain(&Min, &f);
+        assert_eq!(info.batches, 2);
+        assert_eq!(info.raw_updates, 3);
+        assert_eq!(info.distinct_sources, 1);
+        assert_eq!(info.max_round, 2);
+        // values combined per-vertex with min
+        let l2 = f.local(2).unwrap();
+        let l3 = f.local(3).unwrap();
+        let mut expect = vec![(l2, 4u64), (l3, 9)];
+        expect.sort_unstable_by_key(|&(l, _)| l);
+        assert_eq!(msgs, expect);
+        assert!(inbox.is_empty());
+        assert_eq!(inbox.eta(), 0);
+    }
+
+    #[test]
+    fn drain_on_empty_is_noop() {
+        let f = frag();
+        let mut inbox: Inbox<u64> = Inbox::default();
+        let (msgs, info) = inbox.drain(&Min, &f);
+        assert!(msgs.is_empty());
+        assert_eq!(info.batches, 0);
+    }
+}

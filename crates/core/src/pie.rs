@@ -1,0 +1,337 @@
+//! The PIE programming model of GRAPE (§2), adopted unchanged by AAP.
+//!
+//! A graph computation is expressed as three *sequential* functions plus two
+//! declarations:
+//!
+//! * [`PieProgram::peval`] — batch partial evaluation over one fragment;
+//! * [`PieProgram::inceval`] — incremental evaluation given message-induced
+//!   changes `Mi` to the update parameters;
+//! * [`PieProgram::assemble`] — collect partial results into the answer;
+//! * update parameters `Ci.x̄` — emitted through [`UpdateCtx::send`];
+//! * the aggregate function `faggr` — [`PieProgram::combine`], used to
+//!   resolve conflicting values for the same parameter, both inside message
+//!   buffers and against local state.
+//!
+//! The engine (threaded or simulated) is generic over this trait; writing a
+//! new algorithm means writing ordinary sequential code against a single
+//! [`Fragment`], exactly the paper's pitch.
+
+use aap_graph::{FragId, Fragment, FxHashMap, LocalId, VertexId};
+
+/// Round identifier. `0` is the `PEval` round; `IncEval` rounds start at 1.
+pub type Round = u32;
+
+/// Collects the changed update parameters produced by one `PEval`/`IncEval`
+/// invocation, before the engine routes them (§3 message passing).
+#[derive(Debug)]
+pub struct UpdateCtx<Val> {
+    updates: Vec<(LocalId, Val)>,
+    local_work: bool,
+    effective: u64,
+    redundant: u64,
+    work: u64,
+}
+
+impl<Val> Default for UpdateCtx<Val> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Val> UpdateCtx<Val> {
+    /// Fresh, empty context (engines create one per round).
+    pub fn new() -> Self {
+        UpdateCtx { updates: Vec::new(), local_work: false, effective: 0, redundant: 0, work: 0 }
+    }
+
+    /// Report that an incoming update improved a parameter (statistics for
+    /// the stale-computation analysis of §7). Optional but recommended.
+    #[inline]
+    pub fn note_effective(&mut self, n: u64) {
+        self.effective += n;
+    }
+
+    /// Report that an incoming update was redundant/stale — it did not
+    /// improve the parameter it targeted.
+    #[inline]
+    pub fn note_redundant(&mut self, n: u64) {
+        self.redundant += n;
+    }
+
+    /// `(effective, redundant)` counters reported so far.
+    pub fn effect_counts(&self) -> (u64, u64) {
+        (self.effective, self.redundant)
+    }
+
+    /// Charge `n` abstract work units (edges relaxed, residual pushes,
+    /// vertices scanned ...). Drives the simulator's work-proportional
+    /// cost model; the threaded engine measures real time and ignores it.
+    #[inline]
+    pub fn charge_work(&mut self, n: u64) {
+        self.work += n;
+    }
+
+    /// Total work units charged this round.
+    pub fn work(&self) -> u64 {
+        self.work
+    }
+
+    /// Record that the status variable of local vertex `l` changed to `v`.
+    /// The engine ships it to every fragment holding a copy of `l`
+    /// (mirror -> owner, owner -> mirrors; see [`Fragment::route`]).
+    #[inline]
+    pub fn send(&mut self, l: LocalId, v: Val) {
+        self.updates.push((l, v));
+    }
+
+    /// Number of updates recorded so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// True if no updates were recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Declare that this worker still has *local* work pending even if no
+    /// messages arrive (used by the vertex-centric adapter, whose supersteps
+    /// exchange purely local messages between rounds).
+    #[inline]
+    pub fn request_local_round(&mut self) {
+        self.local_work = true;
+    }
+
+    /// Consume the context, yielding the recorded updates and the
+    /// local-work flag (engine use).
+    pub fn take(self) -> (Vec<(LocalId, Val)>, bool) {
+        (self.updates, self.local_work)
+    }
+}
+
+/// The aggregated message set `Mi` delivered to one `IncEval` round: per
+/// local vertex, the `faggr`-combination of all buffered values for it.
+pub type Messages<Val> = Vec<(LocalId, Val)>;
+
+/// A PIE program for a query class `Q` (the paper's `ρ = (PEval, IncEval,
+/// Assemble)`).
+///
+/// `Val` is the domain of the update parameters. [`PieProgram::combine`]
+/// must be associative and commutative; for the convergence guarantees of
+/// §4 (conditions T1–T3) it should also be *contracting* with respect to
+/// the program's partial order (e.g. `min`, or monotone accumulation like
+/// `+` over positive deltas).
+pub trait PieProgram<V, E>: Sync {
+    /// The query type (e.g. the source vertex for SSSP).
+    type Query: Clone + Sync;
+    /// Update-parameter value type.
+    type Val: Clone + Send + 'static;
+    /// Per-fragment state (status variables and partial results).
+    type State: Send + 'static;
+    /// The assembled answer `Q(G)`.
+    type Out;
+
+    /// `faggr`: fold `b` into `a`; return `true` iff `a` changed. The
+    /// "changed" bit feeds the redundant/stale-computation statistics.
+    fn combine(&self, a: &mut Self::Val, b: Self::Val) -> bool;
+
+    /// Partial evaluation over one fragment; returns the fragment state and
+    /// emits the initial values of the update parameters.
+    fn peval(
+        &self,
+        q: &Self::Query,
+        frag: &Fragment<V, E>,
+        ctx: &mut UpdateCtx<Self::Val>,
+    ) -> Self::State;
+
+    /// Incremental evaluation: apply the aggregated changes `msgs` to the
+    /// local partial result, emitting further changed parameters.
+    fn inceval(
+        &self,
+        q: &Self::Query,
+        frag: &Fragment<V, E>,
+        state: &mut Self::State,
+        msgs: Messages<Self::Val>,
+        ctx: &mut UpdateCtx<Self::Val>,
+    );
+
+    /// Assemble the final answer from all partial results. `states[i]`
+    /// corresponds to `frags[i]`.
+    fn assemble(
+        &self,
+        q: &Self::Query,
+        frags: &[std::sync::Arc<Fragment<V, E>>],
+        states: Vec<Self::State>,
+    ) -> Self::Out;
+
+    /// Serialized size of one value, for communication accounting. The
+    /// default covers fixed-size values; programs with heap-allocated values
+    /// (e.g. factor vectors in CF) should override it.
+    fn val_bytes(&self, _v: &Self::Val) -> usize {
+        std::mem::size_of::<Self::Val>()
+    }
+}
+
+/// One message batch `M(i, j)`: the changed parameters a worker ships to a
+/// peer at the end of one round (§3, "designated messages").
+#[derive(Debug, Clone)]
+pub struct Batch<Val> {
+    /// Sending fragment.
+    pub src: FragId,
+    /// The round at the sender that produced these values.
+    pub round: Round,
+    /// `(global vertex, value)` pairs.
+    pub updates: Vec<(VertexId, Val)>,
+}
+
+/// Route one round's update set into per-destination batches, returned as
+/// `(destination fragment, batch)` pairs sorted by destination.
+///
+/// Updates for the same destination vertex are pre-combined with `faggr`
+/// so a batch carries at most one value per parameter.
+pub fn route_updates<V, E, P: PieProgram<V, E> + ?Sized>(
+    prog: &P,
+    frag: &Fragment<V, E>,
+    round: Round,
+    updates: Vec<(LocalId, P::Val)>,
+) -> Vec<(FragId, Batch<P::Val>)> {
+    let mut per_dest: FxHashMap<FragId, FxHashMap<VertexId, P::Val>> = FxHashMap::default();
+    for (l, v) in updates {
+        let g = frag.global(l);
+        match frag.route(l) {
+            aap_graph::Route::Owner(o) => {
+                merge(prog, per_dest.entry(o).or_default(), g, v);
+            }
+            aap_graph::Route::Mirrors(ms) => {
+                for (k, &m) in ms.iter().enumerate() {
+                    if k + 1 == ms.len() {
+                        merge(prog, per_dest.entry(m).or_default(), g, v);
+                        break;
+                    }
+                    merge(prog, per_dest.entry(m).or_default(), g, v.clone());
+                }
+            }
+        }
+    }
+    let mut out: Vec<(FragId, Batch<P::Val>)> = per_dest
+        .into_iter()
+        .map(|(dst, map)| {
+            let mut updates: Vec<(VertexId, P::Val)> = map.into_iter().collect();
+            updates.sort_unstable_by_key(|&(g, _)| g);
+            (dst, Batch { src: frag.id(), round, updates })
+        })
+        .collect();
+    // Deterministic order of destinations for reproducible runs.
+    out.sort_unstable_by_key(|&(dst, _)| dst);
+    out
+}
+
+fn merge<V, E, P: PieProgram<V, E> + ?Sized>(
+    prog: &P,
+    map: &mut FxHashMap<VertexId, P::Val>,
+    g: VertexId,
+    v: P::Val,
+) {
+    match map.entry(g) {
+        std::collections::hash_map::Entry::Occupied(mut e) => {
+            prog.combine(e.get_mut(), v);
+        }
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aap_graph::partition::build_fragments;
+    use aap_graph::GraphBuilder;
+    use std::sync::Arc;
+
+    /// Minimal min-propagation program for testing the plumbing.
+    struct MinProg;
+
+    impl PieProgram<(), u32> for MinProg {
+        type Query = ();
+        type Val = u64;
+        type State = ();
+        type Out = ();
+
+        fn combine(&self, a: &mut u64, b: u64) -> bool {
+            if b < *a {
+                *a = b;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn peval(&self, _: &(), _: &Fragment<(), u32>, _: &mut UpdateCtx<u64>) {}
+
+        fn inceval(
+            &self,
+            _: &(),
+            _: &Fragment<(), u32>,
+            _: &mut (),
+            _: Messages<u64>,
+            _: &mut UpdateCtx<u64>,
+        ) {
+        }
+
+        fn assemble(&self, _: &(), _: &[Arc<Fragment<(), u32>>], _: Vec<()>) {}
+    }
+
+    #[test]
+    fn route_combines_duplicates_and_targets_owner() {
+        // path 0-1-2-3 split {0,1} | {2,3}; fragment 0 has a mirror of 2.
+        let mut b = GraphBuilder::new_undirected(4);
+        b.add_edge(0, 1, 1u32);
+        b.add_edge(1, 2, 1);
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let frags = build_fragments(&g, &[0, 0, 1, 1]);
+        let f0 = &frags[0];
+        let m = f0.local(2).unwrap();
+        let batches =
+            route_updates(&MinProg, f0, 3, vec![(m, 9u64), (m, 4), (m, 7)]);
+        assert_eq!(batches.len(), 1);
+        let (dst, b0) = &batches[0];
+        assert_eq!(*dst, 1);
+        assert_eq!(b0.src, 0);
+        assert_eq!(b0.round, 3);
+        assert_eq!(b0.updates, vec![(2u32, 4u64)]);
+    }
+
+    #[test]
+    fn route_owned_border_to_mirror_holders() {
+        let mut b = GraphBuilder::new_undirected(4);
+        b.add_edge(0, 1, 1u32);
+        b.add_edge(1, 2, 1);
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let frags = build_fragments(&g, &[0, 0, 1, 1]);
+        let f0 = &frags[0];
+        let border = f0.local(1).unwrap();
+        let batches = route_updates(&MinProg, f0, 1, vec![(border, 1u64)]);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].0, 1);
+        assert_eq!(batches[0].1.updates, vec![(1u32, 1u64)]);
+    }
+
+    #[test]
+    fn interior_updates_route_nowhere() {
+        let mut b = GraphBuilder::new_undirected(4);
+        b.add_edge(0, 1, 1u32);
+        b.add_edge(1, 2, 1);
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let frags = build_fragments(&g, &[0, 0, 1, 1]);
+        let f0 = &frags[0];
+        let interior = f0.local(0).unwrap();
+        let batches = route_updates(&MinProg, f0, 1, vec![(interior, 1u64)]);
+        assert!(batches.is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Run statistics: response time, communication volume, rounds, and the
+//! stale/redundant-computation measures reported throughout §7.
+
+use serde::Serialize;
+
+/// Per-worker counters, gathered by the engine's statistics collector (§6).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct WorkerStats {
+    /// Rounds executed (PEval counts as round 0).
+    pub rounds: u64,
+    /// Time spent computing (seconds, or virtual units in the simulator).
+    pub compute_time: f64,
+    /// Time spent deliberately suspended by `δ` (delay stretches).
+    pub suspend_time: f64,
+    /// Message batches received.
+    pub batches_in: u64,
+    /// Raw parameter updates received (before `faggr` dedup).
+    pub updates_in: u64,
+    /// Aggregated updates delivered to `IncEval`.
+    pub updates_delivered: u64,
+    /// Message batches sent.
+    pub batches_out: u64,
+    /// Parameter updates sent.
+    pub updates_out: u64,
+    /// Serialized bytes sent (values + per-update key + per-batch header).
+    pub bytes_out: u64,
+    /// Updates that did not improve the receiving parameter — the paper's
+    /// redundant *stale* work (programs report this via `UpdateCtx`).
+    pub redundant_updates: u64,
+    /// Updates that did improve a parameter.
+    pub effective_updates: u64,
+}
+
+/// Aggregate statistics of one run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RunStats {
+    /// Execution mode name ("BSP", "AP", "SSP", "AAP", "Hsync").
+    pub mode: String,
+    /// Wall-clock (threaded) or virtual (simulated) completion time.
+    pub makespan: f64,
+    /// Per-worker counters.
+    pub workers: Vec<WorkerStats>,
+    /// True if the run hit the `max_rounds` safety valve instead of
+    /// reaching a fixpoint.
+    pub aborted: bool,
+}
+
+impl RunStats {
+    /// Total rounds across workers.
+    pub fn total_rounds(&self) -> u64 {
+        self.workers.iter().map(|w| w.rounds).sum()
+    }
+
+    /// Largest per-worker round count (how long the straggler took).
+    pub fn max_rounds(&self) -> u64 {
+        self.workers.iter().map(|w| w.rounds).max().unwrap_or(0)
+    }
+
+    /// Total bytes shipped between workers.
+    pub fn total_bytes(&self) -> u64 {
+        self.workers.iter().map(|w| w.bytes_out).sum()
+    }
+
+    /// Total message batches shipped.
+    pub fn total_batches(&self) -> u64 {
+        self.workers.iter().map(|w| w.batches_out).sum()
+    }
+
+    /// Total parameter updates shipped.
+    pub fn total_updates(&self) -> u64 {
+        self.workers.iter().map(|w| w.updates_out).sum()
+    }
+
+    /// Total compute time across workers.
+    pub fn total_compute(&self) -> f64 {
+        self.workers.iter().map(|w| w.compute_time).sum()
+    }
+
+    /// Fraction of received updates that were redundant (stale), i.e. did
+    /// not improve any parameter.
+    pub fn stale_ratio(&self) -> f64 {
+        let red: u64 = self.workers.iter().map(|w| w.redundant_updates).sum();
+        let eff: u64 = self.workers.iter().map(|w| w.effective_updates).sum();
+        if red + eff == 0 {
+            0.0
+        } else {
+            red as f64 / (red + eff) as f64
+        }
+    }
+
+    /// Total idle time: makespan × workers − compute − suspend.
+    pub fn total_idle(&self) -> f64 {
+        let busy: f64 = self.workers.iter().map(|w| w.compute_time + w.suspend_time).sum();
+        (self.makespan * self.workers.len() as f64 - busy).max(0.0)
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:>5}: time {:>10.3}  rounds(max) {:>5}  rounds(total) {:>7}  msgs {:>9}  bytes {:>12}  stale {:>5.1}%",
+            self.mode,
+            self.makespan,
+            self.max_rounds(),
+            self.total_rounds(),
+            self.total_updates(),
+            self.total_bytes(),
+            100.0 * self.stale_ratio(),
+        )
+    }
+}
+
+/// Per-update-key overhead used for byte accounting: 4-byte vertex id +
+/// 4-byte round tag (matching the paper's `(x, val, r)` triples).
+pub const UPDATE_KEY_BYTES: usize = 8;
+
+/// Per-batch header overhead: source, destination, round, length.
+pub const BATCH_HEADER_BYTES: usize = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let mut s =
+            RunStats { mode: "AAP".into(), makespan: 2.0, workers: vec![], aborted: false };
+        for i in 0..3u64 {
+            s.workers.push(WorkerStats {
+                rounds: i + 1,
+                bytes_out: 100 * i,
+                updates_out: 10,
+                redundant_updates: 5,
+                effective_updates: 15,
+                compute_time: 1.0,
+                ..WorkerStats::default()
+            });
+        }
+        assert_eq!(s.total_rounds(), 6);
+        assert_eq!(s.max_rounds(), 3);
+        assert_eq!(s.total_bytes(), 300);
+        assert_eq!(s.total_updates(), 30);
+        assert!((s.stale_ratio() - 0.25).abs() < 1e-12);
+        assert!((s.total_idle() - (6.0 - 3.0)).abs() < 1e-12);
+        assert!(s.summary().contains("AAP"));
+    }
+
+    #[test]
+    fn empty_run_is_sane() {
+        let s = RunStats::default();
+        assert_eq!(s.total_rounds(), 0);
+        assert_eq!(s.stale_ratio(), 0.0);
+    }
+}

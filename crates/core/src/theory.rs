@@ -1,0 +1,131 @@
+//! Executable counterparts of the §4 convergence conditions.
+//!
+//! The paper proves (Thms 1–2) that a PIE program terminates and has the
+//! Church–Rosser property under:
+//!
+//! * **T1** — update parameters range over a finite domain;
+//! * **T2** — `IncEval` is *contracting* w.r.t. a partial order on partial
+//!   results;
+//! * **T3** — `IncEval` is *monotonic*.
+//!
+//! These are properties of programs, not of the engine, so they cannot be
+//! checked fully automatically; what we can do — and what this module does —
+//! is (a) let programs declare their partial order and have runs *assert*
+//! per-round contraction, and (b) empirically verify Church–Rosser by
+//! running the same query under many execution modes/schedules and
+//! comparing fixpoints.
+
+use crate::engine::{Engine, EngineOpts};
+use crate::pie::PieProgram;
+use crate::policy::{AapConfig, Mode};
+
+/// A partial order on a program's per-vertex values, used by contraction
+/// checks (T2). `Some(Less)` means "strictly better / later in the
+/// computation" under the program's order `⪯`.
+pub trait ValueOrder {
+    /// The value type being ordered.
+    type Val;
+    /// Compare old vs new value. Contraction requires every accepted update
+    /// to move values monotonically in one direction (`new ⪯ old`).
+    fn leq(&self, new: &Self::Val, old: &Self::Val) -> bool;
+}
+
+/// Outcome of a Church–Rosser experiment.
+#[derive(Debug)]
+pub struct ChurchRosserReport {
+    /// Number of runs executed.
+    pub runs: usize,
+    /// Whether every run agreed with the first.
+    pub all_equal: bool,
+    /// Modes that disagreed, if any.
+    pub disagreements: Vec<String>,
+}
+
+/// Run `prog` under a spread of modes (BSP, AP, SSP with several bounds,
+/// AAP with several floors, Hsync) and check that every run converges to
+/// the same output — the empirical Church–Rosser property of Theorem 2.
+///
+/// `fragments` is a factory because the engine consumes a fragment vector
+/// per engine; `eq` compares outputs (allowing tolerance for float work).
+pub fn church_rosser_check<V, E, P, FF, EQ>(
+    prog: &P,
+    q: &P::Query,
+    fragments: FF,
+    threads: usize,
+    eq: EQ,
+) -> ChurchRosserReport
+where
+    V: Send + Sync,
+    E: Send + Sync,
+    P: PieProgram<V, E>,
+    FF: Fn() -> Vec<aap_graph::Fragment<V, E>>,
+    EQ: Fn(&P::Out, &P::Out) -> bool,
+{
+    let modes: Vec<Mode> = vec![
+        Mode::Bsp,
+        Mode::Ap,
+        Mode::Ssp { c: 1 },
+        Mode::Ssp { c: 4 },
+        Mode::aap(),
+        Mode::aap_with_floor(2.0),
+        Mode::Aap(AapConfig { staleness_bound: Some(2), ..AapConfig::default() }),
+        Mode::Hsync(crate::policy::HsyncConfig::default()),
+    ];
+    let mut reference: Option<P::Out> = None;
+    let mut disagreements = Vec::new();
+    let runs = modes.len();
+    for mode in modes {
+        let name = format!("{mode:?}");
+        let engine = Engine::new(
+            fragments(),
+            EngineOpts { threads, mode, max_rounds: Some(1_000_000) },
+        );
+        let out = engine.run(prog, q).out;
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => {
+                if !eq(r, &out) {
+                    disagreements.push(name);
+                }
+            }
+        }
+    }
+    ChurchRosserReport { runs, all_equal: disagreements.is_empty(), disagreements }
+}
+
+/// Assert that a sequence of accepted values for one parameter is a chain
+/// under the program's order — the observable consequence of T2. Returns
+/// the index of the first violation, if any.
+pub fn check_contraction<O: ValueOrder>(order: &O, history: &[O::Val]) -> Option<usize> {
+    history.windows(2).position(|w| !order.leq(&w[1], &w[0])).map(|i| i + 1)
+}
+
+/// T1 helper: assert that a value domain is finite by bounding the number
+/// of distinct values a parameter may take. Programs over vertex ids or
+/// bounded integers satisfy this trivially; float programs (PageRank, CF)
+/// satisfy it up to their convergence threshold, which is the paper's own
+/// argument for PageRank termination (§5.3).
+pub fn finite_domain_bound(num_vertices: usize) -> u64 {
+    num_vertices as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct MinOrder;
+    impl ValueOrder for MinOrder {
+        type Val = u64;
+        fn leq(&self, new: &u64, old: &u64) -> bool {
+            new <= old
+        }
+    }
+
+    #[test]
+    fn contraction_detects_violation() {
+        assert_eq!(check_contraction(&MinOrder, &[5, 4, 4, 2]), None);
+        assert_eq!(check_contraction(&MinOrder, &[5, 6]), Some(1));
+        assert_eq!(check_contraction(&MinOrder, &[5, 3, 4]), Some(2));
+        assert_eq!(check_contraction(&MinOrder, &[]), None);
+    }
+}

@@ -1,0 +1,141 @@
+//! Incremental construction of CSR graphs from edge lists.
+
+use crate::graph::Graph;
+use crate::VertexId;
+
+/// Builds a [`Graph`] from an edge list.
+///
+/// Edges are buffered, sorted by `(src, dst)` and packed into CSR arrays in
+/// one pass, so adjacency lists come out sorted by target id — fragment
+/// construction and tests rely on that determinism.
+pub struct GraphBuilder<V = (), E = ()> {
+    directed: bool,
+    node_data: Vec<V>,
+    edges: Vec<(VertexId, VertexId, E)>,
+}
+
+impl<E> GraphBuilder<(), E> {
+    /// A directed graph with `n` vertices and unit node data.
+    pub fn new_directed(n: usize) -> Self {
+        Self::with_node_data(true, vec![(); n])
+    }
+
+    /// An undirected graph with `n` vertices and unit node data. Each added
+    /// edge is stored in both directions.
+    pub fn new_undirected(n: usize) -> Self {
+        Self::with_node_data(false, vec![(); n])
+    }
+}
+
+impl<V, E> GraphBuilder<V, E> {
+    /// Build with explicit per-vertex node data.
+    pub fn with_node_data(directed: bool, node_data: Vec<V>) -> Self {
+        GraphBuilder { directed, node_data, edges: Vec::new() }
+    }
+
+    /// Number of vertices declared so far.
+    pub fn num_vertices(&self) -> usize {
+        self.node_data.len()
+    }
+
+    /// Number of logical edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add one edge. For undirected graphs the reverse direction is added
+    /// automatically at build time.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId, data: E) {
+        assert!(
+            (src as usize) < self.node_data.len() && (dst as usize) < self.node_data.len(),
+            "edge ({src}, {dst}) out of range for {} vertices",
+            self.node_data.len()
+        );
+        self.edges.push((src, dst, data));
+    }
+
+    /// Reserve capacity for `extra` more edges.
+    pub fn reserve_edges(&mut self, extra: usize) {
+        self.edges.reserve(extra);
+    }
+}
+
+impl<V, E: Clone> GraphBuilder<V, E> {
+    /// Finish building.
+    pub fn build(self) -> Graph<V, E> {
+        let n = self.node_data.len();
+        let mut all = self.edges;
+        if !self.directed {
+            let doubled: Vec<_> = all.iter().map(|(s, d, e)| (*d, *s, e.clone())).collect();
+            all.extend(doubled);
+        }
+        all.sort_unstable_by_key(|&(s, d, _)| ((s as u64) << 32) | d as u64);
+        let m = all.len();
+        let mut offsets = vec![0usize; n + 1];
+        let mut targets = Vec::with_capacity(m);
+        let mut edge_data = Vec::with_capacity(m);
+        for (s, d, e) in all {
+            offsets[s as usize + 1] += 1;
+            targets.push(d);
+            edge_data.push(e);
+        }
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
+        }
+        Graph::from_parts(self.directed, self.node_data, offsets, targets, edge_data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacency_sorted() {
+        let mut b = GraphBuilder::new_directed(4);
+        b.add_edge(0, 3, 3u32);
+        b.add_edge(0, 1, 1);
+        b.add_edge(0, 2, 2);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.edge_data(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new_directed(2);
+        b.add_edge(0, 2, ());
+    }
+
+    #[test]
+    fn parallel_edges_kept() {
+        let mut b = GraphBuilder::new_directed(2);
+        b.add_edge(0, 1, 1u32);
+        b.add_edge(0, 1, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_data(0), &[1, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let b: GraphBuilder<(), ()> = GraphBuilder::new_directed(0);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn undirected_degree_counts_both_sides() {
+        let mut b = GraphBuilder::new_undirected(3);
+        b.add_edge(0, 1, ());
+        b.add_edge(1, 2, ());
+        let g = b.build();
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.num_edges(), 4);
+    }
+}

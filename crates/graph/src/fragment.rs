@@ -1,0 +1,399 @@
+//! GRAPE fragments: the per-worker view of a partitioned graph.
+//!
+//! Following §2 of the paper, a strategy `P` partitions `G` into fragments
+//! `F = (F1, ..., Fm)`. For an **edge-cut** partition, a cut edge `u -> v`
+//! with `u ∈ Fi`, `v ∈ Fj` is stored on the *source* side: `Fi` holds a
+//! **mirror** copy of `v` (so `v ∈ Fi.O`), while `Fj` records that its owned
+//! vertex `v` has an incoming cross edge (`v ∈ Fj.I`). For undirected graphs
+//! every logical edge is stored in both directions, so the symmetric cut
+//! edge lives at `Fj` with a mirror of `u` — exactly the replication the
+//! paper's CC example relies on.
+//!
+//! The border-node sets of the paper map onto this type as follows:
+//!
+//! * `Fi.I`  — [`Fragment::inner_in`]: owned vertices with an incoming cut
+//!   edge (these receive messages).
+//! * `Fi.O'` — [`Fragment::inner_out`]: owned vertices with an outgoing cut
+//!   edge.
+//! * `Fi.O`  — the mirror vertices (locals `owned_count()..local_count()`).
+//! * `Fi.I'` — in-mirrors; with source-side edge storage these are not
+//!   materialised as vertices, but [`Fragment::mirror_holders`] records, for
+//!   every owned border vertex, which fragments hold a copy of it.
+//!
+//! Message routing (see `aap-core`) uses [`Fragment::route`]: an update on a
+//! mirror travels to its owner; an update on an owned border vertex travels
+//! to every fragment mirroring it.
+
+use crate::{FragId, FxHashMap, Graph, LocalId, VertexId};
+
+/// Where an updated status variable must be shipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route<'a> {
+    /// The vertex is a mirror; ship to the owning fragment.
+    Owner(FragId),
+    /// The vertex is owned; ship to every fragment holding a copy.
+    Mirrors(&'a [FragId]),
+}
+
+/// One fragment `Fi` of a partitioned graph, resident at virtual worker `Pi`.
+///
+/// Local vertex ids are dense: owned vertices first (`0..owned_count()`,
+/// sorted by global id), then mirrors (`owned_count()..local_count()`, also
+/// sorted by global id). Mirrors created by edge-cut partitioning carry no
+/// out-edges; vertex-cut copies may.
+#[derive(Debug, Clone)]
+pub struct Fragment<V = (), E = ()> {
+    id: FragId,
+    num_frags: u16,
+    vertex_cut: bool,
+    graph: Graph<V, E>,
+    globals: Vec<VertexId>,
+    g2l: FxHashMap<VertexId, LocalId>,
+    owned: usize,
+    inner_in: Vec<LocalId>,
+    inner_out: Vec<LocalId>,
+    mirror_owner: Vec<FragId>,
+    /// CSR over owned locals: fragments holding a copy of each owned vertex.
+    holder_offsets: Vec<u32>,
+    holders: Vec<FragId>,
+}
+
+#[allow(clippy::too_many_arguments)]
+impl<V, E> Fragment<V, E> {
+    pub(crate) fn from_parts(
+        id: FragId,
+        num_frags: u16,
+        vertex_cut: bool,
+        graph: Graph<V, E>,
+        globals: Vec<VertexId>,
+        owned: usize,
+        inner_in: Vec<LocalId>,
+        inner_out: Vec<LocalId>,
+        mirror_owner: Vec<FragId>,
+        holder_offsets: Vec<u32>,
+        holders: Vec<FragId>,
+    ) -> Self {
+        debug_assert_eq!(graph.num_vertices(), globals.len());
+        debug_assert_eq!(globals.len() - owned, mirror_owner.len());
+        debug_assert_eq!(holder_offsets.len(), owned + 1);
+        let mut g2l = FxHashMap::default();
+        g2l.reserve(globals.len());
+        for (l, &g) in globals.iter().enumerate() {
+            g2l.insert(g, l as LocalId);
+        }
+        Fragment {
+            id,
+            num_frags,
+            vertex_cut,
+            graph,
+            globals,
+            g2l,
+            owned,
+            inner_in,
+            inner_out,
+            mirror_owner,
+            holder_offsets,
+            holders,
+        }
+    }
+
+    /// This fragment's id (`i` of `Fi`).
+    #[inline]
+    pub fn id(&self) -> FragId {
+        self.id
+    }
+
+    /// Total number of fragments in the partition.
+    #[inline]
+    pub fn num_frags(&self) -> u16 {
+        self.num_frags
+    }
+
+    /// True if this fragment came from a vertex-cut partition (copies carry
+    /// edges; owned border values must be broadcast to copies).
+    #[inline]
+    pub fn is_vertex_cut(&self) -> bool {
+        self.vertex_cut
+    }
+
+    /// Number of vertices owned by this fragment.
+    #[inline]
+    pub fn owned_count(&self) -> usize {
+        self.owned
+    }
+
+    /// Number of local vertices (owned + mirrors).
+    #[inline]
+    pub fn local_count(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Number of mirror vertices.
+    #[inline]
+    pub fn mirror_count(&self) -> usize {
+        self.globals.len() - self.owned
+    }
+
+    /// Number of locally stored directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Global id of local vertex `l`.
+    #[inline]
+    pub fn global(&self, l: LocalId) -> VertexId {
+        self.globals[l as usize]
+    }
+
+    /// All global ids, indexed by local id.
+    #[inline]
+    pub fn globals(&self) -> &[VertexId] {
+        &self.globals
+    }
+
+    /// Local id of global vertex `g`, if present in this fragment.
+    #[inline]
+    pub fn local(&self, g: VertexId) -> Option<LocalId> {
+        self.g2l.get(&g).copied()
+    }
+
+    /// Whether local vertex `l` is owned (as opposed to a mirror).
+    #[inline]
+    pub fn is_owned(&self, l: LocalId) -> bool {
+        (l as usize) < self.owned
+    }
+
+    /// Owning fragment of a local vertex.
+    #[inline]
+    pub fn owner(&self, l: LocalId) -> FragId {
+        if self.is_owned(l) {
+            self.id
+        } else {
+            self.mirror_owner[l as usize - self.owned]
+        }
+    }
+
+    /// Out-neighbours (local ids) of local vertex `l`.
+    #[inline]
+    pub fn neighbors(&self, l: LocalId) -> &[LocalId] {
+        self.graph.neighbors(l)
+    }
+
+    /// Edge data parallel to [`Fragment::neighbors`].
+    #[inline]
+    pub fn edge_data(&self, l: LocalId) -> &[E] {
+        self.graph.edge_data(l)
+    }
+
+    /// Iterate `(neighbor, &edge_data)` of local vertex `l`.
+    #[inline]
+    pub fn edges(&self, l: LocalId) -> impl Iterator<Item = (LocalId, &E)> + '_ {
+        self.graph.edges(l)
+    }
+
+    /// Node data of local vertex `l`.
+    #[inline]
+    pub fn node(&self, l: LocalId) -> &V {
+        self.graph.node(l)
+    }
+
+    /// The local adjacency structure as a [`Graph`] over local ids.
+    #[inline]
+    pub fn local_graph(&self) -> &Graph<V, E> {
+        &self.graph
+    }
+
+    /// `Fi.I`: owned vertices with an incoming cut edge. Incoming messages
+    /// target these (and, for vertex-cut partitions, owned copies).
+    #[inline]
+    pub fn inner_in(&self) -> &[LocalId] {
+        &self.inner_in
+    }
+
+    /// `Fi.O'`: owned vertices with an outgoing cut edge.
+    #[inline]
+    pub fn inner_out(&self) -> &[LocalId] {
+        &self.inner_out
+    }
+
+    /// Iterate the mirror vertices (`Fi.O`) as local ids.
+    #[inline]
+    pub fn mirrors(&self) -> impl Iterator<Item = LocalId> + '_ {
+        (self.owned as LocalId)..(self.globals.len() as LocalId)
+    }
+
+    /// Fragments holding a copy of *owned* vertex `l` (empty for
+    /// non-border vertices).
+    #[inline]
+    pub fn mirror_holders(&self, l: LocalId) -> &[FragId] {
+        debug_assert!(self.is_owned(l));
+        let i = l as usize;
+        &self.holders[self.holder_offsets[i] as usize..self.holder_offsets[i + 1] as usize]
+    }
+
+    /// Routing of an update to the status variable of local vertex `l`
+    /// (§3: point-to-point push-based message passing).
+    #[inline]
+    pub fn route(&self, l: LocalId) -> Route<'_> {
+        if self.is_owned(l) {
+            Route::Mirrors(self.mirror_holders(l))
+        } else {
+            Route::Owner(self.mirror_owner[l as usize - self.owned])
+        }
+    }
+
+    /// True if the vertex is a border node in the sense of §2 (has an
+    /// adjacent cross edge or a copy in another fragment).
+    #[inline]
+    pub fn is_border(&self, l: LocalId) -> bool {
+        if self.is_owned(l) {
+            !self.mirror_holders(l).is_empty()
+                || self.inner_in.binary_search(&l).is_ok()
+                || self.inner_out.binary_search(&l).is_ok()
+        } else {
+            true
+        }
+    }
+
+    /// Iterate owned local ids.
+    #[inline]
+    pub fn owned_vertices(&self) -> impl Iterator<Item = LocalId> {
+        0..(self.owned as LocalId)
+    }
+
+    /// Iterate all local ids.
+    #[inline]
+    pub fn local_vertices(&self) -> impl Iterator<Item = LocalId> {
+        0..(self.globals.len() as LocalId)
+    }
+}
+
+/// Summary statistics of a partition, used by the skewness experiments
+/// (Fig 6(k)) and reported by the harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionStats {
+    /// Owned vertices per fragment.
+    pub owned: Vec<usize>,
+    /// Stored edges per fragment.
+    pub edges: Vec<usize>,
+    /// Mirrors per fragment.
+    pub mirrors: Vec<usize>,
+    /// Number of cut (cross-fragment) directed edges.
+    pub cut_edges: usize,
+    /// `‖Fmax‖ / ‖Fmedian‖` over stored edges — the skew measure `r` of §7.
+    pub skew_r: f64,
+    /// Average copies per vertex (1.0 means no replication).
+    pub replication_factor: f64,
+}
+
+/// Compute [`PartitionStats`] for a set of fragments.
+pub fn partition_stats<V, E>(frags: &[Fragment<V, E>]) -> PartitionStats {
+    let owned: Vec<usize> = frags.iter().map(|f| f.owned_count()).collect();
+    let edges: Vec<usize> = frags.iter().map(|f| f.edge_count()).collect();
+    let mirrors: Vec<usize> = frags.iter().map(|f| f.mirror_count()).collect();
+    let cut_edges = frags
+        .iter()
+        .map(|f| {
+            f.local_vertices()
+                .flat_map(|l| f.neighbors(l))
+                .filter(|&&t| !f.is_owned(t))
+                .count()
+        })
+        .sum();
+    let mut sorted = edges.clone();
+    sorted.sort_unstable();
+    let max = *sorted.last().unwrap_or(&0) as f64;
+    let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0) as f64;
+    let skew_r = if median > 0.0 { max / median } else { 1.0 };
+    let total_owned: usize = owned.iter().sum();
+    let total_local: usize = frags.iter().map(|f| f.local_count()).sum();
+    let replication_factor =
+        if total_owned > 0 { total_local as f64 / total_owned as f64 } else { 1.0 };
+    PartitionStats { owned, edges, mirrors, cut_edges, skew_r, replication_factor }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::partition::{build_fragments, hash_partition};
+    use crate::{GraphBuilder, Route};
+
+    /// Path 0-1-2-3 split as {0,1} / {2,3}.
+    fn two_frag_path() -> Vec<crate::Fragment<(), u32>> {
+        let mut b = GraphBuilder::new_undirected(4);
+        b.add_edge(0, 1, 1u32);
+        b.add_edge(1, 2, 1);
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let assignment = vec![0u16, 0, 1, 1];
+        build_fragments(&g, &assignment)
+    }
+
+    #[test]
+    fn border_sets_of_path() {
+        let frags = two_frag_path();
+        let f0 = &frags[0];
+        let f1 = &frags[1];
+        assert_eq!(f0.owned_count(), 2);
+        assert_eq!(f0.mirror_count(), 1); // mirror of 2
+        assert_eq!(f1.owned_count(), 2);
+        assert_eq!(f1.mirror_count(), 1); // mirror of 1
+
+        // Fi.I / Fi.O' of fragment 0 are both {1} (undirected cut edge 1-2).
+        let inner_in: Vec<_> = f0.inner_in().iter().map(|&l| f0.global(l)).collect();
+        let inner_out: Vec<_> = f0.inner_out().iter().map(|&l| f0.global(l)).collect();
+        assert_eq!(inner_in, vec![1]);
+        assert_eq!(inner_out, vec![1]);
+
+        // The mirror of global 2 at fragment 0 routes to owner 1.
+        let m = f0.local(2).unwrap();
+        assert!(!f0.is_owned(m));
+        assert_eq!(f0.route(m), Route::Owner(1));
+
+        // Owned border vertex 1 at fragment 0 is mirrored at fragment 1.
+        let b = f0.local(1).unwrap();
+        assert_eq!(f0.route(b), Route::Mirrors(&[1]));
+        assert!(f0.is_border(b));
+        assert!(!f0.is_border(f0.local(0).unwrap()));
+    }
+
+    #[test]
+    fn mirrors_have_no_out_edges_in_edge_cut() {
+        let frags = two_frag_path();
+        for f in &frags {
+            for m in f.mirrors() {
+                assert!(f.neighbors(m).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn globals_partition_the_vertex_set() {
+        let mut b = GraphBuilder::new_undirected(50);
+        for v in 0..50u32 {
+            b.add_edge(v, (v + 7) % 50, 1u32);
+        }
+        let g = b.build();
+        let assignment = hash_partition(&g, 4);
+        let frags = build_fragments(&g, &assignment);
+        let mut seen = [false; 50];
+        for f in &frags {
+            for l in f.owned_vertices() {
+                let gid = f.global(l) as usize;
+                assert!(!seen[gid], "vertex owned twice");
+                seen[gid] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn partition_stats_sane() {
+        let frags = two_frag_path();
+        let stats = super::partition_stats(&frags);
+        assert_eq!(stats.owned, vec![2, 2]);
+        assert_eq!(stats.cut_edges, 2); // 1->2 at f0, 2->1 at f1
+        assert!(stats.replication_factor > 1.0);
+        assert!(stats.skew_r >= 1.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! A minimal re-implementation of the well-known `FxHash` algorithm used by
+//! rustc: a fast, non-cryptographic multiplicative hash.
+//!
+//! The external `rustc-hash` crate is not on the allowed dependency list for
+//! this project, and the standard SipHash hasher is measurably slow for the
+//! integer keys (vertex ids) that dominate our hot paths, so we carry this
+//! ~40-line implementation ourselves.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx hasher state.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Hash a single `u64` with a splitmix64 finalizer. Unlike the raw Fx mix,
+/// every output bit depends on every input bit, so `hash_u64(v) % m` is safe
+/// for partitioning decisions.
+#[inline]
+pub fn hash_u64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn deterministic() {
+        let b = FxBuildHasher::default();
+        assert_eq!(b.hash_one(42u64), b.hash_one(42u64));
+        assert_ne!(b.hash_one(42u64), b.hash_one(43u64));
+    }
+
+    #[test]
+    fn spreads_small_integers() {
+        // hash_u64 must spread consecutive ids across both high and low bits.
+        let mut hi = std::collections::HashSet::new();
+        let mut lo = std::collections::HashSet::new();
+        for i in 0..1024u64 {
+            hi.insert(hash_u64(i) >> 54);
+            lo.insert(hash_u64(i) & 1023);
+        }
+        assert!(hi.len() > 512, "only {} high buckets", hi.len());
+        assert!(lo.len() > 512, "only {} low buckets", lo.len());
+    }
+
+    #[test]
+    fn hash_u64_mixes() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(hash_u64(i) % 97);
+        }
+        assert_eq!(seen.len(), 97);
+    }
+}

@@ -1,0 +1,211 @@
+//! Compressed sparse row (CSR) property graphs.
+//!
+//! `Graph<V, E>` stores a directed adjacency structure; undirected graphs
+//! are represented by storing every edge in both directions and setting the
+//! [`Graph::is_directed`] flag to `false`, which matches how the paper's
+//! fragments treat undirected cut edges (each endpoint sees the edge).
+
+use crate::VertexId;
+
+/// An immutable CSR graph with node data `V` and edge data `E`.
+///
+/// Vertices are dense identifiers `0..n`. Out-edges of vertex `v` occupy the
+/// slice `targets[offsets[v]..offsets[v + 1]]` (and the parallel slice of
+/// `edge_data`).
+#[derive(Clone, Debug)]
+pub struct Graph<V = (), E = ()> {
+    directed: bool,
+    node_data: Vec<V>,
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    edge_data: Vec<E>,
+}
+
+impl<V, E> Graph<V, E> {
+    pub(crate) fn from_parts(
+        directed: bool,
+        node_data: Vec<V>,
+        offsets: Vec<usize>,
+        targets: Vec<VertexId>,
+        edge_data: Vec<E>,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), node_data.len() + 1);
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), targets.len());
+        debug_assert_eq!(targets.len(), edge_data.len());
+        Graph { directed, node_data, offsets, targets, edge_data }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.node_data.len()
+    }
+
+    /// Number of *stored* directed edges. For an undirected graph this is
+    /// twice the number of logical edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the graph is directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Out-neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Edge data parallel to [`Graph::neighbors`].
+    #[inline]
+    pub fn edge_data(&self, v: VertexId) -> &[E] {
+        &self.edge_data[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Iterate `(target, &edge_data)` pairs of the out-edges of `v`.
+    #[inline]
+    pub fn edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, &E)> + '_ {
+        self.neighbors(v).iter().copied().zip(self.edge_data(v).iter())
+    }
+
+    /// Node data of `v`.
+    #[inline]
+    pub fn node(&self, v: VertexId) -> &V {
+        &self.node_data[v as usize]
+    }
+
+    /// Mutable node data of `v`.
+    #[inline]
+    pub fn node_mut(&mut self, v: VertexId) -> &mut V {
+        &mut self.node_data[v as usize]
+    }
+
+    /// All node data, indexed by vertex id.
+    #[inline]
+    pub fn nodes(&self) -> &[V] {
+        &self.node_data
+    }
+
+    /// Iterate all vertices.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.node_data.len() as VertexId
+    }
+
+    /// Iterate every stored directed edge as `(src, dst, &data)`.
+    pub fn all_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, &E)> + '_ {
+        self.vertices().flat_map(move |v| self.edges(v).map(move |(t, d)| (v, t, d)))
+    }
+
+    /// Total bytes of the topology arrays (rough memory accounting).
+    pub fn topology_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+            + self.edge_data.len() * std::mem::size_of::<E>()
+    }
+}
+
+impl<V: Clone, E: Clone> Graph<V, E> {
+    /// Reverse graph: every edge `u -> v` becomes `v -> u`. Node data is
+    /// preserved; edge data is cloned onto the reversed edge.
+    pub fn reverse(&self) -> Self {
+        let n = self.num_vertices();
+        let mut deg = vec![0usize; n + 1];
+        for &t in &self.targets {
+            deg[t as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            deg[i] += deg[i - 1];
+        }
+        let offsets = deg.clone();
+        let mut cursor = deg;
+        let mut targets = vec![0 as VertexId; self.targets.len()];
+        let mut edge_data: Vec<E> = Vec::with_capacity(self.edge_data.len());
+        // SAFETY-free two pass fill: place edges by cursor.
+        // We need edge_data aligned with targets, so fill via Option slots.
+        let mut slots: Vec<Option<E>> = vec![None; self.edge_data.len()];
+        for (u, v, d) in self.all_edges() {
+            let slot = cursor[v as usize];
+            cursor[v as usize] += 1;
+            targets[slot] = u;
+            slots[slot] = Some(d.clone());
+        }
+        for s in slots {
+            edge_data.push(s.expect("every slot filled"));
+        }
+        Graph::from_parts(self.directed, self.node_data.clone(), offsets, targets, edge_data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    #[test]
+    fn csr_basics() {
+        let mut b = GraphBuilder::new_directed(4);
+        b.add_edge(0, 1, 10u32);
+        b.add_edge(0, 2, 20);
+        b.add_edge(2, 3, 30);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.edge_data(0), &[10, 20]);
+        assert_eq!(g.degree(1), 0);
+        assert_eq!(g.neighbors(2), &[3]);
+        assert!(g.is_directed());
+    }
+
+    #[test]
+    fn undirected_stores_both_directions() {
+        let mut b = GraphBuilder::new_undirected(3);
+        b.add_edge(0, 1, 5u32);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.edge_data(1), &[5]);
+        assert!(!g.is_directed());
+    }
+
+    #[test]
+    fn reverse_roundtrip() {
+        let mut b = GraphBuilder::new_directed(5);
+        b.add_edge(0, 4, 1u32);
+        b.add_edge(1, 4, 2);
+        b.add_edge(4, 2, 3);
+        let g = b.build();
+        let r = g.reverse();
+        assert_eq!(r.neighbors(4), &[0, 1]);
+        assert_eq!(r.neighbors(2), &[4]);
+        let rr = r.reverse();
+        for v in g.vertices() {
+            let mut a: Vec<_> = g.edges(v).map(|(t, d)| (t, *d)).collect();
+            let mut b: Vec<_> = rr.edges(v).map(|(t, d)| (t, *d)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn all_edges_enumerates_everything() {
+        let mut b = GraphBuilder::new_directed(3);
+        b.add_edge(0, 1, ());
+        b.add_edge(1, 2, ());
+        b.add_edge(2, 0, ());
+        let g = b.build();
+        assert_eq!(g.all_edges().count(), 3);
+    }
+}

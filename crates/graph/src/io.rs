@@ -1,0 +1,131 @@
+//! Plain-text edge-list I/O.
+//!
+//! Format: one edge per line, `src dst [weight]`, `#`-prefixed comments
+//! ignored — the format used by SNAP datasets such as Friendster, so real
+//! datasets can be dropped in when available.
+
+use crate::{Graph, GraphBuilder, VertexId};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based number and content.
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse(line, s) => write!(f, "parse error at line {line}: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Read a weighted edge list from any reader. Missing weights default to 1.
+/// The vertex count is `max id + 1`.
+pub fn read_edge_list<R: Read>(reader: R, directed: bool) -> Result<Graph<(), u32>, IoError> {
+    let mut edges: Vec<(VertexId, VertexId, u32)> = Vec::new();
+    let mut max_id: u64 = 0;
+    let buf = BufReader::new(reader);
+    for (i, line) in buf.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |s: Option<&str>| -> Option<u64> { s.and_then(|x| x.parse().ok()) };
+        let (u, v) = match (parse(it.next()), parse(it.next())) {
+            (Some(u), Some(v)) => (u, v),
+            _ => return Err(IoError::Parse(i + 1, line.clone())),
+        };
+        let w = match it.next() {
+            None => 1u32,
+            Some(s) => s.parse().map_err(|_| IoError::Parse(i + 1, line.clone()))?,
+        };
+        max_id = max_id.max(u).max(v);
+        edges.push((u as VertexId, v as VertexId, w));
+    }
+    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let mut b = GraphBuilder::with_node_data(directed, vec![(); n]);
+    b.reserve_edges(edges.len());
+    for (u, v, w) in edges {
+        b.add_edge(u, v, w);
+    }
+    Ok(b.build())
+}
+
+/// Load an edge list from a file path.
+pub fn load_edge_list<P: AsRef<Path>>(path: P, directed: bool) -> Result<Graph<(), u32>, IoError> {
+    read_edge_list(std::fs::File::open(path)?, directed)
+}
+
+/// Write a graph as an edge list (one stored directed edge per line).
+pub fn write_edge_list<W: Write, V, E: std::fmt::Display>(
+    g: &Graph<V, E>,
+    writer: W,
+) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# {} vertices, {} stored edges", g.num_vertices(), g.num_edges())?;
+    for (u, v, d) in g.all_edges() {
+        writeln!(w, "{u} {v} {d}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let input = "# comment\n0 1 5\n1 2 7\n\n2 0 9\n";
+        let g = read_edge_list(input.as_bytes(), true).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge_data(0), &[5]);
+
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(&out[..], true).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for v in g.vertices() {
+            assert_eq!(g.neighbors(v), g2.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn default_weight_is_one() {
+        let g = read_edge_list("0 1\n".as_bytes(), true).unwrap();
+        assert_eq!(g.edge_data(0), &[1]);
+    }
+
+    #[test]
+    fn reports_bad_line() {
+        let err = read_edge_list("0 x\n".as_bytes(), true).unwrap_err();
+        match err {
+            IoError::Parse(1, _) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = read_edge_list("".as_bytes(), false).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! # aap-graph
+//!
+//! Graph substrate for the AAP/GRAPE+ reproduction: compressed sparse row
+//! property graphs, deterministic workload generators, partitioning
+//! strategies (edge-cut and vertex-cut), and GRAPE *fragments* with the
+//! border-node sets `Fi.I`, `Fi.O`, `Fi.I'`, `Fi.O'` of the paper (§2).
+//!
+//! The types here are shared by both runtimes (the multithreaded engine in
+//! `aap-core` and the discrete-event simulator in `aap-sim`) and by every
+//! PIE program in `aap-algos`.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use aap_graph::{GraphBuilder, partition::{hash_partition, build_fragments}};
+//!
+//! // A 5-cycle, undirected.
+//! let mut b = GraphBuilder::new_undirected(5);
+//! for v in 0..5u32 {
+//!     b.add_edge(v, (v + 1) % 5, 1u32);
+//! }
+//! let g = b.build();
+//! let assignment = hash_partition(&g, 2);
+//! let frags = build_fragments(&g, &assignment);
+//! assert_eq!(frags.len(), 2);
+//! let owned: usize = frags.iter().map(|f| f.owned_count()).sum();
+//! assert_eq!(owned, 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod fragment;
+pub mod fxhash;
+pub mod generate;
+pub mod graph;
+pub mod io;
+pub mod partition;
+
+pub use builder::GraphBuilder;
+pub use fragment::{Fragment, Route};
+pub use graph::Graph;
+
+/// Global vertex identifier. Graphs are dense: vertices are `0..n`.
+pub type VertexId = u32;
+
+/// Vertex identifier local to one [`Fragment`].
+pub type LocalId = u32;
+
+/// Fragment (virtual worker) identifier.
+pub type FragId = u16;
+
+/// A hash map keyed with the fast Fx hasher (see [`fxhash`]).
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, fxhash::FxBuildHasher>;
+
+/// A hash set keyed with the fast Fx hasher (see [`fxhash`]).
+pub type FxHashSet<K> = std::collections::HashSet<K, fxhash::FxBuildHasher>;

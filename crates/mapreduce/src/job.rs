@@ -1,0 +1,307 @@
+//! The MapReduce job abstraction and its compilation onto a PIE program
+//! over a clique `GW` (Theorem 4).
+
+use aap_core::pie::{Messages, PieProgram, UpdateCtx};
+use aap_core::{Engine, EngineOpts, Mode};
+use aap_graph::fxhash::hash_u64;
+use aap_graph::partition::build_fragments_n;
+use aap_graph::{FragId, Fragment, GraphBuilder, LocalId};
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A MapReduce algorithm `A = (B1, ..., Bk)`; each subroutine `Br` is a
+/// mapper `µr` plus a reducer `ρr` (§ Theorem 4 proof, after [20, 32]).
+///
+/// Keys must be hashable (for the shuffle) and ordered (reducers see
+/// values sorted, keeping runs deterministic under any schedule).
+pub trait MapReduceJob: Sync {
+    /// Key type.
+    type K: Clone + Send + Sync + Hash + Eq + Ord + 'static;
+    /// Value type.
+    type V: Clone + Send + Sync + Ord + 'static;
+
+    /// Number of subroutines `k`.
+    fn num_rounds(&self) -> usize;
+
+    /// Input pairs held by `worker` out of `n` (the initial distribution).
+    fn input(&self, worker: usize, n: usize) -> Vec<(Self::K, Self::V)>;
+
+    /// Mapper `µ(round)` over one input pair.
+    fn map(&self, round: usize, key: &Self::K, value: &Self::V, emit: &mut dyn FnMut(Self::K, Self::V));
+
+    /// Reducer `ρ(round)` over one key group (values sorted).
+    fn reduce(&self, round: usize, key: &Self::K, values: &[Self::V], emit: &mut dyn FnMut(Self::K, Self::V));
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct MrConfig {
+    /// Number of simulated MapReduce processors (= fragments of `GW`).
+    pub workers: usize,
+    /// OS threads for the engine.
+    pub threads: usize,
+}
+
+impl Default for MrConfig {
+    fn default() -> Self {
+        MrConfig { workers: 4, threads: 4 }
+    }
+}
+
+/// Tuples in flight: `⟨r, key, value⟩` exactly as in the Theorem 4 proof.
+type Tuples<K, V> = Vec<(u32, K, V)>;
+
+struct MrPie<'a, J> {
+    job: &'a J,
+    workers: usize,
+}
+
+/// Per-worker state: pairs waiting for each upcoming reducer round, plus
+/// the final output.
+struct MrState<K, V> {
+    /// Self-addressed tuples (the engine has no self-messages; the paper's
+    /// processors likewise keep local data local).
+    pending_local: Tuples<K, V>,
+    /// Output of the final reducer.
+    output: Vec<(K, V)>,
+}
+
+impl<J: MapReduceJob> MrPie<'_, J> {
+    fn shuffle(
+        &self,
+        frag: &Fragment<(), ()>,
+        round: u32,
+        pairs: Vec<(J::K, J::V)>,
+        pending_local: &mut Tuples<J::K, J::V>,
+        ctx: &mut UpdateCtx<Tuples<J::K, J::V>>,
+    ) {
+        // Group by destination worker = hash(key) % n.
+        let me = frag.id() as usize;
+        let mut buckets: BTreeMap<usize, Tuples<J::K, J::V>> = BTreeMap::new();
+        for (k, v) in pairs {
+            let mut h = aap_graph::fxhash::FxHasher::default();
+            k.hash(&mut h);
+            let dest = (hash_u64(h.finish()) % self.workers as u64) as usize;
+            if dest == me {
+                pending_local.push((round, k, v));
+            } else {
+                buckets.entry(dest).or_default().push((round, k, v));
+            }
+        }
+        for (dest, tuples) in buckets {
+            // The clique gives us a mirror of every other worker-node.
+            let l = frag
+                .local(dest as u32)
+                .expect("clique fragment mirrors every worker node");
+            ctx.send(l, tuples);
+        }
+        if !pending_local.is_empty() {
+            ctx.request_local_round();
+        }
+    }
+
+    /// Run reducer `round` over grouped tuples, then mapper `round + 1`
+    /// (program branches, as the proof puts it). Returns pairs to shuffle
+    /// for the next round, or the final output.
+    fn reduce_then_map(
+        &self,
+        round: u32,
+        tuples: Tuples<J::K, J::V>,
+        output: &mut Vec<(J::K, J::V)>,
+    ) -> Option<Vec<(J::K, J::V)>> {
+        let mut groups: BTreeMap<J::K, Vec<J::V>> = BTreeMap::new();
+        for (r, k, v) in tuples {
+            debug_assert_eq!(r, round, "BSP keeps rounds aligned");
+            groups.entry(k).or_default().push(v);
+        }
+        let mut reduced: Vec<(J::K, J::V)> = Vec::new();
+        for (k, mut vs) in groups {
+            vs.sort();
+            self.job.reduce(round as usize, &k, &vs, &mut |k2, v2| reduced.push((k2, v2)));
+        }
+        if (round as usize + 1) < self.job.num_rounds() {
+            let mut mapped = Vec::new();
+            for (k, v) in &reduced {
+                self.job.map(round as usize + 1, k, v, &mut |k2, v2| mapped.push((k2, v2)));
+            }
+            Some(mapped)
+        } else {
+            output.extend(reduced);
+            None
+        }
+    }
+}
+
+impl<J: MapReduceJob> PieProgram<(), ()> for MrPie<'_, J> {
+    type Query = ();
+    type Val = Tuples<J::K, J::V>;
+    type State = MrState<J::K, J::V>;
+    type Out = Vec<(J::K, J::V)>;
+
+    fn combine(&self, a: &mut Self::Val, b: Self::Val) -> bool {
+        a.extend(b);
+        true
+    }
+
+    fn peval(
+        &self,
+        _q: &(),
+        frag: &Fragment<(), ()>,
+        ctx: &mut UpdateCtx<Self::Val>,
+    ) -> Self::State {
+        let mut st = MrState { pending_local: Vec::new(), output: Vec::new() };
+        if self.job.num_rounds() == 0 {
+            return st;
+        }
+        // PEval = mapper µ1 over this worker's input partition.
+        let me = frag.id() as usize;
+        let mut mapped = Vec::new();
+        for (k, v) in self.job.input(me, self.workers) {
+            self.job.map(0, &k, &v, &mut |k2, v2| mapped.push((k2, v2)));
+        }
+        let mut pending = std::mem::take(&mut st.pending_local);
+        self.shuffle(frag, 0, mapped, &mut pending, ctx);
+        st.pending_local = pending;
+        st
+    }
+
+    fn inceval(
+        &self,
+        _q: &(),
+        frag: &Fragment<(), ()>,
+        st: &mut Self::State,
+        msgs: Messages<Self::Val>,
+        ctx: &mut UpdateCtx<Self::Val>,
+    ) {
+        // Collect this superstep's tuples: everything shipped to our
+        // worker-node plus the self-addressed remainder.
+        let mut tuples = std::mem::take(&mut st.pending_local);
+        for (_, t) in msgs {
+            tuples.extend(t);
+        }
+        if tuples.is_empty() {
+            return;
+        }
+        let round = tuples.iter().map(|&(r, _, _)| r).min().expect("nonempty");
+        ctx.note_effective(tuples.len() as u64);
+        let mut pending = Vec::new();
+        if let Some(mapped) = self.reduce_then_map(round, tuples, &mut st.output) {
+            self.shuffle(frag, round + 1, mapped, &mut pending, ctx);
+        }
+        st.pending_local = pending;
+    }
+
+    fn assemble(
+        &self,
+        _q: &(),
+        _frags: &[Arc<Fragment<(), ()>>],
+        states: Vec<Self::State>,
+    ) -> Vec<(J::K, J::V)> {
+        let mut out: Vec<(J::K, J::V)> = states.into_iter().flat_map(|s| s.output).collect();
+        out.sort();
+        out
+    }
+}
+
+/// Sorted output pairs of a job plus the engine statistics.
+pub type MrResult<J> =
+    (Vec<(<J as MapReduceJob>::K, <J as MapReduceJob>::V)>, aap_core::RunStats);
+
+/// Build the clique `GW` over `n` worker-nodes and run the job to
+/// completion under BSP (a special case of AAP, §3), returning the sorted
+/// final pairs and the engine statistics.
+pub fn run_mapreduce<J: MapReduceJob>(job: &J, cfg: &MrConfig) -> MrResult<J> {
+    let n = cfg.workers.max(1);
+    let mut b = GraphBuilder::new_directed(n);
+    for i in 0..n as u32 {
+        for j in 0..n as u32 {
+            if i != j {
+                b.add_edge(i, j, ());
+            }
+        }
+    }
+    let g = b.build();
+    let assignment: Vec<FragId> = (0..n as u32).map(|v| v as FragId).collect();
+    let frags = build_fragments_n(&g, &assignment, n);
+    let engine = Engine::new(
+        frags,
+        EngineOpts { threads: cfg.threads, mode: Mode::Bsp, max_rounds: Some(1_000_000) },
+    );
+    let pie = MrPie { job, workers: n };
+    let run = engine.run(&pie, &());
+    (run.out, run.stats)
+}
+
+/// Convenience: local id of a worker-node in a clique fragment.
+#[allow(dead_code)]
+fn worker_local(frag: &Fragment<(), ()>, w: usize) -> LocalId {
+    frag.local(w as u32).expect("clique contains every worker node")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Identity single-round job: shuffles everything by key and counts.
+    struct CountJob {
+        data: Vec<(String, u64)>,
+    }
+
+    impl MapReduceJob for CountJob {
+        type K = String;
+        type V = u64;
+        fn num_rounds(&self) -> usize {
+            1
+        }
+        fn input(&self, worker: usize, n: usize) -> Vec<(String, u64)> {
+            self.data
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % n == worker)
+                .map(|(_, p)| p.clone())
+                .collect()
+        }
+        fn map(&self, _r: usize, k: &String, v: &u64, emit: &mut dyn FnMut(String, u64)) {
+            emit(k.clone(), *v);
+        }
+        fn reduce(&self, _r: usize, k: &String, vs: &[u64], emit: &mut dyn FnMut(String, u64)) {
+            emit(k.clone(), vs.iter().sum());
+        }
+    }
+
+    #[test]
+    fn count_job_sums_per_key() {
+        let job = CountJob {
+            data: vec![
+                ("a".into(), 1),
+                ("b".into(), 2),
+                ("a".into(), 3),
+                ("c".into(), 4),
+                ("b".into(), 5),
+            ],
+        };
+        let (out, stats) = run_mapreduce(&job, &MrConfig { workers: 3, threads: 3 });
+        assert_eq!(
+            out,
+            vec![("a".into(), 4u64), ("b".into(), 7), ("c".into(), 4)]
+        );
+        // One PEval superstep + one reduce superstep (plus termination).
+        assert!(stats.max_rounds() <= 3, "rounds {}", stats.max_rounds());
+    }
+
+    #[test]
+    fn empty_job_returns_nothing() {
+        let job = CountJob { data: vec![] };
+        let (out, _) = run_mapreduce(&job, &MrConfig::default());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_sequential() {
+        let job = CountJob { data: vec![("x".into(), 2), ("x".into(), 3)] };
+        let (out, stats) = run_mapreduce(&job, &MrConfig { workers: 1, threads: 1 });
+        assert_eq!(out, vec![("x".into(), 5u64)]);
+        assert_eq!(stats.total_updates(), 0, "nothing to ship with one worker");
+    }
+}

@@ -1,0 +1,156 @@
+//! Ready-made MapReduce jobs: word count and inverted index.
+
+use crate::job::MapReduceJob;
+
+/// Classic word count over a corpus of documents (one MapReduce round).
+pub struct WordCount {
+    /// Input documents.
+    pub docs: Vec<String>,
+}
+
+impl MapReduceJob for WordCount {
+    type K = String;
+    type V = u64;
+
+    fn num_rounds(&self) -> usize {
+        1
+    }
+
+    fn input(&self, worker: usize, n: usize) -> Vec<(String, u64)> {
+        self.docs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % n == worker)
+            .map(|(i, d)| (format!("doc{i}:{d}"), 0))
+            .collect()
+    }
+
+    fn map(&self, _r: usize, key: &String, _v: &u64, emit: &mut dyn FnMut(String, u64)) {
+        let text = key.split_once(':').map(|(_, t)| t).unwrap_or(key);
+        for w in text.split_whitespace() {
+            let w: String =
+                w.chars().filter(|c| c.is_alphanumeric()).flat_map(|c| c.to_lowercase()).collect();
+            if !w.is_empty() {
+                emit(w, 1);
+            }
+        }
+    }
+
+    fn reduce(&self, _r: usize, k: &String, vs: &[u64], emit: &mut dyn FnMut(String, u64)) {
+        emit(k.clone(), vs.iter().sum());
+    }
+}
+
+/// Inverted index: word -> sorted list of document ids (two rounds: build
+/// postings, then deduplicate/sort them — exercising a multi-subroutine
+/// job, i.e. several supersteps of the simulation).
+pub struct InvertedIndex {
+    /// Input documents.
+    pub docs: Vec<String>,
+}
+
+impl MapReduceJob for InvertedIndex {
+    type K = String;
+    type V = String;
+
+    fn num_rounds(&self) -> usize {
+        2
+    }
+
+    fn input(&self, worker: usize, n: usize) -> Vec<(String, String)> {
+        self.docs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % n == worker)
+            .map(|(i, d)| (format!("{i}"), d.clone()))
+            .collect()
+    }
+
+    fn map(&self, r: usize, key: &String, value: &String, emit: &mut dyn FnMut(String, String)) {
+        match r {
+            0 => {
+                for w in value.split_whitespace() {
+                    let w: String = w
+                        .chars()
+                        .filter(|c| c.is_alphanumeric())
+                        .flat_map(|c| c.to_lowercase())
+                        .collect();
+                    if !w.is_empty() {
+                        emit(w, key.clone());
+                    }
+                }
+            }
+            _ => emit(key.clone(), value.clone()),
+        }
+    }
+
+    fn reduce(&self, r: usize, k: &String, vs: &[String], emit: &mut dyn FnMut(String, String)) {
+        match r {
+            0 => {
+                // postings with duplicates, one value per occurrence
+                for v in vs {
+                    emit(k.clone(), v.clone());
+                }
+            }
+            _ => {
+                let mut ids: Vec<&String> = vs.iter().collect();
+                ids.sort();
+                ids.dedup();
+                let posting =
+                    ids.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(",");
+                emit(k.clone(), posting);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{run_mapreduce, MrConfig};
+
+    #[test]
+    fn word_count_matches_reference() {
+        let docs = vec![
+            "the quick brown fox".to_string(),
+            "the lazy dog and the quick cat".to_string(),
+            "Fox! fox?".to_string(),
+        ];
+        let mut expect = std::collections::BTreeMap::new();
+        for d in &docs {
+            for w in d.split_whitespace() {
+                let w: String = w
+                    .chars()
+                    .filter(|c| c.is_alphanumeric())
+                    .flat_map(|c| c.to_lowercase())
+                    .collect();
+                if !w.is_empty() {
+                    *expect.entry(w).or_insert(0u64) += 1;
+                }
+            }
+        }
+        let (out, _) =
+            run_mapreduce(&WordCount { docs }, &MrConfig { workers: 4, threads: 4 });
+        let got: std::collections::BTreeMap<String, u64> = out.into_iter().collect();
+        assert_eq!(got, expect);
+        assert_eq!(got["the"], 3);
+        assert_eq!(got["fox"], 3);
+    }
+
+    #[test]
+    fn inverted_index_collects_sorted_doc_ids() {
+        let docs = vec![
+            "alpha beta".to_string(),
+            "beta gamma".to_string(),
+            "alpha beta gamma".to_string(),
+        ];
+        let (out, stats) =
+            run_mapreduce(&InvertedIndex { docs }, &MrConfig { workers: 3, threads: 3 });
+        let got: std::collections::BTreeMap<String, String> = out.into_iter().collect();
+        assert_eq!(got["alpha"], "0,2");
+        assert_eq!(got["beta"], "0,1,2");
+        assert_eq!(got["gamma"], "1,2");
+        // two subroutines => at most PEval + 2 reduce supersteps
+        assert!(stats.max_rounds() <= 4);
+    }
+}

@@ -1,0 +1,27 @@
+//! # aap-mapreduce
+//!
+//! MapReduce (and, through it, PRAM) simulated on top of AAP, following the
+//! constructive proof of **Theorem 4**: a MapReduce algorithm
+//! `A = (B1, ..., Bk)` with `n` processors becomes a PIE program over a
+//! clique graph `GW` of `n` worker-nodes whose status variables carry
+//! `⟨r, key, value⟩` tuples — `PEval` runs the first mapper, `IncEval`
+//! treats the subroutines as program branches (reducer `ρr` then mapper
+//! `µr+1`), and the clique's update parameters realise the shuffle.
+//!
+//! Because BSP is a special case of AAP (fix `δ` per §3), the runner
+//! executes the job under `Mode::Bsp` on the unmodified AAP engine: one
+//! superstep per subroutine, cost within a constant factor of the original
+//! job — the *optimal simulation* claim.
+//!
+//! [`pram`] demonstrates the PRAM half of the theorem with the canonical
+//! O(log n)-step PRAM algorithm (Hillis–Steele prefix sum) expressed as a
+//! `log n`-round MapReduce job.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod jobs;
+pub mod pram;
+
+pub use job::{run_mapreduce, MapReduceJob, MrConfig};

@@ -1,0 +1,113 @@
+//! PRAM simulation (the other half of Theorem 4): the canonical
+//! O(log n)-step EREW PRAM algorithm — Hillis–Steele parallel prefix sum —
+//! expressed as a `⌈log₂ n⌉`-round MapReduce job and therefore runnable on
+//! the AAP engine with no asymptotic overhead.
+//!
+//! PRAM step `s` computes `x_s[i] = x_{s-1}[i] + x_{s-1}[i − 2^{s-1}]`;
+//! in MapReduce form, round `s` maps each `(i, v)` to itself plus
+//! `(i + 2^{s-1}, v)` and reduces by summation — after `⌈log₂ n⌉` rounds
+//! every position holds its inclusive prefix sum.
+
+use crate::job::{run_mapreduce, MapReduceJob, MrConfig};
+
+/// Hillis–Steele prefix sum as a multi-round MapReduce job.
+pub struct PrefixSumJob {
+    /// The input sequence.
+    pub values: Vec<i64>,
+}
+
+impl PrefixSumJob {
+    fn rounds_needed(&self) -> usize {
+        let n = self.values.len();
+        if n <= 1 {
+            1
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as usize
+        }
+    }
+}
+
+impl MapReduceJob for PrefixSumJob {
+    type K = u64; // position
+    type V = i64;
+
+    fn num_rounds(&self) -> usize {
+        self.rounds_needed()
+    }
+
+    fn input(&self, worker: usize, n: usize) -> Vec<(u64, i64)> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % n == worker)
+            .map(|(i, &v)| (i as u64, v))
+            .collect()
+    }
+
+    fn map(&self, r: usize, key: &u64, value: &i64, emit: &mut dyn FnMut(u64, i64)) {
+        emit(*key, *value);
+        let stride = 1u64 << r;
+        let target = key + stride;
+        if (target as usize) < self.values.len() {
+            emit(target, *value);
+        }
+    }
+
+    fn reduce(&self, _r: usize, k: &u64, vs: &[i64], emit: &mut dyn FnMut(u64, i64)) {
+        emit(*k, vs.iter().sum());
+    }
+}
+
+/// Run the PRAM prefix-sum on `workers` simulated processors; returns the
+/// inclusive prefix sums.
+pub fn prefix_sum(values: &[i64], workers: usize) -> Vec<i64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let job = PrefixSumJob { values: values.to_vec() };
+    let (pairs, _) = run_mapreduce(&job, &MrConfig { workers, threads: workers.min(8) });
+    let mut out = vec![0i64; values.len()];
+    for (k, v) in pairs {
+        out[k as usize] = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(values: &[i64]) -> Vec<i64> {
+        values
+            .iter()
+            .scan(0i64, |acc, &v| {
+                *acc += v;
+                Some(*acc)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prefix_sum_matches_scan() {
+        let values: Vec<i64> = (0..37).map(|i| (i * 7 % 13) - 5).collect();
+        assert_eq!(prefix_sum(&values, 4), reference(&values));
+    }
+
+    #[test]
+    fn power_of_two_length() {
+        let values: Vec<i64> = (1..=32).collect();
+        assert_eq!(prefix_sum(&values, 5), reference(&values));
+    }
+
+    #[test]
+    fn singleton_and_empty() {
+        assert_eq!(prefix_sum(&[42], 3), vec![42]);
+        assert_eq!(prefix_sum(&[], 3), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn log_n_rounds() {
+        let job = PrefixSumJob { values: (0..100).collect() };
+        assert_eq!(job.num_rounds(), 7); // ceil(log2 100)
+    }
+}

@@ -1,0 +1,91 @@
+//! Virtual-time cost models for simulated rounds.
+
+/// How long a round of computation takes in virtual time.
+#[derive(Debug, Clone)]
+pub enum CostModel {
+    /// Worker `w` always takes `costs[w]` per round — the Fig 1 setting
+    /// (`[3, 3, 6]` with unit latency).
+    FixedPerWorker(Vec<f64>),
+    /// Cost proportional to the work a round actually performs:
+    /// `speed[w] · (base + per_work · work + per_raw · raw_in)`, where
+    /// `work` is the algorithmic work the PIE program reported via
+    /// `UpdateCtx::charge_work` (falling back to `delivered + emitted` for
+    /// programs that don't report), and `raw_in` counts *raw* buffered
+    /// updates before `faggr` aggregation (deserialise-and-fold cost).
+    ///
+    /// The split is what reproduces the paper's §1 analysis: AP's stale
+    /// rounds repeat *internal* propagation work and raw ingestion, while a
+    /// delay stretch folds `k` buffered updates into one round of
+    /// downstream work.
+    ///
+    /// `speed[w] > 1` makes worker `w` a straggler; skewed partitions
+    /// produce stragglers naturally through larger fragments.
+    Work {
+        /// Fixed per-round overhead.
+        base: f64,
+        /// Cost per reported algorithmic work unit.
+        per_work: f64,
+        /// Ingestion cost per *raw* buffered update (deserialise + fold
+        /// into the buffer); cheaper than `per_work` because GRAPE+
+        /// overlaps data transfer with computation (§6), but not free —
+        /// this is what makes AP's redundant messages expensive.
+        per_raw: f64,
+        /// Per-worker speed multipliers (empty = all 1.0).
+        speed: Vec<f64>,
+    },
+}
+
+impl CostModel {
+    /// Uniform work-proportional model with no per-worker skew.
+    pub fn uniform_work() -> Self {
+        Self::skewed_work(Vec::new())
+    }
+
+    /// Work-proportional model with explicit speed factors.
+    pub fn skewed_work(speed: Vec<f64>) -> Self {
+        CostModel::Work { base: 0.05, per_work: 1e-3, per_raw: 1e-3, speed }
+    }
+
+    /// Cost of one round.
+    ///
+    /// * `w` — worker index;
+    /// * `work` — algorithmic work units this round (reported by the
+    ///   program, or `delivered + emitted` as a fallback);
+    /// * `raw_in` — raw (pre-aggregation) updates consumed.
+    pub fn round_cost(&self, w: usize, work: u64, raw_in: usize) -> f64 {
+        match self {
+            CostModel::FixedPerWorker(costs) => costs[w],
+            CostModel::Work { base, per_work, per_raw, speed } => {
+                let sp = speed.get(w).copied().unwrap_or(1.0);
+                sp * (base + per_work * work as f64 + per_raw * raw_in as f64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_ignores_work() {
+        let c = CostModel::FixedPerWorker(vec![3.0, 6.0]);
+        assert_eq!(c.round_cost(0, 100, 100), 3.0);
+        assert_eq!(c.round_cost(1, 0, 0), 6.0);
+    }
+
+    #[test]
+    fn work_scales_with_units_and_speed() {
+        let c =
+            CostModel::Work { base: 1.0, per_work: 0.5, per_raw: 0.0, speed: vec![1.0, 2.0] };
+        assert!((c.round_cost(0, 10, 0) - 6.0).abs() < 1e-12);
+        assert!((c.round_cost(1, 10, 0) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_ingestion_charged_separately() {
+        let c = CostModel::Work { base: 0.0, per_work: 1.0, per_raw: 0.1, speed: vec![] };
+        // 10 units of work + 100 raw updates: 10·1.0 + 100·0.1 = 20.
+        assert!((c.round_cost(0, 10, 100) - 20.0).abs() < 1e-12);
+    }
+}

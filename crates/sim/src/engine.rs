@@ -1,0 +1,777 @@
+//! The discrete-event simulation engine.
+//!
+//! Executes a PIE program over fragments exactly as `aap_core::engine`
+//! does, but with a virtual clock: each round costs
+//! [`CostModel::round_cost`] time units, messages arrive `latency` units
+//! after the sending round completes, and the δ policy of
+//! `aap_core::policy` is evaluated in virtual time. Single-threaded and
+//! fully deterministic (events tie-break on a sequence number).
+
+use crate::cost::CostModel;
+use crate::timeline::{Span, SpanKind, Timeline};
+use aap_core::inbox::Inbox;
+use aap_core::pie::{route_updates, Batch, PieProgram, UpdateCtx};
+use aap_core::policy::{self, Decision, Mode, PolicyState, SharedRates};
+use aap_core::stats::{RunStats, WorkerStats, BATCH_HEADER_BYTES, UPDATE_KEY_BYTES};
+use aap_graph::{FragId, Fragment};
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Simulator options.
+#[derive(Debug, Clone)]
+pub struct SimOpts {
+    /// Execution mode (δ policy).
+    pub mode: Mode,
+    /// Message delivery latency in virtual time units.
+    pub latency: f64,
+    /// Per-round compute-cost model.
+    pub cost: CostModel,
+    /// Abort if any worker exceeds this many rounds.
+    pub max_rounds: Option<u32>,
+}
+
+impl Default for SimOpts {
+    fn default() -> Self {
+        SimOpts {
+            mode: Mode::aap(),
+            latency: 0.1,
+            cost: CostModel::uniform_work(),
+            max_rounds: Some(1_000_000),
+        }
+    }
+}
+
+/// Result of a simulated run.
+#[derive(Debug)]
+pub struct SimOutput<Out> {
+    /// The assembled answer.
+    pub out: Out,
+    /// Statistics; `makespan` is in virtual time units.
+    pub stats: RunStats,
+    /// Per-worker activity history (for Gantt rendering).
+    pub timelines: Vec<Timeline>,
+}
+
+/// Discrete-event simulator over a fixed partition.
+pub struct SimEngine<V, E> {
+    frags: Vec<Arc<Fragment<V, E>>>,
+    opts: SimOpts,
+}
+
+enum EventKind<Val> {
+    Finish { w: usize },
+    Arrive { w: usize, batch: Batch<Val> },
+    Wake { w: usize, gen: u64 },
+}
+
+struct Event<Val> {
+    time: f64,
+    seq: u64,
+    kind: EventKind<Val>,
+}
+
+impl<Val> PartialEq for Event<Val> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<Val> Eq for Event<Val> {}
+impl<Val> PartialOrd for Event<Val> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl<Val> Ord for Event<Val> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Event tracing for debugging policy behaviour: set `AAP_SIM_TRACE=1`.
+/// Cached: the check sits on the hot event loop.
+fn trace_enabled() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("AAP_SIM_TRACE").is_some())
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WState {
+    Computing,
+    Suspended,
+    Inactive,
+}
+
+struct SimWorker<Val, St> {
+    inbox: Inbox<Val>,
+    state: Option<St>,
+    pstate: PolicyState,
+    stats: WorkerStats,
+    rounds: u32,
+    local_work: bool,
+    wstate: WState,
+    gen: u64,
+    pending_out: Vec<(FragId, Batch<Val>)>,
+    timeline: Timeline,
+    suspend_started: Option<f64>,
+    round_started: f64,
+}
+
+impl<V, E> SimEngine<V, E> {
+    /// Create a simulator over pre-built fragments.
+    pub fn new(frags: Vec<Fragment<V, E>>, opts: SimOpts) -> Self {
+        SimEngine { frags: frags.into_iter().map(Arc::new).collect(), opts }
+    }
+
+    /// The fragments under simulation.
+    pub fn fragments(&self) -> &[Arc<Fragment<V, E>>] {
+        &self.frags
+    }
+
+    /// Run one query to fixpoint in virtual time.
+    pub fn run<P>(&self, prog: &P, q: &P::Query) -> SimOutput<P::Out>
+    where
+        P: PieProgram<V, E>,
+    {
+        match self.opts.mode {
+            Mode::Bsp => self.run_bsp(prog, q),
+            _ => self.run_async(prog, q),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // BSP: lockstep supersteps with a barrier and post-barrier delivery.
+    // ------------------------------------------------------------------
+    fn run_bsp<P>(&self, prog: &P, q: &P::Query) -> SimOutput<P::Out>
+    where
+        P: PieProgram<V, E>,
+    {
+        let m = self.frags.len();
+        let mut workers: Vec<SimWorker<P::Val, P::State>> = (0..m).map(|_| new_worker()).collect();
+        let mut t = 0.0f64;
+        let mut superstep: u32 = 0;
+        let mut active: Vec<usize> = (0..m).collect();
+        let mut aborted = false;
+        while !active.is_empty() {
+            if let Some(maxr) = self.opts.max_rounds {
+                if superstep > maxr {
+                    aborted = true;
+                    break;
+                }
+            }
+            let mut t_end = t;
+            let mut all_batches: Vec<(FragId, Batch<P::Val>)> = Vec::new();
+            for &w in &active {
+                let cost = self.execute_round(prog, q, &mut workers[w], w, t, superstep == 0);
+                t_end = t_end.max(t + cost);
+                all_batches.append(&mut workers[w].pending_out);
+                workers[w].rounds += 1;
+                workers[w].wstate = WState::Inactive;
+            }
+            let sent_any = !all_batches.is_empty();
+            for (dst, b) in all_batches {
+                let dw = &mut workers[dst as usize];
+                dw.stats.batches_in += 1;
+                dw.stats.updates_in += b.updates.len() as u64;
+                dw.inbox.push(b);
+            }
+            t = if sent_any { t_end + self.opts.latency } else { t_end };
+            active =
+                (0..m).filter(|&w| !workers[w].inbox.is_empty() || workers[w].local_work).collect();
+            superstep += 1;
+        }
+        self.finish(prog, q, workers, t, aborted)
+    }
+
+    // ------------------------------------------------------------------
+    // Async: AP / SSP / AAP / Hsync via the shared δ.
+    // ------------------------------------------------------------------
+    fn run_async<P>(&self, prog: &P, q: &P::Query) -> SimOutput<P::Out>
+    where
+        P: PieProgram<V, E>,
+    {
+        let m = self.frags.len();
+        let mut workers: Vec<SimWorker<P::Val, P::State>> = (0..m).map(|_| new_worker()).collect();
+        let rates = SharedRates::new(m);
+        let l0 = match &self.opts.mode {
+            Mode::Aap(cfg) => policy::l_floor(cfg, m),
+            _ => 0.0,
+        };
+        for w in &mut workers {
+            w.pstate = PolicyState::new(l0);
+        }
+        let mut queue: BinaryHeap<Event<P::Val>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        let mut now = 0.0f64;
+        let mut aborted = false;
+
+        // PEval everywhere at t = 0.
+        #[allow(clippy::needless_range_loop)]
+        for w in 0..m {
+            let cost = self.execute_round(prog, q, &mut workers[w], w, 0.0, true);
+            seq += 1;
+            queue.push(Event { time: cost, seq, kind: EventKind::Finish { w } });
+        }
+
+        while let Some(ev) = queue.pop() {
+            now = ev.time;
+            match ev.kind {
+                EventKind::Finish { w } => {
+                    // Bounds before this event's mutations; if the event
+                    // raises them, held (lockstep) workers are re-evaluated.
+                    // This must be per-event: an Arrive can revive a
+                    // behind-round worker between finishes, dipping rmin
+                    // and re-suspending fast workers, so a cache of the
+                    // last finish-time bounds goes stale.
+                    let b_pre = bounds(&workers);
+                    workers[w].rounds += 1;
+                    if trace_enabled() {
+                        eprintln!("[{now:.3}] finish P{w} -> ri={}", workers[w].rounds);
+                    }
+                    if let Some(maxr) = self.opts.max_rounds {
+                        if workers[w].rounds > maxr {
+                            aborted = true;
+                            break;
+                        }
+                    }
+                    // Dispatch the round's messages.
+                    let outs = std::mem::take(&mut workers[w].pending_out);
+                    for (dst, b) in outs {
+                        seq += 1;
+                        queue.push(Event {
+                            time: now + self.opts.latency,
+                            seq,
+                            kind: EventKind::Arrive { w: dst as usize, batch: b },
+                        });
+                    }
+                    {
+                        let wk = &mut workers[w];
+                        let dt = now - wk.round_started;
+                        policy::on_round_complete(&self.opts.mode, &mut wk.pstate, dt, now);
+                        rates.publish(w, wk.pstate.s_rate, wk.pstate.t_round);
+                    }
+                    if let Mode::Hsync(cfg) = &self.opts.mode {
+                        rates.hsync_on_round(cfg);
+                    }
+                    workers[w].wstate = WState::Inactive; // provisional; δ below
+                    let b = bounds(&workers);
+                    self.evaluate(prog, q, &mut workers, w, now, &rates, &mut queue, &mut seq, b);
+                    // Round bounds moved: held workers may now be released.
+                    let b2 = bounds(&workers);
+                    if b2 != b_pre || b2 != b {
+                        let held: Vec<usize> = (0..m)
+                            .filter(|&h| h != w && workers[h].wstate == WState::Suspended)
+                            .collect();
+                        for h in held {
+                            self.evaluate(
+                                prog, q, &mut workers, h, now, &rates, &mut queue, &mut seq, b2,
+                            );
+                        }
+                    }
+                }
+                EventKind::Arrive { w, batch } => {
+                    if trace_enabled() {
+                        eprintln!("[{now:.3}] arrive P{w} (state {:?})", workers[w].wstate);
+                    }
+                    {
+                        let wk = &mut workers[w];
+                        wk.stats.batches_in += 1;
+                        wk.stats.updates_in += batch.updates.len() as u64;
+                        wk.inbox.push(batch);
+                    }
+                    if workers[w].wstate != WState::Computing {
+                        let b = bounds(&workers);
+                        self.evaluate(prog, q, &mut workers, w, now, &rates, &mut queue, &mut seq, b);
+                    }
+                }
+                EventKind::Wake { w, gen } => {
+                    if workers[w].gen == gen && workers[w].wstate == WState::Suspended {
+                        // Suspension exceeded DSi: activate (§3).
+                        if !workers[w].inbox.is_empty() || workers[w].local_work {
+                            self.start_round(prog, q, &mut workers, w, now, &rates, &mut queue, &mut seq);
+                        } else {
+                            let b_pre = bounds(&workers);
+                            end_suspend(&mut workers[w], now);
+                            workers[w].wstate = WState::Inactive;
+                            let b2 = bounds(&workers);
+                            if b2 != b_pre {
+                                let held: Vec<usize> = (0..workers.len())
+                                    .filter(|&h| workers[h].wstate == WState::Suspended)
+                                    .collect();
+                                for h in held {
+                                    self.evaluate(
+                                        prog, q, &mut workers, h, now, &rates, &mut queue,
+                                        &mut seq, b2,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !aborted {
+            let stuck: Vec<String> = workers
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.wstate != WState::Inactive || !w.inbox.is_empty())
+                .map(|(i, w)| format!("P{i}: state={:?} rounds={} eta={} local_work={}", w.wstate, w.rounds, w.inbox.eta(), w.local_work))
+                .collect();
+            debug_assert!(stuck.is_empty(), "policy deadlock under {:?}, stuck workers: {stuck:#?}", self.opts.mode);
+        }
+        self.finish(prog, q, workers, now, aborted)
+    }
+
+    /// Evaluate δ for worker `w` and act on the decision, given the
+    /// current round bounds (computed once per event — evaluating each
+    /// suspended worker must not rescan the cluster, or large-`m` runs
+    /// become quadratic).
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate<P>(
+        &self,
+        prog: &P,
+        q: &P::Query,
+        workers: &mut [SimWorker<P::Val, P::State>],
+        w: usize,
+        now: f64,
+        rates: &SharedRates,
+        queue: &mut BinaryHeap<Event<P::Val>>,
+        seq: &mut u64,
+        (rmin, rmax): (u32, u32),
+    ) where
+        P: PieProgram<V, E>,
+    {
+        debug_assert_ne!(workers[w].wstate, WState::Computing);
+        let inputs = policy::DeltaInputs {
+            eta: workers[w].inbox.eta(),
+            local_work: workers[w].local_work,
+            ri: workers[w].rounds,
+            rmin,
+            rmax,
+            now,
+            avg_rate: rates.avg_rate(),
+            hsync_sync: rates.hsync_sync(),
+        };
+        let d = policy::delta(&self.opts.mode, &workers[w].pstate, &inputs);
+        if trace_enabled() {
+            eprintln!(
+                "[{now:.3}] eval P{w} ri={} eta={} rmin={rmin} rmax={rmax} -> {d:?}",
+                workers[w].rounds,
+                inputs.eta
+            );
+        }
+        match d {
+            Decision::Run => {
+                self.start_round(prog, q, workers, w, now, rates, queue, seq);
+            }
+            Decision::Delay(ds) => {
+                begin_suspend(&mut workers[w], now);
+                workers[w].wstate = WState::Suspended;
+                workers[w].gen += 1;
+                *seq += 1;
+                queue.push(Event {
+                    time: now + ds,
+                    seq: *seq,
+                    kind: EventKind::Wake { w, gen: workers[w].gen },
+                });
+            }
+            Decision::Hold => {
+                begin_suspend(&mut workers[w], now);
+                workers[w].wstate = WState::Suspended;
+                workers[w].gen += 1; // cancel pending wakes
+            }
+            Decision::Inactive => {
+                end_suspend(&mut workers[w], now);
+                workers[w].wstate = WState::Inactive;
+            }
+        }
+    }
+
+    /// Start a round at virtual time `t`: drain, execute, schedule Finish.
+    #[allow(clippy::too_many_arguments)]
+    fn start_round<P>(
+        &self,
+        prog: &P,
+        q: &P::Query,
+        workers: &mut [SimWorker<P::Val, P::State>],
+        w: usize,
+        t: f64,
+        rates: &SharedRates,
+        queue: &mut BinaryHeap<Event<P::Val>>,
+        seq: &mut u64,
+    ) where
+        P: PieProgram<V, E>,
+    {
+        end_suspend(&mut workers[w], t);
+        let m = workers.len();
+        {
+            let wk = &mut workers[w];
+            let avg = rates.avg_rate();
+            let fast = rates.fast_count();
+            let eta = wk.inbox.eta();
+            policy::on_drain(&self.opts.mode, &mut wk.pstate, eta, t, m, avg, fast);
+        }
+        let is_peval = workers[w].rounds == 0;
+        let cost = self.execute_round(prog, q, &mut workers[w], w, t, is_peval);
+        workers[w].gen += 1; // cancel pending wakes
+        *seq += 1;
+        queue.push(Event { time: t + cost, seq: *seq, kind: EventKind::Finish { w } });
+    }
+
+    /// Drain + run PEval/IncEval + route updates; returns the round cost and
+    /// leaves the batches in `pending_out`.
+    fn execute_round<P>(
+        &self,
+        prog: &P,
+        q: &P::Query,
+        wk: &mut SimWorker<P::Val, P::State>,
+        w: usize,
+        t: f64,
+        is_peval: bool,
+    ) -> f64
+    where
+        P: PieProgram<V, E>,
+    {
+        let frag = &self.frags[w];
+        let round = wk.rounds;
+        let (msgs, raw_in) = if is_peval {
+            // PEval consumes no messages; anything already buffered (only
+            // possible with zero latency/cost) belongs to IncEval.
+            (Vec::new(), 0)
+        } else {
+            let (msgs, info) = wk.inbox.drain(prog, frag);
+            (msgs, info.raw_updates)
+        };
+        let delivered = msgs.len();
+        let mut ctx = UpdateCtx::new();
+        if is_peval {
+            let st = prog.peval(q, frag, &mut ctx);
+            wk.state = Some(st);
+        } else {
+            let st = wk.state.as_mut().expect("PEval ran first");
+            prog.inceval(q, frag, st, msgs, &mut ctx);
+        }
+        let (effective, redundant) = ctx.effect_counts();
+        let charged = ctx.work();
+        let (updates, local_work) = ctx.take();
+        let emitted = updates.len();
+        let batches = route_updates(prog, frag, round, updates);
+        wk.local_work = local_work;
+        wk.stats.rounds += 1;
+        wk.stats.updates_delivered += delivered as u64;
+        wk.stats.effective_updates += effective;
+        wk.stats.redundant_updates += redundant;
+        for (_, b) in &batches {
+            wk.stats.batches_out += 1;
+            wk.stats.updates_out += b.updates.len() as u64;
+            wk.stats.bytes_out += (BATCH_HEADER_BYTES
+                + b.updates.iter().map(|(_, v)| UPDATE_KEY_BYTES + prog.val_bytes(v)).sum::<usize>())
+                as u64;
+        }
+        wk.pending_out = batches;
+        let work =
+            if charged > 0 { charged } else { (delivered + emitted) as u64 };
+        let cost = self.opts.cost.round_cost(w, work, raw_in);
+        wk.stats.compute_time += cost;
+        wk.round_started = t;
+        wk.wstate = WState::Computing;
+        wk.timeline.spans.push(Span { start: t, end: t + cost, round, kind: SpanKind::Compute });
+        cost
+    }
+
+    fn finish<P>(
+        &self,
+        prog: &P,
+        q: &P::Query,
+        workers: Vec<SimWorker<P::Val, P::State>>,
+        makespan: f64,
+        aborted: bool,
+    ) -> SimOutput<P::Out>
+    where
+        P: PieProgram<V, E>,
+    {
+        let mut stats_w = Vec::with_capacity(workers.len());
+        let mut states = Vec::with_capacity(workers.len());
+        let mut timelines = Vec::with_capacity(workers.len());
+        for wk in workers {
+            stats_w.push(wk.stats);
+            states.push(wk.state.expect("PEval ran on every fragment"));
+            timelines.push(wk.timeline);
+        }
+        let stats = RunStats {
+            mode: self.opts.mode.name().to_string(),
+            makespan,
+            workers: stats_w,
+            aborted,
+        };
+        let out = prog.assemble(q, &self.frags, states);
+        SimOutput { out, stats, timelines }
+    }
+}
+
+fn new_worker<Val, St>() -> SimWorker<Val, St> {
+    SimWorker {
+        inbox: Inbox::default(),
+        state: None,
+        pstate: PolicyState::new(0.0),
+        stats: WorkerStats::default(),
+        rounds: 0,
+        local_work: false,
+        wstate: WState::Computing,
+        gen: 0,
+        pending_out: Vec::new(),
+        timeline: Timeline::default(),
+        suspend_started: None,
+        round_started: 0.0,
+    }
+}
+
+/// `rmin`/`rmax` over non-inactive workers (inactive workers must not pin
+/// the lockstep bounds — same rule as the threaded engine).
+fn bounds<Val, St>(workers: &[SimWorker<Val, St>]) -> (u32, u32) {
+    let mut rmin = u32::MAX;
+    let mut rmax = 0;
+    for wk in workers {
+        rmax = rmax.max(wk.rounds);
+        if wk.wstate != WState::Inactive {
+            rmin = rmin.min(wk.rounds);
+        }
+    }
+    if rmin == u32::MAX {
+        rmin = rmax;
+    }
+    (rmin, rmax)
+}
+
+fn begin_suspend<Val, St>(wk: &mut SimWorker<Val, St>, now: f64) {
+    if wk.suspend_started.is_none() {
+        wk.suspend_started = Some(now);
+    }
+}
+
+fn end_suspend<Val, St>(wk: &mut SimWorker<Val, St>, now: f64) {
+    if let Some(s) = wk.suspend_started.take() {
+        let dt = (now - s).max(0.0);
+        wk.stats.suspend_time += dt;
+        if dt > 0.0 {
+            wk.timeline.spans.push(Span {
+                start: s,
+                end: now,
+                round: wk.rounds,
+                kind: SpanKind::Suspend,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aap_core::pie::Messages;
+    use aap_core::policy::AapConfig;
+    use aap_graph::partition::{build_fragments, hash_partition};
+    use aap_graph::{GraphBuilder, LocalId};
+
+    /// Toy min-label propagation: every vertex converges to the smallest
+    /// vertex id reachable from it (= 0 on a connected graph).
+    struct MinLabel;
+
+    impl PieProgram<(), u32> for MinLabel {
+        type Query = ();
+        type Val = u32;
+        type State = Vec<u32>;
+        type Out = Vec<u32>;
+
+        fn combine(&self, a: &mut u32, b: u32) -> bool {
+            if b < *a {
+                *a = b;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn peval(
+            &self,
+            _q: &(),
+            f: &Fragment<(), u32>,
+            ctx: &mut UpdateCtx<u32>,
+        ) -> Vec<u32> {
+            let mut lab: Vec<u32> = (0..f.local_count() as u32).map(|l| f.global(l)).collect();
+            propagate(f, &mut lab, (0..f.local_count() as LocalId).collect(), ctx);
+            lab
+        }
+
+        fn inceval(
+            &self,
+            _q: &(),
+            f: &Fragment<(), u32>,
+            lab: &mut Vec<u32>,
+            msgs: Messages<u32>,
+            ctx: &mut UpdateCtx<u32>,
+        ) {
+            let mut dirty = Vec::new();
+            for (l, v) in msgs {
+                if v < lab[l as usize] {
+                    lab[l as usize] = v;
+                    dirty.push(l);
+                    ctx.note_effective(1);
+                } else {
+                    ctx.note_redundant(1);
+                }
+            }
+            propagate(f, lab, dirty, ctx);
+        }
+
+        fn assemble(
+            &self,
+            _q: &(),
+            frags: &[Arc<Fragment<(), u32>>],
+            states: Vec<Vec<u32>>,
+        ) -> Vec<u32> {
+            let n = frags.iter().map(|f| f.owned_count()).sum();
+            let mut out = vec![0; n];
+            for (f, lab) in frags.iter().zip(states) {
+                for l in f.owned_vertices() {
+                    out[f.global(l) as usize] = lab[l as usize];
+                }
+            }
+            out
+        }
+    }
+
+    fn propagate(
+        f: &Fragment<(), u32>,
+        lab: &mut [u32],
+        mut work: Vec<LocalId>,
+        ctx: &mut UpdateCtx<u32>,
+    ) {
+        let mut changed = std::collections::BTreeSet::new();
+        for &l in &work {
+            if f.is_border(l) {
+                changed.insert(l);
+            }
+        }
+        while let Some(u) = work.pop() {
+            for &v in f.neighbors(u) {
+                if lab[u as usize] < lab[v as usize] {
+                    lab[v as usize] = lab[u as usize];
+                    work.push(v);
+                    if f.is_border(v) {
+                        changed.insert(v);
+                    }
+                }
+            }
+        }
+        for b in changed {
+            ctx.send(b, lab[b as usize]);
+        }
+    }
+
+    fn ring_frags(n: usize, m: usize) -> Vec<Fragment<(), u32>> {
+        let mut b = GraphBuilder::new_undirected(n);
+        for v in 0..n as u32 {
+            b.add_edge(v, (v + 1) % n as u32, 1);
+        }
+        let g = b.build();
+        build_fragments(&g, &hash_partition(&g, m))
+    }
+
+    fn modes() -> Vec<Mode> {
+        vec![
+            Mode::Bsp,
+            Mode::Ap,
+            Mode::Ssp { c: 2 },
+            Mode::aap(),
+            Mode::Aap(AapConfig { l_floor: 2.0, ..AapConfig::default() }),
+            Mode::Hsync(aap_core::policy::HsyncConfig::default()),
+        ]
+    }
+
+    #[test]
+    fn all_modes_reach_same_fixpoint() {
+        for mode in modes() {
+            let engine = SimEngine::new(
+                ring_frags(120, 5),
+                SimOpts { mode: mode.clone(), ..SimOpts::default() },
+            );
+            let out = engine.run(&MinLabel, &());
+            assert!(
+                out.out.iter().all(|&l| l == 0),
+                "mode {mode:?} failed: {:?}",
+                &out.out[..10]
+            );
+            assert!(!out.stats.aborted);
+            assert!(out.stats.makespan > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let engine = SimEngine::new(ring_frags(200, 7), SimOpts::default());
+            let out = engine.run(&MinLabel, &());
+            (out.stats.makespan, out.stats.total_updates(), out.stats.total_rounds())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn straggler_hurts_bsp_more_than_aap() {
+        // Fig 1-style: one worker 4x slower than the rest.
+        let mk = |mode: Mode| {
+            let mut speed = vec![1.0; 6];
+            speed[0] = 4.0;
+            let engine = SimEngine::new(
+                ring_frags(600, 6),
+                SimOpts {
+                    mode,
+                    latency: 0.05,
+                    cost: CostModel::skewed_work(speed),
+                    max_rounds: Some(100_000),
+                },
+            );
+            engine.run(&MinLabel, &()).stats.makespan
+        };
+        let bsp = mk(Mode::Bsp);
+        let aap = mk(Mode::aap());
+        assert!(
+            aap <= bsp * 1.05,
+            "AAP ({aap:.2}) should not be slower than BSP ({bsp:.2}) under skew"
+        );
+    }
+
+    #[test]
+    fn timelines_record_rounds() {
+        let engine = SimEngine::new(ring_frags(60, 3), SimOpts::default());
+        let out = engine.run(&MinLabel, &());
+        assert_eq!(out.timelines.len(), 3);
+        for (tl, ws) in out.timelines.iter().zip(&out.stats.workers) {
+            assert_eq!(tl.rounds() as u64, ws.rounds);
+        }
+        let g = crate::timeline::render_gantt(&out.timelines, 60);
+        assert!(g.lines().count() >= 4);
+    }
+
+    #[test]
+    fn fixed_cost_model_fig1_shape() {
+        // Three workers, costs 3/3/6, latency 1 — the Example 1 setting.
+        let engine = SimEngine::new(
+            ring_frags(90, 3),
+            SimOpts {
+                mode: Mode::Bsp,
+                latency: 1.0,
+                cost: CostModel::FixedPerWorker(vec![3.0, 3.0, 6.0]),
+                max_rounds: Some(10_000),
+            },
+        );
+        let out = engine.run(&MinLabel, &());
+        // Every BSP superstep costs max(3,3,6) + 1 = 7.
+        let supersteps = out.stats.max_rounds();
+        assert!((out.stats.makespan - (supersteps as f64 * 7.0)).abs() < 7.0 + 1e-9);
+    }
+}

@@ -1,0 +1,115 @@
+//! Test-only helpers: a minimal min-label-propagation PIE program used by
+//! the simulator's own tests (real algorithms live in `aap-algos`, which
+//! dev-depends on this crate — using them here would cycle).
+
+use aap_core::pie::{Messages, PieProgram, UpdateCtx};
+use aap_graph::partition::{build_fragments_n, hash_partition};
+use aap_graph::{Fragment, GraphBuilder, LocalId};
+use std::sync::Arc;
+
+/// Toy min-label propagation: every vertex converges to the smallest
+/// vertex id reachable from it (= 0 on a connected graph).
+pub struct MinLabel;
+
+impl PieProgram<(), u32> for MinLabel {
+    type Query = ();
+    type Val = u32;
+    type State = Vec<u32>;
+    type Out = Vec<u32>;
+
+    fn combine(&self, a: &mut u32, b: u32) -> bool {
+        if b < *a {
+            *a = b;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peval(&self, _q: &(), f: &Fragment<(), u32>, ctx: &mut UpdateCtx<u32>) -> Vec<u32> {
+        let mut lab: Vec<u32> = (0..f.local_count() as u32).map(|l| f.global(l)).collect();
+        propagate(f, &mut lab, (0..f.local_count() as LocalId).collect(), ctx);
+        lab
+    }
+
+    fn inceval(
+        &self,
+        _q: &(),
+        f: &Fragment<(), u32>,
+        lab: &mut Vec<u32>,
+        msgs: Messages<u32>,
+        ctx: &mut UpdateCtx<u32>,
+    ) {
+        let mut dirty = Vec::new();
+        for (l, v) in msgs {
+            if v < lab[l as usize] {
+                lab[l as usize] = v;
+                dirty.push(l);
+                ctx.note_effective(1);
+            } else {
+                ctx.note_redundant(1);
+            }
+        }
+        propagate(f, lab, dirty, ctx);
+    }
+
+    fn assemble(
+        &self,
+        _q: &(),
+        frags: &[Arc<Fragment<(), u32>>],
+        states: Vec<Vec<u32>>,
+    ) -> Vec<u32> {
+        let n = frags.iter().map(|f| f.owned_count()).sum();
+        let mut out = vec![0; n];
+        for (f, lab) in frags.iter().zip(states) {
+            for l in f.owned_vertices() {
+                out[f.global(l) as usize] = lab[l as usize];
+            }
+        }
+        out
+    }
+}
+
+fn propagate(
+    f: &Fragment<(), u32>,
+    lab: &mut [u32],
+    mut work: Vec<LocalId>,
+    ctx: &mut UpdateCtx<u32>,
+) {
+    let mut changed = std::collections::BTreeSet::new();
+    for &l in &work {
+        if f.is_border(l) {
+            changed.insert(l);
+        }
+    }
+    let mut units = 0u64;
+    while let Some(u) = work.pop() {
+        units += 1 + f.neighbors(u).len() as u64;
+        for &v in f.neighbors(u) {
+            if lab[u as usize] < lab[v as usize] {
+                lab[v as usize] = lab[u as usize];
+                work.push(v);
+                if f.is_border(v) {
+                    changed.insert(v);
+                }
+            }
+        }
+        if f.is_border(u) {
+            changed.insert(u);
+        }
+    }
+    ctx.charge_work(units);
+    for b in changed {
+        ctx.send(b, lab[b as usize]);
+    }
+}
+
+/// An undirected ring of `n` vertices over `m` hash-partitioned fragments.
+pub fn ring_frags(n: usize, m: usize) -> Vec<Fragment<(), u32>> {
+    let mut b = GraphBuilder::new_undirected(n);
+    for v in 0..n as u32 {
+        b.add_edge(v, (v + 1) % n as u32, 1);
+    }
+    let g = b.build();
+    build_fragments_n(&g, &hash_partition(&g, m), m)
+}

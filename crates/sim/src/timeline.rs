@@ -1,0 +1,128 @@
+//! Per-worker timelines and ASCII Gantt rendering for the timing-diagram
+//! figures (Fig 1(a), Fig 7).
+
+/// What a worker was doing during a span of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Executing PEval/IncEval.
+    Compute,
+    /// Deliberately suspended by the δ policy (delay stretch).
+    Suspend,
+}
+
+/// One contiguous activity interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Start time (virtual units).
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+    /// The round being executed (for `Compute` spans).
+    pub round: u32,
+    /// Activity kind.
+    pub kind: SpanKind,
+}
+
+/// Activity history of one worker.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Spans in chronological order.
+    pub spans: Vec<Span>,
+}
+
+impl Timeline {
+    /// Total computing time.
+    pub fn compute_time(&self) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Compute)
+            .map(|s| s.end - s.start)
+            .sum()
+    }
+
+    /// Number of compute rounds recorded.
+    pub fn rounds(&self) -> usize {
+        self.spans.iter().filter(|s| s.kind == SpanKind::Compute).count()
+    }
+}
+
+/// Render timelines as an ASCII Gantt chart, one row per worker:
+/// `#` compute, `.` suspend, ` ` idle. Time is scaled to `width` columns.
+///
+/// This is the textual reproduction of the paper's Fig 1(a) / Fig 7 panels.
+pub fn render_gantt(timelines: &[Timeline], width: usize) -> String {
+    let end = timelines
+        .iter()
+        .flat_map(|t| t.spans.iter().map(|s| s.end))
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let scale = width as f64 / end;
+    let mut out = String::new();
+    for (w, t) in timelines.iter().enumerate() {
+        let mut row = vec![' '; width];
+        for s in &t.spans {
+            let a = ((s.start * scale) as usize).min(width.saturating_sub(1));
+            let b = ((s.end * scale).ceil() as usize).clamp(a + 1, width);
+            let ch = match s.kind {
+                SpanKind::Compute => {
+                    // Alternate glyphs by round parity so adjacent rounds are
+                    // distinguishable.
+                    if s.round % 2 == 0 {
+                        '#'
+                    } else {
+                        '='
+                    }
+                }
+                SpanKind::Suspend => '.',
+            };
+            for c in row.iter_mut().take(b).skip(a) {
+                *c = ch;
+            }
+        }
+        out.push_str(&format!("P{w:<3}|"));
+        out.extend(row);
+        out.push('|');
+        out.push('\n');
+    }
+    out.push_str(&format!("     0{:>width$.1}\n", end, width = width - 1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gantt_renders_rows() {
+        let t = vec![
+            Timeline {
+                spans: vec![
+                    Span { start: 0.0, end: 3.0, round: 0, kind: SpanKind::Compute },
+                    Span { start: 3.0, end: 4.0, round: 0, kind: SpanKind::Suspend },
+                    Span { start: 4.0, end: 7.0, round: 1, kind: SpanKind::Compute },
+                ],
+            },
+            Timeline {
+                spans: vec![Span { start: 0.0, end: 6.0, round: 0, kind: SpanKind::Compute }],
+            },
+        ];
+        let s = render_gantt(&t, 40);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains('#'));
+        assert!(s.contains('.'));
+        assert!(s.contains('='));
+    }
+
+    #[test]
+    fn compute_time_sums_spans() {
+        let t = Timeline {
+            spans: vec![
+                Span { start: 0.0, end: 3.0, round: 0, kind: SpanKind::Compute },
+                Span { start: 5.0, end: 6.0, round: 1, kind: SpanKind::Compute },
+                Span { start: 3.0, end: 5.0, round: 0, kind: SpanKind::Suspend },
+            ],
+        };
+        assert!((t.compute_time() - 4.0).abs() < 1e-12);
+        assert_eq!(t.rounds(), 2);
+    }
+}

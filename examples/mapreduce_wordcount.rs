@@ -1,0 +1,45 @@
+//! Theorem 4 in action: MapReduce word count and a PRAM prefix sum running
+//! on the AAP engine (BSP is a special case of AAP, so the simulation uses
+//! the unmodified engine).
+//!
+//! ```sh
+//! cargo run --release --example mapreduce_wordcount
+//! ```
+
+use grape_aap::mapreduce::jobs::{InvertedIndex, WordCount};
+use grape_aap::mapreduce::pram;
+use grape_aap::mapreduce::{run_mapreduce, MrConfig};
+
+fn main() {
+    let docs: Vec<String> = vec![
+        "the adaptive asynchronous parallel model".into(),
+        "bulk synchronous parallel and asynchronous parallel are special cases".into(),
+        "the model reduces stragglers and stale computations".into(),
+        "graph computations converge under the monotone condition".into(),
+    ];
+
+    println!("== word count over {} documents (1 subroutine) ==", docs.len());
+    let (counts, stats) =
+        run_mapreduce(&WordCount { docs: docs.clone() }, &MrConfig { workers: 4, threads: 4 });
+    let mut top: Vec<_> = counts.iter().collect();
+    top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (w, c) in top.iter().take(8) {
+        println!("{c:>3}  {w}");
+    }
+    println!("supersteps: {}, messages: {}\n", stats.max_rounds(), stats.total_updates());
+
+    println!("== inverted index (2 subroutines) ==");
+    let (index, stats) =
+        run_mapreduce(&InvertedIndex { docs }, &MrConfig { workers: 4, threads: 4 });
+    for (w, postings) in index.iter().filter(|(w, _)| ["parallel", "model", "the"].contains(&w.as_str())) {
+        println!("{w:>12} -> docs [{postings}]");
+    }
+    println!("supersteps: {}\n", stats.max_rounds());
+
+    println!("== PRAM prefix sum via ⌈log n⌉ MapReduce rounds ==");
+    let values: Vec<i64> = (1..=16).collect();
+    let sums = pram::prefix_sum(&values, 4);
+    println!("input : {values:?}");
+    println!("output: {sums:?}");
+    assert_eq!(*sums.last().unwrap(), (1..=16).sum::<i64>());
+}

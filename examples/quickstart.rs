@@ -1,0 +1,53 @@
+//! Quickstart: partition a graph once, run several queries on the GRAPE+
+//! engine under AAP, and inspect the run statistics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use grape_aap::graph::{generate, partition};
+use grape_aap::prelude::*;
+
+fn main() {
+    // 2^12 vertices, ~32k edges, power-law degree distribution.
+    let g = generate::rmat(12, 8, true, 7);
+    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+
+    // Partition once; the engine is reusable across queries (§3).
+    let assignment = partition::hash_partition(&g, 8);
+    let frags = partition::build_fragments(&g, &assignment);
+    let stats = grape_aap::graph::fragment::partition_stats(&frags);
+    println!(
+        "partition: m = {}, cut edges = {}, replication = {:.3}, skew r = {:.2}",
+        stats.owned.len(),
+        stats.cut_edges,
+        stats.replication_factor,
+        stats.skew_r
+    );
+
+    let engine = Engine::new(frags, EngineOpts { mode: Mode::aap(), ..Default::default() });
+
+    // SSSP from three different sources on the same engine.
+    for src in [0u32, 17, 4095] {
+        let run = engine.run(&Sssp, &src);
+        let reachable = run.out.iter().filter(|&&d| d != u64::MAX).count();
+        println!(
+            "SSSP from {src:>4}: {reachable:>5} reachable | {}",
+            run.stats.summary()
+        );
+    }
+
+    // Connected components on the same fragments.
+    let run = engine.run(&ConnectedComponents, &());
+    let mut comps: Vec<u32> = run.out.clone();
+    comps.sort_unstable();
+    comps.dedup();
+    println!("CC: {} components | {}", comps.len(), run.stats.summary());
+
+    // PageRank, same engine again.
+    let run = engine.run(&PageRank::default(), &());
+    let mut top: Vec<(usize, f64)> = run.out.iter().copied().enumerate().collect();
+    top.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("PageRank top-5: {:?}", &top[..5]);
+    println!("{}", run.stats.summary());
+}

@@ -1,0 +1,70 @@
+//! Reproduce Fig 1(a): runs of the CC PIE program under BSP, AP, SSP and
+//! AAP on three workers where P1/P2 take 3 time units per round, P3 takes
+//! 6, and messages take 1 unit — rendered as ASCII Gantt charts
+//! (`#`/`=` compute rounds, `.` delay stretches).
+//!
+//! ```sh
+//! cargo run --release --example timing_diagram
+//! ```
+
+use grape_aap::graph::partition::build_fragments_n;
+use grape_aap::graph::GraphBuilder;
+use grape_aap::prelude::*;
+
+/// The Fig 1(b) instance: a chain of eight components spread over three
+/// fragments so that the minimal cid (0) needs several cross-fragment hops
+/// to reach component 7.
+fn fig1_fragments() -> Vec<Fragment<(), u32>> {
+    // Chain of 8 rings ("components" 0..8) linked in the dotted pattern of
+    // Fig 1(b); vertices 10c..10c+9 form ring c.
+    let n = 80;
+    let mut b = GraphBuilder::new_undirected(n);
+    for c in 0..8u32 {
+        for i in 0..10u32 {
+            b.add_edge(10 * c + i, 10 * c + (i + 1) % 10, 1);
+        }
+    }
+    // Cross-component links forming the Fig 1(b) chain: the minimal cid 0
+    // (at F3) must hop through F1/F2 alternately before reaching
+    // component 7 (back at F3).
+    let links = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)];
+    for (a, bb) in links {
+        b.add_edge(10 * a, 10 * bb, 1);
+    }
+    let g = b.build();
+    // Components 1,3,5 -> worker 0; 2,4,6 -> worker 1; 0,7 -> worker 2.
+    let frag_of = |c: u32| match c {
+        1 | 3 | 5 => 0u16,
+        2 | 4 | 6 => 1,
+        _ => 2,
+    };
+    let assignment: Vec<u16> = (0..n as u32).map(|v| frag_of(v / 10)).collect();
+    build_fragments_n(&g, &assignment, 3)
+}
+
+fn main() {
+    println!("Fig 1(a): CC on 3 workers; compute 3/3/6 units, latency 1\n");
+    for (name, mode) in [
+        ("(1) BSP", Mode::Bsp),
+        ("(2) AP", Mode::Ap),
+        ("(3) SSP (c=1)", Mode::Ssp { c: 1 }),
+        ("(4) AAP", Mode::aap()),
+    ] {
+        let opts = SimOpts {
+            mode,
+            latency: 1.0,
+            cost: CostModel::FixedPerWorker(vec![3.0, 3.0, 6.0]),
+            max_rounds: Some(10_000),
+        };
+        let sim = SimEngine::new(fig1_fragments(), opts);
+        let out = sim.run(&ConnectedComponents, &());
+        assert!(out.out.iter().all(|&c| c == 0), "one connected component");
+        println!(
+            "{name}: makespan {:.1}, rounds/worker {:?}",
+            out.stats.makespan,
+            out.stats.workers.iter().map(|w| w.rounds).collect::<Vec<_>>()
+        );
+        print!("{}", grape_aap::sim::render_gantt(&out.timelines, 72));
+        println!();
+    }
+}

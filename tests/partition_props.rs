@@ -1,0 +1,124 @@
+//! Property tests of the partitioning substrate: the invariants every
+//! fragment set must satisfy regardless of strategy.
+
+use grape_aap::graph::partition::{
+    build_fragments_n, build_fragments_vertex_cut, hash_partition, ldg_partition,
+    skewed_partition, vertex_cut_partition,
+};
+use grape_aap::graph::{generate, Graph, Route};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph<(), u32>> {
+    prop_oneof![
+        (10usize..120, 2usize..10, 0u64..100)
+            .prop_map(|(n, ef, s)| generate::uniform(n, n * ef, true, s)),
+        (10usize..120, 1usize..3, 0u64..100)
+            .prop_map(|(n, k, s)| generate::small_world(n, k.min(n - 1).max(1), 0.3, s)),
+    ]
+}
+
+fn check_edge_cut_invariants(g: &Graph<(), u32>, m: usize, assignment: &[u16]) {
+    let frags = build_fragments_n(g, assignment, m);
+    // 1. Ownership partitions V.
+    let mut owner = vec![u16::MAX; g.num_vertices()];
+    for f in &frags {
+        for l in f.owned_vertices() {
+            let gid = f.global(l) as usize;
+            assert_eq!(owner[gid], u16::MAX, "vertex owned twice");
+            owner[gid] = f.id();
+        }
+    }
+    assert!(owner.iter().all(|&o| o != u16::MAX));
+    // 2. Every stored edge appears exactly once, at its source's owner.
+    let total: usize = frags.iter().map(|f| f.edge_count()).sum();
+    assert_eq!(total, g.num_edges());
+    // 3. Mirror owners are correct and mirrors have no out-edges.
+    for f in &frags {
+        for mch in f.mirrors() {
+            let gid = f.global(mch);
+            assert_eq!(f.owner(mch), owner[gid as usize]);
+            assert!(f.neighbors(mch).is_empty());
+        }
+        // 4. Routing symmetry: v's mirror at f implies f ∈ holders(v) at the owner.
+        for mch in f.mirrors() {
+            let gid = f.global(mch);
+            let of = &frags[owner[gid as usize] as usize];
+            let lo = of.local(gid).expect("owner has the vertex");
+            assert!(
+                of.mirror_holders(lo).contains(&f.id()),
+                "owner of {gid} must list {} as holder",
+                f.id()
+            );
+            match f.route(mch) {
+                Route::Owner(o) => assert_eq!(o, of.id()),
+                Route::Mirrors(_) => panic!("mirror must route to owner"),
+            }
+        }
+        // 5. inner_in/inner_out are owned and sorted.
+        for set in [f.inner_in(), f.inner_out()] {
+            assert!(set.windows(2).all(|w| w[0] < w[1]));
+            assert!(set.iter().all(|&l| f.is_owned(l)));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn edge_cut_invariants_hold_for_hash(g in arb_graph(), m in 1usize..9) {
+        check_edge_cut_invariants(&g, m, &hash_partition(&g, m));
+    }
+
+    #[test]
+    fn edge_cut_invariants_hold_for_ldg(g in arb_graph(), m in 1usize..9) {
+        check_edge_cut_invariants(&g, m, &ldg_partition(&g, m, 1.3));
+    }
+
+    #[test]
+    fn edge_cut_invariants_hold_for_skewed(g in arb_graph(), m in 2usize..9, s in 1u32..8) {
+        check_edge_cut_invariants(&g, m, &skewed_partition(&g, m, s as f64));
+    }
+
+    #[test]
+    fn vertex_cut_invariants(g in arb_graph(), m in 1usize..8) {
+        let ea = vertex_cut_partition(&g, m);
+        let frags = build_fragments_vertex_cut(&g, &ea);
+        // edges partitioned
+        let total: usize = frags.iter().map(|f| f.edge_count()).sum();
+        prop_assert_eq!(total, g.num_edges());
+        // each vertex owned exactly once
+        let mut owned = vec![0u32; g.num_vertices()];
+        for f in &frags {
+            prop_assert!(f.is_vertex_cut());
+            for l in f.owned_vertices() {
+                owned[f.global(l) as usize] += 1;
+            }
+        }
+        prop_assert!(owned.iter().all(|&c| c == 1));
+        // copies route to owners that list them back
+        for f in &frags {
+            for l in f.mirrors() {
+                let gid = f.global(l);
+                match f.route(l) {
+                    Route::Owner(o) => {
+                        let of = &frags[o as usize];
+                        let lo = of.local(gid).unwrap();
+                        prop_assert!(of.mirror_holders(lo).contains(&f.id()));
+                    }
+                    Route::Mirrors(_) => prop_assert!(false, "copy must route to owner"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_stats_consistent(g in arb_graph(), m in 1usize..8) {
+        let frags = build_fragments_n(&g, &hash_partition(&g, m), m);
+        let stats = grape_aap::graph::fragment::partition_stats(&frags);
+        prop_assert_eq!(stats.owned.iter().sum::<usize>(), g.num_vertices());
+        prop_assert_eq!(stats.edges.iter().sum::<usize>(), g.num_edges());
+        prop_assert!(stats.replication_factor >= 1.0);
+        prop_assert!(stats.skew_r >= 1.0);
+    }
+}

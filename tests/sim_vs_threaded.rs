@@ -1,0 +1,86 @@
+//! The two runtimes must agree: the discrete-event simulator and the
+//! multithreaded engine execute the same PIE programs over the same
+//! fragments, so their *outputs* must be identical (times differ — one is
+//! virtual, one is wall-clock).
+
+use grape_aap::algos::{seq, Bfs, ConnectedComponents, PageRank, Sssp};
+use grape_aap::graph::partition::{build_fragments, hash_partition};
+use grape_aap::graph::{generate, Graph};
+use grape_aap::prelude::*;
+
+fn frags(g: &Graph<(), u32>, m: usize) -> Vec<Fragment<(), u32>> {
+    build_fragments(g, &hash_partition(g, m))
+}
+
+#[test]
+fn sssp_same_answer_in_both_runtimes() {
+    let g = generate::rmat(9, 8, true, 44);
+    let expect = seq::dijkstra(&g, 2);
+    for mode in [Mode::Bsp, Mode::Ap, Mode::aap()] {
+        let threaded = Engine::new(
+            frags(&g, 5),
+            EngineOpts { threads: 4, mode: mode.clone(), max_rounds: Some(100_000) },
+        )
+        .run(&Sssp, &2);
+        let simulated = SimEngine::new(
+            frags(&g, 5),
+            SimOpts { mode: mode.clone(), ..SimOpts::default() },
+        )
+        .run(&Sssp, &2);
+        assert_eq!(threaded.out, expect, "threaded, {mode:?}");
+        assert_eq!(simulated.out, expect, "simulated, {mode:?}");
+    }
+}
+
+#[test]
+fn cc_same_answer_in_both_runtimes() {
+    let g = generate::small_world(300, 2, 0.1, 45);
+    let expect = seq::connected_components(&g);
+    for mode in [Mode::Bsp, Mode::Ssp { c: 2 }, Mode::aap()] {
+        let t = Engine::new(
+            frags(&g, 6),
+            EngineOpts { threads: 4, mode: mode.clone(), max_rounds: Some(100_000) },
+        )
+        .run(&ConnectedComponents, &());
+        let s = SimEngine::new(frags(&g, 6), SimOpts { mode, ..SimOpts::default() })
+            .run(&ConnectedComponents, &());
+        assert_eq!(t.out, expect);
+        assert_eq!(s.out, expect);
+    }
+}
+
+#[test]
+fn bfs_same_answer_in_both_runtimes() {
+    let g = generate::lattice2d(14, 14, 46);
+    let expect = seq::bfs(&g, 5);
+    let t = Engine::new(frags(&g, 4), EngineOpts::default()).run(&Bfs, &5);
+    let s = SimEngine::new(frags(&g, 4), SimOpts::default()).run(&Bfs, &5);
+    assert_eq!(t.out, expect);
+    assert_eq!(s.out, expect);
+}
+
+#[test]
+fn pagerank_close_in_both_runtimes() {
+    let g = generate::uniform(200, 1200, true, 47);
+    let pr = PageRank { damping: 0.85, epsilon: 1e-8 };
+    let expect = seq::pagerank_delta(&g, 0.85, 1e-8);
+    let t = Engine::new(frags(&g, 4), EngineOpts::default()).run(&pr, &());
+    let s = SimEngine::new(frags(&g, 4), SimOpts::default()).run(&pr, &());
+    for (v, &e) in expect.iter().enumerate() {
+        assert!((t.out[v] - e).abs() < 1e-3, "threaded v{v}");
+        assert!((s.out[v] - e).abs() < 1e-3, "sim v{v}");
+    }
+}
+
+#[test]
+fn sim_stats_are_deterministic_but_threaded_times_vary() {
+    let g = generate::rmat(8, 6, true, 48);
+    let run = || {
+        SimEngine::new(frags(&g, 5), SimOpts::default()).run(&ConnectedComponents, &())
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.stats.makespan, b.stats.makespan);
+    assert_eq!(a.stats.total_updates(), b.stats.total_updates());
+    assert_eq!(a.stats.total_rounds(), b.stats.total_rounds());
+    assert_eq!(a.stats.total_bytes(), b.stats.total_bytes());
+}
