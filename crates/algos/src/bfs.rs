@@ -54,11 +54,11 @@ impl<V: Sync + Send, E: Sync + Send> PieProgram<V, E> for Bfs {
         _src: &VertexId,
         frag: &Fragment<V, E>,
         state: &mut BfsState,
-        msgs: Messages<u64>,
+        msgs: &mut Messages<u64>,
         ctx: &mut UpdateCtx<u64>,
     ) {
         let mut seeds: Vec<LocalId> = Vec::new();
-        for (l, d) in msgs {
+        for (l, d) in msgs.drain(..) {
             if d < state.dist[l as usize] {
                 state.dist[l as usize] = d;
                 seeds.push(l);

@@ -140,13 +140,13 @@ impl<V: Sync + Send, E: Sync + Send> PieProgram<V, E> for ConnectedComponents {
         _q: &(),
         _frag: &Fragment<V, E>,
         state: &mut CcState,
-        msgs: Messages<VertexId>,
+        msgs: &mut Messages<VertexId>,
         ctx: &mut UpdateCtx<VertexId>,
     ) {
         // "Merge" components by lowering their cids (Fig 3); propagate each
         // lowered cid to the component's border members.
         let mut changed: Vec<u32> = Vec::new();
-        for (l, cid) in msgs {
+        for (l, cid) in msgs.drain(..) {
             let c = state.comp_of[l as usize];
             if cid < state.comp_cid[c as usize] {
                 state.comp_cid[c as usize] = cid;

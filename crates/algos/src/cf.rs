@@ -116,11 +116,8 @@ impl Cf {
             for e in 0..frag.neighbors(u).len() {
                 let p = frag.neighbors(u)[e];
                 let r = frag.edge_data(u)[e];
-                let dot: f32 = st.fac[u as usize]
-                    .iter()
-                    .zip(&st.fac[p as usize])
-                    .map(|(a, b)| a * b)
-                    .sum();
+                let dot: f32 =
+                    st.fac[u as usize].iter().zip(&st.fac[p as usize]).map(|(a, b)| a * b).sum();
                 let err = r - dot;
                 let dp = delta.entry(p).or_insert_with(|| vec![0.0; self.dim]);
                 #[allow(clippy::needless_range_loop)]
@@ -183,12 +180,11 @@ impl<V: Sync + Send> PieProgram<V, f32> for Cf {
                 *ca += cb;
                 true
             }
-            (CfVal::Factor(fa, va), CfVal::Factor(fb, vb))
-                if vb > *va => {
-                    *fa = fb;
-                    *va = vb;
-                    true
-                }
+            (CfVal::Factor(fa, va), CfVal::Factor(fb, vb)) if vb > *va => {
+                *fa = fb;
+                *va = vb;
+                true
+            }
             // Mixed kinds cannot target the same vertex by construction
             // (owners receive gradients, mirrors receive factors); keep the
             // existing value defensively.
@@ -218,11 +214,11 @@ impl<V: Sync + Send> PieProgram<V, f32> for Cf {
         q: &CfQuery,
         frag: &Fragment<V, f32>,
         st: &mut CfState,
-        msgs: Messages<CfVal>,
+        msgs: &mut Messages<CfVal>,
         ctx: &mut UpdateCtx<CfVal>,
     ) {
         let mut got_factors = false;
-        for (l, val) in msgs {
+        for (l, val) in msgs.drain(..) {
             match val {
                 CfVal::Factor(f, ver) => {
                     if ver > st.version[l as usize] {
@@ -282,8 +278,7 @@ impl<V: Sync + Send> PieProgram<V, f32> for Cf {
                 let gu = f.global(u) as usize;
                 for (p, &r) in f.edges(u) {
                     let gp = f.global(p) as usize;
-                    let dot: f32 =
-                        factors[gu].iter().zip(&factors[gp]).map(|(a, b)| a * b).sum();
+                    let dot: f32 = factors[gu].iter().zip(&factors[gp]).map(|(a, b)| a * b).sum();
                     se += ((r - dot) as f64).powi(2);
                     cnt += 1;
                 }
@@ -317,8 +312,7 @@ mod tests {
         // Partition by users; items follow as mirrors of the rating edges.
         let assignment = hash_partition(&r.graph, 4);
         let frags = build_fragments_n(&r.graph, &assignment, 4);
-        let engine =
-            Engine::new(frags, EngineOpts { threads: 4, mode, max_rounds: Some(100_000) });
+        let engine = Engine::new(frags, EngineOpts { threads: 4, mode, max_rounds: Some(100_000) });
         let cf = Cf { epochs, ..Cf::default() };
         engine.run(&cf, &CfQuery { item_base: r.item_base() }).out
     }

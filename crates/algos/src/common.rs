@@ -72,9 +72,8 @@ pub fn dijkstra_from_seeds<V, E>(
             }
         }
     }
-    changed_border.extend(
-        changed.iter().enumerate().filter(|&(_, &c)| c).map(|(l, _)| l as LocalId),
-    );
+    changed_border
+        .extend(changed.iter().enumerate().filter(|&(_, &c)| c).map(|(l, _)| l as LocalId));
     work
 }
 
@@ -121,10 +120,8 @@ mod tests {
         b.add_edge(0, 1, 1u32);
         b.add_edge(2, 3, 1);
         let g = b.build();
-        let frags: Vec<_> = build_fragments(&g, &[1, 1, 0, 0])
-            .into_iter()
-            .map(std::sync::Arc::new)
-            .collect();
+        let frags: Vec<_> =
+            build_fragments(&g, &[1, 1, 0, 0]).into_iter().map(std::sync::Arc::new).collect();
         let states: Vec<Vec<u32>> = frags
             .iter()
             .map(|f| (0..f.local_count() as u32).map(|l| f.global(l) * 10).collect())

@@ -131,11 +131,11 @@ impl<V: Sync + Send, E: Sync + Send> PieProgram<V, E> for PageRank {
         _q: &(),
         frag: &Fragment<V, E>,
         st: &mut PrState,
-        msgs: Messages<f64>,
+        msgs: &mut Messages<f64>,
         ctx: &mut UpdateCtx<f64>,
     ) {
         let mut queue = std::collections::VecDeque::with_capacity(msgs.len());
-        for (l, delta) in msgs {
+        for (l, delta) in msgs.drain(..) {
             st.residual[l as usize] += delta;
             if st.residual[l as usize] >= self.epsilon {
                 queue.push_back(l);
@@ -152,9 +152,7 @@ impl<V: Sync + Send, E: Sync + Send> PieProgram<V, E> for PageRank {
     fn assemble(&self, _q: &(), frags: &[Arc<Fragment<V, E>>], states: Vec<PrState>) -> Vec<f64> {
         // Fold leftover sub-ε residual into the score for accuracy, exactly
         // like the sequential reference.
-        gather_owned(frags, &states, 0.0, |s, _, l| {
-            s.score[l as usize] + s.residual[l as usize]
-        })
+        gather_owned(frags, &states, 0.0, |s, _, l| s.score[l as usize] + s.residual[l as usize])
     }
 }
 

@@ -127,9 +127,8 @@ pub fn cf_sgd(
 ) -> f64 {
     let g = &ratings.graph;
     let n = g.num_vertices();
-    let mut fac: Vec<Vec<f32>> = (0..n)
-        .map(|v| crate::cf::seeded_factors(v as VertexId, dim, seed))
-        .collect();
+    let mut fac: Vec<Vec<f32>> =
+        (0..n).map(|v| crate::cf::seeded_factors(v as VertexId, dim, seed)).collect();
     for _ in 0..epochs {
         for u in g.vertices() {
             for (p, &r) in g.edges(u) {
@@ -234,10 +233,7 @@ mod tests {
         let ratings = generate::bipartite_ratings(60, 20, 12, 4, 7);
         let untrained = cf_sgd(&ratings, 8, 0.0, 0.0, 0, 1);
         let trained = cf_sgd(&ratings, 8, 0.05, 0.01, 30, 1);
-        assert!(
-            trained < untrained * 0.5,
-            "rmse {trained} vs untrained {untrained}"
-        );
+        assert!(trained < untrained * 0.5, "rmse {trained} vs untrained {untrained}");
         assert!(trained < 0.3, "rmse {trained}");
     }
 }

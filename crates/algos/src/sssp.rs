@@ -70,11 +70,11 @@ impl<V: Sync + Send> PieProgram<V, u32> for Sssp {
         _src: &VertexId,
         frag: &Fragment<V, u32>,
         state: &mut SsspState,
-        msgs: Messages<u64>,
+        msgs: &mut Messages<u64>,
         ctx: &mut UpdateCtx<u64>,
     ) {
         let mut seeds: Vec<LocalId> = Vec::with_capacity(msgs.len());
-        for (l, d) in msgs {
+        for (l, d) in msgs.drain(..) {
             if d < state.dist[l as usize] {
                 state.dist[l as usize] = d;
                 seeds.push(l);
@@ -87,8 +87,7 @@ impl<V: Sync + Send> PieProgram<V, u32> for Sssp {
             return;
         }
         let mut changed = Vec::new();
-        let work =
-            dijkstra_from_seeds(frag, &mut state.dist, &seeds, |&w| w as u64, &mut changed);
+        let work = dijkstra_from_seeds(frag, &mut state.dist, &seeds, |&w| w as u64, &mut changed);
         ctx.charge_work(work);
         for l in changed {
             if emit_policy(frag, l) {

@@ -19,7 +19,7 @@
 //! sequential algorithm over the fragment per round.
 
 use aap_core::pie::{Messages, PieProgram, UpdateCtx};
-use aap_graph::{FxHashMap, Fragment, LocalId, VertexId};
+use aap_graph::{Fragment, FxHashMap, LocalId, VertexId};
 use std::sync::Arc;
 
 /// A Pregel-style vertex program.
@@ -133,13 +133,13 @@ fn active_set<V, E, P>(
     q: &P::Query,
     frag: &Fragment<V, E>,
     st: &mut VcState<P::VState, P::Msg>,
-    incoming: Messages<P::Msg>,
+    incoming: &mut Messages<P::Msg>,
 ) -> Vec<(LocalId, Option<P::Msg>)>
 where
     P: VertexProgram<V, E>,
 {
     let mut pending = std::mem::take(&mut st.pending);
-    for (l, m) in incoming {
+    for (l, m) in incoming.drain(..) {
         match pending.entry(l) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 adapter.0.combine(e.get_mut(), m);
@@ -200,7 +200,7 @@ where
         q: &P::Query,
         frag: &Fragment<V, E>,
         st: &mut Self::State,
-        msgs: Messages<P::Msg>,
+        msgs: &mut Messages<P::Msg>,
         ctx: &mut UpdateCtx<P::Msg>,
     ) {
         let current = active_set(self, q, frag, st, msgs);
@@ -426,26 +426,24 @@ mod tests {
         // hash-min vertex-centric CC on high-diameter graphs.
         let g = generate::lattice2d(30, 30, 2);
         let mk = || build_fragments(&g, &hash_partition(&g, 4));
-        let bsp = |frags| Engine::new(frags, EngineOpts { threads: 4, mode: Mode::Bsp, max_rounds: Some(100_000) });
+        let bsp = |frags| {
+            Engine::new(
+                frags,
+                EngineOpts { threads: 4, mode: Mode::Bsp, max_rounds: Some(100_000) },
+            )
+        };
         let vc = bsp(mk()).run(&VertexCentric(VcCc), &()).stats.max_rounds();
         let pie = bsp(mk()).run(&crate::ConnectedComponents, &()).stats.max_rounds();
-        assert!(
-            vc > 4 * pie,
-            "vertex-centric {vc} rounds vs PIE {pie} rounds"
-        );
+        assert!(vc > 4 * pie, "vertex-centric {vc} rounds vs PIE {pie} rounds");
     }
 
     #[test]
     fn vc_pagerank_close_to_delta_pagerank() {
         let g = generate::uniform(100, 500, true, 9);
         let frags = build_fragments(&g, &hash_partition(&g, 4));
-        let engine = Engine::new(
-            frags,
-            EngineOpts { threads: 4, mode: Mode::Bsp, max_rounds: Some(1000) },
-        );
-        let vc = engine
-            .run(&VertexCentric(VcPageRank { damping: 0.85, iterations: 50 }), &())
-            .out;
+        let engine =
+            Engine::new(frags, EngineOpts { threads: 4, mode: Mode::Bsp, max_rounds: Some(1000) });
+        let vc = engine.run(&VertexCentric(VcPageRank { damping: 0.85, iterations: 50 }), &()).out;
         let seq = seq::pagerank_delta(&g, 0.85, 1e-12);
         for (a, b) in vc.iter().zip(&seq) {
             assert!((a - b).abs() < 1e-3, "vc {a} vs seq {b}");

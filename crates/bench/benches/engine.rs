@@ -4,8 +4,8 @@
 
 use aap_algos::ConnectedComponents;
 use aap_core::inbox::Inbox;
-use aap_core::pie::{route_updates, Batch};
-use aap_core::{Engine, EngineOpts, Mode};
+use aap_core::pie::{route_updates, route_updates_into, Batch};
+use aap_core::{Engine, EngineOpts, Mode, Scratch};
 use aap_graph::generate;
 use aap_graph::partition::{build_fragments, hash_partition, ldg_partition};
 use aap_graph::LocalId;
@@ -33,10 +33,11 @@ fn bench_inbox(c: &mut Criterion) {
     let g = generate::small_world(512, 2, 0.1, 2);
     let frags = build_fragments(&g, &hash_partition(&g, 2));
     let frag = &frags[0];
-    let updates: Vec<(u32, u32)> =
-        frag.mirrors().map(|m| (frag.global(m), frag.global(m) / 2)).collect();
+    // Batches are addressed in the receiver's local id space.
+    let updates: Vec<(LocalId, u32)> = frag.mirrors().map(|m| (m, frag.global(m) / 2)).collect();
     let mut group = c.benchmark_group("messaging");
     group.bench_function("inbox_push_drain_64_batches", |b| {
+        let mut scratch: Scratch<u32> = Scratch::default();
         b.iter_batched(
             || {
                 let mut inbox: Inbox<u32> = Inbox::default();
@@ -46,19 +47,80 @@ fn bench_inbox(c: &mut Criterion) {
                 inbox
             },
             |mut inbox| {
-                let (msgs, info) = inbox.drain(&ConnectedComponents, frag);
-                black_box((msgs, info))
+                let info = inbox.drain_into(&ConnectedComponents, frag, &mut scratch);
+                black_box(info)
             },
             BatchSize::SmallInput,
         )
     });
-    let locals: Vec<(LocalId, u32)> =
-        frag.mirrors().map(|m| (m, frag.global(m))).collect();
+    let locals: Vec<(LocalId, u32)> = frag.mirrors().map(|m| (m, frag.global(m))).collect();
     group.bench_function("route_updates", |b| {
-        b.iter(|| {
-            black_box(route_updates(&ConnectedComponents, frag, 1, locals.clone()))
-        })
+        b.iter(|| black_box(route_updates(&ConnectedComponents, frag, 1, locals.clone())))
     });
+    group.finish();
+}
+
+/// The dense fast path at realistic sizes: route and drain at 1k / 10k /
+/// 100k raw updates per round, steady state (scratch warm, buffers
+/// recycled) — the setting the zero-hash refactor targets.
+fn bench_routing(c: &mut Criterion) {
+    let g = generate::small_world(16_384, 4, 0.1, 2);
+    let frags = build_fragments(&g, &hash_partition(&g, 8));
+    let frag = &frags[0];
+    let border: Vec<LocalId> = frag.mirrors().collect();
+    assert!(!border.is_empty());
+    let mut group = c.benchmark_group("routing");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000, 100_000] {
+        let updates: Vec<(LocalId, u32)> = (0..n)
+            .map(|i| {
+                let l = border[i % border.len()];
+                (l, frag.global(l) / 2)
+            })
+            .collect();
+        group.bench_function(format!("route_{n}"), |b| {
+            let mut scratch: Scratch<u32> = Scratch::default();
+            let mut out = Vec::new();
+            let mut buf: Vec<(LocalId, u32)> = Vec::new();
+            b.iter(|| {
+                buf.extend_from_slice(&updates);
+                route_updates_into(&ConnectedComponents, frag, 1, &mut buf, &mut scratch, &mut out);
+                let batches = out.len();
+                for (_, batch) in out.drain(..) {
+                    scratch.recycle_batch(batch);
+                }
+                black_box(batches)
+            })
+        });
+        // Drain side: the same volume arriving as 16 batches (two rounds
+        // from each of the 7 peers plus two self-round tags — source ids
+        // must be valid fragment ids).
+        let per_batch = (n / 16).max(1);
+        let batches: Vec<Batch<u32>> = (0..16usize)
+            .map(|k| Batch {
+                src: (k % 8) as u16,
+                round: 1 + (k / 8) as u32,
+                updates: updates.iter().skip(k * per_batch).take(per_batch).copied().collect(),
+            })
+            .collect();
+        group.bench_function(format!("drain_{n}"), |b| {
+            let mut scratch: Scratch<u32> = Scratch::default();
+            b.iter_batched(
+                || {
+                    let mut inbox: Inbox<u32> = Inbox::default();
+                    for batch in &batches {
+                        inbox.push(batch.clone());
+                    }
+                    inbox
+                },
+                |mut inbox| {
+                    let info = inbox.drain_into(&ConnectedComponents, frag, &mut scratch);
+                    black_box(info.raw_updates)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
     group.finish();
 }
 
@@ -66,12 +128,9 @@ fn bench_modes(c: &mut Criterion) {
     let g = generate::rmat(11, 8, true, 3);
     let mut group = c.benchmark_group("cc_by_mode_threaded");
     group.sample_size(10);
-    for (name, mode) in [
-        ("bsp", Mode::Bsp),
-        ("ap", Mode::Ap),
-        ("ssp2", Mode::Ssp { c: 2 }),
-        ("aap", Mode::aap()),
-    ] {
+    for (name, mode) in
+        [("bsp", Mode::Bsp), ("ap", Mode::Ap), ("ssp2", Mode::Ssp { c: 2 }), ("aap", Mode::aap())]
+    {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || {
@@ -88,5 +147,5 @@ fn bench_modes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_partitioning, bench_inbox, bench_modes);
+criterion_group!(benches, bench_partitioning, bench_inbox, bench_routing, bench_modes);
 criterion_main!(benches);

@@ -75,7 +75,9 @@ fn bench_cc_straggler(c: &mut Criterion) {
             b.iter(|| {
                 let mut cluster = Cluster::balanced(16);
                 cluster.skew = skew;
-                black_box(run_sim(&cluster, &g, &ConnectedComponents, &(), "cc", Mode::aap()).0.time)
+                black_box(
+                    run_sim(&cluster, &g, &ConnectedComponents, &(), "cc", Mode::aap()).0.time,
+                )
             })
         });
     }

@@ -51,7 +51,9 @@ pub fn fig1_fragments() -> Vec<Fragment<(), u32>> {
 
 /// Fig 1(a): CC under BSP/AP/SSP/AAP with per-round costs 3/3/6, latency 1.
 pub fn fig1() -> String {
-    let mut s = String::from("## Fig 1(a) — runs of CC under the four models (3 workers, costs 3/3/6, latency 1)\n\n");
+    let mut s = String::from(
+        "## Fig 1(a) — runs of CC under the four models (3 workers, costs 3/3/6, latency 1)\n\n",
+    );
     for (name, mode) in [
         ("BSP".to_string(), Mode::Bsp),
         ("AP".to_string(), Mode::Ap),
@@ -90,13 +92,17 @@ pub fn fig1() -> String {
 pub fn table1() -> String {
     let g = workloads::friendster();
     let cluster = Cluster::balanced(192);
-    let mut s = String::from("## Table 1 — PageRank and SSSP on different system architectures (192 workers)\n\n");
+    let mut s = String::from(
+        "## Table 1 — PageRank and SSSP on different system architectures (192 workers)\n\n",
+    );
 
     let mut rows: Vec<Row> = Vec::new();
     let pr = bench_pagerank();
     let vc_pr = VertexCentric(VcPageRank { damping: 0.85, iterations: 40 });
     rows.push(run_sim(&cluster, &g, &vc_pr, &(), "Giraph / GraphLab-sync (VC x BSP)", Mode::Bsp).0);
-    rows.push(run_sim(&cluster, &g, &vc_pr, &(), "GraphLab-async / GiraphUC (VC x AP)", Mode::Ap).0);
+    rows.push(
+        run_sim(&cluster, &g, &vc_pr, &(), "GraphLab-async / GiraphUC (VC x AP)", Mode::Ap).0,
+    );
     rows.push(run_sim(&cluster, &g, &pr, &(), "Maiter (accumulative x AP)", Mode::Ap).0);
     rows.push(
         run_sim(
@@ -116,8 +122,28 @@ pub fn table1() -> String {
 
     let mut rows: Vec<Row> = Vec::new();
     let src = 0u32;
-    rows.push(run_sim(&cluster, &g, &VertexCentric(VcSssp), &src, "Giraph / GraphLab-sync (VC x BSP)", Mode::Bsp).0);
-    rows.push(run_sim(&cluster, &g, &VertexCentric(VcSssp), &src, "GraphLab-async / GiraphUC (VC x AP)", Mode::Ap).0);
+    rows.push(
+        run_sim(
+            &cluster,
+            &g,
+            &VertexCentric(VcSssp),
+            &src,
+            "Giraph / GraphLab-sync (VC x BSP)",
+            Mode::Bsp,
+        )
+        .0,
+    );
+    rows.push(
+        run_sim(
+            &cluster,
+            &g,
+            &VertexCentric(VcSssp),
+            &src,
+            "GraphLab-async / GiraphUC (VC x AP)",
+            Mode::Ap,
+        )
+        .0,
+    );
     rows.push(run_sim(&cluster, &g, &Sssp, &src, "Maiter (accumulative x AP)", Mode::Ap).0);
     rows.push(
         run_sim(
@@ -166,32 +192,68 @@ where
 
 /// Fig 6(a): SSSP on traffic.
 pub fn fig6a() -> String {
-    fig6_graph_panel("Fig 6(a) — SSSP (traffic stand-in), time vs workers", &workloads::traffic(), &Sssp, &0, grape_modes())
+    fig6_graph_panel(
+        "Fig 6(a) — SSSP (traffic stand-in), time vs workers",
+        &workloads::traffic(),
+        &Sssp,
+        &0,
+        grape_modes(),
+    )
 }
 
 /// Fig 6(b): SSSP on Friendster.
 pub fn fig6b() -> String {
-    fig6_graph_panel("Fig 6(b) — SSSP (Friendster stand-in), time vs workers", &workloads::friendster(), &Sssp, &0, grape_modes())
+    fig6_graph_panel(
+        "Fig 6(b) — SSSP (Friendster stand-in), time vs workers",
+        &workloads::friendster(),
+        &Sssp,
+        &0,
+        grape_modes(),
+    )
 }
 
 /// Fig 6(c): CC on traffic.
 pub fn fig6c() -> String {
-    fig6_graph_panel("Fig 6(c) — CC (traffic stand-in), time vs workers", &workloads::traffic(), &ConnectedComponents, &(), grape_modes())
+    fig6_graph_panel(
+        "Fig 6(c) — CC (traffic stand-in), time vs workers",
+        &workloads::traffic(),
+        &ConnectedComponents,
+        &(),
+        grape_modes(),
+    )
 }
 
 /// Fig 6(d): CC on Friendster.
 pub fn fig6d() -> String {
-    fig6_graph_panel("Fig 6(d) — CC (Friendster stand-in), time vs workers", &workloads::friendster(), &ConnectedComponents, &(), grape_modes())
+    fig6_graph_panel(
+        "Fig 6(d) — CC (Friendster stand-in), time vs workers",
+        &workloads::friendster(),
+        &ConnectedComponents,
+        &(),
+        grape_modes(),
+    )
 }
 
 /// Fig 6(e): PageRank on Friendster.
 pub fn fig6e() -> String {
-    fig6_graph_panel("Fig 6(e) — PageRank (Friendster stand-in), time vs workers", &workloads::friendster(), &bench_pagerank(), &(), grape_modes())
+    fig6_graph_panel(
+        "Fig 6(e) — PageRank (Friendster stand-in), time vs workers",
+        &workloads::friendster(),
+        &bench_pagerank(),
+        &(),
+        grape_modes(),
+    )
 }
 
 /// Fig 6(f): PageRank on UKWeb.
 pub fn fig6f() -> String {
-    fig6_graph_panel("Fig 6(f) — PageRank (UKWeb stand-in), time vs workers", &workloads::ukweb(), &bench_pagerank(), &(), grape_modes())
+    fig6_graph_panel(
+        "Fig 6(f) — PageRank (UKWeb stand-in), time vs workers",
+        &workloads::ukweb(),
+        &bench_pagerank(),
+        &(),
+        grape_modes(),
+    )
 }
 
 fn fig6_cf_panel(title: &str, ratings: &aap_graph::generate::RatingsGraph) -> String {
@@ -474,8 +536,10 @@ pub fn single_thread() -> String {
     for threads in [1usize, 2, 4, 8] {
         let assignment = aap_graph::partition::range_partition(&g, 8);
         let frags = aap_graph::partition::build_fragments_n(&g, &assignment, 8);
-        let engine =
-            Engine::new(frags, EngineOpts { threads, mode: Mode::aap(), max_rounds: Some(100_000) });
+        let engine = Engine::new(
+            frags,
+            EngineOpts { threads, mode: Mode::aap(), max_rounds: Some(100_000) },
+        );
         let t0 = Instant::now();
         let run = engine.run(&Sssp, &0);
         let dt = t0.elapsed().as_secs_f64();
@@ -497,8 +561,7 @@ struct NonIncCc;
 /// State: the recomputed CC state, the full message history to replay, and
 /// the last value emitted per border vertex (so quiescence is reached —
 /// a from-scratch recompute otherwise re-announces everything forever).
-type NonIncState =
-    (aap_algos::cc::CcState, Vec<(u32, u32)>, aap_graph::FxHashMap<u32, u32>);
+type NonIncState = (aap_algos::cc::CcState, Vec<(u32, u32)>, aap_graph::FxHashMap<u32, u32>);
 
 impl PieProgram<(), u32> for NonIncCc {
     type Query = ();
@@ -515,12 +578,7 @@ impl PieProgram<(), u32> for NonIncCc {
         }
     }
 
-    fn peval(
-        &self,
-        q: &(),
-        frag: &Fragment<(), u32>,
-        ctx: &mut UpdateCtx<u32>,
-    ) -> Self::State {
+    fn peval(&self, q: &(), frag: &Fragment<(), u32>, ctx: &mut UpdateCtx<u32>) -> Self::State {
         (ConnectedComponents.peval(q, frag, ctx), Vec::new(), Default::default())
     }
 
@@ -529,20 +587,20 @@ impl PieProgram<(), u32> for NonIncCc {
         q: &(),
         frag: &Fragment<(), u32>,
         state: &mut Self::State,
-        msgs: Messages<u32>,
+        msgs: &mut Messages<u32>,
         ctx: &mut UpdateCtx<u32>,
     ) {
         // Remember all external bounds seen so far, then recompute the
         // whole local result from scratch and re-apply them — a batch
         // algorithm in place of the incremental one.
-        for (l, v) in &msgs {
-            state.1.push((*l, *v));
+        for (l, v) in msgs.drain(..) {
+            state.1.push((l, v));
         }
         let mut scratch_ctx = UpdateCtx::new();
         let mut fresh = ConnectedComponents.peval(q, frag, &mut scratch_ctx);
-        let replay: Messages<u32> = state.1.clone();
+        let mut replay: Messages<u32> = state.1.clone();
         let mut ctx2 = UpdateCtx::new();
-        ConnectedComponents.inceval(q, frag, &mut fresh, replay, &mut ctx2);
+        ConnectedComponents.inceval(q, frag, &mut fresh, &mut replay, &mut ctx2);
         ctx.charge_work((frag.edge_count() + frag.local_count()) as u64);
         // Recomputation always "changes" every value relative to scratch;
         // ship only strictly-improved values (the initial from-scratch
@@ -598,7 +656,8 @@ pub fn ablate() -> String {
     // (c) incremental IncEval.
     let tr = workloads::traffic();
     let cluster = Cluster::balanced(32);
-    let inc = run_sim(&cluster, &tr, &ConnectedComponents, &(), "CC (incremental IncEval)", Mode::Bsp).0;
+    let inc =
+        run_sim(&cluster, &tr, &ConnectedComponents, &(), "CC (incremental IncEval)", Mode::Bsp).0;
     let noninc = run_sim(&cluster, &tr, &NonIncCc, &(), "CC (recompute IncEval)", Mode::Bsp).0;
     s.push_str(&table("(c) incremental vs batch IncEval (CC on traffic, BSP)", &[inc, noninc]));
     s

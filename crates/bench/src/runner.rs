@@ -135,7 +135,9 @@ where
 /// Render rows as a markdown table, normalising times to the first row.
 pub fn table(title: &str, rows: &[Row]) -> String {
     let mut s = format!("### {title}\n\n");
-    s.push_str("| system | time | vs first | rounds(max) | rounds(total) | updates | bytes | stale % |\n");
+    s.push_str(
+        "| system | time | vs first | rounds(max) | rounds(total) | updates | bytes | stale % |\n",
+    );
     s.push_str("|---|---:|---:|---:|---:|---:|---:|---:|\n");
     let t0 = rows.first().map(|r| r.time).unwrap_or(1.0).max(1e-12);
     for r in rows {
@@ -157,7 +159,12 @@ pub fn table(title: &str, rows: &[Row]) -> String {
 
 /// Render a series (x vs per-mode time) as a markdown table — the textual
 /// form of a Fig 6 line chart.
-pub fn series_table(title: &str, x_name: &str, xs: &[String], series: &[(String, Vec<f64>)]) -> String {
+pub fn series_table(
+    title: &str,
+    x_name: &str,
+    xs: &[String],
+    series: &[(String, Vec<f64>)],
+) -> String {
     let mut s = format!("### {title}\n\n| {x_name} |");
     for (name, _) in series {
         s.push_str(&format!(" {name} |"));

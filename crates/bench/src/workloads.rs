@@ -27,8 +27,7 @@ pub fn movielens() -> RatingsGraph {
 
 /// Netflix stand-in: larger bipartite rating graph.
 pub fn netflix() -> RatingsGraph {
-    generate::bipartite_ratings(1500, 300, 32, 8, 0x4F
-    )
+    generate::bipartite_ratings(1500, 300, 32, 8, 0x4F)
 }
 
 /// Synthetic scale series for the scale-up experiments (Fig 6(i)/(j)):

@@ -21,8 +21,9 @@
 //!   is active and no messages are buffered).
 
 use crate::inbox::Inbox;
-use crate::pie::{route_updates, Batch, PieProgram, UpdateCtx};
+use crate::pie::{route_updates_into, Batch, PieProgram, UpdateCtx};
 use crate::policy::{self, Decision, Mode, PolicyState, SharedRates};
+use crate::scratch::{Scratch, SharedPool};
 use crate::stats::{RunStats, WorkerStats, BATCH_HEADER_BYTES, UPDATE_KEY_BYTES};
 use aap_graph::Fragment;
 use parking_lot::{Condvar, Mutex};
@@ -86,6 +87,10 @@ struct Cell<Val, St> {
     eta: AtomicUsize,
     state: Mutex<Option<St>>,
     stats: Mutex<WorkerStats>,
+    /// Reusable routing/drain buffers. Only the thread currently running
+    /// this virtual worker touches it, so the lock is uncontended; it
+    /// exists to satisfy `Sync` for the scoped-thread sharing.
+    scratch: Mutex<Scratch<Val>>,
     /// Completed rounds (`ri`); PEval completion sets this to 1.
     rounds: AtomicU32,
 }
@@ -97,6 +102,7 @@ impl<Val, St> Cell<Val, St> {
             eta: AtomicUsize::new(0),
             state: Mutex::new(None),
             stats: Mutex::new(WorkerStats::default()),
+            scratch: Mutex::new(Scratch::default()),
             rounds: AtomicU32::new(0),
         }
     }
@@ -183,6 +189,7 @@ where
         let m = self.frags.len();
         let start = Instant::now();
         let cells: Vec<Cell<P::Val, P::State>> = (0..m).map(|_| Cell::new()).collect();
+        attach_shared_pool(&cells);
         let nthreads = self.opts.threads.clamp(1, m.max(1));
         let mut aborted = false;
 
@@ -198,8 +205,7 @@ where
             }
             // Outgoing batches per executing worker, delivered post-barrier.
             type Outbox<Val> = Mutex<Vec<(aap_graph::FragId, Batch<Val>)>>;
-            let outs: Vec<Outbox<P::Val>> =
-                active.iter().map(|_| Mutex::new(Vec::new())).collect();
+            let outs: Vec<Outbox<P::Val>> = active.iter().map(|_| Mutex::new(Vec::new())).collect();
             let next_work: Vec<Mutex<bool>> = active.iter().map(|_| Mutex::new(false)).collect();
             let cursor = AtomicUsize::new(0);
             std::thread::scope(|s| {
@@ -212,27 +218,39 @@ where
                         let w = active[i];
                         let frag = &self.frags[w];
                         let cell = &cells[w];
+                        let mut scratch = cell.scratch.lock();
                         let t0 = Instant::now();
-                        let (msgs, _info) = {
+                        {
                             let mut inbox = cell.inbox.lock();
-                            let r = inbox.drain(prog, frag);
+                            let info = inbox.drain_into(prog, frag, &mut scratch);
                             cell.eta.store(0, Ordering::Relaxed);
-                            r
-                        };
+                            scratch.reserve_for_traffic(info.raw_updates, info.batches);
+                        }
+                        let mut msgs = scratch.take_msgs();
                         let delivered = msgs.len() as u64;
-                        let mut ctx = UpdateCtx::new();
+                        let mut ctx = UpdateCtx::with_buffer(scratch.take_updates_buf());
                         if superstep == 0 {
                             let st = prog.peval(q, frag, &mut ctx);
                             *cell.state.lock() = Some(st);
                         } else {
                             let mut guard = cell.state.lock();
                             let st = guard.as_mut().expect("state initialised by PEval");
-                            prog.inceval(q, frag, st, msgs, &mut ctx);
+                            prog.inceval(q, frag, st, &mut msgs, &mut ctx);
                         }
+                        scratch.give_msgs(msgs);
                         let dt = t0.elapsed().as_secs_f64();
                         let (effective, redundant) = ctx.effect_counts();
-                        let (updates, local_work) = ctx.take();
-                        let batches = route_updates(prog, frag, superstep, updates);
+                        let (mut updates, local_work) = ctx.take();
+                        let mut batches = std::mem::take(&mut scratch.out);
+                        route_updates_into(
+                            prog,
+                            frag,
+                            superstep,
+                            &mut updates,
+                            &mut scratch,
+                            &mut batches,
+                        );
+                        scratch.give_updates_buf(updates);
                         {
                             let mut st = cell.stats.lock();
                             st.rounds += 1;
@@ -262,7 +280,8 @@ where
             let mut want_local: Vec<bool> = vec![false; m];
             for (i, out) in outs.iter().enumerate() {
                 want_local[active[i]] = *next_work[i].lock();
-                for (dst, b) in out.lock().drain(..) {
+                let mut out = std::mem::take(&mut *out.lock());
+                for (dst, b) in out.drain(..) {
                     let cell = &cells[dst as usize];
                     {
                         let mut st = cell.stats.lock();
@@ -273,6 +292,8 @@ where
                     let eta = inbox.push(b);
                     cell.eta.store(eta, Ordering::Relaxed);
                 }
+                // Hand the (emptied) batch list back to its worker.
+                cells[active[i]].scratch.lock().out = out;
             }
             next.extend(
                 (0..m).filter(|&w| cells[w].eta.load(Ordering::Relaxed) > 0 || want_local[w]),
@@ -294,6 +315,7 @@ where
         let m = self.frags.len();
         let start = Instant::now();
         let cells: Vec<Cell<P::Val, P::State>> = (0..m).map(|_| Cell::new()).collect();
+        attach_shared_pool(&cells);
         let rates = SharedRates::new(m);
         let l0 = match &self.opts.mode {
             Mode::Aap(cfg) => policy::l_floor(cfg, m),
@@ -316,9 +338,7 @@ where
 
         std::thread::scope(|s| {
             for _ in 0..nthreads {
-                s.spawn(|| {
-                    self.async_worker_loop(prog, q, &cells, &coord, &cv, &rates, start)
-                });
+                s.spawn(|| self.async_worker_loop(prog, q, &cells, &coord, &cv, &rates, start));
             }
         });
 
@@ -376,20 +396,24 @@ where
             // --- execute one round of worker w ---
             let frag = &self.frags[w];
             let cell = &cells[w];
+            let mut scratch = cell.scratch.lock();
             let now0 = start.elapsed().as_secs_f64();
             let t0 = Instant::now();
             let round = cell.rounds.load(Ordering::Relaxed);
             // PEval (round 0) must NOT drain: messages from faster peers'
             // PEval rounds may already be buffered and belong to IncEval.
-            let msgs = if round == 0 {
-                Vec::new()
+            let mut msgs = if round == 0 {
+                scratch.take_msgs()
             } else {
-                let (msgs, info) = {
+                let info = {
                     let mut inbox = cell.inbox.lock();
-                    let r = inbox.drain(prog, frag);
+                    let info = inbox.drain_into(prog, frag, &mut scratch);
                     cell.eta.store(0, Ordering::Relaxed);
-                    r
+                    info
                 };
+                // Keep send/recycle capacity in line with observed traffic
+                // so the next round's routing starts warm.
+                scratch.reserve_for_traffic(info.raw_updates, info.batches);
                 let mut c = coord.lock();
                 let avg = rates.avg_rate();
                 let fast = rates.fast_count();
@@ -402,22 +426,25 @@ where
                     avg,
                     fast,
                 );
-                msgs
+                scratch.take_msgs()
             };
             let delivered = msgs.len() as u64;
-            let mut ctx = UpdateCtx::new();
+            let mut ctx = UpdateCtx::with_buffer(scratch.take_updates_buf());
             if round == 0 {
                 let st = prog.peval(q, frag, &mut ctx);
                 *cell.state.lock() = Some(st);
             } else {
                 let mut guard = cell.state.lock();
                 let st = guard.as_mut().expect("state initialised by PEval");
-                prog.inceval(q, frag, st, msgs, &mut ctx);
+                prog.inceval(q, frag, st, &mut msgs, &mut ctx);
             }
+            scratch.give_msgs(msgs);
             let dt = t0.elapsed().as_secs_f64();
             let (effective, redundant) = ctx.effect_counts();
-            let (updates, local_work) = ctx.take();
-            let batches = route_updates(prog, frag, round, updates);
+            let (mut updates, local_work) = ctx.take();
+            let mut batches = std::mem::take(&mut scratch.out);
+            route_updates_into(prog, frag, round, &mut updates, &mut scratch, &mut batches);
+            scratch.give_updates_buf(updates);
 
             // --- self stats ---
             {
@@ -439,8 +466,12 @@ where
             }
 
             // --- deliver messages (push-based, immediate) ---
-            let mut dests: Vec<usize> = Vec::with_capacity(batches.len());
-            for (dst, b) in batches {
+            // `batches` comes out of routing sorted by destination with at
+            // most one batch per destination, so the wake-up list below
+            // needs no sort/dedup pass.
+            let mut dests = std::mem::take(&mut scratch.touched_dests);
+            dests.clear();
+            for (dst, b) in batches.drain(..) {
                 let dcell = &cells[dst as usize];
                 {
                     let mut st = dcell.stats.lock();
@@ -451,8 +482,9 @@ where
                 let eta = inbox.push(b);
                 dcell.eta.store(eta, Ordering::Relaxed);
                 drop(inbox);
-                dests.push(dst as usize);
+                dests.push(dst);
             }
+            scratch.out = batches;
 
             // --- post-round coordination ---
             let now1 = start.elapsed().as_secs_f64();
@@ -481,15 +513,15 @@ where
 
                 // Message arrivals re-evaluate their targets (§3: "when Pi
                 // receives a new message, DSi is adjusted").
-                dests.sort_unstable();
-                dests.dedup();
-                for dst in dests {
+                for &dst in &dests {
+                    let dst = dst as usize;
                     if matches!(c.status[dst], Status::Ready | Status::Running) {
                         continue;
                     }
                     let d = self.decide::<P>(&c, cells, rates, dst, now1);
                     apply_decision(&mut c, cells, cv, dst, d, false);
                 }
+                scratch.touched_dests = dests;
 
                 // Round-bound movement can release held workers (BSP-like
                 // holds, SSP bounds, AAP staleness predicate).
@@ -560,6 +592,16 @@ where
             RunStats { mode: self.opts.mode.name().to_string(), makespan, workers, aborted };
         let out = prog.assemble(q, &self.frags, states);
         RunOutput { out, stats }
+    }
+}
+
+/// Share one batch-body recycling pool across all workers of a run, so
+/// send-heavy workers reuse the memory receive-heavy workers drain (see
+/// [`crate::scratch::SharedPool`]).
+fn attach_shared_pool<Val, St>(cells: &[Cell<Val, St>]) {
+    let pool: SharedPool<Val> = SharedPool::default();
+    for cell in cells {
+        cell.scratch.lock().attach_shared_pool(pool.clone());
     }
 }
 
@@ -655,12 +697,7 @@ mod tests {
             }
         }
 
-        fn peval(
-            &self,
-            _q: &(),
-            f: &Fragment<(), u32>,
-            ctx: &mut UpdateCtx<u32>,
-        ) -> Vec<u32> {
+        fn peval(&self, _q: &(), f: &Fragment<(), u32>, ctx: &mut UpdateCtx<u32>) -> Vec<u32> {
             let mut lab: Vec<u32> = (0..f.local_count() as u32).map(|l| f.global(l)).collect();
             propagate(f, &mut lab, (0..f.local_count() as LocalId).collect(), ctx);
             lab
@@ -671,11 +708,11 @@ mod tests {
             _q: &(),
             f: &Fragment<(), u32>,
             lab: &mut Vec<u32>,
-            msgs: Messages<u32>,
+            msgs: &mut Messages<u32>,
             ctx: &mut UpdateCtx<u32>,
         ) {
             let mut dirty = Vec::new();
-            for (l, v) in msgs {
+            for (l, v) in msgs.drain(..) {
                 if v < lab[l as usize] {
                     lab[l as usize] = v;
                     dirty.push(l);

@@ -7,11 +7,20 @@
 //! round). Draining applies `faggr` across all buffered values per vertex,
 //! producing the aggregated change set `Mi = faggr(Bx̄i ∪ Ci.x̄)` that
 //! `IncEval` consumes.
+//!
+//! Batches arrive addressed in *this* fragment's local id space (the
+//! sender's routing table translated them; see
+//! [`aap_graph::RoutingTable`]), so draining is pure dense-array work: an
+//! epoch-stamped sparse set combines values per vertex with no hash-map
+//! traversal and — with a warm [`Scratch`] — no heap allocation.
 
 use crate::pie::{Batch, Messages, PieProgram, Round};
-use aap_graph::{FragId, Fragment, FxHashMap, FxHashSet};
+use crate::scratch::Scratch;
+use aap_graph::Fragment;
 
-/// Message buffer for one virtual worker.
+/// Message buffer for one virtual worker. The batch vector's capacity is
+/// retained across drains (`Vec::drain`), so a steady-state inbox never
+/// regrows from zero.
 #[derive(Debug)]
 pub struct Inbox<Val> {
     batches: Vec<Batch<Val>>,
@@ -64,10 +73,63 @@ impl<Val> Inbox<Val> {
         self.buffered_updates
     }
 
-    /// Drain everything, combining values per *local* vertex with the
-    /// program's `faggr`. Updates for vertices unknown to `frag` are
-    /// impossible by construction of the routing tables and are rejected in
-    /// debug builds.
+    /// Drain everything into `scratch.msgs`, combining values per local
+    /// vertex with the program's `faggr`; the result is sorted by local id.
+    /// Batch bodies are recycled into the scratch's pool so the worker's
+    /// own sends reuse their capacity. Updates for vertices outside the
+    /// fragment are impossible by construction of the routing tables and
+    /// are rejected in debug builds.
+    pub fn drain_into<V, E, P>(
+        &mut self,
+        prog: &P,
+        frag: &Fragment<V, E>,
+        scratch: &mut Scratch<P::Val>,
+    ) -> DrainInfo
+    where
+        P: PieProgram<V, E, Val = Val> + ?Sized,
+    {
+        scratch.ensure(frag);
+        scratch.next_epoch();
+        scratch.msgs.clear();
+        let mut distinct_sources = 0usize;
+        let mut max_round = 0;
+        let info_batches = self.batches.len();
+        let info_raw = self.buffered_updates;
+        let local_count = frag.local_count();
+        for batch in self.batches.drain(..) {
+            if scratch.touch_source(batch.src) {
+                distinct_sources += 1;
+            }
+            max_round = max_round.max(batch.round);
+            let mut updates = batch.updates;
+            for (l, v) in updates.drain(..) {
+                debug_assert!(
+                    (l as usize) < local_count,
+                    "update for local {l} outside fragment (local_count {local_count})"
+                );
+                let idx = scratch.msgs.len() as u32;
+                match scratch.touch(l, idx) {
+                    Some(prev) => {
+                        prog.combine(&mut scratch.msgs[prev as usize].1, v);
+                    }
+                    None => {
+                        if scratch.msgs.len() == scratch.msgs.capacity() {
+                            scratch.grow_events += 1;
+                        }
+                        scratch.msgs.push((l, v));
+                    }
+                }
+            }
+            scratch.recycle_vec(updates);
+        }
+        self.buffered_updates = 0;
+        scratch.msgs.sort_unstable_by_key(|&(l, _)| l);
+        DrainInfo { batches: info_batches, raw_updates: info_raw, distinct_sources, max_round }
+    }
+
+    /// Convenience wrapper over [`Inbox::drain_into`] with a throwaway
+    /// scratch — for tests and one-shot callers; engines keep a per-worker
+    /// [`Scratch`].
     pub fn drain<V, E, P>(
         &mut self,
         prog: &P,
@@ -76,39 +138,9 @@ impl<Val> Inbox<Val> {
     where
         P: PieProgram<V, E, Val = Val> + ?Sized,
     {
-        let mut map: FxHashMap<aap_graph::LocalId, Val> = FxHashMap::default();
-        let mut sources: FxHashSet<FragId> = FxHashSet::default();
-        let mut max_round = 0;
-        let info_batches = self.batches.len();
-        let info_raw = self.buffered_updates;
-        for batch in self.batches.drain(..) {
-            sources.insert(batch.src);
-            max_round = max_round.max(batch.round);
-            for (g, v) in batch.updates {
-                let Some(l) = frag.local(g) else {
-                    debug_assert!(false, "update for vertex {g} not present in fragment");
-                    continue;
-                };
-                match map.entry(l) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        prog.combine(e.get_mut(), v);
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(v);
-                    }
-                }
-            }
-        }
-        self.buffered_updates = 0;
-        let mut msgs: Messages<Val> = map.into_iter().collect();
-        msgs.sort_unstable_by_key(|&(l, _)| l);
-        let info = DrainInfo {
-            batches: info_batches,
-            raw_updates: info_raw,
-            distinct_sources: sources.len(),
-            max_round,
-        };
-        (msgs, info)
+        let mut scratch = Scratch::default();
+        let info = self.drain_into(prog, frag, &mut scratch);
+        (scratch.take_msgs(), info)
     }
 }
 
@@ -132,29 +164,17 @@ mod tests {
                 false
             }
         }
-        fn peval(
-            &self,
-            _: &(),
-            _: &Fragment<(), u32>,
-            _: &mut crate::pie::UpdateCtx<u64>,
-        ) {
-        }
+        fn peval(&self, _: &(), _: &Fragment<(), u32>, _: &mut crate::pie::UpdateCtx<u64>) {}
         fn inceval(
             &self,
             _: &(),
             _: &Fragment<(), u32>,
             _: &mut (),
-            _: Messages<u64>,
+            _: &mut Messages<u64>,
             _: &mut crate::pie::UpdateCtx<u64>,
         ) {
         }
-        fn assemble(
-            &self,
-            _: &(),
-            _: &[std::sync::Arc<Fragment<(), u32>>],
-            _: Vec<()>,
-        ) {
-        }
+        fn assemble(&self, _: &(), _: &[std::sync::Arc<Fragment<(), u32>>], _: Vec<()>) {}
     }
 
     fn frag() -> Fragment<(), u32> {
@@ -170,9 +190,11 @@ mod tests {
     #[test]
     fn eta_counts_batches_not_updates() {
         let f = frag();
+        let l2 = f.local(2).unwrap();
+        let l3 = f.local(3).unwrap();
         let mut inbox: Inbox<u64> = Inbox::default();
-        inbox.push(Batch { src: 0, round: 1, updates: vec![(2, 5)] });
-        inbox.push(Batch { src: 0, round: 2, updates: vec![(2, 4), (3, 9)] });
+        inbox.push(Batch { src: 0, round: 1, updates: vec![(l2, 5)] });
+        inbox.push(Batch { src: 0, round: 2, updates: vec![(l2, 4), (l3, 9)] });
         assert_eq!(inbox.eta(), 2);
         assert_eq!(inbox.buffered_updates(), 3);
         let (msgs, info) = inbox.drain(&Min, &f);
@@ -181,8 +203,6 @@ mod tests {
         assert_eq!(info.distinct_sources, 1);
         assert_eq!(info.max_round, 2);
         // values combined per-vertex with min
-        let l2 = f.local(2).unwrap();
-        let l3 = f.local(3).unwrap();
         let mut expect = vec![(l2, 4u64), (l3, 9)];
         expect.sort_unstable_by_key(|&(l, _)| l);
         assert_eq!(msgs, expect);
@@ -197,5 +217,47 @@ mod tests {
         let (msgs, info) = inbox.drain(&Min, &f);
         assert!(msgs.is_empty());
         assert_eq!(info.batches, 0);
+    }
+
+    #[test]
+    fn distinct_sources_counted_per_drain() {
+        let f = frag();
+        let l2 = f.local(2).unwrap();
+        let mut inbox: Inbox<u64> = Inbox::default();
+        let mut scratch: Scratch<u64> = Scratch::default();
+        for src in [0u16, 0, 1, 1, 0] {
+            inbox.push(Batch { src, round: 1, updates: vec![(l2, src as u64)] });
+        }
+        let info = inbox.drain_into(&Min, &f, &mut scratch);
+        assert_eq!(info.distinct_sources, 2);
+        assert_eq!(scratch.take_msgs(), vec![(l2, 0u64)]);
+        // A second drain must not be confused by the previous epoch.
+        inbox.push(Batch { src: 1, round: 2, updates: vec![(l2, 7)] });
+        let info = inbox.drain_into(&Min, &f, &mut scratch);
+        assert_eq!(info.distinct_sources, 1);
+    }
+
+    #[test]
+    fn steady_state_drains_do_not_grow_buffers() {
+        let f = frag();
+        let l2 = f.local(2).unwrap();
+        let l3 = f.local(3).unwrap();
+        let mut inbox: Inbox<u64> = Inbox::default();
+        let mut scratch: Scratch<u64> = Scratch::default();
+        // Warm-up round sizes every buffer.
+        for round in 0..3u32 {
+            inbox.push(Batch { src: 0, round, updates: vec![(l2, 5), (l3, 1)] });
+            inbox.push(Batch { src: 1, round, updates: vec![(l2, 4)] });
+            let _ = inbox.drain_into(&Min, &f, &mut scratch);
+        }
+        let after_warmup = scratch.grow_events();
+        for round in 3..50u32 {
+            // Note: pushing fresh vec![] here allocates *in the test*, but
+            // the drain itself must not grow any scratch buffer.
+            inbox.push(Batch { src: 0, round, updates: vec![(l2, 5), (l3, 1)] });
+            inbox.push(Batch { src: 1, round, updates: vec![(l2, 4)] });
+            let _ = inbox.drain_into(&Min, &f, &mut scratch);
+        }
+        assert_eq!(scratch.grow_events(), after_warmup, "steady-state drain reallocated");
     }
 }

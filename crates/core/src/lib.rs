@@ -37,9 +37,9 @@
 //!         lab
 //!     }
 //!     fn inceval(&self, _q: &(), f: &Fragment<(), u32>, lab: &mut Vec<u32>,
-//!                msgs: Messages<u32>, ctx: &mut UpdateCtx<u32>) {
+//!                msgs: &mut Messages<u32>, ctx: &mut UpdateCtx<u32>) {
 //!         let mut dirty = Vec::new();
-//!         for (l, v) in msgs {
+//!         for (l, v) in msgs.drain(..) {
 //!             if v < lab[l as usize] { lab[l as usize] = v; dirty.push(l); }
 //!         }
 //!         propagate(f, lab, dirty, ctx);
@@ -84,6 +84,7 @@ pub mod engine;
 pub mod inbox;
 pub mod pie;
 pub mod policy;
+pub mod scratch;
 pub mod stats;
 pub mod theory;
 
@@ -99,4 +100,5 @@ pub mod prelude {
 pub use engine::{Engine, EngineOpts, RunOutput};
 pub use pie::{Batch, Messages, PieProgram, Round, UpdateCtx};
 pub use policy::{AapConfig, Decision, HsyncConfig, Mode};
+pub use scratch::Scratch;
 pub use stats::{RunStats, WorkerStats};

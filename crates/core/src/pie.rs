@@ -16,7 +16,8 @@
 //! new algorithm means writing ordinary sequential code against a single
 //! [`Fragment`], exactly the paper's pitch.
 
-use aap_graph::{FragId, Fragment, FxHashMap, LocalId, VertexId};
+use crate::scratch::Scratch;
+use aap_graph::{FragId, Fragment, LocalId};
 
 /// Round identifier. `0` is the `PEval` round; `IncEval` rounds start at 1.
 pub type Round = u32;
@@ -41,7 +42,14 @@ impl<Val> Default for UpdateCtx<Val> {
 impl<Val> UpdateCtx<Val> {
     /// Fresh, empty context (engines create one per round).
     pub fn new() -> Self {
-        UpdateCtx { updates: Vec::new(), local_work: false, effective: 0, redundant: 0, work: 0 }
+        Self::with_buffer(Vec::new())
+    }
+
+    /// Context reusing a (cleared) update vector — engines round-trip the
+    /// vector through [`Scratch`] so steady-state rounds don't allocate it.
+    pub fn with_buffer(mut buffer: Vec<(LocalId, Val)>) -> Self {
+        buffer.clear();
+        UpdateCtx { updates: buffer, local_work: false, effective: 0, redundant: 0, work: 0 }
     }
 
     /// Report that an incoming update improved a parameter (statistics for
@@ -112,7 +120,10 @@ impl<Val> UpdateCtx<Val> {
 }
 
 /// The aggregated message set `Mi` delivered to one `IncEval` round: per
-/// local vertex, the `faggr`-combination of all buffered values for it.
+/// local vertex, the `faggr`-combination of all buffered values for it,
+/// sorted by local id. Passed to `IncEval` as `&mut` so programs can
+/// `drain(..)` it for by-value access while the engine recycles the
+/// vector's capacity across rounds.
 pub type Messages<Val> = Vec<(LocalId, Val)>;
 
 /// A PIE program for a query class `Q` (the paper's `ρ = (PEval, IncEval,
@@ -148,12 +159,16 @@ pub trait PieProgram<V, E>: Sync {
 
     /// Incremental evaluation: apply the aggregated changes `msgs` to the
     /// local partial result, emitting further changed parameters.
+    ///
+    /// `msgs` is mutable so programs can consume values with
+    /// `msgs.drain(..)`; the engine reclaims the vector's capacity either
+    /// way.
     fn inceval(
         &self,
         q: &Self::Query,
         frag: &Fragment<V, E>,
         state: &mut Self::State,
-        msgs: Messages<Self::Val>,
+        msgs: &mut Messages<Self::Val>,
         ctx: &mut UpdateCtx<Self::Val>,
     );
 
@@ -176,72 +191,132 @@ pub trait PieProgram<V, E>: Sync {
 
 /// One message batch `M(i, j)`: the changed parameters a worker ships to a
 /// peer at the end of one round (§3, "designated messages").
+///
+/// Updates are addressed in the **receiver's** local id space, resolved at
+/// partition time through [`aap_graph::RoutingTable`] — the receiver's
+/// drain indexes straight into dense arrays without a `g2l` lookup. Pairs
+/// are sorted by local id and carry at most one value per vertex (the
+/// sender pre-combines with `faggr`).
 #[derive(Debug, Clone)]
 pub struct Batch<Val> {
     /// Sending fragment.
     pub src: FragId,
     /// The round at the sender that produced these values.
     pub round: Round,
-    /// `(global vertex, value)` pairs.
-    pub updates: Vec<(VertexId, Val)>,
+    /// `(receiver-local vertex, value)` pairs, sorted, deduplicated.
+    pub updates: Vec<(LocalId, Val)>,
 }
 
-/// Route one round's update set into per-destination batches, returned as
-/// `(destination fragment, batch)` pairs sorted by destination.
+/// Route one round's update set into per-destination batches, appended to
+/// `out` as `(destination fragment, batch)` pairs sorted by destination.
 ///
-/// Updates for the same destination vertex are pre-combined with `faggr`
-/// so a batch carries at most one value per parameter.
+/// This is the zero-hash fast path: a stamp-based dedup pass combines
+/// repeated updates to the same vertex with `faggr` in place, then the
+/// fragment's [`aap_graph::RoutingTable`] fans each unique update out to
+/// dense per-destination buffers in the receiver's id space. With a warm
+/// [`Scratch`] the whole routine performs no heap allocation.
+///
+/// `updates` is drained (left empty, capacity kept) so engines can recycle
+/// it as the next round's `UpdateCtx` buffer.
+pub fn route_updates_into<V, E, P: PieProgram<V, E> + ?Sized>(
+    prog: &P,
+    frag: &Fragment<V, E>,
+    round: Round,
+    updates: &mut Vec<(LocalId, P::Val)>,
+    scratch: &mut Scratch<P::Val>,
+    out: &mut Vec<(FragId, Batch<P::Val>)>,
+) {
+    scratch.ensure(frag);
+    let routing = frag.routing();
+
+    // Pass 1: stamp-dedup into `scratch.uniq`, combining duplicates with
+    // `faggr` in place. Interior vertices (no fan-out) are skipped before
+    // they cost a stamp write.
+    scratch.next_epoch();
+    scratch.uniq.clear();
+    for (l, v) in updates.drain(..) {
+        if routing.fanout_len(l) == 0 {
+            continue;
+        }
+        let idx = scratch.uniq.len() as u32;
+        match scratch.touch(l, idx) {
+            Some(prev) => {
+                prog.combine(&mut scratch.uniq[prev as usize].1, v);
+            }
+            None => {
+                if scratch.uniq.len() == scratch.uniq.capacity() {
+                    scratch.grow_events += 1;
+                }
+                scratch.uniq.push((l, v));
+            }
+        }
+    }
+
+    // Pass 2: fan out to dense per-destination buffers, moving the value
+    // into the last (usually only) destination instead of cloning it.
+    let mut uniq = std::mem::take(&mut scratch.uniq);
+    for (l, v) in uniq.drain(..) {
+        let (slots, remotes) = routing.fanout(l);
+        if let ([slot], [remote]) = (slots, remotes) {
+            // Single destination — the edge-cut mirror->owner hop that
+            // dominates real traffic; no clone, no iterator setup.
+            push_update(&mut scratch.bufs[*slot as usize], &mut scratch.grow_events, *remote, v);
+            continue;
+        }
+        let (&last_slot, rest_slots) = slots.split_last().expect("fanout checked non-empty");
+        let (&last_remote, rest_remotes) = remotes.split_last().expect("parallel slices");
+        for (&slot, &remote) in rest_slots.iter().zip(rest_remotes) {
+            let v = v.clone();
+            push_update(&mut scratch.bufs[slot as usize], &mut scratch.grow_events, remote, v);
+        }
+        push_update(
+            &mut scratch.bufs[last_slot as usize],
+            &mut scratch.grow_events,
+            last_remote,
+            v,
+        );
+    }
+    scratch.uniq = uniq;
+
+    // Pass 3: emit non-empty buffers as batches. `dests` is sorted, so the
+    // output order is deterministic without a final sort.
+    let out_start = out.len();
+    for (slot, dst) in routing.dests().iter().enumerate() {
+        if scratch.bufs[slot].is_empty() {
+            continue;
+        }
+        scratch.bufs[slot].sort_unstable_by_key(|&(l, _)| l);
+        let replacement = scratch.take_vec();
+        let body = std::mem::replace(&mut scratch.bufs[slot], replacement);
+        if out.len() == out.capacity() {
+            scratch.grow_events += 1;
+        }
+        out.push((*dst, Batch { src: frag.id(), round, updates: body }));
+    }
+    scratch.out_hint = scratch.out_hint.max(out.len() - out_start);
+}
+
+#[inline]
+fn push_update<Val>(buf: &mut Vec<(LocalId, Val)>, grow_events: &mut u64, remote: LocalId, v: Val) {
+    if buf.len() == buf.capacity() {
+        *grow_events += 1;
+    }
+    buf.push((remote, v));
+}
+
+/// Convenience wrapper over [`route_updates_into`] allocating fresh
+/// buffers — fine for tests and one-shot calls; engines use the `_into`
+/// form with a per-worker [`Scratch`].
 pub fn route_updates<V, E, P: PieProgram<V, E> + ?Sized>(
     prog: &P,
     frag: &Fragment<V, E>,
     round: Round,
-    updates: Vec<(LocalId, P::Val)>,
+    mut updates: Vec<(LocalId, P::Val)>,
 ) -> Vec<(FragId, Batch<P::Val>)> {
-    let mut per_dest: FxHashMap<FragId, FxHashMap<VertexId, P::Val>> = FxHashMap::default();
-    for (l, v) in updates {
-        let g = frag.global(l);
-        match frag.route(l) {
-            aap_graph::Route::Owner(o) => {
-                merge(prog, per_dest.entry(o).or_default(), g, v);
-            }
-            aap_graph::Route::Mirrors(ms) => {
-                for (k, &m) in ms.iter().enumerate() {
-                    if k + 1 == ms.len() {
-                        merge(prog, per_dest.entry(m).or_default(), g, v);
-                        break;
-                    }
-                    merge(prog, per_dest.entry(m).or_default(), g, v.clone());
-                }
-            }
-        }
-    }
-    let mut out: Vec<(FragId, Batch<P::Val>)> = per_dest
-        .into_iter()
-        .map(|(dst, map)| {
-            let mut updates: Vec<(VertexId, P::Val)> = map.into_iter().collect();
-            updates.sort_unstable_by_key(|&(g, _)| g);
-            (dst, Batch { src: frag.id(), round, updates })
-        })
-        .collect();
-    // Deterministic order of destinations for reproducible runs.
-    out.sort_unstable_by_key(|&(dst, _)| dst);
+    let mut scratch = Scratch::default();
+    let mut out = Vec::new();
+    route_updates_into(prog, frag, round, &mut updates, &mut scratch, &mut out);
     out
-}
-
-fn merge<V, E, P: PieProgram<V, E> + ?Sized>(
-    prog: &P,
-    map: &mut FxHashMap<VertexId, P::Val>,
-    g: VertexId,
-    v: P::Val,
-) {
-    match map.entry(g) {
-        std::collections::hash_map::Entry::Occupied(mut e) => {
-            prog.combine(e.get_mut(), v);
-        }
-        std::collections::hash_map::Entry::Vacant(e) => {
-            e.insert(v);
-        }
-    }
 }
 
 #[cfg(test)]
@@ -276,7 +351,7 @@ mod tests {
             _: &(),
             _: &Fragment<(), u32>,
             _: &mut (),
-            _: Messages<u64>,
+            _: &mut Messages<u64>,
             _: &mut UpdateCtx<u64>,
         ) {
         }
@@ -295,14 +370,15 @@ mod tests {
         let frags = build_fragments(&g, &[0, 0, 1, 1]);
         let f0 = &frags[0];
         let m = f0.local(2).unwrap();
-        let batches =
-            route_updates(&MinProg, f0, 3, vec![(m, 9u64), (m, 4), (m, 7)]);
+        let batches = route_updates(&MinProg, f0, 3, vec![(m, 9u64), (m, 4), (m, 7)]);
         assert_eq!(batches.len(), 1);
         let (dst, b0) = &batches[0];
         assert_eq!(*dst, 1);
         assert_eq!(b0.src, 0);
         assert_eq!(b0.round, 3);
-        assert_eq!(b0.updates, vec![(2u32, 4u64)]);
+        // Updates arrive pre-translated into fragment 1's local id space.
+        let at_dest = frags[1].local(2).unwrap();
+        assert_eq!(b0.updates, vec![(at_dest, 4u64)]);
     }
 
     #[test]
@@ -318,7 +394,8 @@ mod tests {
         let batches = route_updates(&MinProg, f0, 1, vec![(border, 1u64)]);
         assert_eq!(batches.len(), 1);
         assert_eq!(batches[0].0, 1);
-        assert_eq!(batches[0].1.updates, vec![(1u32, 1u64)]);
+        let at_dest = frags[1].local(1).unwrap();
+        assert_eq!(batches[0].1.updates, vec![(at_dest, 1u64)]);
     }
 
     #[test]

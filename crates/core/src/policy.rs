@@ -292,8 +292,11 @@ pub fn on_round_complete(mode: &Mode, ps: &mut PolicyState, round_time: f64, now
         Mode::Aap(cfg) => cfg.ewma_alpha,
         _ => 0.3,
     };
-    ps.t_round =
-        if ps.t_round == 0.0 { round_time } else { alpha * round_time + (1.0 - alpha) * ps.t_round };
+    ps.t_round = if ps.t_round == 0.0 {
+        round_time
+    } else {
+        alpha * round_time + (1.0 - alpha) * ps.t_round
+    };
     ps.idle_since = now;
 }
 
@@ -471,8 +474,7 @@ mod tests {
 
     #[test]
     fn aap_staleness_bound_holds_front_runner() {
-        let mode =
-            Mode::Aap(AapConfig { staleness_bound: Some(2), ..AapConfig::default() });
+        let mode = Mode::Aap(AapConfig { staleness_bound: Some(2), ..AapConfig::default() });
         let ps = PolicyState::new(0.0);
         assert_eq!(delta(&mode, &ps, &inputs(1, 5, 2, 5)), Decision::Hold); // spread 3 > 2
         assert_eq!(delta(&mode, &ps, &inputs(1, 4, 2, 4)), Decision::Run); // spread 2 ≤ 2

@@ -1,10 +1,8 @@
 //! Run statistics: response time, communication volume, rounds, and the
 //! stale/redundant-computation measures reported throughout §7.
 
-use serde::Serialize;
-
 /// Per-worker counters, gathered by the engine's statistics collector (§6).
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct WorkerStats {
     /// Rounds executed (PEval counts as round 0).
     pub rounds: u64,
@@ -32,7 +30,7 @@ pub struct WorkerStats {
 }
 
 /// Aggregate statistics of one run.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunStats {
     /// Execution mode name ("BSP", "AP", "SSP", "AAP", "Hsync").
     pub mode: String,
@@ -122,8 +120,7 @@ mod tests {
 
     #[test]
     fn aggregates() {
-        let mut s =
-            RunStats { mode: "AAP".into(), makespan: 2.0, workers: vec![], aborted: false };
+        let mut s = RunStats { mode: "AAP".into(), makespan: 2.0, workers: vec![], aborted: false };
         for i in 0..3u64 {
             s.workers.push(WorkerStats {
                 rounds: i + 1,

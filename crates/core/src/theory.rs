@@ -76,10 +76,8 @@ where
     let runs = modes.len();
     for mode in modes {
         let name = format!("{mode:?}");
-        let engine = Engine::new(
-            fragments(),
-            EngineOpts { threads, mode, max_rounds: Some(1_000_000) },
-        );
+        let engine =
+            Engine::new(fragments(), EngineOpts { threads, mode, max_rounds: Some(1_000_000) });
         let out = engine.run(prog, q).out;
         match &reference {
             None => reference = Some(out),

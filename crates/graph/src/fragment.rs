@@ -23,6 +23,32 @@
 //! Message routing (see `aap-core`) uses [`Fragment::route`]: an update on a
 //! mirror travels to its owner; an update on an owned border vertex travels
 //! to every fragment mirroring it.
+//!
+//! # Dense routing tables
+//!
+//! [`Fragment::routing`] exposes a precomputed [`RoutingTable`] so the
+//! per-round message path never touches a hash map. The table is built once
+//! at `build_fragments` time and upholds these invariants, which the
+//! engines (`aap-core`, `aap-sim`) rely on:
+//!
+//! 1. **Destination list.** [`RoutingTable::dests`] is the sorted,
+//!    duplicate-free list of every fragment this fragment can ever send
+//!    to. Fan-out entries reference destinations by *slot* (index into
+//!    that list), so per-destination send buffers can be dense arrays.
+//! 2. **Receiver-local addressing.** Each fan-out entry carries the
+//!    destination-local id of the vertex — `frags[dst].local(global)` was
+//!    resolved at build time. Message batches therefore ship
+//!    `(LocalId, Val)` pairs already in the *receiver's* id space and the
+//!    receiver's drain indexes straight into arrays of its `local_count()`.
+//! 3. **Route agreement.** For every local `l`,
+//!    [`RoutingTable::fanout`]`(l)` lists exactly the fragments of
+//!    [`Fragment::route`]`(l)`: the owner for a mirror, the holders
+//!    (mirror/copy sites) for an owned border vertex, nothing for an
+//!    interior vertex. The two views are redundant by construction; the
+//!    table is the hot-path form, `route` the explanatory one.
+//! 4. **Stability.** The table is immutable after construction — the
+//!    partition is fixed for the lifetime of the fragment set ("G is
+//!    partitioned once for all queries Q", §3).
 
 use crate::{FragId, FxHashMap, Graph, LocalId, VertexId};
 
@@ -33,6 +59,69 @@ pub enum Route<'a> {
     Owner(FragId),
     /// The vertex is owned; ship to every fragment holding a copy.
     Mirrors(&'a [FragId]),
+}
+
+/// Precomputed dense routing for one fragment: for every local vertex, the
+/// destination fragments *and the destination-local ids* of its copies.
+/// See the module docs for the invariants.
+///
+/// Layout: a CSR over local ids. `fanout(l)` yields
+/// `(destination slot, destination-local id)` pairs, where the slot indexes
+/// [`RoutingTable::dests`]. Slots let the sender keep one dense send buffer
+/// per reachable destination instead of a hash map keyed by fragment id.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    dests: Vec<FragId>,
+    offsets: Vec<u32>,
+    dest_slot: Vec<u16>,
+    remote: Vec<LocalId>,
+}
+
+impl RoutingTable {
+    pub(crate) fn from_parts(
+        dests: Vec<FragId>,
+        offsets: Vec<u32>,
+        dest_slot: Vec<u16>,
+        remote: Vec<LocalId>,
+    ) -> Self {
+        debug_assert_eq!(dest_slot.len(), remote.len());
+        debug_assert_eq!(*offsets.last().unwrap_or(&0) as usize, remote.len());
+        debug_assert!(dests.windows(2).all(|w| w[0] < w[1]), "dests sorted unique");
+        RoutingTable { dests, offsets, dest_slot, remote }
+    }
+
+    /// Sorted, duplicate-free list of every fragment this fragment sends to.
+    #[inline]
+    pub fn dests(&self) -> &[FragId] {
+        &self.dests
+    }
+
+    /// Number of distinct destinations (the length of [`RoutingTable::dests`]).
+    #[inline]
+    pub fn num_dests(&self) -> usize {
+        self.dests.len()
+    }
+
+    /// Fan-out of local vertex `l`: parallel slices of destination slots
+    /// and destination-local ids. Empty for interior vertices.
+    #[inline]
+    pub fn fanout(&self, l: LocalId) -> (&[u16], &[LocalId]) {
+        let lo = self.offsets[l as usize] as usize;
+        let hi = self.offsets[l as usize + 1] as usize;
+        (&self.dest_slot[lo..hi], &self.remote[lo..hi])
+    }
+
+    /// Number of destinations an update to `l` ships to.
+    #[inline]
+    pub fn fanout_len(&self, l: LocalId) -> usize {
+        (self.offsets[l as usize + 1] - self.offsets[l as usize]) as usize
+    }
+
+    /// Total fan-out entries across all local vertices.
+    #[inline]
+    pub fn total_routes(&self) -> usize {
+        self.remote.len()
+    }
 }
 
 /// One fragment `Fi` of a partitioned graph, resident at virtual worker `Pi`.
@@ -56,6 +145,9 @@ pub struct Fragment<V = (), E = ()> {
     /// CSR over owned locals: fragments holding a copy of each owned vertex.
     holder_offsets: Vec<u32>,
     holders: Vec<FragId>,
+    /// Dense per-vertex routing, filled in by the fragment builders after
+    /// all fragments of the partition exist (it needs peer id maps).
+    routing: RoutingTable,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -94,7 +186,21 @@ impl<V, E> Fragment<V, E> {
             mirror_owner,
             holder_offsets,
             holders,
+            routing: RoutingTable::default(),
         }
+    }
+
+    pub(crate) fn set_routing(&mut self, routing: RoutingTable) {
+        debug_assert_eq!(routing.offsets.len(), self.globals.len() + 1);
+        self.routing = routing;
+    }
+
+    /// The precomputed dense routing table (see the module docs for its
+    /// invariants). This is the message hot path; [`Fragment::route`] is
+    /// the equivalent explanatory view.
+    #[inline]
+    pub fn routing(&self) -> &RoutingTable {
+        &self.routing
     }
 
     /// This fragment's id (`i` of `Fi`).
@@ -295,10 +401,7 @@ pub fn partition_stats<V, E>(frags: &[Fragment<V, E>]) -> PartitionStats {
     let cut_edges = frags
         .iter()
         .map(|f| {
-            f.local_vertices()
-                .flat_map(|l| f.neighbors(l))
-                .filter(|&&t| !f.is_owned(t))
-                .count()
+            f.local_vertices().flat_map(|l| f.neighbors(l)).filter(|&&t| !f.is_owned(t)).count()
         })
         .sum();
     let mut sorted = edges.clone();

@@ -166,9 +166,8 @@ pub fn bipartite_ratings(
     seed: u64,
 ) -> RatingsGraph {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_0005);
-    let fac = |rng: &mut SmallRng| -> Vec<f32> {
-        (0..dim).map(|_| rng.gen_range(0.2f32..1.0)).collect()
-    };
+    let fac =
+        |rng: &mut SmallRng| -> Vec<f32> { (0..dim).map(|_| rng.gen_range(0.2f32..1.0)).collect() };
     let user_f: Vec<Vec<f32>> = (0..num_users).map(|_| fac(&mut rng)).collect();
     let item_f: Vec<Vec<f32>> = (0..num_items).map(|_| fac(&mut rng)).collect();
     let n = num_users + num_items;
@@ -211,11 +210,7 @@ mod tests {
         degs.sort_unstable_by(|a, b| b.cmp(a));
         let top = degs[..10].iter().sum::<usize>() as f64;
         let avg = g.num_edges() as f64 / g.num_vertices() as f64;
-        assert!(
-            top / 10.0 > 4.0 * avg,
-            "top-10 avg degree {} vs mean {avg}",
-            top / 10.0
-        );
+        assert!(top / 10.0 > 4.0 * avg, "top-10 avg degree {} vs mean {avg}", top / 10.0);
     }
 
     #[test]

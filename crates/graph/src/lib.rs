@@ -39,7 +39,7 @@ pub mod io;
 pub mod partition;
 
 pub use builder::GraphBuilder;
-pub use fragment::{Fragment, Route};
+pub use fragment::{Fragment, Route, RoutingTable};
 pub use graph::Graph;
 
 /// Global vertex identifier. Graphs are dense: vertices are `0..n`.

@@ -14,9 +14,62 @@
 //! [`build_fragments`] / [`build_fragments_vertex_cut`] turn an assignment
 //! into [`Fragment`]s in a single sweep over the edges.
 
-use crate::fragment::Fragment;
+use crate::fragment::{Fragment, RoutingTable};
 use crate::fxhash::hash_u64;
 use crate::{FragId, FxHashMap, Graph, LocalId, VertexId};
+
+/// Precompute every fragment's dense [`RoutingTable`] (owner/holder
+/// destinations with *destination-local* ids). Runs once per partition;
+/// the per-round message path then never consults `g2l` maps again.
+fn attach_routing_tables<V, E>(frags: &mut [Fragment<V, E>]) {
+    let tables: Vec<RoutingTable> = frags
+        .iter()
+        .map(|f| {
+            let n = f.local_count();
+            // Destination set: owners of our mirrors + holders of our
+            // owned border vertices.
+            let mut dests: Vec<FragId> = Vec::new();
+            for l in f.local_vertices() {
+                match f.route(l) {
+                    crate::Route::Owner(o) => dests.push(o),
+                    crate::Route::Mirrors(ms) => dests.extend_from_slice(ms),
+                }
+            }
+            dests.sort_unstable();
+            dests.dedup();
+            let mut slot_of = vec![u16::MAX; frags.len()];
+            for (s, &d) in dests.iter().enumerate() {
+                slot_of[d as usize] = s as u16;
+            }
+            // CSR fan-out with receiver-local ids resolved through the
+            // peer fragments' id maps (the only hash lookups left, and
+            // they happen once, here).
+            let mut offsets = Vec::with_capacity(n + 1);
+            offsets.push(0u32);
+            let mut dest_slot: Vec<u16> = Vec::new();
+            let mut remote: Vec<LocalId> = Vec::new();
+            for l in f.local_vertices() {
+                let g = f.global(l);
+                let mut push = |d: FragId| {
+                    let r = frags[d as usize]
+                        .local(g)
+                        .expect("routing destination holds a copy of the vertex");
+                    dest_slot.push(slot_of[d as usize]);
+                    remote.push(r);
+                };
+                match f.route(l) {
+                    crate::Route::Owner(o) => push(o),
+                    crate::Route::Mirrors(ms) => ms.iter().for_each(|&m| push(m)),
+                }
+                offsets.push(dest_slot.len() as u32);
+            }
+            RoutingTable::from_parts(dests, offsets, dest_slot, remote)
+        })
+        .collect();
+    for (f, t) in frags.iter_mut().zip(tables) {
+        f.set_routing(t);
+    }
+}
 
 /// Balanced pseudo-random edge-cut: vertex `v` goes to `hash(v) % m`.
 pub fn hash_partition<V, E>(g: &Graph<V, E>, m: usize) -> Vec<FragId> {
@@ -190,8 +243,7 @@ pub fn build_fragments_n<V: Clone, E: Clone>(
                 edge_data.push(d.clone());
             }
         }
-        let node_data: Vec<V> =
-            own.iter().chain(mir.iter()).map(|&v| g.node(v).clone()).collect();
+        let node_data: Vec<V> = own.iter().chain(mir.iter()).map(|&v| g.node(v).clone()).collect();
         let globals: Vec<VertexId> = own.iter().chain(mir.iter()).copied().collect();
         let local_graph =
             Graph::from_parts(g.is_directed(), node_data, offsets, targets, edge_data);
@@ -210,8 +262,7 @@ pub fn build_fragments_n<V: Clone, E: Clone>(
             s.iter().map(|v| g2l[v]).collect()
         };
         inner_out.sort_unstable();
-        let mirror_owner: Vec<FragId> =
-            mir.iter().map(|&v| assignment[v as usize]).collect();
+        let mirror_owner: Vec<FragId> = mir.iter().map(|&v| assignment[v as usize]).collect();
 
         // Holder CSR over owned locals.
         let mut pairs = std::mem::take(&mut holder_pairs[i]);
@@ -243,6 +294,7 @@ pub fn build_fragments_n<V: Clone, E: Clone>(
             holders,
         ));
     }
+    attach_routing_tables(&mut frags);
     frags
 }
 
@@ -327,8 +379,7 @@ pub fn build_fragments_vertex_cut<V: Clone, E: Clone>(
             slots[s] = Some(d);
         }
         let edge_data: Vec<E> = slots.into_iter().map(|s| s.expect("filled")).collect();
-        let node_data: Vec<V> =
-            own.iter().chain(cop.iter()).map(|&v| g.node(v).clone()).collect();
+        let node_data: Vec<V> = own.iter().chain(cop.iter()).map(|&v| g.node(v).clone()).collect();
         let globals: Vec<VertexId> = own.iter().chain(cop.iter()).copied().collect();
         let local_graph =
             Graph::from_parts(g.is_directed(), node_data, offsets, targets, edge_data);
@@ -341,8 +392,7 @@ pub fn build_fragments_vertex_cut<V: Clone, E: Clone>(
             .map(|(l, _)| l as LocalId)
             .collect();
         border.sort_unstable();
-        let mirror_owner: Vec<FragId> =
-            cop.iter().map(|&v| owner_of[v as usize]).collect();
+        let mirror_owner: Vec<FragId> = cop.iter().map(|&v| owner_of[v as usize]).collect();
         let mut holder_offsets = vec![0u32; own.len() + 1];
         let mut holders = Vec::new();
         for (l, &v) in own.iter().enumerate() {
@@ -371,6 +421,7 @@ pub fn build_fragments_vertex_cut<V: Clone, E: Clone>(
             holders,
         ));
     }
+    attach_routing_tables(&mut frags);
     frags
 }
 
@@ -415,12 +466,7 @@ mod tests {
         let hash = build_fragments(&g, &hash_partition(&g, 4));
         let ldg = build_fragments(&g, &ldg_partition(&g, 4, 1.1));
         let cut = |frags: &[Fragment<(), u32>]| crate::fragment::partition_stats(frags).cut_edges;
-        assert!(
-            cut(&ldg) < cut(&hash),
-            "ldg {} vs hash {}",
-            cut(&ldg),
-            cut(&hash)
-        );
+        assert!(cut(&ldg) < cut(&hash), "ldg {} vs hash {}", cut(&ldg), cut(&hash));
     }
 
     #[test]

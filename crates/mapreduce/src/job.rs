@@ -28,10 +28,22 @@ pub trait MapReduceJob: Sync {
     fn input(&self, worker: usize, n: usize) -> Vec<(Self::K, Self::V)>;
 
     /// Mapper `µ(round)` over one input pair.
-    fn map(&self, round: usize, key: &Self::K, value: &Self::V, emit: &mut dyn FnMut(Self::K, Self::V));
+    fn map(
+        &self,
+        round: usize,
+        key: &Self::K,
+        value: &Self::V,
+        emit: &mut dyn FnMut(Self::K, Self::V),
+    );
 
     /// Reducer `ρ(round)` over one key group (values sorted).
-    fn reduce(&self, round: usize, key: &Self::K, values: &[Self::V], emit: &mut dyn FnMut(Self::K, Self::V));
+    fn reduce(
+        &self,
+        round: usize,
+        key: &Self::K,
+        values: &[Self::V],
+        emit: &mut dyn FnMut(Self::K, Self::V),
+    );
 }
 
 /// Runner configuration.
@@ -91,9 +103,7 @@ impl<J: MapReduceJob> MrPie<'_, J> {
         }
         for (dest, tuples) in buckets {
             // The clique gives us a mirror of every other worker-node.
-            let l = frag
-                .local(dest as u32)
-                .expect("clique fragment mirrors every worker node");
+            let l = frag.local(dest as u32).expect("clique fragment mirrors every worker node");
             ctx.send(l, tuples);
         }
         if !pending_local.is_empty() {
@@ -171,13 +181,13 @@ impl<J: MapReduceJob> PieProgram<(), ()> for MrPie<'_, J> {
         _q: &(),
         frag: &Fragment<(), ()>,
         st: &mut Self::State,
-        msgs: Messages<Self::Val>,
+        msgs: &mut Messages<Self::Val>,
         ctx: &mut UpdateCtx<Self::Val>,
     ) {
         // Collect this superstep's tuples: everything shipped to our
         // worker-node plus the self-addressed remainder.
         let mut tuples = std::mem::take(&mut st.pending_local);
-        for (_, t) in msgs {
+        for (_, t) in msgs.drain(..) {
             tuples.extend(t);
         }
         if tuples.is_empty() {
@@ -205,8 +215,7 @@ impl<J: MapReduceJob> PieProgram<(), ()> for MrPie<'_, J> {
 }
 
 /// Sorted output pairs of a job plus the engine statistics.
-pub type MrResult<J> =
-    (Vec<(<J as MapReduceJob>::K, <J as MapReduceJob>::V)>, aap_core::RunStats);
+pub type MrResult<J> = (Vec<(<J as MapReduceJob>::K, <J as MapReduceJob>::V)>, aap_core::RunStats);
 
 /// Build the clique `GW` over `n` worker-nodes and run the job to
 /// completion under BSP (a special case of AAP, §3), returning the sorted
@@ -282,10 +291,7 @@ mod tests {
             ],
         };
         let (out, stats) = run_mapreduce(&job, &MrConfig { workers: 3, threads: 3 });
-        assert_eq!(
-            out,
-            vec![("a".into(), 4u64), ("b".into(), 7), ("c".into(), 4)]
-        );
+        assert_eq!(out, vec![("a".into(), 4u64), ("b".into(), 7), ("c".into(), 4)]);
         // One PEval superstep + one reduce superstep (plus termination).
         assert!(stats.max_rounds() <= 3, "rounds {}", stats.max_rounds());
     }

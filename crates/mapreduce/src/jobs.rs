@@ -96,8 +96,7 @@ impl MapReduceJob for InvertedIndex {
                 let mut ids: Vec<&String> = vs.iter().collect();
                 ids.sort();
                 ids.dedup();
-                let posting =
-                    ids.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(",");
+                let posting = ids.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(",");
                 emit(k.clone(), posting);
             }
         }
@@ -129,8 +128,7 @@ mod tests {
                 }
             }
         }
-        let (out, _) =
-            run_mapreduce(&WordCount { docs }, &MrConfig { workers: 4, threads: 4 });
+        let (out, _) = run_mapreduce(&WordCount { docs }, &MrConfig { workers: 4, threads: 4 });
         let got: std::collections::BTreeMap<String, u64> = out.into_iter().collect();
         assert_eq!(got, expect);
         assert_eq!(got["the"], 3);

@@ -76,8 +76,7 @@ mod tests {
 
     #[test]
     fn work_scales_with_units_and_speed() {
-        let c =
-            CostModel::Work { base: 1.0, per_work: 0.5, per_raw: 0.0, speed: vec![1.0, 2.0] };
+        let c = CostModel::Work { base: 1.0, per_work: 0.5, per_raw: 0.0, speed: vec![1.0, 2.0] };
         assert!((c.round_cost(0, 10, 0) - 6.0).abs() < 1e-12);
         assert!((c.round_cost(1, 10, 0) - 12.0).abs() < 1e-12);
     }

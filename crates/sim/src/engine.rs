@@ -10,8 +10,9 @@
 use crate::cost::CostModel;
 use crate::timeline::{Span, SpanKind, Timeline};
 use aap_core::inbox::Inbox;
-use aap_core::pie::{route_updates, Batch, PieProgram, UpdateCtx};
+use aap_core::pie::{route_updates_into, Batch, PieProgram, UpdateCtx};
 use aap_core::policy::{self, Decision, Mode, PolicyState, SharedRates};
+use aap_core::scratch::{Scratch, SharedPool};
 use aap_core::stats::{RunStats, WorkerStats, BATCH_HEADER_BYTES, UPDATE_KEY_BYTES};
 use aap_graph::{FragId, Fragment};
 use std::cmp::Ordering as CmpOrdering;
@@ -85,10 +86,7 @@ impl<Val> PartialOrd for Event<Val> {
 impl<Val> Ord for Event<Val> {
     fn cmp(&self, other: &Self) -> CmpOrdering {
         // BinaryHeap is a max-heap; reverse for earliest-first.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -116,6 +114,9 @@ struct SimWorker<Val, St> {
     wstate: WState,
     gen: u64,
     pending_out: Vec<(FragId, Batch<Val>)>,
+    /// Reusable routing/drain buffers — the same zero-hash, zero-alloc
+    /// message path the threaded engine runs (`aap_core::scratch`).
+    scratch: Scratch<Val>,
     timeline: Timeline,
     suspend_started: Option<f64>,
     round_started: f64,
@@ -152,6 +153,7 @@ impl<V, E> SimEngine<V, E> {
     {
         let m = self.frags.len();
         let mut workers: Vec<SimWorker<P::Val, P::State>> = (0..m).map(|_| new_worker()).collect();
+        attach_shared_pool(&mut workers);
         let mut t = 0.0f64;
         let mut superstep: u32 = 0;
         let mut active: Vec<usize> = (0..m).collect();
@@ -196,6 +198,7 @@ impl<V, E> SimEngine<V, E> {
     {
         let m = self.frags.len();
         let mut workers: Vec<SimWorker<P::Val, P::State>> = (0..m).map(|_| new_worker()).collect();
+        attach_shared_pool(&mut workers);
         let rates = SharedRates::new(m);
         let l0 = match &self.opts.mode {
             Mode::Aap(cfg) => policy::l_floor(cfg, m),
@@ -239,8 +242,8 @@ impl<V, E> SimEngine<V, E> {
                         }
                     }
                     // Dispatch the round's messages.
-                    let outs = std::mem::take(&mut workers[w].pending_out);
-                    for (dst, b) in outs {
+                    let mut outs = std::mem::take(&mut workers[w].pending_out);
+                    for (dst, b) in outs.drain(..) {
                         seq += 1;
                         queue.push(Event {
                             time: now + self.opts.latency,
@@ -248,6 +251,7 @@ impl<V, E> SimEngine<V, E> {
                             kind: EventKind::Arrive { w: dst as usize, batch: b },
                         });
                     }
+                    workers[w].scratch.give_out(outs);
                     {
                         let wk = &mut workers[w];
                         let dt = now - wk.round_started;
@@ -268,7 +272,15 @@ impl<V, E> SimEngine<V, E> {
                             .collect();
                         for h in held {
                             self.evaluate(
-                                prog, q, &mut workers, h, now, &rates, &mut queue, &mut seq, b2,
+                                prog,
+                                q,
+                                &mut workers,
+                                h,
+                                now,
+                                &rates,
+                                &mut queue,
+                                &mut seq,
+                                b2,
                             );
                         }
                     }
@@ -285,14 +297,33 @@ impl<V, E> SimEngine<V, E> {
                     }
                     if workers[w].wstate != WState::Computing {
                         let b = bounds(&workers);
-                        self.evaluate(prog, q, &mut workers, w, now, &rates, &mut queue, &mut seq, b);
+                        self.evaluate(
+                            prog,
+                            q,
+                            &mut workers,
+                            w,
+                            now,
+                            &rates,
+                            &mut queue,
+                            &mut seq,
+                            b,
+                        );
                     }
                 }
                 EventKind::Wake { w, gen } => {
                     if workers[w].gen == gen && workers[w].wstate == WState::Suspended {
                         // Suspension exceeded DSi: activate (§3).
                         if !workers[w].inbox.is_empty() || workers[w].local_work {
-                            self.start_round(prog, q, &mut workers, w, now, &rates, &mut queue, &mut seq);
+                            self.start_round(
+                                prog,
+                                q,
+                                &mut workers,
+                                w,
+                                now,
+                                &rates,
+                                &mut queue,
+                                &mut seq,
+                            );
                         } else {
                             let b_pre = bounds(&workers);
                             end_suspend(&mut workers[w], now);
@@ -304,8 +335,15 @@ impl<V, E> SimEngine<V, E> {
                                     .collect();
                                 for h in held {
                                     self.evaluate(
-                                        prog, q, &mut workers, h, now, &rates, &mut queue,
-                                        &mut seq, b2,
+                                        prog,
+                                        q,
+                                        &mut workers,
+                                        h,
+                                        now,
+                                        &rates,
+                                        &mut queue,
+                                        &mut seq,
+                                        b2,
                                     );
                                 }
                             }
@@ -319,9 +357,21 @@ impl<V, E> SimEngine<V, E> {
                 .iter()
                 .enumerate()
                 .filter(|(_, w)| w.wstate != WState::Inactive || !w.inbox.is_empty())
-                .map(|(i, w)| format!("P{i}: state={:?} rounds={} eta={} local_work={}", w.wstate, w.rounds, w.inbox.eta(), w.local_work))
+                .map(|(i, w)| {
+                    format!(
+                        "P{i}: state={:?} rounds={} eta={} local_work={}",
+                        w.wstate,
+                        w.rounds,
+                        w.inbox.eta(),
+                        w.local_work
+                    )
+                })
                 .collect();
-            debug_assert!(stuck.is_empty(), "policy deadlock under {:?}, stuck workers: {stuck:#?}", self.opts.mode);
+            debug_assert!(
+                stuck.is_empty(),
+                "policy deadlock under {:?}, stuck workers: {stuck:#?}",
+                self.opts.mode
+            );
         }
         self.finish(prog, q, workers, now, aborted)
     }
@@ -360,8 +410,7 @@ impl<V, E> SimEngine<V, E> {
         if trace_enabled() {
             eprintln!(
                 "[{now:.3}] eval P{w} ri={} eta={} rmin={rmin} rmax={rmax} -> {d:?}",
-                workers[w].rounds,
-                inputs.eta
+                workers[w].rounds, inputs.eta
             );
         }
         match d {
@@ -438,28 +487,36 @@ impl<V, E> SimEngine<V, E> {
     {
         let frag = &self.frags[w];
         let round = wk.rounds;
-        let (msgs, raw_in) = if is_peval {
+        let raw_in = if is_peval {
             // PEval consumes no messages; anything already buffered (only
             // possible with zero latency/cost) belongs to IncEval.
-            (Vec::new(), 0)
+            0
         } else {
-            let (msgs, info) = wk.inbox.drain(prog, frag);
-            (msgs, info.raw_updates)
+            let info = wk.inbox.drain_into(prog, frag, &mut wk.scratch);
+            // Keep send/recycle capacity in line with observed traffic.
+            wk.scratch.reserve_for_traffic(info.raw_updates, info.batches);
+            info.raw_updates
         };
+        // The scratch message buffer is empty outside drain/IncEval, so for
+        // PEval this is an empty (recycled) vector.
+        let mut msgs = wk.scratch.take_msgs();
         let delivered = msgs.len();
-        let mut ctx = UpdateCtx::new();
+        let mut ctx = UpdateCtx::with_buffer(wk.scratch.take_updates_buf());
         if is_peval {
             let st = prog.peval(q, frag, &mut ctx);
             wk.state = Some(st);
         } else {
             let st = wk.state.as_mut().expect("PEval ran first");
-            prog.inceval(q, frag, st, msgs, &mut ctx);
+            prog.inceval(q, frag, st, &mut msgs, &mut ctx);
         }
+        wk.scratch.give_msgs(msgs);
         let (effective, redundant) = ctx.effect_counts();
         let charged = ctx.work();
-        let (updates, local_work) = ctx.take();
+        let (mut updates, local_work) = ctx.take();
         let emitted = updates.len();
-        let batches = route_updates(prog, frag, round, updates);
+        let mut batches = wk.scratch.take_out();
+        route_updates_into(prog, frag, round, &mut updates, &mut wk.scratch, &mut batches);
+        wk.scratch.give_updates_buf(updates);
         wk.local_work = local_work;
         wk.stats.rounds += 1;
         wk.stats.updates_delivered += delivered as u64;
@@ -469,12 +526,14 @@ impl<V, E> SimEngine<V, E> {
             wk.stats.batches_out += 1;
             wk.stats.updates_out += b.updates.len() as u64;
             wk.stats.bytes_out += (BATCH_HEADER_BYTES
-                + b.updates.iter().map(|(_, v)| UPDATE_KEY_BYTES + prog.val_bytes(v)).sum::<usize>())
-                as u64;
+                + b.updates
+                    .iter()
+                    .map(|(_, v)| UPDATE_KEY_BYTES + prog.val_bytes(v))
+                    .sum::<usize>()) as u64;
         }
-        wk.pending_out = batches;
-        let work =
-            if charged > 0 { charged } else { (delivered + emitted) as u64 };
+        let old = std::mem::replace(&mut wk.pending_out, batches);
+        wk.scratch.give_out(old);
+        let work = if charged > 0 { charged } else { (delivered + emitted) as u64 };
         let cost = self.opts.cost.round_cost(w, work, raw_in);
         wk.stats.compute_time += cost;
         wk.round_started = t;
@@ -524,9 +583,19 @@ fn new_worker<Val, St>() -> SimWorker<Val, St> {
         wstate: WState::Computing,
         gen: 0,
         pending_out: Vec::new(),
+        scratch: Scratch::default(),
         timeline: Timeline::default(),
         suspend_started: None,
         round_started: 0.0,
+    }
+}
+
+/// Share one batch-body recycling pool across all simulated workers (see
+/// [`aap_core::scratch::SharedPool`]).
+fn attach_shared_pool<Val, St>(workers: &mut [SimWorker<Val, St>]) {
+    let pool: SharedPool<Val> = SharedPool::default();
+    for wk in workers {
+        wk.scratch.attach_shared_pool(pool.clone());
     }
 }
 
@@ -595,12 +664,7 @@ mod tests {
             }
         }
 
-        fn peval(
-            &self,
-            _q: &(),
-            f: &Fragment<(), u32>,
-            ctx: &mut UpdateCtx<u32>,
-        ) -> Vec<u32> {
+        fn peval(&self, _q: &(), f: &Fragment<(), u32>, ctx: &mut UpdateCtx<u32>) -> Vec<u32> {
             let mut lab: Vec<u32> = (0..f.local_count() as u32).map(|l| f.global(l)).collect();
             propagate(f, &mut lab, (0..f.local_count() as LocalId).collect(), ctx);
             lab
@@ -611,11 +675,11 @@ mod tests {
             _q: &(),
             f: &Fragment<(), u32>,
             lab: &mut Vec<u32>,
-            msgs: Messages<u32>,
+            msgs: &mut Messages<u32>,
             ctx: &mut UpdateCtx<u32>,
         ) {
             let mut dirty = Vec::new();
-            for (l, v) in msgs {
+            for (l, v) in msgs.drain(..) {
                 if v < lab[l as usize] {
                     lab[l as usize] = v;
                     dirty.push(l);
@@ -700,11 +764,7 @@ mod tests {
                 SimOpts { mode: mode.clone(), ..SimOpts::default() },
             );
             let out = engine.run(&MinLabel, &());
-            assert!(
-                out.out.iter().all(|&l| l == 0),
-                "mode {mode:?} failed: {:?}",
-                &out.out[..10]
-            );
+            assert!(out.out.iter().all(|&l| l == 0), "mode {mode:?} failed: {:?}", &out.out[..10]);
             assert!(!out.stats.aborted);
             assert!(out.stats.makespan > 0.0);
         }

@@ -37,11 +37,11 @@ impl PieProgram<(), u32> for MinLabel {
         _q: &(),
         f: &Fragment<(), u32>,
         lab: &mut Vec<u32>,
-        msgs: Messages<u32>,
+        msgs: &mut Messages<u32>,
         ctx: &mut UpdateCtx<u32>,
     ) {
         let mut dirty = Vec::new();
-        for (l, v) in msgs {
+        for (l, v) in msgs.drain(..) {
             if v < lab[l as usize] {
                 lab[l as usize] = v;
                 dirty.push(l);

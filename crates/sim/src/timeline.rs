@@ -33,11 +33,7 @@ pub struct Timeline {
 impl Timeline {
     /// Total computing time.
     pub fn compute_time(&self) -> f64 {
-        self.spans
-            .iter()
-            .filter(|s| s.kind == SpanKind::Compute)
-            .map(|s| s.end - s.start)
-            .sum()
+        self.spans.iter().filter(|s| s.kind == SpanKind::Compute).map(|s| s.end - s.start).sum()
     }
 
     /// Number of compute rounds recorded.

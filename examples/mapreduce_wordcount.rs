@@ -31,7 +31,9 @@ fn main() {
     println!("== inverted index (2 subroutines) ==");
     let (index, stats) =
         run_mapreduce(&InvertedIndex { docs }, &MrConfig { workers: 4, threads: 4 });
-    for (w, postings) in index.iter().filter(|(w, _)| ["parallel", "model", "the"].contains(&w.as_str())) {
+    for (w, postings) in
+        index.iter().filter(|(w, _)| ["parallel", "model", "the"].contains(&w.as_str()))
+    {
         println!("{w:>12} -> docs [{postings}]");
     }
     println!("supersteps: {}\n", stats.max_rounds());

@@ -31,10 +31,7 @@ fn main() {
     for src in [0u32, 17, 4095] {
         let run = engine.run(&Sssp, &src);
         let reachable = run.out.iter().filter(|&&d| d != u64::MAX).count();
-        println!(
-            "SSSP from {src:>4}: {reachable:>5} reachable | {}",
-            run.stats.summary()
-        );
+        println!("SSSP from {src:>4}: {reachable:>5} reachable | {}", run.stats.summary());
     }
 
     // Connected components on the same fragments.

@@ -32,8 +32,7 @@ fn main() {
 
     for mode in [Mode::Bsp, Mode::Ap, Mode::Ssp { c: 2 }, Mode::aap()] {
         let frags = partition::build_fragments(&g, &assignment);
-        let engine =
-            Engine::new(frags, EngineOpts { mode: mode.clone(), ..Default::default() });
+        let engine = Engine::new(frags, EngineOpts { mode: mode.clone(), ..Default::default() });
         let run = engine.run(&Sssp, &src);
         assert_eq!(run.out, reference, "Church–Rosser: every mode must agree");
         println!("{}", run.stats.summary());

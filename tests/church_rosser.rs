@@ -16,9 +16,8 @@ use grape_aap::runtime::theory;
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = Graph<(), u32>> {
-    (20usize..150, 1usize..4, 0u64..1000).prop_map(|(n, k, seed)| {
-        generate::small_world(n, k.min(n - 1).max(1), 0.2, seed)
-    })
+    (20usize..150, 1usize..4, 0u64..1000)
+        .prop_map(|(n, k, seed)| generate::small_world(n, k.min(n - 1).max(1), 0.2, seed))
 }
 
 proptest! {
@@ -126,9 +125,8 @@ fn sssp_values_contract() {
     let frags = grape_aap::graph::partition::build_fragments(&g, &hash_partition(&g, 4));
     let run = Engine::new(frags, EngineOpts::default()).run(&Sssp, &0);
     let final_d = run.out;
-    let initial: Vec<u64> = (0..g.num_vertices())
-        .map(|v| if v == 0 { 0 } else { u64::MAX })
-        .collect();
+    let initial: Vec<u64> =
+        (0..g.num_vertices()).map(|v| if v == 0 { 0 } else { u64::MAX }).collect();
     for v in 0..g.num_vertices() {
         let hist = [initial[v], final_d[v]];
         assert_eq!(theory::check_contraction(&MinOrder, &hist), None);

@@ -5,8 +5,8 @@
 
 use grape_aap::algos::{seq, Bfs, ConnectedComponents, PageRank, Sssp};
 use grape_aap::graph::partition::{
-    build_fragments, build_fragments_n, build_fragments_vertex_cut, hash_partition,
-    ldg_partition, range_partition, skewed_partition, vertex_cut_partition,
+    build_fragments, build_fragments_n, build_fragments_vertex_cut, hash_partition, ldg_partition,
+    range_partition, skewed_partition, vertex_cut_partition,
 };
 use grape_aap::graph::{generate, Graph};
 use grape_aap::prelude::*;
@@ -82,10 +82,7 @@ fn pagerank_agrees_within_tolerance_everywhere() {
         let frags = build_fragments(&g, &hash_partition(&g, 5));
         let run = engine(frags, mode.clone()).run(&pr, &());
         for (v, (a, b)) in run.out.iter().zip(&expect).enumerate() {
-            assert!(
-                (a - b).abs() < 1e-3,
-                "mode {mode:?}, vertex {v}: {a} vs {b}"
-            );
+            assert!((a - b).abs() < 1e-3, "mode {mode:?}, vertex {v}: {a} vs {b}");
         }
     }
 }
@@ -173,7 +170,7 @@ fn max_rounds_safety_valve_aborts() {
             _: &(),
             f: &Fragment<(), u32>,
             st: &mut u64,
-            msgs: Messages<u64>,
+            msgs: &mut Messages<u64>,
             ctx: &mut UpdateCtx<u64>,
         ) {
             *st += msgs.len() as u64;
@@ -181,20 +178,12 @@ fn max_rounds_safety_valve_aborts() {
                 ctx.send(*b, *st); // always "changes": never converges
             }
         }
-        fn assemble(
-            &self,
-            _: &(),
-            _: &[std::sync::Arc<Fragment<(), u32>>],
-            _: Vec<u64>,
-        ) {
-        }
+        fn assemble(&self, _: &(), _: &[std::sync::Arc<Fragment<(), u32>>], _: Vec<u64>) {}
     }
     let g = generate::small_world(40, 2, 0.0, 1);
     let frags = build_fragments(&g, &hash_partition(&g, 4));
-    let engine = Engine::new(
-        frags,
-        EngineOpts { threads: 2, mode: Mode::Ap, max_rounds: Some(50) },
-    );
+    let engine =
+        Engine::new(frags, EngineOpts { threads: 2, mode: Mode::Ap, max_rounds: Some(50) });
     let run = engine.run(&Forever, &());
     assert!(run.stats.aborted);
 }

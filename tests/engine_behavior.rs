@@ -29,10 +29,7 @@ fn bsp_supersteps_start_together() {
     for (round, ss) in starts {
         let min = ss.iter().cloned().fold(f64::MAX, f64::min);
         let max = ss.iter().cloned().fold(f64::MIN, f64::max);
-        assert!(
-            (max - min).abs() < 1e-9,
-            "superstep {round} starts spread over {min}..{max}"
-        );
+        assert!((max - min).abs() < 1e-9, "superstep {round} starts spread over {min}..{max}");
     }
 }
 

@@ -32,8 +32,7 @@ proptest! {
 #[test]
 fn mapreduce_cost_stays_linear_in_pairs() {
     // "Optimal simulation": shipping at most one tuple per emitted pair.
-    let docs: Vec<String> =
-        (0..50).map(|i| format!("w{} w{} w{}", i % 7, i % 5, i % 3)).collect();
+    let docs: Vec<String> = (0..50).map(|i| format!("w{} w{} w{}", i % 7, i % 5, i % 3)).collect();
     let total_words = 150;
     let (_, stats) = run_mapreduce(&WordCount { docs }, &MrConfig { workers: 8, threads: 4 });
     assert!(

@@ -2,18 +2,26 @@
 //! fragment set must satisfy regardless of strategy.
 
 use grape_aap::graph::partition::{
-    build_fragments_n, build_fragments_vertex_cut, hash_partition, ldg_partition,
-    skewed_partition, vertex_cut_partition,
+    build_fragments_n, build_fragments_vertex_cut, hash_partition, ldg_partition, skewed_partition,
+    vertex_cut_partition,
 };
 use grape_aap::graph::{generate, Graph, Route};
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = Graph<(), u32>> {
     prop_oneof![
-        (10usize..120, 2usize..10, 0u64..100)
-            .prop_map(|(n, ef, s)| generate::uniform(n, n * ef, true, s)),
-        (10usize..120, 1usize..3, 0u64..100)
-            .prop_map(|(n, k, s)| generate::small_world(n, k.min(n - 1).max(1), 0.3, s)),
+        (10usize..120, 2usize..10, 0u64..100).prop_map(|(n, ef, s)| generate::uniform(
+            n,
+            n * ef,
+            true,
+            s
+        )),
+        (10usize..120, 1usize..3, 0u64..100).prop_map(|(n, k, s)| generate::small_world(
+            n,
+            k.min(n - 1).max(1),
+            0.3,
+            s
+        )),
     ]
 }
 

@@ -22,11 +22,9 @@ fn sssp_same_answer_in_both_runtimes() {
             EngineOpts { threads: 4, mode: mode.clone(), max_rounds: Some(100_000) },
         )
         .run(&Sssp, &2);
-        let simulated = SimEngine::new(
-            frags(&g, 5),
-            SimOpts { mode: mode.clone(), ..SimOpts::default() },
-        )
-        .run(&Sssp, &2);
+        let simulated =
+            SimEngine::new(frags(&g, 5), SimOpts { mode: mode.clone(), ..SimOpts::default() })
+                .run(&Sssp, &2);
         assert_eq!(threaded.out, expect, "threaded, {mode:?}");
         assert_eq!(simulated.out, expect, "simulated, {mode:?}");
     }
@@ -75,9 +73,7 @@ fn pagerank_close_in_both_runtimes() {
 #[test]
 fn sim_stats_are_deterministic_but_threaded_times_vary() {
     let g = generate::rmat(8, 6, true, 48);
-    let run = || {
-        SimEngine::new(frags(&g, 5), SimOpts::default()).run(&ConnectedComponents, &())
-    };
+    let run = || SimEngine::new(frags(&g, 5), SimOpts::default()).run(&ConnectedComponents, &());
     let (a, b) = (run(), run());
     assert_eq!(a.stats.makespan, b.stats.makespan);
     assert_eq!(a.stats.total_updates(), b.stats.total_updates());

@@ -1,0 +1,26 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize, // exclusive
+}
+
+/// `vec(element, 0..10)`: vectors of 0 to 9 elements.
+pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, min: len.start, max: len.end }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.max - self.min) as u64;
+        let n = self.min + rng.below(span.max(1)) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

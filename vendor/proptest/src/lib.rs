@@ -1,0 +1,187 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace
+//! uses. The build environment has no access to crates.io, so the
+//! workspace vendors a small property-testing harness with the same
+//! surface: the [`proptest!`] macro, [`Strategy`] with `prop_map`,
+//! numeric-range and tuple strategies, [`collection::vec`], simple
+//! string-pattern strategies, [`prop_oneof!`], and the `prop_assert*`
+//! macros.
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! deterministic seed sequence (reproducible, CI-stable), and failing
+//! inputs are *not* shrunk — the panic message carries the case number so
+//! a failure can be replayed under a debugger by running the same test.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod string;
+
+pub mod test_runner;
+
+/// Run configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// Most-used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    /// Module alias so `prop::collection::vec(...)` resolves.
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property; failure aborts the current case with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with a diff-style message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+/// `prop_assert!(a != b)` with a diff-style message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: both sides equal {:?}", a);
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Define property tests. Supports the standard shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_property(x in 0usize..10, y in arb_thing()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases as u64 {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )*
+                    let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let ::core::result::Result::Err(e) = result {
+                        panic!(
+                            "property {} failed at case {}: {}",
+                            stringify!($name), case, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (usize, usize)> {
+        (1usize..50, 1usize..50)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in -5i64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn map_and_tuple(p in arb_pair().prop_map(|(a, b)| a + b)) {
+            prop_assert!((2..100).contains(&p));
+        }
+
+        #[test]
+        fn oneof_picks_both(v in prop_oneof![0usize..1, 10usize..11]) {
+            prop_assert!(v == 0 || v == 10);
+        }
+
+        #[test]
+        fn vec_and_string(xs in prop::collection::vec(-3i64..3, 0..9),
+                          s in "[ab]{2,4}") {
+            prop_assert!(xs.len() < 9);
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u32..5) {
+            prop_assert!(x < 5);
+        }
+    }
+}

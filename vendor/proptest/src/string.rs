@@ -1,0 +1,129 @@
+//! String generation from a tiny regex subset.
+//!
+//! Supported syntax — enough for the patterns in this workspace's tests:
+//!
+//! * literal characters;
+//! * character classes `[abc]` and ranges inside them `[a-c ]`;
+//! * a repetition suffix `{m,n}` (inclusive bounds) or `{m}` on the
+//!   previous atom.
+//!
+//! Anything else panics loudly so an unsupported pattern is caught at the
+//! first test run rather than silently mis-generating.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Class(Vec<char>),
+    Literal(char),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad range {lo}-{hi} in {pattern:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in {pattern:?}");
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '{' | '}' | ']' => panic!("unsupported pattern syntax at {i} in {pattern:?}"),
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional {m,n} / {m} repetition.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (m, n) = match body.split_once(',') {
+                Some((m, n)) => (
+                    m.parse().unwrap_or_else(|_| panic!("bad bound in {pattern:?}")),
+                    n.parse().unwrap_or_else(|_| panic!("bad bound in {pattern:?}")),
+                ),
+                None => {
+                    let m = body.parse().unwrap_or_else(|_| panic!("bad bound in {pattern:?}"));
+                    (m, m)
+                }
+            };
+            assert!(m <= n, "inverted bounds in {pattern:?}");
+            i = close + 1;
+            (m, n)
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let span = (piece.max - piece.min + 1) as u64;
+        let n = piece.min + rng.below(span) as usize;
+        for _ in 0..n {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::for_case("string", 0);
+        for _ in 0..200 {
+            let s = generate("[a-c ]{0,24}", &mut rng);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c) || c == ' '));
+        }
+    }
+
+    #[test]
+    fn literals_and_fixed_repeat() {
+        let mut rng = TestRng::for_case("string", 1);
+        assert_eq!(generate("xy", &mut rng), "xy");
+        assert_eq!(generate("x{3}", &mut rng), "xxx");
+    }
+}
