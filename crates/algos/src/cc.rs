@@ -18,7 +18,8 @@
 //! asynchronous run converges to `Q(G)`.
 
 use crate::common::gather_owned;
-use aap_core::pie::{Messages, PieProgram, UpdateCtx};
+use aap_core::pie::{Messages, PieProgram, UpdateCtx, WarmStart};
+use aap_graph::mutate::{DeltaSummary, StateRemap};
 use aap_graph::{Fragment, LocalId, VertexId};
 use std::sync::Arc;
 
@@ -46,7 +47,7 @@ fn cc_emits<V, E>(frag: &Fragment<V, E>, l: LocalId) -> bool {
 }
 
 /// Per-fragment CC state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CcState {
     /// Local vertex -> local component index.
     comp_of: Vec<u32>,
@@ -61,6 +62,58 @@ impl CcState {
     pub fn cid(&self, l: LocalId) -> VertexId {
         self.comp_cid[self.comp_of[l as usize] as usize]
     }
+}
+
+/// Union-find over the local edges, densified into a [`CcState`] with
+/// min-global-id cids — the shared core of `PEval` and the warm-start
+/// re-evaluation. Union through mirrors is deliberate: the fragment
+/// includes its cut edges, so u — mirror(v) — u' chains are genuine local
+/// connectivity (the paper's DFS does the same).
+fn local_components<V, E>(frag: &Fragment<V, E>) -> CcState {
+    let n = frag.local_count();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for u in frag.local_vertices() {
+        for &v in frag.neighbors(u) {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                parent[ru.max(rv) as usize] = ru.min(rv);
+            }
+        }
+    }
+    // Densify component indices and compute min-global-id cids.
+    let mut comp_index: Vec<u32> = vec![u32::MAX; n];
+    let mut comp_cid: Vec<VertexId> = Vec::new();
+    let mut comp_of: Vec<u32> = vec![0; n];
+    for l in 0..n as u32 {
+        let root = find(&mut parent, l);
+        let idx = if comp_index[root as usize] == u32::MAX {
+            let idx = comp_cid.len() as u32;
+            comp_index[root as usize] = idx;
+            comp_cid.push(VertexId::MAX);
+            idx
+        } else {
+            comp_index[root as usize]
+        };
+        comp_of[l as usize] = idx;
+        let g = frag.global(l);
+        if g < comp_cid[idx as usize] {
+            comp_cid[idx as usize] = g;
+        }
+    }
+    let mut comp_border: Vec<Vec<LocalId>> = vec![Vec::new(); comp_cid.len()];
+    for l in 0..n as LocalId {
+        if cc_emits(frag, l) {
+            comp_border[comp_of[l as usize] as usize].push(l);
+        }
+    }
+    CcState { comp_of, comp_cid, comp_border }
 }
 
 impl<V: Sync + Send, E: Sync + Send> PieProgram<V, E> for ConnectedComponents {
@@ -79,60 +132,15 @@ impl<V: Sync + Send, E: Sync + Send> PieProgram<V, E> for ConnectedComponents {
     }
 
     fn peval(&self, _q: &(), frag: &Fragment<V, E>, ctx: &mut UpdateCtx<VertexId>) -> CcState {
-        let n = frag.local_count();
-        // Union-find over local edges; union through mirrors is deliberate:
-        // the fragment includes its cut edges, so u — mirror(v) — u' chains
-        // are genuine local connectivity (the paper's DFS does the same).
-        let mut parent: Vec<u32> = (0..n as u32).collect();
-        fn find(parent: &mut [u32], mut x: u32) -> u32 {
-            while parent[x as usize] != x {
-                parent[x as usize] = parent[parent[x as usize] as usize];
-                x = parent[x as usize];
-            }
-            x
-        }
-        for u in frag.local_vertices() {
-            for &v in frag.neighbors(u) {
-                let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
-                if ru != rv {
-                    parent[ru.max(rv) as usize] = ru.min(rv);
-                }
-            }
-        }
-        // Densify component indices and compute min-global-id cids.
-        let mut comp_index: Vec<u32> = vec![u32::MAX; n];
-        let mut comp_cid: Vec<VertexId> = Vec::new();
-        let mut comp_of: Vec<u32> = vec![0; n];
-        for l in 0..n as u32 {
-            let root = find(&mut parent, l);
-            let idx = if comp_index[root as usize] == u32::MAX {
-                let idx = comp_cid.len() as u32;
-                comp_index[root as usize] = idx;
-                comp_cid.push(VertexId::MAX);
-                idx
-            } else {
-                comp_index[root as usize]
-            };
-            comp_of[l as usize] = idx;
-            let g = frag.global(l);
-            if g < comp_cid[idx as usize] {
-                comp_cid[idx as usize] = g;
-            }
-        }
-        let mut comp_border: Vec<Vec<LocalId>> = vec![Vec::new(); comp_cid.len()];
-        for l in 0..n as LocalId {
-            if cc_emits(frag, l) {
-                comp_border[comp_of[l as usize] as usize].push(l);
-            }
-        }
+        let state = local_components(frag);
         // Message segment: cids of candidate border nodes (Fig 2).
-        for (c, members) in comp_border.iter().enumerate() {
+        for (c, members) in state.comp_border.iter().enumerate() {
             for &l in members {
-                ctx.send(l, comp_cid[c]);
+                ctx.send(l, state.comp_cid[c]);
             }
         }
-        ctx.charge_work((frag.edge_count() + n) as u64);
-        CcState { comp_of, comp_cid, comp_border }
+        ctx.charge_work((frag.edge_count() + frag.local_count()) as u64);
+        state
     }
 
     fn inceval(
@@ -176,6 +184,147 @@ impl<V: Sync + Send, E: Sync + Send> PieProgram<V, E> for ConnectedComponents {
         states: Vec<CcState>,
     ) -> Vec<VertexId> {
         gather_owned(frags, &states, 0, |s, _, l| s.cid(l))
+    }
+}
+
+/// Warm-start incremental CC — the dynamic-graph variant.
+///
+/// Edge/vertex insertions can only *merge* components. Crucially, every
+/// inserted edge has both endpoints in the delta seed set, so instead of
+/// re-running union-find over all of `Fi`'s edges, the warm round unions
+/// the **prior** components along the seeds' incident edges only — a
+/// bounded-incremental `O(Σ deg(seed) + |Fi|)` pass (the `O(|Fi|)` part
+/// is id bookkeeping, not edge work). Previously learned cids carry over,
+/// merged groups take the `min`, and only components that carry a seed or
+/// whose cid changed re-announce their borders — untouched fragments stay
+/// silent. Exact for deltas without removals
+/// ([`ConnectedComponents::delta_exact`] ignores weight changes, which CC
+/// is insensitive to); removals can *split* components, which
+/// `min`-aggregation cannot undo, so drivers fall back to a cold
+/// recompute.
+impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
+    fn warm_eval(
+        &self,
+        _q: &(),
+        frag: &Fragment<V, E>,
+        prior: CcState,
+        remap: &StateRemap,
+        seeds: &[LocalId],
+        ctx: &mut UpdateCtx<VertexId>,
+    ) -> CcState {
+        if remap.is_identity() && seeds.is_empty() {
+            return prior; // untouched fragment: keep the fixpoint, emit nothing
+        }
+        let n = frag.local_count();
+        let CcState { comp_of: old_comp_of, comp_cid: old_cid, comp_border: _ } = prior;
+        // 1. Migrate vertex -> component across the mutation; fresh locals
+        //    (new mirrors / added vertices) become singleton components.
+        let mut comp_of: Vec<u32> = if remap.is_identity() {
+            old_comp_of
+        } else {
+            let mut co = vec![u32::MAX; n];
+            for old_l in 0..remap.old_local_count() as LocalId {
+                if let Some(new_l) = remap.map(old_l) {
+                    co[new_l as usize] = old_comp_of[old_l as usize];
+                }
+            }
+            co
+        };
+        let mut cid: Vec<VertexId> = old_cid;
+        for (l, c) in comp_of.iter_mut().enumerate() {
+            if *c == u32::MAX {
+                *c = cid.len() as u32;
+                cid.push(frag.global(l as LocalId));
+            }
+        }
+        let ncomp = cid.len();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        // 2. Union prior components along the seeds' incident edges. Every
+        //    inserted edge is seed-incident; every other edge already has
+        //    both endpoints in one component (the prior fixpoint), so its
+        //    union is a no-op and can be skipped wholesale.
+        let mut parent: Vec<u32> = (0..ncomp as u32).collect();
+        let mut work = 1u64;
+        for &s in seeds {
+            work += frag.neighbors(s).len() as u64 + 1;
+            for &t in frag.neighbors(s) {
+                let a = find(&mut parent, comp_of[s as usize]);
+                let b = find(&mut parent, comp_of[t as usize]);
+                if a != b {
+                    parent[a.max(b) as usize] = a.min(b);
+                }
+            }
+        }
+        // 3. Collapse merge groups to dense components with min-cids.
+        let mut dense: Vec<u32> = vec![u32::MAX; ncomp];
+        let mut new_cid: Vec<VertexId> = Vec::new();
+        for c in 0..ncomp as u32 {
+            let r = find(&mut parent, c);
+            let d = if dense[r as usize] == u32::MAX {
+                let d = new_cid.len() as u32;
+                dense[r as usize] = d;
+                new_cid.push(cid[c as usize]);
+                d
+            } else {
+                dense[r as usize]
+            } as usize;
+            if cid[c as usize] < new_cid[d] {
+                new_cid[d] = cid[c as usize];
+            }
+        }
+        // 4. Emit per *member*, not per component: a border vertex ships
+        //    its value iff the value actually changed (its pre-merge comp
+        //    cid differs from the group min) — merging a stale singleton
+        //    into the giant component must not re-broadcast the giant's
+        //    whole border. Peers' knowledge of unchanged members is
+        //    intact. Then rebuild the border lists for later IncEval
+        //    rounds (membership can change: fresh mirrors; owned vertices
+        //    gaining their first holder on directed graphs).
+        let mut comp_border: Vec<Vec<LocalId>> = vec![Vec::new(); new_cid.len()];
+        for l in 0..n as LocalId {
+            if !cc_emits(frag, l) {
+                continue;
+            }
+            let old_c = comp_of[l as usize];
+            let d = dense[find(&mut parent, old_c) as usize] as usize;
+            if cid[old_c as usize] != new_cid[d] {
+                ctx.send(l, new_cid[d]);
+            }
+            comp_border[d].push(l);
+        }
+        for c in comp_of.iter_mut() {
+            *c = dense[find(&mut parent, *c) as usize];
+        }
+        // 5. Seed refresh: a peer may hold a fresh, uninitialised copy of
+        //    a seed — re-announce its current value even when unchanged
+        //    (routing dedups the overlap with step 4 per vertex).
+        for &s in seeds {
+            if cc_emits(frag, s) {
+                ctx.send(s, new_cid[comp_of[s as usize] as usize]);
+            }
+        }
+        ctx.charge_work(work + n as u64);
+        CcState { comp_of, comp_cid: new_cid, comp_border }
+    }
+
+    fn assemble_ref(
+        &self,
+        _q: &(),
+        frags: &[Arc<Fragment<V, E>>],
+        states: &[CcState],
+    ) -> Vec<VertexId> {
+        gather_owned(frags, states, 0, |s, _, l| s.cid(l))
+    }
+
+    fn delta_exact(&self, summary: &DeltaSummary) -> bool {
+        // CC ignores weights entirely; only removals break monotonicity.
+        summary.vertices_removed == 0 && summary.edges_removed == 0
     }
 }
 

@@ -13,7 +13,8 @@
 //! runs converge to the true distances (Theorem 2).
 
 use crate::common::{dijkstra_from_seeds, emit_policy, gather_owned, INF};
-use aap_core::pie::{Messages, PieProgram, UpdateCtx};
+use aap_core::pie::{Messages, PieProgram, UpdateCtx, WarmStart};
+use aap_graph::mutate::{DeltaSummary, StateRemap};
 use aap_graph::{Fragment, LocalId, VertexId};
 use std::sync::Arc;
 
@@ -23,7 +24,7 @@ use std::sync::Arc;
 pub struct Sssp;
 
 /// Per-fragment SSSP state: current distance per local vertex.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SsspState {
     /// `dist[l]` = best known distance from the source to local vertex `l`.
     pub dist: Vec<u64>,
@@ -103,6 +104,73 @@ impl<V: Sync + Send> PieProgram<V, u32> for Sssp {
         states: Vec<SsspState>,
     ) -> Vec<u64> {
         gather_owned(frags, &states, INF, |s, _, l| s.dist[l as usize])
+    }
+}
+
+/// Warm-start incremental SSSP — the dynamic-graph variant.
+///
+/// Retained distances are migrated across the delta (fresh locals start
+/// at `∞`) and relaxed from the delta-affected seeds with the same
+/// bounded multi-source Dijkstra `IncEval` uses, so the warm round costs
+/// a function of the changed region, not of `|Fi|`. **Exact** for
+/// monotone-decreasing deltas (edge/vertex insertions, weight decreases,
+/// the default [`WarmStart::delta_exact`]); deletions or weight increases
+/// can *raise* true distances, which `min`-aggregation can never undo, so
+/// drivers fall back to a cold recompute for those.
+impl<V: Sync + Send> WarmStart<V, u32> for Sssp {
+    fn warm_eval(
+        &self,
+        src: &VertexId,
+        frag: &Fragment<V, u32>,
+        prior: SsspState,
+        remap: &StateRemap,
+        seeds: &[LocalId],
+        ctx: &mut UpdateCtx<u64>,
+    ) -> SsspState {
+        let mut dist = remap.map_vec(prior.dist, INF);
+        debug_assert_eq!(dist.len(), frag.local_count());
+        let mut seedv: Vec<LocalId> = seeds.to_vec();
+        // The source may itself be a freshly added vertex.
+        if let Some(l) = frag.local(*src) {
+            if dist[l as usize] != 0 {
+                dist[l as usize] = 0;
+                seedv.push(l);
+            }
+        }
+        if seedv.is_empty() {
+            return SsspState { dist };
+        }
+        let mut changed = Vec::new();
+        let work = dijkstra_from_seeds(frag, &mut dist, &seedv, |&w| w as u64, &mut changed);
+        ctx.charge_work(work + seedv.len() as u64);
+        // Seed border vertices re-announce even when unchanged: a peer may
+        // hold a brand-new, uninitialised copy of them.
+        for &s in &seedv {
+            if frag.is_border(s) {
+                changed.push(s);
+            }
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        for l in changed {
+            if emit_policy(frag, l) && dist[l as usize] != INF {
+                ctx.send(l, dist[l as usize]);
+            }
+        }
+        SsspState { dist }
+    }
+
+    fn assemble_ref(
+        &self,
+        _src: &VertexId,
+        frags: &[Arc<Fragment<V, u32>>],
+        states: &[SsspState],
+    ) -> Vec<u64> {
+        gather_owned(frags, states, INF, |s, _, l| s.dist[l as usize])
+    }
+
+    fn delta_exact(&self, summary: &DeltaSummary) -> bool {
+        summary.is_monotone_decreasing()
     }
 }
 

@@ -663,6 +663,49 @@ pub fn ablate() -> String {
     s
 }
 
+/// Machine-readable run metrics: the Fig-6 mode line-up on SSSP and CC,
+/// plus a warm-start delta round, emitted as JSON rows that include the
+/// effective/redundant update counters — so staleness (§7) is trackable
+/// across PRs by diffing `repro json` output.
+pub fn stats_json() -> String {
+    use crate::runner::{all_modes, rows_json};
+
+    let mut out = String::new();
+    let cluster = Cluster::balanced(16);
+    let tr = workloads::traffic();
+    let fr = workloads::friendster();
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (label, mode) in all_modes() {
+        rows.push(run_sim(&cluster, &tr, &Sssp, &0, &label, mode).0);
+    }
+    out.push_str(&rows_json("sssp_traffic", &rows));
+    out.push('\n');
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (label, mode) in all_modes() {
+        rows.push(run_sim(&cluster, &fr, &ConnectedComponents, &(), &label, mode).0);
+    }
+    out.push_str(&rows_json("cc_friendster", &rows));
+    out.push('\n');
+
+    // Dynamic-graph round: warm-start incremental vs cold recompute on a
+    // 0.1% insert batch (virtual time, deterministic). Full per-worker
+    // detail via `RunStats::to_json`.
+    let frags = cluster.fragments(&fr);
+    let mut sim = SimEngine::new(frags, SimOpts::default());
+    let (_, mut state) = sim.run_retained(&Sssp, &0);
+    let delta = aap_delta::generate::insert_batch(&fr, (fr.num_edges() / 1000).max(4), 9, 0xDEC0);
+    let warm = aap_delta::run_incremental_sim(&mut sim, &Sssp, &0, &delta, &mut state);
+    let cold = sim.run(&Sssp, &0);
+    out.push_str(&format!(
+        "{{\"experiment\":\"dynamic_sssp_friendster\",\"incremental\":{},\"full\":{}}}\n",
+        warm.stats.to_json(),
+        cold.stats.to_json()
+    ));
+    out
+}
+
 /// Run every experiment and produce the full EXPERIMENTS.md body.
 pub fn all() -> String {
     let mut s = String::new();

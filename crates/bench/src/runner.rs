@@ -22,6 +22,10 @@ pub struct Row {
     pub updates: u64,
     /// Bytes shipped.
     pub bytes: u64,
+    /// Updates that improved the receiving parameter.
+    pub effective: u64,
+    /// Updates that were redundant/stale on arrival.
+    pub redundant: u64,
     /// Fraction of received updates that were redundant.
     pub stale: f64,
 }
@@ -127,9 +131,42 @@ where
         rounds_total: out.stats.total_rounds(),
         updates: out.stats.total_updates(),
         bytes: out.stats.total_bytes(),
+        effective: out.stats.workers.iter().map(|w| w.effective_updates).sum(),
+        redundant: out.stats.workers.iter().map(|w| w.redundant_updates).sum(),
         stale: out.stats.stale_ratio(),
     };
     (row, out.out, out.timelines)
+}
+
+/// Render measured rows as a JSON array (hand-rolled; no serde in-tree),
+/// exposing the per-round effective/redundant update counters so
+/// staleness (§7) stays trackable across PRs by diffing runner output.
+pub fn rows_json(title: &str, rows: &[Row]) -> String {
+    let mut s = format!("{{\"experiment\":{:?},\"rows\":[", title);
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let rounds = r.rounds_total.max(1);
+        s.push_str(&format!(
+            "{{\"system\":{:?},\"time\":{:.6},\"rounds_max\":{},\"rounds_total\":{},\
+             \"updates\":{},\"bytes\":{},\"effective_updates\":{},\"redundant_updates\":{},\
+             \"effective_per_round\":{:.3},\"redundant_per_round\":{:.3},\"stale_ratio\":{:.6}}}",
+            r.system,
+            r.time,
+            r.rounds_max,
+            r.rounds_total,
+            r.updates,
+            r.bytes,
+            r.effective,
+            r.redundant,
+            r.effective as f64 / rounds as f64,
+            r.redundant as f64 / rounds as f64,
+            r.stale,
+        ));
+    }
+    s.push_str("]}");
+    s
 }
 
 /// Render rows as a markdown table, normalising times to the first row.
@@ -212,11 +249,46 @@ mod tests {
             rounds_total: 4,
             updates: 100,
             bytes: 1000,
+            effective: 60,
+            redundant: 40,
             stale: 0.5,
         }];
         let t = table("t", &rows);
         assert!(t.contains("| X | 10.0 | 1.00x | 2 | 4 | 100 | 1000 | 50.0 |"));
         let s = series_table("s", "n", &["64".into()], &[("A".into(), vec![1.0])]);
         assert!(s.contains("| 64 | 1.0 |"));
+    }
+
+    #[test]
+    fn json_rows_expose_staleness_counters() {
+        let rows = vec![Row {
+            system: "GRAPE+ (AAP)".into(),
+            time: 3.5,
+            rounds_max: 2,
+            rounds_total: 8,
+            updates: 100,
+            bytes: 1000,
+            effective: 60,
+            redundant: 40,
+            stale: 0.4,
+        }];
+        let j = rows_json("exp2", &rows);
+        assert!(j.contains("\"experiment\":\"exp2\""));
+        assert!(j.contains("\"effective_updates\":60"));
+        assert!(j.contains("\"redundant_updates\":40"));
+        assert!(j.contains("\"effective_per_round\":7.500"));
+        assert!(j.starts_with('{') && j.ends_with("]}"));
+    }
+
+    #[test]
+    fn run_sim_fills_staleness_counters() {
+        let g = generate::small_world(150, 2, 0.1, 2);
+        let cluster = Cluster::balanced(3);
+        let (row, _, _) = run_sim(&cluster, &g, &ConnectedComponents, &(), "cc", Mode::Ap);
+        assert!(row.effective + row.redundant > 0);
+        assert!(
+            (row.stale - row.redundant as f64 / (row.effective + row.redundant) as f64).abs()
+                < 1e-9
+        );
     }
 }

@@ -21,11 +21,12 @@
 //!   is active and no messages are buffered).
 
 use crate::inbox::Inbox;
-use crate::pie::{route_updates_into, Batch, PieProgram, UpdateCtx};
+use crate::pie::{route_updates_into, Batch, PieProgram, UpdateCtx, WarmStart};
 use crate::policy::{self, Decision, Mode, PolicyState, SharedRates};
 use crate::scratch::{Scratch, SharedPool};
 use crate::stats::{RunStats, WorkerStats, BATCH_HEADER_BYTES, UPDATE_KEY_BYTES};
-use aap_graph::Fragment;
+use aap_graph::mutate::StateRemap;
+use aap_graph::{Fragment, LocalId};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
@@ -61,6 +62,50 @@ pub struct RunOutput<Out> {
     pub out: Out,
     /// Statistics collected during the run.
     pub stats: RunStats,
+}
+
+/// Retained per-fragment program states from a completed run (one entry
+/// per fragment, in fragment order). Produced by `run_retained`; fed back
+/// into `run_incremental` after a graph delta so the next evaluation
+/// warm-starts from the previous fixpoint instead of a cold `PEval`.
+///
+/// A `RunState` is only meaningful against the engine (and query) that
+/// produced it, modulo the [`StateRemap`]s of deltas applied in between.
+#[derive(Debug, Clone)]
+pub struct RunState<St> {
+    states: Vec<St>,
+}
+
+impl<St> RunState<St> {
+    /// Wrap per-fragment states (engine/simulator use).
+    pub fn new(states: Vec<St>) -> Self {
+        RunState { states }
+    }
+
+    /// Number of per-fragment states (the fragment count of the run).
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if no states are held.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Borrow the retained states, in fragment order.
+    pub fn states(&self) -> &[St] {
+        &self.states
+    }
+
+    /// Move the states out, leaving this `RunState` empty (engine use).
+    pub fn take_states(&mut self) -> Vec<St> {
+        std::mem::take(&mut self.states)
+    }
+
+    /// Replace the retained states after a run (engine use).
+    pub fn set_states(&mut self, states: Vec<St>) {
+        self.states = states;
+    }
 }
 
 /// The GRAPE+ engine over a fixed partition. A graph is partitioned once
@@ -162,6 +207,20 @@ where
         &self.frags
     }
 
+    /// Exclusive access to the fragments, for in-place delta application
+    /// (`aap-delta`). Returns `None` while any `Arc` is shared — i.e. a
+    /// run output still borrows the fragments somewhere.
+    pub fn fragments_mut(&mut self) -> Option<Vec<&mut Fragment<V, E>>> {
+        let mut out = Vec::with_capacity(self.frags.len());
+        for a in self.frags.iter_mut() {
+            match Arc::get_mut(a) {
+                Some(f) => out.push(f),
+                None => return None,
+            }
+        }
+        Some(out)
+    }
+
     /// Engine options.
     pub fn opts(&self) -> &EngineOpts {
         &self.opts
@@ -173,18 +232,83 @@ where
     where
         P: PieProgram<V, E>,
     {
+        let eval0 = |_w: usize, frag: &Fragment<V, E>, ctx: &mut UpdateCtx<P::Val>| {
+            prog.peval(q, frag, ctx)
+        };
+        let (stats, states) = self.run_with(prog, q, &eval0);
+        RunOutput { out: prog.assemble(q, &self.frags, states), stats }
+    }
+
+    /// Like [`Engine::run`], but also return the per-fragment states so a
+    /// later [`Engine::run_incremental`] can warm-start from this fixpoint.
+    pub fn run_retained<P>(&self, prog: &P, q: &P::Query) -> (RunOutput<P::Out>, RunState<P::State>)
+    where
+        P: WarmStart<V, E>,
+    {
+        let eval0 = |_w: usize, frag: &Fragment<V, E>, ctx: &mut UpdateCtx<P::Val>| {
+            prog.peval(q, frag, ctx)
+        };
+        let (stats, states) = self.run_with(prog, q, &eval0);
+        let out = prog.assemble_ref(q, &self.frags, &states);
+        (RunOutput { out, stats }, RunState::new(states))
+    }
+
+    /// Warm-start incremental evaluation after a graph delta, under any
+    /// execution mode (BSP/AP/SSP/AAP/Hsync).
+    ///
+    /// Round 0 runs [`WarmStart::warm_eval`] instead of `PEval`: each
+    /// fragment's retained state is migrated across the mutation via
+    /// `remaps[i]` and re-evaluated from `seeds[i]` (the delta-affected
+    /// vertices, in new local ids). Messages then drive ordinary
+    /// `IncEval` rounds to the fixpoint; `state` is updated in place for
+    /// the next delta. See `aap-delta` for the driver that derives
+    /// `remaps`/`seeds` from a `GraphDelta` and handles the non-monotone
+    /// fallback.
+    pub fn run_incremental<P>(
+        &self,
+        prog: &P,
+        q: &P::Query,
+        remaps: &[StateRemap],
+        seeds: &[Vec<LocalId>],
+        state: &mut RunState<P::State>,
+    ) -> RunOutput<P::Out>
+    where
+        P: WarmStart<V, E>,
+    {
+        let m = self.frags.len();
+        assert_eq!(state.len(), m, "RunState must match the fragment count");
+        assert_eq!(remaps.len(), m);
+        assert_eq!(seeds.len(), m);
+        let priors: Vec<Mutex<Option<P::State>>> =
+            state.take_states().into_iter().map(|s| Mutex::new(Some(s))).collect();
+        let eval0 = |w: usize, frag: &Fragment<V, E>, ctx: &mut UpdateCtx<P::Val>| {
+            let prior = priors[w].lock().take().expect("warm state taken once per worker");
+            prog.warm_eval(q, frag, prior, &remaps[w], &seeds[w], ctx)
+        };
+        let (stats, states) = self.run_with(prog, q, &eval0);
+        let out = prog.assemble_ref(q, &self.frags, &states);
+        state.set_states(states);
+        RunOutput { out, stats }
+    }
+
+    fn run_with<P, F>(&self, prog: &P, q: &P::Query, eval0: &F) -> (RunStats, Vec<P::State>)
+    where
+        P: PieProgram<V, E>,
+        F: Fn(usize, &Fragment<V, E>, &mut UpdateCtx<P::Val>) -> P::State + Sync,
+    {
         match self.opts.mode {
-            Mode::Bsp => self.run_bsp(prog, q),
-            _ => self.run_async(prog, q),
+            Mode::Bsp => self.run_bsp(prog, q, eval0),
+            _ => self.run_async(prog, q, eval0),
         }
     }
 
     // ------------------------------------------------------------------
     // BSP path: honest supersteps with a barrier (GRAPE / GRAPE+BSP).
     // ------------------------------------------------------------------
-    fn run_bsp<P>(&self, prog: &P, q: &P::Query) -> RunOutput<P::Out>
+    fn run_bsp<P, F>(&self, prog: &P, q: &P::Query, eval0: &F) -> (RunStats, Vec<P::State>)
     where
         P: PieProgram<V, E>,
+        F: Fn(usize, &Fragment<V, E>, &mut UpdateCtx<P::Val>) -> P::State + Sync,
     {
         let m = self.frags.len();
         let start = Instant::now();
@@ -230,7 +354,7 @@ where
                         let delivered = msgs.len() as u64;
                         let mut ctx = UpdateCtx::with_buffer(scratch.take_updates_buf());
                         if superstep == 0 {
-                            let st = prog.peval(q, frag, &mut ctx);
+                            let st = eval0(w, frag, &mut ctx);
                             *cell.state.lock() = Some(st);
                         } else {
                             let mut guard = cell.state.lock();
@@ -302,15 +426,16 @@ where
             superstep += 1;
         }
 
-        self.finish(prog, q, cells, start, aborted)
+        collect(cells, &self.opts.mode, start, aborted)
     }
 
     // ------------------------------------------------------------------
     // Asynchronous path: AP / SSP / AAP / Hsync via δ.
     // ------------------------------------------------------------------
-    fn run_async<P>(&self, prog: &P, q: &P::Query) -> RunOutput<P::Out>
+    fn run_async<P, F>(&self, prog: &P, q: &P::Query, eval0: &F) -> (RunStats, Vec<P::State>)
     where
         P: PieProgram<V, E>,
+        F: Fn(usize, &Fragment<V, E>, &mut UpdateCtx<P::Val>) -> P::State + Sync,
     {
         let m = self.frags.len();
         let start = Instant::now();
@@ -338,19 +463,22 @@ where
 
         std::thread::scope(|s| {
             for _ in 0..nthreads {
-                s.spawn(|| self.async_worker_loop(prog, q, &cells, &coord, &cv, &rates, start));
+                s.spawn(|| {
+                    self.async_worker_loop(prog, q, eval0, &cells, &coord, &cv, &rates, start)
+                });
             }
         });
 
         let aborted = coord.lock().aborted;
-        self.finish(prog, q, cells, start, aborted)
+        collect(cells, &self.opts.mode, start, aborted)
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn async_worker_loop<P>(
+    fn async_worker_loop<P, F>(
         &self,
         prog: &P,
         q: &P::Query,
+        eval0: &F,
         cells: &[Cell<P::Val, P::State>],
         coord: &Mutex<Coord>,
         cv: &Condvar,
@@ -358,6 +486,7 @@ where
         start: Instant,
     ) where
         P: PieProgram<V, E>,
+        F: Fn(usize, &Fragment<V, E>, &mut UpdateCtx<P::Val>) -> P::State + Sync,
     {
         loop {
             // --- acquire a runnable virtual worker ---
@@ -431,7 +560,7 @@ where
             let delivered = msgs.len() as u64;
             let mut ctx = UpdateCtx::with_buffer(scratch.take_updates_buf());
             if round == 0 {
-                let st = prog.peval(q, frag, &mut ctx);
+                let st = eval0(w, frag, &mut ctx);
                 *cell.state.lock() = Some(st);
             } else {
                 let mut guard = cell.state.lock();
@@ -569,30 +698,24 @@ where
         };
         policy::delta(&self.opts.mode, &c.pstates[w], &inputs)
     }
+}
 
-    fn finish<P>(
-        &self,
-        prog: &P,
-        q: &P::Query,
-        cells: Vec<Cell<P::Val, P::State>>,
-        start: Instant,
-        aborted: bool,
-    ) -> RunOutput<P::Out>
-    where
-        P: PieProgram<V, E>,
-    {
-        let makespan = start.elapsed().as_secs_f64();
-        let mut workers = Vec::with_capacity(cells.len());
-        let mut states = Vec::with_capacity(cells.len());
-        for cell in cells {
-            workers.push(cell.stats.into_inner());
-            states.push(cell.state.into_inner().expect("PEval ran on every fragment"));
-        }
-        let stats =
-            RunStats { mode: self.opts.mode.name().to_string(), makespan, workers, aborted };
-        let out = prog.assemble(q, &self.frags, states);
-        RunOutput { out, stats }
+/// Tear the per-worker cells down into run statistics + final states
+/// (the shared tail of the BSP and async paths).
+fn collect<Val, St>(
+    cells: Vec<Cell<Val, St>>,
+    mode: &Mode,
+    start: Instant,
+    aborted: bool,
+) -> (RunStats, Vec<St>) {
+    let makespan = start.elapsed().as_secs_f64();
+    let mut workers = Vec::with_capacity(cells.len());
+    let mut states = Vec::with_capacity(cells.len());
+    for cell in cells {
+        workers.push(cell.stats.into_inner());
+        states.push(cell.state.into_inner().expect("round 0 ran on every fragment"));
     }
+    (RunStats { mode: mode.name().to_string(), makespan, workers, aborted }, states)
 }
 
 /// Share one batch-body recycling pool across all workers of a run, so

@@ -90,15 +90,15 @@ pub mod theory;
 
 /// Convenient re-exports for engine users and PIE program authors.
 pub mod prelude {
-    pub use crate::engine::{Engine, EngineOpts, RunOutput};
-    pub use crate::pie::{Messages, PieProgram, Round, UpdateCtx};
+    pub use crate::engine::{Engine, EngineOpts, RunOutput, RunState};
+    pub use crate::pie::{Messages, PieProgram, Round, UpdateCtx, WarmStart};
     pub use crate::policy::{AapConfig, HsyncConfig, Mode};
     pub use crate::stats::{RunStats, WorkerStats};
     pub use aap_graph::{FragId, Fragment, LocalId, Route, VertexId};
 }
 
-pub use engine::{Engine, EngineOpts, RunOutput};
-pub use pie::{Batch, Messages, PieProgram, Round, UpdateCtx};
+pub use engine::{Engine, EngineOpts, RunOutput, RunState};
+pub use pie::{Batch, Messages, PieProgram, Round, UpdateCtx, WarmStart};
 pub use policy::{AapConfig, Decision, HsyncConfig, Mode};
 pub use scratch::Scratch;
 pub use stats::{RunStats, WorkerStats};

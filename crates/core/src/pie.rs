@@ -17,6 +17,7 @@
 //! [`Fragment`], exactly the paper's pitch.
 
 use crate::scratch::Scratch;
+use aap_graph::mutate::{DeltaSummary, StateRemap};
 use aap_graph::{FragId, Fragment, LocalId};
 
 /// Round identifier. `0` is the `PEval` round; `IncEval` rounds start at 1.
@@ -186,6 +187,57 @@ pub trait PieProgram<V, E>: Sync {
     /// (e.g. factor vectors in CF) should override it.
     fn val_bytes(&self, _v: &Self::Val) -> usize {
         std::mem::size_of::<Self::Val>()
+    }
+}
+
+/// Warm-start extension of [`PieProgram`] for **dynamic graphs**: programs
+/// implementing this trait can resume from retained per-fragment state
+/// after a batch of graph mutations, instead of re-running `PEval` cold.
+///
+/// The engine's `run_incremental` replaces round 0 with
+/// [`WarmStart::warm_eval`]: the retained state is migrated across the
+/// mutation via the fragment's [`StateRemap`] and re-evaluated from the
+/// delta-affected `seeds` only — the §2 promise that `IncEval` reacts to
+/// *changes to the graph*, realised batch-style. Untouched fragments get
+/// an identity remap and empty seeds, and should return their state
+/// unchanged without emitting messages.
+///
+/// Exactness contract: for deltas where [`WarmStart::delta_exact`] holds
+/// (by default monotone-decreasing ones — insertions and weight
+/// decreases), the warm fixpoint must equal the cold fixpoint on the
+/// mutated graph. Drivers (see `aap-delta`) fall back to a cold retained
+/// run otherwise.
+pub trait WarmStart<V, E>: PieProgram<V, E> {
+    /// Migrate `prior` across the mutation described by `remap` and
+    /// re-evaluate from the `seeds` (delta-affected local vertices, in the
+    /// **new** id space), emitting changed parameters. Seed border
+    /// vertices should re-announce their current value even when
+    /// unchanged — a peer may have gained a fresh, uninitialised copy.
+    fn warm_eval(
+        &self,
+        q: &Self::Query,
+        frag: &Fragment<V, E>,
+        prior: Self::State,
+        remap: &StateRemap,
+        seeds: &[LocalId],
+        ctx: &mut UpdateCtx<Self::Val>,
+    ) -> Self::State;
+
+    /// Assemble from borrowed states, so retained runs can keep them for
+    /// the next delta.
+    fn assemble_ref(
+        &self,
+        q: &Self::Query,
+        frags: &[std::sync::Arc<Fragment<V, E>>],
+        states: &[Self::State],
+    ) -> Self::Out;
+
+    /// Whether a delta of this shape is handled exactly by
+    /// [`WarmStart::warm_eval`]. Defaults to the monotone-decreasing test
+    /// (no removals, no weight increases) — right for `min`-aggregated
+    /// contracting programs (SSSP, CC).
+    fn delta_exact(&self, summary: &DeltaSummary) -> bool {
+        summary.is_monotone_decreasing()
     }
 }
 

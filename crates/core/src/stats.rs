@@ -92,6 +92,56 @@ impl RunStats {
         (self.makespan * self.workers.len() as f64 - busy).max(0.0)
     }
 
+    /// Machine-readable JSON rendering (hand-rolled; no serde in-tree).
+    ///
+    /// Exposes the effective/redundant update counters — total and
+    /// per-round — alongside the usual volume metrics, so staleness (§7)
+    /// can be tracked across PRs by diffing bench-runner JSON output.
+    pub fn to_json(&self) -> String {
+        let eff: u64 = self.workers.iter().map(|w| w.effective_updates).sum();
+        let red: u64 = self.workers.iter().map(|w| w.redundant_updates).sum();
+        let rounds = self.total_rounds().max(1);
+        let mut s = format!(
+            "{{\"mode\":\"{}\",\"makespan\":{:.6},\"aborted\":{},\"rounds_max\":{},\
+             \"rounds_total\":{},\"updates\":{},\"bytes\":{},\"effective_updates\":{},\
+             \"redundant_updates\":{},\"effective_per_round\":{:.3},\
+             \"redundant_per_round\":{:.3},\"stale_ratio\":{:.6},\"workers\":[",
+            self.mode,
+            self.makespan,
+            self.aborted,
+            self.max_rounds(),
+            self.total_rounds(),
+            self.total_updates(),
+            self.total_bytes(),
+            eff,
+            red,
+            eff as f64 / rounds as f64,
+            red as f64 / rounds as f64,
+            self.stale_ratio(),
+        );
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let wr = w.rounds.max(1);
+            s.push_str(&format!(
+                "{{\"rounds\":{},\"effective_updates\":{},\"redundant_updates\":{},\
+                 \"effective_per_round\":{:.3},\"redundant_per_round\":{:.3},\
+                 \"updates_in\":{},\"updates_out\":{},\"bytes_out\":{}}}",
+                w.rounds,
+                w.effective_updates,
+                w.redundant_updates,
+                w.effective_updates as f64 / wr as f64,
+                w.redundant_updates as f64 / wr as f64,
+                w.updates_in,
+                w.updates_out,
+                w.bytes_out,
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
@@ -146,5 +196,26 @@ mod tests {
         let s = RunStats::default();
         assert_eq!(s.total_rounds(), 0);
         assert_eq!(s.stale_ratio(), 0.0);
+    }
+
+    #[test]
+    fn json_includes_staleness_counters() {
+        let s = RunStats {
+            mode: "AAP".into(),
+            makespan: 1.5,
+            workers: vec![WorkerStats {
+                rounds: 4,
+                effective_updates: 6,
+                redundant_updates: 2,
+                ..WorkerStats::default()
+            }],
+            aborted: false,
+        };
+        let j = s.to_json();
+        assert!(j.contains("\"effective_updates\":6"));
+        assert!(j.contains("\"redundant_updates\":2"));
+        assert!(j.contains("\"effective_per_round\":1.500"));
+        assert!(j.contains("\"mode\":\"AAP\""));
+        assert!(j.starts_with('{') && j.ends_with('}'));
     }
 }

@@ -1,0 +1,441 @@
+//! Delta application: replay a [`GraphDelta`] onto a global graph or —
+//! in place — onto a partitioned fragment set.
+
+use crate::ops::GraphDelta;
+use aap_graph::mutate::{
+    apply_partition_edit, DeltaSummary, EditBuffers, FragmentEdit, PartitionEdit, StateRemap,
+};
+use aap_graph::partition::{build_fragments_vertex_cut_n, vertex_cut_partition};
+use aap_graph::{fxhash, mutate, FragId, Fragment, FxHashMap, FxHashSet, Graph, LocalId, VertexId};
+
+/// Result of applying a delta to a fragment set: everything a warm-start
+/// engine run (`Engine::run_incremental`) consumes.
+#[derive(Debug, Clone)]
+pub struct Applied {
+    /// Batch shape, with weight-change directions resolved against the
+    /// graph — feeds `WarmStart::delta_exact`.
+    pub summary: DeltaSummary,
+    /// Per-fragment local-id migration for retained state.
+    pub remaps: Vec<StateRemap>,
+    /// Per-fragment delta-affected vertices (new local ids, sorted).
+    pub seeds: Vec<Vec<LocalId>>,
+}
+
+/// Replay `delta` onto a global graph, returning the mutated graph.
+/// Undirected graphs expand each logical edge op to both stored
+/// directions. Panics on edges naming unknown vertices or on
+/// non-contiguous added vertex ids.
+pub fn apply_to_graph<V, E>(g: &Graph<V, E>, delta: &GraphDelta<V, E>) -> Graph<V, E>
+where
+    V: Clone,
+    E: Clone + PartialOrd,
+{
+    apply_to_graph_counting(g, delta).0
+}
+
+/// [`apply_to_graph`] plus `(weights_decreased, weights_increased)`.
+fn apply_to_graph_counting<V, E>(
+    g: &Graph<V, E>,
+    delta: &GraphDelta<V, E>,
+) -> (Graph<V, E>, u64, u64)
+where
+    V: Clone,
+    E: Clone + PartialOrd,
+{
+    let directed = g.is_directed();
+    let mut nodes: Vec<V> = g.nodes().to_vec();
+    for (id, d) in delta.vertices_added() {
+        assert_eq!(
+            *id as usize,
+            nodes.len(),
+            "added vertex ids must extend the dense id space contiguously"
+        );
+        nodes.push(d.clone());
+    }
+    let n = nodes.len();
+    let removed: FxHashSet<VertexId> = delta.vertices_removed().iter().copied().collect();
+    let expand = |u: VertexId, v: VertexId| -> [(VertexId, VertexId); 2] {
+        if directed {
+            [(u, v), (u, v)] // second entry is a harmless duplicate key
+        } else {
+            [(u, v), (v, u)]
+        }
+    };
+    let mut rm: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+    for &(u, v) in delta.edges_removed() {
+        rm.extend(expand(u, v));
+    }
+    let mut setw: FxHashMap<(VertexId, VertexId), &E> = FxHashMap::default();
+    for (u, v, w) in delta.weight_updates() {
+        for k in expand(*u, *v) {
+            setw.insert(k, w);
+        }
+    }
+
+    let mut wdec = 0u64;
+    let mut winc = 0u64;
+    let mut edges: Vec<(VertexId, VertexId, E)> =
+        Vec::with_capacity(g.num_edges() + delta.edges_added().len() * 2);
+    for (u, v, d) in g.all_edges() {
+        if removed.contains(&u) || removed.contains(&v) || rm.contains(&(u, v)) {
+            continue;
+        }
+        if let Some(w) = setw.get(&(u, v)) {
+            match (**w).partial_cmp(d) {
+                Some(std::cmp::Ordering::Less) => wdec += 1,
+                Some(std::cmp::Ordering::Equal) => {}
+                _ => winc += 1,
+            }
+            edges.push((u, v, (*w).clone()));
+        } else {
+            edges.push((u, v, d.clone()));
+        }
+    }
+    for (u, v, d) in delta.edges_added() {
+        assert!((*u as usize) < n && (*v as usize) < n, "added edge ({u}, {v}) out of range");
+        assert!(
+            !removed.contains(u) && !removed.contains(v),
+            "added edge ({u}, {v}) touches a removed vertex"
+        );
+        edges.push((*u, *v, d.clone()));
+        if !directed {
+            edges.push((*v, *u, d.clone()));
+        }
+    }
+    (Graph::from_stored_edges(directed, nodes, edges), wdec, winc)
+}
+
+/// Replay `delta` onto a partitioned fragment set, **in place**.
+///
+/// Edge-cut partitions are patched locally: only fragments named by the
+/// delta (or linked to them through mirrors/holders) are touched; dense
+/// routing tables are rebuilt for exactly the affected destinations (see
+/// `aap_graph::mutate`). Vertex-cut partitions are re-partitioned from
+/// the reassembled graph with the hash vertex-cut strategy — a
+/// correctness-first fallback (re-using the hash rule keeps unchanged
+/// edges on their fragments).
+///
+/// New vertices are owned by `hash(id) % m`, consistent with
+/// [`aap_graph::partition::hash_partition`].
+pub fn apply_to_fragments<V, E>(
+    frags: &mut [&mut Fragment<V, E>],
+    delta: &GraphDelta<V, E>,
+) -> Applied
+where
+    V: Clone,
+    E: Clone + PartialOrd,
+{
+    apply_to_fragments_with(frags, delta, &mut EditBuffers::default())
+}
+
+/// [`apply_to_fragments`] with caller-owned pooled buffers, for streaming
+/// many batches without re-allocating the transient lookup structures.
+pub fn apply_to_fragments_with<V, E>(
+    frags: &mut [&mut Fragment<V, E>],
+    delta: &GraphDelta<V, E>,
+    bufs: &mut EditBuffers,
+) -> Applied
+where
+    V: Clone,
+    E: Clone + PartialOrd,
+{
+    let m = frags.len();
+    assert!(m > 0, "cannot apply a delta to an empty fragment set");
+    if frags[0].is_vertex_cut() {
+        apply_vertex_cut(frags, delta)
+    } else {
+        apply_edge_cut(frags, delta, bufs)
+    }
+}
+
+fn apply_edge_cut<V, E>(
+    frags: &mut [&mut Fragment<V, E>],
+    delta: &GraphDelta<V, E>,
+    bufs: &mut EditBuffers,
+) -> Applied
+where
+    V: Clone,
+    E: Clone + PartialOrd,
+{
+    let m = frags.len();
+    let directed = frags
+        .iter()
+        .find(|f| f.local_count() > 0)
+        .map(|f| f.local_graph().is_directed())
+        .unwrap_or(true);
+
+    // Resolve the owner of every mentioned vertex: existing vertices by
+    // scanning the fragments' id maps, fresh vertices by the hash rule.
+    let total_owned: usize = frags.iter().map(|f| f.owned_count()).sum();
+    let added: FxHashSet<VertexId> = delta.vertices_added().iter().map(|&(v, _)| v).collect();
+    let mut owners: FxHashMap<VertexId, FragId> = FxHashMap::default();
+    for v in delta.mentioned_vertices() {
+        if owners.contains_key(&v) {
+            continue;
+        }
+        let owner = if added.contains(&v) {
+            (fxhash::hash_u64(v as u64) % m as u64) as FragId
+        } else {
+            frags
+                .iter()
+                .find(|f| f.local(v).map(|l| f.is_owned(l)).unwrap_or(false))
+                .unwrap_or_else(|| panic!("vertex {v} not found in any fragment"))
+                .id()
+        };
+        owners.insert(v, owner);
+    }
+    // Same contract apply_to_graph enforces: added ids extend the dense
+    // id space contiguously (vertices_added is sorted), so downstream
+    // Assemble output stays index-stable.
+    for (i, (v, _)) in delta.vertices_added().iter().enumerate() {
+        assert_eq!(
+            *v as usize,
+            total_owned + i,
+            "added vertex ids must extend the dense id space contiguously"
+        );
+    }
+
+    let mut edit = PartitionEdit {
+        frags: (0..m).map(|_| FragmentEdit::default()).collect::<Vec<_>>(),
+        removed_vertices: delta.vertices_removed().iter().copied().collect(),
+        owners,
+        touched: vec![false; m],
+    };
+    for (v, d) in delta.vertices_added() {
+        let o = edit.owners[v] as usize;
+        edit.frags[o].add_owned.push((*v, d.clone()));
+        edit.touched[o] = true;
+    }
+    for v in delta.vertices_removed() {
+        let o = edit.owners[v] as usize;
+        edit.touched[o] = true;
+        // Every fragment mirroring the vertex stores edges into it and
+        // must drop them.
+        let f = &frags[o];
+        let l = f.local(*v).expect("removed vertex exists at its owner");
+        for &h in f.mirror_holders(l) {
+            edit.touched[h as usize] = true;
+        }
+    }
+    // Edge ops land at the owner of the stored source; undirected logical
+    // edges expand to both stored directions.
+    type PushEdge<'a, V, E> = &'a mut dyn FnMut(&mut FragmentEdit<V, E>, VertexId, VertexId);
+    let each_direction =
+        |u: VertexId, v: VertexId, edit: &mut PartitionEdit<V, E>, push: PushEdge<V, E>| {
+            let o = edit.owners[&u] as usize;
+            push(&mut edit.frags[o], u, v);
+            edit.touched[o] = true;
+            if !directed {
+                let o = edit.owners[&v] as usize;
+                push(&mut edit.frags[o], v, u);
+                edit.touched[o] = true;
+            }
+        };
+    for (u, v, d) in delta.edges_added() {
+        let dd = d.clone();
+        each_direction(*u, *v, &mut edit, &mut |fe, a, b| fe.insert_edges.push((a, b, dd.clone())));
+    }
+    for (u, v) in delta.edges_removed() {
+        each_direction(*u, *v, &mut edit, &mut |fe, a, b| fe.remove_edges.push((a, b)));
+    }
+    for (u, v, d) in delta.weight_updates() {
+        let dd = d.clone();
+        each_direction(*u, *v, &mut edit, &mut |fe, a, b| fe.set_weights.push((a, b, dd.clone())));
+    }
+
+    let applied = apply_partition_edit(frags, &edit, bufs);
+    let mut summary = delta.summary();
+    summary.weights_decreased = applied.weights_decreased;
+    summary.weights_increased = applied.weights_increased;
+    Applied { summary, remaps: applied.remaps, seeds: applied.seeds }
+}
+
+/// Vertex-cut path: reassemble, mutate globally, re-partition with the
+/// hash vertex-cut rule, and diff the old/new fragments into remaps and
+/// seeds. Copies migrate when holder sets change, so seeds additionally
+/// cover every vertex that is new to a fragment (its fresh copy starts
+/// uninitialised) and its owner (which must re-announce the value).
+fn apply_vertex_cut<V, E>(frags: &mut [&mut Fragment<V, E>], delta: &GraphDelta<V, E>) -> Applied
+where
+    V: Clone,
+    E: Clone + PartialOrd,
+{
+    let m = frags.len();
+    let g_old = {
+        let view: Vec<&Fragment<V, E>> = frags.iter().map(|f| &**f).collect();
+        mutate::reassemble(&view)
+    };
+    let (g_new, wdec, winc) = apply_to_graph_counting(&g_old, delta);
+    let assignment = vertex_cut_partition(&g_new, m);
+    let new_frags = build_fragments_vertex_cut_n(&g_new, &assignment, m);
+
+    let mut affected_set: FxHashSet<VertexId> = delta.mentioned_vertices().collect();
+    // First diff pass: vertices new to some fragment affect themselves
+    // (fresh copy) and must be re-announced by their owner.
+    for (old, new) in frags.iter().zip(&new_frags) {
+        for l in new.local_vertices() {
+            let g = new.global(l);
+            if old.local(g).is_none() {
+                affected_set.insert(g);
+            }
+        }
+    }
+    let affected: Vec<VertexId> = affected_set.into_iter().collect();
+    let mut seeds: Vec<Vec<LocalId>> = vec![Vec::new(); m];
+    for &g in &affected {
+        // Seed the vertex at every fragment holding a copy (the owner
+        // re-announces; fresh copies pick the value up).
+        for (i, nf) in new_frags.iter().enumerate() {
+            if let Some(l) = nf.local(g) {
+                seeds[i].push(l);
+            }
+        }
+    }
+    let mut remaps = Vec::with_capacity(m);
+    for (old, new) in frags.iter().zip(&new_frags) {
+        let table: Vec<LocalId> =
+            old.globals().iter().map(|&g| new.local(g).unwrap_or(LocalId::MAX)).collect();
+        remaps.push(StateRemap::from_table(table, new.local_count()));
+    }
+    for (slot, nf) in frags.iter_mut().zip(new_frags) {
+        **slot = nf;
+    }
+    for s in &mut seeds {
+        s.sort_unstable();
+        s.dedup();
+    }
+    let mut summary = delta.summary();
+    summary.weights_decreased = wdec;
+    summary.weights_increased = winc;
+    Applied { summary, remaps, seeds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeltaBuilder;
+    use aap_graph::generate;
+    use aap_graph::partition::{build_fragments_n, hash_partition};
+
+    #[test]
+    fn graph_apply_inserts_removes_and_updates() {
+        let mut b = aap_graph::GraphBuilder::new_undirected(4);
+        b.add_edge(0, 1, 5u32);
+        b.add_edge(1, 2, 5);
+        let g = b.build();
+        let mut d: DeltaBuilder<(), u32> = DeltaBuilder::new();
+        d.add_edge(2, 3, 7);
+        d.remove_edge(0, 1);
+        d.set_weight(1, 2, 9);
+        let g2 = apply_to_graph(&g, &d.build());
+        assert_eq!(g2.num_vertices(), 4);
+        assert_eq!(g2.neighbors(0), &[] as &[u32]);
+        assert_eq!(g2.neighbors(2), &[1, 3]);
+        assert_eq!(g2.edge_data(2), &[9, 7]);
+        assert_eq!(g2.neighbors(3), &[2]);
+    }
+
+    #[test]
+    fn graph_apply_vertex_ops() {
+        let mut b = aap_graph::GraphBuilder::new_directed(3);
+        b.add_edge(0, 1, 1u32);
+        b.add_edge(1, 2, 1);
+        let g = b.build();
+        let mut d: DeltaBuilder<(), u32> = DeltaBuilder::new();
+        d.add_vertex(3, ());
+        d.add_edge(2, 3, 4);
+        d.remove_vertex(1);
+        let g2 = apply_to_graph(&g, &d.build());
+        assert_eq!(g2.num_vertices(), 4);
+        // vertex 1 is isolated but keeps its id
+        assert!(g2.neighbors(1).is_empty());
+        assert!(g2.neighbors(0).is_empty());
+        assert_eq!(g2.neighbors(2), &[3]);
+    }
+
+    #[test]
+    fn fragments_apply_matches_graph_apply_structurally() {
+        let g = generate::small_world(80, 2, 0.15, 4);
+        let assignment = hash_partition(&g, 4);
+        let mut frags = build_fragments_n(&g, &assignment, 4);
+        let mut d: DeltaBuilder<(), u32> = DeltaBuilder::new();
+        d.add_edge(0, 40, 3);
+        d.add_edge(7, 61, 2);
+        d.remove_edge(0, 1);
+        d.set_weight(2, 3, 11);
+        let delta = d.build();
+        let applied = {
+            let mut refs: Vec<&mut Fragment<(), u32>> = frags.iter_mut().collect();
+            apply_to_fragments(&mut refs, &delta)
+        };
+        assert!(!applied.summary.is_monotone_decreasing()); // has a removal
+        let expect = build_fragments_n(&apply_to_graph(&g, &delta), &assignment, 4);
+        for (f, e) in frags.iter().zip(&expect) {
+            assert_eq!(f.globals(), e.globals());
+            assert_eq!(f.inner_in(), e.inner_in());
+            assert_eq!(f.inner_out(), e.inner_out());
+            assert_eq!(f.routing().dests(), e.routing().dests());
+            for l in f.local_vertices() {
+                let mut a: Vec<_> = f.edges(l).map(|(t, dd)| (f.global(t), *dd)).collect();
+                let mut bb: Vec<_> = e.edges(l).map(|(t, dd)| (e.global(t), *dd)).collect();
+                a.sort_unstable();
+                bb.sort_unstable();
+                assert_eq!(a, bb);
+            }
+        }
+    }
+
+    #[test]
+    fn add_vertex_lands_at_hash_owner_with_edges() {
+        let g = generate::small_world(50, 2, 0.1, 8);
+        let mut frags = build_fragments_n(&g, &hash_partition(&g, 3), 3);
+        let mut d: DeltaBuilder<(), u32> = DeltaBuilder::new();
+        d.add_vertex(50, ());
+        d.add_edge(50, 10, 2);
+        let delta = d.build();
+        let applied = {
+            let mut refs: Vec<&mut Fragment<(), u32>> = frags.iter_mut().collect();
+            apply_to_fragments(&mut refs, &delta)
+        };
+        assert!(applied.summary.is_monotone_decreasing());
+        let expected_owner = (aap_graph::fxhash::hash_u64(50) % 3) as usize;
+        let f = &frags[expected_owner];
+        let l = f.local(50).expect("owner holds the new vertex");
+        assert!(f.is_owned(l));
+        assert!(!f.neighbors(l).is_empty());
+        assert!(applied.seeds[expected_owner].contains(&l));
+        let owned: usize = frags.iter().map(|f| f.owned_count()).sum();
+        assert_eq!(owned, 51);
+    }
+
+    #[test]
+    fn vertex_cut_apply_repartitions_consistently() {
+        let g = generate::small_world(60, 2, 0.2, 6);
+        let ea = vertex_cut_partition(&g, 4);
+        let mut frags = aap_graph::partition::build_fragments_vertex_cut(&g, &ea);
+        assert_eq!(frags.len(), 4);
+        let mut d: DeltaBuilder<(), u32> = DeltaBuilder::new();
+        d.add_edge(0, 30, 2);
+        d.add_edge(5, 59, 1);
+        let delta = d.build();
+        let applied = {
+            let mut refs: Vec<&mut Fragment<(), u32>> = frags.iter_mut().collect();
+            apply_to_fragments(&mut refs, &delta)
+        };
+        // Structure matches a from-scratch vertex-cut build of the new graph.
+        let g2 = apply_to_graph(&g, &delta);
+        let expect = build_fragments_vertex_cut_n(&g2, &vertex_cut_partition(&g2, 4), 4);
+        for (f, e) in frags.iter().zip(&expect) {
+            assert_eq!(f.globals(), e.globals());
+            assert_eq!(f.owned_count(), e.owned_count());
+        }
+        // Seeds cover the inserted endpoints wherever they have copies.
+        for (i, f) in frags.iter().enumerate() {
+            for g in [0u32, 30, 5, 59] {
+                if let Some(l) = f.local(g) {
+                    assert!(applied.seeds[i].contains(&l), "frag {i} missing seed for {g}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Deterministic delta-batch generators, shared by the benches, the
+//! property tests, and the streaming example (the delta-side analog of
+//! `aap_graph::generate`).
+
+use crate::ops::{DeltaBuilder, GraphDelta};
+use aap_graph::{Graph, VertexId};
+
+/// Tiny deterministic xorshift64 PRNG — enough for workload generation,
+/// and dependency-free (one definition instead of one per call site).
+#[derive(Debug, Clone)]
+pub struct Xorshift(u64);
+
+impl Xorshift {
+    /// Seeded generator (seed 0 is mapped to a fixed non-zero state).
+    pub fn new(seed: u64) -> Self {
+        Xorshift(seed | 1)
+    }
+
+    /// Next pseudo-random value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform value in `0..bound` (bound must be non-zero).
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A batch of `count` random edge insertions between existing vertices,
+/// with weights in `1..=max_weight`. Self-loops are skipped; repeated
+/// pairs dedup in the builder, so the batch holds exactly `count` ops.
+pub fn insert_batch(g: &Graph<(), u32>, count: usize, max_weight: u32, seed: u64) -> GraphDelta {
+    let ids: Vec<VertexId> = g.vertices().collect();
+    insert_batch_within(&ids, count, max_weight, seed)
+}
+
+/// Like [`insert_batch`], but endpoints are drawn from `vertices` only —
+/// e.g. one fragment's vertex set, to build a *localized* delta.
+pub fn insert_batch_within(
+    vertices: &[VertexId],
+    count: usize,
+    max_weight: u32,
+    seed: u64,
+) -> GraphDelta {
+    assert!(vertices.len() > 1, "need at least two vertices to insert edges");
+    let mut rng = Xorshift::new(seed);
+    let mut b: DeltaBuilder<(), u32> = DeltaBuilder::new();
+    while b.len() < count {
+        let u = vertices[rng.below(vertices.len() as u64) as usize];
+        let v = vertices[rng.below(vertices.len() as u64) as usize];
+        if u != v {
+            b.add_edge(u, v, 1 + rng.below(max_weight.max(1) as u64) as u32);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aap_graph::generate;
+
+    #[test]
+    fn insert_batch_is_deterministic_and_sized() {
+        let g = generate::small_world(50, 2, 0.1, 1);
+        let a = insert_batch(&g, 12, 16, 7);
+        let b = insert_batch(&g, 12, 16, 7);
+        assert_eq!(a.len(), 12);
+        assert_eq!(a.edges_added(), b.edges_added());
+        assert!(a.summary().is_monotone_decreasing());
+        for &(u, v, w) in a.edges_added() {
+            assert_ne!(u, v);
+            assert!((1..=16).contains(&w));
+            assert!(u < 50 && v < 50);
+        }
+    }
+
+    #[test]
+    fn localized_batch_stays_in_pool() {
+        let pool: Vec<VertexId> = (10..20).collect();
+        let d = insert_batch_within(&pool, 5, 4, 3);
+        for &(u, v, _) in d.edges_added() {
+            assert!(pool.contains(&u) && pool.contains(&v));
+        }
+    }
+}

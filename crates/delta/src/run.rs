@@ -1,0 +1,121 @@
+//! Warm-start drivers: apply a delta to an engine's fragments, then run
+//! incrementally (or fall back to a cold retained run when the delta is
+//! not handled exactly by the program's warm path).
+
+use crate::apply::apply_to_fragments_with;
+use crate::ops::GraphDelta;
+use aap_core::engine::{RunOutput, RunState};
+use aap_core::pie::WarmStart;
+use aap_core::Engine;
+use aap_graph::mutate::EditBuffers;
+use aap_sim::{SimEngine, SimOutput};
+
+/// Apply `delta` to the engine's fragments in place, then evaluate `q`
+/// incrementally from the retained `state`.
+///
+/// * Monotone-decreasing deltas (per [`WarmStart::delta_exact`]) run
+///   warm: round 0 is `warm_eval` seeded with the delta-affected
+///   vertices, and only the changed region recomputes.
+/// * Other deltas (removals, weight increases) re-run a cold retained
+///   evaluation on the mutated fragments — still one call for the
+///   caller, with `state` refreshed either way.
+///
+/// The query must be the one the retained state was computed for.
+///
+/// # Panics
+/// Panics if the engine's fragments are still shared by a previous run
+/// output (drop it first), or if `state` does not match the fragment
+/// count.
+pub fn run_incremental<V, E, P>(
+    engine: &mut Engine<V, E>,
+    prog: &P,
+    q: &P::Query,
+    delta: &GraphDelta<V, E>,
+    state: &mut RunState<P::State>,
+) -> RunOutput<P::Out>
+where
+    V: Clone + Send + Sync,
+    E: Clone + PartialOrd + Send + Sync,
+    P: WarmStart<V, E>,
+{
+    run_incremental_with(engine, prog, q, delta, state, &mut EditBuffers::default())
+}
+
+/// [`run_incremental`] with caller-owned pooled apply buffers, for
+/// streaming many batches.
+pub fn run_incremental_with<V, E, P>(
+    engine: &mut Engine<V, E>,
+    prog: &P,
+    q: &P::Query,
+    delta: &GraphDelta<V, E>,
+    state: &mut RunState<P::State>,
+    bufs: &mut EditBuffers,
+) -> RunOutput<P::Out>
+where
+    V: Clone + Send + Sync,
+    E: Clone + PartialOrd + Send + Sync,
+    P: WarmStart<V, E>,
+{
+    let applied = {
+        let mut frags = engine
+            .fragments_mut()
+            .expect("engine fragments are shared; drop previous run outputs first");
+        apply_to_fragments_with(&mut frags, delta, bufs)
+    };
+    if prog.delta_exact(&applied.summary) {
+        engine.run_incremental(prog, q, &applied.remaps, &applied.seeds, state)
+    } else {
+        let (out, fresh) = engine.run_retained(prog, q);
+        *state = fresh;
+        out
+    }
+}
+
+/// The simulated mirror of [`run_incremental`]: apply the delta to a
+/// [`SimEngine`]'s fragments and evaluate incrementally in virtual time,
+/// so cost models and timelines cover delta rounds.
+pub fn run_incremental_sim<V, E, P>(
+    sim: &mut SimEngine<V, E>,
+    prog: &P,
+    q: &P::Query,
+    delta: &GraphDelta<V, E>,
+    state: &mut RunState<P::State>,
+) -> SimOutput<P::Out>
+where
+    V: Clone,
+    E: Clone + PartialOrd,
+    P: WarmStart<V, E>,
+{
+    run_incremental_sim_with(sim, prog, q, delta, state, &mut EditBuffers::default())
+}
+
+/// [`run_incremental_sim`] with caller-owned pooled apply buffers —
+/// the simulated mirror of [`run_incremental_with`], for streaming many
+/// batches without re-allocating the transient lookup structures.
+pub fn run_incremental_sim_with<V, E, P>(
+    sim: &mut SimEngine<V, E>,
+    prog: &P,
+    q: &P::Query,
+    delta: &GraphDelta<V, E>,
+    state: &mut RunState<P::State>,
+    bufs: &mut EditBuffers,
+) -> SimOutput<P::Out>
+where
+    V: Clone,
+    E: Clone + PartialOrd,
+    P: WarmStart<V, E>,
+{
+    let applied = {
+        let mut frags = sim
+            .fragments_mut()
+            .expect("simulator fragments are shared; drop previous run outputs first");
+        apply_to_fragments_with(&mut frags, delta, bufs)
+    };
+    if prog.delta_exact(&applied.summary) {
+        sim.run_incremental(prog, q, &applied.remaps, &applied.seeds, state)
+    } else {
+        let (out, fresh) = sim.run_retained(prog, q);
+        *state = fresh;
+        out
+    }
+}

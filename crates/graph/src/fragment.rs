@@ -195,6 +195,22 @@ impl<V, E> Fragment<V, E> {
         self.routing = routing;
     }
 
+    /// Replace the holder CSR and `Fi.I` after a peer gained or lost a
+    /// mirror of one of this fragment's owned vertices (delta application;
+    /// see [`crate::mutate`]). The local id space is untouched.
+    pub(crate) fn replace_borders(
+        &mut self,
+        inner_in: Vec<LocalId>,
+        holder_offsets: Vec<u32>,
+        holders: Vec<FragId>,
+    ) {
+        debug_assert_eq!(holder_offsets.len(), self.owned + 1);
+        debug_assert!(inner_in.windows(2).all(|w| w[0] < w[1]));
+        self.inner_in = inner_in;
+        self.holder_offsets = holder_offsets;
+        self.holders = holders;
+    }
+
     /// The precomputed dense routing table (see the module docs for its
     /// invariants). This is the message hot path; [`Fragment::route`] is
     /// the equivalent explanatory view.

@@ -35,6 +35,35 @@ impl<V, E> Graph<V, E> {
         Graph { directed, node_data, offsets, targets, edge_data }
     }
 
+    /// Build a graph directly from *stored* directed edges: no doubling is
+    /// performed, so callers constructing an undirected graph must pass
+    /// both directions themselves. Edges are sorted by `(src, dst)` and
+    /// packed into CSR, matching what [`crate::GraphBuilder`] produces.
+    ///
+    /// This is the rebuild path of the delta subsystem (`aap-delta`
+    /// re-packs a mutated edge set without re-expanding logical edges).
+    pub fn from_stored_edges(
+        directed: bool,
+        node_data: Vec<V>,
+        mut edges: Vec<(VertexId, VertexId, E)>,
+    ) -> Self {
+        let n = node_data.len();
+        edges.sort_unstable_by_key(|&(s, d, _)| ((s as u64) << 32) | d as u64);
+        let mut offsets = vec![0usize; n + 1];
+        let mut targets = Vec::with_capacity(edges.len());
+        let mut edge_data = Vec::with_capacity(edges.len());
+        for (s, d, e) in edges {
+            assert!((s as usize) < n && (d as usize) < n, "edge ({s}, {d}) out of range");
+            offsets[s as usize + 1] += 1;
+            targets.push(d);
+            edge_data.push(e);
+        }
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
+        }
+        Graph::from_parts(directed, node_data, offsets, targets, edge_data)
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {

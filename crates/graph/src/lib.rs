@@ -36,11 +36,13 @@ pub mod fxhash;
 pub mod generate;
 pub mod graph;
 pub mod io;
+pub mod mutate;
 pub mod partition;
 
 pub use builder::GraphBuilder;
 pub use fragment::{Fragment, Route, RoutingTable};
 pub use graph::Graph;
+pub use mutate::{DeltaSummary, StateRemap};
 
 /// Global vertex identifier. Graphs are dense: vertices are `0..n`.
 pub type VertexId = u32;

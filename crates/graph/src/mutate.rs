@@ -1,0 +1,864 @@
+//! In-place mutation of partitioned fragments — the graph-side substrate
+//! of the dynamic-graph delta subsystem (`aap-delta`).
+//!
+//! A batch of graph changes arrives as a [`PartitionEdit`]: per-fragment
+//! edge inserts/removes/weight updates plus vertex additions and
+//! isolations, already resolved to the fragment that stores each edge
+//! (the *owner of the source* under edge-cut). [`apply_partition_edit`]
+//! patches the touched fragments in place:
+//!
+//! * the local CSR adjacency is re-packed from the surviving + inserted
+//!   edges (cost `O(|Fi|)` per **touched** fragment, nothing global);
+//! * mirrors are re-derived from the new cut edges; mirror gains/losses
+//!   at one fragment become holder updates at the owner, keeping the
+//!   routing symmetry invariant (`v` mirrored at `Fj` ⟺ `Fj ∈
+//!   holders(v)` at the owner);
+//! * border sets `Fi.I` / `Fi.O'` are recomputed from the patched
+//!   structure;
+//! * dense [`crate::RoutingTable`]s are rebuilt **only** for fragments
+//!   whose structure changed or whose peers renumbered (a fragment's
+//!   table stores destination-local ids, so a peer that gained or lost
+//!   locals invalidates the slots pointing at it);
+//! * reusable [`EditBuffers`] pool the transient sets, so streaming
+//!   many small batches does not re-allocate the lookup structures.
+//!
+//! Vertex *removal* keeps the dense global id space intact: the vertex
+//! stays owned but loses every incident edge (an isolated id). This is
+//! what keeps `Assemble` output vectors stable across deltas.
+//!
+//! Retained per-vertex algorithm state is carried across a mutation by a
+//! [`StateRemap`] (old local id → new local id), one per fragment; warm
+//! incremental evaluation (`aap-core`'s `WarmStart`) uses it to migrate
+//! status variables instead of recomputing them.
+
+use crate::fragment::Fragment;
+use crate::partition::routing_table_for;
+use crate::{FragId, FxHashMap, FxHashSet, Graph, LocalId, VertexId};
+
+/// Maps one fragment's local ids across a structural mutation.
+///
+/// `map(old) == None` means the old local vanished (a dropped mirror);
+/// new locals (fresh mirrors or added vertices) have no preimage and
+/// must be initialised by the consumer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateRemap {
+    /// Old local -> new local; `LocalId::MAX` = dropped. Empty when
+    /// `identity` (the common untouched-fragment case keeps no table).
+    old_to_new: Vec<LocalId>,
+    new_local_count: usize,
+    identity: bool,
+}
+
+impl StateRemap {
+    /// The identity remap over `n` locals (fragment untouched).
+    pub fn identity(n: usize) -> Self {
+        StateRemap { old_to_new: Vec::new(), new_local_count: n, identity: true }
+    }
+
+    /// Build from an explicit old→new table (`LocalId::MAX` = dropped).
+    pub fn from_table(old_to_new: Vec<LocalId>, new_local_count: usize) -> Self {
+        let identity = old_to_new.len() == new_local_count
+            && old_to_new.iter().enumerate().all(|(i, &l)| l as usize == i);
+        if identity {
+            StateRemap::identity(new_local_count)
+        } else {
+            StateRemap { old_to_new, new_local_count, identity: false }
+        }
+    }
+
+    /// True if the fragment's local id space is unchanged.
+    #[inline]
+    pub fn is_identity(&self) -> bool {
+        self.identity
+    }
+
+    /// Locals before the mutation.
+    pub fn old_local_count(&self) -> usize {
+        if self.identity {
+            self.new_local_count
+        } else {
+            self.old_to_new.len()
+        }
+    }
+
+    /// Locals after the mutation.
+    pub fn new_local_count(&self) -> usize {
+        self.new_local_count
+    }
+
+    /// New local id of old local `old`, if it survived.
+    #[inline]
+    pub fn map(&self, old: LocalId) -> Option<LocalId> {
+        if self.identity {
+            return Some(old);
+        }
+        match self.old_to_new[old as usize] {
+            LocalId::MAX => None,
+            l => Some(l),
+        }
+    }
+
+    /// Migrate a per-local state vector: surviving locals keep their
+    /// value, fresh locals get `default`, dropped values are discarded.
+    pub fn map_vec<T: Clone>(&self, mut old: Vec<T>, default: T) -> Vec<T> {
+        if self.identity {
+            debug_assert_eq!(old.len(), self.new_local_count);
+            return old;
+        }
+        let mut out = vec![default; self.new_local_count];
+        for (o, v) in old.drain(..).enumerate() {
+            if let Some(n) = self.map(o as LocalId) {
+                out[n as usize] = v;
+            }
+        }
+        out
+    }
+}
+
+/// Shape of one delta batch, for deciding whether warm incremental
+/// evaluation stays exact (monotone-contracting programs tolerate only
+/// additions / weight decreases; see `WarmStart::delta_exact`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaSummary {
+    /// Vertices added (logical count).
+    pub vertices_added: u64,
+    /// Vertices isolated (removal keeps the dense id).
+    pub vertices_removed: u64,
+    /// Logical edges added.
+    pub edges_added: u64,
+    /// Logical edges removed.
+    pub edges_removed: u64,
+    /// Weight updates that decreased a stored weight.
+    pub weights_decreased: u64,
+    /// Weight updates that increased a stored weight (or were
+    /// incomparable under `PartialOrd`).
+    pub weights_increased: u64,
+}
+
+impl DeltaSummary {
+    /// True if the delta can only *shrink* path costs / merge components:
+    /// no removals and no weight increases. Monotone-decreasing programs
+    /// (`min`-aggregated SSSP, CC) re-evaluate such deltas exactly from
+    /// the affected region.
+    pub fn is_monotone_decreasing(&self) -> bool {
+        self.vertices_removed == 0 && self.edges_removed == 0 && self.weights_increased == 0
+    }
+
+    /// True if nothing changed.
+    pub fn is_empty(&self) -> bool {
+        *self == DeltaSummary::default()
+    }
+}
+
+/// Edits destined for one fragment, in **global** id space. Edge entries
+/// must be *stored* directed edges whose source is owned by the fragment
+/// (undirected logical edges appear twice, once per stored direction, at
+/// the respective source owners).
+#[derive(Debug, Clone)]
+pub struct FragmentEdit<V, E> {
+    /// New vertices owned here (globally fresh ids).
+    pub add_owned: Vec<(VertexId, V)>,
+    /// Stored edges to insert.
+    pub insert_edges: Vec<(VertexId, VertexId, E)>,
+    /// Stored edges to remove — drops **all** parallel `(u, v)` copies.
+    pub remove_edges: Vec<(VertexId, VertexId)>,
+    /// Weight overwrites, applied to every parallel `(u, v)` copy.
+    pub set_weights: Vec<(VertexId, VertexId, E)>,
+}
+
+impl<V, E> Default for FragmentEdit<V, E> {
+    fn default() -> Self {
+        FragmentEdit {
+            add_owned: Vec::new(),
+            insert_edges: Vec::new(),
+            remove_edges: Vec::new(),
+            set_weights: Vec::new(),
+        }
+    }
+}
+
+impl<V, E> FragmentEdit<V, E> {
+    /// True if this fragment has no direct edits.
+    pub fn is_empty(&self) -> bool {
+        self.add_owned.is_empty()
+            && self.insert_edges.is_empty()
+            && self.remove_edges.is_empty()
+            && self.set_weights.is_empty()
+    }
+}
+
+/// A delta batch resolved against an edge-cut partition: per-fragment
+/// edits plus the cross-fragment context the patch needs.
+#[derive(Debug, Clone)]
+pub struct PartitionEdit<V, E> {
+    /// One edit per fragment (`frags[i]` applies to fragment `i`).
+    pub frags: Vec<FragmentEdit<V, E>>,
+    /// Vertices to isolate: every incident edge is dropped, the dense id
+    /// survives as an edgeless owned vertex.
+    pub removed_vertices: FxHashSet<VertexId>,
+    /// Owner fragment of every vertex mentioned anywhere in the edit
+    /// (existing or newly added).
+    pub owners: FxHashMap<VertexId, FragId>,
+    /// Fragments whose core (vertices/edges) must be re-derived. Must
+    /// cover every fragment with a non-empty edit, plus the owner and all
+    /// mirror holders of every removed vertex.
+    pub touched: Vec<bool>,
+}
+
+/// Result of [`apply_partition_edit`]: everything a warm-start engine run
+/// needs to pick up from retained state.
+#[derive(Debug, Clone)]
+pub struct AppliedEdit {
+    /// Per-fragment local-id migration for retained state.
+    pub remaps: Vec<StateRemap>,
+    /// Per-fragment delta-affected vertices (new local ids, sorted):
+    /// endpoints of edited edges, vertices new to the fragment, and owned
+    /// vertices whose holder set grew. These seed the first warm round.
+    pub seeds: Vec<Vec<LocalId>>,
+    /// Weight updates that decreased a stored weight.
+    pub weights_decreased: u64,
+    /// Weight updates that increased a stored weight (or incomparable).
+    pub weights_increased: u64,
+}
+
+/// Reusable buffers for [`apply_partition_edit`] — the delta-side analog
+/// of `aap-core`'s pooled `Scratch`: lookup sets and staging vectors keep
+/// their capacity across batches, so streaming many small deltas performs
+/// no steady-state re-allocation of the transient structures.
+#[derive(Debug, Default)]
+pub struct EditBuffers {
+    removed_pairs: FxHashSet<(VertexId, VertexId)>,
+    owned_set: FxHashSet<VertexId>,
+    seed_globals: FxHashSet<VertexId>,
+    holder_removals: FxHashSet<(VertexId, FragId)>,
+}
+
+struct Core<V, E> {
+    owned: Vec<(VertexId, V)>,
+    edges: Vec<(VertexId, VertexId, E)>,
+    mirrors: Vec<VertexId>,
+    mirror_owner: Vec<FragId>,
+    mirror_data: Vec<V>,
+}
+
+/// Apply one resolved delta batch to an edge-cut fragment set, in place.
+///
+/// Fragments not named by the edit (directly or through holder/renumber
+/// dependencies) are untouched — no global rebuild happens. Panics on
+/// malformed edits (edges at the wrong fragment, unknown owners,
+/// non-contiguous new vertex ids); `aap-delta`'s resolver upholds these.
+pub fn apply_partition_edit<V, E>(
+    frags: &mut [&mut Fragment<V, E>],
+    edit: &PartitionEdit<V, E>,
+    bufs: &mut EditBuffers,
+) -> AppliedEdit
+where
+    V: Clone,
+    E: Clone + PartialOrd,
+{
+    let m = frags.len();
+    assert_eq!(edit.frags.len(), m, "one FragmentEdit per fragment");
+    assert_eq!(edit.touched.len(), m);
+    assert!(frags.iter().all(|f| !f.is_vertex_cut()), "in-place apply is edge-cut only");
+
+    let mut weights_decreased = 0u64;
+    let mut weights_increased = 0u64;
+
+    // Old destination lists, for the renumber-dependency pass below.
+    let old_dests: Vec<Vec<FragId>> = frags.iter().map(|f| f.routing().dests().to_vec()).collect();
+
+    // ------------------------------------------------------------------
+    // Phase 1: per touched fragment, derive the new core (owned list,
+    // stored edges, mirrors) in global id space, and diff the mirror set
+    // against the old one to produce holder events for the owners.
+    // ------------------------------------------------------------------
+    let mut cores: Vec<Option<Core<V, E>>> = (0..m).map(|_| None).collect();
+    // At owner fragment: (vertex, mirror holder, gained?).
+    let mut holder_events: Vec<Vec<(VertexId, FragId, bool)>> = vec![Vec::new(); m];
+    for i in 0..m {
+        if !edit.touched[i] {
+            assert!(edit.frags[i].is_empty(), "edited fragment {i} not marked touched");
+            continue;
+        }
+        let fe = &edit.frags[i];
+        let f: &Fragment<V, E> = frags[i];
+
+        // New owned list (sorted by global id; removals keep the id).
+        let mut owned: Vec<(VertexId, V)> = f
+            .owned_vertices()
+            .map(|l| (f.global(l), f.node(l).clone()))
+            .chain(fe.add_owned.iter().cloned())
+            .collect();
+        owned.sort_unstable_by_key(|&(g, _)| g);
+        debug_assert!(owned.windows(2).all(|w| w[0].0 < w[1].0), "duplicate owned vertex");
+
+        bufs.owned_set.clear();
+        bufs.owned_set.extend(owned.iter().map(|&(g, _)| g));
+
+        bufs.removed_pairs.clear();
+        bufs.removed_pairs.extend(fe.remove_edges.iter().copied());
+        let setw: FxHashMap<(VertexId, VertexId), &E> =
+            fe.set_weights.iter().map(|(u, v, w)| ((*u, *v), w)).collect();
+
+        // Surviving + updated + inserted stored edges.
+        let mut edges: Vec<(VertexId, VertexId, E)> =
+            Vec::with_capacity(f.edge_count() + fe.insert_edges.len());
+        for u in f.owned_vertices() {
+            let gu = f.global(u);
+            if edit.removed_vertices.contains(&gu) {
+                continue;
+            }
+            for (t, d) in f.edges(u) {
+                let gt = f.global(t);
+                if edit.removed_vertices.contains(&gt) || bufs.removed_pairs.contains(&(gu, gt)) {
+                    continue;
+                }
+                if let Some(w) = setw.get(&(gu, gt)) {
+                    match (**w).partial_cmp(d) {
+                        Some(std::cmp::Ordering::Less) => weights_decreased += 1,
+                        Some(std::cmp::Ordering::Equal) => {}
+                        _ => weights_increased += 1,
+                    }
+                    edges.push((gu, gt, (*w).clone()));
+                } else {
+                    edges.push((gu, gt, d.clone()));
+                }
+            }
+        }
+        for (u, v, d) in &fe.insert_edges {
+            assert!(bufs.owned_set.contains(u), "inserted edge ({u}, {v}) not owned at frag {i}");
+            assert!(
+                !edit.removed_vertices.contains(u) && !edit.removed_vertices.contains(v),
+                "inserted edge ({u}, {v}) touches a removed vertex"
+            );
+            edges.push((*u, *v, d.clone()));
+        }
+        edges.sort_unstable_by_key(|&(u, v, _)| ((u as u64) << 32) | v as u64);
+
+        // New mirror set + owners.
+        let mut mirrors: Vec<VertexId> =
+            edges.iter().map(|&(_, t, _)| t).filter(|t| !bufs.owned_set.contains(t)).collect();
+        mirrors.sort_unstable();
+        mirrors.dedup();
+        let owner_of = |g: VertexId| -> FragId {
+            if let Some(l) = f.local(g) {
+                if !f.is_owned(l) {
+                    return f.owner(l);
+                }
+            }
+            *edit.owners.get(&g).unwrap_or_else(|| panic!("owner of vertex {g} not resolved"))
+        };
+        let mirror_owner: Vec<FragId> = mirrors.iter().map(|&g| owner_of(g)).collect();
+        // Node data for mirrors: carry the old copy; fresh mirrors clone
+        // from the owner fragment (or, for vertices added in this very
+        // batch, from the owner's pending `add_owned` entry).
+        let mirror_data: Vec<V> = mirrors
+            .iter()
+            .zip(&mirror_owner)
+            .map(|(&g, &o)| {
+                if let Some(l) = f.local(g) {
+                    return f.node(l).clone();
+                }
+                if let Some(l) = frags[o as usize].local(g) {
+                    return frags[o as usize].node(l).clone();
+                }
+                edit.frags[o as usize]
+                    .add_owned
+                    .iter()
+                    .find(|&&(v, _)| v == g)
+                    .map(|(_, d)| d.clone())
+                    .unwrap_or_else(|| panic!("no node data for new mirror {g}"))
+            })
+            .collect();
+
+        // Mirror diff -> holder events at the owners.
+        let old_mirrors = &f.globals()[f.owned_count()..];
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < old_mirrors.len() || b < mirrors.len() {
+            match (old_mirrors.get(a), mirrors.get(b)) {
+                (Some(&og), Some(&ng)) if og == ng => {
+                    a += 1;
+                    b += 1;
+                }
+                (Some(&og), Some(&ng)) if og < ng => {
+                    holder_events[owner_of(og) as usize].push((og, i as FragId, false));
+                    a += 1;
+                }
+                (Some(_), Some(&ng)) => {
+                    holder_events[mirror_owner[b] as usize].push((ng, i as FragId, true));
+                    b += 1;
+                }
+                (Some(&og), None) => {
+                    holder_events[owner_of(og) as usize].push((og, i as FragId, false));
+                    a += 1;
+                }
+                (None, Some(&ng)) => {
+                    holder_events[mirror_owner[b] as usize].push((ng, i as FragId, true));
+                    b += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+
+        cores[i] = Some(Core { owned, edges, mirrors, mirror_owner, mirror_data });
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: commit. Touched fragments are rebuilt from their core;
+    // fragments that only gained/lost a holder get their border structure
+    // spliced without renumbering.
+    // ------------------------------------------------------------------
+    let mut remaps: Vec<StateRemap> = Vec::with_capacity(m);
+    let mut seeds: Vec<Vec<LocalId>> = vec![Vec::new(); m];
+    let mut rebuilt = vec![false; m];
+    for i in 0..m {
+        let eventful = !holder_events[i].is_empty();
+        if cores[i].is_none() && !eventful {
+            remaps.push(StateRemap::identity(frags[i].local_count()));
+            continue;
+        }
+        rebuilt[i] = true;
+        let f: &Fragment<V, E> = frags[i];
+
+        // Holder pairs (vertex, holder fragment), post-events, sorted.
+        let mut pairs: Vec<(VertexId, FragId)> = f
+            .owned_vertices()
+            .flat_map(|l| {
+                let g = f.global(l);
+                f.mirror_holders(l).iter().map(move |&h| (g, h))
+            })
+            .collect();
+        bufs.holder_removals.clear();
+        for &(v, h, add) in &holder_events[i] {
+            if add {
+                pairs.push((v, h));
+            } else {
+                bufs.holder_removals.insert((v, h));
+            }
+        }
+        if !bufs.holder_removals.is_empty() {
+            // One linear pass, not one retain() per event — a batch that
+            // prunes a hub's cut edges would otherwise go quadratic.
+            pairs.retain(|p| !bufs.holder_removals.contains(p));
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        let remap;
+        match cores[i].take() {
+            None => {
+                // Border-only splice: the local id space is unchanged.
+                let owned_n = f.owned_count();
+                let mut holder_offsets = vec![0u32; owned_n + 1];
+                let mut holders = Vec::with_capacity(pairs.len());
+                let mut inner_in = Vec::new();
+                for &(v, h) in &pairs {
+                    let l = f.local(v).expect("holder pair names an owned vertex");
+                    debug_assert!(f.is_owned(l));
+                    holder_offsets[l as usize + 1] += 1;
+                    holders.push(h);
+                }
+                for l in 1..=owned_n {
+                    holder_offsets[l] += holder_offsets[l - 1];
+                }
+                for l in 0..owned_n {
+                    if holder_offsets[l + 1] > holder_offsets[l] {
+                        inner_in.push(l as LocalId);
+                    }
+                }
+                remap = StateRemap::identity(f.local_count());
+                // Owned vertices that gained a holder must re-announce
+                // their value (the new mirror starts uninitialised).
+                for &(v, _, add) in &holder_events[i] {
+                    if add {
+                        seeds[i].push(f.local(v).expect("owned here"));
+                    }
+                }
+                frags[i].replace_borders(inner_in, holder_offsets, holders);
+            }
+            Some(core) => {
+                let old_globals = f.globals().to_vec();
+                let fe = &edit.frags[i];
+                let num_frags = f.num_frags();
+                let directed = f.local_graph().is_directed();
+
+                let Core { owned, edges, mirrors, mirror_owner, mirror_data } = core;
+                let owned_n = owned.len();
+                let n_local = owned_n + mirrors.len();
+                let mut g2l: FxHashMap<VertexId, LocalId> = FxHashMap::default();
+                g2l.reserve(n_local);
+                let mut globals = Vec::with_capacity(n_local);
+                let mut node_data: Vec<V> = Vec::with_capacity(n_local);
+                for (g, d) in owned {
+                    g2l.insert(g, globals.len() as LocalId);
+                    globals.push(g);
+                    node_data.push(d);
+                }
+                for (&g, d) in mirrors.iter().zip(mirror_data) {
+                    g2l.insert(g, globals.len() as LocalId);
+                    globals.push(g);
+                    node_data.push(d);
+                }
+
+                // Local CSR over the new id space.
+                let mut offsets = vec![0usize; n_local + 1];
+                for &(u, _, _) in &edges {
+                    offsets[g2l[&u] as usize + 1] += 1;
+                }
+                for l in 1..=n_local {
+                    offsets[l] += offsets[l - 1];
+                }
+                let mut cursor = offsets.clone();
+                let mut targets = vec![0 as LocalId; edges.len()];
+                let mut slots: Vec<Option<E>> = vec![None; edges.len()];
+                let mut inner_out_set = vec![false; owned_n];
+                for (u, v, d) in edges {
+                    let lu = g2l[&u] as usize;
+                    let lv = g2l[&v];
+                    if lv as usize >= owned_n {
+                        inner_out_set[lu] = true;
+                    }
+                    targets[cursor[lu]] = lv;
+                    slots[cursor[lu]] = Some(d);
+                    cursor[lu] += 1;
+                }
+                let edge_data: Vec<E> =
+                    slots.into_iter().map(|s| s.expect("every slot filled")).collect();
+                let local_graph =
+                    Graph::from_parts(directed, node_data, offsets, targets, edge_data);
+
+                let inner_out: Vec<LocalId> = inner_out_set
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &b)| b)
+                    .map(|(l, _)| l as LocalId)
+                    .collect();
+                let mut holder_offsets = vec![0u32; owned_n + 1];
+                let mut holders = Vec::with_capacity(pairs.len());
+                let mut inner_in = Vec::new();
+                for &(v, h) in &pairs {
+                    let l = g2l[&v];
+                    debug_assert!((l as usize) < owned_n, "holder pair for non-owned vertex {v}");
+                    holder_offsets[l as usize + 1] += 1;
+                    holders.push(h);
+                }
+                for l in 1..=owned_n {
+                    holder_offsets[l] += holder_offsets[l - 1];
+                }
+                for l in 0..owned_n {
+                    if holder_offsets[l + 1] > holder_offsets[l] {
+                        inner_in.push(l as LocalId);
+                    }
+                }
+
+                // Remap + seeds (new local ids).
+                let table: Vec<LocalId> = old_globals
+                    .iter()
+                    .map(|g| g2l.get(g).copied().unwrap_or(LocalId::MAX))
+                    .collect();
+                remap = StateRemap::from_table(table, n_local);
+                bufs.seed_globals.clear();
+                for (u, v, _) in fe.insert_edges.iter().chain(fe.set_weights.iter()) {
+                    bufs.seed_globals.insert(*u);
+                    bufs.seed_globals.insert(*v);
+                }
+                for (u, v) in &fe.remove_edges {
+                    bufs.seed_globals.insert(*u);
+                    bufs.seed_globals.insert(*v);
+                }
+                for (v, _) in &fe.add_owned {
+                    bufs.seed_globals.insert(*v);
+                }
+                for &(v, _, add) in &holder_events[i] {
+                    if add {
+                        bufs.seed_globals.insert(v);
+                    }
+                }
+                // Vertices new to this fragment (fresh mirrors).
+                for (&g, &l) in g2l.iter() {
+                    if f.local(g).is_none() {
+                        seeds[i].push(l);
+                    }
+                }
+                for g in bufs.seed_globals.drain() {
+                    if let Some(&l) = g2l.get(&g) {
+                        seeds[i].push(l);
+                    }
+                }
+
+                *frags[i] = Fragment::from_parts(
+                    i as FragId,
+                    num_frags,
+                    false,
+                    local_graph,
+                    globals,
+                    owned_n,
+                    inner_in,
+                    inner_out,
+                    mirror_owner,
+                    holder_offsets,
+                    holders,
+                );
+            }
+        }
+        seeds[i].sort_unstable();
+        seeds[i].dedup();
+        remaps.push(remap);
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 3: routing. Rebuild tables for every patched fragment plus
+    // every fragment whose destination list intersects a renumbered peer
+    // (its stored destination-local ids may have shifted).
+    // ------------------------------------------------------------------
+    let renumbered: Vec<bool> = remaps.iter().map(|r| !r.is_identity()).collect();
+    let mut needs_routing = rebuilt;
+    for j in 0..m {
+        if !needs_routing[j] && old_dests[j].iter().any(|&d| renumbered[d as usize]) {
+            needs_routing[j] = true;
+        }
+    }
+    {
+        let view: Vec<&Fragment<V, E>> = frags.iter().map(|f| &**f).collect();
+        let tables: Vec<(usize, crate::RoutingTable)> = needs_routing
+            .iter()
+            .enumerate()
+            .filter(|&(_, &need)| need)
+            .map(|(j, _)| (j, routing_table_for(view[j], &|d, g| view[d as usize].local(g))))
+            .collect();
+        drop(view);
+        for (j, t) in tables {
+            frags[j].set_routing(t);
+        }
+    }
+
+    AppliedEdit { remaps, seeds, weights_decreased, weights_increased }
+}
+
+/// Reconstruct the global graph from a fragment set (each stored edge
+/// lives in exactly one fragment; node data at the owner). Used by the
+/// vertex-cut delta path, which re-partitions instead of patching.
+pub fn reassemble<V: Clone, E: Clone>(frags: &[&Fragment<V, E>]) -> Graph<V, E> {
+    let n: usize = frags.iter().map(|f| f.owned_count()).sum();
+    let directed = frags
+        .iter()
+        .find(|f| f.local_count() > 0)
+        .map(|f| f.local_graph().is_directed())
+        .unwrap_or(true);
+    let mut nodes: Vec<Option<V>> = vec![None; n];
+    let mut edges: Vec<(VertexId, VertexId, E)> = Vec::new();
+    for f in frags {
+        for l in f.owned_vertices() {
+            nodes[f.global(l) as usize] = Some(f.node(l).clone());
+        }
+        for l in f.local_vertices() {
+            let gu = f.global(l);
+            for (t, d) in f.edges(l) {
+                edges.push((gu, f.global(t), d.clone()));
+            }
+        }
+    }
+    let node_data: Vec<V> =
+        nodes.into_iter().map(|v| v.expect("every vertex owned somewhere")).collect();
+    Graph::from_stored_edges(directed, node_data, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{build_fragments, build_fragments_n, hash_partition};
+    use crate::GraphBuilder;
+
+    fn path4() -> (Graph<(), u32>, Vec<Fragment<(), u32>>) {
+        let mut b = GraphBuilder::new_undirected(4);
+        b.add_edge(0, 1, 1u32);
+        b.add_edge(1, 2, 1);
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let frags = build_fragments(&g, &[0, 0, 1, 1]);
+        (g, frags)
+    }
+
+    fn edit_for(m: usize) -> PartitionEdit<(), u32> {
+        PartitionEdit {
+            frags: vec![FragmentEdit::default(); m],
+            removed_vertices: FxHashSet::default(),
+            owners: FxHashMap::default(),
+            touched: vec![false; m],
+        }
+    }
+
+    #[test]
+    fn remap_identity_and_table() {
+        let id = StateRemap::identity(3);
+        assert!(id.is_identity());
+        assert_eq!(id.map(2), Some(2));
+        assert_eq!(id.map_vec(vec![7, 8, 9], 0), vec![7, 8, 9]);
+
+        let r = StateRemap::from_table(vec![1, LocalId::MAX, 0], 3);
+        assert!(!r.is_identity());
+        assert_eq!(r.map(0), Some(1));
+        assert_eq!(r.map(1), None);
+        assert_eq!(r.map_vec(vec![10, 20, 30], 0), vec![30, 10, 0]);
+
+        // A full-coverage in-order table collapses to identity.
+        assert!(StateRemap::from_table(vec![0, 1, 2], 3).is_identity());
+    }
+
+    #[test]
+    fn insert_cross_edge_creates_mirror_and_holder() {
+        let (_, mut frags) = path4();
+        let mut edit = edit_for(2);
+        // New undirected cut edge 0-3: stored 0->3 at frag 0, 3->0 at frag 1.
+        edit.frags[0].insert_edges.push((0, 3, 5));
+        edit.frags[1].insert_edges.push((3, 0, 5));
+        edit.touched = vec![true, true];
+        edit.owners.insert(0, 0);
+        edit.owners.insert(3, 1);
+        let mut refs: Vec<&mut Fragment<(), u32>> = frags.iter_mut().collect();
+        let applied = apply_partition_edit(&mut refs, &edit, &mut EditBuffers::default());
+
+        let f0 = &frags[0];
+        let m3 = f0.local(3).expect("frag 0 gained a mirror of 3");
+        assert!(!f0.is_owned(m3));
+        assert_eq!(f0.owner(m3), 1);
+        // Owner side: holder list of 3 now includes fragment 0, and 3 is a
+        // receiving border vertex.
+        let f1 = &frags[1];
+        let l3 = f1.local(3).unwrap();
+        assert!(f1.is_owned(l3));
+        assert!(f1.mirror_holders(l3).contains(&0));
+        assert!(f1.inner_in().contains(&l3));
+        // Routing agrees with route() on both sides.
+        assert!(applied.remaps[0].map(0).is_some());
+        assert_eq!(applied.remaps[0].new_local_count(), f0.local_count());
+        let (slots, remotes) = f0.routing().fanout(m3);
+        assert_eq!(slots.len(), 1);
+        assert_eq!(remotes[0], l3);
+        // Seeds name the new mirror and the edge endpoints.
+        assert!(applied.seeds[0].contains(&m3));
+        assert!(applied.seeds[1].contains(&l3));
+    }
+
+    #[test]
+    fn in_place_matches_full_rebuild() {
+        // Random-ish graph, apply inserts + removals, compare with a full
+        // build_fragments on the edited global graph.
+        let g = crate::generate::small_world(60, 2, 0.2, 5);
+        let assignment = hash_partition(&g, 3);
+        let mut frags = build_fragments_n(&g, &assignment, 3);
+
+        let mut edit = edit_for(3);
+        let inserts: [(VertexId, VertexId, u32); 3] = [(0, 30, 9), (5, 45, 2), (10, 50, 4)];
+        let removes: [(VertexId, VertexId); 2] = [(0, 1), (20, 21)];
+        for &(u, v, w) in &inserts {
+            edit.frags[assignment[u as usize] as usize].insert_edges.push((u, v, w));
+            edit.frags[assignment[v as usize] as usize].insert_edges.push((v, u, w));
+        }
+        for &(u, v) in &removes {
+            edit.frags[assignment[u as usize] as usize].remove_edges.push((u, v));
+            edit.frags[assignment[v as usize] as usize].remove_edges.push((v, u));
+        }
+        for v in 0..60u32 {
+            edit.owners.insert(v, assignment[v as usize]);
+        }
+        edit.touched = edit.frags.iter().map(|fe| !fe.is_empty()).collect();
+        let mut refs: Vec<&mut Fragment<(), u32>> = frags.iter_mut().collect();
+        apply_partition_edit(&mut refs, &edit, &mut EditBuffers::default());
+
+        // Reference: rebuild from the edited global graph.
+        let mut b = GraphBuilder::new_undirected(60);
+        let removed: FxHashSet<(u32, u32)> =
+            removes.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect();
+        for (u, v, d) in g.all_edges() {
+            if u < v && !removed.contains(&(u, v)) {
+                b.add_edge(u, v, *d);
+            }
+        }
+        for &(u, v, w) in &inserts {
+            b.add_edge(u, v, w);
+        }
+        let expect = build_fragments_n(&b.build(), &assignment, 3);
+
+        for (f, e) in frags.iter().zip(&expect) {
+            assert_eq!(f.owned_count(), e.owned_count());
+            assert_eq!(f.globals(), e.globals(), "frag {} locals differ", f.id());
+            assert_eq!(f.inner_in(), e.inner_in());
+            assert_eq!(f.inner_out(), e.inner_out());
+            assert_eq!(f.routing().dests(), e.routing().dests());
+            for l in f.local_vertices() {
+                let mut a: Vec<_> = f.edges(l).map(|(t, d)| (f.global(t), *d)).collect();
+                let mut bb: Vec<_> = e.edges(l).map(|(t, d)| (e.global(t), *d)).collect();
+                a.sort_unstable();
+                bb.sort_unstable();
+                assert_eq!(a, bb, "frag {} vertex {} adjacency", f.id(), f.global(l));
+                assert_eq!(f.routing().fanout(l), e.routing().fanout(l));
+                if f.is_owned(l) {
+                    assert_eq!(f.mirror_holders(l), e.mirror_holders(l));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remove_vertex_isolates_and_drops_mirrors() {
+        let (_, mut frags) = path4();
+        let mut edit = edit_for(2);
+        // Remove vertex 2: owner is frag 1; frag 0 holds a mirror of it.
+        edit.removed_vertices.insert(2);
+        edit.touched = vec![true, true];
+        edit.owners.insert(2, 1);
+        let mut refs: Vec<&mut Fragment<(), u32>> = frags.iter_mut().collect();
+        let applied = apply_partition_edit(&mut refs, &edit, &mut EditBuffers::default());
+
+        // Frag 0 lost its mirror of 2 (renumbered).
+        assert!(frags[0].local(2).is_none());
+        assert!(!applied.remaps[0].is_identity());
+        // Frag 1 keeps vertex 2 as an isolated owned vertex.
+        let l2 = frags[1].local(2).expect("dense id survives");
+        assert!(frags[1].is_owned(l2));
+        assert!(frags[1].neighbors(l2).is_empty());
+        assert!(frags[1].mirror_holders(l2).is_empty());
+        // No routing fanout remains for it.
+        assert_eq!(frags[1].routing().fanout_len(l2), 0);
+    }
+
+    #[test]
+    fn weight_update_keeps_ids_and_counts_direction() {
+        let (_, mut frags) = path4();
+        let mut edit = edit_for(2);
+        // Edge 1-2 is cut: stored 1->2 at frag 0 and 2->1 at frag 1.
+        edit.frags[0].set_weights.push((1, 2, 7));
+        edit.frags[1].set_weights.push((2, 1, 7));
+        edit.touched = vec![true, true];
+        let mut refs: Vec<&mut Fragment<(), u32>> = frags.iter_mut().collect();
+        let applied = apply_partition_edit(&mut refs, &edit, &mut EditBuffers::default());
+        assert_eq!(applied.weights_increased, 2);
+        assert_eq!(applied.weights_decreased, 0);
+        assert!(applied.remaps.iter().all(|r| r.is_identity()));
+        let f0 = &frags[0];
+        let l1 = f0.local(1).unwrap();
+        let m2 = f0.local(2).unwrap();
+        let pos = f0.neighbors(l1).iter().position(|&t| t == m2).unwrap();
+        assert_eq!(f0.edge_data(l1)[pos], 7);
+    }
+
+    #[test]
+    fn reassemble_roundtrip() {
+        let g = crate::generate::small_world(40, 2, 0.1, 9);
+        let frags = build_fragments(&g, &hash_partition(&g, 4));
+        let view: Vec<&Fragment<(), u32>> = frags.iter().collect();
+        let r = reassemble(&view);
+        assert_eq!(r.num_vertices(), g.num_vertices());
+        assert_eq!(r.num_edges(), g.num_edges());
+        for v in g.vertices() {
+            // Parallel edges tie under the (src, dst) sort key, so compare
+            // the adjacency as a sorted multiset of (target, weight).
+            let mut a: Vec<_> = g.edges(v).map(|(t, d)| (t, *d)).collect();
+            let mut b: Vec<_> = r.edges(v).map(|(t, d)| (t, *d)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -18,54 +18,56 @@ use crate::fragment::{Fragment, RoutingTable};
 use crate::fxhash::hash_u64;
 use crate::{FragId, FxHashMap, Graph, LocalId, VertexId};
 
+/// Build the dense [`RoutingTable`] of one fragment. `peer_local` resolves
+/// a global id to its local id at a destination fragment (the only hash
+/// lookups on the routing path, and they happen once, here).
+pub(crate) fn routing_table_for<V, E>(
+    f: &Fragment<V, E>,
+    peer_local: &dyn Fn(FragId, VertexId) -> Option<LocalId>,
+) -> RoutingTable {
+    let n = f.local_count();
+    // Destination set: owners of our mirrors + holders of our owned
+    // border vertices.
+    let mut dests: Vec<FragId> = Vec::new();
+    for l in f.local_vertices() {
+        match f.route(l) {
+            crate::Route::Owner(o) => dests.push(o),
+            crate::Route::Mirrors(ms) => dests.extend_from_slice(ms),
+        }
+    }
+    dests.sort_unstable();
+    dests.dedup();
+    let mut slot_of = vec![u16::MAX; f.num_frags() as usize];
+    for (s, &d) in dests.iter().enumerate() {
+        slot_of[d as usize] = s as u16;
+    }
+    // CSR fan-out with receiver-local ids resolved through the peers.
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0u32);
+    let mut dest_slot: Vec<u16> = Vec::new();
+    let mut remote: Vec<LocalId> = Vec::new();
+    for l in f.local_vertices() {
+        let g = f.global(l);
+        let mut push = |d: FragId| {
+            let r = peer_local(d, g).expect("routing destination holds a copy of the vertex");
+            dest_slot.push(slot_of[d as usize]);
+            remote.push(r);
+        };
+        match f.route(l) {
+            crate::Route::Owner(o) => push(o),
+            crate::Route::Mirrors(ms) => ms.iter().for_each(|&m| push(m)),
+        }
+        offsets.push(dest_slot.len() as u32);
+    }
+    RoutingTable::from_parts(dests, offsets, dest_slot, remote)
+}
+
 /// Precompute every fragment's dense [`RoutingTable`] (owner/holder
 /// destinations with *destination-local* ids). Runs once per partition;
 /// the per-round message path then never consults `g2l` maps again.
 fn attach_routing_tables<V, E>(frags: &mut [Fragment<V, E>]) {
-    let tables: Vec<RoutingTable> = frags
-        .iter()
-        .map(|f| {
-            let n = f.local_count();
-            // Destination set: owners of our mirrors + holders of our
-            // owned border vertices.
-            let mut dests: Vec<FragId> = Vec::new();
-            for l in f.local_vertices() {
-                match f.route(l) {
-                    crate::Route::Owner(o) => dests.push(o),
-                    crate::Route::Mirrors(ms) => dests.extend_from_slice(ms),
-                }
-            }
-            dests.sort_unstable();
-            dests.dedup();
-            let mut slot_of = vec![u16::MAX; frags.len()];
-            for (s, &d) in dests.iter().enumerate() {
-                slot_of[d as usize] = s as u16;
-            }
-            // CSR fan-out with receiver-local ids resolved through the
-            // peer fragments' id maps (the only hash lookups left, and
-            // they happen once, here).
-            let mut offsets = Vec::with_capacity(n + 1);
-            offsets.push(0u32);
-            let mut dest_slot: Vec<u16> = Vec::new();
-            let mut remote: Vec<LocalId> = Vec::new();
-            for l in f.local_vertices() {
-                let g = f.global(l);
-                let mut push = |d: FragId| {
-                    let r = frags[d as usize]
-                        .local(g)
-                        .expect("routing destination holds a copy of the vertex");
-                    dest_slot.push(slot_of[d as usize]);
-                    remote.push(r);
-                };
-                match f.route(l) {
-                    crate::Route::Owner(o) => push(o),
-                    crate::Route::Mirrors(ms) => ms.iter().for_each(|&m| push(m)),
-                }
-                offsets.push(dest_slot.len() as u32);
-            }
-            RoutingTable::from_parts(dests, offsets, dest_slot, remote)
-        })
-        .collect();
+    let tables: Vec<RoutingTable> =
+        frags.iter().map(|f| routing_table_for(f, &|d, g| frags[d as usize].local(g))).collect();
     for (f, t) in frags.iter_mut().zip(tables) {
         f.set_routing(t);
     }
@@ -310,8 +312,21 @@ pub fn build_fragments_vertex_cut<V: Clone, E: Clone>(
     g: &Graph<V, E>,
     edge_assignment: &[FragId],
 ) -> Vec<Fragment<V, E>> {
-    assert_eq!(edge_assignment.len(), g.num_edges());
     let m = edge_assignment.iter().copied().max().map_or(1, |x| x as usize + 1);
+    build_fragments_vertex_cut_n(g, edge_assignment, m)
+}
+
+/// Build exactly `m` vertex-cut fragments from a per-stored-edge
+/// assignment (empty fragments participate as immediately-inactive
+/// workers, mirroring [`build_fragments_n`]).
+pub fn build_fragments_vertex_cut_n<V: Clone, E: Clone>(
+    g: &Graph<V, E>,
+    edge_assignment: &[FragId],
+    m: usize,
+) -> Vec<Fragment<V, E>> {
+    assert_eq!(edge_assignment.len(), g.num_edges());
+    assert!(m > 0 && m <= FragId::MAX as usize + 1);
+    debug_assert!(edge_assignment.iter().all(|&a| (a as usize) < m));
 
     // Which fragments hold a copy of each vertex.
     let mut holder_sets: Vec<Vec<FragId>> = vec![Vec::new(); g.num_vertices()];

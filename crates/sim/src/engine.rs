@@ -9,12 +9,15 @@
 
 use crate::cost::CostModel;
 use crate::timeline::{Span, SpanKind, Timeline};
+use aap_core::engine::RunState;
 use aap_core::inbox::Inbox;
-use aap_core::pie::{route_updates_into, Batch, PieProgram, UpdateCtx};
+use aap_core::pie::{route_updates_into, Batch, PieProgram, UpdateCtx, WarmStart};
 use aap_core::policy::{self, Decision, Mode, PolicyState, SharedRates};
 use aap_core::scratch::{Scratch, SharedPool};
 use aap_core::stats::{RunStats, WorkerStats, BATCH_HEADER_BYTES, UPDATE_KEY_BYTES};
-use aap_graph::{FragId, Fragment};
+use aap_graph::mutate::StateRemap;
+use aap_graph::{FragId, Fragment, LocalId};
+use std::cell::RefCell;
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -59,6 +62,9 @@ pub struct SimEngine<V, E> {
     frags: Vec<Arc<Fragment<V, E>>>,
     opts: SimOpts,
 }
+
+/// Internal result of one simulated run, before assembly.
+type SimRun<St> = (RunStats, Vec<St>, Vec<Timeline>);
 
 enum EventKind<Val> {
     Finish { w: usize },
@@ -133,23 +139,95 @@ impl<V, E> SimEngine<V, E> {
         &self.frags
     }
 
+    /// Exclusive access to the fragments for in-place delta application
+    /// (`aap-delta`); `None` while a run output still shares them.
+    pub fn fragments_mut(&mut self) -> Option<Vec<&mut Fragment<V, E>>> {
+        let mut out = Vec::with_capacity(self.frags.len());
+        for a in self.frags.iter_mut() {
+            match Arc::get_mut(a) {
+                Some(f) => out.push(f),
+                None => return None,
+            }
+        }
+        Some(out)
+    }
+
     /// Run one query to fixpoint in virtual time.
     pub fn run<P>(&self, prog: &P, q: &P::Query) -> SimOutput<P::Out>
     where
         P: PieProgram<V, E>,
     {
+        let eval0 = |_w: usize, frag: &Fragment<V, E>, ctx: &mut UpdateCtx<P::Val>| {
+            prog.peval(q, frag, ctx)
+        };
+        let (stats, states, timelines) = self.run_with(prog, q, &eval0);
+        SimOutput { out: prog.assemble(q, &self.frags, states), stats, timelines }
+    }
+
+    /// Like [`SimEngine::run`], but retain the per-fragment states for a
+    /// later [`SimEngine::run_incremental`].
+    pub fn run_retained<P>(&self, prog: &P, q: &P::Query) -> (SimOutput<P::Out>, RunState<P::State>)
+    where
+        P: WarmStart<V, E>,
+    {
+        let eval0 = |_w: usize, frag: &Fragment<V, E>, ctx: &mut UpdateCtx<P::Val>| {
+            prog.peval(q, frag, ctx)
+        };
+        let (stats, states, timelines) = self.run_with(prog, q, &eval0);
+        let out = prog.assemble_ref(q, &self.frags, &states);
+        (SimOutput { out, stats, timelines }, RunState::new(states))
+    }
+
+    /// Warm-start incremental evaluation in virtual time — the simulated
+    /// mirror of `aap_core::Engine::run_incremental`, so timelines and
+    /// cost models cover delta rounds too. Round 0 is `warm_eval` from
+    /// the delta-affected `seeds` (charged work drives the cost model);
+    /// later rounds are ordinary `IncEval`.
+    pub fn run_incremental<P>(
+        &self,
+        prog: &P,
+        q: &P::Query,
+        remaps: &[StateRemap],
+        seeds: &[Vec<LocalId>],
+        state: &mut RunState<P::State>,
+    ) -> SimOutput<P::Out>
+    where
+        P: WarmStart<V, E>,
+    {
+        let m = self.frags.len();
+        assert_eq!(state.len(), m, "RunState must match the fragment count");
+        assert_eq!(remaps.len(), m);
+        assert_eq!(seeds.len(), m);
+        let priors: RefCell<Vec<Option<P::State>>> =
+            RefCell::new(state.take_states().into_iter().map(Some).collect());
+        let eval0 = |w: usize, frag: &Fragment<V, E>, ctx: &mut UpdateCtx<P::Val>| {
+            let prior = priors.borrow_mut()[w].take().expect("warm state taken once per worker");
+            prog.warm_eval(q, frag, prior, &remaps[w], &seeds[w], ctx)
+        };
+        let (stats, states, timelines) = self.run_with(prog, q, &eval0);
+        let out = prog.assemble_ref(q, &self.frags, &states);
+        state.set_states(states);
+        SimOutput { out, stats, timelines }
+    }
+
+    fn run_with<P, F>(&self, prog: &P, q: &P::Query, eval0: &F) -> SimRun<P::State>
+    where
+        P: PieProgram<V, E>,
+        F: Fn(usize, &Fragment<V, E>, &mut UpdateCtx<P::Val>) -> P::State,
+    {
         match self.opts.mode {
-            Mode::Bsp => self.run_bsp(prog, q),
-            _ => self.run_async(prog, q),
+            Mode::Bsp => self.run_bsp(prog, q, eval0),
+            _ => self.run_async(prog, q, eval0),
         }
     }
 
     // ------------------------------------------------------------------
     // BSP: lockstep supersteps with a barrier and post-barrier delivery.
     // ------------------------------------------------------------------
-    fn run_bsp<P>(&self, prog: &P, q: &P::Query) -> SimOutput<P::Out>
+    fn run_bsp<P, F>(&self, prog: &P, q: &P::Query, eval0: &F) -> SimRun<P::State>
     where
         P: PieProgram<V, E>,
+        F: Fn(usize, &Fragment<V, E>, &mut UpdateCtx<P::Val>) -> P::State,
     {
         let m = self.frags.len();
         let mut workers: Vec<SimWorker<P::Val, P::State>> = (0..m).map(|_| new_worker()).collect();
@@ -168,7 +246,8 @@ impl<V, E> SimEngine<V, E> {
             let mut t_end = t;
             let mut all_batches: Vec<(FragId, Batch<P::Val>)> = Vec::new();
             for &w in &active {
-                let cost = self.execute_round(prog, q, &mut workers[w], w, t, superstep == 0);
+                let cost =
+                    self.execute_round(prog, q, eval0, &mut workers[w], w, t, superstep == 0);
                 t_end = t_end.max(t + cost);
                 all_batches.append(&mut workers[w].pending_out);
                 workers[w].rounds += 1;
@@ -186,15 +265,16 @@ impl<V, E> SimEngine<V, E> {
                 (0..m).filter(|&w| !workers[w].inbox.is_empty() || workers[w].local_work).collect();
             superstep += 1;
         }
-        self.finish(prog, q, workers, t, aborted)
+        finish(&self.opts.mode, workers, t, aborted)
     }
 
     // ------------------------------------------------------------------
     // Async: AP / SSP / AAP / Hsync via the shared δ.
     // ------------------------------------------------------------------
-    fn run_async<P>(&self, prog: &P, q: &P::Query) -> SimOutput<P::Out>
+    fn run_async<P, F>(&self, prog: &P, q: &P::Query, eval0: &F) -> SimRun<P::State>
     where
         P: PieProgram<V, E>,
+        F: Fn(usize, &Fragment<V, E>, &mut UpdateCtx<P::Val>) -> P::State,
     {
         let m = self.frags.len();
         let mut workers: Vec<SimWorker<P::Val, P::State>> = (0..m).map(|_| new_worker()).collect();
@@ -215,7 +295,7 @@ impl<V, E> SimEngine<V, E> {
         // PEval everywhere at t = 0.
         #[allow(clippy::needless_range_loop)]
         for w in 0..m {
-            let cost = self.execute_round(prog, q, &mut workers[w], w, 0.0, true);
+            let cost = self.execute_round(prog, q, eval0, &mut workers[w], w, 0.0, true);
             seq += 1;
             queue.push(Event { time: cost, seq, kind: EventKind::Finish { w } });
         }
@@ -263,7 +343,18 @@ impl<V, E> SimEngine<V, E> {
                     }
                     workers[w].wstate = WState::Inactive; // provisional; δ below
                     let b = bounds(&workers);
-                    self.evaluate(prog, q, &mut workers, w, now, &rates, &mut queue, &mut seq, b);
+                    self.evaluate(
+                        prog,
+                        q,
+                        eval0,
+                        &mut workers,
+                        w,
+                        now,
+                        &rates,
+                        &mut queue,
+                        &mut seq,
+                        b,
+                    );
                     // Round bounds moved: held workers may now be released.
                     let b2 = bounds(&workers);
                     if b2 != b_pre || b2 != b {
@@ -274,6 +365,7 @@ impl<V, E> SimEngine<V, E> {
                             self.evaluate(
                                 prog,
                                 q,
+                                eval0,
                                 &mut workers,
                                 h,
                                 now,
@@ -300,6 +392,7 @@ impl<V, E> SimEngine<V, E> {
                         self.evaluate(
                             prog,
                             q,
+                            eval0,
                             &mut workers,
                             w,
                             now,
@@ -317,6 +410,7 @@ impl<V, E> SimEngine<V, E> {
                             self.start_round(
                                 prog,
                                 q,
+                                eval0,
                                 &mut workers,
                                 w,
                                 now,
@@ -337,6 +431,7 @@ impl<V, E> SimEngine<V, E> {
                                     self.evaluate(
                                         prog,
                                         q,
+                                        eval0,
                                         &mut workers,
                                         h,
                                         now,
@@ -373,7 +468,7 @@ impl<V, E> SimEngine<V, E> {
                 self.opts.mode
             );
         }
-        self.finish(prog, q, workers, now, aborted)
+        finish(&self.opts.mode, workers, now, aborted)
     }
 
     /// Evaluate δ for worker `w` and act on the decision, given the
@@ -381,10 +476,11 @@ impl<V, E> SimEngine<V, E> {
     /// suspended worker must not rescan the cluster, or large-`m` runs
     /// become quadratic).
     #[allow(clippy::too_many_arguments)]
-    fn evaluate<P>(
+    fn evaluate<P, F>(
         &self,
         prog: &P,
         q: &P::Query,
+        eval0: &F,
         workers: &mut [SimWorker<P::Val, P::State>],
         w: usize,
         now: f64,
@@ -394,6 +490,7 @@ impl<V, E> SimEngine<V, E> {
         (rmin, rmax): (u32, u32),
     ) where
         P: PieProgram<V, E>,
+        F: Fn(usize, &Fragment<V, E>, &mut UpdateCtx<P::Val>) -> P::State,
     {
         debug_assert_ne!(workers[w].wstate, WState::Computing);
         let inputs = policy::DeltaInputs {
@@ -415,7 +512,7 @@ impl<V, E> SimEngine<V, E> {
         }
         match d {
             Decision::Run => {
-                self.start_round(prog, q, workers, w, now, rates, queue, seq);
+                self.start_round(prog, q, eval0, workers, w, now, rates, queue, seq);
             }
             Decision::Delay(ds) => {
                 begin_suspend(&mut workers[w], now);
@@ -442,10 +539,11 @@ impl<V, E> SimEngine<V, E> {
 
     /// Start a round at virtual time `t`: drain, execute, schedule Finish.
     #[allow(clippy::too_many_arguments)]
-    fn start_round<P>(
+    fn start_round<P, F>(
         &self,
         prog: &P,
         q: &P::Query,
+        eval0: &F,
         workers: &mut [SimWorker<P::Val, P::State>],
         w: usize,
         t: f64,
@@ -454,6 +552,7 @@ impl<V, E> SimEngine<V, E> {
         seq: &mut u64,
     ) where
         P: PieProgram<V, E>,
+        F: Fn(usize, &Fragment<V, E>, &mut UpdateCtx<P::Val>) -> P::State,
     {
         end_suspend(&mut workers[w], t);
         let m = workers.len();
@@ -465,7 +564,7 @@ impl<V, E> SimEngine<V, E> {
             policy::on_drain(&self.opts.mode, &mut wk.pstate, eta, t, m, avg, fast);
         }
         let is_peval = workers[w].rounds == 0;
-        let cost = self.execute_round(prog, q, &mut workers[w], w, t, is_peval);
+        let cost = self.execute_round(prog, q, eval0, &mut workers[w], w, t, is_peval);
         workers[w].gen += 1; // cancel pending wakes
         *seq += 1;
         queue.push(Event { time: t + cost, seq: *seq, kind: EventKind::Finish { w } });
@@ -473,10 +572,12 @@ impl<V, E> SimEngine<V, E> {
 
     /// Drain + run PEval/IncEval + route updates; returns the round cost and
     /// leaves the batches in `pending_out`.
-    fn execute_round<P>(
+    #[allow(clippy::too_many_arguments)]
+    fn execute_round<P, F>(
         &self,
         prog: &P,
         q: &P::Query,
+        eval0: &F,
         wk: &mut SimWorker<P::Val, P::State>,
         w: usize,
         t: f64,
@@ -484,6 +585,7 @@ impl<V, E> SimEngine<V, E> {
     ) -> f64
     where
         P: PieProgram<V, E>,
+        F: Fn(usize, &Fragment<V, E>, &mut UpdateCtx<P::Val>) -> P::State,
     {
         let frag = &self.frags[w];
         let round = wk.rounds;
@@ -503,7 +605,7 @@ impl<V, E> SimEngine<V, E> {
         let delivered = msgs.len();
         let mut ctx = UpdateCtx::with_buffer(wk.scratch.take_updates_buf());
         if is_peval {
-            let st = prog.peval(q, frag, &mut ctx);
+            let st = eval0(w, frag, &mut ctx);
             wk.state = Some(st);
         } else {
             let st = wk.state.as_mut().expect("PEval ran first");
@@ -541,35 +643,26 @@ impl<V, E> SimEngine<V, E> {
         wk.timeline.spans.push(Span { start: t, end: t + cost, round, kind: SpanKind::Compute });
         cost
     }
+}
 
-    fn finish<P>(
-        &self,
-        prog: &P,
-        q: &P::Query,
-        workers: Vec<SimWorker<P::Val, P::State>>,
-        makespan: f64,
-        aborted: bool,
-    ) -> SimOutput<P::Out>
-    where
-        P: PieProgram<V, E>,
-    {
-        let mut stats_w = Vec::with_capacity(workers.len());
-        let mut states = Vec::with_capacity(workers.len());
-        let mut timelines = Vec::with_capacity(workers.len());
-        for wk in workers {
-            stats_w.push(wk.stats);
-            states.push(wk.state.expect("PEval ran on every fragment"));
-            timelines.push(wk.timeline);
-        }
-        let stats = RunStats {
-            mode: self.opts.mode.name().to_string(),
-            makespan,
-            workers: stats_w,
-            aborted,
-        };
-        let out = prog.assemble(q, &self.frags, states);
-        SimOutput { out, stats, timelines }
+/// Tear the simulated workers down into run statistics, final states and
+/// timelines (the shared tail of the BSP and async paths).
+fn finish<Val, St>(
+    mode: &Mode,
+    workers: Vec<SimWorker<Val, St>>,
+    makespan: f64,
+    aborted: bool,
+) -> (RunStats, Vec<St>, Vec<Timeline>) {
+    let mut stats_w = Vec::with_capacity(workers.len());
+    let mut states = Vec::with_capacity(workers.len());
+    let mut timelines = Vec::with_capacity(workers.len());
+    for wk in workers {
+        stats_w.push(wk.stats);
+        states.push(wk.state.expect("round 0 ran on every fragment"));
+        timelines.push(wk.timeline);
     }
+    let stats = RunStats { mode: mode.name().to_string(), makespan, workers: stats_w, aborted };
+    (stats, states, timelines)
 }
 
 fn new_worker<Val, St>() -> SimWorker<Val, St> {

@@ -14,6 +14,8 @@
 //!   diagrams, large virtual clusters);
 //! * [`algos`] — CC, SSSP, BFS, PageRank, CF, and vertex-centric
 //!   baselines;
+//! * [`delta`] — dynamic-graph batches: in-place fragment mutation and
+//!   warm-start incremental evaluation from retained state;
 //! * [`mapreduce`] — MapReduce/PRAM on AAP (Theorem 4).
 //!
 //! ## Quickstart
@@ -40,6 +42,7 @@
 
 pub use aap_algos as algos;
 pub use aap_core as runtime;
+pub use aap_delta as delta;
 pub use aap_graph as graph;
 pub use aap_mapreduce as mapreduce;
 pub use aap_sim as sim;
@@ -48,6 +51,7 @@ pub use aap_sim as sim;
 pub mod prelude {
     pub use aap_algos::{Bfs, Cf, ConnectedComponents, PageRank, Sssp, VertexCentric};
     pub use aap_core::prelude::*;
+    pub use aap_delta::{DeltaBuilder, GraphDelta};
     pub use aap_graph::{Fragment, Graph, GraphBuilder, VertexId};
     pub use aap_sim::{CostModel, SimEngine, SimOpts};
 }
