@@ -62,6 +62,62 @@ impl CcState {
     pub fn cid(&self, l: LocalId) -> VertexId {
         self.comp_cid[self.comp_of[l as usize] as usize]
     }
+
+    /// Rebuild a state from its component arrays — the decode hook for
+    /// durable snapshots (`aap-snapshot`).
+    ///
+    /// # Panics
+    /// Panics on inconsistent arrays — [`CcState::try_from_parts`] is
+    /// the error-returning form decoders use; every check lives there.
+    pub fn from_parts(
+        comp_of: Vec<u32>,
+        comp_cid: Vec<VertexId>,
+        comp_border: Vec<Vec<LocalId>>,
+    ) -> Self {
+        CcState::try_from_parts(comp_of, comp_cid, comp_border)
+            .unwrap_or_else(|e| panic!("inconsistent CcState parts: {e}"))
+    }
+
+    /// Fallible form of [`CcState::from_parts`] — the single home of
+    /// the consistency checks, so snapshot decoders turn bad input into
+    /// a tagged error instead of a panic.
+    ///
+    /// # Errors
+    /// Describes the first inconsistency: a `comp_of` entry or border
+    /// member out of range, or a border-list count mismatch.
+    pub fn try_from_parts(
+        comp_of: Vec<u32>,
+        comp_cid: Vec<VertexId>,
+        comp_border: Vec<Vec<LocalId>>,
+    ) -> Result<Self, String> {
+        let c = comp_cid.len();
+        if comp_border.len() != c {
+            return Err("one border list per component".into());
+        }
+        if comp_of.iter().any(|&i| (i as usize) >= c) {
+            return Err("component index out of range".into());
+        }
+        let n = comp_of.len();
+        if comp_border.iter().flatten().any(|&l| (l as usize) >= n) {
+            return Err("border member out of range".into());
+        }
+        Ok(CcState { comp_of, comp_cid, comp_border })
+    }
+
+    /// Local vertex -> local component index (encode hook).
+    pub fn comp_of(&self) -> &[u32] {
+        &self.comp_of
+    }
+
+    /// Component -> current cid (encode hook).
+    pub fn comp_cid(&self) -> &[VertexId] {
+        &self.comp_cid
+    }
+
+    /// Component -> border members (encode hook).
+    pub fn comp_border(&self) -> &[Vec<LocalId>] {
+        &self.comp_border
+    }
 }
 
 /// Union-find over the local edges, densified into a [`CcState`] with

@@ -29,8 +29,8 @@ pub mod sssp;
 pub mod vertex_centric;
 
 pub use bfs::Bfs;
-pub use cc::ConnectedComponents;
+pub use cc::{CcState, ConnectedComponents};
 pub use cf::{Cf, CfOutput};
 pub use pagerank::PageRank;
-pub use sssp::Sssp;
+pub use sssp::{Sssp, SsspState};
 pub use vertex_centric::{VertexCentric, VertexProgram};

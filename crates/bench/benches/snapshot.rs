@@ -1,0 +1,92 @@
+//! The `snapshot` group: durable save/load timings — what a warm
+//! restart costs versus the cold re-partition + recompute it replaces.
+//!
+//! * `save_bytes` / `load_bytes` — serialize/parse a full snapshot
+//!   (fragments + retained SSSP state) in memory;
+//! * `save_file` / `load_file` — the same through the filesystem;
+//! * `log_write` — append one 0.1% delta record (flushed) to the log;
+//! * `log_replay_parse` — parse a 16-record log back;
+//! * `cold_baseline` — partition + cold run, the work a warm restart
+//!   avoids.
+
+use aap_algos::{Sssp, SsspState};
+use aap_core::{Engine, EngineOpts, Mode, RunState};
+use aap_delta::generate::insert_batch;
+use aap_graph::generate;
+use aap_graph::partition::{build_fragments_n, hash_partition};
+use aap_snapshot::{snapshot_from_bytes, snapshot_to_bytes, DeltaLog};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const WORKERS: usize = 8;
+
+fn bench_snapshot(c: &mut Criterion) {
+    let g = generate::rmat(14, 8, true, 21);
+    let frags = build_fragments_n(&g, &hash_partition(&g, WORKERS), WORKERS);
+    let engine = Engine::new(
+        frags,
+        EngineOpts { threads: WORKERS, mode: Mode::aap(), max_rounds: Some(1_000_000) },
+    );
+    let (_, state): (_, RunState<SsspState>) = engine.run_retained(&Sssp, &0);
+    let portable = state.export(engine.fragments());
+    let bytes = snapshot_to_bytes(engine.fragments(), Some(&portable));
+    let delta = insert_batch(&g, (g.num_edges() / 1000).max(8), 16, 0xA5A5);
+
+    let dir = std::env::temp_dir();
+    let snap_path = dir.join(format!("aap_bench_{}.snap", std::process::id()));
+    let log_path = dir.join(format!("aap_bench_{}.dlog", std::process::id()));
+
+    let mut group = c.benchmark_group("snapshot");
+    group.sample_size(10);
+
+    group.bench_function("save_bytes", |b| {
+        b.iter(|| black_box(snapshot_to_bytes(engine.fragments(), Some(&portable)).len()))
+    });
+    group.bench_function("load_bytes", |b| {
+        b.iter(|| {
+            let loaded = snapshot_from_bytes::<(), u32, SsspState>(&bytes).unwrap();
+            black_box(loaded.fragments.len())
+        })
+    });
+    group.bench_function("save_file", |b| {
+        b.iter(|| {
+            aap_snapshot::save_engine(&snap_path, &engine, Some(&state)).unwrap();
+        })
+    });
+    group.bench_function("load_file", |b| {
+        b.iter(|| {
+            let loaded = aap_snapshot::load_snapshot::<(), u32, SsspState, _>(&snap_path).unwrap();
+            black_box(loaded.fragments.len())
+        })
+    });
+    group.bench_function("log_write", |b| {
+        let mut log = DeltaLog::create(&log_path).unwrap();
+        b.iter(|| log.write_delta(&delta).unwrap())
+    });
+    {
+        let mut log = DeltaLog::create(&log_path).unwrap();
+        for _ in 0..16 {
+            log.write_delta(&delta).unwrap();
+        }
+    }
+    group.bench_function("log_replay_parse", |b| {
+        b.iter(|| black_box(DeltaLog::replay::<(), u32, _>(&log_path).unwrap().len()))
+    });
+    group.bench_function("cold_baseline", |b| {
+        b.iter(|| {
+            let frags = build_fragments_n(&g, &hash_partition(&g, WORKERS), WORKERS);
+            let engine = Engine::new(
+                frags,
+                EngineOpts { threads: WORKERS, mode: Mode::aap(), max_rounds: Some(1_000_000) },
+            );
+            black_box(engine.run(&Sssp, &0).out.len())
+        })
+    });
+    group.finish();
+
+    std::fs::remove_file(&snap_path).ok();
+    std::fs::remove_file(&log_path).ok();
+}
+
+criterion_group!(benches, bench_snapshot);
+criterion_main!(benches);

@@ -1,0 +1,483 @@
+//! The bench-regression gate: parse `repro json` output (one JSON
+//! object per line) and diff its effective/redundant-update counters
+//! against a checked-in baseline, failing when staleness drifts beyond
+//! a tolerance.
+//!
+//! The comparison is possible at all because `repro json` is
+//! deterministic: seeded generators + the virtual-time simulator mean
+//! same seed → same bytes on any machine. The JSON parser below is a
+//! minimal recursive-descent one — no serde in-tree — covering exactly
+//! the subset the runner emits.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (the subset `repro json` emits).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64; the counters fit exactly).
+    Num(f64),
+    /// A string (no escape sequences beyond `\"` and `\\` needed).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, order-insensitive.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parse one JSON document.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let b = s.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing input at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Member access for objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut m = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(m));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                m.insert(key, parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(m));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut v = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(v));
+            }
+            loop {
+                v.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(v));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(&c @ (b'"' | b'\\' | b'/')) => s.push(c as char),
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            other => return Err(format!("unsupported escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        s.push(c as char);
+                        *pos += 1;
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+    }
+}
+
+/// Outcome of one gate run: human-readable per-counter checks plus the
+/// subset that violated the tolerance. Empty `violations` = gate passes.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// One line per compared counter, pass or fail.
+    pub checks: Vec<String>,
+    /// The failing subset, with baseline/current values.
+    pub violations: Vec<String>,
+}
+
+impl GateReport {
+    /// True when every counter stayed within tolerance.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Parse multi-line runner output (one JSON object per non-empty line)
+/// into `(experiment name, object)` pairs.
+pub fn parse_runner_output(text: &str) -> Result<Vec<(String, Json)>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let name = v
+            .get("experiment")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: no \"experiment\" key", i + 1))?
+            .to_string();
+        out.push((name, v));
+    }
+    Ok(out)
+}
+
+/// The staleness counters compared per record.
+const COUNTERS: [&str; 2] = ["effective_updates", "redundant_updates"];
+
+fn check_record(
+    report: &mut GateReport,
+    label: &str,
+    baseline: &Json,
+    current: &Json,
+    tolerance: f64,
+) {
+    for key in COUNTERS {
+        let (b, c) = match (
+            baseline.get(key).and_then(Json::as_f64),
+            current.get(key).and_then(Json::as_f64),
+        ) {
+            (Some(b), Some(c)) => (b, c),
+            _ => {
+                report.violations.push(format!("{label}: counter {key} missing"));
+                continue;
+            }
+        };
+        // Relative drift, floored so tiny baselines don't amplify noise.
+        let drift = (c - b).abs() / b.max(100.0);
+        let line = format!("{label}: {key} baseline {b:.0} current {c:.0} drift {drift:.3}");
+        if drift > tolerance {
+            report.violations.push(line.clone());
+        }
+        report.checks.push(line);
+    }
+    // Staleness ratio is compared absolutely (it lives in 0..1). A
+    // vanished metric is a violation like any other — the gate must not
+    // pass because the counter it guards stopped being emitted.
+    match (
+        baseline.get("stale_ratio").and_then(Json::as_f64),
+        current.get("stale_ratio").and_then(Json::as_f64),
+    ) {
+        (Some(b), Some(c)) => {
+            let line = format!("{label}: stale_ratio baseline {b:.4} current {c:.4}");
+            if (c - b).abs() > tolerance {
+                report.violations.push(line.clone());
+            }
+            report.checks.push(line);
+        }
+        (None, None) => {}
+        _ => report.violations.push(format!("{label}: counter stale_ratio missing")),
+    }
+}
+
+/// Diff `current` runner output against `baseline`, both as produced by
+/// `repro json`. Every baseline record must be present in `current`
+/// within `tolerance`; experiments present only on one side fail the
+/// gate (the baseline is stale — regenerate it with
+/// `bench_gate --write-baseline`).
+pub fn compare(baseline: &str, current: &str, tolerance: f64) -> Result<GateReport, String> {
+    let base = parse_runner_output(baseline)?;
+    let curr = parse_runner_output(current)?;
+    let curr_map: BTreeMap<&str, &Json> = curr.iter().map(|(n, v)| (n.as_str(), v)).collect();
+    let mut report = GateReport::default();
+
+    for (name, bv) in &base {
+        let cv = match curr_map.get(name.as_str()) {
+            Some(cv) => *cv,
+            None => {
+                report.violations.push(format!("experiment {name} missing from current output"));
+                continue;
+            }
+        };
+        if let (Some(bs), Some(cs)) =
+            (bv.get("seed").and_then(Json::as_f64), cv.get("seed").and_then(Json::as_f64))
+        {
+            if bs != cs {
+                report.violations.push(format!(
+                    "experiment {name}: seed mismatch (baseline {bs}, current {cs}) — \
+                     counters are not comparable"
+                ));
+                continue;
+            }
+        }
+        match bv.get("rows").and_then(Json::as_arr) {
+            Some(rows) => {
+                let curr_rows: BTreeMap<&str, &Json> = cv
+                    .get("rows")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(|r| r.get("system").and_then(Json::as_str).map(|s| (s, r)))
+                    .collect();
+                for row in rows {
+                    let system = row.get("system").and_then(Json::as_str).unwrap_or("?");
+                    match curr_rows.get(system) {
+                        Some(cr) => check_record(
+                            &mut report,
+                            &format!("{name}/{system}"),
+                            row,
+                            cr,
+                            tolerance,
+                        ),
+                        None => report
+                            .violations
+                            .push(format!("{name}: system {system} missing from current output")),
+                    }
+                }
+            }
+            None => {
+                // Dynamic-round form: named sub-objects with counters.
+                for section in ["incremental", "full"] {
+                    if let Some(bsec) = bv.get(section) {
+                        match cv.get(section) {
+                            Some(csec) => check_record(
+                                &mut report,
+                                &format!("{name}/{section}"),
+                                bsec,
+                                csec,
+                                tolerance,
+                            ),
+                            None => report.violations.push(format!(
+                                "{name}: section {section} missing from current output"
+                            )),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for (name, _) in &curr {
+        if !base.iter().any(|(b, _)| b == name) {
+            report.violations.push(format!(
+                "experiment {name} not in baseline — regenerate BENCH_baseline.json"
+            ));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_runner_shapes() {
+        let v = Json::parse(
+            r#"{"experiment":"e","rows":[{"system":"A","effective_updates":10,"stale_ratio":0.25}]}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("experiment").unwrap().as_str(), Some("e"));
+        let rows = v.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows[0].get("effective_updates").unwrap().as_f64(), Some(10.0));
+        assert_eq!(rows[0].get("stale_ratio").unwrap().as_f64(), Some(0.25));
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(Json::parse("{\"a\":").is_err());
+        assert!(Json::parse("[1,2").is_err());
+        assert!(Json::parse("{\"a\":1} trailing").is_err());
+    }
+
+    fn sample(eff: u64, red: u64) -> String {
+        format!(
+            "{{\"experiment\":\"e1\",\"rows\":[{{\"system\":\"A\",\
+             \"effective_updates\":{eff},\"redundant_updates\":{red},\
+             \"stale_ratio\":{:.4}}}]}}\n",
+            red as f64 / (eff + red) as f64
+        )
+    }
+
+    #[test]
+    fn identical_output_passes() {
+        let s = sample(1000, 400);
+        let r = compare(&s, &s, 0.10).unwrap();
+        assert!(r.passed(), "{:?}", r.violations);
+        assert!(!r.checks.is_empty());
+    }
+
+    #[test]
+    fn small_drift_passes_large_drift_fails() {
+        let base = sample(1000, 400);
+        let ok = compare(&base, &sample(1040, 410), 0.10).unwrap();
+        assert!(ok.passed(), "{:?}", ok.violations);
+        let bad = compare(&base, &sample(1000, 900), 0.10).unwrap();
+        assert!(!bad.passed());
+        assert!(bad.violations.iter().any(|v| v.contains("redundant_updates")));
+        assert!(bad.violations.iter().any(|v| v.contains("stale_ratio")));
+    }
+
+    #[test]
+    fn missing_system_or_experiment_fails() {
+        let base = sample(1000, 400);
+        let r = compare(&base, "", 0.10).unwrap();
+        assert!(r.violations.iter().any(|v| v.contains("missing from current")));
+        let r = compare("", &base, 0.10).unwrap();
+        assert!(r.violations.iter().any(|v| v.contains("not in baseline")));
+    }
+
+    #[test]
+    fn vanished_stale_ratio_fails() {
+        let base = sample(1000, 400);
+        let no_ratio = "{\"experiment\":\"e1\",\"rows\":[{\"system\":\"A\",\
+                        \"effective_updates\":1000,\"redundant_updates\":400}]}";
+        let r = compare(&base, no_ratio, 0.10).unwrap();
+        assert!(r.violations.iter().any(|v| v.contains("stale_ratio missing")), "{r:?}");
+    }
+
+    #[test]
+    fn seed_mismatch_fails_loudly() {
+        let base = "{\"experiment\":\"dyn\",\"seed\":1,\"incremental\":{\"effective_updates\":5,\
+                    \"redundant_updates\":1,\"stale_ratio\":0.1}}";
+        let curr = "{\"experiment\":\"dyn\",\"seed\":2,\"incremental\":{\"effective_updates\":5,\
+                    \"redundant_updates\":1,\"stale_ratio\":0.1}}";
+        let r = compare(base, curr, 0.10).unwrap();
+        assert!(r.violations.iter().any(|v| v.contains("seed mismatch")));
+    }
+
+    #[test]
+    fn dynamic_sections_are_compared() {
+        let mk = |eff: u64| {
+            format!(
+                "{{\"experiment\":\"dyn\",\"seed\":1,\
+                 \"incremental\":{{\"effective_updates\":{eff},\"redundant_updates\":10,\
+                 \"stale_ratio\":0.1}},\
+                 \"full\":{{\"effective_updates\":900,\"redundant_updates\":300,\
+                 \"stale_ratio\":0.25}}}}"
+            )
+        };
+        let ok = compare(&mk(100), &mk(104), 0.10).unwrap();
+        assert!(ok.passed(), "{:?}", ok.violations);
+        let bad = compare(&mk(100), &mk(400), 0.10).unwrap();
+        assert!(!bad.passed());
+    }
+
+    #[test]
+    fn real_runner_output_parses() {
+        // The actual emitters must stay parseable by this gate.
+        let rows = crate::runner::rows_json(
+            "x",
+            &[crate::runner::Row {
+                system: "GRAPE+ (AAP)".into(),
+                time: 1.0,
+                rounds_max: 1,
+                rounds_total: 2,
+                updates: 3,
+                bytes: 4,
+                effective: 5,
+                redundant: 6,
+                stale: 0.5,
+            }],
+        );
+        let parsed = parse_runner_output(&rows).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, "x");
+    }
+}

@@ -1,0 +1,110 @@
+//! The CI bench-regression gate.
+//!
+//! ```sh
+//! # compare a fresh deterministic `repro json` run against the repo baseline
+//! cargo run --release -p aap-bench --bin bench_gate
+//!
+//! # after an intentional behaviour change, refresh the baseline
+//! cargo run --release -p aap-bench --bin bench_gate -- --write-baseline
+//! ```
+//!
+//! Runs the seeded `json` experiment, optionally writes the raw output
+//! to `--out` (uploaded as a CI artifact on every run), and diffs the
+//! effective/redundant-update counters against `BENCH_baseline.json`,
+//! exiting non-zero when staleness regresses beyond `--tolerance`
+//! (default 0.10). Determinism makes the diff meaningful: same seed,
+//! same simulator, same bytes on any machine.
+
+use aap_bench::{baseline, experiments};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: bench_gate [--baseline PATH] [--out PATH] [--tolerance F] \
+                     [--write-baseline]";
+
+fn default_baseline() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = default_baseline();
+    let mut out_path: Option<PathBuf> = None;
+    let mut tolerance = 0.10f64;
+    let mut write_baseline = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().map(PathBuf::from).unwrap_or_else(|| {
+                eprintln!("{flag} needs a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--baseline" => baseline_path = value("--baseline"),
+            "--out" => out_path = Some(value("--out")),
+            "--tolerance" => {
+                tolerance = value("--tolerance").to_string_lossy().parse().unwrap_or_else(|_| {
+                    eprintln!("--tolerance needs a number\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--write-baseline" => write_baseline = true,
+            other => {
+                eprintln!("unknown argument {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("running deterministic `repro json` (seed {:#x})", experiments::DEFAULT_JSON_SEED);
+    let t0 = std::time::Instant::now();
+    let current = experiments::stats_json();
+    eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+
+    if let Some(out) = &out_path {
+        std::fs::write(out, &current).expect("write --out artifact");
+        eprintln!("wrote artifact {}", out.display());
+    }
+    if write_baseline {
+        std::fs::write(&baseline_path, &current).expect("write baseline");
+        eprintln!("wrote baseline {}", baseline_path.display());
+        return;
+    }
+
+    let base = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "cannot read baseline {}: {e}\n(generate it with --write-baseline)",
+                baseline_path.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    let report = match baseline::compare(&base, &current, tolerance) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gate failed to parse runner output: {e}");
+            std::process::exit(1);
+        }
+    };
+    for line in &report.checks {
+        println!("check {line}");
+    }
+    if report.passed() {
+        println!(
+            "bench gate PASSED: {} counters within tolerance {tolerance}",
+            report.checks.len()
+        );
+    } else {
+        println!("bench gate FAILED ({} violations):", report.violations.len());
+        for v in &report.violations {
+            println!("  REGRESSION {v}");
+        }
+        println!(
+            "if this change is intentional, refresh the baseline:\n  \
+             cargo run --release -p aap-bench --bin bench_gate -- --write-baseline"
+        );
+        std::process::exit(1);
+    }
+}

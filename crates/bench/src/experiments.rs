@@ -663,11 +663,27 @@ pub fn ablate() -> String {
     s
 }
 
+/// The seed `repro json` runs with unless `--seed` overrides it — the
+/// seed `BENCH_baseline.json` is generated with, so CI's gate compares
+/// like with like.
+pub const DEFAULT_JSON_SEED: u64 = 0xDEC0;
+
 /// Machine-readable run metrics: the Fig-6 mode line-up on SSSP and CC,
 /// plus a warm-start delta round, emitted as JSON rows that include the
 /// effective/redundant update counters — so staleness (§7) is trackable
 /// across PRs by diffing `repro json` output.
+///
+/// Everything here is deterministic: seeded generators, the virtual-time
+/// simulator, no wall clocks. Same seed, same bytes — which is what lets
+/// CI diff the counters against a checked-in baseline.
 pub fn stats_json() -> String {
+    stats_json_seeded(DEFAULT_JSON_SEED)
+}
+
+/// [`stats_json`] with an explicit seed for the dynamic delta round
+/// (`repro json --seed N`). The seed is recorded in the output so a
+/// baseline diff against a different seed fails loudly, not subtly.
+pub fn stats_json_seeded(seed: u64) -> String {
     use crate::runner::{all_modes, rows_json};
 
     let mut out = String::new();
@@ -695,11 +711,11 @@ pub fn stats_json() -> String {
     let frags = cluster.fragments(&fr);
     let mut sim = SimEngine::new(frags, SimOpts::default());
     let (_, mut state) = sim.run_retained(&Sssp, &0);
-    let delta = aap_delta::generate::insert_batch(&fr, (fr.num_edges() / 1000).max(4), 9, 0xDEC0);
+    let delta = aap_delta::generate::insert_batch(&fr, (fr.num_edges() / 1000).max(4), 9, seed);
     let warm = aap_delta::run_incremental_sim(&mut sim, &Sssp, &0, &delta, &mut state);
     let cold = sim.run(&Sssp, &0);
     out.push_str(&format!(
-        "{{\"experiment\":\"dynamic_sssp_friendster\",\"incremental\":{},\"full\":{}}}\n",
+        "{{\"experiment\":\"dynamic_sssp_friendster\",\"seed\":{seed},\"incremental\":{},\"full\":{}}}\n",
         warm.stats.to_json(),
         cold.stats.to_json()
     ));

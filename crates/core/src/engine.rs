@@ -26,7 +26,7 @@ use crate::policy::{self, Decision, Mode, PolicyState, SharedRates};
 use crate::scratch::{Scratch, SharedPool};
 use crate::stats::{RunStats, WorkerStats, BATCH_HEADER_BYTES, UPDATE_KEY_BYTES};
 use aap_graph::mutate::StateRemap;
-use aap_graph::{Fragment, LocalId};
+use aap_graph::{Fragment, LocalId, VertexId};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
@@ -105,6 +105,165 @@ impl<St> RunState<St> {
     /// Replace the retained states after a run (engine use).
     pub fn set_states(&mut self, states: Vec<St>) {
         self.states = states;
+    }
+
+    /// Detach the retained states from this fragment set's local-id
+    /// space, pairing each with the fragment's global-id layout so a
+    /// later [`PortableRunState::attach`] can re-anchor them — the
+    /// export half of durable snapshots (`aap-snapshot`).
+    pub fn export<V, E>(&self, frags: &[Arc<Fragment<V, E>>]) -> PortableRunState<St>
+    where
+        St: Clone,
+    {
+        assert_eq!(self.states.len(), frags.len(), "RunState must match the fragment count");
+        PortableRunState {
+            entries: frags
+                .iter()
+                .zip(&self.states)
+                .map(|(f, s)| PortableFragState {
+                    globals: f.globals().to_vec(),
+                    owned: f.owned_count(),
+                    state: s.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One fragment's worth of portable retained state: the state plus the
+/// local-id layout (global ids, owned-first) it was computed against.
+#[derive(Debug, Clone)]
+pub struct PortableFragState<St> {
+    /// Global id of each local at export time (owned first, then mirrors).
+    pub globals: Vec<VertexId>,
+    /// How many of `globals` were owned at export time.
+    pub owned: usize,
+    /// The per-fragment program state.
+    pub state: St,
+}
+
+/// A [`RunState`] detached from any particular fragment set: each
+/// per-fragment state travels with the **global** vertex ids that its
+/// local ids meant at export time. This is the stable on-disk contract
+/// for retained state — local ids are an artifact of partition
+/// construction, global ids are not.
+///
+/// [`PortableRunState::attach`] re-anchors the states against a loaded
+/// fragment set and returns one [`StateRemap`] per fragment: identity
+/// when the layouts agree byte-for-byte (the common case — snapshots
+/// persist the partition exactly), a real old→new table when they do
+/// not. The remaps feed [`Engine::run_incremental`] (with empty seeds),
+/// whose `warm_eval` migrates the state values — so an attach followed
+/// by one warm run lands in exactly the state a continuous process
+/// would hold.
+#[derive(Debug, Clone)]
+pub struct PortableRunState<St> {
+    entries: Vec<PortableFragState<St>>,
+}
+
+/// Why a [`PortableRunState::attach`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttachError {
+    /// The portable state holds a different number of fragments.
+    FragmentCount {
+        /// Fragments recorded in the portable state.
+        saved: usize,
+        /// Fragments in the set being attached to.
+        live: usize,
+    },
+    /// A saved global vertex no longer exists in the target fragment
+    /// (the partition diverged beyond renumbering).
+    MissingVertex {
+        /// The fragment at fault.
+        frag: usize,
+        /// The global id with no local counterpart.
+        vertex: VertexId,
+    },
+}
+
+impl std::fmt::Display for AttachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttachError::FragmentCount { saved, live } => {
+                write!(f, "portable state has {saved} fragments, target partition has {live}")
+            }
+            AttachError::MissingVertex { frag, vertex } => {
+                write!(f, "fragment {frag}: saved vertex {vertex} is absent from the target")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttachError {}
+
+impl<St> PortableRunState<St> {
+    /// Wrap per-fragment entries (deserializer use; [`RunState::export`]
+    /// is the ordinary constructor).
+    pub fn from_entries(entries: Vec<PortableFragState<St>>) -> Self {
+        PortableRunState { entries }
+    }
+
+    /// The per-fragment entries (serializer use).
+    pub fn entries(&self) -> &[PortableFragState<St>] {
+        &self.entries
+    }
+
+    /// Number of per-fragment entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Re-anchor the states against `frags`, returning the [`RunState`]
+    /// plus one [`StateRemap`] per fragment (identity where the local-id
+    /// layout is unchanged). Feed both to `run_incremental` with empty
+    /// seeds to migrate the state values through `warm_eval`.
+    ///
+    /// Fails if the fragment count differs or a saved vertex has no
+    /// local id in its target fragment; *dropped* locals (a saved vertex
+    /// the target lost, e.g. a mirror) are not an error — the remap
+    /// discards their values, exactly as a delta-driven renumbering
+    /// would.
+    pub fn attach<V, E>(
+        self,
+        frags: &[Arc<Fragment<V, E>>],
+    ) -> Result<(RunState<St>, Vec<StateRemap>), AttachError> {
+        if self.entries.len() != frags.len() {
+            return Err(AttachError::FragmentCount {
+                saved: self.entries.len(),
+                live: frags.len(),
+            });
+        }
+        let mut states = Vec::with_capacity(self.entries.len());
+        let mut remaps = Vec::with_capacity(self.entries.len());
+        for (i, (entry, frag)) in self.entries.into_iter().zip(frags).enumerate() {
+            let PortableFragState { globals, owned, state } = entry;
+            if globals == frag.globals() {
+                remaps.push(StateRemap::identity(frag.local_count()));
+            } else {
+                let mut table = Vec::with_capacity(globals.len());
+                for (old, &g) in globals.iter().enumerate() {
+                    match frag.local(g) {
+                        Some(l) => table.push(l),
+                        // A vanished *mirror* is a legitimate drop; a
+                        // vanished owned vertex means the partition
+                        // diverged (owned ids are never deleted, only
+                        // isolated).
+                        None if old >= owned => table.push(LocalId::MAX),
+                        None => {
+                            return Err(AttachError::MissingVertex { frag: i, vertex: g });
+                        }
+                    }
+                }
+                remaps.push(StateRemap::from_table(table, frag.local_count()));
+            }
+            states.push(state);
+        }
+        Ok((RunState::new(states), remaps))
     }
 }
 

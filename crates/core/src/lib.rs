@@ -97,7 +97,9 @@ pub mod prelude {
     pub use aap_graph::{FragId, Fragment, LocalId, Route, VertexId};
 }
 
-pub use engine::{Engine, EngineOpts, RunOutput, RunState};
+pub use engine::{
+    AttachError, Engine, EngineOpts, PortableFragState, PortableRunState, RunOutput, RunState,
+};
 pub use pie::{Batch, Messages, PieProgram, Round, UpdateCtx, WarmStart};
 pub use policy::{AapConfig, Decision, HsyncConfig, Mode};
 pub use scratch::Scratch;

@@ -57,7 +57,8 @@ pub mod run;
 pub use apply::{apply_to_fragments, apply_to_graph, Applied};
 pub use ops::{DeltaBuilder, GraphDelta};
 pub use run::{
-    run_incremental, run_incremental_sim, run_incremental_sim_with, run_incremental_with,
+    replay, replay_sim, run_incremental, run_incremental_sim, run_incremental_sim_with,
+    run_incremental_with, IncrementalOutput, IncrementalSimOutput,
 };
 
 pub use aap_graph::mutate::{DeltaSummary, StateRemap};

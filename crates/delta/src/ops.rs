@@ -29,6 +29,114 @@ pub struct GraphDelta<V = (), E = u32> {
 }
 
 impl<V, E> GraphDelta<V, E> {
+    /// Reassemble a delta from its sorted component lists — the decode
+    /// hook for persisted delta logs (`aap-snapshot`). The lists must
+    /// satisfy the [`DeltaBuilder::build`] postconditions: each sorted by
+    /// key, keys unique across the vertex lists and across the edge
+    /// lists, and no edge op naming a removed vertex.
+    ///
+    /// # Panics
+    /// Panics on a contract violation — [`GraphDelta::try_from_parts`]
+    /// is the error-returning form decoders use; every check lives
+    /// there.
+    pub fn from_parts(
+        vertices_added: Vec<(VertexId, V)>,
+        vertices_removed: Vec<VertexId>,
+        edges_added: Vec<(VertexId, VertexId, E)>,
+        edges_removed: Vec<(VertexId, VertexId)>,
+        weight_updates: Vec<(VertexId, VertexId, E)>,
+    ) -> Self {
+        GraphDelta::try_from_parts(
+            vertices_added,
+            vertices_removed,
+            edges_added,
+            edges_removed,
+            weight_updates,
+        )
+        .unwrap_or_else(|e| panic!("malformed delta parts: {e}"))
+    }
+
+    /// Fallible form of [`GraphDelta::from_parts`] — the single home of
+    /// the batch-contract checks, so log decoders turn bad input into a
+    /// tagged error instead of a panic (or, worse, a panic deep inside
+    /// a later `apply`).
+    ///
+    /// # Errors
+    /// Names the first violation of the [`DeltaBuilder::build`]
+    /// postconditions found: a list unsorted or holding a duplicated
+    /// key, a vertex id in both vertex lists, an edge key in more than
+    /// one edge list, or an edge op naming a removed vertex.
+    pub fn try_from_parts(
+        vertices_added: Vec<(VertexId, V)>,
+        vertices_removed: Vec<VertexId>,
+        edges_added: Vec<(VertexId, VertexId, E)>,
+        edges_removed: Vec<(VertexId, VertexId)>,
+        weight_updates: Vec<(VertexId, VertexId, E)>,
+    ) -> Result<Self, String> {
+        fn sorted_disjoint<T: Ord>(
+            a: impl Iterator<Item = T>,
+            b: &[T],
+            what: &str,
+        ) -> Result<(), String> {
+            let mut j = 0;
+            for x in a {
+                while j < b.len() && b[j] < x {
+                    j += 1;
+                }
+                if j < b.len() && b[j] == x {
+                    return Err(what.to_string());
+                }
+            }
+            Ok(())
+        }
+        if !vertices_added.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err("vertices_added not sorted/unique".into());
+        }
+        if !vertices_removed.windows(2).all(|w| w[0] < w[1]) {
+            return Err("vertices_removed not sorted/unique".into());
+        }
+        if !edges_added.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)) {
+            return Err("edges_added not sorted/unique".into());
+        }
+        if !edges_removed.windows(2).all(|w| w[0] < w[1]) {
+            return Err("edges_removed not sorted/unique".into());
+        }
+        if !weight_updates.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)) {
+            return Err("weight_updates not sorted/unique".into());
+        }
+        // Cross-list exclusivity: one op per vertex id, one op per edge
+        // key, and no edge op naming a removed vertex (the builder drops
+        // those because the removal discards every incident edge).
+        sorted_disjoint(
+            vertices_added.iter().map(|&(v, _)| v),
+            &vertices_removed,
+            "vertex id both added and removed",
+        )?;
+        let added_keys = || edges_added.iter().map(|&(u, v, _)| (u, v));
+        let update_keys = || weight_updates.iter().map(|&(u, v, _)| (u, v));
+        sorted_disjoint(added_keys(), &edges_removed, "edge key both added and removed")?;
+        sorted_disjoint(update_keys(), &edges_removed, "edge key both updated and removed")?;
+        sorted_disjoint(
+            added_keys(),
+            &weight_updates.iter().map(|&(u, v, _)| (u, v)).collect::<Vec<_>>(),
+            "edge key both added and weight-updated",
+        )?;
+        let dead = |v: VertexId| vertices_removed.binary_search(&v).is_ok();
+        let endpoints = added_keys().chain(update_keys()).chain(edges_removed.iter().copied());
+        for (u, v) in endpoints {
+            if dead(u) || dead(v) {
+                return Err(format!("edge op ({u}, {v}) names a removed vertex"));
+            }
+        }
+        Ok(GraphDelta {
+            vertices_added,
+            vertices_removed,
+            edges_added,
+            edges_removed,
+            weight_updates,
+        })
+    }
+
     /// Vertices added by this batch, sorted by id.
     pub fn vertices_added(&self) -> &[(VertexId, V)] {
         &self.vertices_added
@@ -257,6 +365,57 @@ mod tests {
         let mut b2: DeltaBuilder<(), u32> = DeltaBuilder::new();
         b2.add_edge(0, 1, 1);
         assert!(b2.build().summary().is_monotone_decreasing());
+    }
+
+    #[test]
+    fn try_from_parts_enforces_the_build_contract() {
+        // Well-formed parts round-trip.
+        let ok = GraphDelta::<(), u32>::try_from_parts(
+            vec![(9, ())],
+            vec![3],
+            vec![(0, 1, 5)],
+            vec![(1, 2)],
+            vec![(4, 5, 7)],
+        );
+        assert!(ok.is_ok());
+
+        // An edge op naming a removed vertex would panic deep in apply;
+        // it must be rejected here instead.
+        let err =
+            GraphDelta::<(), u32>::try_from_parts(vec![], vec![1], vec![(0, 1, 5)], vec![], vec![])
+                .unwrap_err();
+        assert!(err.contains("removed vertex"), "{err}");
+
+        // One op per key: a vertex id in both vertex lists ...
+        let err =
+            GraphDelta::<(), u32>::try_from_parts(vec![(1, ())], vec![1], vec![], vec![], vec![])
+                .unwrap_err();
+        assert!(err.contains("added and removed"), "{err}");
+
+        // ... and an edge key in two edge lists.
+        let err = GraphDelta::<(), u32>::try_from_parts(
+            vec![],
+            vec![],
+            vec![(0, 1, 5)],
+            vec![(0, 1)],
+            vec![],
+        )
+        .unwrap_err();
+        assert!(err.contains("added and removed"), "{err}");
+        let err = GraphDelta::<(), u32>::try_from_parts(
+            vec![],
+            vec![],
+            vec![(0, 1, 5)],
+            vec![],
+            vec![(0, 1, 9)],
+        )
+        .unwrap_err();
+        assert!(err.contains("weight-updated"), "{err}");
+
+        // Unsorted lists are still rejected.
+        let err = GraphDelta::<(), u32>::try_from_parts(vec![], vec![2, 1], vec![], vec![], vec![])
+            .unwrap_err();
+        assert!(err.contains("sorted"), "{err}");
     }
 
     #[test]

@@ -1,14 +1,57 @@
 //! Warm-start drivers: apply a delta to an engine's fragments, then run
 //! incrementally (or fall back to a cold retained run when the delta is
 //! not handled exactly by the program's warm path).
+//!
+//! Every driver returns what it *did* alongside the run result: the
+//! [`Applied`] record of the batch (its summary with weight-change
+//! directions resolved against the graph, per-fragment remaps, and
+//! warm-start seeds) and whether the warm path ran — previously all of
+//! this was computed and discarded internally. A built [`GraphDelta`]
+//! is already deduplicated and is applied verbatim, so callers keeping
+//! a durable history (the `aap-snapshot` delta log) log the delta they
+//! passed in and keep the returned record as the account of how it
+//! resolved.
 
-use crate::apply::apply_to_fragments_with;
+use crate::apply::{apply_to_fragments_with, Applied};
 use crate::ops::GraphDelta;
 use aap_core::engine::{RunOutput, RunState};
 use aap_core::pie::WarmStart;
-use aap_core::Engine;
+use aap_core::{Engine, RunStats};
 use aap_graph::mutate::EditBuffers;
-use aap_sim::{SimEngine, SimOutput};
+use aap_sim::{SimEngine, SimOutput, Timeline};
+
+/// Result of one incremental driver call on the threaded engine: the
+/// assembled answer and stats of [`RunOutput`], plus the delta that was
+/// actually applied and which evaluation path ran.
+#[derive(Debug)]
+pub struct IncrementalOutput<Out> {
+    /// The assembled answer `ρ(Q, G ⊕ delta)`.
+    pub out: Out,
+    /// Statistics collected during the run.
+    pub stats: RunStats,
+    /// What the delta application did to the fragments: resolved
+    /// summary, per-fragment state remaps, and warm-start seeds.
+    pub applied: Applied,
+    /// `true` if the warm path ran ([`WarmStart::delta_exact`] held);
+    /// `false` if the driver fell back to a cold retained run.
+    pub warm: bool,
+}
+
+/// Result of one incremental driver call on the simulator — the
+/// simulated mirror of [`IncrementalOutput`], with timelines.
+#[derive(Debug)]
+pub struct IncrementalSimOutput<Out> {
+    /// The assembled answer.
+    pub out: Out,
+    /// Statistics; `makespan` is in virtual time units.
+    pub stats: RunStats,
+    /// Per-worker activity history (for Gantt rendering).
+    pub timelines: Vec<Timeline>,
+    /// What the delta application did to the fragments.
+    pub applied: Applied,
+    /// `true` warm path, `false` cold retained fallback.
+    pub warm: bool,
+}
 
 /// Apply `delta` to the engine's fragments in place, then evaluate `q`
 /// incrementally from the retained `state`.
@@ -32,7 +75,7 @@ pub fn run_incremental<V, E, P>(
     q: &P::Query,
     delta: &GraphDelta<V, E>,
     state: &mut RunState<P::State>,
-) -> RunOutput<P::Out>
+) -> IncrementalOutput<P::Out>
 where
     V: Clone + Send + Sync,
     E: Clone + PartialOrd + Send + Sync,
@@ -50,7 +93,7 @@ pub fn run_incremental_with<V, E, P>(
     delta: &GraphDelta<V, E>,
     state: &mut RunState<P::State>,
     bufs: &mut EditBuffers,
-) -> RunOutput<P::Out>
+) -> IncrementalOutput<P::Out>
 where
     V: Clone + Send + Sync,
     E: Clone + PartialOrd + Send + Sync,
@@ -62,13 +105,41 @@ where
             .expect("engine fragments are shared; drop previous run outputs first");
         apply_to_fragments_with(&mut frags, delta, bufs)
     };
-    if prog.delta_exact(&applied.summary) {
+    let warm = prog.delta_exact(&applied.summary);
+    let RunOutput { out, stats } = if warm {
         engine.run_incremental(prog, q, &applied.remaps, &applied.seeds, state)
     } else {
         let (out, fresh) = engine.run_retained(prog, q);
         *state = fresh;
         out
+    };
+    IncrementalOutput { out, stats, applied, warm }
+}
+
+/// Replay a sequence of deltas through [`run_incremental`] — the
+/// restart half of a durable snapshot: `load → attach → replay(log)`
+/// lands in exactly the state a continuous process would hold. Returns
+/// the output of the **last** delta round (`None` for an empty
+/// sequence; `state` is current either way).
+pub fn replay<'a, V, E, P, I>(
+    engine: &mut Engine<V, E>,
+    prog: &P,
+    q: &P::Query,
+    deltas: I,
+    state: &mut RunState<P::State>,
+) -> Option<IncrementalOutput<P::Out>>
+where
+    V: Clone + Send + Sync + 'a,
+    E: Clone + PartialOrd + Send + Sync + 'a,
+    P: WarmStart<V, E>,
+    I: IntoIterator<Item = &'a GraphDelta<V, E>>,
+{
+    let mut bufs = EditBuffers::default();
+    let mut last = None;
+    for delta in deltas {
+        last = Some(run_incremental_with(engine, prog, q, delta, state, &mut bufs));
     }
+    last
 }
 
 /// The simulated mirror of [`run_incremental`]: apply the delta to a
@@ -80,7 +151,7 @@ pub fn run_incremental_sim<V, E, P>(
     q: &P::Query,
     delta: &GraphDelta<V, E>,
     state: &mut RunState<P::State>,
-) -> SimOutput<P::Out>
+) -> IncrementalSimOutput<P::Out>
 where
     V: Clone,
     E: Clone + PartialOrd,
@@ -99,7 +170,7 @@ pub fn run_incremental_sim_with<V, E, P>(
     delta: &GraphDelta<V, E>,
     state: &mut RunState<P::State>,
     bufs: &mut EditBuffers,
-) -> SimOutput<P::Out>
+) -> IncrementalSimOutput<P::Out>
 where
     V: Clone,
     E: Clone + PartialOrd,
@@ -111,11 +182,36 @@ where
             .expect("simulator fragments are shared; drop previous run outputs first");
         apply_to_fragments_with(&mut frags, delta, bufs)
     };
-    if prog.delta_exact(&applied.summary) {
+    let warm = prog.delta_exact(&applied.summary);
+    let SimOutput { out, stats, timelines } = if warm {
         sim.run_incremental(prog, q, &applied.remaps, &applied.seeds, state)
     } else {
         let (out, fresh) = sim.run_retained(prog, q);
         *state = fresh;
         out
+    };
+    IncrementalSimOutput { out, stats, timelines, applied, warm }
+}
+
+/// Replay a sequence of deltas on the simulator — the virtual-time
+/// mirror of [`replay`].
+pub fn replay_sim<'a, V, E, P, I>(
+    sim: &mut SimEngine<V, E>,
+    prog: &P,
+    q: &P::Query,
+    deltas: I,
+    state: &mut RunState<P::State>,
+) -> Option<IncrementalSimOutput<P::Out>>
+where
+    V: Clone + 'a,
+    E: Clone + PartialOrd + 'a,
+    P: WarmStart<V, E>,
+    I: IntoIterator<Item = &'a GraphDelta<V, E>>,
+{
+    let mut bufs = EditBuffers::default();
+    let mut last = None;
+    for delta in deltas {
+        last = Some(run_incremental_sim_with(sim, prog, q, delta, state, &mut bufs));
     }
+    last
 }

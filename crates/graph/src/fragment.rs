@@ -190,6 +190,151 @@ impl<V, E> Fragment<V, E> {
         }
     }
 
+    /// Rebuild a fragment from persisted parts — the durable snapshot
+    /// path (`aap-snapshot`). Semantically the data is what the
+    /// internal partition-time constructor takes, but everything is validated
+    /// unconditionally (snapshot bytes are untrusted) and the local
+    /// `g2l` map is re-derived rather than persisted. The dense
+    /// [`RoutingTable`] is **not** attached here: it is derivable, so
+    /// loaders re-derive it for the whole partition with
+    /// [`crate::partition::rebuild_routing_tables`] once every fragment
+    /// exists.
+    ///
+    /// # Panics
+    /// Panics on inconsistent parts — [`Fragment::try_from_saved_parts`]
+    /// is the error-returning form loaders use; every check lives there.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_saved_parts(
+        id: FragId,
+        num_frags: u16,
+        vertex_cut: bool,
+        graph: Graph<V, E>,
+        globals: Vec<VertexId>,
+        owned: usize,
+        inner_in: Vec<LocalId>,
+        inner_out: Vec<LocalId>,
+        mirror_owner: Vec<FragId>,
+        holder_offsets: Vec<u32>,
+        holders: Vec<FragId>,
+    ) -> Self {
+        Fragment::try_from_saved_parts(
+            id,
+            num_frags,
+            vertex_cut,
+            graph,
+            globals,
+            owned,
+            inner_in,
+            inner_out,
+            mirror_owner,
+            holder_offsets,
+            holders,
+        )
+        .unwrap_or_else(|e| panic!("inconsistent fragment parts: {e}"))
+    }
+
+    /// Fallible form of [`Fragment::from_saved_parts`] — the single home
+    /// of the per-fragment validity checks, so deserializers turn bad
+    /// input into a tagged error instead of a panic and cannot drift
+    /// from the constructor's invariants.
+    ///
+    /// # Errors
+    /// Describes the first inconsistency found: wrong array lengths,
+    /// unsorted border sets, out-of-range local ids or fragment ids.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_from_saved_parts(
+        id: FragId,
+        num_frags: u16,
+        vertex_cut: bool,
+        graph: Graph<V, E>,
+        globals: Vec<VertexId>,
+        owned: usize,
+        inner_in: Vec<LocalId>,
+        inner_out: Vec<LocalId>,
+        mirror_owner: Vec<FragId>,
+        holder_offsets: Vec<u32>,
+        holders: Vec<FragId>,
+    ) -> Result<Self, String> {
+        let n = globals.len();
+        let check = |cond: bool, what: &str| -> Result<(), String> {
+            if cond {
+                Ok(())
+            } else {
+                Err(format!("fragment {id}: {what}"))
+            }
+        };
+        check((id as usize) < num_frags as usize, "fragment id out of range")?;
+        check(graph.num_vertices() == n, "local graph must cover all locals")?;
+        check(owned <= n, "owned count exceeds local count")?;
+        // The local-id layout invariant: owned globals strictly sorted,
+        // then mirror globals strictly sorted, with no id in both. A
+        // duplicate would collapse the g2l map (last wins) and silently
+        // misroute messages; an unsorted list breaks the mirror-diff
+        // walks in `mutate`.
+        check(globals[..owned].windows(2).all(|w| w[0] < w[1]), "owned globals sorted unique")?;
+        check(globals[owned..].windows(2).all(|w| w[0] < w[1]), "mirror globals sorted unique")?;
+        {
+            let (mut i, mut j) = (0, owned);
+            while i < owned && j < n {
+                match globals[i].cmp(&globals[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        return Err(format!(
+                            "fragment {id}: vertex {} is both owned and a mirror",
+                            globals[i]
+                        ))
+                    }
+                }
+            }
+        }
+        check(mirror_owner.len() == n - owned, "one owner per mirror")?;
+        check(
+            mirror_owner.iter().all(|&f| (f as usize) < num_frags as usize),
+            "mirror owner out of range",
+        )?;
+        check(holder_offsets.len() == owned + 1, "holder CSR over owned locals")?;
+        check(holder_offsets.first().copied().unwrap_or(0) == 0, "holder offsets start at 0")?;
+        check(holder_offsets.windows(2).all(|w| w[0] <= w[1]), "holder offsets monotone")?;
+        check(
+            *holder_offsets.last().unwrap_or(&0) as usize == holders.len(),
+            "holder offsets end at holder count",
+        )?;
+        check(holders.iter().all(|&f| (f as usize) < num_frags as usize), "holder out of range")?;
+        for set in [&inner_in, &inner_out] {
+            check(set.windows(2).all(|w| w[0] < w[1]), "border sets sorted unique")?;
+            check(set.iter().all(|&l| (l as usize) < owned), "border sets are owned locals")?;
+        }
+        Ok(Fragment::from_parts(
+            id,
+            num_frags,
+            vertex_cut,
+            graph,
+            globals,
+            owned,
+            inner_in,
+            inner_out,
+            mirror_owner,
+            holder_offsets,
+            holders,
+        ))
+    }
+
+    /// Owning fragment of every mirror, indexed by `local - owned_count()`
+    /// (raw form of [`Fragment::owner`], for serialization).
+    #[inline]
+    pub fn mirror_owners(&self) -> &[FragId] {
+        &self.mirror_owner
+    }
+
+    /// The holder CSR over owned locals as raw `(offsets, holders)`
+    /// arrays (raw form of [`Fragment::mirror_holders`], for
+    /// serialization).
+    #[inline]
+    pub fn holder_csr(&self) -> (&[u32], &[FragId]) {
+        (&self.holder_offsets, &self.holders)
+    }
+
     pub(crate) fn set_routing(&mut self, routing: RoutingTable) {
         debug_assert_eq!(routing.offsets.len(), self.globals.len() + 1);
         self.routing = routing;
@@ -504,6 +649,33 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn try_from_saved_parts_rejects_degenerate_globals() {
+        use crate::Graph;
+        let mk = |globals: Vec<u32>| {
+            let n = globals.len();
+            crate::Fragment::<(), u32>::try_from_saved_parts(
+                0,
+                2,
+                false,
+                Graph::from_csr(true, vec![(); n], vec![0; n + 1], vec![], vec![]),
+                globals,
+                1,
+                vec![],
+                vec![],
+                vec![1],
+                vec![0, 0],
+                vec![],
+            )
+        };
+        // A duplicated global id would collapse the g2l map.
+        let err = mk(vec![4, 4]).unwrap_err();
+        assert!(err.contains("both owned and a mirror"), "{err}");
+        // Sorted, disjoint owned/mirror globals pass.
+        assert!(mk(vec![4, 7]).is_ok());
+        assert!(mk(vec![7, 4]).is_ok(), "mirror ids may sort below owned ids");
     }
 
     #[test]

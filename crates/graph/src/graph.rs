@@ -64,6 +64,81 @@ impl<V, E> Graph<V, E> {
         Graph::from_parts(directed, node_data, offsets, targets, edge_data)
     }
 
+    /// Build a graph from already-validated CSR arrays — the durable
+    /// snapshot path (`aap-snapshot`), which persists the arrays verbatim.
+    /// Unlike the `debug_assert`-guarded internal constructor, this
+    /// validates unconditionally: data arriving from disk is untrusted.
+    ///
+    /// # Panics
+    /// Panics if the arrays are not a well-formed CSR —
+    /// [`Graph::try_from_csr`] is the error-returning form loaders use;
+    /// every check lives there.
+    pub fn from_csr(
+        directed: bool,
+        node_data: Vec<V>,
+        offsets: Vec<usize>,
+        targets: Vec<VertexId>,
+        edge_data: Vec<E>,
+    ) -> Self {
+        Graph::try_from_csr(directed, node_data, offsets, targets, edge_data)
+            .unwrap_or_else(|e| panic!("malformed CSR: {e}"))
+    }
+
+    /// Fallible form of [`Graph::from_csr`] — the single home of the
+    /// CSR validity checks, so deserializers turn bad input into a
+    /// tagged error instead of a panic.
+    ///
+    /// # Errors
+    /// Describes the first malformation found: mismatched lengths,
+    /// non-monotone offsets, or out-of-range targets.
+    pub fn try_from_csr(
+        directed: bool,
+        node_data: Vec<V>,
+        offsets: Vec<usize>,
+        targets: Vec<VertexId>,
+        edge_data: Vec<E>,
+    ) -> Result<Self, String> {
+        let n = node_data.len();
+        if offsets.len() != n + 1 {
+            return Err("offsets must have num_vertices + 1 entries".into());
+        }
+        if offsets.first().copied().unwrap_or(0) != 0 {
+            return Err("offsets must start at 0".into());
+        }
+        if *offsets.last().unwrap() != targets.len() {
+            return Err("offsets must end at num_edges".into());
+        }
+        if targets.len() != edge_data.len() {
+            return Err("one edge datum per target".into());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets must be monotone".into());
+        }
+        if targets.iter().any(|&t| (t as usize) >= n) {
+            return Err("edge target out of range".into());
+        }
+        Ok(Graph { directed, node_data, offsets, targets, edge_data })
+    }
+
+    /// The CSR offset array (`num_vertices + 1` entries; out-edges of `v`
+    /// occupy `targets()[offsets()[v]..offsets()[v + 1]]`).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat CSR target array, all out-edges in vertex order.
+    #[inline]
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// The flat edge-data array, parallel to [`Graph::targets`].
+    #[inline]
+    pub fn edge_data_all(&self) -> &[E] {
+        &self.edge_data
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {

@@ -73,6 +73,16 @@ fn attach_routing_tables<V, E>(frags: &mut [Fragment<V, E>]) {
     }
 }
 
+/// Re-derive every fragment's dense [`RoutingTable`] from the border
+/// sets and holder lists — the load half of the durable snapshot story
+/// (`aap-snapshot` persists the partition but not the derivable routing;
+/// see [`Fragment::from_saved_parts`]). Must be called with the complete
+/// fragment set of one partition: tables resolve destination-local ids
+/// through the peers.
+pub fn rebuild_routing_tables<V, E>(frags: &mut [Fragment<V, E>]) {
+    attach_routing_tables(frags);
+}
+
 /// Balanced pseudo-random edge-cut: vertex `v` goes to `hash(v) % m`.
 pub fn hash_partition<V, E>(g: &Graph<V, E>, m: usize) -> Vec<FragId> {
     assert!(m > 0 && m <= FragId::MAX as usize + 1);

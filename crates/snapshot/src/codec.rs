@@ -1,0 +1,257 @@
+//! Value (de)serialization over the wire layer: the [`Codec`] trait and
+//! its implementations for the primitive node/edge/state payloads the
+//! engines actually ship. Program states implement it too (SSSP, CC),
+//! so a retained [`aap_core::PortableRunState`] persists alongside the
+//! fragments it belongs to.
+
+use crate::wire::{Reader, Writer};
+use crate::SnapshotError;
+use aap_algos::{CcState, SsspState};
+
+/// A value with a stable little-endian byte encoding. Implementations
+/// must round-trip exactly: `decode(encode(v)) == v`, consuming
+/// precisely the bytes written — snapshot sections concatenate values
+/// with no delimiters.
+pub trait Codec: Sized {
+    /// Append this value's encoding to `w`.
+    fn encode(&self, w: &mut Writer);
+    /// Read one value back. Errors are tagged, never panics, on
+    /// malformed input.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError>;
+    /// The smallest possible encoding of one value, in bytes — bounds
+    /// length prefixes so corrupt lengths fail fast. Zero-size values
+    /// (`()`) return 0.
+    fn min_encoded_bytes() -> usize;
+}
+
+macro_rules! int_codec {
+    ($ty:ty, $put:ident, $get:ident, $bytes:expr) => {
+        impl Codec for $ty {
+            fn encode(&self, w: &mut Writer) {
+                w.$put(*self);
+            }
+            fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+                r.$get()
+            }
+            fn min_encoded_bytes() -> usize {
+                $bytes
+            }
+        }
+    };
+}
+
+int_codec!(u8, put_u8, get_u8, 1);
+int_codec!(u16, put_u16, get_u16, 2);
+int_codec!(u32, put_u32, get_u32, 4);
+int_codec!(u64, put_u64, get_u64, 8);
+int_codec!(f64, put_f64, get_f64, 8);
+
+impl Codec for usize {
+    fn encode(&self, w: &mut Writer) {
+        w.put_len(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(r.get_u64()? as usize)
+    }
+    fn min_encoded_bytes() -> usize {
+        8
+    }
+}
+
+impl Codec for i64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(*self as u64);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(r.get_u64()? as i64)
+    }
+    fn min_encoded_bytes() -> usize {
+        8
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(*self as u8);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(r.get_u8()? != 0)
+    }
+    fn min_encoded_bytes() -> usize {
+        1
+    }
+}
+
+impl Codec for () {
+    fn encode(&self, _w: &mut Writer) {}
+    fn decode(_r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(())
+    }
+    fn min_encoded_bytes() -> usize {
+        0
+    }
+}
+
+/// Encode a slice exactly as `Vec<T>::encode` would (length prefix +
+/// per-item encoding) without cloning the data into a `Vec` first —
+/// the save-path form for borrowed arrays.
+pub fn encode_slice<T: Codec>(s: &[T], w: &mut Writer) {
+    w.put_len(s.len());
+    for v in s {
+        v.encode(w);
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        encode_slice(self, w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.get_len(T::min_encoded_bytes())?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+    fn min_encoded_bytes() -> usize {
+        8
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.get_u8()? {
+            0 => None,
+            _ => Some(T::decode(r)?),
+        })
+    }
+    fn min_encoded_bytes() -> usize {
+        1
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+    fn min_encoded_bytes() -> usize {
+        A::min_encoded_bytes() + B::min_encoded_bytes()
+    }
+}
+
+impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+    fn min_encoded_bytes() -> usize {
+        A::min_encoded_bytes() + B::min_encoded_bytes() + C::min_encoded_bytes()
+    }
+}
+
+impl Codec for SsspState {
+    fn encode(&self, w: &mut Writer) {
+        self.dist.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(SsspState { dist: Vec::<u64>::decode(r)? })
+    }
+    fn min_encoded_bytes() -> usize {
+        8
+    }
+}
+
+impl Codec for CcState {
+    fn encode(&self, w: &mut Writer) {
+        encode_slice(self.comp_of(), w);
+        encode_slice(self.comp_cid(), w);
+        encode_slice(self.comp_border(), w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let comp_of = Vec::<u32>::decode(r)?;
+        let comp_cid = Vec::<u32>::decode(r)?;
+        let comp_border = Vec::<Vec<u32>>::decode(r)?;
+        CcState::try_from_parts(comp_of, comp_cid, comp_border)
+            .map_err(|e| SnapshotError::corrupt(format!("CcState: {e}")))
+    }
+    fn min_encoded_bytes() -> usize {
+        24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let mut w = Writer::new();
+        v.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(T::decode(&mut r).unwrap(), v);
+        assert!(r.is_exhausted(), "decode must consume exactly what encode wrote");
+    }
+
+    #[test]
+    fn primitive_and_composite_roundtrips() {
+        roundtrip(0xABu8);
+        roundtrip(u64::MAX);
+        roundtrip(-3i64);
+        roundtrip(2.75f64);
+        roundtrip(true);
+        roundtrip(());
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some((7u32, 9u64)));
+        roundtrip(Option::<u32>::None);
+        roundtrip((1u8, 2u16, vec![3u32]));
+    }
+
+    #[test]
+    fn sssp_state_roundtrips() {
+        let mut w = Writer::new();
+        SsspState { dist: vec![0, 5, u64::MAX] }.encode(&mut w);
+        let bytes = w.into_bytes();
+        let got = SsspState::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(got.dist, vec![0, 5, u64::MAX]);
+    }
+
+    #[test]
+    fn cc_state_roundtrips_and_rejects_corrupt_indices() {
+        let st = CcState::from_parts(vec![0, 0, 1], vec![0, 2], vec![vec![0], vec![2]]);
+        let mut w = Writer::new();
+        st.encode(&mut w);
+        let bytes = w.into_bytes();
+        let got = CcState::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(got.comp_of(), st.comp_of());
+        assert_eq!(got.comp_cid(), st.comp_cid());
+
+        // An out-of-range component index must be a tagged error, not a
+        // panic inside CcState::from_parts.
+        let bad = CcState::from_parts(vec![0, 1], vec![0, 2], vec![vec![0], vec![1]]);
+        let mut w = Writer::new();
+        bad.comp_of().to_vec().encode(&mut w);
+        vec![0u32].encode(&mut w); // only one component now
+        bad.comp_border().to_vec().encode(&mut w);
+        let bytes = w.into_bytes();
+        assert!(CcState::decode(&mut Reader::new(&bytes)).is_err());
+    }
+}

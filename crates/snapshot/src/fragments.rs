@@ -1,0 +1,345 @@
+//! The snapshot file proper: persisted fragment sets and retained
+//! run state.
+//!
+//! # Layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! magic    8 bytes  b"AAPSNAP\0"
+//! version  u16      1
+//! flags    u16      reserved, 0
+//! FRAG section      the partitioned fragment set
+//! STAT section      retained PortableRunState (optional; absent when
+//!                   the snapshot carries topology only)
+//! ```
+//!
+//! Each section is framed by the wire layer: `tag(4) len(u64) payload
+//! crc32(u32)` — see [`crate::wire::write_section`]. The FRAG payload
+//! holds, per fragment, exactly the parts
+//! [`Fragment::from_saved_parts`] consumes: local CSR adjacency with
+//! node/edge data, the globals array, owned count, border sets
+//! (`Fi.I`, `Fi.O'`), mirror owners and the holder CSR. Dense routing
+//! tables are *derivable* and therefore not persisted; the loader
+//! re-derives them with [`rebuild_routing_tables`] — trading a little
+//! load CPU for a format that cannot hold contradictory routing.
+//!
+//! The STAT payload is an [`aap_core::PortableRunState`]: per fragment,
+//! the exported globals layout, owned count, and the program state via
+//! its [`Codec`] — keyed by *global* ids so it survives renumbering
+//! (see `PortableRunState::attach`).
+
+use crate::codec::{encode_slice, Codec};
+use crate::wire::{read_section, write_section, Reader, Writer};
+use crate::{ErrorKind, SnapshotError};
+use aap_core::{PortableFragState, PortableRunState};
+use aap_graph::partition::rebuild_routing_tables;
+use aap_graph::{FragId, Fragment, Graph, LocalId, VertexId};
+use std::borrow::Borrow;
+use std::path::Path;
+
+/// File magic of snapshot files.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"AAPSNAP\0";
+/// Current (and only) format version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+const FRAG_TAG: [u8; 4] = *b"FRAG";
+const STAT_TAG: [u8; 4] = *b"STAT";
+
+/// A snapshot loaded back into memory: the fragment set (with routing
+/// tables re-derived) and, if the file carried one, the retained state.
+#[derive(Debug)]
+pub struct LoadedSnapshot<V, E, St> {
+    /// The persisted partition, ready to back an engine.
+    pub fragments: Vec<Fragment<V, E>>,
+    /// Retained run state, if the snapshot carried one. Re-anchor it
+    /// with [`aap_core::PortableRunState::attach`].
+    pub state: Option<PortableRunState<St>>,
+}
+
+fn encode_graph<V: Codec, E: Codec>(g: &Graph<V, E>, w: &mut Writer) {
+    g.is_directed().encode(w);
+    w.put_len(g.num_vertices());
+    for v in g.nodes() {
+        v.encode(w);
+    }
+    w.put_len(g.num_edges());
+    for &o in g.offsets() {
+        w.put_u64(o as u64);
+    }
+    for &t in g.targets() {
+        w.put_u32(t);
+    }
+    for d in g.edge_data_all() {
+        d.encode(w);
+    }
+}
+
+fn decode_graph<V: Codec, E: Codec>(r: &mut Reader<'_>) -> Result<Graph<V, E>, SnapshotError> {
+    let directed = bool::decode(r)?;
+    let n = r.get_len(V::min_encoded_bytes())?;
+    let mut nodes = Vec::with_capacity(n);
+    for _ in 0..n {
+        nodes.push(V::decode(r)?);
+    }
+    let m = r.get_len(1)?;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(r.get_u64()? as usize);
+    }
+    let mut targets = Vec::with_capacity(m);
+    for _ in 0..m {
+        targets.push(r.get_u32()?);
+    }
+    let mut edge_data = Vec::with_capacity(m);
+    for _ in 0..m {
+        edge_data.push(E::decode(r)?);
+    }
+    Graph::try_from_csr(directed, nodes, offsets, targets, edge_data)
+        .map_err(|e| SnapshotError::corrupt(format!("CSR adjacency: {e}")))
+}
+
+fn encode_fragment<V: Codec, E: Codec>(f: &Fragment<V, E>, w: &mut Writer) {
+    w.put_u16(f.id());
+    w.put_u16(f.num_frags());
+    f.is_vertex_cut().encode(w);
+    encode_graph(f.local_graph(), w);
+    w.put_len(f.globals().len());
+    for &g in f.globals() {
+        w.put_u32(g);
+    }
+    w.put_len(f.owned_count());
+    encode_slice(f.inner_in(), w);
+    encode_slice(f.inner_out(), w);
+    encode_slice(f.mirror_owners(), w);
+    let (holder_offsets, holders) = f.holder_csr();
+    encode_slice(holder_offsets, w);
+    encode_slice(holders, w);
+}
+
+fn decode_fragment<V: Codec, E: Codec>(
+    r: &mut Reader<'_>,
+) -> Result<Fragment<V, E>, SnapshotError> {
+    let id = r.get_u16()?;
+    let num_frags = r.get_u16()?;
+    let vertex_cut = bool::decode(r)?;
+    let graph = decode_graph::<V, E>(r)?;
+    let n = r.get_len(4)?;
+    let mut globals = Vec::with_capacity(n);
+    for _ in 0..n {
+        globals.push(r.get_u32()?);
+    }
+    let owned = r.get_len(0)?;
+    let inner_in = Vec::<LocalId>::decode(r)?;
+    let inner_out = Vec::<LocalId>::decode(r)?;
+    let mirror_owner = Vec::<FragId>::decode(r)?;
+    let holder_offsets = Vec::<u32>::decode(r)?;
+    let holders = Vec::<FragId>::decode(r)?;
+    Fragment::try_from_saved_parts(
+        id,
+        num_frags,
+        vertex_cut,
+        graph,
+        globals,
+        owned,
+        inner_in,
+        inner_out,
+        mirror_owner,
+        holder_offsets,
+        holders,
+    )
+    .map_err(SnapshotError::corrupt)
+}
+
+/// Cross-fragment coherence: every routing destination must actually
+/// hold a copy of the vertex, or the routing-table rebuild would panic
+/// on its `peer_local` lookup. Per-fragment checks can't see this —
+/// each fragment is internally consistent while naming a peer that
+/// lacks the vertex — so it runs once over the decoded partition.
+fn validate_partition<V, E>(frags: &[Fragment<V, E>]) -> Result<(), SnapshotError> {
+    for f in frags {
+        for m in f.mirrors() {
+            let g = f.global(m);
+            let owner = &frags[f.owner(m) as usize];
+            if owner.local(g).is_none() {
+                return Err(SnapshotError::corrupt(format!(
+                    "fragment {}: mirror of vertex {g} names owner {} which lacks it",
+                    f.id(),
+                    owner.id()
+                )));
+            }
+        }
+        for l in f.owned_vertices() {
+            let g = f.global(l);
+            for &h in f.mirror_holders(l) {
+                if frags[h as usize].local(g).is_none() {
+                    return Err(SnapshotError::corrupt(format!(
+                        "fragment {}: holder list of vertex {g} names fragment {h} which lacks it",
+                        f.id()
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn encode_portable_state<St: Codec>(state: &PortableRunState<St>, w: &mut Writer) {
+    w.put_len(state.len());
+    for entry in state.entries() {
+        entry.globals.encode(w);
+        w.put_len(entry.owned);
+        entry.state.encode(w);
+    }
+}
+
+fn decode_portable_state<St: Codec>(
+    r: &mut Reader<'_>,
+) -> Result<PortableRunState<St>, SnapshotError> {
+    let m = r.get_len(8)?;
+    let mut entries = Vec::with_capacity(m);
+    for _ in 0..m {
+        let globals = Vec::<VertexId>::decode(r)?;
+        let owned = r.get_len(0)?;
+        if owned > globals.len() {
+            return Err(SnapshotError::corrupt("owned count exceeds globals"));
+        }
+        let state = St::decode(r)?;
+        entries.push(PortableFragState { globals, owned, state });
+    }
+    Ok(PortableRunState::from_entries(entries))
+}
+
+/// Serialize a snapshot to bytes. `frags` accepts both `&[Fragment]`
+/// and `&[Arc<Fragment>]` (anything borrowing a fragment).
+pub fn snapshot_to_bytes<V, E, St, F>(frags: &[F], state: Option<&PortableRunState<St>>) -> Vec<u8>
+where
+    V: Codec,
+    E: Codec,
+    St: Codec,
+    F: Borrow<Fragment<V, E>>,
+{
+    let mut out = Writer::new();
+    out.put_bytes(&SNAPSHOT_MAGIC);
+    out.put_u16(SNAPSHOT_VERSION);
+    out.put_u16(0); // flags, reserved
+
+    let mut frag_payload = Writer::new();
+    frag_payload.put_u16(frags.len() as u16);
+    for f in frags {
+        encode_fragment(f.borrow(), &mut frag_payload);
+    }
+    write_section(&mut out, FRAG_TAG, frag_payload.bytes());
+
+    if let Some(state) = state {
+        let mut stat_payload = Writer::new();
+        encode_portable_state(state, &mut stat_payload);
+        write_section(&mut out, STAT_TAG, stat_payload.bytes());
+    }
+    out.into_bytes()
+}
+
+/// Parse a snapshot from bytes, re-deriving the routing tables.
+pub fn snapshot_from_bytes<V, E, St>(
+    bytes: &[u8],
+) -> Result<LoadedSnapshot<V, E, St>, SnapshotError>
+where
+    V: Codec,
+    E: Codec,
+    St: Codec,
+{
+    let mut r = Reader::new(bytes);
+    let magic = r.get_bytes(8, "file header")?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::new(ErrorKind::BadMagic));
+    }
+    let version = r.get_u16()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::new(ErrorKind::BadVersion {
+            found: version,
+            supported: SNAPSHOT_VERSION,
+        }));
+    }
+    let _flags = r.get_u16()?;
+
+    let frag_payload = read_section(&mut r, FRAG_TAG, "fragment section")?;
+    let mut fr = Reader::new(frag_payload);
+    let m = fr.get_u16()? as usize;
+    let mut fragments: Vec<Fragment<V, E>> = Vec::with_capacity(m);
+    for i in 0..m {
+        let f = decode_fragment::<V, E>(&mut fr)?;
+        if f.id() as usize != i || f.num_frags() as usize != m {
+            return Err(SnapshotError::corrupt("fragment ids disagree with partition size"));
+        }
+        fragments.push(f);
+    }
+    if !fr.is_exhausted() {
+        return Err(SnapshotError::corrupt("trailing bytes in fragment section"));
+    }
+
+    let state = if r.remaining() > 0 {
+        let stat_payload = read_section(&mut r, STAT_TAG, "state section")?;
+        let mut sr = Reader::new(stat_payload);
+        let st = decode_portable_state::<St>(&mut sr)?;
+        if !sr.is_exhausted() {
+            return Err(SnapshotError::corrupt("trailing bytes in state section"));
+        }
+        if st.len() != fragments.len() {
+            return Err(SnapshotError::corrupt("state fragment count mismatch"));
+        }
+        Some(st)
+    } else {
+        None
+    };
+    if !r.is_exhausted() {
+        return Err(SnapshotError::corrupt("trailing bytes after the last section"));
+    }
+
+    validate_partition(&fragments)?;
+    rebuild_routing_tables(&mut fragments);
+    Ok(LoadedSnapshot { fragments, state })
+}
+
+/// Write a snapshot file: the persisted fragment set plus (optionally)
+/// retained run state. I/O errors carry the path, mirroring
+/// `aap_graph::io`.
+///
+/// The write is atomic with respect to the destination: bytes go to a
+/// sibling temp file, are synced to disk, then renamed over `path` —
+/// so re-snapshotting to the same path can never leave a torn file in
+/// place of the previous good snapshot, even across a crash mid-save.
+pub fn save_snapshot<V, E, St, F, P>(
+    path: P,
+    frags: &[F],
+    state: Option<&PortableRunState<St>>,
+) -> Result<(), SnapshotError>
+where
+    V: Codec,
+    E: Codec,
+    St: Codec,
+    F: Borrow<Fragment<V, E>>,
+    P: AsRef<Path>,
+{
+    let path = path.as_ref();
+    let bytes = snapshot_to_bytes(frags, state);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let io = |e| SnapshotError::io(path, e);
+    let mut file = std::fs::File::create(&tmp).map_err(io)?;
+    std::io::Write::write_all(&mut file, &bytes).map_err(io)?;
+    file.sync_all().map_err(io)?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(io)
+}
+
+/// Read a snapshot file back; every error — I/O, framing, checksum —
+/// is tagged with the path.
+pub fn load_snapshot<V, E, St, P>(path: P) -> Result<LoadedSnapshot<V, E, St>, SnapshotError>
+where
+    V: Codec,
+    E: Codec,
+    St: Codec,
+    P: AsRef<Path>,
+{
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| SnapshotError::io(path, e))?;
+    snapshot_from_bytes(&bytes).map_err(|e| e.at(path))
+}

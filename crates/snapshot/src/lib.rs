@@ -1,0 +1,233 @@
+//! # aap-snapshot
+//!
+//! Durable snapshots for the GRAPE+ dynamic pipeline: persist a
+//! partitioned fragment set and the engine's retained [`RunState`] to a
+//! versioned, checksummed binary file, and keep an append-only
+//! [`DeltaLog`] of applied [`GraphDelta`](aap_delta::GraphDelta)s — so
+//! a serving process can
+//! restart **warm** (`load → attach → replay`) instead of re-partitioning
+//! and cold-running, landing in exactly the state a continuous process
+//! would hold.
+//!
+//! The format is owned outright (little-endian writer/reader, CRC32
+//! framing, no external dependencies — see [`wire`]); layout is
+//! documented in [`fragments`] (snapshot file) and [`log`] (delta log).
+//! Derivable structures — dense routing tables, `g2l` maps — are *not*
+//! persisted: loaders re-derive them, so the file cannot hold a
+//! contradictory copy.
+//!
+//! ```no_run
+//! use aap_core::{Engine, EngineOpts};
+//! use aap_delta::DeltaBuilder;
+//! use aap_graph::partition::{build_fragments, hash_partition};
+//! use aap_graph::generate;
+//! use aap_snapshot::{restore_engine, save_engine, DeltaLog};
+//!
+//! // --- serving process ---
+//! let g = generate::small_world(500, 2, 0.1, 7);
+//! let frags = build_fragments(&g, &hash_partition(&g, 4));
+//! let mut engine = Engine::new(frags, EngineOpts::default());
+//! let (_, mut state) = engine.run_retained(&aap_algos::Sssp, &0);
+//! save_engine("g.snap", &engine, Some(&state)).unwrap();
+//! let mut log = DeltaLog::create("g.dlog").unwrap();
+//! let mut b = DeltaBuilder::new();
+//! b.add_edge(0, 250, 2);
+//! let delta = b.build();
+//! let run = aap_delta::run_incremental(&mut engine, &aap_algos::Sssp, &0, &delta, &mut state);
+//! log.write_delta(&delta).unwrap();
+//!
+//! // --- restarted process (e.g. after a crash) ---
+//! let (mut engine2, attached) =
+//!     restore_engine::<(), u32, aap_algos::SsspState, _>("g.snap", EngineOpts::default())
+//!         .unwrap();
+//! let (mut state2, _remaps) = attached.unwrap();
+//! let deltas = DeltaLog::replay::<(), u32, _>("g.dlog").unwrap();
+//! let replayed =
+//!     aap_delta::replay(&mut engine2, &aap_algos::Sssp, &0, &deltas, &mut state2).unwrap();
+//! assert_eq!(replayed.out, run.out);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod fragments;
+pub mod log;
+pub mod wire;
+
+pub use codec::Codec;
+pub use fragments::{
+    load_snapshot, save_snapshot, snapshot_from_bytes, snapshot_to_bytes, LoadedSnapshot,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
+pub use log::{replay_bytes, DeltaLog, LOG_MAGIC, LOG_VERSION};
+
+use aap_core::engine::{EngineOpts, RunState};
+use aap_core::Engine;
+use aap_graph::mutate::StateRemap;
+use std::path::{Path, PathBuf};
+
+/// What went wrong with a snapshot or delta-log operation. Mirrors the
+/// path-tagged `aap_graph::io::IoError` style: file-level entry points
+/// attach the offending path to every error, including parse-side ones.
+#[derive(Debug)]
+pub struct SnapshotError {
+    path: Option<PathBuf>,
+    kind: ErrorKind,
+}
+
+/// The failure class of a [`SnapshotError`].
+#[derive(Debug)]
+pub enum ErrorKind {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with the expected magic bytes.
+    BadMagic,
+    /// The file's format version is not supported by this build.
+    BadVersion {
+        /// Version recorded in the file.
+        found: u16,
+        /// Version this build reads and writes.
+        supported: u16,
+    },
+    /// The input ended mid-structure (torn write, truncated copy).
+    Truncated {
+        /// Which structure was being read.
+        what: &'static str,
+    },
+    /// A CRC32 checksum did not match its payload.
+    Checksum {
+        /// Which section/record failed verification.
+        what: &'static str,
+    },
+    /// Checksummed but semantically inconsistent data (a writer bug or
+    /// deliberate tampering — random corruption is caught by CRC first).
+    Corrupt {
+        /// What was inconsistent.
+        what: String,
+    },
+}
+
+impl SnapshotError {
+    pub(crate) fn new(kind: ErrorKind) -> Self {
+        SnapshotError { path: None, kind }
+    }
+
+    pub(crate) fn corrupt(what: impl Into<String>) -> Self {
+        SnapshotError::new(ErrorKind::Corrupt { what: what.into() })
+    }
+
+    pub(crate) fn io(path: &Path, e: std::io::Error) -> Self {
+        SnapshotError { path: Some(path.to_path_buf()), kind: ErrorKind::Io(e) }
+    }
+
+    /// Tag this error with the file it came from (file-level wrappers).
+    pub(crate) fn at(mut self, path: &Path) -> Self {
+        self.path.get_or_insert_with(|| path.to_path_buf());
+        self
+    }
+
+    /// The failure class.
+    pub fn kind(&self) -> &ErrorKind {
+        &self.kind
+    }
+
+    /// The file involved, when the error came through a path-taking
+    /// entry point.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(p) = &self.path {
+            write!(f, "{}: ", p.display())?;
+        }
+        match &self.kind {
+            ErrorKind::Io(e) => write!(f, "i/o error: {e}"),
+            ErrorKind::BadMagic => write!(f, "not a snapshot/delta-log file (bad magic)"),
+            ErrorKind::BadVersion { found, supported } => {
+                write!(f, "unsupported format version {found} (this build reads {supported})")
+            }
+            ErrorKind::Truncated { what } => write!(f, "truncated input while reading {what}"),
+            ErrorKind::Checksum { what } => write!(f, "checksum mismatch in {what}"),
+            ErrorKind::Corrupt { what } => write!(f, "corrupt data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Snapshot an engine: persist its fragment set and, when given, the
+/// retained state of a completed `run_retained`/`run_incremental`
+/// (exported into the portable, global-id-keyed form).
+pub fn save_engine<V, E, St, P>(
+    path: P,
+    engine: &Engine<V, E>,
+    state: Option<&RunState<St>>,
+) -> Result<(), SnapshotError>
+where
+    V: Codec + Clone + Send + Sync,
+    E: Codec + Clone + Send + Sync,
+    St: Codec + Clone,
+    P: AsRef<Path>,
+{
+    let portable = state.map(|s| s.export(engine.fragments()));
+    save_snapshot(path, engine.fragments(), portable.as_ref())
+}
+
+/// Rebuild an engine from a snapshot file. When the snapshot carried
+/// retained state, it is re-anchored against the loaded fragments and
+/// returned with one [`StateRemap`] per fragment.
+///
+/// The remaps are identity when the loaded layout matches the exported
+/// one — always the case for an unmodified snapshot — and the state is
+/// immediately usable: stream the delta log through
+/// `aap_delta::replay`. If a remap is *not* identity (state attached to
+/// a re-derived partition), run one settle round first —
+/// `engine.run_incremental(prog, q, &remaps, &empty_seeds, &mut state)`
+/// — so `warm_eval` migrates the values into the new local-id space.
+#[allow(clippy::type_complexity)]
+pub fn restore_engine<V, E, St, P>(
+    path: P,
+    opts: EngineOpts,
+) -> Result<(Engine<V, E>, Option<(RunState<St>, Vec<StateRemap>)>), SnapshotError>
+where
+    V: Codec + Clone + Send + Sync,
+    E: Codec + Clone + Send + Sync,
+    St: Codec,
+    P: AsRef<Path>,
+{
+    let path = path.as_ref();
+    let loaded = load_snapshot::<V, E, St, _>(path)?;
+    let engine = Engine::new(loaded.fragments, opts);
+    let state = match loaded.state {
+        None => None,
+        Some(portable) => Some(
+            portable
+                .attach(engine.fragments())
+                .map_err(|e| SnapshotError::corrupt(e.to_string()).at(path))?,
+        ),
+    };
+    Ok((engine, state))
+}
+
+/// Convenience: export + save + open a fresh delta log in one call —
+/// the "begin durable serving" gesture. Returns the open log.
+pub fn save_engine_with_log<V, E, St, P, Q>(
+    snapshot_path: P,
+    log_path: Q,
+    engine: &Engine<V, E>,
+    state: Option<&RunState<St>>,
+) -> Result<DeltaLog, SnapshotError>
+where
+    V: Codec + Clone + Send + Sync,
+    E: Codec + Clone + Send + Sync,
+    St: Codec + Clone,
+    P: AsRef<Path>,
+    Q: AsRef<Path>,
+{
+    save_engine(snapshot_path, engine, state)?;
+    DeltaLog::create(log_path)
+}

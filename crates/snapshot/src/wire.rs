@@ -1,0 +1,280 @@
+//! The wire layer: a little-endian byte writer/reader pair, CRC32
+//! checksums, and the section framing shared by snapshot files and
+//! delta logs. Everything is hand-rolled — the build environment
+//! vendors no serialization crates, and the format is simple enough
+//! that owning it outright keeps the on-disk contract auditable.
+
+use crate::{ErrorKind, SnapshotError};
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) lookup table, generated at
+/// compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 checksum of `bytes` (IEEE, as used by zip/png — a strong
+/// corruption detector, not a cryptographic digest).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Append-only little-endian byte sink. Sections are assembled in
+/// memory so their checksum can be computed before anything hits disk.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh, empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, yielding the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the accumulated bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Append raw bytes verbatim.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern, little-endian.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as a `u64` (the format is 64-bit regardless of
+    /// host width).
+    pub fn put_len(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+}
+
+/// Cursor over a byte slice, mirroring [`Writer`]. Every read is
+/// bounds-checked and reports a tagged [`ErrorKind::Truncated`] instead
+/// of panicking — snapshot bytes are untrusted input.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True if every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::new(ErrorKind::Truncated { what }));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], SnapshotError> {
+        self.take(n, what)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2, "u16")?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_le_bytes(self.take(8, "f64")?.try_into().unwrap()))
+    }
+
+    /// Read a length (`u64` on disk), checked against the remaining
+    /// input so corrupt lengths fail fast instead of driving a huge
+    /// allocation. `min_elem_bytes` is the smallest possible encoding of
+    /// one element of the collection about to be read (1 for unknown).
+    pub fn get_len(&mut self, min_elem_bytes: usize) -> Result<usize, SnapshotError> {
+        let v = self.get_u64()?;
+        let bound = (self.remaining() / min_elem_bytes.max(1)) as u64;
+        if v > bound {
+            return Err(SnapshotError::new(ErrorKind::Corrupt {
+                what: format!("length {v} exceeds remaining input"),
+            }));
+        }
+        Ok(v as usize)
+    }
+}
+
+/// Frame one section: tag, payload length, payload, CRC32 of the
+/// payload. The reader side is [`read_section`].
+pub fn write_section(out: &mut Writer, tag: [u8; 4], payload: &[u8]) {
+    out.put_bytes(&tag);
+    out.put_len(payload.len());
+    out.put_bytes(payload);
+    out.put_u32(crc32(payload));
+}
+
+/// Un-frame one section, verifying tag and checksum. `what` names the
+/// section in error messages.
+pub fn read_section<'a>(
+    r: &mut Reader<'a>,
+    tag: [u8; 4],
+    what: &'static str,
+) -> Result<&'a [u8], SnapshotError> {
+    let found = r.get_bytes(4, what)?;
+    if found != tag {
+        return Err(SnapshotError::new(ErrorKind::Corrupt {
+            what: format!("expected section {:?}, found {:?}", tag_str(tag), found),
+        }));
+    }
+    let len = r.get_len(1)?;
+    let payload = r.get_bytes(len, what)?;
+    let want = r.get_u32()?;
+    if crc32(payload) != want {
+        return Err(SnapshotError::new(ErrorKind::Checksum { what }));
+    }
+    Ok(payload)
+}
+
+fn tag_str(tag: [u8; 4]) -> String {
+    tag.iter().map(|&b| b as char).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(-1.5);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_f64().unwrap(), -1.5);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_reads_are_tagged() {
+        let mut r = Reader::new(&[1, 2]);
+        let err = r.get_u32().unwrap_err();
+        assert!(matches!(err.kind(), ErrorKind::Truncated { .. }), "{err}");
+    }
+
+    #[test]
+    fn section_roundtrip_and_checksum() {
+        let mut w = Writer::new();
+        write_section(&mut w, *b"TEST", b"hello");
+        let mut bytes = w.into_bytes();
+        let got = read_section(&mut Reader::new(&bytes), *b"TEST", "test").unwrap();
+        assert_eq!(got, b"hello");
+
+        // Flip a payload byte: checksum must catch it.
+        bytes[4 + 8] ^= 0x40;
+        let err = read_section(&mut Reader::new(&bytes), *b"TEST", "test").unwrap_err();
+        assert!(matches!(err.kind(), ErrorKind::Checksum { .. }), "{err}");
+    }
+
+    #[test]
+    fn absurd_length_is_corrupt_not_oom() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let err = Reader::new(&bytes).get_len(1).unwrap_err();
+        assert!(matches!(err.kind(), ErrorKind::Corrupt { .. }), "{err}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Kill-and-resume of the dynamic stream: a "serving process" snapshots
+//! its partition + retained state, appends every applied delta to a
+//! durable log, then dies mid-stream; a "restarted process" loads the
+//! snapshot, replays the log, and keeps serving from exactly the state
+//! the dead process held — no re-partitioning, no cold recompute.
+//!
+//! ```sh
+//! cargo run --release --example snapshot_restart
+//! ```
+
+use grape_aap::delta::generate::{insert_batch, Xorshift};
+use grape_aap::delta::{replay, run_incremental_with, DeltaBuilder};
+use grape_aap::graph::mutate::EditBuffers;
+use grape_aap::graph::{generate, partition};
+use grape_aap::prelude::*;
+use grape_aap::runtime::EngineOpts;
+use grape_aap::snapshot::{restore_engine, save_engine, DeltaLog};
+use std::time::Instant;
+
+fn main() {
+    let dir = std::env::temp_dir();
+    let snap_path = dir.join(format!("aap_restart_{}.snap", std::process::id()));
+    let log_path = dir.join(format!("aap_restart_{}.dlog", std::process::id()));
+
+    // A power-law graph: 2^13 vertices, ~64k stored edges, 8 fragments.
+    let g = generate::rmat(13, 8, true, 7);
+    println!("graph: {} vertices, {} stored edges", g.num_vertices(), g.num_edges());
+    let frags = partition::build_fragments(&g, &partition::hash_partition(&g, 8));
+
+    // ------------------------------------------------------------------
+    // Phase 1 — the serving process.
+    // ------------------------------------------------------------------
+    let mut engine = Engine::new(frags, EngineOpts { mode: Mode::aap(), ..Default::default() });
+    let t = Instant::now();
+    let (run0, mut state) = engine.run_retained(&Sssp, &0);
+    println!("cold run: {:.2} ms | {}", t.elapsed().as_secs_f64() * 1e3, run0.stats.summary());
+
+    // Durability begins: snapshot the fragments + state, open the log.
+    let t = Instant::now();
+    save_engine(&snap_path, &engine, Some(&state)).unwrap();
+    let save_ms = t.elapsed().as_secs_f64() * 1e3;
+    let snap_bytes = std::fs::metadata(&snap_path).unwrap().len();
+    println!("snapshot: {snap_bytes} bytes in {save_ms:.2} ms -> {}", snap_path.display());
+    let mut log = DeltaLog::create(&log_path).unwrap();
+
+    // Stream batches, logging each delta the driver actually applied.
+    let mut bufs = EditBuffers::default();
+    let mut rng = Xorshift::new(0x5EED);
+    let batch_edges = (g.num_edges() / 1000).max(8);
+    for batch in 0..4 {
+        let delta = insert_batch(&g, batch_edges, 16, rng.next_u64());
+        let r = run_incremental_with(&mut engine, &Sssp, &0, &delta, &mut state, &mut bufs);
+        log.write_delta(&delta).unwrap();
+        println!(
+            "batch {batch}: {} ops applied ({}), {} updates",
+            delta.len(),
+            if r.warm { "warm" } else { "cold fallback" },
+            r.stats.total_updates(),
+        );
+    }
+    // A deletion batch exercises the fallback path across the log too.
+    let mut b: DeltaBuilder<(), u32> = DeltaBuilder::new();
+    let victim = rng.below(g.num_vertices() as u64) as u32;
+    match g.neighbors(victim).first() {
+        Some(&t) => b.remove_edge(victim, t),
+        None => b.remove_vertex(victim),
+    };
+    let delta = b.build();
+    let r = run_incremental_with(&mut engine, &Sssp, &0, &delta, &mut state, &mut bufs);
+    log.write_delta(&delta).unwrap();
+    println!("deletion batch: applied via {}", if r.warm { "warm path" } else { "cold fallback" });
+    let final_out = r.out;
+
+    // The process "dies" here: drop everything in memory.
+    drop(log);
+    drop(engine);
+    drop(state);
+    println!("\n-- crash -- (all in-memory state dropped)\n");
+
+    // ------------------------------------------------------------------
+    // Phase 2 — the restarted process.
+    // ------------------------------------------------------------------
+    let t = Instant::now();
+    let (mut engine2, attached) = restore_engine::<(), u32, grape_aap::algos::SsspState, _>(
+        &snap_path,
+        EngineOpts { mode: Mode::aap(), ..Default::default() },
+    )
+    .unwrap();
+    let (mut state2, remaps) = attached.expect("snapshot carried retained state");
+    let load_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "loaded snapshot in {load_ms:.2} ms ({} fragments, remaps all identity: {})",
+        engine2.fragments().len(),
+        remaps.iter().all(|r| r.is_identity()),
+    );
+
+    let t = Instant::now();
+    let deltas = DeltaLog::replay::<(), u32, _>(&log_path).unwrap();
+    let replayed = replay(&mut engine2, &Sssp, &0, &deltas, &mut state2)
+        .expect("log holds the streamed batches");
+    let replay_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!("replayed {} logged deltas in {replay_ms:.2} ms", deltas.len());
+
+    assert_eq!(replayed.out, final_out, "restart must land in the continuous process's state");
+    println!("restart output == continuous output: warm restart is exact");
+
+    // And it keeps serving: the next delta warm-starts from replayed state.
+    let next = insert_batch(&g, batch_edges, 16, rng.next_u64());
+    let r = run_incremental_with(&mut engine2, &Sssp, &0, &next, &mut state2, &mut bufs);
+    println!(
+        "post-restart batch: {} updates ({}) — the stream continues",
+        r.stats.total_updates(),
+        if r.warm { "warm" } else { "cold" },
+    );
+
+    std::fs::remove_file(&snap_path).ok();
+    std::fs::remove_file(&log_path).ok();
+}

@@ -16,6 +16,8 @@
 //!   baselines;
 //! * [`delta`] — dynamic-graph batches: in-place fragment mutation and
 //!   warm-start incremental evaluation from retained state;
+//! * [`snapshot`] — durable snapshots: persisted fragments + retained
+//!   state + replayable delta logs, for warm restarts;
 //! * [`mapreduce`] — MapReduce/PRAM on AAP (Theorem 4).
 //!
 //! ## Quickstart
@@ -46,6 +48,7 @@ pub use aap_delta as delta;
 pub use aap_graph as graph;
 pub use aap_mapreduce as mapreduce;
 pub use aap_sim as sim;
+pub use aap_snapshot as snapshot;
 
 /// Most-used items in one import.
 pub mod prelude {

@@ -1,0 +1,167 @@
+//! Durable-restart equivalence — the acceptance property of the
+//! snapshot subsystem: for a stream of graph deltas,
+//!
+//! ```text
+//! cold run on the final graph
+//!   == continuous process (run_retained at t0, then run_incremental per delta)
+//!   == restarted process (snapshot at t0 → load → replay the delta log)
+//! ```
+//!
+//! for SSSP and CC, on edge-cut and vertex-cut partitions. The streams
+//! deliberately mix warm-exact batches (inserts, weight decreases) with
+//! fallback batches (removals, weight increases), so both driver paths
+//! cross the snapshot boundary.
+
+use grape_aap::delta::generate::insert_batch;
+use grape_aap::delta::{apply_to_graph, replay, run_incremental, DeltaBuilder, GraphDelta};
+use grape_aap::graph::partition::{
+    build_fragments_n, build_fragments_vertex_cut, hash_partition, vertex_cut_partition,
+};
+use grape_aap::graph::{generate, Graph};
+use grape_aap::prelude::*;
+use grape_aap::runtime::pie::WarmStart;
+use grape_aap::runtime::{EngineOpts, RunState};
+use grape_aap::snapshot::{restore_engine, save_engine, Codec, DeltaLog};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("aap_equiv_{}_{name}", std::process::id()))
+}
+
+fn opts() -> EngineOpts {
+    EngineOpts { threads: 4, mode: Mode::aap(), max_rounds: Some(200_000) }
+}
+
+/// A delta stream over `g`: warm inserts, a removal batch (cold
+/// fallback), a weight increase (cold fallback for SSSP), a vertex add
+/// wired into the graph, then one more warm insert batch.
+fn delta_stream(g: &Graph<(), u32>) -> Vec<GraphDelta<(), u32>> {
+    let n = g.num_vertices() as u32;
+    let mut deltas = Vec::new();
+    deltas.push(insert_batch(g, 12, 9, 0xA11CE));
+
+    let mut b = DeltaBuilder::new();
+    let mut removed = 0;
+    for v in (3..n).step_by((n as usize / 5).max(1)) {
+        if let Some(&t) = g.neighbors(v).first() {
+            b.remove_edge(v, t);
+            removed += 1;
+            if removed == 3 {
+                break;
+            }
+        }
+    }
+    b.remove_vertex(n - 2);
+    deltas.push(b.build());
+
+    let mut b = DeltaBuilder::new();
+    let (u, w) = (1u32, 2u32);
+    b.set_weight(u, w, 1_000);
+    b.add_vertex(n, ());
+    b.add_edge(0, n, 3);
+    deltas.push(b.build());
+
+    deltas.push(insert_batch(g, 8, 5, 0xBEE));
+    deltas
+}
+
+fn check_equivalence<P>(prog: &P, q: &P::Query, name: &str, vertex_cut: bool, g0: Graph<(), u32>)
+where
+    P: WarmStart<(), u32>,
+    P::Out: PartialEq + std::fmt::Debug,
+    P::State: Codec + Clone,
+{
+    let m = 4;
+    let frags = if vertex_cut {
+        build_fragments_vertex_cut(&g0, &vertex_cut_partition(&g0, m))
+    } else {
+        build_fragments_n(&g0, &hash_partition(&g0, m), m)
+    };
+
+    // --- continuous process ---
+    let mut engine = Engine::new(frags, opts());
+    let (out0, mut state): (_, RunState<P::State>) = {
+        let (r, s) = engine.run_retained(prog, q);
+        (r.out, s)
+    };
+    let snap_path = tmp(&format!("{name}.snap"));
+    let log_path = tmp(&format!("{name}.dlog"));
+    save_engine(&snap_path, &engine, Some(&state)).unwrap();
+    let mut log = DeltaLog::create(&log_path).unwrap();
+
+    let deltas = delta_stream(&g0);
+    let mut g_cur = g0;
+    let mut warm_seen = false;
+    let mut cold_seen = false;
+    let mut last_out = None;
+    for delta in &deltas {
+        let r = run_incremental(&mut engine, prog, q, delta, &mut state);
+        // The log records what was *applied* — the driver hands it back.
+        assert!(!r.applied.summary.is_empty(), "stream batches all mutate something");
+        warm_seen |= r.warm;
+        cold_seen |= !r.warm;
+        log.write_delta(delta).unwrap();
+        g_cur = apply_to_graph(&g_cur, delta);
+        last_out = Some(r.out);
+    }
+    drop(log);
+    let continuous_out = last_out.expect("stream is non-empty");
+    assert!(warm_seen && cold_seen, "stream must exercise both driver paths");
+
+    // --- cold run on the final graph ---
+    let cold_frags = if vertex_cut {
+        build_fragments_vertex_cut(&g_cur, &vertex_cut_partition(&g_cur, m))
+    } else {
+        build_fragments_n(&g_cur, &hash_partition(&g_cur, m), m)
+    };
+    let cold_out = Engine::new(cold_frags, opts()).run(prog, q).out;
+    assert_eq!(cold_out, continuous_out, "{name}: continuous != cold on final graph");
+    assert_ne!(cold_out, out0, "{name}: the stream must actually change the answer");
+
+    // --- restarted process: load → attach → replay the log ---
+    let (mut engine2, attached) =
+        restore_engine::<(), u32, P::State, _>(&snap_path, opts()).unwrap();
+    let (mut state2, remaps) = attached.expect("snapshot carried state");
+    assert!(
+        remaps.iter().all(|r| r.is_identity()),
+        "{name}: an unmodified snapshot re-attaches remap-free"
+    );
+    let logged = DeltaLog::replay::<(), u32, _>(&log_path).unwrap();
+    assert_eq!(logged.len(), deltas.len());
+    let replayed = replay(&mut engine2, prog, q, &logged, &mut state2).unwrap();
+    assert_eq!(replayed.out, continuous_out, "{name}: restarted != continuous");
+
+    // The restarted process keeps serving: an empty delta replays the
+    // fixpoint with zero messages, from the replayed state.
+    let empty = DeltaBuilder::new().build();
+    let settle = run_incremental(&mut engine2, prog, q, &empty, &mut state2);
+    assert_eq!(settle.out, continuous_out);
+    assert_eq!(settle.stats.total_updates(), 0, "{name}: replayed state is at the fixpoint");
+
+    std::fs::remove_file(&snap_path).ok();
+    std::fs::remove_file(&log_path).ok();
+}
+
+#[test]
+fn sssp_edge_cut_restart_equivalence() {
+    let g = generate::rmat(9, 6, true, 0x51);
+    check_equivalence(&Sssp, &0, "sssp_ec", false, g);
+}
+
+#[test]
+fn sssp_vertex_cut_restart_equivalence() {
+    let g = generate::small_world(300, 2, 0.15, 0x52);
+    check_equivalence(&Sssp, &0, "sssp_vc", true, g);
+}
+
+#[test]
+fn cc_edge_cut_restart_equivalence() {
+    let g = generate::small_world(400, 2, 0.1, 0x53);
+    check_equivalence(&ConnectedComponents, &(), "cc_ec", false, g);
+}
+
+#[test]
+fn cc_vertex_cut_restart_equivalence() {
+    let g = generate::small_world(250, 2, 0.2, 0x54);
+    check_equivalence(&ConnectedComponents, &(), "cc_vc", true, g);
+}

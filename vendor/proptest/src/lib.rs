@@ -1,7 +1,7 @@
 //! Offline stand-in for the subset of the `proptest` API this workspace
 //! uses. The build environment has no access to crates.io, so the
 //! workspace vendors a small property-testing harness with the same
-//! surface: the [`proptest!`] macro, [`Strategy`] with `prop_map`,
+//! surface: the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`,
 //! numeric-range and tuple strategies, [`collection::vec`], simple
 //! string-pattern strategies, [`prop_oneof!`], and the `prop_assert*`
 //! macros.
