@@ -17,10 +17,11 @@
 //! smaller outputs (T3, monotonic) — so Theorem 2 applies and every
 //! asynchronous run converges to `Q(G)`.
 
-use crate::common::gather_owned;
-use aap_core::pie::{Messages, PieProgram, UpdateCtx, WarmStart};
-use aap_graph::mutate::{DeltaSummary, StateRemap};
-use aap_graph::{Fragment, LocalId, VertexId};
+use crate::common::{gather_owned, owner_values};
+use crate::forest::{EdgeRemoval, SpanningForest};
+use aap_core::pie::{DeltaChanges, Messages, PieProgram, UpdateCtx, WarmStart, WarmStrategy};
+use aap_graph::mutate::{stored_directed, DeltaSummary, StateRemap};
+use aap_graph::{Fragment, FxHashSet, LocalId, VertexId};
 use std::sync::Arc;
 
 /// The CC PIE program: connected components of undirected graphs, or
@@ -253,11 +254,19 @@ impl<V: Sync + Send, E: Sync + Send> PieProgram<V, E> for ConnectedComponents {
 /// is id bookkeeping, not edge work). Previously learned cids carry over,
 /// merged groups take the `min`, and only components that carry a seed or
 /// whose cid changed re-announce their borders — untouched fragments stay
-/// silent. Exact for deltas without removals
-/// ([`ConnectedComponents::delta_exact`] ignores weight changes, which CC
-/// is insensitive to); removals can *split* components, which
-/// `min`-aggregation cannot undo, so drivers fall back to a cold
-/// recompute.
+/// silent.
+///
+/// Removals can *split* components, which `min`-aggregation cannot undo
+/// from stale values — so they run [`WarmStrategy::WarmIncrease`]:
+/// [`ConnectedComponents::plan_invalidation`] classifies every removed
+/// edge against a per-fragment [`SpanningForest`] (non-tree → no-op;
+/// tree with a surviving replacement → no-op; genuine split → the whole
+/// old component is re-labelled), the invalidated vertices restart as
+/// singletons at **every** copy, and the warm round re-merges them along
+/// their incident edges — a cold CC restricted to the split components,
+/// warm everywhere else. Weight changes are ignored entirely (CC is
+/// insensitive to them), so weight-only batches stay on the plain warm
+/// path.
 impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
     fn warm_eval(
         &self,
@@ -266,15 +275,18 @@ impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
         prior: CcState,
         remap: &StateRemap,
         seeds: &[LocalId],
+        invalid: &[LocalId],
         ctx: &mut UpdateCtx<VertexId>,
     ) -> CcState {
-        if remap.is_identity() && seeds.is_empty() {
+        if remap.is_identity() && seeds.is_empty() && invalid.is_empty() {
             return prior; // untouched fragment: keep the fixpoint, emit nothing
         }
         let n = frag.local_count();
         let CcState { comp_of: old_comp_of, comp_cid: old_cid, comp_border: _ } = prior;
         // 1. Migrate vertex -> component across the mutation; fresh locals
-        //    (new mirrors / added vertices) become singleton components.
+        //    (new mirrors / added vertices) become singleton components,
+        //    and so do the *invalidated* locals — their old component
+        //    knowledge is exactly what the plan declared unsound.
         let mut comp_of: Vec<u32> = if remap.is_identity() {
             old_comp_of
         } else {
@@ -287,13 +299,26 @@ impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
             co
         };
         let mut cid: Vec<VertexId> = old_cid;
+        let mut is_fresh = vec![false; n];
         for (l, c) in comp_of.iter_mut().enumerate() {
             if *c == u32::MAX {
                 *c = cid.len() as u32;
                 cid.push(frag.global(l as LocalId));
+                is_fresh[l] = true;
             }
         }
+        for &l in invalid {
+            comp_of[l as usize] = cid.len() as u32;
+            cid.push(frag.global(l));
+        }
         let ncomp = cid.len();
+        // Components emptied by the migration or the invalidation reset
+        // must not survive the collapse: their (possibly stale-low) cids
+        // have no members backing them.
+        let mut live = vec![false; ncomp];
+        for &c in &comp_of {
+            live[c as usize] = true;
+        }
         fn find(parent: &mut [u32], mut x: u32) -> u32 {
             while parent[x as usize] != x {
                 parent[x as usize] = parent[parent[x as usize] as usize];
@@ -301,13 +326,17 @@ impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
             }
             x
         }
-        // 2. Union prior components along the seeds' incident edges. Every
-        //    inserted edge is seed-incident; every other edge already has
-        //    both endpoints in one component (the prior fixpoint), so its
-        //    union is a no-op and can be skipped wholesale.
+        // 2. Union prior components along the seeds' and invalidated
+        //    vertices' incident edges. Every inserted edge is
+        //    seed-incident; every edge of a split component is incident
+        //    to an invalidated vertex (the plan resets whole components,
+        //    so no surviving edge crosses the invalid/valid boundary);
+        //    every other edge already has both endpoints in one component
+        //    (the prior fixpoint), so its union is a no-op and can be
+        //    skipped wholesale.
         let mut parent: Vec<u32> = (0..ncomp as u32).collect();
         let mut work = 1u64;
-        for &s in seeds {
+        for &s in seeds.iter().chain(invalid) {
             work += frag.neighbors(s).len() as u64 + 1;
             for &t in frag.neighbors(s) {
                 let a = find(&mut parent, comp_of[s as usize]);
@@ -321,6 +350,9 @@ impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
         let mut dense: Vec<u32> = vec![u32::MAX; ncomp];
         let mut new_cid: Vec<VertexId> = Vec::new();
         for c in 0..ncomp as u32 {
+            if !live[c as usize] {
+                continue;
+            }
             let r = find(&mut parent, c);
             let d = if dense[r as usize] == u32::MAX {
                 let d = new_cid.len() as u32;
@@ -359,9 +391,21 @@ impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
         }
         // 5. Seed refresh: a peer may hold a fresh, uninitialised copy of
         //    a seed — re-announce its current value even when unchanged
-        //    (routing dedups the overlap with step 4 per vertex).
+        //    (routing dedups the overlap with step 4 per vertex). Only
+        //    two classes can face a fresh peer copy: fresh locals (their
+        //    owner must hear the singleton) and owned vertices (a peer
+        //    may have just gained a mirror — owners can't see holder
+        //    *growth* locally, so every owned seed announces). Under
+        //    edge-cut a surviving mirror's peer is its owner, whose copy
+        //    is never fresh (owned ids persist) — skipping it is what
+        //    keeps a deletion-only batch at zero messages when nothing
+        //    split. Vertex-cut re-partitions can *move* ownership, so
+        //    there every surviving copy re-announces (the fresh owner
+        //    may need an old copy's value).
         for &s in seeds {
-            if cc_emits(frag, s) {
+            let peer_may_be_fresh =
+                is_fresh[s as usize] || frag.is_owned(s) || frag.is_vertex_cut();
+            if peer_may_be_fresh && cc_emits(frag, s) {
                 ctx.send(s, new_cid[comp_of[s as usize] as usize]);
             }
         }
@@ -378,9 +422,247 @@ impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
         gather_owned(frags, states, 0, |s, _, l| s.cid(l))
     }
 
-    fn delta_exact(&self, summary: &DeltaSummary) -> bool {
-        // CC ignores weights entirely; only removals break monotonicity.
-        summary.vertices_removed == 0 && summary.edges_removed == 0
+    fn delta_strategy(&self, summary: &DeltaSummary) -> WarmStrategy {
+        // CC ignores weights entirely; only removals break monotonicity,
+        // and those are handled by the spanning-forest invalidation.
+        if summary.vertices_removed == 0 && summary.edges_removed == 0 {
+            WarmStrategy::WarmDecrease
+        } else {
+            WarmStrategy::WarmIncrease
+        }
+    }
+
+    /// The affected region of a removal batch, in two filters:
+    ///
+    /// 1. **Local spanning forests.** A removed stored edge that is
+    ///    non-tree in its fragment's [`SpanningForest`] (or tree with a
+    ///    surviving local replacement) leaves that fragment's local
+    ///    connectivity — and therefore the global join — unchanged. Only
+    ///    a genuine [`EdgeRemoval::Split`] (and every vertex removal,
+    ///    which always splits its vertex off) marks the old component
+    ///    *suspect*. Random deletions on anything cyclic overwhelmingly
+    ///    stop here, with an empty plan.
+    /// 2. **Global re-connectivity of the suspect components only.** One
+    ///    sequential union-find pass over the suspect components'
+    ///    surviving stored edges computes their true new pieces; exactly
+    ///    the vertices whose piece lost the old cid source (piece min ≠
+    ///    old cid) are invalidated — the piece that keeps the old
+    ///    minimum keeps its values. Cid values only ever flow within a
+    ///    component, so untouched components need nothing.
+    ///
+    /// The result is minimal-by-piece: a split re-labels just the split
+    /// region, not the surviving bulk of the component.
+    fn plan_invalidation(
+        &self,
+        _q: &(),
+        frags: &[&Fragment<V, E>],
+        states: &[CcState],
+        changes: &DeltaChanges<'_>,
+    ) -> Vec<Vec<LocalId>> {
+        let cid_of = owner_values(frags, states, 0, |s, _, l| s.cid(l));
+        let n_glob = cid_of.len();
+        let removed_v: FxHashSet<VertexId> = changes.removed_vertices.iter().copied().collect();
+        // Suspect components, as a bitmap over cid values (cids are
+        // vertex ids, so `n_glob` bits suffice) — consulted per vertex
+        // in the hot sweeps below.
+        let mut suspect = vec![false; n_glob];
+        let mut any_suspect = false;
+        // A removed vertex always splits off (it loses every edge) and
+        // may even be the component's cid source.
+        for &w in changes.removed_vertices {
+            suspect[cid_of[w as usize] as usize] = true;
+            any_suspect = true;
+        }
+
+        let directed = stored_directed(frags);
+        let removed_set: FxHashSet<(VertexId, VertexId)> =
+            changes.removed_edges.iter().copied().collect();
+        // A *stored* edge `(a, b)` dies iff its orientation is removed.
+        // Undirected removals are expanded to both stored directions by
+        // the apply layer; directed ones kill only the listed direction
+        // — a surviving reciprocal `(b, a)` keeps the pair (weakly)
+        // connected, so it must neither feed the forest removal nor be
+        // filtered out of the replacement search.
+        let edge_dies = |a: VertexId, b: VertexId| -> bool {
+            removed_set.contains(&(a, b)) || (!directed && removed_set.contains(&(b, a)))
+        };
+
+        // Filter 1: per-fragment forests classify the edge removals.
+        for f in frags {
+            // The removed logical edges that actually *disconnect* a
+            // locally stored pair: some stored orientation dies and no
+            // orientation survives. Edges of removed vertices are
+            // skipped: their component is already suspect, and any split
+            // they cause stays inside it. (Under edge-cut only owned
+            // sources store edges, so fragments where both endpoints are
+            // mirrors skip the degree scans outright.)
+            let removed_local: Vec<(LocalId, LocalId)> = changes
+                .removed_edges
+                .iter()
+                .filter(|(u, v)| !removed_v.contains(u) && !removed_v.contains(v))
+                .filter_map(|&(u, v)| {
+                    let (lu, lv) = f.local(u).zip(f.local(v))?;
+                    if !f.is_vertex_cut() && !f.is_owned(lu) && !f.is_owned(lv) {
+                        return None;
+                    }
+                    let stored_uv = f.neighbors(lu).contains(&lv);
+                    let stored_vu = f.neighbors(lv).contains(&lu);
+                    let any_dies = (stored_uv && edge_dies(u, v)) || (stored_vu && edge_dies(v, u));
+                    let any_survives =
+                        (stored_uv && !edge_dies(u, v)) || (stored_vu && !edge_dies(v, u));
+                    (any_dies && !any_survives).then_some((lu, lv))
+                })
+                .collect();
+            if removed_local.is_empty() {
+                continue; // removed vertices alone pre-marked their components
+            }
+            let removed_here: Vec<LocalId> = removed_v.iter().filter_map(|&w| f.local(w)).collect();
+            let mut forest = SpanningForest::build(
+                f.local_count(),
+                f.local_vertices().flat_map(|u| f.neighbors(u).iter().map(move |&t| (u, t))),
+            );
+            // Replacement searches need the symmetric surviving
+            // adjacency; pack it as a flat CSR (three linear passes, no
+            // nested allocation) — but only once a removal actually hits
+            // a tree edge. Dead pairs are the disconnecting pairs plus
+            // every edge of a removed vertex (found by scanning just
+            // those vertices' adjacency).
+            type SurvivingCsr = (Vec<u32>, Vec<LocalId>, FxHashSet<(LocalId, LocalId)>);
+            let mut csr: Option<SurvivingCsr> = None;
+            let mut build_csr = || {
+                let n = f.local_count();
+                let mut offsets = vec![0u32; n + 1];
+                for u in f.local_vertices() {
+                    for &t in f.neighbors(u) {
+                        offsets[u as usize + 1] += 1;
+                        offsets[t as usize + 1] += 1;
+                    }
+                }
+                for i in 0..n {
+                    offsets[i + 1] += offsets[i];
+                }
+                let mut targets = vec![0 as LocalId; offsets[n] as usize];
+                let mut cursor = offsets.clone();
+                for u in f.local_vertices() {
+                    for &t in f.neighbors(u) {
+                        targets[cursor[u as usize] as usize] = t;
+                        cursor[u as usize] += 1;
+                        targets[cursor[t as usize] as usize] = u;
+                        cursor[t as usize] += 1;
+                    }
+                }
+                let mut dead_pairs: FxHashSet<(LocalId, LocalId)> = FxHashSet::default();
+                for &(a, b) in &removed_local {
+                    dead_pairs.insert((a, b));
+                    dead_pairs.insert((b, a));
+                }
+                for &lw in &removed_here {
+                    for &t in
+                        &targets[offsets[lw as usize] as usize..offsets[lw as usize + 1] as usize]
+                    {
+                        dead_pairs.insert((lw, t));
+                        dead_pairs.insert((t, lw));
+                    }
+                }
+                (offsets, targets, dead_pairs)
+            };
+            for &(lu, lv) in &removed_local {
+                // A component already suspect cannot get more suspect.
+                if suspect[cid_of[f.global(lu) as usize] as usize] {
+                    continue;
+                }
+                if !forest.is_tree_edge(lu, lv) {
+                    continue; // non-tree: connectivity untouched, no CSR needed
+                }
+                let (offsets, targets, dead_pairs) = csr.get_or_insert_with(&mut build_csr);
+                let surviving = |x: u32, emit: &mut dyn FnMut(u32)| {
+                    for &y in
+                        &targets[offsets[x as usize] as usize..offsets[x as usize + 1] as usize]
+                    {
+                        if !dead_pairs.contains(&(x, y)) {
+                            emit(y);
+                        }
+                    }
+                };
+                match forest.remove_edge(lu, lv, &surviving) {
+                    EdgeRemoval::NonTree | EdgeRemoval::Replaced(..) => {}
+                    EdgeRemoval::Split(side) => {
+                        suspect[cid_of[f.global(side[0]) as usize] as usize] = true;
+                        any_suspect = true;
+                    }
+                }
+            }
+        }
+
+        let mut out: Vec<Vec<LocalId>> = vec![Vec::new(); frags.len()];
+        if !any_suspect {
+            return out;
+        }
+
+        // Filter 2: true new pieces of the suspect components, by one
+        // union-find pass over their surviving stored edges. Per-edge
+        // exclusion tests are bitmap-gated (`touches_dead`) so the sweep
+        // is flat array reads, not hash lookups.
+        let mut parent: Vec<u32> = (0..n_glob as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        let mut touches_dead = vec![false; n_glob];
+        for &(u, v) in changes.removed_edges {
+            touches_dead[u as usize] = true;
+            touches_dead[v as usize] = true;
+        }
+        for &w in changes.removed_vertices {
+            touches_dead[w as usize] = true;
+        }
+        for f in frags {
+            for lu in f.local_vertices() {
+                let gu = f.global(lu);
+                if !suspect[cid_of[gu as usize] as usize] {
+                    continue;
+                }
+                if touches_dead[gu as usize] && removed_v.contains(&gu) {
+                    continue;
+                }
+                for &lt in f.neighbors(lu) {
+                    let gt = f.global(lt);
+                    if touches_dead[gt as usize] && removed_v.contains(&gt) {
+                        continue;
+                    }
+                    if touches_dead[gu as usize] && touches_dead[gt as usize] && edge_dies(gu, gt) {
+                        continue;
+                    }
+                    let (a, b) = (find(&mut parent, gu), find(&mut parent, gt));
+                    if a != b {
+                        parent[a.max(b) as usize] = a.min(b);
+                    }
+                }
+            }
+        }
+        // Piece minima: union-by-min keeps the root as the piece's
+        // smallest id, so a vertex is invalidated iff its root differs
+        // from its old cid — its piece lost the cid source.
+        for v in 0..n_glob as VertexId {
+            if !suspect[cid_of[v as usize] as usize] {
+                continue;
+            }
+            if find(&mut parent, v) == cid_of[v as usize] {
+                continue; // this piece kept the old minimum: values stand
+            }
+            for (i, f) in frags.iter().enumerate() {
+                if let Some(l) = f.local(v) {
+                    out[i].push(l);
+                }
+            }
+        }
+        for s in &mut out {
+            s.sort_unstable();
+        }
+        out
     }
 }
 

@@ -25,6 +25,31 @@ where
     out
 }
 
+/// [`gather_owned`] over plain fragment references — the shape
+/// `WarmStart::plan_invalidation` sees (pre-apply fragments, no `Arc`).
+/// Gathers the **owner** copy's value per global vertex; at a fixpoint
+/// that is the authoritative one (mirror copies may hold stale-high
+/// values under edge-cut, since owners do not broadcast back).
+pub fn owner_values<V, E, S, T, F>(
+    frags: &[&Fragment<V, E>],
+    states: &[S],
+    default: T,
+    get: F,
+) -> Vec<T>
+where
+    T: Clone,
+    F: Fn(&S, &Fragment<V, E>, LocalId) -> T,
+{
+    let n: usize = frags.iter().map(|f| f.owned_count()).sum();
+    let mut out = vec![default; n];
+    for (f, s) in frags.iter().zip(states) {
+        for l in f.owned_vertices() {
+            out[f.global(l) as usize] = get(s, f, l);
+        }
+    }
+    out
+}
+
 /// Distance value used by SSSP/BFS: `u64::MAX` encodes `∞`.
 pub const INF: u64 = u64::MAX;
 

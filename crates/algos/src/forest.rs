@@ -1,0 +1,352 @@
+//! Spanning-forest maintenance for deletion-exact incremental CC.
+//!
+//! A [`SpanningForest`] is built once per fragment over the local
+//! (undirected view of the) adjacency. Processing an edge removal then
+//! classifies it in bounded work:
+//!
+//! * a **non-tree** edge removal cannot change connectivity — a no-op;
+//! * a **tree** edge removal splits its tree into two sides; a
+//!   *replacement-edge search* walks the **smaller** side (found by
+//!   growing both sides in lockstep, so the walk costs `O(min(|Tu|,
+//!   |Tv|))` tree edges) and scans its members' surviving incident edges
+//!   for one that re-links the sides — if found, the forest swaps it in
+//!   and connectivity is again unchanged;
+//! * only when no replacement exists does the removal report a genuine
+//!   [`EdgeRemoval::Split`], handing back the smaller side so the caller
+//!   can bound its re-labelling to the affected region.
+//!
+//! This is the filter that lets `ConnectedComponents` keep most deletion
+//! batches on the warm path: random deletions overwhelmingly hit
+//! non-tree edges (any cycle edge), and most tree hits have a local
+//! replacement. See `crate::cc` for how a reported split drives the
+//! component invalidation.
+
+/// Surviving-adjacency callback: `surviving(x, emit)` calls `emit(y)`
+/// for every current surviving neighbor `y` of `x` (the caller filters
+/// out every edge its batch removes).
+pub type Surviving<'a> = &'a dyn Fn(u32, &mut dyn FnMut(u32));
+
+/// Outcome of removing one edge from the forest's graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdgeRemoval {
+    /// The edge was not in the forest (or not present at all):
+    /// connectivity is unchanged.
+    NonTree,
+    /// The edge was in the forest, but a surviving replacement edge
+    /// re-links the two sides; connectivity is unchanged. Carries the
+    /// replacement `(u, v)`.
+    Replaced(u32, u32),
+    /// The tree genuinely split. Carries the members of the **smaller**
+    /// side (the one the replacement search exhausted).
+    Split(Vec<u32>),
+}
+
+/// A spanning forest over vertices `0..n`, with adjacency stored
+/// symmetrically regardless of how the underlying graph directs its
+/// edges (connectivity is an undirected notion — CC computes *weak*
+/// components on directed graphs).
+///
+/// The tree adjacency is packed as a flat CSR with per-vertex live
+/// lengths (an unlink swap-removes inside the vertex's segment) plus a
+/// small overflow list for replacement edges linked after the build —
+/// the whole structure is a handful of flat allocations, so per-batch
+/// rebuilds in `ConnectedComponents::plan_invalidation` stay cheap even
+/// on fragments with tens of thousands of locals.
+#[derive(Debug, Clone)]
+pub struct SpanningForest {
+    /// CSR segment starts (length `n + 1`), fixed at build time.
+    offsets: Vec<u32>,
+    /// Tree neighbors; only `targets[offsets[x] .. offsets[x] + live[x]]`
+    /// is current (unlinks shrink `live`, never `offsets`).
+    targets: Vec<u32>,
+    /// Live prefix length of each vertex's segment.
+    live: Vec<u32>,
+    /// Replacement edges linked after the build, as unordered pairs —
+    /// at most one per processed removal, scanned linearly.
+    extra: Vec<(u32, u32)>,
+}
+
+impl SpanningForest {
+    /// Build a spanning forest over `n` vertices from an edge iterator
+    /// (duplicates and self-loops are skipped; direction is ignored).
+    pub fn build(n: usize, edges: impl Iterator<Item = (u32, u32)>) -> Self {
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        let mut tree_edges: Vec<(u32, u32)> = Vec::new();
+        for (u, v) in edges {
+            if u == v {
+                continue;
+            }
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                parent[ru.max(rv) as usize] = ru.min(rv);
+                tree_edges.push((u, v));
+            }
+        }
+        // Pack symmetrically as CSR: counting pass, prefix sums, fill.
+        let mut offsets = vec![0u32; n + 1];
+        for &(u, v) in &tree_edges {
+            offsets[u as usize + 1] += 1;
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = vec![0u32; offsets[n] as usize];
+        let mut cursor = offsets.clone();
+        for &(u, v) in &tree_edges {
+            targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        let live = (0..n).map(|x| offsets[x + 1] - offsets[x]).collect();
+        SpanningForest { offsets, targets, live, extra: Vec::new() }
+    }
+
+    /// The live CSR segment of `x` (excludes `extra` links).
+    fn segment(&self, x: u32) -> &[u32] {
+        let start = self.offsets[x as usize] as usize;
+        &self.targets[start..start + self.live[x as usize] as usize]
+    }
+
+    /// Visit every current tree neighbor of `x`.
+    fn for_each_neighbor(&self, x: u32, f: &mut impl FnMut(u32)) {
+        for &y in self.segment(x) {
+            f(y);
+        }
+        for &(a, b) in &self.extra {
+            if a == x {
+                f(b);
+            } else if b == x {
+                f(a);
+            }
+        }
+    }
+
+    /// True if `(u, v)` is currently a tree edge.
+    pub fn is_tree_edge(&self, u: u32, v: u32) -> bool {
+        self.segment(u).contains(&v)
+            || self.extra.iter().any(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u))
+    }
+
+    /// Number of tree edges (build/debug introspection).
+    pub fn tree_edge_count(&self) -> usize {
+        (self.live.iter().map(|&l| l as usize).sum::<usize>() / 2) + self.extra.len()
+    }
+
+    /// Remove edge `(u, v)` from the forest's graph and classify the
+    /// removal. `surviving` enumerates the *current* surviving incident
+    /// edges of a vertex (the caller filters out every edge the batch
+    /// removes, including parallel copies of `(u, v)` itself); it is
+    /// only consulted during a replacement search.
+    pub fn remove_edge(&mut self, u: u32, v: u32, surviving: Surviving<'_>) -> EdgeRemoval {
+        if u == v || !self.is_tree_edge(u, v) {
+            return EdgeRemoval::NonTree;
+        }
+        self.unlink(u, v);
+
+        // Grow both sides in lockstep over tree edges; the first side to
+        // exhaust is the smaller one, and the cost so far is O(its size).
+        let mut sides = [Walk::new(u), Walk::new(v)];
+        let small = loop {
+            let mut exhausted = None;
+            for (i, w) in sides.iter_mut().enumerate() {
+                if !w.step(self) {
+                    exhausted = Some(i);
+                    break;
+                }
+            }
+            if let Some(i) = exhausted {
+                break i;
+            }
+        };
+        let side = std::mem::take(&mut sides[small].visited);
+        let in_side = |x: u32| side.binary_search(&x).is_ok();
+
+        // Replacement search: any surviving incident edge leaving the
+        // small side reconnects it (the other endpoint was in the same
+        // tree, or is linked truthfully anyway — the edge exists).
+        let mut replacement: Option<(u32, u32)> = None;
+        for &x in &side {
+            surviving(x, &mut |y| {
+                if replacement.is_none() && !in_side(y) {
+                    replacement = Some((x, y));
+                }
+            });
+            if replacement.is_some() {
+                break;
+            }
+        }
+        match replacement {
+            Some((x, y)) => {
+                self.extra.push((x, y));
+                EdgeRemoval::Replaced(x, y)
+            }
+            None => EdgeRemoval::Split(side),
+        }
+    }
+
+    fn unlink(&mut self, u: u32, v: u32) {
+        if let Some(pos) =
+            self.extra.iter().position(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u))
+        {
+            self.extra.swap_remove(pos);
+            return;
+        }
+        for (a, b) in [(u, v), (v, u)] {
+            let start = self.offsets[a as usize] as usize;
+            let seg = &mut self.targets[start..start + self.live[a as usize] as usize];
+            let pos = seg.iter().position(|&t| t == b).expect("tree edge");
+            let last = seg.len() - 1;
+            seg.swap(pos, last);
+            self.live[a as usize] -= 1;
+        }
+    }
+}
+
+/// One side of a lockstep split walk: BFS over tree edges, keeping the
+/// visited set sorted on completion for membership tests.
+struct Walk {
+    visited: Vec<u32>,
+    seen: aap_graph::FxHashSet<u32>,
+    cursor: usize,
+}
+
+impl Walk {
+    fn new(start: u32) -> Self {
+        let mut seen = aap_graph::FxHashSet::default();
+        seen.insert(start);
+        Walk { visited: vec![start], seen, cursor: 0 }
+    }
+
+    /// Expand one vertex; returns `false` when this side is exhausted
+    /// (at which point `visited` is finalised sorted).
+    fn step(&mut self, forest: &SpanningForest) -> bool {
+        while self.cursor < self.visited.len() {
+            let x = self.visited[self.cursor];
+            self.cursor += 1;
+            let mut grew = false;
+            forest.for_each_neighbor(x, &mut |y| {
+                if self.seen.insert(y) {
+                    self.visited.push(y);
+                    grew = true;
+                }
+            });
+            if grew {
+                return true;
+            }
+        }
+        self.visited.sort_unstable();
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adj_of(edges: &[(u32, u32)], removed: &[(u32, u32)]) -> impl Fn(u32, &mut dyn FnMut(u32)) {
+        let edges = edges.to_vec();
+        let removed = removed.to_vec();
+        move |x: u32, f: &mut dyn FnMut(u32)| {
+            for &(a, b) in &edges {
+                let dead = removed.iter().any(|&(ra, rb)| (ra, rb) == (a, b) || (ra, rb) == (b, a));
+                if dead {
+                    continue;
+                }
+                if a == x {
+                    f(b);
+                } else if b == x {
+                    f(a);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_edge_is_non_tree_or_replaced() {
+        // Triangle 0-1-2: one edge is non-tree; removing a tree edge
+        // finds the remaining path as replacement.
+        let edges = [(0, 1), (1, 2), (2, 0)];
+        let mut f = SpanningForest::build(3, edges.iter().copied());
+        assert_eq!(f.tree_edge_count(), 2);
+        for &(u, v) in &edges {
+            let mut f2 = f.clone();
+            let r = f2.remove_edge(u, v, &adj_of(&edges, &[(u, v)]));
+            assert!(!matches!(r, EdgeRemoval::Split(_)), "triangle never splits: {r:?}");
+        }
+        // Removing two edges does split.
+        let removed = [(0, 1), (1, 2)];
+        let adj = adj_of(&edges, &removed);
+        let mut split = 0;
+        for &(u, v) in &removed {
+            if let EdgeRemoval::Split(side) = f.remove_edge(u, v, &adj) {
+                split += 1;
+                assert_eq!(side, vec![1]);
+            }
+        }
+        assert_eq!(split, 1, "exactly one of the two removals splits off vertex 1");
+    }
+
+    #[test]
+    fn path_split_reports_smaller_side() {
+        // Path 0-1-2-3-4-5: removing (1,2) splits {0,1} off.
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)];
+        let mut f = SpanningForest::build(6, edges.iter().copied());
+        match f.remove_edge(1, 2, &adj_of(&edges, &[(1, 2)])) {
+            EdgeRemoval::Split(side) => assert_eq!(side, vec![0, 1]),
+            other => panic!("expected split, got {other:?}"),
+        }
+        // The forest keeps working after the split: (3,4) severs the
+        // remaining {2,3,4,5} tree into equal halves — either side is a
+        // valid "smaller" one.
+        match f.remove_edge(3, 4, &adj_of(&edges, &[(1, 2), (3, 4)])) {
+            EdgeRemoval::Split(side) => {
+                assert!(side == vec![2, 3] || side == vec![4, 5], "side {side:?}")
+            }
+            other => panic!("expected split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replacement_is_linked_in() {
+        // Square 0-1-2-3-0: removing one side finds the long way round.
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 0)];
+        let mut f = SpanningForest::build(4, edges.iter().copied());
+        let removed = [(0, 1)];
+        match f.remove_edge(0, 1, &adj_of(&edges, &removed)) {
+            EdgeRemoval::NonTree => {} // (0,1) happened to be the cycle closer
+            EdgeRemoval::Replaced(x, y) => assert!(f.is_tree_edge(x, y)),
+            EdgeRemoval::Split(s) => panic!("square stays connected, split {s:?}"),
+        }
+        // Still one spanning tree of 4 vertices.
+        assert_eq!(f.tree_edge_count(), 3);
+    }
+
+    #[test]
+    fn parallel_copies_do_not_count_as_replacement() {
+        // Parallel pair (0,1) twice: removal drops all copies, so the
+        // caller's surviving-adjacency excludes both — a genuine split.
+        let edges = [(0, 1), (0, 1)];
+        let mut f = SpanningForest::build(2, edges.iter().copied());
+        match f.remove_edge(0, 1, &adj_of(&edges, &[(0, 1)])) {
+            EdgeRemoval::Split(side) => assert_eq!(side.len(), 1),
+            other => panic!("expected split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_edge_is_non_tree() {
+        let edges = [(0, 1)];
+        let mut f = SpanningForest::build(3, edges.iter().copied());
+        assert_eq!(f.remove_edge(1, 2, &adj_of(&edges, &[])), EdgeRemoval::NonTree);
+        assert_eq!(f.remove_edge(2, 2, &adj_of(&edges, &[])), EdgeRemoval::NonTree);
+    }
+}

@@ -4,6 +4,8 @@
 //!
 //! * [`cc`] — graph connectivity via local components + `min` cid merging
 //!   (§2, Figs 2–3);
+//! * [`forest`] — spanning-forest maintenance with bounded
+//!   replacement-edge search, backing CC's deletion-exact warm path;
 //! * [`sssp`] — single-source shortest paths: Dijkstra `PEval` +
 //!   incremental (Ramalingam–Reps style) `IncEval` (§5.1);
 //! * [`bfs`] — unweighted hop counts, sharing the SSSP machinery;
@@ -23,6 +25,7 @@ pub mod bfs;
 pub mod cc;
 pub mod cf;
 pub mod common;
+pub mod forest;
 pub mod pagerank;
 pub mod seq;
 pub mod sssp;

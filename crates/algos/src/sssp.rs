@@ -12,9 +12,9 @@
 //! lengths, `min` contraction, monotone relaxation), so all asynchronous
 //! runs converge to the true distances (Theorem 2).
 
-use crate::common::{dijkstra_from_seeds, emit_policy, gather_owned, INF};
-use aap_core::pie::{Messages, PieProgram, UpdateCtx, WarmStart};
-use aap_graph::mutate::{DeltaSummary, StateRemap};
+use crate::common::{dijkstra_from_seeds, emit_policy, gather_owned, owner_values, INF};
+use aap_core::pie::{DeltaChanges, Messages, PieProgram, UpdateCtx, WarmStart, WarmStrategy};
+use aap_graph::mutate::{stored_directed, DeltaSummary, StateRemap};
 use aap_graph::{Fragment, LocalId, VertexId};
 use std::sync::Arc;
 
@@ -112,11 +112,20 @@ impl<V: Sync + Send> PieProgram<V, u32> for Sssp {
 /// Retained distances are migrated across the delta (fresh locals start
 /// at `∞`) and relaxed from the delta-affected seeds with the same
 /// bounded multi-source Dijkstra `IncEval` uses, so the warm round costs
-/// a function of the changed region, not of `|Fi|`. **Exact** for
-/// monotone-decreasing deltas (edge/vertex insertions, weight decreases,
-/// the default [`WarmStart::delta_exact`]); deletions or weight increases
-/// can *raise* true distances, which `min`-aggregation can never undo, so
-/// drivers fall back to a cold recompute for those.
+/// a function of the changed region, not of `|Fi|`.
+///
+/// * Monotone-decreasing deltas (edge/vertex insertions, weight
+///   decreases) are exact by monotonicity alone
+///   ([`WarmStrategy::WarmDecrease`]).
+/// * Deletions and weight increases can *raise* true distances, which
+///   `min`-aggregation can never undo from stale values — so they run
+///   [`WarmStrategy::WarmIncrease`]: [`Sssp::plan_invalidation`]
+///   computes the Ramalingam–Reps affected region (every vertex some
+///   old shortest path of which crossed a deleted/increased edge), all
+///   of its copies are reset to `∞`, and the warm round re-relaxes the
+///   region from its intact frontier. After the reset every retained
+///   value is again a valid upper bound on the new distances, so the
+///   asynchronous `min` fixpoint is exact — no cold fallback remains.
 impl<V: Sync + Send> WarmStart<V, u32> for Sssp {
     fn warm_eval(
         &self,
@@ -125,12 +134,35 @@ impl<V: Sync + Send> WarmStart<V, u32> for Sssp {
         prior: SsspState,
         remap: &StateRemap,
         seeds: &[LocalId],
+        invalid: &[LocalId],
         ctx: &mut UpdateCtx<u64>,
     ) -> SsspState {
         let mut dist = remap.map_vec(prior.dist, INF);
         debug_assert_eq!(dist.len(), frag.local_count());
         let mut seedv: Vec<LocalId> = seeds.to_vec();
-        // The source may itself be a freshly added vertex.
+        if !invalid.is_empty() {
+            // Affected-region reset: discard the invalidated values, then
+            // seed re-relaxation from the region's *frontier* — every
+            // surviving local vertex with an edge into the region (its
+            // value is still a valid upper bound, and one of them carries
+            // the region's new entry point). One linear edge scan; charged
+            // as the invalidation round's work.
+            let mut in_region = vec![false; frag.local_count()];
+            for &l in invalid {
+                dist[l as usize] = INF;
+                in_region[l as usize] = true;
+            }
+            for u in frag.local_vertices() {
+                if dist[u as usize] == INF || in_region[u as usize] {
+                    continue;
+                }
+                if frag.neighbors(u).iter().any(|&t| in_region[t as usize]) {
+                    seedv.push(u);
+                }
+            }
+            ctx.charge_work(frag.edge_count() as u64 + invalid.len() as u64);
+        }
+        // The source may itself be a freshly added (or invalidated) vertex.
         if let Some(l) = frag.local(*src) {
             if dist[l as usize] != 0 {
                 dist[l as usize] = 0;
@@ -143,10 +175,17 @@ impl<V: Sync + Send> WarmStart<V, u32> for Sssp {
         let mut changed = Vec::new();
         let work = dijkstra_from_seeds(frag, &mut dist, &seedv, |&w| w as u64, &mut changed);
         ctx.charge_work(work + seedv.len() as u64);
-        // Seed border vertices re-announce even when unchanged: a peer may
-        // hold a brand-new, uninitialised copy of them.
+        // Owned seed border vertices re-announce even when unchanged: a
+        // peer may hold a brand-new, uninitialised copy of them. Under
+        // edge-cut only owners face that — a surviving mirror's peer is
+        // its owner, whose copy is never fresh (owned ids persist), and
+        // a fresh mirror starts at `∞`, which is never shipped — so
+        // change-driven sends from the Dijkstra pass cover everything
+        // else and a deletion-only batch whose region re-derives its old
+        // values ships nothing redundant. Vertex-cut re-partitions can
+        // *move* ownership, so there every seed copy re-announces.
         for &s in &seedv {
-            if frag.is_border(s) {
+            if (frag.is_owned(s) || frag.is_vertex_cut()) && frag.is_border(s) {
                 changed.push(s);
             }
         }
@@ -169,8 +208,101 @@ impl<V: Sync + Send> WarmStart<V, u32> for Sssp {
         gather_owned(frags, states, INF, |s, _, l| s.dist[l as usize])
     }
 
-    fn delta_exact(&self, summary: &DeltaSummary) -> bool {
-        summary.is_monotone_decreasing()
+    fn delta_strategy(&self, summary: &DeltaSummary) -> WarmStrategy {
+        if summary.is_monotone_decreasing() {
+            WarmStrategy::WarmDecrease
+        } else {
+            WarmStrategy::WarmIncrease
+        }
+    }
+
+    /// The affected region of a non-monotone batch, Ramalingam–Reps
+    /// style: start from the heads of deleted/increased edges that were
+    /// *tight* under the old distances (`dist[u] + w == dist[v]` — the
+    /// head's value actually used the edge) and from removed vertices,
+    /// then close over old tight edges (the shortest-path DAG). Every
+    /// vertex outside the closure keeps a tight path that avoids all
+    /// deleted/increased edges, so its old distance is still achievable
+    /// — a valid upper bound. Over-approximation (a head with an equal
+    /// alternate path) costs recompute, never exactness.
+    fn plan_invalidation(
+        &self,
+        _src: &VertexId,
+        frags: &[&Fragment<V, u32>],
+        states: &[SsspState],
+        changes: &DeltaChanges<'_>,
+    ) -> Vec<Vec<LocalId>> {
+        let dist = owner_values(frags, states, INF, |s, _, l| s.dist[l as usize]);
+        let n = dist.len();
+        let directed = stored_directed(frags);
+
+        let mut affected = vec![false; n];
+        let mut queue: Vec<VertexId> = Vec::new();
+        // Was (u, v) tight under the old distances, for any stored copy?
+        let tight = |u: VertexId, v: VertexId| -> bool {
+            let (du, dv) = (dist[u as usize], dist[v as usize]);
+            if du == INF || dv == INF {
+                return false;
+            }
+            frags.iter().any(|f| {
+                f.local(u).is_some_and(|lu| {
+                    f.edges(lu).any(|(t, &w)| f.global(t) == v && du.saturating_add(w as u64) <= dv)
+                })
+            })
+        };
+        let start = |v: VertexId, affected: &mut Vec<bool>, queue: &mut Vec<VertexId>| {
+            if (v as usize) < n && dist[v as usize] != INF && !affected[v as usize] {
+                affected[v as usize] = true;
+                queue.push(v);
+            }
+        };
+        for &(u, v) in changes.removed_edges.iter().chain(changes.increased_edges) {
+            if tight(u, v) {
+                start(v, &mut affected, &mut queue);
+            }
+            if !directed && tight(v, u) {
+                start(u, &mut affected, &mut queue);
+            }
+        }
+        for &w in changes.removed_vertices {
+            // The vertex is isolated: its own distance rises to ∞ (the
+            // source re-pins itself in `warm_eval`), and everything that
+            // derived through it follows via the closure below.
+            start(w, &mut affected, &mut queue);
+        }
+        while let Some(u) = queue.pop() {
+            let du = dist[u as usize];
+            for f in frags {
+                let Some(lu) = f.local(u) else { continue };
+                for (t, &w) in f.edges(lu) {
+                    let x = f.global(t);
+                    if !affected[x as usize]
+                        && dist[x as usize] != INF
+                        && du.saturating_add(w as u64) <= dist[x as usize]
+                    {
+                        affected[x as usize] = true;
+                        queue.push(x);
+                    }
+                }
+            }
+        }
+
+        // Every copy of an affected vertex, at every fragment, is reset.
+        let mut out: Vec<Vec<LocalId>> = vec![Vec::new(); frags.len()];
+        for v in 0..n as VertexId {
+            if !affected[v as usize] {
+                continue;
+            }
+            for (i, f) in frags.iter().enumerate() {
+                if let Some(l) = f.local(v) {
+                    out[i].push(l);
+                }
+            }
+        }
+        for s in &mut out {
+            s.sort_unstable();
+        }
+        out
     }
 }
 

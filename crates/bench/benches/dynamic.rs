@@ -1,19 +1,24 @@
 //! The `dynamic` group: warm-start incremental evaluation vs cold full
-//! recompute across delta sizes (0.01% / 0.1% / 1% of the edge count).
+//! recompute across delta sizes (0.01% / 0.1% / 1% of the edge count),
+//! plus the **deletion-only** rows (`*_delete_*`) exercising the
+//! `warm-increase` affected-region path — the acceptance check is the
+//! warm/cold ratio at 0.1% deletions.
 //!
 //! Both sides run on the *same mutated fragments*: the delta is applied
-//! once in setup, then `full` measures a cold `Engine::run` and
-//! `incremental` measures `Engine::run_incremental` from the retained
-//! pre-delta state (cloned per iteration, outside the timing). The ratio
-//! is the paper-motivated payoff of IncEval reacting to graph changes
-//! instead of recomputing from scratch.
+//! once in setup (for deletions, the invalidation plan is computed
+//! there too, exactly as the `aap-delta` driver would), then `full`
+//! measures a cold `Engine::run` and `incremental` measures
+//! `Engine::run_incremental` from the retained pre-delta state (cloned
+//! per iteration, outside the timing). The ratio is the paper-motivated
+//! payoff of IncEval reacting to graph changes instead of recomputing
+//! from scratch.
 
 use aap_algos::{ConnectedComponents, Sssp};
 use aap_core::{Engine, EngineOpts, Mode};
-use aap_delta::generate::{insert_batch, insert_batch_within};
-use aap_delta::{apply_to_fragments, Applied, GraphDelta};
+use aap_delta::generate::{insert_batch, insert_batch_within, remove_batch};
+use aap_delta::{apply_to_fragments, plan_incremental, remap_invalid, Applied, GraphDelta};
 use aap_graph::partition::{build_fragments_n, hash_partition};
-use aap_graph::{generate, Graph};
+use aap_graph::{generate, Fragment, Graph, LocalId};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
@@ -28,10 +33,15 @@ struct Prepared {
     applied: Applied,
     sssp_state: aap_core::RunState<aap_algos::sssp::SsspState>,
     cc_state: aap_core::RunState<aap_algos::cc::CcState>,
+    /// Post-remap invalidated sets per program (empty for insert deltas).
+    sssp_invalid: Vec<Vec<LocalId>>,
+    cc_invalid: Vec<Vec<LocalId>>,
 }
 
-/// Build the engine, retain cold states, then apply the delta in place.
-fn prepare(g: &Graph<(), u32>, frac: f64) -> Prepared {
+/// Build the engine, retain cold states, plan the invalidation (for
+/// non-monotone deltas), then apply the delta in place — the same
+/// sequence the `aap-delta` driver runs per batch.
+fn prepare(g: &Graph<(), u32>, delta: &GraphDelta) -> Prepared {
     let frags = build_fragments_n(g, &hash_partition(g, WORKERS), WORKERS);
     let mut engine = Engine::new(
         frags,
@@ -39,12 +49,20 @@ fn prepare(g: &Graph<(), u32>, frac: f64) -> Prepared {
     );
     let (_, sssp_state) = engine.run_retained(&Sssp, &0);
     let (_, cc_state) = engine.run_retained(&ConnectedComponents, &());
-    let delta = insert_delta(g, frac, 0xA5A5);
+    let (sssp_inv_old, cc_inv_old) = {
+        let view: Vec<&Fragment<(), u32>> = engine.fragments().iter().map(|a| &**a).collect();
+        (
+            plan_incremental(&view, &Sssp, &0, delta, &sssp_state).1,
+            plan_incremental(&view, &ConnectedComponents, &(), delta, &cc_state).1,
+        )
+    };
     let applied = {
         let mut refs = engine.fragments_mut().expect("unique fragments");
-        apply_to_fragments(&mut refs, &delta)
+        apply_to_fragments(&mut refs, delta)
     };
-    Prepared { engine, applied, sssp_state, cc_state }
+    let sssp_invalid = remap_invalid(sssp_inv_old, &applied);
+    let cc_invalid = remap_invalid(cc_inv_old, &applied);
+    Prepared { engine, applied, sssp_state, cc_state, sssp_invalid, cc_invalid }
 }
 
 fn bench_dynamic(c: &mut Criterion) {
@@ -53,7 +71,7 @@ fn bench_dynamic(c: &mut Criterion) {
     let mut group = c.benchmark_group("dynamic");
     group.sample_size(10);
     for (label, frac) in [("0.01pct", 0.0001), ("0.1pct", 0.001), ("1pct", 0.01)] {
-        let p = prepare(&g, frac);
+        let p = prepare(&g, &insert_delta(&g, frac, 0xA5A5));
         group.bench_function(format!("sssp_full_{label}"), |b| {
             b.iter(|| black_box(p.engine.run(&Sssp, &0).out))
         });
@@ -68,6 +86,7 @@ fn bench_dynamic(c: &mut Criterion) {
                                 &0,
                                 &p.applied.remaps,
                                 &p.applied.seeds,
+                                &p.sssp_invalid,
                                 &mut st,
                             )
                             .out,
@@ -78,7 +97,7 @@ fn bench_dynamic(c: &mut Criterion) {
         });
     }
     // CC at the acceptance point (0.1%).
-    let p = prepare(&g, 0.001);
+    let p = prepare(&g, &insert_delta(&g, 0.001, 0xA5A5));
     group.bench_function("cc_full_0.1pct", |b| {
         b.iter(|| black_box(p.engine.run(&ConnectedComponents, &()).out))
     });
@@ -93,6 +112,7 @@ fn bench_dynamic(c: &mut Criterion) {
                             &(),
                             &p.applied.remaps,
                             &p.applied.seeds,
+                            &p.cc_invalid,
                             &mut st,
                         )
                         .out,
@@ -101,6 +121,77 @@ fn bench_dynamic(c: &mut Criterion) {
             BatchSize::PerIteration,
         )
     });
+    // Deletion-only rows: the `warm-increase` path. Acceptance: warm
+    // median ≥5x faster than cold at 0.1% deletions, for SSSP and CC.
+    let del_count = ((g.num_edges() as f64) * 0.001).ceil() as usize;
+    let p = prepare(&g, &remove_batch(&g, del_count, 0xDE1E));
+    group.bench_function("sssp_full_delete_0.1pct", |b| {
+        b.iter(|| black_box(p.engine.run(&Sssp, &0).out))
+    });
+    group.bench_function("sssp_incremental_delete_0.1pct", |b| {
+        b.iter_batched(
+            || p.sssp_state.clone(),
+            |mut st| {
+                black_box(
+                    p.engine
+                        .run_incremental(
+                            &Sssp,
+                            &0,
+                            &p.applied.remaps,
+                            &p.applied.seeds,
+                            &p.sssp_invalid,
+                            &mut st,
+                        )
+                        .out,
+                )
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("cc_full_delete_0.1pct", |b| {
+        b.iter(|| black_box(p.engine.run(&ConnectedComponents, &()).out))
+    });
+    group.bench_function("cc_incremental_delete_0.1pct", |b| {
+        b.iter_batched(
+            || p.cc_state.clone(),
+            |mut st| {
+                black_box(
+                    p.engine
+                        .run_incremental(
+                            &ConnectedComponents,
+                            &(),
+                            &p.applied.remaps,
+                            &p.applied.seeds,
+                            &p.cc_invalid,
+                            &mut st,
+                        )
+                        .out,
+                )
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    // The invalidation *plan* itself (the pre-apply affected-region /
+    // spanning-forest pass the driver adds for deletion batches). The
+    // end-to-end warm cost of one deletion batch is plan + incremental;
+    // these rows keep the plan share visible next to the gated ratios.
+    {
+        let frags = build_fragments_n(&g, &hash_partition(&g, WORKERS), WORKERS);
+        let engine = Engine::new(
+            frags,
+            EngineOpts { threads: WORKERS, mode: Mode::aap(), max_rounds: Some(1_000_000) },
+        );
+        let (_, sssp_st) = engine.run_retained(&Sssp, &0);
+        let (_, cc_st) = engine.run_retained(&ConnectedComponents, &());
+        let delta = remove_batch(&g, del_count, 0xDE1E);
+        let view: Vec<&Fragment<(), u32>> = engine.fragments().iter().map(|a| &**a).collect();
+        group.bench_function("sssp_plan_delete_0.1pct", |b| {
+            b.iter(|| black_box(plan_incremental(&view, &Sssp, &0, &delta, &sssp_st)))
+        });
+        group.bench_function("cc_plan_delete_0.1pct", |b| {
+            b.iter(|| black_box(plan_incremental(&view, &ConnectedComponents, &(), &delta, &cc_st)))
+        });
+    }
     // The apply itself, at the acceptance point: a uniformly random delta
     // touches every fragment (apply ≈ one full partition sweep), while a
     // localized one — the realistic serving pattern — costs only the

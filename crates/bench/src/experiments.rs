@@ -719,6 +719,29 @@ pub fn stats_json_seeded(seed: u64) -> String {
         warm.stats.to_json(),
         cold.stats.to_json()
     ));
+
+    // Deletion round: a 0.1% removal-only batch through the same driver —
+    // the `warm-increase` affected-region path (no cold fallback). The
+    // strategy tag is recorded so the gate notices if deletions ever
+    // silently degrade back to a cold recompute.
+    let frags = cluster.fragments(&fr);
+    let mut sim = SimEngine::new(frags, SimOpts::default());
+    let (_, mut state) = sim.run_retained(&Sssp, &0);
+    let delta = aap_delta::generate::remove_batch(&fr, (fr.num_edges() / 1000).max(4), seed);
+    let warm = aap_delta::run_incremental_sim(&mut sim, &Sssp, &0, &delta, &mut state);
+    assert!(
+        warm.strategy == aap_core::pie::WarmStrategy::WarmIncrease,
+        "deletion batch must run warm-increase, got {}",
+        warm.strategy
+    );
+    let cold = sim.run(&Sssp, &0);
+    out.push_str(&format!(
+        "{{\"experiment\":\"incremental_delete\",\"seed\":{seed},\"strategy\":\"{}\",\
+         \"incremental\":{},\"full\":{}}}\n",
+        warm.strategy,
+        warm.stats.to_json(),
+        cold.stats.to_json()
+    ));
     out
 }
 

@@ -152,10 +152,10 @@ pub struct PortableFragState<St> {
 /// fragment set and returns one [`StateRemap`] per fragment: identity
 /// when the layouts agree byte-for-byte (the common case — snapshots
 /// persist the partition exactly), a real old→new table when they do
-/// not. The remaps feed [`Engine::run_incremental`] (with empty seeds),
-/// whose `warm_eval` migrates the state values — so an attach followed
-/// by one warm run lands in exactly the state a continuous process
-/// would hold.
+/// not. The remaps feed [`Engine::run_incremental`] (with empty seeds
+/// and empty invalidated sets), whose `warm_eval` migrates the state
+/// values — so an attach followed by one warm run lands in exactly the
+/// state a continuous process would hold.
 #[derive(Debug, Clone)]
 pub struct PortableRunState<St> {
     entries: Vec<PortableFragState<St>>,
@@ -221,7 +221,8 @@ impl<St> PortableRunState<St> {
     /// Re-anchor the states against `frags`, returning the [`RunState`]
     /// plus one [`StateRemap`] per fragment (identity where the local-id
     /// layout is unchanged). Feed both to `run_incremental` with empty
-    /// seeds to migrate the state values through `warm_eval`.
+    /// seeds and empty invalidated sets to migrate the state values
+    /// through `warm_eval`.
     ///
     /// Fails if the fragment count differs or a saved vertex has no
     /// local id in its target fragment; *dropped* locals (a saved vertex
@@ -417,18 +418,21 @@ where
     ///
     /// Round 0 runs [`WarmStart::warm_eval`] instead of `PEval`: each
     /// fragment's retained state is migrated across the mutation via
-    /// `remaps[i]` and re-evaluated from `seeds[i]` (the delta-affected
-    /// vertices, in new local ids). Messages then drive ordinary
-    /// `IncEval` rounds to the fixpoint; `state` is updated in place for
-    /// the next delta. See `aap-delta` for the driver that derives
-    /// `remaps`/`seeds` from a `GraphDelta` and handles the non-monotone
-    /// fallback.
+    /// `remaps[i]`, stripped of the invalidated vertices `invalid[i]`
+    /// (non-empty only for `WarmStrategy::WarmIncrease` batches — the
+    /// affected region of a removal / weight increase), and re-evaluated
+    /// from `seeds[i]` (the delta-affected vertices, in new local ids).
+    /// Messages then drive ordinary `IncEval` rounds to the fixpoint;
+    /// `state` is updated in place for the next delta. See `aap-delta`
+    /// for the driver that derives `remaps`/`seeds`/`invalid` from a
+    /// `GraphDelta` and picks the strategy.
     pub fn run_incremental<P>(
         &self,
         prog: &P,
         q: &P::Query,
         remaps: &[StateRemap],
         seeds: &[Vec<LocalId>],
+        invalid: &[Vec<LocalId>],
         state: &mut RunState<P::State>,
     ) -> RunOutput<P::Out>
     where
@@ -438,11 +442,12 @@ where
         assert_eq!(state.len(), m, "RunState must match the fragment count");
         assert_eq!(remaps.len(), m);
         assert_eq!(seeds.len(), m);
+        assert_eq!(invalid.len(), m);
         let priors: Vec<Mutex<Option<P::State>>> =
             state.take_states().into_iter().map(|s| Mutex::new(Some(s))).collect();
         let eval0 = |w: usize, frag: &Fragment<V, E>, ctx: &mut UpdateCtx<P::Val>| {
             let prior = priors[w].lock().take().expect("warm state taken once per worker");
-            prog.warm_eval(q, frag, prior, &remaps[w], &seeds[w], ctx)
+            prog.warm_eval(q, frag, prior, &remaps[w], &seeds[w], &invalid[w], ctx)
         };
         let (stats, states) = self.run_with(prog, q, &eval0);
         let out = prog.assemble_ref(q, &self.frags, &states);

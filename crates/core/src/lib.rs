@@ -91,7 +91,7 @@ pub mod theory;
 /// Convenient re-exports for engine users and PIE program authors.
 pub mod prelude {
     pub use crate::engine::{Engine, EngineOpts, RunOutput, RunState};
-    pub use crate::pie::{Messages, PieProgram, Round, UpdateCtx, WarmStart};
+    pub use crate::pie::{Messages, PieProgram, Round, UpdateCtx, WarmStart, WarmStrategy};
     pub use crate::policy::{AapConfig, HsyncConfig, Mode};
     pub use crate::stats::{RunStats, WorkerStats};
     pub use aap_graph::{FragId, Fragment, LocalId, Route, VertexId};
@@ -100,7 +100,9 @@ pub mod prelude {
 pub use engine::{
     AttachError, Engine, EngineOpts, PortableFragState, PortableRunState, RunOutput, RunState,
 };
-pub use pie::{Batch, Messages, PieProgram, Round, UpdateCtx, WarmStart};
+pub use pie::{
+    Batch, DeltaChanges, Messages, PieProgram, Round, UpdateCtx, WarmStart, WarmStrategy,
+};
 pub use policy::{AapConfig, Decision, HsyncConfig, Mode};
 pub use scratch::Scratch;
 pub use stats::{RunStats, WorkerStats};

@@ -18,7 +18,7 @@
 
 use crate::scratch::Scratch;
 use aap_graph::mutate::{DeltaSummary, StateRemap};
-use aap_graph::{FragId, Fragment, LocalId};
+use aap_graph::{FragId, Fragment, LocalId, VertexId};
 
 /// Round identifier. `0` is the `PEval` round; `IncEval` rounds start at 1.
 pub type Round = u32;
@@ -190,6 +190,65 @@ pub trait PieProgram<V, E>: Sync {
     }
 }
 
+/// How a delta batch will be evaluated from retained state — the
+/// three-way strategy drivers (`aap-delta`) report in their output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmStrategy {
+    /// Monotone-decreasing batch (insertions, weight decreases): the warm
+    /// round re-relaxes from the delta-affected seeds only. Exact for
+    /// contracting `min`-style programs by monotonicity alone.
+    WarmDecrease,
+    /// Non-monotone batch (removals, weight increases) handled exactly by
+    /// an *affected-region invalidation*: [`WarmStart::plan_invalidation`]
+    /// names every vertex whose retained value may no longer be an upper
+    /// bound; all of its copies are reset to the program's "unknown"
+    /// baseline before the warm round re-derives them.
+    WarmIncrease,
+    /// The program cannot evaluate this batch from retained state; the
+    /// driver re-runs a cold retained evaluation on the mutated graph.
+    Cold,
+}
+
+impl WarmStrategy {
+    /// True for both warm variants (no cold recompute).
+    pub fn is_warm(&self) -> bool {
+        !matches!(self, WarmStrategy::Cold)
+    }
+
+    /// Stable lowercase tag (`warm-decrease` / `warm-increase` / `cold`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WarmStrategy::WarmDecrease => "warm-decrease",
+            WarmStrategy::WarmIncrease => "warm-increase",
+            WarmStrategy::Cold => "cold",
+        }
+    }
+}
+
+impl std::fmt::Display for WarmStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The non-monotone part of a delta batch, resolved against the
+/// **pre-apply** graph — the input to [`WarmStart::plan_invalidation`].
+/// Edges are logical (undirected ops name each edge once); weight
+/// updates are pre-classified by direction so programs see only the ones
+/// that can raise values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeltaChanges<'a> {
+    /// Logical edges removed by the batch.
+    pub removed_edges: &'a [(VertexId, VertexId)],
+    /// Vertices isolated by the batch (every incident edge dies; the
+    /// dense id survives).
+    pub removed_vertices: &'a [VertexId],
+    /// Weight updates that *increase* a stored weight (or are
+    /// incomparable under `PartialOrd`). Pure decreases are monotone and
+    /// excluded.
+    pub increased_edges: &'a [(VertexId, VertexId)],
+}
+
 /// Warm-start extension of [`PieProgram`] for **dynamic graphs**: programs
 /// implementing this trait can resume from retained per-fragment state
 /// after a batch of graph mutations, instead of re-running `PEval` cold.
@@ -199,20 +258,30 @@ pub trait PieProgram<V, E>: Sync {
 /// mutation via the fragment's [`StateRemap`] and re-evaluated from the
 /// delta-affected `seeds` only — the §2 promise that `IncEval` reacts to
 /// *changes to the graph*, realised batch-style. Untouched fragments get
-/// an identity remap and empty seeds, and should return their state
-/// unchanged without emitting messages.
+/// an identity remap, empty seeds and an empty invalidated set, and
+/// should return their state unchanged without emitting messages.
 ///
-/// Exactness contract: for deltas where [`WarmStart::delta_exact`] holds
-/// (by default monotone-decreasing ones — insertions and weight
-/// decreases), the warm fixpoint must equal the cold fixpoint on the
-/// mutated graph. Drivers (see `aap-delta`) fall back to a cold retained
-/// run otherwise.
+/// Exactness contract, by [`WarmStart::delta_strategy`]:
+///
+/// * [`WarmStrategy::WarmDecrease`] — the warm fixpoint must equal the
+///   cold fixpoint on the mutated graph by monotonicity alone (the batch
+///   can only shrink values).
+/// * [`WarmStrategy::WarmIncrease`] — the program pairs the warm round
+///   with [`WarmStart::plan_invalidation`]: every vertex whose retained
+///   value may exceed validity is reset (all copies, every fragment) and
+///   re-derived, Ramalingam–Reps style. The warm fixpoint from the
+///   invalidated state must equal the cold fixpoint.
+/// * [`WarmStrategy::Cold`] — drivers (see `aap-delta`) re-run a cold
+///   retained evaluation instead.
 pub trait WarmStart<V, E>: PieProgram<V, E> {
-    /// Migrate `prior` across the mutation described by `remap` and
-    /// re-evaluate from the `seeds` (delta-affected local vertices, in the
-    /// **new** id space), emitting changed parameters. Seed border
+    /// Migrate `prior` across the mutation described by `remap`, discard
+    /// the retained values of the `invalid` vertices (new id space; empty
+    /// unless the delta ran [`WarmStrategy::WarmIncrease`]), and
+    /// re-evaluate from the `seeds` (delta-affected local vertices, in
+    /// the **new** id space), emitting changed parameters. Seed border
     /// vertices should re-announce their current value even when
     /// unchanged — a peer may have gained a fresh, uninitialised copy.
+    #[allow(clippy::too_many_arguments)]
     fn warm_eval(
         &self,
         q: &Self::Query,
@@ -220,6 +289,7 @@ pub trait WarmStart<V, E>: PieProgram<V, E> {
         prior: Self::State,
         remap: &StateRemap,
         seeds: &[LocalId],
+        invalid: &[LocalId],
         ctx: &mut UpdateCtx<Self::Val>,
     ) -> Self::State;
 
@@ -232,12 +302,41 @@ pub trait WarmStart<V, E>: PieProgram<V, E> {
         states: &[Self::State],
     ) -> Self::Out;
 
-    /// Whether a delta of this shape is handled exactly by
-    /// [`WarmStart::warm_eval`]. Defaults to the monotone-decreasing test
-    /// (no removals, no weight increases) — right for `min`-aggregated
-    /// contracting programs (SSSP, CC).
-    fn delta_exact(&self, summary: &DeltaSummary) -> bool {
-        summary.is_monotone_decreasing()
+    /// How a delta of this shape is evaluated from retained state. The
+    /// default handles monotone-decreasing batches warm and rejects the
+    /// rest — right for `min`-aggregated contracting programs without an
+    /// invalidation plan. Programs overriding this to return
+    /// [`WarmStrategy::WarmIncrease`] must implement
+    /// [`WarmStart::plan_invalidation`].
+    fn delta_strategy(&self, summary: &DeltaSummary) -> WarmStrategy {
+        if summary.is_monotone_decreasing() {
+            WarmStrategy::WarmDecrease
+        } else {
+            WarmStrategy::Cold
+        }
+    }
+
+    /// The affected-region pass backing [`WarmStrategy::WarmIncrease`]:
+    /// given the **pre-apply** fragments, the retained states (old local
+    /// id space) and the batch's non-monotone changes, return — per
+    /// fragment, in **old** local ids — every local copy whose retained
+    /// value must be discarded before the warm round. Drivers map the
+    /// sets through the apply's [`StateRemap`]s and hand them to
+    /// [`WarmStart::warm_eval`] as `invalid`.
+    ///
+    /// Soundness contract: the sets must cover, at **every** fragment
+    /// holding a copy, every vertex whose exact value on the mutated
+    /// graph could be *worse* than its retained value (larger distance,
+    /// higher component id, ...). Over-approximation costs recompute,
+    /// never exactness.
+    fn plan_invalidation(
+        &self,
+        _q: &Self::Query,
+        frags: &[&Fragment<V, E>],
+        _states: &[Self::State],
+        _changes: &DeltaChanges<'_>,
+    ) -> Vec<Vec<LocalId>> {
+        frags.iter().map(|_| Vec::new()).collect()
     }
 }
 

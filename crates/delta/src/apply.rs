@@ -13,7 +13,8 @@ use aap_graph::{fxhash, mutate, FragId, Fragment, FxHashMap, FxHashSet, Graph, L
 #[derive(Debug, Clone)]
 pub struct Applied {
     /// Batch shape, with weight-change directions resolved against the
-    /// graph — feeds `WarmStart::delta_exact`.
+    /// graph — the applied counterpart of what
+    /// `WarmStart::delta_strategy` decided on.
     pub summary: DeltaSummary,
     /// Per-fragment local-id migration for retained state.
     pub remaps: Vec<StateRemap>,
@@ -81,10 +82,10 @@ where
             continue;
         }
         if let Some(w) = setw.get(&(u, v)) {
-            match (**w).partial_cmp(d) {
-                Some(std::cmp::Ordering::Less) => wdec += 1,
-                Some(std::cmp::Ordering::Equal) => {}
-                _ => winc += 1,
+            match mutate::weight_change(*w, d) {
+                mutate::WeightChange::Decreased => wdec += 1,
+                mutate::WeightChange::Unchanged => {}
+                mutate::WeightChange::Increased => winc += 1,
             }
             edges.push((u, v, (*w).clone()));
         } else {

@@ -61,6 +61,33 @@ pub fn insert_batch_within(
     b.build()
 }
 
+/// A batch of up to `count` random edge **removals** drawn from the
+/// graph's existing edges (deterministic; duplicates dedup in the
+/// builder). The workload for the deletion-exact warm path: a removal
+/// batch with no inserts is non-monotone end to end.
+pub fn remove_batch(g: &Graph<(), u32>, count: usize, seed: u64) -> GraphDelta {
+    let n = g.num_vertices() as u64;
+    assert!(n > 0, "need vertices to remove edges");
+    let mut rng = Xorshift::new(seed);
+    let mut b: DeltaBuilder<(), u32> = DeltaBuilder::new();
+    // Bounded attempts: sparse or edgeless regions may yield fewer ops.
+    for _ in 0..count.saturating_mul(64) {
+        if b.len() >= count {
+            break;
+        }
+        let u = rng.below(n) as u32;
+        let deg = g.neighbors(u).len() as u64;
+        if deg == 0 {
+            continue;
+        }
+        let t = g.neighbors(u)[rng.below(deg) as usize];
+        if u != t {
+            b.remove_edge(u, t);
+        }
+    }
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +105,19 @@ mod tests {
             assert_ne!(u, v);
             assert!((1..=16).contains(&w));
             assert!(u < 50 && v < 50);
+        }
+    }
+
+    #[test]
+    fn remove_batch_names_existing_edges() {
+        let g = generate::small_world(60, 2, 0.1, 2);
+        let d = remove_batch(&g, 10, 5);
+        let d2 = remove_batch(&g, 10, 5);
+        assert_eq!(d.edges_removed(), d2.edges_removed(), "deterministic");
+        assert!(!d.edges_removed().is_empty());
+        assert!(!d.summary().is_monotone_decreasing());
+        for &(u, v) in d.edges_removed() {
+            assert!(g.neighbors(u).contains(&v), "({u}, {v}) must exist");
         }
     }
 

@@ -19,11 +19,17 @@
 //!   re-partitioned. Returns the per-fragment [`StateRemap`]s and seed
 //!   vertices a warm engine run needs;
 //! * [`run_incremental`] / [`run_incremental_sim`] — the drivers: apply
-//!   the delta to an engine's fragments, then either warm-start
-//!   `IncEval` from the delta-affected vertices (exact for
-//!   monotone-decreasing deltas — insertions and weight decreases under
-//!   `min`-aggregation) or fall back to a cold retained run when the
-//!   delta breaks monotonicity (deletions, weight increases).
+//!   the delta to an engine's fragments, then warm-start `IncEval` from
+//!   the delta-affected vertices. Monotone-decreasing batches
+//!   (insertions, weight decreases) are exact by monotonicity
+//!   (`warm-decrease`); removals and weight increases run the
+//!   *affected-region* path (`warm-increase`): the program's
+//!   [`WarmStart`](aap_core::pie::WarmStart) invalidation plan names
+//!   every vertex whose retained value may be stale-low, all of its
+//!   copies are reset, and the warm round re-derives the region — exact
+//!   for SSSP (Ramalingam–Reps) and CC (spanning-forest splits), with a
+//!   cold retained fallback only for programs without a plan. The chosen
+//!   [`WarmStrategy`] is reported in the output.
 //!
 //! ```
 //! use aap_core::{Engine, EngineOpts, Mode};
@@ -57,8 +63,9 @@ pub mod run;
 pub use apply::{apply_to_fragments, apply_to_graph, Applied};
 pub use ops::{DeltaBuilder, GraphDelta};
 pub use run::{
-    replay, replay_sim, run_incremental, run_incremental_sim, run_incremental_sim_with,
-    run_incremental_with, IncrementalOutput, IncrementalSimOutput,
+    plan_incremental, remap_invalid, replay, replay_sim, run_incremental, run_incremental_sim,
+    run_incremental_sim_with, run_incremental_with, IncrementalOutput, IncrementalSimOutput,
 };
 
+pub use aap_core::pie::WarmStrategy;
 pub use aap_graph::mutate::{DeltaSummary, StateRemap};

@@ -1,12 +1,28 @@
 //! Warm-start drivers: apply a delta to an engine's fragments, then run
-//! incrementally (or fall back to a cold retained run when the delta is
-//! not handled exactly by the program's warm path).
+//! incrementally, picking the per-batch evaluation strategy.
+//!
+//! Three strategies ([`WarmStrategy`], chosen by
+//! [`WarmStart::delta_strategy`] from the batch's resolved shape):
+//!
+//! * **`warm-decrease`** — monotone-decreasing batch (insertions, weight
+//!   decreases): round 0 is `warm_eval` from the delta-affected seeds;
+//!   exact by monotonicity.
+//! * **`warm-increase`** — removals / weight increases handled by an
+//!   *affected-region invalidation*: before the apply the driver asks
+//!   [`WarmStart::plan_invalidation`] (on the pre-apply fragments and
+//!   retained states) which vertices' retained values may no longer be
+//!   upper bounds; their copies are reset during the warm round and
+//!   re-derived from the region's frontier. SSSP and CC implement this
+//!   (Ramalingam–Reps affected region / spanning-forest splits), so
+//!   deletion batches **no longer cold-fall-back** for them.
+//! * **`cold`** — the program declares the batch unsupported; the driver
+//!   re-runs a cold retained evaluation on the mutated fragments.
 //!
 //! Every driver returns what it *did* alongside the run result: the
 //! [`Applied`] record of the batch (its summary with weight-change
 //! directions resolved against the graph, per-fragment remaps, and
-//! warm-start seeds) and whether the warm path ran — previously all of
-//! this was computed and discarded internally. A built [`GraphDelta`]
+//! warm-start seeds) and the [`WarmStrategy`] that ran — previously all
+//! of this was computed and discarded internally. A built [`GraphDelta`]
 //! is already deduplicated and is applied verbatim, so callers keeping
 //! a durable history (the `aap-snapshot` delta log) log the delta they
 //! passed in and keep the returned record as the account of how it
@@ -15,14 +31,15 @@
 use crate::apply::{apply_to_fragments_with, Applied};
 use crate::ops::GraphDelta;
 use aap_core::engine::{RunOutput, RunState};
-use aap_core::pie::WarmStart;
+use aap_core::pie::{DeltaChanges, WarmStart, WarmStrategy};
 use aap_core::{Engine, RunStats};
-use aap_graph::mutate::EditBuffers;
+use aap_graph::mutate::{stored_directed, weight_change, DeltaSummary, EditBuffers, WeightChange};
+use aap_graph::{Fragment, LocalId, VertexId};
 use aap_sim::{SimEngine, SimOutput, Timeline};
 
 /// Result of one incremental driver call on the threaded engine: the
 /// assembled answer and stats of [`RunOutput`], plus the delta that was
-/// actually applied and which evaluation path ran.
+/// actually applied and which evaluation strategy ran.
 #[derive(Debug)]
 pub struct IncrementalOutput<Out> {
     /// The assembled answer `ρ(Q, G ⊕ delta)`.
@@ -32,9 +49,9 @@ pub struct IncrementalOutput<Out> {
     /// What the delta application did to the fragments: resolved
     /// summary, per-fragment state remaps, and warm-start seeds.
     pub applied: Applied,
-    /// `true` if the warm path ran ([`WarmStart::delta_exact`] held);
-    /// `false` if the driver fell back to a cold retained run.
-    pub warm: bool,
+    /// Which evaluation strategy the batch ran
+    /// (`warm-decrease | warm-increase | cold`).
+    pub strategy: WarmStrategy,
 }
 
 /// Result of one incremental driver call on the simulator — the
@@ -49,19 +66,116 @@ pub struct IncrementalSimOutput<Out> {
     pub timelines: Vec<Timeline>,
     /// What the delta application did to the fragments.
     pub applied: Applied,
-    /// `true` warm path, `false` cold retained fallback.
-    pub warm: bool,
+    /// Which evaluation strategy the batch ran.
+    pub strategy: WarmStrategy,
+}
+
+/// Everything the strategy decision needs, resolved **pre-apply**: the
+/// batch summary with weight directions filled in against the current
+/// fragments, and the weight-update keys that increase a stored weight.
+struct Resolved {
+    summary: DeltaSummary,
+    increased: Vec<(VertexId, VertexId)>,
+}
+
+/// Classify the batch's weight updates against the stored weights —
+/// [`weight_change`], the same classifier `apply_to_fragments` uses,
+/// run before the apply destroys the old values. A logical update
+/// counts as an increase if *any* stored copy would grow (or is
+/// incomparable under `PartialOrd`).
+fn resolve<V, E>(frags: &[&Fragment<V, E>], delta: &GraphDelta<V, E>) -> Resolved
+where
+    E: PartialOrd,
+{
+    let directed = stored_directed(frags);
+    let mut summary = delta.summary();
+    let mut increased = Vec::new();
+    for (u, v, w_new) in delta.weight_updates() {
+        let mut inc = false;
+        let stored: &[(VertexId, VertexId)] =
+            if directed { &[(*u, *v)] } else { &[(*u, *v), (*v, *u)] };
+        for &(a, b) in stored {
+            for f in frags {
+                let Some(la) = f.local(a) else { continue };
+                for (t, w_old) in f.edges(la) {
+                    if f.global(t) != b {
+                        continue;
+                    }
+                    match weight_change(w_new, w_old) {
+                        WeightChange::Decreased => summary.weights_decreased += 1,
+                        WeightChange::Unchanged => {}
+                        WeightChange::Increased => {
+                            summary.weights_increased += 1;
+                            inc = true;
+                        }
+                    }
+                }
+            }
+        }
+        if inc {
+            increased.push((*u, *v));
+        }
+    }
+    Resolved { summary, increased }
+}
+
+/// Pick the strategy and, for `warm-increase`, the per-fragment
+/// invalidated sets (**old** local ids) — everything that must happen
+/// while the **pre-apply** fragments and states are still observable.
+/// This is the first half of what [`run_incremental`] does per batch;
+/// it is public so harnesses (the `dynamic` bench) can stage the
+/// sequence manually without re-implementing the weight-direction
+/// resolution. Pair it with [`remap_invalid`] after the apply.
+pub fn plan_incremental<V, E, P>(
+    frags: &[&Fragment<V, E>],
+    prog: &P,
+    q: &P::Query,
+    delta: &GraphDelta<V, E>,
+    state: &RunState<P::State>,
+) -> (WarmStrategy, Vec<Vec<LocalId>>)
+where
+    E: PartialOrd,
+    P: WarmStart<V, E>,
+{
+    let resolved = resolve(frags, delta);
+    let strategy = prog.delta_strategy(&resolved.summary);
+    let invalid_old = if strategy == WarmStrategy::WarmIncrease {
+        let changes = DeltaChanges {
+            removed_edges: delta.edges_removed(),
+            removed_vertices: delta.vertices_removed(),
+            increased_edges: &resolved.increased,
+        };
+        prog.plan_invalidation(q, frags, state.states(), &changes)
+    } else {
+        frags.iter().map(|_| Vec::new()).collect()
+    };
+    (strategy, invalid_old)
+}
+
+/// Migrate the planned invalidated sets into the post-apply local id
+/// space (dropped copies vanish; fresh copies start uninitialised and
+/// need no explicit invalidation) — the second half of
+/// [`plan_incremental`], once the apply's [`Applied::remaps`] exist.
+pub fn remap_invalid(invalid_old: Vec<Vec<LocalId>>, applied: &Applied) -> Vec<Vec<LocalId>> {
+    invalid_old
+        .into_iter()
+        .zip(&applied.remaps)
+        .map(|(set, remap)| {
+            let mut v: Vec<LocalId> = set.into_iter().filter_map(|l| remap.map(l)).collect();
+            v.sort_unstable();
+            v
+        })
+        .collect()
 }
 
 /// Apply `delta` to the engine's fragments in place, then evaluate `q`
 /// incrementally from the retained `state`.
 ///
-/// * Monotone-decreasing deltas (per [`WarmStart::delta_exact`]) run
-///   warm: round 0 is `warm_eval` seeded with the delta-affected
-///   vertices, and only the changed region recomputes.
-/// * Other deltas (removals, weight increases) re-run a cold retained
-///   evaluation on the mutated fragments — still one call for the
-///   caller, with `state` refreshed either way.
+/// The strategy is chosen per batch (see the module docs): monotone
+/// batches and — for programs with an invalidation plan, like SSSP and
+/// CC — removal/weight-increase batches run warm; only batches the
+/// program rejects re-run a cold retained evaluation. One call either
+/// way, with `state` refreshed for the next delta.
 ///
 /// The query must be the one the retained state was computed for.
 ///
@@ -99,21 +213,25 @@ where
     E: Clone + PartialOrd + Send + Sync,
     P: WarmStart<V, E>,
 {
+    let (strategy, invalid_old) = {
+        let view: Vec<&Fragment<V, E>> = engine.fragments().iter().map(|a| &**a).collect();
+        plan_incremental(&view, prog, q, delta, state)
+    };
     let applied = {
         let mut frags = engine
             .fragments_mut()
             .expect("engine fragments are shared; drop previous run outputs first");
         apply_to_fragments_with(&mut frags, delta, bufs)
     };
-    let warm = prog.delta_exact(&applied.summary);
-    let RunOutput { out, stats } = if warm {
-        engine.run_incremental(prog, q, &applied.remaps, &applied.seeds, state)
+    let RunOutput { out, stats } = if strategy.is_warm() {
+        let invalid = remap_invalid(invalid_old, &applied);
+        engine.run_incremental(prog, q, &applied.remaps, &applied.seeds, &invalid, state)
     } else {
         let (out, fresh) = engine.run_retained(prog, q);
         *state = fresh;
         out
     };
-    IncrementalOutput { out, stats, applied, warm }
+    IncrementalOutput { out, stats, applied, strategy }
 }
 
 /// Replay a sequence of deltas through [`run_incremental`] — the
@@ -144,7 +262,9 @@ where
 
 /// The simulated mirror of [`run_incremental`]: apply the delta to a
 /// [`SimEngine`]'s fragments and evaluate incrementally in virtual time,
-/// so cost models and timelines cover delta rounds.
+/// so cost models and timelines cover delta rounds — including the
+/// invalidation round of a `warm-increase` batch, whose reset/frontier
+/// scan the programs charge as work.
 pub fn run_incremental_sim<V, E, P>(
     sim: &mut SimEngine<V, E>,
     prog: &P,
@@ -176,21 +296,25 @@ where
     E: Clone + PartialOrd,
     P: WarmStart<V, E>,
 {
+    let (strategy, invalid_old) = {
+        let view: Vec<&Fragment<V, E>> = sim.fragments().iter().map(|a| &**a).collect();
+        plan_incremental(&view, prog, q, delta, state)
+    };
     let applied = {
         let mut frags = sim
             .fragments_mut()
             .expect("simulator fragments are shared; drop previous run outputs first");
         apply_to_fragments_with(&mut frags, delta, bufs)
     };
-    let warm = prog.delta_exact(&applied.summary);
-    let SimOutput { out, stats, timelines } = if warm {
-        sim.run_incremental(prog, q, &applied.remaps, &applied.seeds, state)
+    let SimOutput { out, stats, timelines } = if strategy.is_warm() {
+        let invalid = remap_invalid(invalid_old, &applied);
+        sim.run_incremental(prog, q, &applied.remaps, &applied.seeds, &invalid, state)
     } else {
         let (out, fresh) = sim.run_retained(prog, q);
         *state = fresh;
         out
     };
-    IncrementalSimOutput { out, stats, timelines, applied, warm }
+    IncrementalSimOutput { out, stats, timelines, applied, strategy }
 }
 
 /// Replay a sequence of deltas on the simulator — the virtual-time

@@ -115,9 +115,46 @@ impl StateRemap {
     }
 }
 
-/// Shape of one delta batch, for deciding whether warm incremental
-/// evaluation stays exact (monotone-contracting programs tolerate only
-/// additions / weight decreases; see `WarmStart::delta_exact`).
+/// Direction of one weight overwrite against the stored value — the
+/// single classification every layer (in-place apply, global apply,
+/// pre-apply strategy resolution) must agree on, so the strategy chosen
+/// for a batch and the summary recorded for it can never drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightChange {
+    /// The new weight is strictly smaller (monotone-safe).
+    Decreased,
+    /// The new weight equals the stored one (a no-op).
+    Unchanged,
+    /// The new weight is strictly larger **or incomparable** under
+    /// `PartialOrd` — either way not monotone-safe.
+    Increased,
+}
+
+/// Classify a weight overwrite of one stored copy.
+pub fn weight_change<E: PartialOrd>(new: &E, old: &E) -> WeightChange {
+    match new.partial_cmp(old) {
+        Some(std::cmp::Ordering::Less) => WeightChange::Decreased,
+        Some(std::cmp::Ordering::Equal) => WeightChange::Unchanged,
+        _ => WeightChange::Increased,
+    }
+}
+
+/// Whether a fragment set stores a directed graph, probed from the
+/// first non-empty fragment (an all-empty set defaults to directed —
+/// the conservative answer for every caller).
+pub fn stored_directed<V, E>(frags: &[&Fragment<V, E>]) -> bool {
+    frags
+        .iter()
+        .find(|f| f.local_count() > 0)
+        .map(|f| f.local_graph().is_directed())
+        .unwrap_or(true)
+}
+
+/// Shape of one delta batch, for deciding how warm incremental
+/// evaluation stays exact (monotone-contracting programs handle
+/// additions / weight decreases by monotonicity alone; removals and
+/// weight increases need an affected-region invalidation plan; see
+/// `WarmStart::delta_strategy`).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DeltaSummary {
     /// Vertices added (logical count).
@@ -314,10 +351,10 @@ where
                     continue;
                 }
                 if let Some(w) = setw.get(&(gu, gt)) {
-                    match (**w).partial_cmp(d) {
-                        Some(std::cmp::Ordering::Less) => weights_decreased += 1,
-                        Some(std::cmp::Ordering::Equal) => {}
-                        _ => weights_increased += 1,
+                    match weight_change(*w, d) {
+                        WeightChange::Decreased => weights_decreased += 1,
+                        WeightChange::Unchanged => {}
+                        WeightChange::Increased => weights_increased += 1,
                     }
                     edges.push((gu, gt, (*w).clone()));
                 } else {

@@ -181,14 +181,17 @@ impl<V, E> SimEngine<V, E> {
     /// Warm-start incremental evaluation in virtual time — the simulated
     /// mirror of `aap_core::Engine::run_incremental`, so timelines and
     /// cost models cover delta rounds too. Round 0 is `warm_eval` from
-    /// the delta-affected `seeds` (charged work drives the cost model);
-    /// later rounds are ordinary `IncEval`.
+    /// the delta-affected `seeds`, after discarding the `invalid`
+    /// vertices of a non-monotone batch (programs charge the
+    /// invalidation scan as work, so the cost model prices the
+    /// invalidation round); later rounds are ordinary `IncEval`.
     pub fn run_incremental<P>(
         &self,
         prog: &P,
         q: &P::Query,
         remaps: &[StateRemap],
         seeds: &[Vec<LocalId>],
+        invalid: &[Vec<LocalId>],
         state: &mut RunState<P::State>,
     ) -> SimOutput<P::Out>
     where
@@ -198,11 +201,12 @@ impl<V, E> SimEngine<V, E> {
         assert_eq!(state.len(), m, "RunState must match the fragment count");
         assert_eq!(remaps.len(), m);
         assert_eq!(seeds.len(), m);
+        assert_eq!(invalid.len(), m);
         let priors: RefCell<Vec<Option<P::State>>> =
             RefCell::new(state.take_states().into_iter().map(Some).collect());
         let eval0 = |w: usize, frag: &Fragment<V, E>, ctx: &mut UpdateCtx<P::Val>| {
             let prior = priors.borrow_mut()[w].take().expect("warm state taken once per worker");
-            prog.warm_eval(q, frag, prior, &remaps[w], &seeds[w], ctx)
+            prog.warm_eval(q, frag, prior, &remaps[w], &seeds[w], &invalid[w], ctx)
         };
         let (stats, states, timelines) = self.run_with(prog, q, &eval0);
         let out = prog.assemble_ref(q, &self.frags, &states);

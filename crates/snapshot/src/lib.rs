@@ -186,8 +186,9 @@ where
 /// immediately usable: stream the delta log through
 /// `aap_delta::replay`. If a remap is *not* identity (state attached to
 /// a re-derived partition), run one settle round first —
-/// `engine.run_incremental(prog, q, &remaps, &empty_seeds, &mut state)`
-/// — so `warm_eval` migrates the values into the new local-id space.
+/// `engine.run_incremental(prog, q, &remaps, &empty_seeds,
+/// &empty_invalid, &mut state)` — so `warm_eval` migrates the values
+/// into the new local-id space.
 #[allow(clippy::type_complexity)]
 pub fn restore_engine<V, E, St, P>(
     path: P,

@@ -1,0 +1,326 @@
+//! # aap-testkit
+//!
+//! Shared scaffolding for the equivalence suites (`tests/delta_equiv.rs`,
+//! `tests/snapshot_equiv.rs`, `tests/routing_equiv.rs`,
+//! `tests/deletion_equiv.rs`): random-graph and random-delta strategies,
+//! the execution-mode matrix, partition-kind helpers, and one
+//! [`assert_equiv`] driver that proves
+//! `run_incremental(delta stream, retained state)` ==
+//! `cold run on the final graph` for any warm-startable program, across
+//! `algo × partition × mode`.
+//!
+//! Dev-dependency only — nothing here ships in the library crates.
+
+use aap_core::pie::{WarmStart, WarmStrategy};
+use aap_core::{Engine, EngineOpts, HsyncConfig, Mode, RunState};
+use aap_delta::generate::Xorshift;
+use aap_delta::{apply_to_graph, run_incremental_with, DeltaBuilder, GraphDelta};
+use aap_graph::mutate::EditBuffers;
+use aap_graph::partition::{
+    build_fragments_n, build_fragments_vertex_cut_n, hash_partition, vertex_cut_partition,
+};
+use aap_graph::{generate, Fragment, Graph};
+use aap_sim::{SimEngine, SimOpts};
+use proptest::prelude::*;
+
+/// Proptest case count: the per-suite default, overridable through the
+/// `PROPTEST_CASES` environment variable — how CI's scheduled
+/// `proptest-deep` job runs the same suites at 512 cases without
+/// patching them.
+pub fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+// ---------------------------------------------------------------------
+// Random graphs
+// ---------------------------------------------------------------------
+
+/// The shared random-graph strategy: uniform and small-world topologies
+/// across the size band every equivalence suite uses.
+pub fn arb_graph() -> impl Strategy<Value = Graph<(), u32>> {
+    prop_oneof![
+        (10usize..100, 2usize..8, 0u64..50).prop_map(|(n, ef, s)| generate::uniform(
+            n,
+            n * ef,
+            true,
+            s
+        )),
+        (10usize..100, 1usize..3, 0u64..50).prop_map(|(n, k, s)| generate::small_world(
+            n,
+            k.min(n - 1).max(1),
+            0.3,
+            s
+        )),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Partitions
+// ---------------------------------------------------------------------
+
+/// Which partition family a check runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionKind {
+    /// Hash edge-cut (owned vertices + edge-less mirrors).
+    EdgeCut,
+    /// Hash vertex-cut (replicated copies carrying edges).
+    VertexCut,
+}
+
+/// Both partition kinds, for matrix loops.
+pub const PARTITIONS: [PartitionKind; 2] = [PartitionKind::EdgeCut, PartitionKind::VertexCut];
+
+/// Build `m` fragments of `g` under the given partition kind (the same
+/// hash rules the delta subsystem assumes for fresh vertices).
+pub fn build_parts(g: &Graph<(), u32>, kind: PartitionKind, m: usize) -> Vec<Fragment<(), u32>> {
+    match kind {
+        PartitionKind::EdgeCut => build_fragments_n(g, &hash_partition(g, m), m),
+        PartitionKind::VertexCut => build_fragments_vertex_cut_n(g, &vertex_cut_partition(g, m), m),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution modes
+// ---------------------------------------------------------------------
+
+/// The full five-mode matrix (BSP, AP, SSP, AAP, Hsync).
+pub fn all_modes() -> Vec<Mode> {
+    vec![Mode::Bsp, Mode::Ap, Mode::Ssp { c: 2 }, Mode::aap(), Mode::Hsync(HsyncConfig::default())]
+}
+
+/// Engine options every suite runs with: bounded rounds so a policy bug
+/// fails the test instead of hanging it.
+pub fn test_opts(mode: Mode) -> EngineOpts {
+    EngineOpts { threads: 4, mode, max_rounds: Some(200_000) }
+}
+
+// ---------------------------------------------------------------------
+// Random deltas
+// ---------------------------------------------------------------------
+
+/// A random single batch: edge inserts and weight decreases (monotone),
+/// plus — when `allow_removals` — edge/vertex removals that exercise the
+/// non-monotone strategies.
+pub fn arb_delta(g: &Graph<(), u32>, seed: u64, allow_removals: bool) -> GraphDelta<(), u32> {
+    let n = g.num_vertices() as u32;
+    let mut b: DeltaBuilder<(), u32> = DeltaBuilder::new();
+    let mut rng = Xorshift::new(seed);
+    let inserts = 1 + (rng.below(6)) as usize;
+    for _ in 0..inserts {
+        let u = rng.below(n as u64) as u32;
+        let v = rng.below(n as u64) as u32;
+        if u != v {
+            b.add_edge(u, v, 1 + rng.below(9) as u32);
+        }
+    }
+    if rng.below(2) == 0 {
+        // Weight decrease on an existing edge (min over current weights
+        // keeps it monotone-decreasing).
+        let u = rng.below(n as u64) as u32;
+        if let Some((&t, &w)) = g.neighbors(u).first().zip(g.edge_data(u).first()) {
+            b.set_weight(u, t, w.saturating_sub(1).max(1).min(w));
+        }
+    }
+    if allow_removals {
+        for _ in 0..(1 + rng.below(3)) {
+            let u = rng.below(n as u64) as u32;
+            if let Some(&t) = g.neighbors(u).first() {
+                b.remove_edge(u, t);
+            }
+        }
+        if rng.below(3) == 0 {
+            b.remove_vertex(rng.below(n as u64) as u32);
+        }
+    }
+    b.build()
+}
+
+/// A long adversarial stream over `g`: every batch interleaves edge
+/// inserts, edge removals, weight increases *and* decreases, vertex
+/// additions (ids extend the dense space contiguously across batches)
+/// and vertex removals — the workload the deletion-exact warm path must
+/// survive without a cold recompute.
+pub fn adversarial_stream(
+    g: &Graph<(), u32>,
+    batches: usize,
+    seed: u64,
+) -> Vec<GraphDelta<(), u32>> {
+    let mut rng = Xorshift::new(seed);
+    let mut cur = g.clone();
+    let mut out = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let n = cur.num_vertices() as u32;
+        let mut b: DeltaBuilder<(), u32> = DeltaBuilder::new();
+        // Inserts between existing vertices.
+        for _ in 0..(1 + rng.below(4)) {
+            let (u, v) = (rng.below(n as u64) as u32, rng.below(n as u64) as u32);
+            if u != v {
+                b.add_edge(u, v, 1 + rng.below(9) as u32);
+            }
+        }
+        // Removals of existing edges.
+        for _ in 0..rng.below(4) {
+            let u = rng.below(n as u64) as u32;
+            let deg = cur.neighbors(u).len() as u64;
+            if deg > 0 {
+                let t = cur.neighbors(u)[rng.below(deg) as usize];
+                if u != t {
+                    b.remove_edge(u, t);
+                }
+            }
+        }
+        // Weight updates in both directions.
+        for _ in 0..rng.below(3) {
+            let u = rng.below(n as u64) as u32;
+            if let Some((&t, &w)) = cur.neighbors(u).first().zip(cur.edge_data(u).first()) {
+                let w_new = if rng.below(2) == 0 {
+                    w.saturating_add(1 + rng.below(20) as u32) // increase
+                } else {
+                    w.saturating_sub(1).max(1) // decrease
+                };
+                b.set_weight(u, t, w_new);
+            }
+        }
+        // Vertex add (wired in, so it matters) and vertex remove.
+        if rng.below(3) == 0 {
+            b.add_vertex(n, ());
+            b.add_edge(rng.below(n as u64) as u32, n, 1 + rng.below(9) as u32);
+        }
+        if rng.below(4) == 0 {
+            b.remove_vertex(rng.below(n as u64) as u32);
+        }
+        let delta = b.build();
+        cur = apply_to_graph(&cur, &delta);
+        out.push(delta);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// The equivalence driver
+// ---------------------------------------------------------------------
+
+/// What one [`assert_equiv`] run observed, for suite-level assertions
+/// (strategy coverage, message-count comparisons).
+#[derive(Debug, Default)]
+pub struct EquivReport {
+    /// The strategy each batch resolved to, in stream order.
+    pub strategies: Vec<WarmStrategy>,
+    /// Total updates shipped by the incremental runs (all batches).
+    pub incremental_updates: u64,
+    /// Total updates shipped by one cold run on the final graph.
+    pub cold_updates: u64,
+    /// Effective updates across the incremental runs.
+    pub incremental_effective: u64,
+    /// Effective updates of the final cold run.
+    pub cold_effective: u64,
+}
+
+impl EquivReport {
+    /// True if some batch ran the given strategy.
+    pub fn saw(&self, s: WarmStrategy) -> bool {
+        self.strategies.contains(&s)
+    }
+}
+
+/// The shared acceptance driver: stream `deltas` through
+/// `run_incremental` on the threaded engine and assert, **after every
+/// batch**, that the incremental answer equals a cold run on the
+/// current graph — then replay an empty delta and assert the retained
+/// state sits at the fixpoint with zero messages.
+///
+/// Panics (with `label` context) on any divergence.
+#[allow(clippy::too_many_arguments)]
+pub fn assert_equiv<P>(
+    prog: &P,
+    q: &P::Query,
+    g0: &Graph<(), u32>,
+    deltas: &[GraphDelta<(), u32>],
+    kind: PartitionKind,
+    m: usize,
+    mode: Mode,
+    label: &str,
+) -> EquivReport
+where
+    P: WarmStart<(), u32>,
+    P::Out: PartialEq + std::fmt::Debug,
+{
+    let mut engine = Engine::new(build_parts(g0, kind, m), test_opts(mode.clone()));
+    let (_, mut state): (_, RunState<P::State>) = engine.run_retained(prog, q);
+
+    let mut report = EquivReport::default();
+    let mut bufs = EditBuffers::default();
+    let mut g_cur = g0.clone();
+    let mut last_out = None;
+    for (i, delta) in deltas.iter().enumerate() {
+        let r = run_incremental_with(&mut engine, prog, q, delta, &mut state, &mut bufs);
+        report.strategies.push(r.strategy);
+        report.incremental_updates += r.stats.total_updates();
+        report.incremental_effective +=
+            r.stats.workers.iter().map(|w| w.effective_updates).sum::<u64>();
+        g_cur = apply_to_graph(&g_cur, delta);
+        let cold = Engine::new(build_parts(&g_cur, kind, m), test_opts(mode.clone())).run(prog, q);
+        assert_eq!(
+            r.out, cold.out,
+            "{label}: batch {i} ({}) diverged from cold on the current graph \
+             [{kind:?}, {m} frags, mode {mode:?}]",
+            r.strategy
+        );
+        if i + 1 == deltas.len() {
+            report.cold_updates = cold.stats.total_updates();
+            report.cold_effective =
+                cold.stats.workers.iter().map(|w| w.effective_updates).sum::<u64>();
+        }
+        last_out = Some(r.out);
+    }
+
+    // The retained state must be reusable: an empty follow-up delta
+    // reproduces the fixpoint without shipping a single message.
+    if let Some(expected) = last_out {
+        let empty = DeltaBuilder::new().build();
+        let again = run_incremental_with(&mut engine, prog, q, &empty, &mut state, &mut bufs);
+        assert_eq!(again.out, expected, "{label}: retained state must replay the fixpoint");
+        assert_eq!(again.stats.total_updates(), 0, "{label}: empty delta must ship no messages");
+    }
+    report
+}
+
+/// The simulator mirror of [`assert_equiv`]: deterministic virtual time,
+/// same after-every-batch cold comparison.
+pub fn assert_equiv_sim<P>(
+    prog: &P,
+    q: &P::Query,
+    g0: &Graph<(), u32>,
+    deltas: &[GraphDelta<(), u32>],
+    kind: PartitionKind,
+    m: usize,
+    label: &str,
+) -> EquivReport
+where
+    P: WarmStart<(), u32>,
+    P::Out: PartialEq + std::fmt::Debug,
+{
+    let mut sim = SimEngine::new(build_parts(g0, kind, m), SimOpts::default());
+    let (_, mut state): (_, RunState<P::State>) = sim.run_retained(prog, q);
+
+    let mut report = EquivReport::default();
+    let mut bufs = EditBuffers::default();
+    let mut g_cur = g0.clone();
+    for (i, delta) in deltas.iter().enumerate() {
+        let r =
+            aap_delta::run_incremental_sim_with(&mut sim, prog, q, delta, &mut state, &mut bufs);
+        report.strategies.push(r.strategy);
+        report.incremental_updates += r.stats.total_updates();
+        g_cur = apply_to_graph(&g_cur, delta);
+        let cold = SimEngine::new(build_parts(&g_cur, kind, m), SimOpts::default()).run(prog, q);
+        assert_eq!(
+            r.out, cold.out,
+            "{label}: batch {i} ({}) diverged from cold on the current graph [sim, {kind:?}]",
+            r.strategy
+        );
+        if i + 1 == deltas.len() {
+            report.cold_updates = cold.stats.total_updates();
+        }
+    }
+    report
+}

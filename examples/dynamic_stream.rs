@@ -2,21 +2,95 @@
 //! state, then stream mutation batches through warm-start incremental
 //! evaluation — comparing each delta round against a cold recompute.
 //!
+//! The stream ends with the payoff of the deletion-exact path: a
+//! removal batch **stays warm** (`warm-increase` — affected-region
+//! invalidation instead of a cold recompute), and the old cold fallback
+//! is demonstrated through a program that declares no invalidation plan.
+//!
 //! ```sh
 //! cargo run --release --example dynamic_stream
 //! ```
 
-use grape_aap::delta::generate::{insert_batch, Xorshift};
-use grape_aap::delta::{run_incremental_with, DeltaBuilder};
-use grape_aap::graph::mutate::EditBuffers;
+use grape_aap::delta::generate::{insert_batch, remove_batch, Xorshift};
+use grape_aap::delta::{run_incremental_with, DeltaBuilder, WarmStrategy};
+use grape_aap::graph::mutate::{EditBuffers, StateRemap};
 use grape_aap::graph::{generate, partition};
 use grape_aap::prelude::*;
+use grape_aap::runtime::pie::{UpdateCtx, WarmStart};
+use grape_aap::runtime::Messages;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// SSSP with the warm-increase path disabled: delegates everything to
+/// [`Sssp`] but keeps the *default* `delta_strategy` (no invalidation
+/// plan), so non-monotone batches take the documented cold fallback.
+/// This is the "unsupported program" contrast case — the driver API is
+/// one call either way.
+struct ColdFallbackSssp;
+
+fn inner() -> Sssp {
+    Sssp
+}
+
+impl PieProgram<(), u32> for ColdFallbackSssp {
+    type Query = VertexId;
+    type Val = u64;
+    type State = grape_aap::algos::SsspState;
+    type Out = Vec<u64>;
+
+    fn combine(&self, a: &mut u64, b: u64) -> bool {
+        <Sssp as PieProgram<(), u32>>::combine(&inner(), a, b)
+    }
+    fn peval(&self, q: &VertexId, f: &Fragment<(), u32>, ctx: &mut UpdateCtx<u64>) -> Self::State {
+        <Sssp as PieProgram<(), u32>>::peval(&inner(), q, f, ctx)
+    }
+    fn inceval(
+        &self,
+        q: &VertexId,
+        f: &Fragment<(), u32>,
+        st: &mut Self::State,
+        msgs: &mut Messages<u64>,
+        ctx: &mut UpdateCtx<u64>,
+    ) {
+        <Sssp as PieProgram<(), u32>>::inceval(&inner(), q, f, st, msgs, ctx)
+    }
+    fn assemble(
+        &self,
+        q: &VertexId,
+        frags: &[Arc<Fragment<(), u32>>],
+        states: Vec<Self::State>,
+    ) -> Vec<u64> {
+        <Sssp as PieProgram<(), u32>>::assemble(&inner(), q, frags, states)
+    }
+}
+
+impl WarmStart<(), u32> for ColdFallbackSssp {
+    fn warm_eval(
+        &self,
+        q: &VertexId,
+        f: &Fragment<(), u32>,
+        prior: Self::State,
+        remap: &StateRemap,
+        seeds: &[LocalId],
+        invalid: &[LocalId],
+        ctx: &mut UpdateCtx<u64>,
+    ) -> Self::State {
+        <Sssp as WarmStart<(), u32>>::warm_eval(&inner(), q, f, prior, remap, seeds, invalid, ctx)
+    }
+    fn assemble_ref(
+        &self,
+        q: &VertexId,
+        frags: &[Arc<Fragment<(), u32>>],
+        states: &[Self::State],
+    ) -> Vec<u64> {
+        <Sssp as WarmStart<(), u32>>::assemble_ref(&inner(), q, frags, states)
+    }
+    // No `delta_strategy` / `plan_invalidation` override: removals → Cold.
+}
 
 fn main() {
     // A power-law graph: 2^13 vertices, ~64k stored edges.
     let g = generate::rmat(13, 8, true, 7);
-    let n = g.num_vertices() as u32;
     println!("graph: {} vertices, {} stored edges", g.num_vertices(), g.num_edges());
 
     let frags = partition::build_fragments(&g, &partition::hash_partition(&g, 8));
@@ -43,33 +117,59 @@ fn main() {
         let t = Instant::now();
         let out = run_incremental_with(&mut engine, &Sssp, &0, &delta, &mut state, &mut bufs);
         let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(out.strategy, WarmStrategy::WarmDecrease);
         let reachable = out.out.iter().filter(|&&d| d != u64::MAX).count();
         println!(
-            "batch {batch}: {ops:>3} inserts -> warm {warm_ms:>7.2} ms ({:>6} updates, \
+            "batch {batch}: {ops:>3} inserts -> {} {warm_ms:>7.2} ms ({:>6} updates, \
              {reachable} reachable), cold would pay ~{cold_ms:.2} ms",
+            out.strategy,
             out.stats.total_updates(),
         );
     }
 
-    // A deletion batch breaks monotone-decreasing SSSP: the driver falls
-    // back to a full recompute through the same call, refreshing `state`.
-    let mut b: DeltaBuilder<(), u32> = DeltaBuilder::new();
-    let victim = rng.below(n as u64) as u32;
-    if let Some(&t) = g.neighbors(victim).first() {
-        b.remove_edge(victim, t);
-    } else {
-        b.remove_vertex(victim);
-    }
-    let delta = b.build();
+    // A deletion batch used to force a cold recompute; now the driver
+    // invalidates the Ramalingam–Reps affected region and re-relaxes it
+    // warm — same one-call API, answer still exact.
+    let delta = remove_batch(&g, batch_edges, rng.next_u64());
     let t = Instant::now();
     let out = run_incremental_with(&mut engine, &Sssp, &0, &delta, &mut state, &mut bufs);
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(out.strategy, WarmStrategy::WarmIncrease, "deletions stay warm for SSSP");
     println!(
-        "deletion batch: fell back to cold recompute in {:.2} ms | {}",
-        t.elapsed().as_secs_f64() * 1e3,
-        out.stats.summary()
+        "deletion batch: {} removals stay warm ({}) in {warm_ms:.2} ms, {} updates \
+         — cold would pay ~{cold_ms:.2} ms",
+        delta.len(),
+        out.strategy,
+        out.stats.total_updates(),
+    );
+    // Exactness spot-check: the warm answer equals a cold run on the
+    // mutated fragments.
+    let check = engine.run(&Sssp, &0);
+    assert_eq!(out.out, check.out, "warm-increase result must match cold recompute");
+    println!("warm-increase answer verified against a cold recompute");
+
+    // The cold fallback still exists — for programs without an
+    // invalidation plan. Same driver call, different strategy report.
+    let frags = partition::build_fragments(&g, &partition::hash_partition(&g, 8));
+    let mut cold_engine =
+        Engine::new(frags, EngineOpts { mode: Mode::aap(), ..Default::default() });
+    let (_, mut cold_state) = cold_engine.run_retained(&ColdFallbackSssp, &0);
+    let delta = remove_batch(&g, batch_edges, 0xC01D);
+    let out = run_incremental_with(
+        &mut cold_engine,
+        &ColdFallbackSssp,
+        &0,
+        &delta,
+        &mut cold_state,
+        &mut bufs,
+    );
+    assert_eq!(out.strategy, WarmStrategy::Cold, "no invalidation plan -> cold fallback");
+    println!(
+        "contrast: a program without an invalidation plan resolves the same batch via '{}'",
+        out.strategy
     );
 
-    // The retained state keeps serving after the fallback, too.
+    // The retained state keeps serving after the deletion, too.
     let empty = DeltaBuilder::new().build();
     let out = run_incremental_with(&mut engine, &Sssp, &0, &empty, &mut state, &mut bufs);
     assert_eq!(out.stats.total_updates(), 0);

@@ -54,11 +54,11 @@ fn main() {
         println!(
             "batch {batch}: {} ops applied ({}), {} updates",
             delta.len(),
-            if r.warm { "warm" } else { "cold fallback" },
+            r.strategy,
             r.stats.total_updates(),
         );
     }
-    // A deletion batch exercises the fallback path across the log too.
+    // A deletion batch exercises the warm-increase path across the log too.
     let mut b: DeltaBuilder<(), u32> = DeltaBuilder::new();
     let victim = rng.below(g.num_vertices() as u64) as u32;
     match g.neighbors(victim).first() {
@@ -68,7 +68,7 @@ fn main() {
     let delta = b.build();
     let r = run_incremental_with(&mut engine, &Sssp, &0, &delta, &mut state, &mut bufs);
     log.write_delta(&delta).unwrap();
-    println!("deletion batch: applied via {}", if r.warm { "warm path" } else { "cold fallback" });
+    println!("deletion batch: applied via {} (no cold recompute)", r.strategy);
     let final_out = r.out;
 
     // The process "dies" here: drop everything in memory.
@@ -110,7 +110,7 @@ fn main() {
     println!(
         "post-restart batch: {} updates ({}) — the stream continues",
         r.stats.total_updates(),
-        if r.warm { "warm" } else { "cold" },
+        r.strategy,
     );
 
     std::fs::remove_file(&snap_path).ok();

@@ -1,0 +1,135 @@
+//! Deletion-exactness acceptance suite: long adversarial delta streams
+//! (edge inserts, edge removals, weight increases *and* decreases,
+//! vertex adds and removals, interleaved) must satisfy
+//! `run_incremental == cold-on-current-graph` **after every batch**,
+//! for SSSP and CC, on edge-cut and vertex-cut partitions, under all
+//! five execution modes — and no batch may reach the cold fallback:
+//! removals and weight increases run the `warm-increase`
+//! affected-region path (Ramalingam–Reps for SSSP, spanning-forest
+//! splits for CC).
+//!
+//! The deterministic tail checks the payoff: a deletion-only 0.1% delta
+//! performs ≥5x fewer effective updates than a cold recompute.
+
+use aap_testkit::{
+    adversarial_stream, all_modes, arb_graph, assert_equiv, assert_equiv_sim, PartitionKind,
+    PARTITIONS,
+};
+use grape_aap::delta::generate::remove_batch;
+use grape_aap::delta::WarmStrategy;
+use grape_aap::graph::generate;
+use grape_aap::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: aap_testkit::cases(12), ..ProptestConfig::default() })]
+
+    /// The core matrix: adversarial streams, both algorithms, both
+    /// partition kinds, mode drawn per case (the deterministic test
+    /// below covers the full five-mode matrix on a fixed stream).
+    #[test]
+    fn adversarial_streams_are_exact_and_never_cold(
+        g in arb_graph(),
+        m in 2usize..5,
+        seed in 0u64..1000,
+        mode_pick in 0usize..5,
+        src_pick in 0u32..1000,
+    ) {
+        let deltas = adversarial_stream(&g, 5, seed);
+        let src = src_pick % g.num_vertices() as u32;
+        let mode = all_modes().swap_remove(mode_pick);
+        for kind in PARTITIONS {
+            let r = assert_equiv(&Sssp, &src, &g, &deltas, kind, m, mode.clone(),
+                                 "sssp_adversarial");
+            prop_assert!(!r.saw(WarmStrategy::Cold),
+                "SSSP cold-fell-back on {kind:?}: {:?}", r.strategies);
+            let r = assert_equiv(&ConnectedComponents, &(), &g, &deltas, kind, m, mode.clone(),
+                                 "cc_adversarial");
+            prop_assert!(!r.saw(WarmStrategy::Cold),
+                "CC cold-fell-back on {kind:?}: {:?}", r.strategies);
+        }
+    }
+
+    /// The simulator agrees too (deterministic virtual time).
+    #[test]
+    fn adversarial_streams_are_exact_in_sim(
+        g in arb_graph(),
+        m in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let deltas = adversarial_stream(&g, 4, seed);
+        assert_equiv_sim(&Sssp, &0, &g, &deltas, PartitionKind::VertexCut, m, "sssp_sim");
+        assert_equiv_sim(&ConnectedComponents, &(), &g, &deltas, PartitionKind::EdgeCut, m,
+                         "cc_sim");
+    }
+}
+
+/// Full five-mode × two-partition matrix on one fixed adversarial
+/// stream — the guarantee the proptest samples, pinned exhaustively.
+#[test]
+fn fixed_stream_full_mode_matrix() {
+    let g = generate::small_world(120, 2, 0.2, 0xF1);
+    let deltas = adversarial_stream(&g, 4, 0xF2);
+    for mode in all_modes() {
+        for kind in PARTITIONS {
+            let r = assert_equiv(&Sssp, &3, &g, &deltas, kind, 3, mode.clone(), "matrix_sssp");
+            assert!(!r.saw(WarmStrategy::Cold));
+            let r = assert_equiv(
+                &ConnectedComponents,
+                &(),
+                &g,
+                &deltas,
+                kind,
+                3,
+                mode.clone(),
+                "matrix_cc",
+            );
+            assert!(!r.saw(WarmStrategy::Cold));
+        }
+    }
+}
+
+/// Deletion-only batches must be genuinely incremental: ≥5x fewer
+/// effective updates than the cold recompute they replace, while the
+/// whole stream runs `warm-increase`.
+#[test]
+fn deletion_only_does_5x_less_work_than_cold() {
+    let g = generate::rmat(11, 8, true, 3);
+    let count = (g.num_edges() / 1000).max(4);
+    let deltas = [remove_batch(&g, count, 0xDE1)];
+    let r = assert_equiv(
+        &Sssp,
+        &0,
+        &g,
+        &deltas,
+        PartitionKind::EdgeCut,
+        6,
+        Mode::aap(),
+        "sssp_delete_5x",
+    );
+    assert_eq!(r.strategies, vec![WarmStrategy::WarmIncrease]);
+    assert!(
+        r.incremental_effective * 5 < r.cold_effective.max(1),
+        "deletion-only warm run ({} effective updates) should do ≥5x less than cold ({})",
+        r.incremental_effective,
+        r.cold_effective
+    );
+
+    let r = assert_equiv(
+        &ConnectedComponents,
+        &(),
+        &g,
+        &deltas,
+        PartitionKind::EdgeCut,
+        6,
+        Mode::aap(),
+        "cc_delete_5x",
+    );
+    assert_eq!(r.strategies, vec![WarmStrategy::WarmIncrease]);
+    assert!(
+        r.incremental_effective * 5 < r.cold_effective.max(1),
+        "CC deletion-only warm run ({} effective) should do ≥5x less than cold ({})",
+        r.incremental_effective,
+        r.cold_effective
+    );
+}

@@ -4,143 +4,20 @@
 //! results for SSSP and CC — over edge-cut and vertex-cut partitions, in
 //! the threaded engine and the deterministic simulator.
 //!
-//! Monotone-decreasing deltas exercise the warm-start path proper;
-//! batches with removals exercise the documented cold-recompute fallback
-//! through the same driver. Either way the answers must match.
+//! Monotone-decreasing deltas exercise the `warm-decrease` path proper;
+//! batches with removals exercise the `warm-increase` affected-region
+//! path (SSSP and CC never cold-fall-back any more). Either way the
+//! answers must match. The shared scaffolding (graph/delta strategies,
+//! mode matrix, the after-every-batch driver) lives in `aap-testkit`.
 
-use grape_aap::algos::{ConnectedComponents, Sssp};
-use grape_aap::delta::{self, DeltaBuilder, GraphDelta};
-use grape_aap::graph::partition::{
-    build_fragments_n, build_fragments_vertex_cut_n, hash_partition, vertex_cut_partition,
-};
-use grape_aap::graph::{generate, Graph};
+use aap_testkit::{all_modes, arb_delta, arb_graph, assert_equiv, assert_equiv_sim, PartitionKind};
+use grape_aap::delta::WarmStrategy;
+use grape_aap::graph::Graph;
 use grape_aap::prelude::*;
 use proptest::prelude::*;
 
-fn arb_graph() -> impl Strategy<Value = Graph<(), u32>> {
-    prop_oneof![
-        (12usize..80, 2usize..6, 0u64..50).prop_map(|(n, ef, s)| generate::uniform(
-            n,
-            n * ef,
-            true,
-            s
-        )),
-        (12usize..80, 1usize..3, 0u64..50).prop_map(|(n, k, s)| generate::small_world(
-            n,
-            k.max(1),
-            0.3,
-            s
-        )),
-    ]
-}
-
-/// A random batch: edge inserts and weight decreases (monotone), plus —
-/// when `allow_removals` — edge/vertex removals that force the fallback.
-fn arb_delta(g: &Graph<(), u32>, seed: u64, allow_removals: bool) -> GraphDelta<(), u32> {
-    let n = g.num_vertices() as u32;
-    let mut b: DeltaBuilder<(), u32> = DeltaBuilder::new();
-    let mut rng = grape_aap::delta::generate::Xorshift::new(seed);
-    let mut next = move || rng.next_u64();
-    let inserts = 1 + (next() % 6) as usize;
-    for _ in 0..inserts {
-        let u = (next() % n as u64) as u32;
-        let v = (next() % n as u64) as u32;
-        if u != v {
-            b.add_edge(u, v, 1 + (next() % 9) as u32);
-        }
-    }
-    if next() % 2 == 0 {
-        // Weight decrease on an existing edge (min over current weights
-        // keeps it monotone-decreasing).
-        let u = (next() % n as u64) as u32;
-        if let Some((&t, &w)) = g.neighbors(u).first().zip(g.edge_data(u).first()) {
-            b.set_weight(u, t, w.saturating_sub(1).max(1).min(w));
-        }
-    }
-    if allow_removals {
-        for _ in 0..(1 + next() % 3) {
-            let u = (next() % n as u64) as u32;
-            if let Some(&t) = g.neighbors(u).first() {
-                b.remove_edge(u, t);
-            }
-        }
-        if next() % 3 == 0 {
-            b.remove_vertex((next() % n as u64) as u32);
-        }
-    }
-    b.build()
-}
-
-/// Warm/incremental vs cold-on-mutated-graph, threaded engine, edge-cut.
-fn check_edge_cut(g: &Graph<(), u32>, m: usize, delta: &GraphDelta<(), u32>, src: u32) {
-    let assignment = hash_partition(g, m);
-    let mk_engine = |frags| {
-        Engine::new(frags, EngineOpts { threads: 4, mode: Mode::aap(), max_rounds: Some(100_000) })
-    };
-
-    // Incremental side: cold retained run, then the delta driver.
-    let mut engine = mk_engine(build_fragments_n(g, &assignment, m));
-    let (_, mut sssp_state) = engine.run_retained(&Sssp, &src);
-    let inc_sssp = delta::run_incremental(&mut engine, &Sssp, &src, delta, &mut sssp_state);
-
-    let mut engine_cc = mk_engine(build_fragments_n(g, &assignment, m));
-    let (_, mut cc_state) = engine_cc.run_retained(&ConnectedComponents, &());
-    let inc_cc =
-        delta::run_incremental(&mut engine_cc, &ConnectedComponents, &(), delta, &mut cc_state);
-
-    // Reference side: apply to the global graph, cold run. The in-place
-    // apply assigns fresh vertices by hash — same rule as hash_partition,
-    // so ownership agrees by construction.
-    let g2 = delta::apply_to_graph(g, delta);
-    let assignment2 = hash_partition(&g2, m);
-    let full_sssp = mk_engine(build_fragments_n(&g2, &assignment2, m)).run(&Sssp, &src);
-    let full_cc = mk_engine(build_fragments_n(&g2, &assignment2, m)).run(&ConnectedComponents, &());
-
-    assert_eq!(inc_sssp.out, full_sssp.out, "SSSP warm vs cold mismatch");
-    assert_eq!(inc_cc.out, full_cc.out, "CC warm vs cold mismatch");
-
-    // And the retained state must be reusable: an *empty* follow-up delta
-    // must reproduce the same fixpoint without recomputing anything.
-    let empty = DeltaBuilder::new().build();
-    let again = delta::run_incremental(&mut engine, &Sssp, &src, &empty, &mut sssp_state);
-    assert_eq!(again.out, full_sssp.out, "retained state must replay the fixpoint");
-    assert_eq!(again.stats.total_updates(), 0, "empty delta must ship no messages");
-}
-
-/// Same check over a vertex-cut partition, in the simulator.
-fn check_vertex_cut(g: &Graph<(), u32>, m: usize, delta: &GraphDelta<(), u32>, src: u32) {
-    let mut sim = SimEngine::new(
-        build_fragments_vertex_cut_n(g, &vertex_cut_partition(g, m), m),
-        SimOpts::default(),
-    );
-    let (_, mut st) = sim.run_retained(&Sssp, &src);
-    let inc = delta::run_incremental_sim(&mut sim, &Sssp, &src, delta, &mut st);
-
-    let g2 = delta::apply_to_graph(g, delta);
-    let full = SimEngine::new(
-        build_fragments_vertex_cut_n(&g2, &vertex_cut_partition(&g2, m), m),
-        SimOpts::default(),
-    )
-    .run(&Sssp, &src);
-    assert_eq!(inc.out, full.out, "vertex-cut SSSP warm vs cold mismatch");
-
-    let mut sim_cc = SimEngine::new(
-        build_fragments_vertex_cut_n(g, &vertex_cut_partition(g, m), m),
-        SimOpts::default(),
-    );
-    let (_, mut st_cc) = sim_cc.run_retained(&ConnectedComponents, &());
-    let inc_cc =
-        delta::run_incremental_sim(&mut sim_cc, &ConnectedComponents, &(), delta, &mut st_cc);
-    let full_cc = SimEngine::new(
-        build_fragments_vertex_cut_n(&g2, &vertex_cut_partition(&g2, m), m),
-        SimOpts::default(),
-    )
-    .run(&ConnectedComponents, &());
-    assert_eq!(inc_cc.out, full_cc.out, "vertex-cut CC warm vs cold mismatch");
-}
-
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: aap_testkit::cases(24), ..ProptestConfig::default() })]
 
     #[test]
     fn edge_cut_monotone_deltas_are_exact(
@@ -152,18 +29,33 @@ proptest! {
         let delta = arb_delta(&g, seed, false);
         prop_assert!(delta.summary().is_monotone_decreasing()
             || delta.summary().edges_added == 0);
-        check_edge_cut(&g, m, &delta, src_pick % g.num_vertices() as u32);
+        let src = src_pick % g.num_vertices() as u32;
+        let deltas = [delta];
+        let r = assert_equiv(&Sssp, &src, &g, &deltas, PartitionKind::EdgeCut, m,
+                             Mode::aap(), "sssp_monotone");
+        prop_assert!(!r.saw(WarmStrategy::Cold));
+        assert_equiv(&ConnectedComponents, &(), &g, &deltas, PartitionKind::EdgeCut, m,
+                     Mode::aap(), "cc_monotone");
     }
 
     #[test]
-    fn edge_cut_removals_fall_back_to_full_recompute(
+    fn edge_cut_removals_stay_warm_and_exact(
         g in arb_graph(),
         m in 2usize..5,
         seed in 0u64..1000,
         src_pick in 0u32..1000,
     ) {
         let delta = arb_delta(&g, seed, true);
-        check_edge_cut(&g, m, &delta, src_pick % g.num_vertices() as u32);
+        let src = src_pick % g.num_vertices() as u32;
+        let deltas = [delta];
+        // SSSP and CC both have invalidation plans: no batch shape may
+        // reach the cold fallback.
+        let r = assert_equiv(&Sssp, &src, &g, &deltas, PartitionKind::EdgeCut, m,
+                             Mode::aap(), "sssp_removals");
+        prop_assert!(!r.saw(WarmStrategy::Cold), "SSSP never cold-falls-back: {:?}", r.strategies);
+        let r = assert_equiv(&ConnectedComponents, &(), &g, &deltas, PartitionKind::EdgeCut, m,
+                             Mode::aap(), "cc_removals");
+        prop_assert!(!r.saw(WarmStrategy::Cold), "CC never cold-falls-back: {:?}", r.strategies);
     }
 
     #[test]
@@ -174,7 +66,11 @@ proptest! {
         src_pick in 0u32..1000,
     ) {
         let delta = arb_delta(&g, seed, false);
-        check_vertex_cut(&g, m, &delta, src_pick % g.num_vertices() as u32);
+        let src = src_pick % g.num_vertices() as u32;
+        let deltas = [delta];
+        assert_equiv_sim(&Sssp, &src, &g, &deltas, PartitionKind::VertexCut, m, "sssp_vc");
+        assert_equiv_sim(&ConnectedComponents, &(), &g, &deltas, PartitionKind::VertexCut, m,
+                         "cc_vc");
     }
 }
 
@@ -182,25 +78,15 @@ proptest! {
 /// agree with cold recompute under BSP, AP, SSP, AAP, and Hsync.
 #[test]
 fn warm_start_agrees_under_all_modes() {
-    let g = generate::small_world(150, 2, 0.15, 13);
+    let g = grape_aap::graph::generate::small_world(150, 2, 0.15, 13);
     let mut b: DeltaBuilder<(), u32> = DeltaBuilder::new();
     b.add_edge(3, 140, 1);
     b.add_edge(17, 90, 2);
     b.add_vertex(150, ());
     b.add_edge(150, 5, 1);
-    let delta = b.build();
-    let g2 = delta::apply_to_graph(&g, &delta);
-    for mode in
-        [Mode::Bsp, Mode::Ap, Mode::Ssp { c: 2 }, Mode::aap(), Mode::Hsync(HsyncConfig::default())]
-    {
-        let opts = EngineOpts { threads: 4, mode: mode.clone(), max_rounds: Some(100_000) };
-        let assignment = hash_partition(&g, 4);
-        let mut engine = Engine::new(build_fragments_n(&g, &assignment, 4), opts.clone());
-        let (_, mut st) = engine.run_retained(&Sssp, &0);
-        let inc = delta::run_incremental(&mut engine, &Sssp, &0, &delta, &mut st);
-        let full =
-            Engine::new(build_fragments_n(&g2, &hash_partition(&g2, 4), 4), opts).run(&Sssp, &0);
-        assert_eq!(inc.out, full.out, "mode {mode:?}");
+    let deltas = [b.build()];
+    for mode in all_modes() {
+        assert_equiv(&Sssp, &0, &g, &deltas, PartitionKind::EdgeCut, 4, mode, "all_modes");
     }
 }
 
@@ -208,24 +94,16 @@ fn warm_start_agrees_under_all_modes() {
 /// delta, the warm run ships far fewer updates than the cold run.
 #[test]
 fn warm_start_does_less_work_than_cold() {
-    let g = generate::rmat(11, 8, true, 3);
-    let assignment = hash_partition(&g, 6);
-    let opts = EngineOpts { threads: 4, mode: Mode::aap(), max_rounds: Some(100_000) };
-    let mut engine = Engine::new(build_fragments_n(&g, &assignment, 6), opts.clone());
-    let (_, mut st) = engine.run_retained(&Sssp, &0);
-
+    let g: Graph<(), u32> = grape_aap::graph::generate::rmat(11, 8, true, 3);
     let mut b: DeltaBuilder<(), u32> = DeltaBuilder::new();
     b.add_edge(1, 900, 2);
     b.add_edge(40, 1500, 3);
-    let delta = b.build();
-    let inc = delta::run_incremental(&mut engine, &Sssp, &0, &delta, &mut st);
-
-    let cold = engine.run(&Sssp, &0);
-    assert_eq!(inc.out, cold.out);
+    let deltas = [b.build()];
+    let r = assert_equiv(&Sssp, &0, &g, &deltas, PartitionKind::EdgeCut, 6, Mode::aap(), "5x");
     assert!(
-        inc.stats.total_updates() * 5 < cold.stats.total_updates().max(1),
+        r.incremental_updates * 5 < r.cold_updates.max(1),
         "warm run ({} updates) should ship far less than cold ({} updates)",
-        inc.stats.total_updates(),
-        cold.stats.total_updates()
+        r.incremental_updates,
+        r.cold_updates
     );
 }

@@ -6,10 +6,11 @@
 //! The additive aggregator is the sharp one: any dropped, duplicated, or
 //! mis-addressed update changes a sum where a `min` might mask it.
 
+use aap_testkit::arb_graph;
 use grape_aap::graph::partition::{
     build_fragments_n, build_fragments_vertex_cut, hash_partition, vertex_cut_partition,
 };
-use grape_aap::graph::{generate, Fragment, Graph, Route};
+use grape_aap::graph::{Fragment, Graph, Route};
 use grape_aap::prelude::*;
 use grape_aap::runtime::inbox::Inbox;
 use grape_aap::runtime::pie::route_updates;
@@ -122,23 +123,6 @@ fn reference_drain(prog: &TestProg, delivered: &[Vec<(LocalId, u64)>]) -> Vec<(L
     agg.into_iter().collect()
 }
 
-fn arb_graph() -> impl Strategy<Value = Graph<(), u32>> {
-    prop_oneof![
-        (10usize..100, 2usize..8, 0u64..50).prop_map(|(n, ef, s)| generate::uniform(
-            n,
-            n * ef,
-            true,
-            s
-        )),
-        (10usize..100, 1usize..3, 0u64..50).prop_map(|(n, k, s)| generate::small_world(
-            n,
-            k.min(n - 1).max(1),
-            0.3,
-            s
-        )),
-    ]
-}
-
 /// Per-fragment pseudo-random update lists, with deliberate duplicates so
 /// the sender-side dedup/combine is exercised.
 fn gen_updates(frag: &Fragment<(), u32>, seed: u64) -> Vec<(LocalId, u64)> {
@@ -194,7 +178,7 @@ fn check_equivalence(g: &Graph<(), u32>, frags: &[Fragment<(), u32>], aggr: Aggr
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: aap_testkit::cases(24), ..ProptestConfig::default() })]
 
     #[test]
     fn dense_routing_matches_reference_edge_cut(g in arb_graph(), m in 1usize..9,

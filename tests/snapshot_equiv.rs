@@ -8,19 +8,21 @@
 //! ```
 //!
 //! for SSSP and CC, on edge-cut and vertex-cut partitions. The streams
-//! deliberately mix warm-exact batches (inserts, weight decreases) with
-//! fallback batches (removals, weight increases), so both driver paths
-//! cross the snapshot boundary.
+//! deliberately mix monotone batches (inserts, weight decreases) with
+//! non-monotone ones (removals, weight increases), so both warm
+//! strategies — `warm-decrease` and the affected-region `warm-increase`
+//! — cross the snapshot boundary. Partition/mode scaffolding comes from
+//! `aap-testkit`.
 
+use aap_testkit::{build_parts, test_opts, PartitionKind};
 use grape_aap::delta::generate::insert_batch;
-use grape_aap::delta::{apply_to_graph, replay, run_incremental, DeltaBuilder, GraphDelta};
-use grape_aap::graph::partition::{
-    build_fragments_n, build_fragments_vertex_cut, hash_partition, vertex_cut_partition,
+use grape_aap::delta::{
+    apply_to_graph, replay, run_incremental, DeltaBuilder, GraphDelta, WarmStrategy,
 };
 use grape_aap::graph::{generate, Graph};
 use grape_aap::prelude::*;
 use grape_aap::runtime::pie::WarmStart;
-use grape_aap::runtime::{EngineOpts, RunState};
+use grape_aap::runtime::RunState;
 use grape_aap::snapshot::{restore_engine, save_engine, Codec, DeltaLog};
 use std::path::PathBuf;
 
@@ -28,13 +30,9 @@ fn tmp(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("aap_equiv_{}_{name}", std::process::id()))
 }
 
-fn opts() -> EngineOpts {
-    EngineOpts { threads: 4, mode: Mode::aap(), max_rounds: Some(200_000) }
-}
-
-/// A delta stream over `g`: warm inserts, a removal batch (cold
-/// fallback), a weight increase (cold fallback for SSSP), a vertex add
-/// wired into the graph, then one more warm insert batch.
+/// A delta stream over `g`: warm inserts, a removal batch
+/// (`warm-increase`), a weight increase (`warm-increase` for SSSP), a
+/// vertex add wired into the graph, then one more warm insert batch.
 fn delta_stream(g: &Graph<(), u32>) -> Vec<GraphDelta<(), u32>> {
     let n = g.num_vertices() as u32;
     let mut deltas = Vec::new();
@@ -65,21 +63,16 @@ fn delta_stream(g: &Graph<(), u32>) -> Vec<GraphDelta<(), u32>> {
     deltas
 }
 
-fn check_equivalence<P>(prog: &P, q: &P::Query, name: &str, vertex_cut: bool, g0: Graph<(), u32>)
+fn check_equivalence<P>(prog: &P, q: &P::Query, name: &str, kind: PartitionKind, g0: Graph<(), u32>)
 where
     P: WarmStart<(), u32>,
     P::Out: PartialEq + std::fmt::Debug,
     P::State: Codec + Clone,
 {
     let m = 4;
-    let frags = if vertex_cut {
-        build_fragments_vertex_cut(&g0, &vertex_cut_partition(&g0, m))
-    } else {
-        build_fragments_n(&g0, &hash_partition(&g0, m), m)
-    };
 
     // --- continuous process ---
-    let mut engine = Engine::new(frags, opts());
+    let mut engine = Engine::new(build_parts(&g0, kind, m), test_opts(Mode::aap()));
     let (out0, mut state): (_, RunState<P::State>) = {
         let (r, s) = engine.run_retained(prog, q);
         (r.out, s)
@@ -91,36 +84,38 @@ where
 
     let deltas = delta_stream(&g0);
     let mut g_cur = g0;
-    let mut warm_seen = false;
-    let mut cold_seen = false;
+    let mut strategies = Vec::new();
     let mut last_out = None;
     for delta in &deltas {
         let r = run_incremental(&mut engine, prog, q, delta, &mut state);
         // The log records what was *applied* — the driver hands it back.
         assert!(!r.applied.summary.is_empty(), "stream batches all mutate something");
-        warm_seen |= r.warm;
-        cold_seen |= !r.warm;
+        strategies.push(r.strategy);
         log.write_delta(delta).unwrap();
         g_cur = apply_to_graph(&g_cur, delta);
         last_out = Some(r.out);
     }
     drop(log);
     let continuous_out = last_out.expect("stream is non-empty");
-    assert!(warm_seen && cold_seen, "stream must exercise both driver paths");
+    assert!(
+        strategies.contains(&WarmStrategy::WarmDecrease)
+            && strategies.contains(&WarmStrategy::WarmIncrease),
+        "stream must exercise both warm strategies, got {strategies:?}"
+    );
+    assert!(
+        !strategies.contains(&WarmStrategy::Cold),
+        "SSSP/CC deletion batches must not cold-fall-back: {strategies:?}"
+    );
 
     // --- cold run on the final graph ---
-    let cold_frags = if vertex_cut {
-        build_fragments_vertex_cut(&g_cur, &vertex_cut_partition(&g_cur, m))
-    } else {
-        build_fragments_n(&g_cur, &hash_partition(&g_cur, m), m)
-    };
-    let cold_out = Engine::new(cold_frags, opts()).run(prog, q).out;
+    let cold_out =
+        Engine::new(build_parts(&g_cur, kind, m), test_opts(Mode::aap())).run(prog, q).out;
     assert_eq!(cold_out, continuous_out, "{name}: continuous != cold on final graph");
     assert_ne!(cold_out, out0, "{name}: the stream must actually change the answer");
 
     // --- restarted process: load → attach → replay the log ---
     let (mut engine2, attached) =
-        restore_engine::<(), u32, P::State, _>(&snap_path, opts()).unwrap();
+        restore_engine::<(), u32, P::State, _>(&snap_path, test_opts(Mode::aap())).unwrap();
     let (mut state2, remaps) = attached.expect("snapshot carried state");
     assert!(
         remaps.iter().all(|r| r.is_identity()),
@@ -145,23 +140,23 @@ where
 #[test]
 fn sssp_edge_cut_restart_equivalence() {
     let g = generate::rmat(9, 6, true, 0x51);
-    check_equivalence(&Sssp, &0, "sssp_ec", false, g);
+    check_equivalence(&Sssp, &0, "sssp_ec", PartitionKind::EdgeCut, g);
 }
 
 #[test]
 fn sssp_vertex_cut_restart_equivalence() {
     let g = generate::small_world(300, 2, 0.15, 0x52);
-    check_equivalence(&Sssp, &0, "sssp_vc", true, g);
+    check_equivalence(&Sssp, &0, "sssp_vc", PartitionKind::VertexCut, g);
 }
 
 #[test]
 fn cc_edge_cut_restart_equivalence() {
     let g = generate::small_world(400, 2, 0.1, 0x53);
-    check_equivalence(&ConnectedComponents, &(), "cc_ec", false, g);
+    check_equivalence(&ConnectedComponents, &(), "cc_ec", PartitionKind::EdgeCut, g);
 }
 
 #[test]
 fn cc_vertex_cut_restart_equivalence() {
     let g = generate::small_world(250, 2, 0.2, 0x54);
-    check_equivalence(&ConnectedComponents, &(), "cc_vc", true, g);
+    check_equivalence(&ConnectedComponents, &(), "cc_vc", PartitionKind::VertexCut, g);
 }
