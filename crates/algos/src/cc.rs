@@ -20,6 +20,7 @@
 use crate::common::{gather_owned, owner_values};
 use crate::forest::{EdgeRemoval, SpanningForest};
 use aap_core::pie::{DeltaChanges, Messages, PieProgram, UpdateCtx, WarmStart, WarmStrategy};
+use aap_core::PlanCache;
 use aap_graph::mutate::{stored_directed, DeltaSummary, StateRemap};
 use aap_graph::{Fragment, FxHashSet, LocalId, VertexId};
 use std::sync::Arc;
@@ -48,7 +49,7 @@ fn cc_emits<V, E>(frag: &Fragment<V, E>, l: LocalId) -> bool {
 }
 
 /// Per-fragment CC state.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CcState {
     /// Local vertex -> local component index.
     comp_of: Vec<u32>,
@@ -432,6 +433,14 @@ impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
         }
     }
 
+    /// The assembled output *is* the global owner-cid gather the plan
+    /// starts from; cache it so the next removal batch's
+    /// [`ConnectedComponents::plan_invalidation`] skips the per-batch
+    /// fragment sweep.
+    fn refresh_plan_cache(&self, out: &Vec<VertexId>, cache: &mut PlanCache) {
+        cache.put::<Vec<VertexId>>(out.clone());
+    }
+
     /// The affected region of a removal batch, in two filters:
     ///
     /// 1. **Local spanning forests.** A removed stored edge that is
@@ -440,7 +449,12 @@ impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
     ///    connectivity — and therefore the global join — unchanged. Only
     ///    a genuine [`EdgeRemoval::Split`] (and every vertex removal,
     ///    which always splits its vertex off) marks the old component
-    ///    *suspect*. Random deletions on anything cyclic overwhelmingly
+    ///    *suspect*. Stored edge orientations are tracked across the
+    ///    whole partition first: a removed directed edge whose
+    ///    reciprocal survives in *any* fragment — typically the other
+    ///    fragment of the pair under edge-cut — keeps its endpoints
+    ///    weakly connected and is excluded before it can feed a forest
+    ///    split. Random deletions on anything cyclic overwhelmingly
     ///    stop here, with an empty plan.
     /// 2. **Global re-connectivity of the suspect components only.** One
     ///    sequential union-find pass over the suspect components'
@@ -458,8 +472,13 @@ impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
         frags: &[&Fragment<V, E>],
         states: &[CcState],
         changes: &DeltaChanges<'_>,
+        cache: &mut PlanCache,
     ) -> Vec<Vec<LocalId>> {
-        let cid_of = owner_values(frags, states, 0, |s, _, l| s.cid(l));
+        let expected: usize = frags.iter().map(|f| f.owned_count()).sum();
+        let cid_of: &Vec<VertexId> = cache.get_or_insert_with(
+            |c: &Vec<VertexId>| c.len() == expected,
+            || owner_values(frags, states, 0, |s, _, l| s.cid(l)),
+        );
         let n_glob = cid_of.len();
         let removed_v: FxHashSet<VertexId> = changes.removed_vertices.iter().copied().collect();
         // Suspect components, as a bitmap over cid values (cids are
@@ -487,6 +506,12 @@ impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
             removed_set.contains(&(a, b)) || (!directed && removed_set.contains(&(b, a)))
         };
 
+        let pair_survives = if directed {
+            reciprocal_survivors(frags, changes.removed_edges, &removed_v, &edge_dies)
+        } else {
+            FxHashSet::default()
+        };
+
         // Filter 1: per-fragment forests classify the edge removals.
         for f in frags {
             // The removed logical edges that actually *disconnect* a
@@ -508,8 +533,9 @@ impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
                     let stored_uv = f.neighbors(lu).contains(&lv);
                     let stored_vu = f.neighbors(lv).contains(&lu);
                     let any_dies = (stored_uv && edge_dies(u, v)) || (stored_vu && edge_dies(v, u));
-                    let any_survives =
-                        (stored_uv && !edge_dies(u, v)) || (stored_vu && !edge_dies(v, u));
+                    let any_survives = (stored_uv && !edge_dies(u, v))
+                        || (stored_vu && !edge_dies(v, u))
+                        || pair_survives.contains(&(u, v));
                     (any_dies && !any_survives).then_some((lu, lv))
                 })
                 .collect();
@@ -666,6 +692,35 @@ impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
     }
 }
 
+/// Removed directed pairs whose *logical* connection survives: some
+/// fragment, anywhere in the partition, still stores a surviving
+/// orientation of the pair — the reciprocal `(v, u)` lives at its own
+/// source's fragment, which under edge-cut is usually a different
+/// fragment from `(u, v)`'s. Such a removal leaves `u` and `v` weakly
+/// connected, so it can never split anything: the invalidation plan
+/// must not let it mark a component suspect, even when the fragment
+/// whose local forest it hits has no locally visible replacement.
+fn reciprocal_survivors<V, E>(
+    frags: &[&Fragment<V, E>],
+    removed_edges: &[(VertexId, VertexId)],
+    removed_v: &FxHashSet<VertexId>,
+    edge_dies: &dyn Fn(VertexId, VertexId) -> bool,
+) -> FxHashSet<(VertexId, VertexId)> {
+    // Only the reciprocal orientation can survive: `(u, v)` itself is in
+    // `removed_edges`, so every stored copy of that orientation dies.
+    removed_edges
+        .iter()
+        .filter(|(u, v)| !removed_v.contains(u) && !removed_v.contains(v))
+        .filter(|&&(u, v)| {
+            !edge_dies(v, u)
+                && frags.iter().any(|f| {
+                    f.local(u).zip(f.local(v)).is_some_and(|(lu, lv)| f.neighbors(lv).contains(&lu))
+                })
+        })
+        .copied()
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -733,6 +788,60 @@ mod tests {
             assert_eq!(engine.run(&ConnectedComponents, &()).out, expect);
         }
         drop(frags);
+    }
+
+    /// The cross-fragment reciprocal case of the orientation tracking:
+    /// `0 -> 1` is stored at fragment 0, its reciprocal `1 -> 0` at
+    /// fragment 1. Removing only `(0, 1)` leaves the pair weakly
+    /// connected through the *other* fragment's stored orientation, so
+    /// the survivor set must contain the pair (no suspect marking) and
+    /// the plan must invalidate nothing; removing both orientations is
+    /// a genuine split and must invalidate vertex 1's copies.
+    #[test]
+    fn directed_reciprocal_across_fragments_never_suspects() {
+        let mut b = aap_graph::GraphBuilder::new_directed(4);
+        b.add_edge(0, 1, 1u32);
+        b.add_edge(1, 0, 1);
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let engine = Engine::new(build_fragments(&g, &[0, 1, 0, 1]), EngineOpts::default());
+        let (_, state) = engine.run_retained(&ConnectedComponents, &());
+        let view: Vec<&Fragment<(), u32>> = engine.fragments().iter().map(|a| &**a).collect();
+        let removed_v = FxHashSet::default();
+        let removed = [(0u32, 1u32)];
+        let dies = |a: VertexId, b: VertexId| removed.contains(&(a, b));
+        let survivors = reciprocal_survivors(&view, &removed, &removed_v, &dies);
+        assert!(
+            survivors.contains(&(0, 1)),
+            "the reciprocal (1, 0) survives at fragment 1: {survivors:?}"
+        );
+        let mut cache = aap_core::PlanCache::default();
+        let changes =
+            DeltaChanges { removed_edges: &removed, removed_vertices: &[], increased_edges: &[] };
+        let plan =
+            ConnectedComponents.plan_invalidation(&(), &view, state.states(), &changes, &mut cache);
+        assert!(plan.iter().all(|s| s.is_empty()), "nothing splits: {plan:?}");
+
+        // Removing both orientations genuinely disconnects the pair:
+        // the piece {1} loses its cid source 0 and must be invalidated
+        // at every fragment holding a copy of 1.
+        let removed_both = [(0u32, 1u32), (1u32, 0u32)];
+        let dies_both = |a: VertexId, b: VertexId| removed_both.contains(&(a, b));
+        assert!(reciprocal_survivors(&view, &removed_both, &removed_v, &dies_both).is_empty());
+        let changes = DeltaChanges {
+            removed_edges: &removed_both,
+            removed_vertices: &[],
+            increased_edges: &[],
+        };
+        let plan =
+            ConnectedComponents.plan_invalidation(&(), &view, state.states(), &changes, &mut cache);
+        let invalidated: Vec<Vec<VertexId>> =
+            plan.iter().zip(&view).map(|(s, f)| s.iter().map(|&l| f.global(l)).collect()).collect();
+        assert!(
+            invalidated.iter().flatten().all(|&v| v == 1)
+                && invalidated.iter().flatten().next().is_some(),
+            "exactly vertex 1's copies are invalidated: {invalidated:?}"
+        );
     }
 
     #[test]

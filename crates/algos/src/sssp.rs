@@ -14,6 +14,7 @@
 
 use crate::common::{dijkstra_from_seeds, emit_policy, gather_owned, owner_values, INF};
 use aap_core::pie::{DeltaChanges, Messages, PieProgram, UpdateCtx, WarmStart, WarmStrategy};
+use aap_core::PlanCache;
 use aap_graph::mutate::{stored_directed, DeltaSummary, StateRemap};
 use aap_graph::{Fragment, LocalId, VertexId};
 use std::sync::Arc;
@@ -24,7 +25,7 @@ use std::sync::Arc;
 pub struct Sssp;
 
 /// Per-fragment SSSP state: current distance per local vertex.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SsspState {
     /// `dist[l]` = best known distance from the source to local vertex `l`.
     pub dist: Vec<u64>,
@@ -216,6 +217,14 @@ impl<V: Sync + Send> WarmStart<V, u32> for Sssp {
         }
     }
 
+    /// The assembled output *is* the global owner-distance gather the
+    /// plan starts from, so cache it: the next deletion batch's
+    /// [`Sssp::plan_invalidation`] reads a flat copy instead of
+    /// re-sweeping every fragment.
+    fn refresh_plan_cache(&self, out: &Vec<u64>, cache: &mut PlanCache) {
+        cache.put::<Vec<u64>>(out.clone());
+    }
+
     /// The affected region of a non-monotone batch, Ramalingam–Reps
     /// style: start from the heads of deleted/increased edges that were
     /// *tight* under the old distances (`dist[u] + w == dist[v]` — the
@@ -225,14 +234,24 @@ impl<V: Sync + Send> WarmStart<V, u32> for Sssp {
     /// deleted/increased edges, so its old distance is still achievable
     /// — a valid upper bound. Over-approximation (a head with an equal
     /// alternate path) costs recompute, never exactness.
+    ///
+    /// The global owner-distance gather is served from `cache` when the
+    /// previous run refreshed it ([`Sssp::refresh_plan_cache`]); the
+    /// vertex-count probe rejects a cache whose shape no longer matches
+    /// the fragments, falling back to the `O(n)` sweep.
     fn plan_invalidation(
         &self,
         _src: &VertexId,
         frags: &[&Fragment<V, u32>],
         states: &[SsspState],
         changes: &DeltaChanges<'_>,
+        cache: &mut PlanCache,
     ) -> Vec<Vec<LocalId>> {
-        let dist = owner_values(frags, states, INF, |s, _, l| s.dist[l as usize]);
+        let expected: usize = frags.iter().map(|f| f.owned_count()).sum();
+        let dist: &Vec<u64> = cache.get_or_insert_with(
+            |d: &Vec<u64>| d.len() == expected,
+            || owner_values(frags, states, INF, |s, _, l| s.dist[l as usize]),
+        );
         let n = dist.len();
         let directed = stored_directed(frags);
 

@@ -64,6 +64,87 @@ pub struct RunOutput<Out> {
     pub stats: RunStats,
 }
 
+/// A type-erased cache slot that travels with a [`RunState`], holding a
+/// value *derived from* the retained states — today the global
+/// owner-value gather `WarmStart::plan_invalidation` needs per
+/// non-monotone batch (`O(n)` to rebuild from scratch).
+///
+/// Invalidation contract: any write to the states ([`RunState::set_states`],
+/// [`RunState::take_states`]) clears the slot, so a stale derivation can
+/// never be observed. Re-population is the *driver's* job: after a run,
+/// `aap-delta`'s drivers call [`crate::WarmStart::refresh_plan_cache`]
+/// with the freshly assembled output — for SSSP/CC that output *is* the
+/// owner-value gather, so tiny deletion batches skip the per-batch
+/// `O(n)` fragment sweep entirely and plan from the cache.
+#[derive(Default)]
+pub struct PlanCache {
+    slot: Option<Box<dyn std::any::Any + Send>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("filled", &self.slot.is_some())
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// Borrow the cached `T` if one is present *and* `valid` accepts it;
+    /// otherwise rebuild it with `make` and cache the result. The
+    /// validity probe lets callers reject a cache whose shape no longer
+    /// matches the fragments (e.g. a stale vertex count) without a
+    /// dedicated invalidation channel.
+    pub fn get_or_insert_with<T, VF, MF>(&mut self, valid: VF, make: MF) -> &T
+    where
+        T: std::any::Any + Send,
+        VF: FnOnce(&T) -> bool,
+        MF: FnOnce() -> T,
+    {
+        let usable = self.slot.as_ref().and_then(|b| b.downcast_ref::<T>()).is_some_and(valid);
+        if usable {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            self.slot = Some(Box::new(make()));
+        }
+        self.slot
+            .as_ref()
+            .and_then(|b| b.downcast_ref::<T>())
+            .expect("slot was just verified/replaced with a T")
+    }
+
+    /// Replace the cached value (driver refresh after a run).
+    pub fn put<T: std::any::Any + Send>(&mut self, value: T) {
+        self.slot = Some(Box::new(value));
+    }
+
+    /// Drop the cached value (the invalidate-on-write hook).
+    pub fn clear(&mut self) {
+        self.slot = None;
+    }
+
+    /// True if a value is currently cached.
+    pub fn is_filled(&self) -> bool {
+        self.slot.is_some()
+    }
+
+    /// How many [`PlanCache::get_or_insert_with`] calls were served from
+    /// the cache (observability for tests and benches).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// How many [`PlanCache::get_or_insert_with`] calls had to rebuild.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
 /// Retained per-fragment program states from a completed run (one entry
 /// per fragment, in fragment order). Produced by `run_retained`; fed back
 /// into `run_incremental` after a graph delta so the next evaluation
@@ -71,15 +152,34 @@ pub struct RunOutput<Out> {
 ///
 /// A `RunState` is only meaningful against the engine (and query) that
 /// produced it, modulo the [`StateRemap`]s of deltas applied in between.
-#[derive(Debug, Clone)]
+///
+/// Also carries a [`PlanCache`] for state-derived planning artifacts;
+/// the cache is cleared on every state write and does not participate
+/// in `Clone`/`PartialEq`.
+#[derive(Debug)]
 pub struct RunState<St> {
     states: Vec<St>,
+    plan_cache: PlanCache,
+}
+
+impl<St: Clone> Clone for RunState<St> {
+    fn clone(&self) -> Self {
+        // The clone starts with a cold cache: it is an independent
+        // lineage of writes from here on.
+        RunState { states: self.states.clone(), plan_cache: PlanCache::default() }
+    }
+}
+
+impl<St: PartialEq> PartialEq for RunState<St> {
+    fn eq(&self, other: &Self) -> bool {
+        self.states == other.states
+    }
 }
 
 impl<St> RunState<St> {
     /// Wrap per-fragment states (engine/simulator use).
     pub fn new(states: Vec<St>) -> Self {
-        RunState { states }
+        RunState { states, plan_cache: PlanCache::default() }
     }
 
     /// Number of per-fragment states (the fragment count of the run).
@@ -98,13 +198,34 @@ impl<St> RunState<St> {
     }
 
     /// Move the states out, leaving this `RunState` empty (engine use).
+    /// A write: the plan cache is invalidated.
     pub fn take_states(&mut self) -> Vec<St> {
+        self.plan_cache.clear();
         std::mem::take(&mut self.states)
     }
 
-    /// Replace the retained states after a run (engine use).
+    /// Replace the retained states after a run (engine use). A write:
+    /// the plan cache is invalidated.
     pub fn set_states(&mut self, states: Vec<St>) {
+        self.plan_cache.clear();
         self.states = states;
+    }
+
+    /// The state-derived plan cache (read side).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// The state-derived plan cache (driver refresh side).
+    pub fn plan_cache_mut(&mut self) -> &mut PlanCache {
+        &mut self.plan_cache
+    }
+
+    /// Borrow the states and the plan cache *simultaneously* — the shape
+    /// `plan_invalidation` drivers need (states read-only, cache
+    /// writable), which a pair of accessor calls cannot express.
+    pub fn states_and_plan_cache(&mut self) -> (&[St], &mut PlanCache) {
+        (&self.states, &mut self.plan_cache)
     }
 
     /// Detach the retained states from this fragment set's local-id

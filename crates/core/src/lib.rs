@@ -98,7 +98,8 @@ pub mod prelude {
 }
 
 pub use engine::{
-    AttachError, Engine, EngineOpts, PortableFragState, PortableRunState, RunOutput, RunState,
+    AttachError, Engine, EngineOpts, PlanCache, PortableFragState, PortableRunState, RunOutput,
+    RunState,
 };
 pub use pie::{
     Batch, DeltaChanges, Messages, PieProgram, Round, UpdateCtx, WarmStart, WarmStrategy,

@@ -16,6 +16,7 @@
 //! new algorithm means writing ordinary sequential code against a single
 //! [`Fragment`], exactly the paper's pitch.
 
+use crate::engine::PlanCache;
 use crate::scratch::Scratch;
 use aap_graph::mutate::{DeltaSummary, StateRemap};
 use aap_graph::{FragId, Fragment, LocalId, VertexId};
@@ -324,6 +325,12 @@ pub trait WarmStart<V, E>: PieProgram<V, E> {
     /// sets through the apply's [`StateRemap`]s and hand them to
     /// [`WarmStart::warm_eval`] as `invalid`.
     ///
+    /// `cache` is the retained state's [`PlanCache`]: programs whose
+    /// plan starts from a global owner-value gather (SSSP, CC) read it
+    /// from the cache when a previous round's
+    /// [`WarmStart::refresh_plan_cache`] left it there, skipping the
+    /// per-batch `O(n)` sweep on tiny deletion batches.
+    ///
     /// Soundness contract: the sets must cover, at **every** fragment
     /// holding a copy, every vertex whose exact value on the mutated
     /// graph could be *worse* than its retained value (larger distance,
@@ -335,9 +342,19 @@ pub trait WarmStart<V, E>: PieProgram<V, E> {
         frags: &[&Fragment<V, E>],
         _states: &[Self::State],
         _changes: &DeltaChanges<'_>,
+        _cache: &mut PlanCache,
     ) -> Vec<Vec<LocalId>> {
         frags.iter().map(|_| Vec::new()).collect()
     }
+
+    /// Refresh the retained state's [`PlanCache`] from a completed run's
+    /// assembled output. Drivers call this after every retained run
+    /// (warm or cold) — state writes cleared the cache, and for programs
+    /// whose `Assemble` already *is* the owner-value gather their
+    /// [`WarmStart::plan_invalidation`] needs, re-caching the output is
+    /// a flat copy instead of the per-fragment sweep. The default caches
+    /// nothing (programs without an invalidation plan need no gather).
+    fn refresh_plan_cache(&self, _out: &Self::Out, _cache: &mut PlanCache) {}
 }
 
 /// One message batch `M(i, j)`: the changed parameters a worker ships to a

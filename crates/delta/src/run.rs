@@ -131,7 +131,7 @@ pub fn plan_incremental<V, E, P>(
     prog: &P,
     q: &P::Query,
     delta: &GraphDelta<V, E>,
-    state: &RunState<P::State>,
+    state: &mut RunState<P::State>,
 ) -> (WarmStrategy, Vec<Vec<LocalId>>)
 where
     E: PartialOrd,
@@ -145,7 +145,11 @@ where
             removed_vertices: delta.vertices_removed(),
             increased_edges: &resolved.increased,
         };
-        prog.plan_invalidation(q, frags, state.states(), &changes)
+        // States read-only, plan cache writable: the program serves its
+        // global owner-value gather from the cache when the previous
+        // run's `refresh_plan_cache` filled it.
+        let (states, cache) = state.states_and_plan_cache();
+        prog.plan_invalidation(q, frags, states, &changes, cache)
     } else {
         frags.iter().map(|_| Vec::new()).collect()
     };
@@ -231,6 +235,9 @@ where
         *state = fresh;
         out
     };
+    // The run's state write invalidated the plan cache; re-seed it from
+    // the assembled output so the next batch's plan can skip its gather.
+    prog.refresh_plan_cache(&out, state.plan_cache_mut());
     IncrementalOutput { out, stats, applied, strategy }
 }
 
@@ -314,6 +321,7 @@ where
         *state = fresh;
         out
     };
+    prog.refresh_plan_cache(&out, state.plan_cache_mut());
     IncrementalSimOutput { out, stats, timelines, applied, strategy }
 }
 
@@ -338,4 +346,44 @@ where
         last = Some(run_incremental_sim_with(sim, prog, q, delta, state, &mut bufs));
     }
     last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeltaBuilder;
+    use aap_algos::Sssp;
+    use aap_core::{EngineOpts, Mode};
+    use aap_graph::generate;
+    use aap_graph::partition::{build_fragments_n, hash_partition};
+
+    /// A stream of tiny deletion batches plans from the cached
+    /// owner-value gather: the first plan misses (nothing refreshed the
+    /// fresh state's cache yet), every later one hits because the
+    /// driver re-seeds the cache from each run's assembled output —
+    /// and the cached plan stays exact against a cold run.
+    #[test]
+    fn deletion_stream_plans_from_the_cache() {
+        let g = generate::small_world(300, 2, 0.1, 11);
+        let mut engine = Engine::new(
+            build_fragments_n(&g, &hash_partition(&g, 4), 4),
+            EngineOpts { threads: 2, mode: Mode::aap(), max_rounds: Some(100_000) },
+        );
+        let (_, mut state) = engine.run_retained(&Sssp, &0);
+        let mut cur = g.clone();
+        for i in 0..4u32 {
+            let u = (i * 37 + 5) % cur.num_vertices() as u32;
+            let t = *cur.neighbors(u).first().expect("small-world degree >= 2");
+            let mut b: DeltaBuilder<(), u32> = DeltaBuilder::new();
+            b.remove_edge(u, t);
+            let delta = b.build();
+            let r = run_incremental(&mut engine, &Sssp, &0, &delta, &mut state);
+            assert_eq!(r.strategy, WarmStrategy::WarmIncrease, "batch {i}");
+            cur = crate::apply_to_graph(&cur, &delta);
+            assert_eq!(r.out, engine.run(&Sssp, &0).out, "batch {i} stays exact");
+        }
+        let c = state.plan_cache();
+        assert!(c.hits() >= 3, "later plans must be served from the cache: {c:?}");
+        assert!(c.misses() <= 1, "only the first plan may rebuild the gather: {c:?}");
+    }
 }

@@ -554,8 +554,13 @@ pub struct PartitionStats {
     pub replication_factor: f64,
 }
 
-/// Compute [`PartitionStats`] for a set of fragments.
-pub fn partition_stats<V, E>(frags: &[Fragment<V, E>]) -> PartitionStats {
+/// Compute [`PartitionStats`] for a set of fragments. Accepts both
+/// `&[Fragment]` and `&[Arc<Fragment>]` (anything borrowing a
+/// fragment), so engine/session fragment slices work directly.
+pub fn partition_stats<V, E, F: std::borrow::Borrow<Fragment<V, E>>>(
+    frags: &[F],
+) -> PartitionStats {
+    let frags: Vec<&Fragment<V, E>> = frags.iter().map(|f| f.borrow()).collect();
     let owned: Vec<usize> = frags.iter().map(|f| f.owned_count()).collect();
     let edges: Vec<usize> = frags.iter().map(|f| f.edge_count()).collect();
     let mirrors: Vec<usize> = frags.iter().map(|f| f.mirror_count()).collect();

@@ -1,0 +1,126 @@
+//! The execution backend a [`crate::Session`] drives: the threaded
+//! GRAPE+ [`Engine`] or the deterministic [`SimEngine`], behind one
+//! trait so the session lifecycle (retained queries, warm-start
+//! advances, in-place delta application) is written once.
+
+use aap_core::engine::{RunOutput, RunState};
+use aap_core::pie::WarmStart;
+use aap_core::{Engine, RunStats};
+use aap_graph::mutate::StateRemap;
+use aap_graph::{Fragment, LocalId};
+use aap_sim::{SimEngine, SimOutput};
+use std::sync::Arc;
+
+/// What a session needs from an engine: fragment access (shared for
+/// runs, exclusive for in-place delta application) and the two retained
+/// evaluation entry points. Implemented by [`Engine`] (threaded,
+/// wall-clock) and [`SimEngine`] (single-threaded, virtual time — its
+/// timelines are dropped at this boundary; drive a `SimEngine` directly
+/// when you need them).
+pub trait Backend<V, E>: Sized + 'static {
+    /// The fragments this backend computes over.
+    fn fragments(&self) -> &[Arc<Fragment<V, E>>];
+
+    /// Exclusive access to the fragments for in-place mutation; `None`
+    /// while any `Arc` is shared (a run output still borrows them).
+    fn fragments_mut(&mut self) -> Option<Vec<&mut Fragment<V, E>>>;
+
+    /// Cold evaluation retaining per-fragment states (`run_retained`).
+    fn run_retained<P>(&self, prog: &P, q: &P::Query) -> (P::Out, RunStats, RunState<P::State>)
+    where
+        P: WarmStart<V, E>;
+
+    /// Warm-start evaluation from retained state after a delta
+    /// (`run_incremental`): round 0 is `warm_eval` through the remaps,
+    /// seeds, and invalidated sets; `state` is refreshed in place.
+    fn run_incremental<P>(
+        &self,
+        prog: &P,
+        q: &P::Query,
+        remaps: &[StateRemap],
+        seeds: &[Vec<LocalId>],
+        invalid: &[Vec<LocalId>],
+        state: &mut RunState<P::State>,
+    ) -> (P::Out, RunStats)
+    where
+        P: WarmStart<V, E>;
+}
+
+impl<V, E> Backend<V, E> for Engine<V, E>
+where
+    V: Send + Sync + 'static,
+    E: Send + Sync + 'static,
+{
+    fn fragments(&self) -> &[Arc<Fragment<V, E>>] {
+        Engine::fragments(self)
+    }
+
+    fn fragments_mut(&mut self) -> Option<Vec<&mut Fragment<V, E>>> {
+        Engine::fragments_mut(self)
+    }
+
+    fn run_retained<P>(&self, prog: &P, q: &P::Query) -> (P::Out, RunStats, RunState<P::State>)
+    where
+        P: WarmStart<V, E>,
+    {
+        let (RunOutput { out, stats }, state) = Engine::run_retained(self, prog, q);
+        (out, stats, state)
+    }
+
+    fn run_incremental<P>(
+        &self,
+        prog: &P,
+        q: &P::Query,
+        remaps: &[StateRemap],
+        seeds: &[Vec<LocalId>],
+        invalid: &[Vec<LocalId>],
+        state: &mut RunState<P::State>,
+    ) -> (P::Out, RunStats)
+    where
+        P: WarmStart<V, E>,
+    {
+        let RunOutput { out, stats } =
+            Engine::run_incremental(self, prog, q, remaps, seeds, invalid, state);
+        (out, stats)
+    }
+}
+
+impl<V, E> Backend<V, E> for SimEngine<V, E>
+where
+    V: 'static,
+    E: 'static,
+{
+    fn fragments(&self) -> &[Arc<Fragment<V, E>>] {
+        SimEngine::fragments(self)
+    }
+
+    fn fragments_mut(&mut self) -> Option<Vec<&mut Fragment<V, E>>> {
+        SimEngine::fragments_mut(self)
+    }
+
+    fn run_retained<P>(&self, prog: &P, q: &P::Query) -> (P::Out, RunStats, RunState<P::State>)
+    where
+        P: WarmStart<V, E>,
+    {
+        let (SimOutput { out, stats, timelines: _ }, state) =
+            SimEngine::run_retained(self, prog, q);
+        (out, stats, state)
+    }
+
+    fn run_incremental<P>(
+        &self,
+        prog: &P,
+        q: &P::Query,
+        remaps: &[StateRemap],
+        seeds: &[Vec<LocalId>],
+        invalid: &[Vec<LocalId>],
+        state: &mut RunState<P::State>,
+    ) -> (P::Out, RunStats)
+    where
+        P: WarmStart<V, E>,
+    {
+        let SimOutput { out, stats, timelines: _ } =
+            SimEngine::run_incremental(self, prog, q, remaps, seeds, invalid, state);
+        (out, stats)
+    }
+}

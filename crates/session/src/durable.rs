@@ -1,0 +1,208 @@
+//! The durable side of a session: an epoch-stamped file layout inside
+//! one directory, flipped atomically by a `MANIFEST` rename.
+//!
+//! ```text
+//! <dir>/MANIFEST                   "epoch=N"  (atomic rename)
+//! <dir>/graph.N.snap               the fragment set (FRAG-only snapshot)
+//! <dir>/state.<program>.N.snap     one per program with retained state
+//! <dir>/deltas.N.dlog              append-only log of applied deltas
+//! ```
+//!
+//! A checkpoint writes the *next* epoch's files first and flips the
+//! manifest last, so a crash at any point leaves a consistent
+//! generation: either the old epoch (manifest not yet flipped — its
+//! snapshot + its complete log still replay to the current state) or
+//! the new one (flipped — the fresh snapshot with an empty log).
+//! Superseded files are deleted best-effort after the flip.
+//!
+//! All `Codec` obligations are captured here as plain `fn` pointers at
+//! [`DurableSpec::new`] time, so `Session::apply`/`checkpoint` need no
+//! serialization bounds of their own.
+
+use crate::SessionError;
+use aap_core::PortableRunState;
+use aap_delta::GraphDelta;
+use aap_graph::Fragment;
+use aap_snapshot::{load_snapshot, save_snapshot, Codec, DeltaLog, SnapshotError};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+pub(crate) const MANIFEST_FILE: &str = "MANIFEST";
+
+pub(crate) fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join(MANIFEST_FILE)
+}
+
+pub(crate) fn graph_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("graph.{epoch}.snap"))
+}
+
+pub(crate) fn state_path(dir: &Path, epoch: u64, name: &str) -> PathBuf {
+    dir.join(format!("state.{name}.{epoch}.snap"))
+}
+
+pub(crate) fn log_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("deltas.{epoch}.dlog"))
+}
+
+/// Program names that have a `state.<name>.<epoch>.snap` file in `dir`
+/// — what restore checks its registrations against. Checkpoint writes
+/// state files only for *registered* programs and checkpoint's cleanup
+/// deletes only registered names, so an unregistered-but-present state
+/// would be silently dropped at the next checkpoint; restore refuses
+/// that instead of losing durable warm state.
+pub(crate) fn state_file_programs(dir: &Path, epoch: u64) -> Result<Vec<String>, SessionError> {
+    let suffix = format!(".{epoch}.snap");
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| SessionError::Io(dir.to_path_buf(), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| SessionError::Io(dir.to_path_buf(), e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(prog) = name.strip_prefix("state.").and_then(|r| r.strip_suffix(&suffix)) {
+            // Program names are [A-Za-z0-9_-]+ (enforced at
+            // registration), so a dot means this is some other file.
+            if !prog.is_empty() && !prog.contains('.') {
+                out.push(prog.to_string());
+            }
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// The epoch a durable file name belongs to, if it is one of ours:
+/// `graph.<e>.snap`, `deltas.<e>.dlog`, or `state.<name>.<e>.snap`.
+fn file_epoch(name: &str) -> Option<u64> {
+    name.strip_prefix("graph.")
+        .and_then(|r| r.strip_suffix(".snap"))
+        .or_else(|| name.strip_prefix("deltas.").and_then(|r| r.strip_suffix(".dlog")))
+        .or_else(|| {
+            name.strip_prefix("state.")
+                .and_then(|r| r.strip_suffix(".snap"))
+                .and_then(|r| r.rsplit_once('.').map(|(_, e)| e))
+        })
+        .and_then(|e| e.parse().ok())
+}
+
+/// Delete every durable file whose epoch differs from `keep`
+/// (best-effort). Called after a manifest flip (checkpoint) and after a
+/// successful restore: a crash *between* a flip and its cleanup — or
+/// mid-checkpoint, leaving half-written next-epoch files the manifest
+/// never adopted — would otherwise strand whole snapshot generations
+/// forever, since ordinary cleanup only targets the immediate
+/// predecessor epoch.
+pub(crate) fn sweep_stale_epochs(dir: &Path, keep: u64) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if file_epoch(name).is_some_and(|e| e != keep) {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Read the manifest; `Ok(None)` when the directory holds none (a fresh
+/// directory), a tagged error when it exists but does not parse.
+pub(crate) fn read_manifest(dir: &Path) -> Result<Option<u64>, SessionError> {
+    let path = manifest_path(dir);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(SessionError::Io(path, e)),
+    };
+    let epoch = text.trim().strip_prefix("epoch=").and_then(|v| v.parse::<u64>().ok()).ok_or_else(
+        || SessionError::Manifest {
+            path: path.clone(),
+            detail: format!("expected \"epoch=N\", found {:?}", text.trim()),
+        },
+    )?;
+    Ok(Some(epoch))
+}
+
+/// Write the manifest atomically (temp file + **fsync** + rename, via
+/// the shared [`aap_snapshot::write_file_atomic`]): the epoch flip is
+/// the commit point of both `open()` initialization and `checkpoint()`
+/// — checkpoint deletes the *old* epoch's files right after it, so the
+/// flip itself must be crash-durable, not merely rename-atomic.
+pub(crate) fn write_manifest(dir: &Path, epoch: u64) -> Result<(), SessionError> {
+    let path = manifest_path(dir);
+    aap_snapshot::write_file_atomic(&path, format!("epoch={epoch}\n").as_bytes())?;
+    Ok(())
+}
+
+pub(crate) type WriteDeltaFn<V, E> =
+    fn(&mut DeltaLog, &GraphDelta<V, E>) -> Result<(), SnapshotError>;
+pub(crate) type SaveFragsFn<V, E> = fn(&Path, &[Arc<Fragment<V, E>>]) -> Result<(), SnapshotError>;
+pub(crate) type LoadFragsFn<V, E> = fn(&Path) -> Result<Vec<Fragment<V, E>>, SnapshotError>;
+pub(crate) type ReadLogFn<V, E> = fn(&Path) -> Result<(Vec<GraphDelta<V, E>>, bool), SnapshotError>;
+
+/// The serialization vtable of a durable session, captured where the
+/// `Codec` bounds hold (builder `durable()`/`restore()`); everything
+/// downstream calls through plain `fn` pointers.
+pub(crate) struct DurableSpec<V, E> {
+    pub(crate) dir: PathBuf,
+    pub(crate) write_delta: WriteDeltaFn<V, E>,
+    pub(crate) save_frags: SaveFragsFn<V, E>,
+    pub(crate) load_frags: LoadFragsFn<V, E>,
+    pub(crate) read_log: ReadLogFn<V, E>,
+}
+
+fn write_delta_impl<V: Codec, E: Codec>(
+    log: &mut DeltaLog,
+    delta: &GraphDelta<V, E>,
+) -> Result<(), SnapshotError> {
+    log.write_delta(delta)
+}
+
+fn save_frags_impl<V: Codec, E: Codec>(
+    path: &Path,
+    frags: &[Arc<Fragment<V, E>>],
+) -> Result<(), SnapshotError> {
+    // Topology only: per-program states live in their own files.
+    save_snapshot::<V, E, (), _, _>(path, frags, None::<&PortableRunState<()>>)
+}
+
+fn load_frags_impl<V: Codec, E: Codec>(path: &Path) -> Result<Vec<Fragment<V, E>>, SnapshotError> {
+    Ok(load_snapshot::<V, E, (), _>(path)?.fragments)
+}
+
+/// Restore reads the log through [`DeltaLog::recover`], not the strict
+/// `replay`: a crash mid-append — the scenario restore exists for —
+/// leaves a torn, never-acknowledged tail record, which is dropped and
+/// truncated away so the log stays appendable. Header/IO errors still
+/// fail (a foreign or unreadable file is not a torn write).
+fn read_log_impl<V: Codec, E: Codec>(
+    path: &Path,
+) -> Result<(Vec<GraphDelta<V, E>>, bool), SnapshotError> {
+    DeltaLog::recover::<V, E, _>(path)
+}
+
+impl<V: Codec, E: Codec> DurableSpec<V, E> {
+    pub(crate) fn new(dir: PathBuf) -> Self {
+        DurableSpec {
+            dir,
+            write_delta: write_delta_impl::<V, E>,
+            save_frags: save_frags_impl::<V, E>,
+            load_frags: load_frags_impl::<V, E>,
+            read_log: read_log_impl::<V, E>,
+        }
+    }
+}
+
+/// The live durable attachment of an open session: the spec plus the
+/// current epoch and its open append log.
+///
+/// `log_wedged` latches when a delta was applied in memory but its log
+/// append failed — from that point the on-disk history is missing a
+/// delta, so replaying it would silently diverge from the live state.
+/// Further applies are refused until a successful `checkpoint()`
+/// re-baselines (the fresh snapshot embodies the unlogged delta and
+/// opens an empty log), which clears the latch.
+pub(crate) struct Durable<V, E> {
+    pub(crate) spec: DurableSpec<V, E>,
+    pub(crate) epoch: u64,
+    pub(crate) log: DeltaLog,
+    pub(crate) log_wedged: bool,
+}

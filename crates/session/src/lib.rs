@@ -1,0 +1,852 @@
+//! # aap-session
+//!
+//! The unified **serving** facade of the GRAPE+ reproduction: one
+//! stateful [`Session`] that owns the partitioned fragments, an engine
+//! (threaded [`aap_core::Engine`] or simulated [`aap_sim::SimEngine`] —
+//! one session type, generic over a [`Backend`]), *multiple
+//! concurrently-retained programs* keyed by name, and optional
+//! durability (epoch-stamped snapshots plus an append-only delta log).
+//!
+//! The paper's AAP model is a serving model — a long-lived process
+//! answering queries over a graph while adapting its parallelization.
+//! Before this facade, that lifecycle was hand-composed from
+//! `Engine::run_retained`, `aap_delta::run_incremental`, and
+//! `aap_snapshot::{save_engine, DeltaLog, replay}`, re-threading
+//! `StateRemap`s and strategy outputs between crates at every step —
+//! once *per program*. A session collapses it to four verbs:
+//!
+//! * [`Session::query`] — serve a query, retaining its fixpoint;
+//! * [`Session::apply`] — apply a delta batch to the fragments **once**
+//!   and warm-advance *every* retained program with its own
+//!   `delta_strategy` (warm-decrease / warm-increase / cold), logging
+//!   the delta when durable;
+//! * [`Session::checkpoint`] — write the next snapshot epoch and reset
+//!   the log (atomic manifest flip);
+//! * [`Session::restore`] — load → attach → replay, per program.
+//!
+//! ```
+//! use aap_session::{edge_cut, Session};
+//! use aap_algos::{ConnectedComponents, Sssp};
+//! use aap_core::Mode;
+//! use aap_delta::DeltaBuilder;
+//! use aap_graph::generate;
+//!
+//! let g = generate::small_world(200, 2, 0.1, 7);
+//! let mut session = Session::builder(g)
+//!     .partition(edge_cut(4))
+//!     .mode(Mode::aap())
+//!     .program("sssp", Sssp)
+//!     .program("cc", ConnectedComponents)
+//!     .open()?;
+//!
+//! let dist = session.query::<Sssp>("sssp", &0)?;
+//! let comps = session.query::<ConnectedComponents>("cc", &())?;
+//! assert_eq!(dist[0], 0);
+//! assert_eq!(comps.len(), 200);
+//!
+//! // One apply advances BOTH retained programs from their fixpoints.
+//! let mut b = DeltaBuilder::new();
+//! b.add_edge(0, 100, 2);
+//! let report = session.apply(&b.build())?;
+//! assert_eq!(report.programs.len(), 2);
+//! # Ok::<(), aap_session::SessionError>(())
+//! ```
+//!
+//! Durability is a builder flag: `.durable(dir)?` snapshots the
+//! partition at open, logs every applied delta, and
+//! [`Session::restore`] + the same `.program(...)` registrations bring
+//! a crashed process back to byte-identical state (see the
+//! `SessionBuilder` docs for the full round trip).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod durable;
+mod slot;
+
+pub use backend::Backend;
+
+use crate::durable::{
+    graph_path, log_path, read_manifest, state_file_programs, state_path, sweep_stale_epochs,
+    write_manifest, Durable, DurableSpec,
+};
+use crate::slot::{AnySlot, Planned, ProgramFactory, Slot, SlotFactory};
+use aap_core::engine::RunState;
+use aap_core::pie::WarmStart;
+use aap_core::{Engine, EngineOpts, Mode, WarmStrategy};
+use aap_delta::apply::apply_to_fragments_with;
+use aap_delta::{DeltaSummary, GraphDelta};
+use aap_graph::mutate::EditBuffers;
+use aap_graph::partition::{
+    build_fragments_n, build_fragments_vertex_cut_n, hash_partition, vertex_cut_partition,
+};
+use aap_graph::{Fragment, Graph};
+use aap_sim::{SimEngine, SimOpts};
+use aap_snapshot::{Codec, DeltaLog, SnapshotError};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// What went wrong with a session operation.
+#[derive(Debug)]
+pub enum SessionError {
+    /// No program is registered under this name.
+    UnknownProgram(String),
+    /// A typed accessor named a program registered with a different
+    /// program type.
+    ProgramType {
+        /// The program name whose registration disagrees.
+        name: String,
+    },
+    /// The engine's fragments are still shared by a previous borrow
+    /// (drop outstanding fragment references before `apply`).
+    SharedFragments,
+    /// `checkpoint` on a session opened without `.durable(dir)`.
+    NotDurable,
+    /// A previous apply advanced the in-memory state but failed to
+    /// append its delta to the log, so the on-disk history no longer
+    /// replays to the live state. Further applies are refused until a
+    /// successful [`Session::checkpoint`] re-baselines the directory
+    /// (the fresh snapshot embodies the unlogged delta).
+    LogWedged,
+    /// `.durable(dir)` named a directory that already holds a session;
+    /// use [`Session::restore`] to resume it.
+    AlreadyInitialized(PathBuf),
+    /// `restore` named a directory without a session manifest.
+    MissingManifest(PathBuf),
+    /// `restore` found persisted state for a program that is not
+    /// registered on the builder. Proceeding would silently drop that
+    /// program's durable warm state at the next `checkpoint` — register
+    /// the program (same name, same type), or delete its
+    /// `state.<name>.<epoch>.snap` file to drop it deliberately.
+    UnregisteredProgramState {
+        /// The program name the state file carries.
+        name: String,
+    },
+    /// The manifest exists but does not parse.
+    Manifest {
+        /// The manifest path.
+        path: PathBuf,
+        /// What was wrong with its contents.
+        detail: String,
+    },
+    /// A loaded program state could not be re-anchored against the
+    /// loaded fragments.
+    Restore {
+        /// The attach failure.
+        detail: String,
+    },
+    /// An underlying snapshot/log error (tagged with its path).
+    Snapshot(SnapshotError),
+    /// A plain filesystem error.
+    Io(PathBuf, std::io::Error),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::UnknownProgram(name) => write!(f, "no program registered as {name:?}"),
+            SessionError::ProgramType { name } => {
+                write!(f, "program {name:?} was registered with a different program type")
+            }
+            SessionError::SharedFragments => {
+                write!(f, "fragments are shared; drop outstanding fragment borrows first")
+            }
+            SessionError::NotDurable => {
+                write!(f, "session was opened without .durable(dir); nothing to checkpoint")
+            }
+            SessionError::LogWedged => write!(
+                f,
+                "delta log is missing an applied delta (a previous append failed); \
+                 checkpoint() to re-baseline before applying further deltas"
+            ),
+            SessionError::AlreadyInitialized(dir) => write!(
+                f,
+                "{} already holds a session; use Session::restore to resume it",
+                dir.display()
+            ),
+            SessionError::MissingManifest(dir) => {
+                write!(f, "{} holds no session manifest", dir.display())
+            }
+            SessionError::UnregisteredProgramState { name } => write!(
+                f,
+                "directory holds retained state for unregistered program {name:?}; \
+                 register it or delete its state file to drop it deliberately"
+            ),
+            SessionError::Manifest { path, detail } => {
+                write!(f, "{}: bad manifest: {detail}", path.display())
+            }
+            SessionError::Restore { detail } => write!(f, "restore: {detail}"),
+            SessionError::Snapshot(e) => write!(f, "{e}"),
+            SessionError::Io(path, e) => write!(f, "{}: {e}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<SnapshotError> for SessionError {
+    fn from(e: SnapshotError) -> Self {
+        SessionError::Snapshot(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Partition specs
+// ---------------------------------------------------------------------
+
+/// How the session partitions its graph at open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionSpec {
+    /// Hash edge-cut into `m` fragments (owned vertices + edge-less
+    /// mirrors) — the default.
+    EdgeCut(usize),
+    /// Hash vertex-cut into `m` fragments (replicated copies carrying
+    /// edges).
+    VertexCut(usize),
+}
+
+/// Hash edge-cut into `m` fragments (builder shorthand).
+pub fn edge_cut(m: usize) -> PartitionSpec {
+    PartitionSpec::EdgeCut(m)
+}
+
+/// Hash vertex-cut into `m` fragments (builder shorthand).
+pub fn vertex_cut(m: usize) -> PartitionSpec {
+    PartitionSpec::VertexCut(m)
+}
+
+impl PartitionSpec {
+    fn build<V: Clone, E: Clone>(self, g: &Graph<V, E>) -> Vec<Fragment<V, E>> {
+        match self {
+            PartitionSpec::EdgeCut(m) => build_fragments_n(g, &hash_partition(g, m), m),
+            PartitionSpec::VertexCut(m) => {
+                build_fragments_vertex_cut_n(g, &vertex_cut_partition(g, m), m)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Apply report
+// ---------------------------------------------------------------------
+
+/// What one [`Session::apply`] did: the resolved batch shape and, per
+/// retained program, the strategy that advanced it.
+#[derive(Debug)]
+pub struct ApplyReport {
+    /// Batch shape with weight-change directions resolved against the
+    /// pre-apply graph.
+    pub summary: DeltaSummary,
+    /// One entry per program that held retained state (programs never
+    /// queried have nothing to advance and are absent).
+    pub programs: Vec<ProgramApply>,
+}
+
+impl ApplyReport {
+    /// The strategy that advanced `name`, if it advanced.
+    pub fn strategy(&self, name: &str) -> Option<WarmStrategy> {
+        self.programs.iter().find(|p| p.name == name).map(|p| p.strategy)
+    }
+}
+
+/// One program's advance within an [`ApplyReport`].
+#[derive(Debug)]
+pub struct ProgramApply {
+    /// The program's registered name.
+    pub name: String,
+    /// Which evaluation strategy ran
+    /// (`warm-decrease | warm-increase | cold`).
+    pub strategy: WarmStrategy,
+    /// Updates shipped by the advancing run.
+    pub updates: u64,
+}
+
+// ---------------------------------------------------------------------
+// The builder
+// ---------------------------------------------------------------------
+
+enum Source<V, E> {
+    Graph(Graph<V, E>),
+    Restore,
+}
+
+/// Named, type-erased program slots in registration order.
+type Slots<V, E, B> = Vec<(String, Box<dyn AnySlot<V, E, B>>)>;
+
+/// Builder for a [`Session`]: graph (or restore directory), partition,
+/// execution mode, registered programs, and optional durability. See
+/// the crate docs for the fresh-open shape; the durable round trip:
+///
+/// ```
+/// use aap_session::{edge_cut, Session};
+/// use aap_algos::Sssp;
+/// use aap_delta::DeltaBuilder;
+/// use aap_graph::generate;
+///
+/// let dir = std::env::temp_dir().join(format!("aap_session_doc_{}", std::process::id()));
+/// let g = generate::small_world(120, 2, 0.1, 3);
+/// let mut session = Session::builder(g)
+///     .partition(edge_cut(3))
+///     .program("sssp", Sssp)
+///     .durable(&dir)?
+///     .open()?;
+/// let before = session.query::<Sssp>("sssp", &0)?;
+/// let mut b = DeltaBuilder::new();
+/// b.add_edge(0, 60, 1);
+/// session.apply(&b.build())?; // logged
+/// let served = session.query::<Sssp>("sssp", &0)?;
+/// drop(session); // "crash"
+///
+/// // load -> attach -> replay, per program, same registrations. The
+/// // node/edge payload types are pinned by annotation — programs like
+/// // `Sssp` are generic over them, so nothing else infers them:
+/// let mut restored: Session<(), u32, _> =
+///     Session::restore(&dir).program("sssp", Sssp).open()?;
+/// assert_eq!(restored.query::<Sssp>("sssp", &0)?, served);
+/// assert_ne!(before, served);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), aap_session::SessionError>(())
+/// ```
+pub struct SessionBuilder<V, E> {
+    source: Source<V, E>,
+    partition: PartitionSpec,
+    mode: Mode,
+    threads: Option<usize>,
+    max_rounds: Option<u32>,
+    durable_spec: Option<DurableSpec<V, E>>,
+    programs: Vec<(String, Box<dyn SlotFactory<V, E>>)>,
+}
+
+fn valid_program_name(name: &str) -> bool {
+    !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+}
+
+impl<V, E> SessionBuilder<V, E>
+where
+    V: Clone + Send + Sync + 'static,
+    E: Clone + PartialOrd + Send + Sync + 'static,
+{
+    /// Start a builder over a graph to be partitioned at open.
+    /// [`Session::builder`] is the usual spelling.
+    pub fn new(graph: Graph<V, E>) -> Self {
+        SessionBuilder {
+            source: Source::Graph(graph),
+            partition: PartitionSpec::EdgeCut(EngineOpts::default().threads.max(2)),
+            mode: Mode::aap(),
+            threads: None,
+            max_rounds: None,
+            durable_spec: None,
+            programs: Vec::new(),
+        }
+    }
+
+    /// Start a builder that restores a durable session directory at
+    /// open (load snapshot → attach per-program states → replay the
+    /// delta log). Register the same programs the directory was
+    /// checkpointed with; [`Session::restore`] is the usual spelling.
+    pub fn restore_from(dir: impl AsRef<Path>) -> Self
+    where
+        V: Codec,
+        E: Codec,
+    {
+        SessionBuilder {
+            source: Source::Restore,
+            partition: PartitionSpec::EdgeCut(EngineOpts::default().threads.max(2)),
+            mode: Mode::aap(),
+            threads: None,
+            max_rounds: None,
+            durable_spec: Some(DurableSpec::new(dir.as_ref().to_path_buf())),
+            programs: Vec::new(),
+        }
+    }
+
+    /// How to partition the graph (default: hash edge-cut over the
+    /// default thread count). Ignored on restore — the persisted
+    /// partition is loaded as saved.
+    pub fn partition(mut self, spec: PartitionSpec) -> Self {
+        self.partition = spec;
+        self
+    }
+
+    /// Execution mode (δ policy) of the engine (default: AAP).
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Physical worker threads for the threaded backend (default: the
+    /// machine's parallelism). The simulator ignores it.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Abort any run exceeding this many rounds (safety valve; default
+    /// unbounded on the threaded backend).
+    pub fn max_rounds(mut self, max_rounds: u32) -> Self {
+        self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Register a program under `name`. Programs are retained
+    /// independently: each keeps its own query, state, and strategy;
+    /// one [`Session::apply`] advances them all.
+    ///
+    /// The `Codec` bounds make every registered program durable-capable
+    /// (checkpointable); non-durable sessions simply never call them.
+    ///
+    /// # Panics
+    /// Panics on a duplicate name or a name that is not
+    /// `[A-Za-z0-9_-]+` (names become file-name components of durable
+    /// sessions).
+    pub fn program<P>(mut self, name: impl Into<String>, prog: P) -> Self
+    where
+        P: WarmStart<V, E> + 'static,
+        P::Query: Clone + PartialEq + Codec + 'static,
+        P::State: Clone + Codec,
+        P::Out: Clone + 'static,
+    {
+        let name = name.into();
+        assert!(
+            valid_program_name(&name),
+            "program name {name:?} must be non-empty [A-Za-z0-9_-]+"
+        );
+        assert!(
+            !self.programs.iter().any(|(n, _)| *n == name),
+            "program {name:?} registered twice"
+        );
+        self.programs.push((name, Box::new(ProgramFactory::new(prog))));
+        self
+    }
+
+    /// Make the session durable in `dir` (created if missing): the
+    /// partition is snapshotted at open, every applied delta is logged,
+    /// and [`Session::checkpoint`] rotates snapshot epochs. Fails if
+    /// `dir` already holds a session (resume those with
+    /// [`Session::restore`]).
+    pub fn durable(mut self, dir: impl AsRef<Path>) -> Result<Self, SessionError>
+    where
+        V: Codec,
+        E: Codec,
+    {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| SessionError::Io(dir.clone(), e))?;
+        self.durable_spec = Some(DurableSpec::new(dir));
+        Ok(self)
+    }
+
+    /// Open the session on the threaded GRAPE+ engine.
+    pub fn open(self) -> Result<Session<V, E, Engine<V, E>>, SessionError> {
+        let opts = EngineOpts {
+            threads: self.threads.unwrap_or_else(|| EngineOpts::default().threads),
+            mode: self.mode.clone(),
+            max_rounds: self.max_rounds,
+        };
+        self.open_with(|frags| Engine::new(frags, opts), SlotFactory::engine_slot)
+    }
+
+    /// Open the session on the deterministic discrete-event simulator
+    /// (virtual time, default latency/cost model) — same facade, same
+    /// lifecycle, reproducible runs.
+    pub fn open_sim(self) -> Result<Session<V, E, SimEngine<V, E>>, SessionError> {
+        let opts = SimOpts { mode: self.mode.clone(), ..SimOpts::default() };
+        let opts = SimOpts { max_rounds: self.max_rounds.or(opts.max_rounds), ..opts };
+        self.open_with(|frags| SimEngine::new(frags, opts), SlotFactory::sim_slot)
+    }
+
+    fn open_with<B, MB, MS>(
+        self,
+        make_backend: MB,
+        make_slot: MS,
+    ) -> Result<Session<V, E, B>, SessionError>
+    where
+        B: Backend<V, E>,
+        MB: FnOnce(Vec<Fragment<V, E>>) -> B,
+        MS: Fn(Box<dyn SlotFactory<V, E>>) -> Box<dyn AnySlot<V, E, B>>,
+    {
+        let SessionBuilder { source, partition, durable_spec, programs, .. } = self;
+        match source {
+            Source::Graph(g) => {
+                let frags = partition.build(&g);
+                let backend = make_backend(frags);
+                let slots: Slots<V, E, B> =
+                    programs.into_iter().map(|(n, f)| (n, make_slot(f))).collect();
+                let mut session =
+                    Session { backend, slots, durable: None, bufs: EditBuffers::default() };
+                if let Some(spec) = durable_spec {
+                    if read_manifest(&spec.dir)?.is_some() {
+                        return Err(SessionError::AlreadyInitialized(spec.dir));
+                    }
+                    (spec.save_frags)(&graph_path(&spec.dir, 0), session.backend.fragments())?;
+                    let log = DeltaLog::create(log_path(&spec.dir, 0))?;
+                    write_manifest(&spec.dir, 0)?;
+                    session.durable = Some(Durable { spec, epoch: 0, log, log_wedged: false });
+                }
+                Ok(session)
+            }
+            Source::Restore => {
+                let spec = durable_spec.expect("restore builders always carry a durable spec");
+                let epoch = read_manifest(&spec.dir)?
+                    .ok_or_else(|| SessionError::MissingManifest(spec.dir.clone()))?;
+                let frags = (spec.load_frags)(&graph_path(&spec.dir, epoch))?;
+                let backend = make_backend(frags);
+                let slots: Slots<V, E, B> =
+                    programs.into_iter().map(|(n, f)| (n, make_slot(f))).collect();
+                let mut session =
+                    Session { backend, slots, durable: None, bufs: EditBuffers::default() };
+                // Every persisted state must have a registration: a
+                // later checkpoint would silently drop an unregistered
+                // program's durable warm state (its file is neither
+                // carried forward nor cleaned up).
+                for prog in state_file_programs(&spec.dir, epoch)? {
+                    if !session.slots.iter().any(|(n, _)| *n == prog) {
+                        return Err(SessionError::UnregisteredProgramState { name: prog });
+                    }
+                }
+                {
+                    let Session { slots, backend, .. } = &mut session;
+                    for (name, slot) in slots.iter_mut() {
+                        slot.load_state(&state_path(&spec.dir, epoch, name), backend)?;
+                    }
+                }
+                // Replay the log: apply each delta once, advancing every
+                // attached program — without re-logging. The read is the
+                // tolerant `recover`: a torn, never-acknowledged tail
+                // record from a crash mid-append is truncated away.
+                let (deltas, _dropped_torn_tail) = (spec.read_log)(&log_path(&spec.dir, epoch))?;
+                for delta in &deltas {
+                    session.apply_inner(delta)?;
+                }
+                let log = DeltaLog::open_append(log_path(&spec.dir, epoch))?;
+                // Reclaim generations stranded by a crash between a
+                // manifest flip and its cleanup (or mid-checkpoint).
+                sweep_stale_epochs(&spec.dir, epoch);
+                session.durable = Some(Durable { spec, epoch, log, log_wedged: false });
+                Ok(session)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The session
+// ---------------------------------------------------------------------
+
+/// A long-lived serving facade over one partitioned graph: multiple
+/// retained programs, one delta lifecycle, optional durability. Built
+/// by [`Session::builder`] / restored by [`Session::restore`]; see the
+/// crate docs for the full tour.
+pub struct Session<V, E, B: Backend<V, E>> {
+    backend: B,
+    slots: Slots<V, E, B>,
+    durable: Option<Durable<V, E>>,
+    bufs: EditBuffers,
+}
+
+impl<V, E> Session<V, E, Engine<V, E>>
+where
+    V: Clone + Send + Sync + 'static,
+    E: Clone + PartialOrd + Send + Sync + 'static,
+{
+    /// Start building a session over `graph` (see [`SessionBuilder`]).
+    pub fn builder(graph: Graph<V, E>) -> SessionBuilder<V, E> {
+        SessionBuilder::new(graph)
+    }
+
+    /// Start building a session that resumes the durable directory
+    /// `dir`: open loads the manifest's snapshot epoch, re-attaches
+    /// each registered program's persisted state, and replays the delta
+    /// log — landing byte-identical to the process that wrote it.
+    pub fn restore(dir: impl AsRef<Path>) -> SessionBuilder<V, E>
+    where
+        V: Codec,
+        E: Codec,
+    {
+        SessionBuilder::restore_from(dir)
+    }
+}
+
+impl<V, E, B> Session<V, E, B>
+where
+    V: Clone + Send + Sync + 'static,
+    E: Clone + PartialOrd + Send + Sync + 'static,
+    B: Backend<V, E>,
+{
+    /// The fragments the session computes over.
+    pub fn fragments(&self) -> &[Arc<Fragment<V, E>>] {
+        self.backend.fragments()
+    }
+
+    /// The underlying backend (read access — e.g. engine options).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Registered program names, in registration order.
+    pub fn program_names(&self) -> impl Iterator<Item = &str> {
+        self.slots.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// True when the session snapshots and logs (`.durable(dir)`).
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The current durable snapshot epoch, if durable.
+    pub fn epoch(&self) -> Option<u64> {
+        self.durable.as_ref().map(|d| d.epoch)
+    }
+
+    fn slot_index(&self, name: &str) -> Result<usize, SessionError> {
+        self.slots
+            .iter()
+            .position(|(n, _)| n == name)
+            .ok_or_else(|| SessionError::UnknownProgram(name.to_string()))
+    }
+
+    /// Look program `name` up and downcast its slot to the caller's
+    /// program type — the shared head of every typed accessor.
+    fn typed_slot<P>(&self, name: &str) -> Result<&Slot<V, E, P>, SessionError>
+    where
+        P: WarmStart<V, E> + 'static,
+        P::Query: Clone + PartialEq + 'static,
+        P::Out: Clone + 'static,
+    {
+        let idx = self.slot_index(name)?;
+        self.slots[idx]
+            .1
+            .as_any()
+            .downcast_ref::<Slot<V, E, P>>()
+            .ok_or_else(|| SessionError::ProgramType { name: name.to_string() })
+    }
+
+    /// Serve a query against program `name`, which must have been
+    /// registered with program type `P` (checked; mismatches are a
+    /// [`SessionError::ProgramType`]).
+    ///
+    /// The first call (per query value) runs a cold retained
+    /// evaluation; repeats of the same query are served from the
+    /// retained fixpoint without touching the engine (the returned
+    /// value is a clone — use [`Session::output`] for a zero-copy
+    /// borrow), and [`Session::apply`] keeps that fixpoint current
+    /// across deltas. A *different* query value re-runs cold and
+    /// becomes the program's retained query.
+    ///
+    /// On a durable session the retained-query *switch* itself is an
+    /// in-memory event: state files record the query as of the last
+    /// [`Session::checkpoint`], and a restore resumes that query (the
+    /// applied delta stream — what the log records — replays exactly
+    /// either way; re-querying the newer value after restore is one
+    /// cold run). Checkpoint after switching queries if the switch
+    /// itself must survive a crash.
+    pub fn query<P>(&mut self, name: &str, q: &P::Query) -> Result<P::Out, SessionError>
+    where
+        P: WarmStart<V, E> + 'static,
+        P::Query: Clone + PartialEq + 'static,
+        P::Out: Clone + 'static,
+    {
+        // `query` mutates the slot while borrowing the backend, so it
+        // needs the split-borrow form of `typed_slot` inline.
+        let idx = self.slot_index(name)?;
+        let Session { slots, backend, .. } = self;
+        let slot = slots[idx]
+            .1
+            .as_any_mut()
+            .downcast_mut::<Slot<V, E, P>>()
+            .ok_or_else(|| SessionError::ProgramType { name: name.to_string() })?;
+        Ok(slot.query(backend, q))
+    }
+
+    /// Borrow program `name`'s cached assembled output for its retained
+    /// query (`None` until a query materializes one) — the zero-copy
+    /// serving path for read-heavy callers, where [`Session::query`]
+    /// would clone the whole assembled vector per call.
+    pub fn output<P>(&self, name: &str) -> Result<Option<&P::Out>, SessionError>
+    where
+        P: WarmStart<V, E> + 'static,
+        P::Query: Clone + PartialEq + 'static,
+        P::Out: Clone + 'static,
+    {
+        Ok(self.typed_slot::<P>(name)?.output())
+    }
+
+    /// The retained [`RunState`] of program `name` (`None` until a
+    /// query materializes one) — diagnostic/test access; the
+    /// equivalence suites compare it against hand-rolled compositions.
+    pub fn run_state<P>(&self, name: &str) -> Result<Option<&RunState<P::State>>, SessionError>
+    where
+        P: WarmStart<V, E> + 'static,
+        P::Query: Clone + PartialEq + 'static,
+        P::Out: Clone + 'static,
+    {
+        Ok(self.typed_slot::<P>(name)?.state())
+    }
+
+    /// The query program `name` currently retains, if any.
+    pub fn retained_query<P>(&self, name: &str) -> Result<Option<&P::Query>, SessionError>
+    where
+        P: WarmStart<V, E> + 'static,
+        P::Query: Clone + PartialEq + 'static,
+        P::Out: Clone + 'static,
+    {
+        Ok(self.typed_slot::<P>(name)?.current_query())
+    }
+
+    /// Apply a delta batch: plan every retained program's invalidation
+    /// **pre-apply**, mutate the fragments in place **once**, then
+    /// advance each program with its own strategy (warm-decrease /
+    /// warm-increase through `warm_eval`, or a cold retained rerun).
+    /// Durable sessions append the delta to the log after a successful
+    /// apply. If that append fails, the in-memory state is already
+    /// advanced but the on-disk history is not — the session latches
+    /// [`SessionError::LogWedged`] and refuses further applies until a
+    /// successful [`Session::checkpoint`] re-baselines the directory
+    /// (queries keep serving the consistent in-memory state meanwhile).
+    pub fn apply(&mut self, delta: &GraphDelta<V, E>) -> Result<ApplyReport, SessionError> {
+        if self.durable.as_ref().is_some_and(|d| d.log_wedged) {
+            return Err(SessionError::LogWedged);
+        }
+        let report = self.apply_inner(delta)?;
+        if let Some(d) = &mut self.durable {
+            if let Err(e) = (d.spec.write_delta)(&mut d.log, delta) {
+                d.log_wedged = true;
+                return Err(SessionError::Snapshot(e));
+            }
+        }
+        Ok(report)
+    }
+
+    fn apply_inner(&mut self, delta: &GraphDelta<V, E>) -> Result<ApplyReport, SessionError> {
+        // 1. Pre-apply planning on the old fragments + old states.
+        let planned: Vec<Option<Planned>> = {
+            let view: Vec<&Fragment<V, E>> =
+                self.backend.fragments().iter().map(|a| &**a).collect();
+            self.slots.iter_mut().map(|(_, s)| s.plan(&view, delta)).collect()
+        };
+        // 2. One in-place fragment mutation, shared by all programs.
+        let applied = {
+            let mut frags = self.backend.fragments_mut().ok_or(SessionError::SharedFragments)?;
+            apply_to_fragments_with(&mut frags, delta, &mut self.bufs)
+        };
+        // 3. Advance every program that holds retained state.
+        let mut programs = Vec::new();
+        for ((name, slot), plan) in self.slots.iter_mut().zip(planned) {
+            if let Some(adv) = slot.advance(&self.backend, &applied, plan) {
+                programs.push(ProgramApply {
+                    name: name.clone(),
+                    strategy: adv.strategy,
+                    updates: adv.stats.total_updates(),
+                });
+            }
+        }
+        Ok(ApplyReport { summary: applied.summary, programs })
+    }
+
+    /// Write the next durable epoch — fragment snapshot plus one state
+    /// file per retained program — flip the manifest, and start a fresh
+    /// delta log (the snapshot supersedes the old log's prefix). The
+    /// old epoch's files are deleted best-effort after the flip.
+    /// Returns the new epoch.
+    pub fn checkpoint(&mut self) -> Result<u64, SessionError> {
+        let Some(durable) = self.durable.as_mut() else {
+            return Err(SessionError::NotDurable);
+        };
+        let dir = durable.spec.dir.clone();
+        let next = durable.epoch + 1;
+        (durable.spec.save_frags)(&graph_path(&dir, next), self.backend.fragments())?;
+        for (name, slot) in &self.slots {
+            slot.save_state(&state_path(&dir, next, name), self.backend.fragments())?;
+        }
+        let new_log = DeltaLog::create(log_path(&dir, next))?;
+        write_manifest(&dir, next)?;
+        durable.log = new_log;
+        durable.epoch = next;
+        // The fresh snapshot embodies every applied delta, logged or
+        // not: a wedged log (failed append) is healed by re-baselining.
+        durable.log_wedged = false;
+        // Best-effort cleanup of every superseded generation — not just
+        // the immediate predecessor, so generations stranded by a crash
+        // in this window are reclaimed by the next checkpoint/restore.
+        sweep_stale_epochs(&dir, next);
+        Ok(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aap_algos::Sssp;
+    use aap_delta::DeltaBuilder;
+    use aap_graph::generate;
+
+    /// An always-failing log append, standing in for a full disk.
+    fn failing_write(
+        _log: &mut DeltaLog,
+        _delta: &GraphDelta<(), u32>,
+    ) -> Result<(), SnapshotError> {
+        Err(DeltaLog::create("/nonexistent-aap-session-dir/never.dlog")
+            .expect_err("creating a log in a nonexistent directory must fail"))
+    }
+
+    /// The LogWedged latch end to end: a failed append latches, further
+    /// applies are refused (live state is ahead of the log, so logging
+    /// more would let a restore silently diverge), checkpoint heals by
+    /// re-baselining, and a post-heal restore lands exactly at the live
+    /// state — including the delta whose append failed.
+    #[test]
+    fn failed_log_append_wedges_until_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("aap_session_wedge_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let g = generate::small_world(60, 2, 0.2, 5);
+        let mut session = Session::builder(g)
+            .partition(edge_cut(2))
+            .program("sssp", Sssp)
+            .durable(&dir)
+            .unwrap()
+            .open()
+            .unwrap();
+        session.query::<Sssp>("sssp", &0).unwrap();
+
+        // Inject the failure and apply: the in-memory state advances,
+        // the append fails, the latch sets.
+        let healthy_write = session.durable.as_ref().unwrap().spec.write_delta;
+        session.durable.as_mut().unwrap().spec.write_delta = failing_write;
+        let mut b = DeltaBuilder::new();
+        b.add_edge(0, 30, 1);
+        let delta = b.build();
+        let err = session.apply(&delta).expect_err("injected append failure");
+        assert!(matches!(err, SessionError::Snapshot(_)), "{err}");
+        let advanced = session.query::<Sssp>("sssp", &0).unwrap();
+
+        // Wedged: further applies are refused even with a healthy log.
+        session.durable.as_mut().unwrap().spec.write_delta = healthy_write;
+        let mut b = DeltaBuilder::new();
+        b.add_edge(0, 31, 1);
+        let next = b.build();
+        let err = session.apply(&next).expect_err("wedged session must refuse");
+        assert!(matches!(err, SessionError::LogWedged), "{err}");
+        assert_eq!(
+            session.query::<Sssp>("sssp", &0).unwrap(),
+            advanced,
+            "a refused apply must not touch state"
+        );
+
+        // Checkpoint re-baselines (the fresh snapshot embodies the
+        // unlogged delta) and clears the latch; applies resume.
+        session.checkpoint().unwrap();
+        session.apply(&next).unwrap();
+        let served = session.query::<Sssp>("sssp", &0).unwrap();
+        drop(session);
+
+        // The healed directory restores to exactly the live state.
+        let mut restored: Session<(), u32, _> =
+            Session::restore(&dir).program("sssp", Sssp).open().unwrap();
+        assert_eq!(restored.query::<Sssp>("sssp", &0).unwrap(), served);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

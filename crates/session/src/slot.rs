@@ -1,0 +1,255 @@
+//! Type-erased program slots: one registered PIE program with its
+//! retained query, [`RunState`], and cached output, behind an object-safe
+//! trait so a [`crate::Session`] can hold SSSP, CC, and future programs
+//! with heterogeneous `Query`/`State`/`Out` types in one map.
+//!
+//! The erased surface is exactly the per-program half of the session
+//! lifecycle: *plan* (pre-apply invalidation planning), *advance* (warm
+//! or cold evaluation after the shared fragment apply), and the durable
+//! *save*/*load* hooks. The typed half — `query` — goes through a
+//! downcast in `Session::query`, which re-unites the caller's program
+//! type with the slot's.
+
+use crate::backend::Backend;
+use crate::SessionError;
+use aap_core::engine::RunState;
+use aap_core::pie::WarmStart;
+use aap_core::{Engine, RunStats, WarmStrategy};
+use aap_delta::{plan_incremental, remap_invalid, Applied, GraphDelta};
+use aap_graph::{Fragment, LocalId};
+use aap_sim::SimEngine;
+use aap_snapshot::{load_program_state, save_program_state, Codec, SnapshotError};
+use std::any::Any;
+use std::marker::PhantomData;
+use std::path::Path;
+use std::sync::Arc;
+
+/// The pre-apply half of one program's delta handling: the strategy its
+/// `delta_strategy` chose and, for `warm-increase`, the invalidated
+/// sets in **old** local ids (remapped after the apply).
+pub(crate) struct Planned {
+    pub(crate) strategy: WarmStrategy,
+    pub(crate) invalid_old: Vec<Vec<LocalId>>,
+}
+
+/// What one program's advance did, for the session's apply report.
+pub(crate) struct SlotAdvance {
+    pub(crate) strategy: WarmStrategy,
+    pub(crate) stats: RunStats,
+}
+
+/// The object-safe slot surface (see module docs). `Any` is a supertrait
+/// so `Session::query` can downcast back to the concrete [`Slot`].
+pub(crate) trait AnySlot<V, E, B>: Any {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    /// Pre-apply planning on the old fragments; `None` when no state is
+    /// retained yet (nothing to advance).
+    fn plan(&mut self, frags: &[&Fragment<V, E>], delta: &GraphDelta<V, E>) -> Option<Planned>;
+    /// Post-apply advance: warm (`run_incremental` through the applied
+    /// remaps/seeds) or cold (`run_retained`), refreshing the cached
+    /// output and the state's plan cache.
+    fn advance(
+        &mut self,
+        backend: &B,
+        applied: &Applied,
+        planned: Option<Planned>,
+    ) -> Option<SlotAdvance>;
+    /// Persist query + exported state to `path`; `Ok(false)` when the
+    /// slot has no state yet (nothing written).
+    fn save_state(&self, path: &Path, frags: &[Arc<Fragment<V, E>>])
+        -> Result<bool, SnapshotError>;
+    /// Load query + state from `path` (if it exists), attach against the
+    /// backend's fragments, and settle non-identity remaps through one
+    /// warm round. `Ok(false)` when no file exists.
+    fn load_state(&mut self, path: &Path, backend: &B) -> Result<bool, SessionError>;
+}
+
+/// The concrete slot for program `P`.
+pub(crate) struct Slot<V, E, P>
+where
+    P: WarmStart<V, E>,
+{
+    prog: P,
+    query: Option<P::Query>,
+    state: Option<RunState<P::State>>,
+    out: Option<P::Out>,
+    _marker: PhantomData<fn() -> (V, E)>,
+}
+
+impl<V, E, P> Slot<V, E, P>
+where
+    P: WarmStart<V, E>,
+    P::Query: Clone + PartialEq,
+    P::Out: Clone,
+{
+    pub(crate) fn new(prog: P) -> Self {
+        Slot { prog, query: None, state: None, out: None, _marker: PhantomData }
+    }
+
+    /// Serve a query: from the cached fixpoint when `q` matches the
+    /// retained query, otherwise by a cold retained run that replaces
+    /// the slot's state (the new query becomes the one future deltas
+    /// warm-advance).
+    pub(crate) fn query<B: Backend<V, E>>(&mut self, backend: &B, q: &P::Query) -> P::Out {
+        if let (Some(cq), Some(out)) = (&self.query, &self.out) {
+            if cq == q {
+                return out.clone();
+            }
+        }
+        let (out, _stats, mut state) = backend.run_retained(&self.prog, q);
+        self.prog.refresh_plan_cache(&out, state.plan_cache_mut());
+        self.query = Some(q.clone());
+        self.state = Some(state);
+        self.out = Some(out.clone());
+        out
+    }
+
+    /// The retained state, if a query materialized one (test/diagnostic
+    /// access through `Session::run_state`).
+    pub(crate) fn state(&self) -> Option<&RunState<P::State>> {
+        self.state.as_ref()
+    }
+
+    /// The retained query, if any.
+    pub(crate) fn current_query(&self) -> Option<&P::Query> {
+        self.query.as_ref()
+    }
+
+    /// The cached assembled output, if any (zero-copy serving path).
+    pub(crate) fn output(&self) -> Option<&P::Out> {
+        self.out.as_ref()
+    }
+}
+
+impl<V, E, B, P> AnySlot<V, E, B> for Slot<V, E, P>
+where
+    V: Clone + Send + Sync + 'static,
+    E: Clone + PartialOrd + Send + Sync + 'static,
+    B: Backend<V, E>,
+    P: WarmStart<V, E> + 'static,
+    P::Query: Clone + PartialEq + Codec + 'static,
+    P::State: Clone + Codec,
+    P::Out: Clone + 'static,
+{
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn plan(&mut self, frags: &[&Fragment<V, E>], delta: &GraphDelta<V, E>) -> Option<Planned> {
+        let q = self.query.clone()?;
+        let state = self.state.as_mut()?;
+        let (strategy, invalid_old) = plan_incremental(frags, &self.prog, &q, delta, state);
+        Some(Planned { strategy, invalid_old })
+    }
+
+    fn advance(
+        &mut self,
+        backend: &B,
+        applied: &Applied,
+        planned: Option<Planned>,
+    ) -> Option<SlotAdvance> {
+        let planned = planned?;
+        let q = self.query.clone()?;
+        let (out, stats) = if planned.strategy.is_warm() {
+            let state = self.state.as_mut()?;
+            let invalid = remap_invalid(planned.invalid_old, applied);
+            let (out, stats) = backend.run_incremental(
+                &self.prog,
+                &q,
+                &applied.remaps,
+                &applied.seeds,
+                &invalid,
+                state,
+            );
+            self.prog.refresh_plan_cache(&out, state.plan_cache_mut());
+            (out, stats)
+        } else {
+            let (out, stats, mut state) = backend.run_retained(&self.prog, &q);
+            self.prog.refresh_plan_cache(&out, state.plan_cache_mut());
+            self.state = Some(state);
+            (out, stats)
+        };
+        self.out = Some(out);
+        Some(SlotAdvance { strategy: planned.strategy, stats })
+    }
+
+    fn save_state(
+        &self,
+        path: &Path,
+        frags: &[Arc<Fragment<V, E>>],
+    ) -> Result<bool, SnapshotError> {
+        let (Some(q), Some(state)) = (self.query.as_ref(), self.state.as_ref()) else {
+            return Ok(false);
+        };
+        save_program_state(path, q, &state.export(frags))?;
+        Ok(true)
+    }
+
+    fn load_state(&mut self, path: &Path, backend: &B) -> Result<bool, SessionError> {
+        if !path.exists() {
+            return Ok(false);
+        }
+        let (q, portable) = load_program_state::<P::Query, P::State, _>(path)?;
+        let (mut state, remaps) = portable
+            .attach(backend.fragments())
+            .map_err(|e| SessionError::Restore { detail: e.to_string() })?;
+        let out = if remaps.iter().all(|r| r.is_identity()) {
+            self.prog.assemble_ref(&q, backend.fragments(), state.states())
+        } else {
+            // State attached to a re-derived layout: one settle round
+            // (empty seeds/invalid) migrates values through `warm_eval`.
+            let empty: Vec<Vec<LocalId>> = remaps.iter().map(|_| Vec::new()).collect();
+            let (out, _stats) =
+                backend.run_incremental(&self.prog, &q, &remaps, &empty, &empty, &mut state);
+            out
+        };
+        self.prog.refresh_plan_cache(&out, state.plan_cache_mut());
+        self.query = Some(q);
+        self.state = Some(state);
+        self.out = Some(out);
+        Ok(true)
+    }
+}
+
+/// Backend-agnostic registration: a builder stores one factory per
+/// `.program(...)` call and, at `open()`/`open_sim()`, converts it into
+/// a slot for the concrete backend. Two monomorphic constructors stand
+/// in for the generic method a boxed trait cannot have.
+pub(crate) trait SlotFactory<V, E> {
+    fn engine_slot(self: Box<Self>) -> Box<dyn AnySlot<V, E, Engine<V, E>>>;
+    fn sim_slot(self: Box<Self>) -> Box<dyn AnySlot<V, E, SimEngine<V, E>>>;
+}
+
+pub(crate) struct ProgramFactory<V, E, P> {
+    prog: P,
+    _marker: PhantomData<fn() -> (V, E)>,
+}
+
+impl<V, E, P> ProgramFactory<V, E, P> {
+    pub(crate) fn new(prog: P) -> Self {
+        ProgramFactory { prog, _marker: PhantomData }
+    }
+}
+
+impl<V, E, P> SlotFactory<V, E> for ProgramFactory<V, E, P>
+where
+    V: Clone + Send + Sync + 'static,
+    E: Clone + PartialOrd + Send + Sync + 'static,
+    P: WarmStart<V, E> + 'static,
+    P::Query: Clone + PartialEq + Codec + 'static,
+    P::State: Clone + Codec,
+    P::Out: Clone + 'static,
+{
+    fn engine_slot(self: Box<Self>) -> Box<dyn AnySlot<V, E, Engine<V, E>>> {
+        Box::new(Slot::new(self.prog))
+    }
+
+    fn sim_slot(self: Box<Self>) -> Box<dyn AnySlot<V, E, SimEngine<V, E>>> {
+        Box::new(Slot::new(self.prog))
+    }
+}

@@ -181,7 +181,7 @@ fn validate_partition<V, E>(frags: &[Fragment<V, E>]) -> Result<(), SnapshotErro
     Ok(())
 }
 
-fn encode_portable_state<St: Codec>(state: &PortableRunState<St>, w: &mut Writer) {
+pub(crate) fn encode_portable_state<St: Codec>(state: &PortableRunState<St>, w: &mut Writer) {
     w.put_len(state.len());
     for entry in state.entries() {
         entry.globals.encode(w);
@@ -190,7 +190,7 @@ fn encode_portable_state<St: Codec>(state: &PortableRunState<St>, w: &mut Writer
     }
 }
 
-fn decode_portable_state<St: Codec>(
+pub(crate) fn decode_portable_state<St: Codec>(
     r: &mut Reader<'_>,
 ) -> Result<PortableRunState<St>, SnapshotError> {
     let m = r.get_len(8)?;
@@ -319,15 +319,7 @@ where
 {
     let path = path.as_ref();
     let bytes = snapshot_to_bytes(frags, state);
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = std::path::PathBuf::from(tmp);
-    let io = |e| SnapshotError::io(path, e);
-    let mut file = std::fs::File::create(&tmp).map_err(io)?;
-    std::io::Write::write_all(&mut file, &bytes).map_err(io)?;
-    file.sync_all().map_err(io)?;
-    drop(file);
-    std::fs::rename(&tmp, path).map_err(io)
+    crate::write_file_atomic(path, &bytes)
 }
 
 /// Read a snapshot file back; every error — I/O, framing, checksum —

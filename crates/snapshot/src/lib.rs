@@ -53,6 +53,7 @@
 pub mod codec;
 pub mod fragments;
 pub mod log;
+pub mod program;
 pub mod wire;
 
 pub use codec::Codec;
@@ -60,7 +61,11 @@ pub use fragments::{
     load_snapshot, save_snapshot, snapshot_from_bytes, snapshot_to_bytes, LoadedSnapshot,
     SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
-pub use log::{replay_bytes, DeltaLog, LOG_MAGIC, LOG_VERSION};
+pub use log::{recover_bytes, replay_bytes, DeltaLog, RecoveredLog, LOG_MAGIC, LOG_VERSION};
+pub use program::{
+    load_program_state, program_state_from_bytes, program_state_to_bytes, save_program_state,
+    PROGRAM_STATE_MAGIC, PROGRAM_STATE_VERSION,
+};
 
 use aap_core::engine::{EngineOpts, RunState};
 use aap_core::Engine;
@@ -158,6 +163,34 @@ impl std::fmt::Display for SnapshotError {
 }
 
 impl std::error::Error for SnapshotError {}
+
+/// Write `bytes` to `path` atomically with respect to the destination:
+/// bytes go to a sibling temp file, are **synced to disk**, then
+/// renamed over `path`, and (on Unix) the parent directory is synced —
+/// so re-writing the same path can never leave a torn file in place of
+/// the previous good one, and the rename itself is durable across a
+/// crash, not merely atomic. The directory sync matters for commit
+/// points like the session manifest, whose writers delete superseded
+/// files immediately after the rename: without it a power loss could
+/// persist the deletions while losing the rename. Used by every
+/// durable-file writer in the pipeline (snapshots, program states, the
+/// session manifest).
+pub fn write_file_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let io = |e| SnapshotError::io(path, e);
+    let mut file = std::fs::File::create(&tmp).map_err(io)?;
+    std::io::Write::write_all(&mut file, bytes).map_err(io)?;
+    file.sync_all().map_err(io)?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(io)?;
+    #[cfg(unix)]
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::File::open(parent).and_then(|d| d.sync_all()).map_err(io)?;
+    }
+    Ok(())
+}
 
 /// Snapshot an engine: persist its fragment set and, when given, the
 /// retained state of a completed `run_retained`/`run_incremental`

@@ -175,6 +175,37 @@ impl DeltaLog {
         let bytes = std::fs::read(path).map_err(|e| SnapshotError::io(path, e))?;
         replay_bytes(&bytes).map_err(|e| e.at(path))
     }
+
+    /// The *restart* read: parse the longest valid record prefix,
+    /// **truncate the file to it** when a torn tail follows, and return
+    /// the prefix plus whether a tail was dropped.
+    ///
+    /// A crash mid-append (the exact scenario a durable log exists for)
+    /// leaves a partial or checksum-failing final record; each record
+    /// is synced before the append is acknowledged, so that tail was
+    /// never acknowledged and dropping it is correct — whereas the
+    /// strict [`DeltaLog::replay`] (the audit read) refuses the file
+    /// outright. Header problems (bad magic/version, unreadable file)
+    /// still fail: those mean a foreign or unusable file, not a torn
+    /// write. Truncating also makes a follow-up
+    /// [`DeltaLog::open_append`] safe — appending after garbage would
+    /// corrupt the next record boundary.
+    pub fn recover<V: Codec, E: Codec, P: AsRef<Path>>(
+        path: P,
+    ) -> Result<(Vec<GraphDelta<V, E>>, bool), SnapshotError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| SnapshotError::io(path, e))?;
+        let rec = recover_bytes::<V, E>(&bytes).map_err(|e| e.at(path))?;
+        if rec.torn_tail {
+            let file = OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| SnapshotError::io(path, e))?;
+            file.set_len(rec.valid_len).map_err(|e| SnapshotError::io(path, e))?;
+            file.sync_all().map_err(|e| SnapshotError::io(path, e))?;
+        }
+        Ok((rec.deltas, rec.torn_tail))
+    }
 }
 
 fn check_log_header(header: &[u8]) -> Result<(), SnapshotError> {
@@ -194,6 +225,38 @@ fn check_log_header(header: &[u8]) -> Result<(), SnapshotError> {
     Ok(())
 }
 
+/// Does any offset in `bytes[from..]` hold a complete, checksum-valid,
+/// fully-decodable record frame? Used by `recover_bytes` to tell a
+/// genuine torn tail (nothing parseable follows the failure) from
+/// mid-file corruption that merely *looks* tail-shaped (e.g. a bit flip
+/// in a length field claiming past EOF while acknowledged records sit
+/// after it). O(tail × record) worst case — restore-time, failure-path
+/// only.
+fn resync_finds_record<V: Codec, E: Codec>(bytes: &[u8], from: usize) -> bool {
+    for o in from..bytes.len().saturating_sub(8) {
+        let mut r = Reader::new(&bytes[o..]);
+        if read_record::<V, E>(&mut r).is_ok() {
+            return true;
+        }
+    }
+    false
+}
+
+fn read_record<V: Codec, E: Codec>(r: &mut Reader<'_>) -> Result<GraphDelta<V, E>, SnapshotError> {
+    let len = r.get_u32()? as usize;
+    let payload = r.get_bytes(len, "log record")?;
+    let want = r.get_u32()?;
+    if crc32(payload) != want {
+        return Err(SnapshotError::new(ErrorKind::Checksum { what: "log record" }));
+    }
+    let mut pr = Reader::new(payload);
+    let delta = decode_delta::<V, E>(&mut pr)?;
+    if !pr.is_exhausted() {
+        return Err(SnapshotError::corrupt("trailing bytes in log record"));
+    }
+    Ok(delta)
+}
+
 /// Parse a delta log from bytes (the file form minus I/O).
 pub fn replay_bytes<V: Codec, E: Codec>(
     bytes: &[u8],
@@ -203,18 +266,76 @@ pub fn replay_bytes<V: Codec, E: Codec>(
     check_log_header(header)?;
     let mut out = Vec::new();
     while !r.is_exhausted() {
-        let len = r.get_u32()? as usize;
-        let payload = r.get_bytes(len, "log record")?;
-        let want = r.get_u32()?;
-        if crc32(payload) != want {
-            return Err(SnapshotError::new(ErrorKind::Checksum { what: "log record" }));
-        }
-        let mut pr = Reader::new(payload);
-        let delta = decode_delta::<V, E>(&mut pr)?;
-        if !pr.is_exhausted() {
-            return Err(SnapshotError::corrupt("trailing bytes in log record"));
-        }
-        out.push(delta);
+        out.push(read_record::<V, E>(&mut r)?);
     }
     Ok(out)
+}
+
+/// A delta log read tolerantly for restart (`recover_bytes`): the
+/// longest valid record prefix, where it ends, and whether bytes after
+/// it were dropped.
+pub struct RecoveredLog<V, E> {
+    /// The valid prefix's deltas, in append order.
+    pub deltas: Vec<GraphDelta<V, E>>,
+    /// Byte length of the valid prefix (header + whole records) — what
+    /// the file should be truncated to before appending again.
+    pub valid_len: u64,
+    /// True when the file held bytes past the valid prefix (a torn
+    /// tail from a crash mid-append).
+    pub torn_tail: bool,
+}
+
+/// The bytes form of [`DeltaLog::recover`]: parse the longest valid
+/// prefix, forgiving only a genuine torn **tail**.
+///
+/// A crash mid-append persists some prefix (or, with out-of-order page
+/// writes, a hole-y image) of the *final* record — so the only
+/// recoverable failure is a frame that claims to reach or pass EOF and
+/// fails as `Truncated` or `Checksum`. Everything else — a failing
+/// record with further bytes after its frame, or a record whose
+/// checksum *passes* but whose payload doesn't decode — is mid-file
+/// corruption or a writer bug, and fails loudly exactly like
+/// [`replay_bytes`]: acknowledged history must never be silently cut
+/// short. Header errors also fail — they mean a foreign file.
+pub fn recover_bytes<V: Codec, E: Codec>(
+    bytes: &[u8],
+) -> Result<RecoveredLog<V, E>, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    let header = r.get_bytes(12, "log header")?;
+    check_log_header(header)?;
+    let mut deltas = Vec::new();
+    let mut valid_len = bytes.len() - r.remaining();
+    while !r.is_exhausted() {
+        let offset = bytes.len() - r.remaining();
+        // Does this frame claim to reach (or pass) EOF? Only then can a
+        // parse failure be the partial final append a crash leaves.
+        let reaches_eof = r.remaining() < 8 || {
+            let len =
+                u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+            offset.saturating_add(8).saturating_add(len) >= bytes.len()
+        };
+        match read_record::<V, E>(&mut r) {
+            Ok(delta) => {
+                deltas.push(delta);
+                valid_len = bytes.len() - r.remaining();
+            }
+            Err(e) => {
+                // A tail-shaped failure must still not hide acknowledged
+                // records: a corrupted *length field* mid-file can claim
+                // to reach EOF too. Resync: if any later offset parses
+                // as a complete valid record, acknowledged data follows
+                // the failure — corruption, fail loudly. (The scan can
+                // only err toward refusing: a record image embedded in a
+                // genuinely torn tail makes recover fail, never lose.)
+                let torn = reaches_eof
+                    && matches!(e.kind(), ErrorKind::Truncated { .. } | ErrorKind::Checksum { .. })
+                    && !resync_finds_record::<V, E>(bytes, valid_len + 1);
+                if !torn {
+                    return Err(e);
+                }
+                break;
+            }
+        }
+    }
+    Ok(RecoveredLog { deltas, valid_len: valid_len as u64, torn_tail: valid_len < bytes.len() })
 }

@@ -1,0 +1,122 @@
+//! Per-program retained-state files: the durable form of one registered
+//! program in a multi-program session (`aap-session`).
+//!
+//! A session snapshot splits what `save_engine` stored in one file into
+//! a *shared* topology snapshot (the FRAG-only snapshot file, saved
+//! once) plus one of these files per program — each carrying the query
+//! the retained state answers and the state itself in the portable,
+//! global-id-keyed [`PortableRunState`] form. Splitting keeps the
+//! fragment set single-sourced: every program re-anchors against the
+//! same loaded partition with `PortableRunState::attach`.
+//!
+//! # Layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! magic    8 bytes  b"AAPPROG\0"
+//! version  u16      1
+//! flags    u16      reserved, 0
+//! QURY section      the query the state was computed for (its Codec)
+//! STAT section      the PortableRunState (same payload as a snapshot
+//!                   file's STAT section)
+//! ```
+//!
+//! Sections are framed by the wire layer (`tag(4) len(u64) payload
+//! crc32(u32)`), so truncation and corruption surface as tagged errors
+//! exactly like the snapshot/delta-log formats.
+
+use crate::codec::Codec;
+use crate::fragments::{decode_portable_state, encode_portable_state};
+use crate::wire::{read_section, write_section, Reader, Writer};
+use crate::{ErrorKind, SnapshotError};
+use aap_core::PortableRunState;
+use std::path::Path;
+
+/// File magic of per-program state files.
+pub const PROGRAM_STATE_MAGIC: [u8; 8] = *b"AAPPROG\0";
+/// Current (and only) program-state format version.
+pub const PROGRAM_STATE_VERSION: u16 = 1;
+const QUERY_TAG: [u8; 4] = *b"QURY";
+const STAT_TAG: [u8; 4] = *b"STAT";
+
+/// Serialize one program's durable form — its query plus portable
+/// retained state — to bytes.
+pub fn program_state_to_bytes<Q: Codec, St: Codec>(
+    query: &Q,
+    state: &PortableRunState<St>,
+) -> Vec<u8> {
+    let mut out = Writer::new();
+    out.put_bytes(&PROGRAM_STATE_MAGIC);
+    out.put_u16(PROGRAM_STATE_VERSION);
+    out.put_u16(0); // flags, reserved
+    let mut qp = Writer::new();
+    query.encode(&mut qp);
+    write_section(&mut out, QUERY_TAG, qp.bytes());
+    let mut sp = Writer::new();
+    encode_portable_state(state, &mut sp);
+    write_section(&mut out, STAT_TAG, sp.bytes());
+    out.into_bytes()
+}
+
+/// Parse a program-state file back into its query and portable state.
+pub fn program_state_from_bytes<Q: Codec, St: Codec>(
+    bytes: &[u8],
+) -> Result<(Q, PortableRunState<St>), SnapshotError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.get_bytes(8, "file header")?;
+    if magic != PROGRAM_STATE_MAGIC {
+        return Err(SnapshotError::new(ErrorKind::BadMagic));
+    }
+    let version = r.get_u16()?;
+    if version != PROGRAM_STATE_VERSION {
+        return Err(SnapshotError::new(ErrorKind::BadVersion {
+            found: version,
+            supported: PROGRAM_STATE_VERSION,
+        }));
+    }
+    let _flags = r.get_u16()?;
+
+    let qp = read_section(&mut r, QUERY_TAG, "query section")?;
+    let mut qr = Reader::new(qp);
+    let query = Q::decode(&mut qr)?;
+    if !qr.is_exhausted() {
+        return Err(SnapshotError::corrupt("trailing bytes in query section"));
+    }
+    let sp = read_section(&mut r, STAT_TAG, "state section")?;
+    let mut sr = Reader::new(sp);
+    let state = decode_portable_state::<St>(&mut sr)?;
+    if !sr.is_exhausted() {
+        return Err(SnapshotError::corrupt("trailing bytes in state section"));
+    }
+    if !r.is_exhausted() {
+        return Err(SnapshotError::corrupt("trailing bytes after the last section"));
+    }
+    Ok((query, state))
+}
+
+/// Write a program-state file (atomic temp-file + rename, like
+/// [`crate::save_snapshot`]); errors carry the path.
+pub fn save_program_state<Q, St, P>(
+    path: P,
+    query: &Q,
+    state: &PortableRunState<St>,
+) -> Result<(), SnapshotError>
+where
+    Q: Codec,
+    St: Codec,
+    P: AsRef<Path>,
+{
+    let path = path.as_ref();
+    crate::write_file_atomic(path, &program_state_to_bytes(query, state))
+}
+
+/// Read a program-state file back; every error is tagged with the path.
+pub fn load_program_state<Q, St, P>(path: P) -> Result<(Q, PortableRunState<St>), SnapshotError>
+where
+    Q: Codec,
+    St: Codec,
+    P: AsRef<Path>,
+{
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| SnapshotError::io(path, e))?;
+    program_state_from_bytes(&bytes).map_err(|e| e.at(path))
+}

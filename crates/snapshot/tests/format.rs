@@ -352,3 +352,138 @@ fn attach_remaps_across_a_renumbered_partition() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Per-program state files (the multi-program session format).
+// ---------------------------------------------------------------------
+
+#[test]
+fn program_state_roundtrips_and_reattaches() {
+    use aap_snapshot::{program_state_from_bytes, program_state_to_bytes};
+    let g = generate::small_world(60, 2, 0.2, 5);
+    let frags = build_fragments_n(&g, &hash_partition(&g, 3), 3);
+    let engine = Engine::new(frags, EngineOpts::default());
+    let (_, state): (_, RunState<SsspState>) = engine.run_retained(&aap_algos::Sssp, &7);
+    let portable = state.export(engine.fragments());
+
+    let bytes = program_state_to_bytes(&7u32, &portable);
+    let (q, decoded) = program_state_from_bytes::<u32, SsspState>(&bytes).unwrap();
+    assert_eq!(q, 7, "the query travels with the state");
+    assert_eq!(&bytes, &program_state_to_bytes(&q, &decoded), "re-encode is byte-identical");
+    let (restored, remaps) = decoded.attach(engine.fragments()).unwrap();
+    assert!(remaps.iter().all(|r| r.is_identity()));
+    assert_eq!(restored, state, "re-attached state equals the exported one");
+}
+
+#[test]
+fn program_state_file_errors_are_tagged() {
+    use aap_snapshot::{load_program_state, program_state_to_bytes, save_program_state};
+    let g = generate::small_world(40, 2, 0.2, 3);
+    let frags = build_fragments_n(&g, &hash_partition(&g, 2), 2);
+    let engine = Engine::new(frags, EngineOpts::default());
+    let (_, state): (_, RunState<SsspState>) = engine.run_retained(&aap_algos::Sssp, &0);
+    let portable = state.export(engine.fragments());
+    let path = tmp("program_state");
+    save_program_state(&path, &0u32, &portable).unwrap();
+    let (q, loaded) = load_program_state::<u32, SsspState, _>(&path).unwrap();
+    assert_eq!(q, 0);
+    assert_eq!(loaded.len(), 2);
+
+    // Truncations at every framing boundary are tagged, never a panic.
+    let bytes = program_state_to_bytes(&0u32, &portable);
+    for cut in [0, 4, 11, 13, bytes.len() / 2, bytes.len() - 1] {
+        let err = aap_snapshot::program_state_from_bytes::<u32, SsspState>(&bytes[..cut])
+            .expect_err("prefix must not parse");
+        assert!(
+            matches!(
+                err.kind(),
+                ErrorKind::Truncated { .. }
+                    | ErrorKind::Checksum { .. }
+                    | ErrorKind::Corrupt { .. }
+            ),
+            "cut at {cut}: {err}"
+        );
+    }
+    // A foreign file (snapshot magic) is a BadMagic, path-tagged.
+    let err = aap_snapshot::program_state_from_bytes::<u32, SsspState>(&sample_bytes())
+        .expect_err("snapshot file is not a program-state file");
+    assert!(matches!(err.kind(), ErrorKind::BadMagic), "{err}");
+    // Checksum flip in the payload.
+    let mut flipped = bytes.clone();
+    let mid = flipped.len() - 10;
+    flipped[mid] ^= 0x40;
+    let err = aap_snapshot::program_state_from_bytes::<u32, SsspState>(&flipped)
+        .expect_err("flipped payload byte must fail");
+    assert!(matches!(err.kind(), ErrorKind::Checksum { .. } | ErrorKind::Corrupt { .. }), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn log_recover_drops_only_a_torn_tail() {
+    use aap_delta::DeltaBuilder;
+    let path = tmp("recover");
+    let mut log = DeltaLog::create(&path).unwrap();
+    for i in 0..3u32 {
+        let mut b: aap_delta::DeltaBuilder<(), u32> = DeltaBuilder::new();
+        b.add_edge(i, i + 1, 1);
+        log.write_delta(&b.build()).unwrap();
+    }
+    drop(log);
+    let intact = std::fs::metadata(&path).unwrap().len();
+
+    // An intact log recovers everything, untouched.
+    let (deltas, torn) = DeltaLog::recover::<(), u32, _>(&path).unwrap();
+    assert_eq!((deltas.len(), torn), (3, false));
+    assert_eq!(std::fs::metadata(&path).unwrap().len(), intact);
+
+    // Tear the tail (crash mid-append): the strict read refuses, the
+    // restart read drops exactly the torn record and truncates.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+    assert!(DeltaLog::replay::<(), u32, _>(&path).is_err(), "strict replay must refuse");
+    let (deltas, torn) = DeltaLog::recover::<(), u32, _>(&path).unwrap();
+    assert_eq!((deltas.len(), torn), (2, true));
+    // The file is now the valid prefix: appendable and strictly readable.
+    let mut log = DeltaLog::open_append(&path).unwrap();
+    let mut b: aap_delta::DeltaBuilder<(), u32> = DeltaBuilder::new();
+    b.add_edge(9, 10, 1);
+    log.write_delta(&b.build()).unwrap();
+    drop(log);
+    assert_eq!(DeltaLog::replay::<(), u32, _>(&path).unwrap().len(), 3);
+
+    // Mid-file corruption is NOT a torn tail: a bit flip in an early
+    // record (acknowledged history, more records follow) must fail
+    // loudly, never silently truncate the acknowledged suffix away.
+    let intact_bytes = std::fs::read(&path).unwrap();
+    let mut flipped = intact_bytes.clone();
+    flipped[20] ^= 0x01; // inside record 0's payload
+    std::fs::write(&path, &flipped).unwrap();
+    let err = DeltaLog::recover::<(), u32, _>(&path)
+        .expect_err("mid-file corruption must not be forgiven");
+    assert!(matches!(err.kind(), ErrorKind::Checksum { .. } | ErrorKind::Corrupt { .. }), "{err}");
+    assert_eq!(
+        std::fs::metadata(&path).unwrap().len(),
+        intact_bytes.len() as u64,
+        "a refused recover must not touch the file"
+    );
+
+    // A corrupted LENGTH field that claims past EOF is tail-shaped but
+    // must not be forgiven either: acknowledged records follow it (the
+    // resync scan finds them), so recover fails loudly and leaves the
+    // file alone instead of truncating 2 acknowledged records away.
+    let mut lenflip = intact_bytes.clone();
+    lenflip[15] = 0x40; // record 0's len high byte -> frame "reaches EOF"
+    std::fs::write(&path, &lenflip).unwrap();
+    let err = DeltaLog::recover::<(), u32, _>(&path)
+        .expect_err("a mid-file length-field flip must not be forgiven");
+    assert!(matches!(err.kind(), ErrorKind::Truncated { .. }), "{err}");
+    assert_eq!(std::fs::metadata(&path).unwrap().len(), intact_bytes.len() as u64);
+
+    // A foreign file still fails recover outright (not a torn tail).
+    std::fs::write(&path, sample_bytes()).unwrap();
+    assert!(matches!(
+        DeltaLog::recover::<(), u32, _>(&path).unwrap_err().kind(),
+        ErrorKind::BadMagic
+    ));
+    std::fs::remove_file(&path).ok();
+}

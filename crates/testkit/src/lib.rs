@@ -11,17 +11,23 @@
 //!
 //! Dev-dependency only — nothing here ships in the library crates.
 
+use aap_algos::{CcState, ConnectedComponents, Sssp, SsspState};
 use aap_core::pie::{WarmStart, WarmStrategy};
 use aap_core::{Engine, EngineOpts, HsyncConfig, Mode, RunState};
 use aap_delta::generate::Xorshift;
-use aap_delta::{apply_to_graph, run_incremental_with, DeltaBuilder, GraphDelta};
+use aap_delta::{apply_to_graph, replay, run_incremental_with, DeltaBuilder, GraphDelta};
 use aap_graph::mutate::EditBuffers;
 use aap_graph::partition::{
     build_fragments_n, build_fragments_vertex_cut_n, hash_partition, vertex_cut_partition,
 };
 use aap_graph::{generate, Fragment, Graph};
+use aap_session::{edge_cut, vertex_cut, Session};
 use aap_sim::{SimEngine, SimOpts};
+use aap_snapshot::{program_state_to_bytes, restore_engine, save_engine, DeltaLog};
 use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Proptest case count: the per-suite default, overridable through the
 /// `PROPTEST_CASES` environment variable — how CI's scheduled
@@ -323,4 +329,273 @@ where
         }
     }
     report
+}
+
+// ---------------------------------------------------------------------
+// The session equivalence driver
+// ---------------------------------------------------------------------
+
+/// A unique scratch directory under the system temp dir (durable-session
+/// tests). Caller removes it when done.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "aap_testkit_{}_{tag}_{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::SeqCst)
+    ));
+    std::fs::create_dir_all(&d).expect("scratch dir");
+    d
+}
+
+/// What one [`assert_session_equiv`] run observed: the per-batch
+/// strategies each program resolved to, in stream order.
+#[derive(Debug, Default)]
+pub struct SessionEquivReport {
+    /// `(sssp strategy, cc strategy)` per batch.
+    pub strategies: Vec<(WarmStrategy, WarmStrategy)>,
+}
+
+fn sssp_bytes(q: u32, st: &RunState<SsspState>, frags: &[Arc<Fragment<(), u32>>]) -> Vec<u8> {
+    program_state_to_bytes(&q, &st.export(frags))
+}
+
+fn cc_bytes(st: &RunState<CcState>, frags: &[Arc<Fragment<(), u32>>]) -> Vec<u8> {
+    program_state_to_bytes(&(), &st.export(frags))
+}
+
+/// The session acceptance driver: stream `deltas` through one durable
+/// [`Session`] holding **two** programs (SSSP from `src`, CC) and,
+/// after **every** batch, assert the session's outputs *and retained
+/// states* are identical to the hand-rolled composition — one
+/// `Engine` + `run_incremental_with` + `save_engine`/`DeltaLog` per
+/// program. A `checkpoint()` fires mid-stream; at the end the directory
+/// is restored into a fresh session (`load → attach → replay`) and into
+/// fresh hand-rolled engines (`restore_engine` + `replay`), and all
+/// three lineages must agree **byte-for-byte** in their exported
+/// states.
+///
+/// Panics (with `label` context) on any divergence; cleans up its
+/// scratch directories.
+pub fn assert_session_equiv(
+    g0: &Graph<(), u32>,
+    src: u32,
+    deltas: &[GraphDelta<(), u32>],
+    kind: PartitionKind,
+    m: usize,
+    mode: Mode,
+    label: &str,
+) -> SessionEquivReport {
+    let dir = scratch_dir("session");
+    let manual_dir = scratch_dir("manual");
+    let spec = match kind {
+        PartitionKind::EdgeCut => edge_cut(m),
+        PartitionKind::VertexCut => vertex_cut(m),
+    };
+
+    // --- the session under test (durable from the start) ---
+    let mut session = Session::builder(g0.clone())
+        .partition(spec)
+        .mode(mode.clone())
+        .threads(4)
+        .max_rounds(200_000)
+        .program("sssp", Sssp)
+        .program("cc", ConnectedComponents)
+        .durable(&dir)
+        .unwrap_or_else(|e| panic!("{label}: durable: {e}"))
+        .open()
+        .unwrap_or_else(|e| panic!("{label}: open: {e}"));
+    let s_out0 = session.query::<Sssp>("sssp", &src).unwrap();
+    let c_out0 = session.query::<ConnectedComponents>("cc", &()).unwrap();
+
+    // --- the hand-rolled composition: one engine + state per program ---
+    let mut eng_s = Engine::new(build_parts(g0, kind, m), test_opts(mode.clone()));
+    let mut eng_c = Engine::new(build_parts(g0, kind, m), test_opts(mode.clone()));
+    let (r_s, mut st_s) = eng_s.run_retained(&Sssp, &src);
+    let (r_c, mut st_c) = eng_c.run_retained(&ConnectedComponents, &());
+    assert_eq!(s_out0, r_s.out, "{label}: initial SSSP output");
+    assert_eq!(c_out0, r_c.out, "{label}: initial CC output");
+    let snap_s = manual_dir.join("sssp.snap");
+    let snap_c = manual_dir.join("cc.snap");
+    save_engine(&snap_s, &eng_s, Some(&st_s)).unwrap();
+    save_engine(&snap_c, &eng_c, Some(&st_c)).unwrap();
+    let log_path = manual_dir.join("deltas.dlog");
+    let mut log = DeltaLog::create(&log_path).unwrap();
+    let mut replay_from = 0usize; // first delta index not covered by the manual snapshots
+
+    let mut report = SessionEquivReport::default();
+    let mut bufs = EditBuffers::default();
+    let checkpoint_at = deltas.len() / 2;
+    for (i, delta) in deltas.iter().enumerate() {
+        let rep = session.apply(delta).unwrap_or_else(|e| panic!("{label}: apply {i}: {e}"));
+        let rs = run_incremental_with(&mut eng_s, &Sssp, &src, delta, &mut st_s, &mut bufs);
+        let rc = run_incremental_with(
+            &mut eng_c,
+            &ConnectedComponents,
+            &(),
+            delta,
+            &mut st_c,
+            &mut bufs,
+        );
+        log.write_delta(delta).unwrap();
+        assert_eq!(
+            rep.strategy("sssp"),
+            Some(rs.strategy),
+            "{label}: batch {i} SSSP strategy [{kind:?}, {mode:?}]"
+        );
+        assert_eq!(rep.strategy("cc"), Some(rc.strategy), "{label}: batch {i} CC strategy");
+        report.strategies.push((rs.strategy, rc.strategy));
+
+        // Outputs and retained states must match after EVERY batch.
+        assert_eq!(
+            session.query::<Sssp>("sssp", &src).unwrap(),
+            rs.out,
+            "{label}: batch {i} SSSP output [{kind:?}, {mode:?}]"
+        );
+        assert_eq!(
+            session.query::<ConnectedComponents>("cc", &()).unwrap(),
+            rc.out,
+            "{label}: batch {i} CC output [{kind:?}, {mode:?}]"
+        );
+        assert_eq!(
+            session.run_state::<Sssp>("sssp").unwrap().unwrap(),
+            &st_s,
+            "{label}: batch {i} SSSP state [{kind:?}, {mode:?}]"
+        );
+        assert_eq!(
+            session.run_state::<ConnectedComponents>("cc").unwrap().unwrap(),
+            &st_c,
+            "{label}: batch {i} CC state [{kind:?}, {mode:?}]"
+        );
+
+        if i + 1 == checkpoint_at {
+            session.checkpoint().unwrap_or_else(|e| panic!("{label}: checkpoint: {e}"));
+            save_engine(&snap_s, &eng_s, Some(&st_s)).unwrap();
+            save_engine(&snap_c, &eng_c, Some(&st_c)).unwrap();
+            log = DeltaLog::create(&log_path).unwrap();
+            replay_from = i + 1;
+        }
+    }
+    drop(log);
+
+    // --- restart both lineages and demand byte-identical states ---
+    let mut session2: Session<(), u32, _> = Session::restore(&dir)
+        .mode(mode.clone())
+        .threads(4)
+        .max_rounds(200_000)
+        .program("sssp", Sssp)
+        .program("cc", ConnectedComponents)
+        .open()
+        .unwrap_or_else(|e| panic!("{label}: restore: {e}"));
+    let (mut eng_s2, at_s) =
+        restore_engine::<(), u32, SsspState, _>(&snap_s, test_opts(mode.clone())).unwrap();
+    let (mut eng_c2, at_c) =
+        restore_engine::<(), u32, CcState, _>(&snap_c, test_opts(mode.clone())).unwrap();
+    let (mut st_s2, _) = at_s.expect("manual snapshot carried SSSP state");
+    let (mut st_c2, _) = at_c.expect("manual snapshot carried CC state");
+    let logged = DeltaLog::replay::<(), u32, _>(&log_path).unwrap();
+    assert_eq!(logged.len(), deltas.len() - replay_from, "{label}: manual log length");
+    replay(&mut eng_s2, &Sssp, &src, &logged, &mut st_s2);
+    replay(&mut eng_c2, &ConnectedComponents, &(), &logged, &mut st_c2);
+
+    let frags = session.fragments();
+    let live_s = sssp_bytes(src, session.run_state::<Sssp>("sssp").unwrap().unwrap(), frags);
+    let live_c = cc_bytes(session.run_state::<ConnectedComponents>("cc").unwrap().unwrap(), frags);
+    let frags2 = session2.fragments();
+    let rest_s = sssp_bytes(src, session2.run_state::<Sssp>("sssp").unwrap().unwrap(), frags2);
+    let rest_c =
+        cc_bytes(session2.run_state::<ConnectedComponents>("cc").unwrap().unwrap(), frags2);
+    let man_s = sssp_bytes(src, &st_s2, eng_s2.fragments());
+    let man_c = cc_bytes(&st_c2, eng_c2.fragments());
+    assert_eq!(live_s, rest_s, "{label}: restored session SSSP state byte-identical to live");
+    assert_eq!(live_c, rest_c, "{label}: restored session CC state byte-identical to live");
+    assert_eq!(live_s, man_s, "{label}: session SSSP state byte-identical to manual restart");
+    assert_eq!(live_c, man_c, "{label}: session CC state byte-identical to manual restart");
+
+    // The restored session keeps serving: the retained queries answer
+    // without re-running, identically to the live session.
+    assert_eq!(
+        session2.query::<Sssp>("sssp", &src).unwrap(),
+        session.query::<Sssp>("sssp", &src).unwrap(),
+        "{label}: restored SSSP serve"
+    );
+    assert_eq!(
+        session2.query::<ConnectedComponents>("cc", &()).unwrap(),
+        session.query::<ConnectedComponents>("cc", &()).unwrap(),
+        "{label}: restored CC serve"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&manual_dir).ok();
+    report
+}
+
+/// The simulator mirror of [`assert_session_equiv`]: the same session
+/// lifecycle on `open_sim()`, compared after every batch against the
+/// hand-rolled `SimEngine` + `run_incremental_sim_with` composition in
+/// deterministic virtual time (no durability — the threaded driver
+/// already proves the file cycle; this proves the backend genericity).
+pub fn assert_session_equiv_sim(
+    g0: &Graph<(), u32>,
+    src: u32,
+    deltas: &[GraphDelta<(), u32>],
+    kind: PartitionKind,
+    m: usize,
+    label: &str,
+) {
+    let spec = match kind {
+        PartitionKind::EdgeCut => edge_cut(m),
+        PartitionKind::VertexCut => vertex_cut(m),
+    };
+    let mut session = Session::builder(g0.clone())
+        .partition(spec)
+        .program("sssp", Sssp)
+        .program("cc", ConnectedComponents)
+        .open_sim()
+        .unwrap_or_else(|e| panic!("{label}: open_sim: {e}"));
+    let mut sim_s = SimEngine::new(build_parts(g0, kind, m), SimOpts::default());
+    let mut sim_c = SimEngine::new(build_parts(g0, kind, m), SimOpts::default());
+    let (r_s, mut st_s) = sim_s.run_retained(&Sssp, &src);
+    let (r_c, mut st_c) = sim_c.run_retained(&ConnectedComponents, &());
+    assert_eq!(session.query::<Sssp>("sssp", &src).unwrap(), r_s.out, "{label}: sim SSSP");
+    assert_eq!(
+        session.query::<ConnectedComponents>("cc", &()).unwrap(),
+        r_c.out,
+        "{label}: sim CC"
+    );
+    let mut bufs = EditBuffers::default();
+    for (i, delta) in deltas.iter().enumerate() {
+        session.apply(delta).unwrap_or_else(|e| panic!("{label}: sim apply {i}: {e}"));
+        let rs = aap_delta::run_incremental_sim_with(
+            &mut sim_s, &Sssp, &src, delta, &mut st_s, &mut bufs,
+        );
+        let rc = aap_delta::run_incremental_sim_with(
+            &mut sim_c,
+            &ConnectedComponents,
+            &(),
+            delta,
+            &mut st_c,
+            &mut bufs,
+        );
+        assert_eq!(
+            session.query::<Sssp>("sssp", &src).unwrap(),
+            rs.out,
+            "{label}: sim batch {i} SSSP output"
+        );
+        assert_eq!(
+            session.query::<ConnectedComponents>("cc", &()).unwrap(),
+            rc.out,
+            "{label}: sim batch {i} CC output"
+        );
+        assert_eq!(
+            session.run_state::<Sssp>("sssp").unwrap().unwrap(),
+            &st_s,
+            "{label}: sim batch {i} SSSP state"
+        );
+        assert_eq!(
+            session.run_state::<ConnectedComponents>("cc").unwrap().unwrap(),
+            &st_c,
+            "{label}: sim batch {i} CC state"
+        );
+    }
 }

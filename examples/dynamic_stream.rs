@@ -1,18 +1,25 @@
-//! Dynamic-graph streaming: partition once, run one cold query retaining
-//! state, then stream mutation batches through warm-start incremental
-//! evaluation — comparing each delta round against a cold recompute.
+//! Dynamic-graph streaming through the [`Session`] facade: open once,
+//! query retaining state, then stream mutation batches — each
+//! `session.apply` mutates the fragments once and advances **every**
+//! registered program with its own strategy.
 //!
-//! The stream ends with the payoff of the deletion-exact path: a
-//! removal batch **stays warm** (`warm-increase` — affected-region
-//! invalidation instead of a cold recompute), and the old cold fallback
-//! is demonstrated through a program that declares no invalidation plan.
+//! Three programs ride the same session to make the strategies visible:
+//! `sssp` and `cc` (full invalidation plans — deletions stay warm) and
+//! `sssp-noplan`, an SSSP variant without a `plan_invalidation`
+//! override, which resolves the *same* deletion batch via the
+//! documented cold fallback.
+//!
+//! The tail of the example drives one batch through the **low-level
+//! composition** (`Engine` + `run_incremental_with`) the session wraps,
+//! and asserts both paths land in the same answer — this is the kept
+//! low-level walkthrough.
 //!
 //! ```sh
 //! cargo run --release --example dynamic_stream
 //! ```
 
 use grape_aap::delta::generate::{insert_batch, remove_batch, Xorshift};
-use grape_aap::delta::{run_incremental_with, DeltaBuilder, WarmStrategy};
+use grape_aap::delta::{run_incremental_with, WarmStrategy};
 use grape_aap::graph::mutate::{EditBuffers, StateRemap};
 use grape_aap::graph::{generate, partition};
 use grape_aap::prelude::*;
@@ -24,8 +31,8 @@ use std::time::Instant;
 /// SSSP with the warm-increase path disabled: delegates everything to
 /// [`Sssp`] but keeps the *default* `delta_strategy` (no invalidation
 /// plan), so non-monotone batches take the documented cold fallback.
-/// This is the "unsupported program" contrast case — the driver API is
-/// one call either way.
+/// This is the "unsupported program" contrast case — the session API is
+/// the same either way, only the reported strategy differs.
 struct ColdFallbackSssp;
 
 fn inner() -> Sssp {
@@ -88,90 +95,97 @@ impl WarmStart<(), u32> for ColdFallbackSssp {
     // No `delta_strategy` / `plan_invalidation` override: removals → Cold.
 }
 
-fn main() {
+fn main() -> Result<(), SessionError> {
     // A power-law graph: 2^13 vertices, ~64k stored edges.
     let g = generate::rmat(13, 8, true, 7);
     println!("graph: {} vertices, {} stored edges", g.num_vertices(), g.num_edges());
 
-    let frags = partition::build_fragments(&g, &partition::hash_partition(&g, 8));
-    let mut engine = Engine::new(frags, EngineOpts { mode: Mode::aap(), ..Default::default() });
+    let mut session = Session::builder(g.clone())
+        .partition(edge_cut(8))
+        .mode(Mode::aap())
+        .program("sssp", Sssp)
+        .program("cc", ConnectedComponents)
+        .program("sssp-noplan", ColdFallbackSssp)
+        .open()?;
 
-    // Cold run once, retaining per-fragment state.
+    // Cold queries once; every program retains its fixpoint.
     let t0 = Instant::now();
-    let (run0, mut state) = engine.run_retained(&Sssp, &0);
+    session.query::<Sssp>("sssp", &0)?;
+    session.query::<ConnectedComponents>("cc", &())?;
+    session.query::<ColdFallbackSssp>("sssp-noplan", &0)?;
     let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
-    println!(
-        "cold PEval+IncEval: {cold_ms:.2} ms, {} updates | {}",
-        run0.stats.total_updates(),
-        run0.stats.summary()
-    );
+    println!("cold PEval+IncEval x3 programs: {cold_ms:.2} ms");
 
-    // Stream insert batches (~0.1% of the edge count each) through the
-    // warm path, reusing pooled apply buffers across batches.
-    let mut bufs = EditBuffers::default();
+    // Stream insert batches (~0.1% of the edge count each): one apply
+    // per batch advances all three programs warm.
     let mut rng = Xorshift::new(0x9E3779B97F4A7C15);
     let batch_edges = (g.num_edges() / 1000).max(8);
     for batch in 0..5 {
         let delta = insert_batch(&g, batch_edges, 16, rng.next_u64());
         let ops = delta.len();
         let t = Instant::now();
-        let out = run_incremental_with(&mut engine, &Sssp, &0, &delta, &mut state, &mut bufs);
+        let report = session.apply(&delta)?;
         let warm_ms = t.elapsed().as_secs_f64() * 1e3;
-        assert_eq!(out.strategy, WarmStrategy::WarmDecrease);
-        let reachable = out.out.iter().filter(|&&d| d != u64::MAX).count();
+        assert!(report.programs.iter().all(|p| p.strategy == WarmStrategy::WarmDecrease));
+        let total: u64 = report.programs.iter().map(|p| p.updates).sum();
         println!(
-            "batch {batch}: {ops:>3} inserts -> {} {warm_ms:>7.2} ms ({:>6} updates, \
-             {reachable} reachable), cold would pay ~{cold_ms:.2} ms",
-            out.strategy,
-            out.stats.total_updates(),
+            "batch {batch}: {ops:>3} inserts -> all programs warm-decrease \
+             in {warm_ms:>7.2} ms ({total:>6} updates across 3 programs)"
         );
     }
 
-    // A deletion batch used to force a cold recompute; now the driver
-    // invalidates the Ramalingam–Reps affected region and re-relaxes it
-    // warm — same one-call API, answer still exact.
+    // A deletion batch: the programs split by capability — sssp and cc
+    // stay warm via their invalidation plans, sssp-noplan re-runs cold.
+    // Same one apply.
     let delta = remove_batch(&g, batch_edges, rng.next_u64());
     let t = Instant::now();
-    let out = run_incremental_with(&mut engine, &Sssp, &0, &delta, &mut state, &mut bufs);
+    let report = session.apply(&delta)?;
     let warm_ms = t.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(out.strategy, WarmStrategy::WarmIncrease, "deletions stay warm for SSSP");
-    println!(
-        "deletion batch: {} removals stay warm ({}) in {warm_ms:.2} ms, {} updates \
-         — cold would pay ~{cold_ms:.2} ms",
-        delta.len(),
-        out.strategy,
-        out.stats.total_updates(),
-    );
-    // Exactness spot-check: the warm answer equals a cold run on the
-    // mutated fragments.
-    let check = engine.run(&Sssp, &0);
-    assert_eq!(out.out, check.out, "warm-increase result must match cold recompute");
-    println!("warm-increase answer verified against a cold recompute");
+    for p in &report.programs {
+        println!("deletion batch: {:<11} -> {} ({} updates)", p.name, p.strategy, p.updates);
+    }
+    assert_eq!(report.strategy("sssp"), Some(WarmStrategy::WarmIncrease));
+    assert_eq!(report.strategy("cc"), Some(WarmStrategy::WarmIncrease));
+    assert_eq!(report.strategy("sssp-noplan"), Some(WarmStrategy::Cold));
+    println!("deletion batch applied once in {warm_ms:.2} ms (plans + 3 advances)");
 
-    // The cold fallback still exists — for programs without an
-    // invalidation plan. Same driver call, different strategy report.
+    // Exactness spot-check: both SSSP lineages agree (the cold-fallback
+    // program recomputed; the planned one invalidated + re-relaxed).
+    let warm = session.query::<Sssp>("sssp", &0)?;
+    let cold = session.query::<ColdFallbackSssp>("sssp-noplan", &0)?;
+    assert_eq!(warm, cold, "warm-increase result must match the cold recompute");
+    println!("warm-increase answer verified against the cold-fallback program");
+
+    // ------------------------------------------------------------------
+    // The low-level path the session wraps, kept exercised: hand-compose
+    // Engine + run_incremental_with for one batch and compare.
+    // ------------------------------------------------------------------
     let frags = partition::build_fragments(&g, &partition::hash_partition(&g, 8));
-    let mut cold_engine =
-        Engine::new(frags, EngineOpts { mode: Mode::aap(), ..Default::default() });
-    let (_, mut cold_state) = cold_engine.run_retained(&ColdFallbackSssp, &0);
-    let delta = remove_batch(&g, batch_edges, 0xC01D);
-    let out = run_incremental_with(
-        &mut cold_engine,
-        &ColdFallbackSssp,
-        &0,
-        &delta,
-        &mut cold_state,
-        &mut bufs,
-    );
-    assert_eq!(out.strategy, WarmStrategy::Cold, "no invalidation plan -> cold fallback");
+    let mut engine = Engine::new(frags, EngineOpts { mode: Mode::aap(), ..Default::default() });
+    let (_, mut state) = engine.run_retained(&Sssp, &0);
+    let mut bufs = EditBuffers::default();
+    let delta = insert_batch(&g, batch_edges, 16, 0x10E7);
+    let low = run_incremental_with(&mut engine, &Sssp, &0, &delta, &mut state, &mut bufs);
     println!(
-        "contrast: a program without an invalidation plan resolves the same batch via '{}'",
-        out.strategy
+        "low-level driver: {} ops applied ({}), {} updates — same machinery, hand-threaded",
+        delta.len(),
+        low.strategy,
+        low.stats.total_updates(),
     );
+    let mut check = Session::builder(g)
+        .partition(edge_cut(8))
+        .mode(Mode::aap())
+        .program("sssp", Sssp)
+        .open()?;
+    check.query::<Sssp>("sssp", &0)?;
+    check.apply(&delta)?;
+    assert_eq!(low.out, check.query::<Sssp>("sssp", &0)?, "session == hand-rolled composition");
+    println!("session output == hand-rolled composition output");
 
-    // The retained state keeps serving after the deletion, too.
+    // The retained state keeps serving: an empty delta ships nothing.
     let empty = DeltaBuilder::new().build();
-    let out = run_incremental_with(&mut engine, &Sssp, &0, &empty, &mut state, &mut bufs);
-    assert_eq!(out.stats.total_updates(), 0);
-    println!("empty delta: fixpoint replayed with zero messages — state stays hot");
+    let report = session.apply(&empty)?;
+    assert!(report.programs.iter().all(|p| p.updates == 0));
+    println!("empty delta: fixpoints replayed with zero messages — state stays hot");
+    Ok(())
 }

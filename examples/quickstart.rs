@@ -1,22 +1,30 @@
-//! Quickstart: partition a graph once, run several queries on the GRAPE+
-//! engine under AAP, and inspect the run statistics.
+//! Quickstart: open a serving [`Session`] over a graph — partition
+//! once, register programs, answer queries while each program retains
+//! its fixpoint — then stream a mutation through all of them with one
+//! `apply`.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use grape_aap::graph::{generate, partition};
+use grape_aap::graph::generate;
 use grape_aap::prelude::*;
 
-fn main() {
+fn main() -> Result<(), SessionError> {
     // 2^12 vertices, ~32k edges, power-law degree distribution.
     let g = generate::rmat(12, 8, true, 7);
     println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
 
-    // Partition once; the engine is reusable across queries (§3).
-    let assignment = partition::hash_partition(&g, 8);
-    let frags = partition::build_fragments(&g, &assignment);
-    let stats = grape_aap::graph::fragment::partition_stats(&frags);
+    // Partition once into 8 fragments; the session serves any number of
+    // queries over them (§3: "G is partitioned once for all queries Q").
+    let mut session = Session::builder(g.clone())
+        .partition(edge_cut(8))
+        .mode(Mode::aap())
+        .program("sssp", Sssp)
+        .program("cc", ConnectedComponents)
+        .open()?;
+
+    let stats = grape_aap::graph::fragment::partition_stats(session.fragments());
     println!(
         "partition: m = {}, cut edges = {}, replication = {:.3}, skew r = {:.2}",
         stats.owned.len(),
@@ -25,26 +33,45 @@ fn main() {
         stats.skew_r
     );
 
-    let engine = Engine::new(frags, EngineOpts { mode: Mode::aap(), ..Default::default() });
-
-    // SSSP from three different sources on the same engine.
+    // SSSP from three different sources on the same session. Each new
+    // source replaces the retained fixpoint; repeating a source is a
+    // cache hit (no engine run at all).
     for src in [0u32, 17, 4095] {
-        let run = engine.run(&Sssp, &src);
-        let reachable = run.out.iter().filter(|&&d| d != u64::MAX).count();
-        println!("SSSP from {src:>4}: {reachable:>5} reachable | {}", run.stats.summary());
+        let dist = session.query::<Sssp>("sssp", &src)?;
+        let reachable = dist.iter().filter(|&&d| d != u64::MAX).count();
+        println!("SSSP from {src:>4}: {reachable:>5} reachable");
     }
 
-    // Connected components on the same fragments.
-    let run = engine.run(&ConnectedComponents, &());
-    let mut comps: Vec<u32> = run.out.clone();
+    // Connected components, retained concurrently on the same fragments.
+    let cc = session.query::<ConnectedComponents>("cc", &())?;
+    let mut comps: Vec<u32> = cc.clone();
     comps.sort_unstable();
     comps.dedup();
-    println!("CC: {} components | {}", comps.len(), run.stats.summary());
+    println!("CC: {} components", comps.len());
 
-    // PageRank, same engine again.
+    // A mutation batch: ONE apply advances every retained program warm
+    // (SSSP from its last source, CC from its fixpoint).
+    let mut b = DeltaBuilder::new();
+    b.add_edge(0, 2048, 1);
+    b.add_edge(17, 4095, 3);
+    let report = session.apply(&b.build())?;
+    for p in &report.programs {
+        println!("apply: {:<5} advanced via {} ({} updates)", p.name, p.strategy, p.updates);
+    }
+    let dist = session.query::<Sssp>("sssp", &17)?;
+    println!("SSSP from 17 after the delta: dist[4095] = {} (via the new edge)", dist[4095]);
+
+    // The engine layer stays available for programs outside the
+    // warm-start family — PageRank runs on a plain Engine.
+    let frags = grape_aap::graph::partition::build_fragments(
+        &g,
+        &grape_aap::graph::partition::hash_partition(&g, 8),
+    );
+    let engine = Engine::new(frags, EngineOpts { mode: Mode::aap(), ..Default::default() });
     let run = engine.run(&PageRank::default(), &());
     let mut top: Vec<(usize, f64)> = run.out.iter().copied().enumerate().collect();
     top.sort_by(|a, b| b.1.total_cmp(&a.1));
-    println!("PageRank top-5: {:?}", &top[..5]);
+    println!("PageRank top-5 (plain engine): {:?}", &top[..5]);
     println!("{}", run.stats.summary());
+    Ok(())
 }

@@ -1,61 +1,58 @@
-//! Kill-and-resume of the dynamic stream: a "serving process" snapshots
-//! its partition + retained state, appends every applied delta to a
-//! durable log, then dies mid-stream; a "restarted process" loads the
-//! snapshot, replays the log, and keeps serving from exactly the state
-//! the dead process held — no re-partitioning, no cold recompute.
+//! Kill-and-resume of the dynamic stream, through the [`Session`]
+//! facade: a durable session snapshots its partition at open and logs
+//! every applied delta; the process "dies" mid-stream; a restored
+//! session (`Session::restore` = load → attach → replay) lands in
+//! exactly the state the dead process held — no re-partitioning, no
+//! cold recompute — and keeps serving.
 //!
 //! ```sh
 //! cargo run --release --example snapshot_restart
 //! ```
 
 use grape_aap::delta::generate::{insert_batch, Xorshift};
-use grape_aap::delta::{replay, run_incremental_with, DeltaBuilder};
-use grape_aap::graph::mutate::EditBuffers;
-use grape_aap::graph::{generate, partition};
+use grape_aap::delta::WarmStrategy;
+use grape_aap::graph::generate;
 use grape_aap::prelude::*;
-use grape_aap::runtime::EngineOpts;
-use grape_aap::snapshot::{restore_engine, save_engine, DeltaLog};
 use std::time::Instant;
 
-fn main() {
-    let dir = std::env::temp_dir();
-    let snap_path = dir.join(format!("aap_restart_{}.snap", std::process::id()));
-    let log_path = dir.join(format!("aap_restart_{}.dlog", std::process::id()));
+fn main() -> Result<(), SessionError> {
+    let dir = std::env::temp_dir().join(format!("aap_restart_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
 
     // A power-law graph: 2^13 vertices, ~64k stored edges, 8 fragments.
     let g = generate::rmat(13, 8, true, 7);
     println!("graph: {} vertices, {} stored edges", g.num_vertices(), g.num_edges());
-    let frags = partition::build_fragments(&g, &partition::hash_partition(&g, 8));
 
     // ------------------------------------------------------------------
-    // Phase 1 — the serving process.
+    // Phase 1 — the serving process. Durability is a builder flag: the
+    // partition is snapshotted at open (epoch 0) and every apply is
+    // logged.
     // ------------------------------------------------------------------
-    let mut engine = Engine::new(frags, EngineOpts { mode: Mode::aap(), ..Default::default() });
     let t = Instant::now();
-    let (run0, mut state) = engine.run_retained(&Sssp, &0);
-    println!("cold run: {:.2} ms | {}", t.elapsed().as_secs_f64() * 1e3, run0.stats.summary());
+    let mut session = Session::builder(g.clone())
+        .partition(edge_cut(8))
+        .mode(Mode::aap())
+        .program("sssp", Sssp)
+        .durable(&dir)?
+        .open()?;
+    println!("durable open (partition + epoch-0 snapshot): {:.2} ms", ms(t));
 
-    // Durability begins: snapshot the fragments + state, open the log.
     let t = Instant::now();
-    save_engine(&snap_path, &engine, Some(&state)).unwrap();
-    let save_ms = t.elapsed().as_secs_f64() * 1e3;
-    let snap_bytes = std::fs::metadata(&snap_path).unwrap().len();
-    println!("snapshot: {snap_bytes} bytes in {save_ms:.2} ms -> {}", snap_path.display());
-    let mut log = DeltaLog::create(&log_path).unwrap();
+    let out0 = session.query::<Sssp>("sssp", &0)?;
+    println!("cold query: {:.2} ms ({} vertices answered)", ms(t), out0.len());
 
-    // Stream batches, logging each delta the driver actually applied.
-    let mut bufs = EditBuffers::default();
+    // Stream batches; each apply advances the retained fixpoint AND
+    // appends the delta to the log.
     let mut rng = Xorshift::new(0x5EED);
     let batch_edges = (g.num_edges() / 1000).max(8);
     for batch in 0..4 {
         let delta = insert_batch(&g, batch_edges, 16, rng.next_u64());
-        let r = run_incremental_with(&mut engine, &Sssp, &0, &delta, &mut state, &mut bufs);
-        log.write_delta(&delta).unwrap();
+        let report = session.apply(&delta)?;
         println!(
             "batch {batch}: {} ops applied ({}), {} updates",
             delta.len(),
-            r.strategy,
-            r.stats.total_updates(),
+            report.programs[0].strategy,
+            report.programs[0].updates,
         );
     }
     // A deletion batch exercises the warm-increase path across the log too.
@@ -65,54 +62,53 @@ fn main() {
         Some(&t) => b.remove_edge(victim, t),
         None => b.remove_vertex(victim),
     };
-    let delta = b.build();
-    let r = run_incremental_with(&mut engine, &Sssp, &0, &delta, &mut state, &mut bufs);
-    log.write_delta(&delta).unwrap();
-    println!("deletion batch: applied via {} (no cold recompute)", r.strategy);
-    let final_out = r.out;
+    let report = session.apply(&b.build())?;
+    assert_eq!(report.strategy("sssp"), Some(WarmStrategy::WarmIncrease));
+    println!("deletion batch: applied via {} (no cold recompute)", report.programs[0].strategy);
+    let final_out = session.query::<Sssp>("sssp", &0)?;
 
     // The process "dies" here: drop everything in memory.
-    drop(log);
-    drop(engine);
-    drop(state);
+    drop(session);
     println!("\n-- crash -- (all in-memory state dropped)\n");
 
     // ------------------------------------------------------------------
-    // Phase 2 — the restarted process.
+    // Phase 2 — the restarted process: same registrations, one call.
+    // load -> attach per program -> replay the delta log.
     // ------------------------------------------------------------------
     let t = Instant::now();
-    let (mut engine2, attached) = restore_engine::<(), u32, grape_aap::algos::SsspState, _>(
-        &snap_path,
-        EngineOpts { mode: Mode::aap(), ..Default::default() },
-    )
-    .unwrap();
-    let (mut state2, remaps) = attached.expect("snapshot carried retained state");
-    let load_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mut restored: Session<(), u32, _> =
+        Session::restore(&dir).mode(Mode::aap()).program("sssp", Sssp).open()?;
     println!(
-        "loaded snapshot in {load_ms:.2} ms ({} fragments, remaps all identity: {})",
-        engine2.fragments().len(),
-        remaps.iter().all(|r| r.is_identity()),
+        "restored in {:.2} ms ({} fragments, epoch {:?})",
+        ms(t),
+        restored.fragments().len(),
+        restored.epoch(),
     );
 
+    // The retained query serves WITHOUT re-running: replay landed the
+    // state at the continuous process's fixpoint.
     let t = Instant::now();
-    let deltas = DeltaLog::replay::<(), u32, _>(&log_path).unwrap();
-    let replayed = replay(&mut engine2, &Sssp, &0, &deltas, &mut state2)
-        .expect("log holds the streamed batches");
-    let replay_ms = t.elapsed().as_secs_f64() * 1e3;
-    println!("replayed {} logged deltas in {replay_ms:.2} ms", deltas.len());
-
-    assert_eq!(replayed.out, final_out, "restart must land in the continuous process's state");
+    let replayed = restored.query::<Sssp>("sssp", &0)?;
+    println!("first post-restart serve: {:.3} ms (cached fixpoint)", ms(t));
+    assert_eq!(replayed, final_out, "restart must land in the continuous process's state");
     println!("restart output == continuous output: warm restart is exact");
 
-    // And it keeps serving: the next delta warm-starts from replayed state.
+    // And it keeps serving: the next delta warm-starts from replayed
+    // state, and a checkpoint rotates the snapshot epoch so the log
+    // never grows unboundedly.
     let next = insert_batch(&g, batch_edges, 16, rng.next_u64());
-    let r = run_incremental_with(&mut engine2, &Sssp, &0, &next, &mut state2, &mut bufs);
+    let report = restored.apply(&next)?;
     println!(
         "post-restart batch: {} updates ({}) — the stream continues",
-        r.stats.total_updates(),
-        r.strategy,
+        report.programs[0].updates, report.programs[0].strategy,
     );
+    let epoch = restored.checkpoint()?;
+    println!("checkpoint -> epoch {epoch} (fresh snapshot, log reset)");
 
-    std::fs::remove_file(&snap_path).ok();
-    std::fs::remove_file(&log_path).ok();
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
 }

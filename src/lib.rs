@@ -18,9 +18,14 @@
 //!   warm-start incremental evaluation from retained state;
 //! * [`snapshot`] — durable snapshots: persisted fragments + retained
 //!   state + replayable delta logs, for warm restarts;
+//! * [`session`] — the serving facade: one [`Session`] owning the
+//!   partition, the engine, multiple retained programs, and durability;
 //! * [`mapreduce`] — MapReduce/PRAM on AAP (Theorem 4).
 //!
 //! ## Quickstart
+//!
+//! The serving surface is [`Session`]: partition once, register
+//! programs, query, stream deltas.
 //!
 //! ```
 //! use grape_aap::prelude::*;
@@ -28,16 +33,30 @@
 //! // A weighted power-law graph (Friendster stand-in, tiny here).
 //! let g = grape_aap::graph::generate::rmat(8, 8, true, 42);
 //!
-//! // Partition into 4 fragments, build a GRAPE+ engine under AAP.
-//! let assignment = grape_aap::graph::partition::hash_partition(&g, 4);
-//! let frags = grape_aap::graph::partition::build_fragments(&g, &assignment);
-//! let engine = Engine::new(frags, EngineOpts { mode: Mode::aap(), ..Default::default() });
+//! let mut session = Session::builder(g)
+//!     .partition(edge_cut(4))
+//!     .mode(Mode::aap())
+//!     .program("sssp", Sssp)
+//!     .program("cc", ConnectedComponents)
+//!     .open()
+//!     .unwrap();
 //!
-//! // Single-source shortest paths from vertex 0.
-//! let run = engine.run(&Sssp, &0);
-//! assert_eq!(run.out[0], 0);
-//! println!("{}", run.stats.summary());
+//! // Single-source shortest paths from vertex 0; CC on the same
+//! // fragments. Each program retains its fixpoint for the next delta.
+//! let dist = session.query::<Sssp>("sssp", &0).unwrap();
+//! assert_eq!(dist[0], 0);
+//! let comps = session.query::<ConnectedComponents>("cc", &()).unwrap();
+//! assert_eq!(comps.len(), 256);
+//!
+//! // One apply advances both programs warm.
+//! let mut b = DeltaBuilder::new();
+//! b.add_edge(0, 200, 3);
+//! let report = session.apply(&b.build()).unwrap();
+//! assert_eq!(report.programs.len(), 2);
 //! ```
+//!
+//! The engine underneath is still available directly (`runtime`,
+//! `delta`, `snapshot`) for hand-composed pipelines.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,8 +66,11 @@ pub use aap_core as runtime;
 pub use aap_delta as delta;
 pub use aap_graph as graph;
 pub use aap_mapreduce as mapreduce;
+pub use aap_session as session;
 pub use aap_sim as sim;
 pub use aap_snapshot as snapshot;
+
+pub use aap_session::{Session, SessionBuilder};
 
 /// Most-used items in one import.
 pub mod prelude {
@@ -56,5 +78,6 @@ pub mod prelude {
     pub use aap_core::prelude::*;
     pub use aap_delta::{DeltaBuilder, GraphDelta};
     pub use aap_graph::{Fragment, Graph, GraphBuilder, VertexId};
+    pub use aap_session::{edge_cut, vertex_cut, Session, SessionBuilder, SessionError};
     pub use aap_sim::{CostModel, SimEngine, SimOpts};
 }
