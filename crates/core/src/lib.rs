@@ -16,6 +16,8 @@
 //!   inactive/terminate protocol;
 //! * [`stats`] — the statistics collector (response time, communication,
 //!   rounds, stale computation);
+//! * [`publish`] — the epoch-published assembled-output handle behind
+//!   concurrent serving (single writer, lock-free steady-state readers);
 //! * [`theory`] — executable checks for the convergence conditions T1–T3
 //!   and the Church–Rosser property (§4).
 //!
@@ -84,6 +86,7 @@ pub mod engine;
 pub mod inbox;
 pub mod pie;
 pub mod policy;
+pub mod publish;
 pub mod scratch;
 pub mod stats;
 pub mod theory;
@@ -105,5 +108,6 @@ pub use pie::{
     Batch, DeltaChanges, Messages, PieProgram, Round, UpdateCtx, WarmStart, WarmStrategy,
 };
 pub use policy::{AapConfig, Decision, HsyncConfig, Mode};
+pub use publish::{EpochCell, EpochReader};
 pub use scratch::Scratch;
 pub use stats::{RunStats, WorkerStats};

@@ -3,7 +3,8 @@
 
 use crate::ops::GraphDelta;
 use aap_graph::mutate::{
-    apply_partition_edit, DeltaSummary, EditBuffers, FragmentEdit, PartitionEdit, StateRemap,
+    apply_partition_edit, apply_partition_edit_threads, AppliedEdit, DeltaSummary, EditBuffers,
+    FragmentEdit, PartitionEdit, StateRemap,
 };
 use aap_graph::partition::{build_fragments_vertex_cut_n, vertex_cut_partition};
 use aap_graph::{fxhash, mutate, FragId, Fragment, FxHashMap, FxHashSet, Graph, LocalId, VertexId};
@@ -149,11 +150,56 @@ where
     }
 }
 
+/// [`apply_to_fragments_with`], fanning the per-touched-fragment CSR
+/// repacks out over up to `threads` scoped worker threads. Byte-identical
+/// to the serial path (see
+/// [`aap_graph::mutate::apply_partition_edit_threads`], pinned by the
+/// mutate proptests); edge-cut only — the vertex-cut fallback stays
+/// serial regardless of `threads`.
+pub fn apply_to_fragments_par<V, E>(
+    frags: &mut [&mut Fragment<V, E>],
+    delta: &GraphDelta<V, E>,
+    bufs: &mut EditBuffers,
+    threads: usize,
+) -> Applied
+where
+    V: Clone + Send + Sync,
+    E: Clone + PartialOrd + Send + Sync,
+{
+    let m = frags.len();
+    assert!(m > 0, "cannot apply a delta to an empty fragment set");
+    if frags[0].is_vertex_cut() {
+        apply_vertex_cut(frags, delta)
+    } else if threads <= 1 {
+        apply_edge_cut(frags, delta, bufs)
+    } else {
+        let edit = resolve_edge_cut_edit(frags, delta);
+        let applied = apply_partition_edit_threads(frags, &edit, bufs, threads);
+        finish_edge_cut(delta, applied)
+    }
+}
+
 fn apply_edge_cut<V, E>(
     frags: &mut [&mut Fragment<V, E>],
     delta: &GraphDelta<V, E>,
     bufs: &mut EditBuffers,
 ) -> Applied
+where
+    V: Clone,
+    E: Clone + PartialOrd,
+{
+    let edit = resolve_edge_cut_edit(frags, delta);
+    let applied = apply_partition_edit(frags, &edit, bufs);
+    finish_edge_cut(delta, applied)
+}
+
+/// Resolve a delta against an edge-cut partition into a
+/// [`PartitionEdit`]: owner lookup for every mentioned vertex, edge ops
+/// routed to the owner of the stored source, and the touched set.
+fn resolve_edge_cut_edit<V, E>(
+    frags: &[&mut Fragment<V, E>],
+    delta: &GraphDelta<V, E>,
+) -> PartitionEdit<V, E>
 where
     V: Clone,
     E: Clone + PartialOrd,
@@ -244,7 +290,12 @@ where
         each_direction(*u, *v, &mut edit, &mut |fe, a, b| fe.set_weights.push((a, b, dd.clone())));
     }
 
-    let applied = apply_partition_edit(frags, &edit, bufs);
+    edit
+}
+
+/// Fold the graph-layer [`AppliedEdit`] back into the delta-level
+/// [`Applied`] report.
+fn finish_edge_cut<V, E>(delta: &GraphDelta<V, E>, applied: AppliedEdit) -> Applied {
     let mut summary = delta.summary();
     summary.weights_decreased = applied.weights_decreased;
     summary.weights_increased = applied.weights_increased;

@@ -60,7 +60,7 @@ pub mod generate;
 pub mod ops;
 pub mod run;
 
-pub use apply::{apply_to_fragments, apply_to_graph, Applied};
+pub use apply::{apply_to_fragments, apply_to_fragments_par, apply_to_graph, Applied};
 pub use ops::{DeltaBuilder, GraphDelta};
 pub use run::{
     plan_incremental, remap_invalid, replay, replay_sim, run_incremental, run_incremental_sim,

@@ -459,6 +459,13 @@ impl<V, E> Fragment<V, E> {
         self.graph.edges(l)
     }
 
+    /// Adjacency of `l` with mutable edge data (weight-only in-place
+    /// apply; structure stays frozen).
+    #[inline]
+    pub(crate) fn adjacency_mut(&mut self, l: LocalId) -> (&[LocalId], &mut [E]) {
+        self.graph.adjacency_mut(l)
+    }
+
     /// Node data of local vertex `l`.
     #[inline]
     pub fn node(&self, l: LocalId) -> &V {

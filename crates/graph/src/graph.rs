@@ -182,6 +182,15 @@ impl<V, E> Graph<V, E> {
         self.neighbors(v).iter().copied().zip(self.edge_data(v).iter())
     }
 
+    /// The adjacency of `v` with mutable edge data — the in-place
+    /// weight-patch path (`mutate`) overwrites stored weights without
+    /// touching the CSR structure.
+    #[inline]
+    pub(crate) fn adjacency_mut(&mut self, v: VertexId) -> (&[VertexId], &mut [E]) {
+        let r = self.offsets[v as usize]..self.offsets[v as usize + 1];
+        (&self.targets[r.clone()], &mut self.edge_data[r])
+    }
+
     /// Node data of `v`.
     #[inline]
     pub fn node(&self, v: VertexId) -> &V {

@@ -259,11 +259,30 @@ pub struct AppliedEdit {
 }
 
 /// Reusable buffers for [`apply_partition_edit`] — the delta-side analog
-/// of `aap-core`'s pooled `Scratch`: lookup sets and staging vectors keep
-/// their capacity across batches, so streaming many small deltas performs
-/// no steady-state re-allocation of the transient structures.
+/// of `aap-core`'s pooled `Scratch`: lookup sets keep their capacity
+/// across batches, so streaming many small deltas performs no
+/// steady-state re-allocation of the transient structures. The pool
+/// holds one buffer set per apply worker; [`apply_partition_edit_threads`]
+/// splits it so each scoped thread repacks with a private set.
 #[derive(Debug, Default)]
 pub struct EditBuffers {
+    workers: Vec<WorkerBufs>,
+}
+
+impl EditBuffers {
+    /// At least `n` per-worker buffer sets; the pool grows on first use
+    /// and retains capacity afterwards.
+    fn split(&mut self, n: usize) -> &mut [WorkerBufs] {
+        if self.workers.len() < n {
+            self.workers.resize_with(n, WorkerBufs::default);
+        }
+        &mut self.workers[..n]
+    }
+}
+
+/// One apply worker's pooled transient sets.
+#[derive(Debug, Default)]
+struct WorkerBufs {
     removed_pairs: FxHashSet<(VertexId, VertexId)>,
     owned_set: FxHashSet<VertexId>,
     seed_globals: FxHashSet<VertexId>,
@@ -278,12 +297,472 @@ struct Core<V, E> {
     mirror_data: Vec<V>,
 }
 
+/// A mirror-set diff produced by phase 1, delivered to the owner in
+/// phase 2: vertex `.0`'s mirror at fragment `.1` was gained (`true`) or
+/// lost (`false`).
+type HolderEvent = (VertexId, FragId, bool);
+
+/// Phase-1 output for one touched fragment: the derived core, its
+/// owner-routed holder events, and the weight-direction tallies.
+type DerivedCore<V, E> = (Core<V, E>, Vec<(FragId, HolderEvent)>, u64, u64);
+
+/// A phase-2 work item: fragment index, its disjoint `&mut`, and the
+/// core derived for it in phase 1 (`None` for holder-events-only
+/// rebuilds).
+type CommitTask<'a, V, E> = (usize, &'a mut Fragment<V, E>, Option<Core<V, E>>);
+
+/// Phase 1 for one touched fragment: derive the new core (owned list,
+/// stored edges, mirrors) in global id space and diff the mirror set
+/// against the old one, emitting `(owner, event)` pairs the orchestrator
+/// routes to the owners. Reads fragments only (`view`), so touched
+/// fragments fan out across scoped threads.
+fn derive_core<V, E>(
+    i: usize,
+    view: &[&Fragment<V, E>],
+    edit: &PartitionEdit<V, E>,
+    bufs: &mut WorkerBufs,
+) -> DerivedCore<V, E>
+where
+    V: Clone,
+    E: Clone + PartialOrd,
+{
+    let fe = &edit.frags[i];
+    let f: &Fragment<V, E> = view[i];
+    let mut weights_decreased = 0u64;
+    let mut weights_increased = 0u64;
+    let mut events: Vec<(FragId, HolderEvent)> = Vec::new();
+
+    // New owned list (sorted by global id; removals keep the id).
+    let mut owned: Vec<(VertexId, V)> = f
+        .owned_vertices()
+        .map(|l| (f.global(l), f.node(l).clone()))
+        .chain(fe.add_owned.iter().cloned())
+        .collect();
+    owned.sort_unstable_by_key(|&(g, _)| g);
+    debug_assert!(owned.windows(2).all(|w| w[0].0 < w[1].0), "duplicate owned vertex");
+
+    bufs.owned_set.clear();
+    bufs.owned_set.extend(owned.iter().map(|&(g, _)| g));
+
+    bufs.removed_pairs.clear();
+    bufs.removed_pairs.extend(fe.remove_edges.iter().copied());
+    let setw: FxHashMap<(VertexId, VertexId), &E> =
+        fe.set_weights.iter().map(|(u, v, w)| ((*u, *v), w)).collect();
+
+    // Surviving + updated + inserted stored edges.
+    let mut edges: Vec<(VertexId, VertexId, E)> =
+        Vec::with_capacity(f.edge_count() + fe.insert_edges.len());
+    for u in f.owned_vertices() {
+        let gu = f.global(u);
+        if edit.removed_vertices.contains(&gu) {
+            continue;
+        }
+        for (t, d) in f.edges(u) {
+            let gt = f.global(t);
+            if edit.removed_vertices.contains(&gt) || bufs.removed_pairs.contains(&(gu, gt)) {
+                continue;
+            }
+            if let Some(w) = setw.get(&(gu, gt)) {
+                match weight_change(*w, d) {
+                    WeightChange::Decreased => weights_decreased += 1,
+                    WeightChange::Unchanged => {}
+                    WeightChange::Increased => weights_increased += 1,
+                }
+                edges.push((gu, gt, (*w).clone()));
+            } else {
+                edges.push((gu, gt, d.clone()));
+            }
+        }
+    }
+    for (u, v, d) in &fe.insert_edges {
+        assert!(bufs.owned_set.contains(u), "inserted edge ({u}, {v}) not owned at frag {i}");
+        assert!(
+            !edit.removed_vertices.contains(u) && !edit.removed_vertices.contains(v),
+            "inserted edge ({u}, {v}) touches a removed vertex"
+        );
+        edges.push((*u, *v, d.clone()));
+    }
+    edges.sort_unstable_by_key(|&(u, v, _)| ((u as u64) << 32) | v as u64);
+
+    // New mirror set + owners.
+    let mut mirrors: Vec<VertexId> =
+        edges.iter().map(|&(_, t, _)| t).filter(|t| !bufs.owned_set.contains(t)).collect();
+    mirrors.sort_unstable();
+    mirrors.dedup();
+    let owner_of = |g: VertexId| -> FragId {
+        if let Some(l) = f.local(g) {
+            if !f.is_owned(l) {
+                return f.owner(l);
+            }
+        }
+        *edit.owners.get(&g).unwrap_or_else(|| panic!("owner of vertex {g} not resolved"))
+    };
+    let mirror_owner: Vec<FragId> = mirrors.iter().map(|&g| owner_of(g)).collect();
+    // Node data for mirrors: carry the old copy; fresh mirrors clone
+    // from the owner fragment (or, for vertices added in this very
+    // batch, from the owner's pending `add_owned` entry).
+    let mirror_data: Vec<V> = mirrors
+        .iter()
+        .zip(&mirror_owner)
+        .map(|(&g, &o)| {
+            if let Some(l) = f.local(g) {
+                return f.node(l).clone();
+            }
+            if let Some(l) = view[o as usize].local(g) {
+                return view[o as usize].node(l).clone();
+            }
+            edit.frags[o as usize]
+                .add_owned
+                .iter()
+                .find(|&&(v, _)| v == g)
+                .map(|(_, d)| d.clone())
+                .unwrap_or_else(|| panic!("no node data for new mirror {g}"))
+        })
+        .collect();
+
+    // Mirror diff -> holder events at the owners.
+    let old_mirrors = &f.globals()[f.owned_count()..];
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < old_mirrors.len() || b < mirrors.len() {
+        match (old_mirrors.get(a), mirrors.get(b)) {
+            (Some(&og), Some(&ng)) if og == ng => {
+                a += 1;
+                b += 1;
+            }
+            (Some(&og), Some(&ng)) if og < ng => {
+                events.push((owner_of(og), (og, i as FragId, false)));
+                a += 1;
+            }
+            (Some(_), Some(&ng)) => {
+                events.push((mirror_owner[b], (ng, i as FragId, true)));
+                b += 1;
+            }
+            (Some(&og), None) => {
+                events.push((owner_of(og), (og, i as FragId, false)));
+                a += 1;
+            }
+            (None, Some(&ng)) => {
+                events.push((mirror_owner[b], (ng, i as FragId, true)));
+                b += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+
+    (
+        Core { owned, edges, mirrors, mirror_owner, mirror_data },
+        events,
+        weights_decreased,
+        weights_increased,
+    )
+}
+
+/// Phase 2 for one fragment that must change: rebuild from its derived
+/// core or, when only the holder lists moved, splice the border
+/// structure without renumbering. Touches `frag` alone, so changed
+/// fragments fan out across scoped threads. Returns the state remap and
+/// the sorted seed set (new local ids).
+fn commit_fragment<V, E>(
+    frag: &mut Fragment<V, E>,
+    fe: &FragmentEdit<V, E>,
+    core: Option<Core<V, E>>,
+    events: &[HolderEvent],
+    bufs: &mut WorkerBufs,
+) -> (StateRemap, Vec<LocalId>)
+where
+    V: Clone,
+    E: Clone + PartialOrd,
+{
+    let mut seeds: Vec<LocalId> = Vec::new();
+
+    // Holder pairs (vertex, holder fragment), post-events, sorted.
+    let mut pairs: Vec<(VertexId, FragId)> = frag
+        .owned_vertices()
+        .flat_map(|l| {
+            let g = frag.global(l);
+            frag.mirror_holders(l).iter().map(move |&h| (g, h))
+        })
+        .collect();
+    bufs.holder_removals.clear();
+    for &(v, h, add) in events {
+        if add {
+            pairs.push((v, h));
+        } else {
+            bufs.holder_removals.insert((v, h));
+        }
+    }
+    if !bufs.holder_removals.is_empty() {
+        // One linear pass, not one retain() per event — a batch that
+        // prunes a hub's cut edges would otherwise go quadratic.
+        pairs.retain(|p| !bufs.holder_removals.contains(p));
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+
+    let remap;
+    match core {
+        None => {
+            // Border-only splice: the local id space is unchanged.
+            let owned_n = frag.owned_count();
+            let mut holder_offsets = vec![0u32; owned_n + 1];
+            let mut holders = Vec::with_capacity(pairs.len());
+            let mut inner_in = Vec::new();
+            for &(v, h) in &pairs {
+                let l = frag.local(v).expect("holder pair names an owned vertex");
+                debug_assert!(frag.is_owned(l));
+                holder_offsets[l as usize + 1] += 1;
+                holders.push(h);
+            }
+            for l in 1..=owned_n {
+                holder_offsets[l] += holder_offsets[l - 1];
+            }
+            for l in 0..owned_n {
+                if holder_offsets[l + 1] > holder_offsets[l] {
+                    inner_in.push(l as LocalId);
+                }
+            }
+            remap = StateRemap::identity(frag.local_count());
+            // Owned vertices that gained a holder must re-announce
+            // their value (the new mirror starts uninitialised).
+            for &(v, _, add) in events {
+                if add {
+                    seeds.push(frag.local(v).expect("owned here"));
+                }
+            }
+            frag.replace_borders(inner_in, holder_offsets, holders);
+        }
+        Some(core) => {
+            let old_globals = frag.globals().to_vec();
+            let id = frag.id();
+            let num_frags = frag.num_frags();
+            let directed = frag.local_graph().is_directed();
+
+            let Core { owned, edges, mirrors, mirror_owner, mirror_data } = core;
+            let owned_n = owned.len();
+            let n_local = owned_n + mirrors.len();
+            let mut g2l: FxHashMap<VertexId, LocalId> = FxHashMap::default();
+            g2l.reserve(n_local);
+            let mut globals = Vec::with_capacity(n_local);
+            let mut node_data: Vec<V> = Vec::with_capacity(n_local);
+            for (g, d) in owned {
+                g2l.insert(g, globals.len() as LocalId);
+                globals.push(g);
+                node_data.push(d);
+            }
+            for (&g, d) in mirrors.iter().zip(mirror_data) {
+                g2l.insert(g, globals.len() as LocalId);
+                globals.push(g);
+                node_data.push(d);
+            }
+
+            // Local CSR over the new id space.
+            let mut offsets = vec![0usize; n_local + 1];
+            for &(u, _, _) in &edges {
+                offsets[g2l[&u] as usize + 1] += 1;
+            }
+            for l in 1..=n_local {
+                offsets[l] += offsets[l - 1];
+            }
+            let mut cursor = offsets.clone();
+            let mut targets = vec![0 as LocalId; edges.len()];
+            let mut slots: Vec<Option<E>> = vec![None; edges.len()];
+            let mut inner_out_set = vec![false; owned_n];
+            for (u, v, d) in edges {
+                let lu = g2l[&u] as usize;
+                let lv = g2l[&v];
+                if lv as usize >= owned_n {
+                    inner_out_set[lu] = true;
+                }
+                targets[cursor[lu]] = lv;
+                slots[cursor[lu]] = Some(d);
+                cursor[lu] += 1;
+            }
+            let edge_data: Vec<E> =
+                slots.into_iter().map(|s| s.expect("every slot filled")).collect();
+            let local_graph = Graph::from_parts(directed, node_data, offsets, targets, edge_data);
+
+            let inner_out: Vec<LocalId> = inner_out_set
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b)
+                .map(|(l, _)| l as LocalId)
+                .collect();
+            let mut holder_offsets = vec![0u32; owned_n + 1];
+            let mut holders = Vec::with_capacity(pairs.len());
+            let mut inner_in = Vec::new();
+            for &(v, h) in &pairs {
+                let l = g2l[&v];
+                debug_assert!((l as usize) < owned_n, "holder pair for non-owned vertex {v}");
+                holder_offsets[l as usize + 1] += 1;
+                holders.push(h);
+            }
+            for l in 1..=owned_n {
+                holder_offsets[l] += holder_offsets[l - 1];
+            }
+            for l in 0..owned_n {
+                if holder_offsets[l + 1] > holder_offsets[l] {
+                    inner_in.push(l as LocalId);
+                }
+            }
+
+            // Remap + seeds (new local ids).
+            let table: Vec<LocalId> =
+                old_globals.iter().map(|g| g2l.get(g).copied().unwrap_or(LocalId::MAX)).collect();
+            remap = StateRemap::from_table(table, n_local);
+            bufs.seed_globals.clear();
+            for (u, v, _) in fe.insert_edges.iter().chain(fe.set_weights.iter()) {
+                bufs.seed_globals.insert(*u);
+                bufs.seed_globals.insert(*v);
+            }
+            for (u, v) in &fe.remove_edges {
+                bufs.seed_globals.insert(*u);
+                bufs.seed_globals.insert(*v);
+            }
+            for (v, _) in &fe.add_owned {
+                bufs.seed_globals.insert(*v);
+            }
+            for &(v, _, add) in events {
+                if add {
+                    bufs.seed_globals.insert(v);
+                }
+            }
+            // Vertices new to this fragment (fresh mirrors).
+            for (&g, &l) in g2l.iter() {
+                if frag.local(g).is_none() {
+                    seeds.push(l);
+                }
+            }
+            for g in bufs.seed_globals.drain() {
+                if let Some(&l) = g2l.get(&g) {
+                    seeds.push(l);
+                }
+            }
+
+            *frag = Fragment::from_parts(
+                id,
+                num_frags,
+                false,
+                local_graph,
+                globals,
+                owned_n,
+                inner_in,
+                inner_out,
+                mirror_owner,
+                holder_offsets,
+                holders,
+            );
+        }
+    }
+    seeds.sort_unstable();
+    seeds.dedup();
+    (remap, seeds)
+}
+
+/// Phase 3 planning: which fragments need their routing table rebuilt —
+/// every patched one, plus every peer whose destination list intersects
+/// a renumbered fragment (tables store destination-local ids).
+fn routing_targets(
+    old_dests: &[Vec<FragId>],
+    remaps: &[StateRemap],
+    mut rebuilt: Vec<bool>,
+) -> Vec<bool> {
+    for j in 0..rebuilt.len() {
+        if !rebuilt[j] && old_dests[j].iter().any(|&d| !remaps[d as usize].is_identity()) {
+            rebuilt[j] = true;
+        }
+    }
+    rebuilt
+}
+
+/// True when the batch is pure weight overwrites — no structural change
+/// anywhere. Such batches keep every id space, border set, mirror set,
+/// and routing table bit-for-bit intact, so the apply can patch stored
+/// weights in place instead of repacking CSRs.
+fn is_weight_only<V, E>(edit: &PartitionEdit<V, E>) -> bool {
+    edit.removed_vertices.is_empty()
+        && edit.frags.iter().all(|fe| {
+            fe.add_owned.is_empty() && fe.insert_edges.is_empty() && fe.remove_edges.is_empty()
+        })
+}
+
+/// The weight-only fast path: overwrite the stored copies in place.
+/// Beyond the returned [`AppliedEdit`] this allocates nothing in steady
+/// state (the pooled seen-set retains capacity) — the case a stream of
+/// weight updates hits every batch (see `tests/alloc_apply.rs`).
+fn apply_weight_only<V, E>(
+    frags: &mut [&mut Fragment<V, E>],
+    edit: &PartitionEdit<V, E>,
+    bufs: &mut EditBuffers,
+) -> AppliedEdit
+where
+    V: Clone,
+    E: Clone + PartialOrd,
+{
+    let m = frags.len();
+    let wb = &mut bufs.split(1)[0];
+    let mut remaps: Vec<StateRemap> = Vec::with_capacity(m);
+    let mut seeds: Vec<Vec<LocalId>> = vec![Vec::new(); m];
+    let mut weights_decreased = 0u64;
+    let mut weights_increased = 0u64;
+    for i in 0..m {
+        remaps.push(StateRemap::identity(frags[i].local_count()));
+        let fe = &edit.frags[i];
+        if !edit.touched[i] {
+            assert!(fe.is_empty(), "edited fragment {i} not marked touched");
+            continue;
+        }
+        // The repack path resolves duplicate (u, v) overwrites through a
+        // last-entry-wins map; replicate that by walking entries
+        // newest-first with a pooled seen-set (`removed_pairs` doubles as
+        // the scratch — the weight-only path has no removals).
+        wb.removed_pairs.clear();
+        for (u, v, w) in fe.set_weights.iter().rev() {
+            if !wb.removed_pairs.insert((*u, *v)) {
+                continue;
+            }
+            let (Some(lu), Some(lv)) = (frags[i].local(*u), frags[i].local(*v)) else {
+                continue;
+            };
+            // Patch every stored parallel (u, v) copy, counting the
+            // direction of each overwrite exactly like the repack path.
+            let (targets, data) = frags[i].adjacency_mut(lu);
+            for (t, d) in targets.iter().zip(data.iter_mut()) {
+                if *t == lv {
+                    match weight_change(w, d) {
+                        WeightChange::Decreased => weights_decreased += 1,
+                        WeightChange::Unchanged => {}
+                        WeightChange::Increased => weights_increased += 1,
+                    }
+                    *d = w.clone();
+                }
+            }
+        }
+        // Seeds: endpoints of every named edge with a local copy here —
+        // the same set the repack path derives via `seed_globals`.
+        for (u, v, _) in &fe.set_weights {
+            if let Some(l) = frags[i].local(*u) {
+                seeds[i].push(l);
+            }
+            if let Some(l) = frags[i].local(*v) {
+                seeds[i].push(l);
+            }
+        }
+        seeds[i].sort_unstable();
+        seeds[i].dedup();
+    }
+    AppliedEdit { remaps, seeds, weights_decreased, weights_increased }
+}
+
 /// Apply one resolved delta batch to an edge-cut fragment set, in place.
 ///
 /// Fragments not named by the edit (directly or through holder/renumber
 /// dependencies) are untouched — no global rebuild happens. Panics on
 /// malformed edits (edges at the wrong fragment, unknown owners,
 /// non-contiguous new vertex ids); `aap-delta`'s resolver upholds these.
+///
+/// This is the serial driver; [`apply_partition_edit_threads`] fans the
+/// per-fragment phases out over scoped threads with a byte-identical
+/// result.
 pub fn apply_partition_edit<V, E>(
     frags: &mut [&mut Fragment<V, E>],
     edit: &PartitionEdit<V, E>,
@@ -298,363 +777,57 @@ where
     assert_eq!(edit.touched.len(), m);
     assert!(frags.iter().all(|f| !f.is_vertex_cut()), "in-place apply is edge-cut only");
 
-    let mut weights_decreased = 0u64;
-    let mut weights_increased = 0u64;
+    if is_weight_only(edit) {
+        return apply_weight_only(frags, edit, bufs);
+    }
 
     // Old destination lists, for the renumber-dependency pass below.
     let old_dests: Vec<Vec<FragId>> = frags.iter().map(|f| f.routing().dests().to_vec()).collect();
 
-    // ------------------------------------------------------------------
-    // Phase 1: per touched fragment, derive the new core (owned list,
-    // stored edges, mirrors) in global id space, and diff the mirror set
-    // against the old one to produce holder events for the owners.
-    // ------------------------------------------------------------------
+    // Phase 1: derive cores + holder events (see `derive_core`).
     let mut cores: Vec<Option<Core<V, E>>> = (0..m).map(|_| None).collect();
-    // At owner fragment: (vertex, mirror holder, gained?).
-    let mut holder_events: Vec<Vec<(VertexId, FragId, bool)>> = vec![Vec::new(); m];
-    for i in 0..m {
-        if !edit.touched[i] {
-            assert!(edit.frags[i].is_empty(), "edited fragment {i} not marked touched");
-            continue;
-        }
-        let fe = &edit.frags[i];
-        let f: &Fragment<V, E> = frags[i];
-
-        // New owned list (sorted by global id; removals keep the id).
-        let mut owned: Vec<(VertexId, V)> = f
-            .owned_vertices()
-            .map(|l| (f.global(l), f.node(l).clone()))
-            .chain(fe.add_owned.iter().cloned())
-            .collect();
-        owned.sort_unstable_by_key(|&(g, _)| g);
-        debug_assert!(owned.windows(2).all(|w| w[0].0 < w[1].0), "duplicate owned vertex");
-
-        bufs.owned_set.clear();
-        bufs.owned_set.extend(owned.iter().map(|&(g, _)| g));
-
-        bufs.removed_pairs.clear();
-        bufs.removed_pairs.extend(fe.remove_edges.iter().copied());
-        let setw: FxHashMap<(VertexId, VertexId), &E> =
-            fe.set_weights.iter().map(|(u, v, w)| ((*u, *v), w)).collect();
-
-        // Surviving + updated + inserted stored edges.
-        let mut edges: Vec<(VertexId, VertexId, E)> =
-            Vec::with_capacity(f.edge_count() + fe.insert_edges.len());
-        for u in f.owned_vertices() {
-            let gu = f.global(u);
-            if edit.removed_vertices.contains(&gu) {
+    let mut holder_events: Vec<Vec<HolderEvent>> = vec![Vec::new(); m];
+    let mut weights_decreased = 0u64;
+    let mut weights_increased = 0u64;
+    {
+        let wb = &mut bufs.split(1)[0];
+        let view: Vec<&Fragment<V, E>> = frags.iter().map(|f| &**f).collect();
+        for (i, core_slot) in cores.iter_mut().enumerate() {
+            if !edit.touched[i] {
+                assert!(edit.frags[i].is_empty(), "edited fragment {i} not marked touched");
                 continue;
             }
-            for (t, d) in f.edges(u) {
-                let gt = f.global(t);
-                if edit.removed_vertices.contains(&gt) || bufs.removed_pairs.contains(&(gu, gt)) {
-                    continue;
-                }
-                if let Some(w) = setw.get(&(gu, gt)) {
-                    match weight_change(*w, d) {
-                        WeightChange::Decreased => weights_decreased += 1,
-                        WeightChange::Unchanged => {}
-                        WeightChange::Increased => weights_increased += 1,
-                    }
-                    edges.push((gu, gt, (*w).clone()));
-                } else {
-                    edges.push((gu, gt, d.clone()));
-                }
+            let (core, events, wdec, winc) = derive_core(i, &view, edit, wb);
+            for (owner, ev) in events {
+                holder_events[owner as usize].push(ev);
             }
+            weights_decreased += wdec;
+            weights_increased += winc;
+            *core_slot = Some(core);
         }
-        for (u, v, d) in &fe.insert_edges {
-            assert!(bufs.owned_set.contains(u), "inserted edge ({u}, {v}) not owned at frag {i}");
-            assert!(
-                !edit.removed_vertices.contains(u) && !edit.removed_vertices.contains(v),
-                "inserted edge ({u}, {v}) touches a removed vertex"
-            );
-            edges.push((*u, *v, d.clone()));
-        }
-        edges.sort_unstable_by_key(|&(u, v, _)| ((u as u64) << 32) | v as u64);
-
-        // New mirror set + owners.
-        let mut mirrors: Vec<VertexId> =
-            edges.iter().map(|&(_, t, _)| t).filter(|t| !bufs.owned_set.contains(t)).collect();
-        mirrors.sort_unstable();
-        mirrors.dedup();
-        let owner_of = |g: VertexId| -> FragId {
-            if let Some(l) = f.local(g) {
-                if !f.is_owned(l) {
-                    return f.owner(l);
-                }
-            }
-            *edit.owners.get(&g).unwrap_or_else(|| panic!("owner of vertex {g} not resolved"))
-        };
-        let mirror_owner: Vec<FragId> = mirrors.iter().map(|&g| owner_of(g)).collect();
-        // Node data for mirrors: carry the old copy; fresh mirrors clone
-        // from the owner fragment (or, for vertices added in this very
-        // batch, from the owner's pending `add_owned` entry).
-        let mirror_data: Vec<V> = mirrors
-            .iter()
-            .zip(&mirror_owner)
-            .map(|(&g, &o)| {
-                if let Some(l) = f.local(g) {
-                    return f.node(l).clone();
-                }
-                if let Some(l) = frags[o as usize].local(g) {
-                    return frags[o as usize].node(l).clone();
-                }
-                edit.frags[o as usize]
-                    .add_owned
-                    .iter()
-                    .find(|&&(v, _)| v == g)
-                    .map(|(_, d)| d.clone())
-                    .unwrap_or_else(|| panic!("no node data for new mirror {g}"))
-            })
-            .collect();
-
-        // Mirror diff -> holder events at the owners.
-        let old_mirrors = &f.globals()[f.owned_count()..];
-        let (mut a, mut b) = (0usize, 0usize);
-        while a < old_mirrors.len() || b < mirrors.len() {
-            match (old_mirrors.get(a), mirrors.get(b)) {
-                (Some(&og), Some(&ng)) if og == ng => {
-                    a += 1;
-                    b += 1;
-                }
-                (Some(&og), Some(&ng)) if og < ng => {
-                    holder_events[owner_of(og) as usize].push((og, i as FragId, false));
-                    a += 1;
-                }
-                (Some(_), Some(&ng)) => {
-                    holder_events[mirror_owner[b] as usize].push((ng, i as FragId, true));
-                    b += 1;
-                }
-                (Some(&og), None) => {
-                    holder_events[owner_of(og) as usize].push((og, i as FragId, false));
-                    a += 1;
-                }
-                (None, Some(&ng)) => {
-                    holder_events[mirror_owner[b] as usize].push((ng, i as FragId, true));
-                    b += 1;
-                }
-                (None, None) => unreachable!(),
-            }
-        }
-
-        cores[i] = Some(Core { owned, edges, mirrors, mirror_owner, mirror_data });
     }
 
-    // ------------------------------------------------------------------
-    // Phase 2: commit. Touched fragments are rebuilt from their core;
-    // fragments that only gained/lost a holder get their border structure
-    // spliced without renumbering.
-    // ------------------------------------------------------------------
+    // Phase 2: commit (see `commit_fragment`).
     let mut remaps: Vec<StateRemap> = Vec::with_capacity(m);
     let mut seeds: Vec<Vec<LocalId>> = vec![Vec::new(); m];
     let mut rebuilt = vec![false; m];
-    for i in 0..m {
-        let eventful = !holder_events[i].is_empty();
-        if cores[i].is_none() && !eventful {
-            remaps.push(StateRemap::identity(frags[i].local_count()));
-            continue;
-        }
-        rebuilt[i] = true;
-        let f: &Fragment<V, E> = frags[i];
-
-        // Holder pairs (vertex, holder fragment), post-events, sorted.
-        let mut pairs: Vec<(VertexId, FragId)> = f
-            .owned_vertices()
-            .flat_map(|l| {
-                let g = f.global(l);
-                f.mirror_holders(l).iter().map(move |&h| (g, h))
-            })
-            .collect();
-        bufs.holder_removals.clear();
-        for &(v, h, add) in &holder_events[i] {
-            if add {
-                pairs.push((v, h));
-            } else {
-                bufs.holder_removals.insert((v, h));
+    {
+        let wb = &mut bufs.split(1)[0];
+        for i in 0..m {
+            if cores[i].is_none() && holder_events[i].is_empty() {
+                remaps.push(StateRemap::identity(frags[i].local_count()));
+                continue;
             }
+            rebuilt[i] = true;
+            let core = cores[i].take();
+            let (remap, s) = commit_fragment(frags[i], &edit.frags[i], core, &holder_events[i], wb);
+            remaps.push(remap);
+            seeds[i] = s;
         }
-        if !bufs.holder_removals.is_empty() {
-            // One linear pass, not one retain() per event — a batch that
-            // prunes a hub's cut edges would otherwise go quadratic.
-            pairs.retain(|p| !bufs.holder_removals.contains(p));
-        }
-        pairs.sort_unstable();
-        pairs.dedup();
-
-        let remap;
-        match cores[i].take() {
-            None => {
-                // Border-only splice: the local id space is unchanged.
-                let owned_n = f.owned_count();
-                let mut holder_offsets = vec![0u32; owned_n + 1];
-                let mut holders = Vec::with_capacity(pairs.len());
-                let mut inner_in = Vec::new();
-                for &(v, h) in &pairs {
-                    let l = f.local(v).expect("holder pair names an owned vertex");
-                    debug_assert!(f.is_owned(l));
-                    holder_offsets[l as usize + 1] += 1;
-                    holders.push(h);
-                }
-                for l in 1..=owned_n {
-                    holder_offsets[l] += holder_offsets[l - 1];
-                }
-                for l in 0..owned_n {
-                    if holder_offsets[l + 1] > holder_offsets[l] {
-                        inner_in.push(l as LocalId);
-                    }
-                }
-                remap = StateRemap::identity(f.local_count());
-                // Owned vertices that gained a holder must re-announce
-                // their value (the new mirror starts uninitialised).
-                for &(v, _, add) in &holder_events[i] {
-                    if add {
-                        seeds[i].push(f.local(v).expect("owned here"));
-                    }
-                }
-                frags[i].replace_borders(inner_in, holder_offsets, holders);
-            }
-            Some(core) => {
-                let old_globals = f.globals().to_vec();
-                let fe = &edit.frags[i];
-                let num_frags = f.num_frags();
-                let directed = f.local_graph().is_directed();
-
-                let Core { owned, edges, mirrors, mirror_owner, mirror_data } = core;
-                let owned_n = owned.len();
-                let n_local = owned_n + mirrors.len();
-                let mut g2l: FxHashMap<VertexId, LocalId> = FxHashMap::default();
-                g2l.reserve(n_local);
-                let mut globals = Vec::with_capacity(n_local);
-                let mut node_data: Vec<V> = Vec::with_capacity(n_local);
-                for (g, d) in owned {
-                    g2l.insert(g, globals.len() as LocalId);
-                    globals.push(g);
-                    node_data.push(d);
-                }
-                for (&g, d) in mirrors.iter().zip(mirror_data) {
-                    g2l.insert(g, globals.len() as LocalId);
-                    globals.push(g);
-                    node_data.push(d);
-                }
-
-                // Local CSR over the new id space.
-                let mut offsets = vec![0usize; n_local + 1];
-                for &(u, _, _) in &edges {
-                    offsets[g2l[&u] as usize + 1] += 1;
-                }
-                for l in 1..=n_local {
-                    offsets[l] += offsets[l - 1];
-                }
-                let mut cursor = offsets.clone();
-                let mut targets = vec![0 as LocalId; edges.len()];
-                let mut slots: Vec<Option<E>> = vec![None; edges.len()];
-                let mut inner_out_set = vec![false; owned_n];
-                for (u, v, d) in edges {
-                    let lu = g2l[&u] as usize;
-                    let lv = g2l[&v];
-                    if lv as usize >= owned_n {
-                        inner_out_set[lu] = true;
-                    }
-                    targets[cursor[lu]] = lv;
-                    slots[cursor[lu]] = Some(d);
-                    cursor[lu] += 1;
-                }
-                let edge_data: Vec<E> =
-                    slots.into_iter().map(|s| s.expect("every slot filled")).collect();
-                let local_graph =
-                    Graph::from_parts(directed, node_data, offsets, targets, edge_data);
-
-                let inner_out: Vec<LocalId> = inner_out_set
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &b)| b)
-                    .map(|(l, _)| l as LocalId)
-                    .collect();
-                let mut holder_offsets = vec![0u32; owned_n + 1];
-                let mut holders = Vec::with_capacity(pairs.len());
-                let mut inner_in = Vec::new();
-                for &(v, h) in &pairs {
-                    let l = g2l[&v];
-                    debug_assert!((l as usize) < owned_n, "holder pair for non-owned vertex {v}");
-                    holder_offsets[l as usize + 1] += 1;
-                    holders.push(h);
-                }
-                for l in 1..=owned_n {
-                    holder_offsets[l] += holder_offsets[l - 1];
-                }
-                for l in 0..owned_n {
-                    if holder_offsets[l + 1] > holder_offsets[l] {
-                        inner_in.push(l as LocalId);
-                    }
-                }
-
-                // Remap + seeds (new local ids).
-                let table: Vec<LocalId> = old_globals
-                    .iter()
-                    .map(|g| g2l.get(g).copied().unwrap_or(LocalId::MAX))
-                    .collect();
-                remap = StateRemap::from_table(table, n_local);
-                bufs.seed_globals.clear();
-                for (u, v, _) in fe.insert_edges.iter().chain(fe.set_weights.iter()) {
-                    bufs.seed_globals.insert(*u);
-                    bufs.seed_globals.insert(*v);
-                }
-                for (u, v) in &fe.remove_edges {
-                    bufs.seed_globals.insert(*u);
-                    bufs.seed_globals.insert(*v);
-                }
-                for (v, _) in &fe.add_owned {
-                    bufs.seed_globals.insert(*v);
-                }
-                for &(v, _, add) in &holder_events[i] {
-                    if add {
-                        bufs.seed_globals.insert(v);
-                    }
-                }
-                // Vertices new to this fragment (fresh mirrors).
-                for (&g, &l) in g2l.iter() {
-                    if f.local(g).is_none() {
-                        seeds[i].push(l);
-                    }
-                }
-                for g in bufs.seed_globals.drain() {
-                    if let Some(&l) = g2l.get(&g) {
-                        seeds[i].push(l);
-                    }
-                }
-
-                *frags[i] = Fragment::from_parts(
-                    i as FragId,
-                    num_frags,
-                    false,
-                    local_graph,
-                    globals,
-                    owned_n,
-                    inner_in,
-                    inner_out,
-                    mirror_owner,
-                    holder_offsets,
-                    holders,
-                );
-            }
-        }
-        seeds[i].sort_unstable();
-        seeds[i].dedup();
-        remaps.push(remap);
     }
 
-    // ------------------------------------------------------------------
-    // Phase 3: routing. Rebuild tables for every patched fragment plus
-    // every fragment whose destination list intersects a renumbered peer
-    // (its stored destination-local ids may have shifted).
-    // ------------------------------------------------------------------
-    let renumbered: Vec<bool> = remaps.iter().map(|r| !r.is_identity()).collect();
-    let mut needs_routing = rebuilt;
-    for j in 0..m {
-        if !needs_routing[j] && old_dests[j].iter().any(|&d| renumbered[d as usize]) {
-            needs_routing[j] = true;
-        }
-    }
+    // Phase 3: routing (see `routing_targets`).
+    let needs_routing = routing_targets(&old_dests, &remaps, rebuilt);
     {
         let view: Vec<&Fragment<V, E>> = frags.iter().map(|f| &**f).collect();
         let tables: Vec<(usize, crate::RoutingTable)> = needs_routing
@@ -667,6 +840,180 @@ where
         for (j, t) in tables {
             frags[j].set_routing(t);
         }
+    }
+
+    AppliedEdit { remaps, seeds, weights_decreased, weights_increased }
+}
+
+/// [`apply_partition_edit`] with the per-fragment work of all three
+/// phases fanned out over up to `threads` scoped worker threads: touched
+/// fragments derive their cores against a shared read-only view, changed
+/// fragments repack behind disjoint `&mut Fragment`s, and routing tables
+/// rebuild from the committed view. Each worker patches through its own
+/// pooled `WorkerBufs`, and the cross-fragment holder events are
+/// merged between phases in ascending fragment order — the one place
+/// workers could have raced on ordering — so the result is
+/// **byte-identical to the serial path** (the mutate proptests pin
+/// this). `threads <= 1`, or a batch touching a single fragment, falls
+/// back to the serial driver.
+pub fn apply_partition_edit_threads<V, E>(
+    frags: &mut [&mut Fragment<V, E>],
+    edit: &PartitionEdit<V, E>,
+    bufs: &mut EditBuffers,
+    threads: usize,
+) -> AppliedEdit
+where
+    V: Clone + Send + Sync,
+    E: Clone + PartialOrd + Send + Sync,
+{
+    let m = frags.len();
+    assert_eq!(edit.frags.len(), m, "one FragmentEdit per fragment");
+    assert_eq!(edit.touched.len(), m);
+    assert!(frags.iter().all(|f| !f.is_vertex_cut()), "in-place apply is edge-cut only");
+
+    if is_weight_only(edit) {
+        // In-place weight patching touches a handful of cache lines per
+        // entry; thread fan-out can only lose.
+        return apply_weight_only(frags, edit, bufs);
+    }
+    let touched: Vec<usize> = (0..m).filter(|&i| edit.touched[i]).collect();
+    let threads = threads.min(touched.len()).max(1);
+    if threads <= 1 {
+        return apply_partition_edit(frags, edit, bufs);
+    }
+    for i in 0..m {
+        if !edit.touched[i] {
+            assert!(edit.frags[i].is_empty(), "edited fragment {i} not marked touched");
+        }
+    }
+
+    let old_dests: Vec<Vec<FragId>> = frags.iter().map(|f| f.routing().dests().to_vec()).collect();
+
+    // Phase 1: core derivation over the shared pre-apply view. Workers
+    // take touched fragments round-robin and write disjoint outputs.
+    let mut cores: Vec<Option<Core<V, E>>> = (0..m).map(|_| None).collect();
+    let mut holder_events: Vec<Vec<HolderEvent>> = vec![Vec::new(); m];
+    let mut weights_decreased = 0u64;
+    let mut weights_increased = 0u64;
+    {
+        let view: Vec<&Fragment<V, E>> = frags.iter().map(|f| &**f).collect();
+        let view = &view[..];
+        let touched = &touched[..];
+        let wbufs = bufs.split(threads);
+        let mut results: Vec<(usize, DerivedCore<V, E>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = wbufs
+                .iter_mut()
+                .enumerate()
+                .map(|(k, wb)| {
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut idx = k;
+                        while idx < touched.len() {
+                            let i = touched[idx];
+                            out.push((i, derive_core(i, view, edit, wb)));
+                            idx += threads;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            let mut all = Vec::with_capacity(touched.len());
+            for h in handles {
+                all.extend(h.join().expect("apply worker panicked"));
+            }
+            all
+        });
+        // Merge in fragment order so the per-owner holder-event streams
+        // match the serial pass exactly.
+        results.sort_unstable_by_key(|r| r.0);
+        for (i, (core, events, wdec, winc)) in results {
+            for (owner, ev) in events {
+                holder_events[owner as usize].push(ev);
+            }
+            weights_decreased += wdec;
+            weights_increased += winc;
+            cores[i] = Some(core);
+        }
+    }
+
+    // Phase 2: changed fragments repack behind disjoint `&mut`s, in
+    // contiguous chunks; untouched fragments settle to identity inline.
+    let mut remaps_opt: Vec<Option<StateRemap>> = (0..m).map(|_| None).collect();
+    let mut seeds: Vec<Vec<LocalId>> = vec![Vec::new(); m];
+    let mut rebuilt = vec![false; m];
+    {
+        let mut work: Vec<CommitTask<'_, V, E>> = Vec::new();
+        for (i, f) in frags.iter_mut().enumerate() {
+            if cores[i].is_none() && holder_events[i].is_empty() {
+                remaps_opt[i] = Some(StateRemap::identity(f.local_count()));
+            } else {
+                rebuilt[i] = true;
+                let core = cores[i].take();
+                work.push((i, &mut **f, core));
+            }
+        }
+        let events = &holder_events[..];
+        let per = work.len().div_ceil(threads).max(1);
+        let wbufs = bufs.split(threads);
+        let results: Vec<(usize, StateRemap, Vec<LocalId>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = work
+                .chunks_mut(per)
+                .zip(wbufs.iter_mut())
+                .map(|(chunk, wb)| {
+                    s.spawn(move || {
+                        chunk
+                            .iter_mut()
+                            .map(|(i, frag, core)| {
+                                let (remap, sds) = commit_fragment(
+                                    &mut **frag,
+                                    &edit.frags[*i],
+                                    core.take(),
+                                    &events[*i],
+                                    wb,
+                                );
+                                (*i, remap, sds)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("apply worker panicked")).collect()
+        });
+        for (i, remap, sds) in results {
+            remaps_opt[i] = Some(remap);
+            seeds[i] = sds;
+        }
+    }
+    let remaps: Vec<StateRemap> =
+        remaps_opt.into_iter().map(|r| r.expect("every fragment remapped")).collect();
+
+    // Phase 3: routing tables over the committed shared view.
+    let needs_routing = routing_targets(&old_dests, &remaps, rebuilt);
+    let tables: Vec<(usize, crate::RoutingTable)> = {
+        let view: Vec<&Fragment<V, E>> = frags.iter().map(|f| &**f).collect();
+        let view = &view[..];
+        let targets: Vec<usize> =
+            needs_routing.iter().enumerate().filter(|&(_, &n)| n).map(|(j, _)| j).collect();
+        let per = targets.len().div_ceil(threads).max(1);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = targets
+                .chunks(per)
+                .map(|chunk| {
+                    s.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|&j| {
+                                (j, routing_table_for(view[j], &|d, g| view[d as usize].local(g)))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("apply worker panicked")).collect()
+        })
+    };
+    for (j, t) in tables {
+        frags[j].set_routing(t);
     }
 
     AppliedEdit { remaps, seeds, weights_decreased, weights_increased }

@@ -6,7 +6,9 @@
 //! from-scratch `build_fragments_n` of the edited global graph, plus
 //! the structural invariants the routing layer relies on.
 
-use aap_graph::mutate::{apply_partition_edit, EditBuffers, FragmentEdit, PartitionEdit};
+use aap_graph::mutate::{
+    apply_partition_edit, apply_partition_edit_threads, EditBuffers, FragmentEdit, PartitionEdit,
+};
 use aap_graph::partition::{build_fragments_n, hash_partition};
 use aap_graph::{generate, Fragment, FxHashMap, FxHashSet, Graph, GraphBuilder, VertexId};
 use proptest::prelude::*;
@@ -202,8 +204,137 @@ fn assert_holder_symmetry(frags: &[Fragment<(), u32>]) {
     }
 }
 
+/// Exact structural equality — not the sorted-multiset comparison of
+/// [`assert_fragments_match`]: the parallel apply promises a result
+/// **byte-identical** to the serial one, so edge order, local id order,
+/// border vectors, and routing tables must all agree verbatim.
+fn assert_fragments_identical(got: &[Fragment<(), u32>], want: &[Fragment<(), u32>]) {
+    for (f, e) in got.iter().zip(want) {
+        assert_eq!(f.owned_count(), e.owned_count(), "frag {} owned", f.id());
+        assert_eq!(f.globals(), e.globals(), "frag {} locals", f.id());
+        assert_eq!(f.inner_in(), e.inner_in(), "frag {} inner_in", f.id());
+        assert_eq!(f.inner_out(), e.inner_out(), "frag {} inner_out", f.id());
+        assert_eq!(f.routing().dests(), e.routing().dests(), "frag {} dests", f.id());
+        for l in f.local_vertices() {
+            assert_eq!(f.neighbors(l), e.neighbors(l), "frag {} vertex {} targets", f.id(), l);
+            assert_eq!(f.edge_data(l), e.edge_data(l), "frag {} vertex {} weights", f.id(), l);
+            assert_eq!(f.routing().fanout(l), e.routing().fanout(l), "frag {} fanout", f.id());
+            if f.is_owned(l) {
+                assert_eq!(f.mirror_holders(l), e.mirror_holders(l), "frag {} holders", f.id());
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(32), ..ProptestConfig::default() })]
+
+    /// The tentpole guarantee of the scoped-thread apply: at every
+    /// thread count, the fragments *and* the `AppliedEdit` (remaps,
+    /// seeds, weight counters) are byte-identical to the serial path.
+    #[test]
+    fn parallel_apply_is_byte_identical_to_serial(
+        n in 16usize..90,
+        k in 1usize..3,
+        gseed in 0u64..100,
+        m in 2usize..6,
+        eseed in 0u64..10_000,
+        threads in 2usize..5,
+    ) {
+        let g = generate::small_world(n, k, 0.2, gseed);
+        let assignment = hash_partition(&g, m);
+        let mut serial = build_fragments_n(&g, &assignment, m);
+        let (mut edit, _) = random_edit(&g, &assignment, m, eseed);
+        touch_removed_vertex_holders(&mut edit, &serial);
+        let mut parallel = serial.clone();
+
+        let mut bufs = EditBuffers::default();
+        let a = {
+            let mut refs: Vec<&mut Fragment<(), u32>> = serial.iter_mut().collect();
+            apply_partition_edit(&mut refs, &edit, &mut bufs)
+        };
+        // Reuse the same buffer pool across both drivers — pooled state
+        // must not leak one batch's contents into the next.
+        let b = {
+            let mut refs: Vec<&mut Fragment<(), u32>> = parallel.iter_mut().collect();
+            apply_partition_edit_threads(&mut refs, &edit, &mut bufs, threads)
+        };
+
+        prop_assert_eq!(&a.remaps, &b.remaps);
+        prop_assert_eq!(&a.seeds, &b.seeds);
+        prop_assert_eq!(a.weights_decreased, b.weights_decreased);
+        prop_assert_eq!(a.weights_increased, b.weights_increased);
+        assert_fragments_identical(&parallel, &serial);
+        assert_holder_symmetry(&parallel);
+    }
+
+    /// The weight-only fast path (no structural ops ⇒ in-place weight
+    /// patching) must be indistinguishable from a full rebuild of the
+    /// edited graph, including the direction counters.
+    #[test]
+    fn weight_only_fast_path_matches_full_rebuild(
+        n in 16usize..90,
+        gseed in 0u64..100,
+        m in 2usize..5,
+        wseed in 0u64..10_000,
+    ) {
+        let g = generate::small_world(n, 2, 0.2, gseed);
+        let assignment = hash_partition(&g, m);
+        let mut frags = build_fragments_n(&g, &assignment, m);
+
+        let mut state = wseed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut edit = PartitionEdit {
+            frags: vec![FragmentEdit::default(); m],
+            removed_vertices: FxHashSet::default(),
+            owners: FxHashMap::default(),
+            touched: vec![false; m],
+        };
+        let mut setw: Vec<(u32, u32, u32)> = Vec::new();
+        for _ in 0..(1 + next() % 6) {
+            let u = (next() % n as u64) as u32;
+            if let Some(&t) = g.neighbors(u).first() {
+                setw.push((u, t, 1 + (next() % 30) as u32));
+            }
+        }
+        if setw.is_empty() {
+            return Ok(()); // isolated picks: nothing to overwrite
+        }
+        for &(u, v, w) in &setw {
+            edit.frags[assignment[u as usize] as usize].set_weights.push((u, v, w));
+            edit.frags[assignment[v as usize] as usize].set_weights.push((v, u, w));
+        }
+        edit.touched = edit.frags.iter().map(|fe| !fe.is_empty()).collect();
+
+        let applied = {
+            let mut refs: Vec<&mut Fragment<(), u32>> = frags.iter_mut().collect();
+            apply_partition_edit(&mut refs, &edit, &mut EditBuffers::default())
+        };
+        // Weight-only: identity remaps everywhere, seeds only in
+        // touched fragments.
+        for (i, r) in applied.remaps.iter().enumerate() {
+            prop_assert!(r.is_identity(), "frag {i} renumbered by a weight-only batch");
+        }
+
+        // Reference: rebuild from the edited global graph (last
+        // overwrite of a pair wins, matching the apply's resolution).
+        let setw_map: FxHashMap<(u32, u32), u32> =
+            setw.iter().flat_map(|&(u, v, w)| [((u, v), w), ((v, u), w)]).collect();
+        let mut b = GraphBuilder::new_undirected(n);
+        for (u, v, d) in g.all_edges() {
+            if u < v {
+                b.add_edge(u, v, *setw_map.get(&(u, v)).unwrap_or(d));
+            }
+        }
+        let expect = build_fragments_n(&b.build(), &assignment, m);
+        assert_fragments_match(&frags, &expect);
+        assert_holder_symmetry(&frags);
+    }
 
     #[test]
     fn apply_partition_edit_matches_full_rebuild(

@@ -25,6 +25,14 @@ pub trait Backend<V, E>: Sized + 'static {
     /// while any `Arc` is shared (a run output still borrows them).
     fn fragments_mut(&mut self) -> Option<Vec<&mut Fragment<V, E>>>;
 
+    /// How many worker threads in-place delta application may use for
+    /// the per-touched-fragment repacks (`apply_to_fragments_par`).
+    /// Defaults to 1 (serial); the threaded engine reuses its configured
+    /// worker count, the simulator stays deterministic-serial.
+    fn apply_threads(&self) -> usize {
+        1
+    }
+
     /// Cold evaluation retaining per-fragment states (`run_retained`).
     fn run_retained<P>(&self, prog: &P, q: &P::Query) -> (P::Out, RunStats, RunState<P::State>)
     where
@@ -57,6 +65,10 @@ where
 
     fn fragments_mut(&mut self) -> Option<Vec<&mut Fragment<V, E>>> {
         Engine::fragments_mut(self)
+    }
+
+    fn apply_threads(&self) -> usize {
+        self.opts().threads
     }
 
     fn run_retained<P>(&self, prog: &P, q: &P::Query) -> (P::Out, RunStats, RunState<P::State>)

@@ -63,9 +63,11 @@
 
 mod backend;
 mod durable;
+mod reader;
 mod slot;
 
 pub use backend::Backend;
+pub use reader::SessionReader;
 
 use crate::durable::{
     graph_path, log_path, read_manifest, state_file_programs, state_path, sweep_stale_epochs,
@@ -75,7 +77,7 @@ use crate::slot::{AnySlot, Planned, ProgramFactory, Slot, SlotFactory};
 use aap_core::engine::RunState;
 use aap_core::pie::WarmStart;
 use aap_core::{Engine, EngineOpts, Mode, WarmStrategy};
-use aap_delta::apply::apply_to_fragments_with;
+use aap_delta::apply::apply_to_fragments_par;
 use aap_delta::{DeltaSummary, GraphDelta};
 use aap_graph::mutate::EditBuffers;
 use aap_graph::partition::{
@@ -95,7 +97,14 @@ use std::sync::Arc;
 #[derive(Debug)]
 pub enum SessionError {
     /// No program is registered under this name.
-    UnknownProgram(String),
+    UnknownProgram {
+        /// The name that was asked for.
+        name: String,
+        /// Every name that *is* registered, in registration order —
+        /// typo'd names get a pointer to what the session actually
+        /// serves.
+        registered: Vec<String>,
+    },
     /// A typed accessor named a program registered with a different
     /// program type.
     ProgramType {
@@ -149,7 +158,15 @@ pub enum SessionError {
 impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SessionError::UnknownProgram(name) => write!(f, "no program registered as {name:?}"),
+            SessionError::UnknownProgram { name, registered } => {
+                write!(f, "no program registered as {name:?}")?;
+                if registered.is_empty() {
+                    write!(f, " (no programs are registered)")
+                } else {
+                    let names: Vec<String> = registered.iter().map(|n| format!("{n:?}")).collect();
+                    write!(f, " (registered programs: {})", names.join(", "))
+                }
+            }
             SessionError::ProgramType { name } => {
                 write!(f, "program {name:?} was registered with a different program type")
             }
@@ -318,9 +335,14 @@ pub struct SessionBuilder<V, E> {
     mode: Mode,
     threads: Option<usize>,
     max_rounds: Option<u32>,
+    answer_cache: usize,
     durable_spec: Option<DurableSpec<V, E>>,
     programs: Vec<(String, Box<dyn SlotFactory<V, E>>)>,
 }
+
+/// Default per-program answer-cache capacity (distinct non-retained
+/// query values served warm per admission window).
+const DEFAULT_ANSWER_CACHE: usize = 8;
 
 fn valid_program_name(name: &str) -> bool {
     !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
@@ -340,6 +362,7 @@ where
             mode: Mode::aap(),
             threads: None,
             max_rounds: None,
+            answer_cache: DEFAULT_ANSWER_CACHE,
             durable_spec: None,
             programs: Vec::new(),
         }
@@ -360,6 +383,7 @@ where
             mode: Mode::aap(),
             threads: None,
             max_rounds: None,
+            answer_cache: DEFAULT_ANSWER_CACHE,
             durable_spec: Some(DurableSpec::new(dir.as_ref().to_path_buf())),
             programs: Vec::new(),
         }
@@ -393,6 +417,15 @@ where
         self
     }
 
+    /// Per-program capacity of the bounded answer cache that serves
+    /// non-retained query values (default 8; 0 disables caching, so
+    /// every non-retained query value costs a cold run). See
+    /// [`Session::query`] for the admission semantics.
+    pub fn answer_cache(mut self, capacity: usize) -> Self {
+        self.answer_cache = capacity;
+        self
+    }
+
     /// Register a program under `name`. Programs are retained
     /// independently: each keeps its own query, state, and strategy;
     /// one [`Session::apply`] advances them all.
@@ -407,9 +440,9 @@ where
     pub fn program<P>(mut self, name: impl Into<String>, prog: P) -> Self
     where
         P: WarmStart<V, E> + 'static,
-        P::Query: Clone + PartialEq + Codec + 'static,
+        P::Query: Clone + PartialEq + Codec + Send + Sync + 'static,
         P::State: Clone + Codec,
-        P::Out: Clone + 'static,
+        P::Out: Clone + Send + Sync + 'static,
     {
         let name = name.into();
         assert!(
@@ -447,7 +480,8 @@ where
             mode: self.mode.clone(),
             max_rounds: self.max_rounds,
         };
-        self.open_with(|frags| Engine::new(frags, opts), SlotFactory::engine_slot)
+        let cap = self.answer_cache;
+        self.open_with(|frags| Engine::new(frags, opts), move |f| f.engine_slot(cap))
     }
 
     /// Open the session on the deterministic discrete-event simulator
@@ -456,7 +490,8 @@ where
     pub fn open_sim(self) -> Result<Session<V, E, SimEngine<V, E>>, SessionError> {
         let opts = SimOpts { mode: self.mode.clone(), ..SimOpts::default() };
         let opts = SimOpts { max_rounds: self.max_rounds.or(opts.max_rounds), ..opts };
-        self.open_with(|frags| SimEngine::new(frags, opts), SlotFactory::sim_slot)
+        let cap = self.answer_cache;
+        self.open_with(|frags| SimEngine::new(frags, opts), move |f| f.sim_slot(cap))
     }
 
     fn open_with<B, MB, MS>(
@@ -476,8 +511,13 @@ where
                 let backend = make_backend(frags);
                 let slots: Slots<V, E, B> =
                     programs.into_iter().map(|(n, f)| (n, make_slot(f))).collect();
-                let mut session =
-                    Session { backend, slots, durable: None, bufs: EditBuffers::default() };
+                let mut session = Session {
+                    backend,
+                    slots,
+                    durable: None,
+                    bufs: EditBuffers::default(),
+                    version: 0,
+                };
                 if let Some(spec) = durable_spec {
                     if read_manifest(&spec.dir)?.is_some() {
                         return Err(SessionError::AlreadyInitialized(spec.dir));
@@ -497,8 +537,13 @@ where
                 let backend = make_backend(frags);
                 let slots: Slots<V, E, B> =
                     programs.into_iter().map(|(n, f)| (n, make_slot(f))).collect();
-                let mut session =
-                    Session { backend, slots, durable: None, bufs: EditBuffers::default() };
+                let mut session = Session {
+                    backend,
+                    slots,
+                    durable: None,
+                    bufs: EditBuffers::default(),
+                    version: 0,
+                };
                 // Every persisted state must have a registration: a
                 // later checkpoint would silently drop an unregistered
                 // program's durable warm state (its file is neither
@@ -509,9 +554,12 @@ where
                     }
                 }
                 {
-                    let Session { slots, backend, .. } = &mut session;
+                    let Session { slots, backend, version, .. } = &mut session;
                     for (name, slot) in slots.iter_mut() {
-                        slot.load_state(&state_path(&spec.dir, epoch, name), backend)?;
+                        if slot.load_state(&state_path(&spec.dir, epoch, name), backend)? {
+                            *version += 1;
+                            slot.publish(*version);
+                        }
                     }
                 }
                 // Replay the log: apply each delta once, advancing every
@@ -546,6 +594,10 @@ pub struct Session<V, E, B: Backend<V, E>> {
     slots: Slots<V, E, B>,
     durable: Option<Durable<V, E>>,
     bufs: EditBuffers,
+    /// Monotone publication counter: bumped once per publication event
+    /// (fresh query, admission window, apply batch, restore), stamped
+    /// into every slot publication so readers can order what they see.
+    version: u64,
 }
 
 impl<V, E> Session<V, E, Engine<V, E>>
@@ -602,11 +654,17 @@ where
         self.durable.as_ref().map(|d| d.epoch)
     }
 
+    /// The session-wide publication version (0 until something is
+    /// published; bumped by every publication event).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     fn slot_index(&self, name: &str) -> Result<usize, SessionError> {
-        self.slots
-            .iter()
-            .position(|(n, _)| n == name)
-            .ok_or_else(|| SessionError::UnknownProgram(name.to_string()))
+        self.slots.iter().position(|(n, _)| n == name).ok_or_else(|| SessionError::UnknownProgram {
+            name: name.to_string(),
+            registered: self.slots.iter().map(|(n, _)| n.clone()).collect(),
+        })
     }
 
     /// Look program `name` up and downcast its slot to the caller's
@@ -614,8 +672,8 @@ where
     fn typed_slot<P>(&self, name: &str) -> Result<&Slot<V, E, P>, SessionError>
     where
         P: WarmStart<V, E> + 'static,
-        P::Query: Clone + PartialEq + 'static,
-        P::Out: Clone + 'static,
+        P::Query: Clone + PartialEq + Send + Sync + 'static,
+        P::Out: Clone + Send + Sync + 'static,
     {
         let idx = self.slot_index(name)?;
         self.slots[idx]
@@ -629,37 +687,113 @@ where
     /// registered with program type `P` (checked; mismatches are a
     /// [`SessionError::ProgramType`]).
     ///
-    /// The first call (per query value) runs a cold retained
-    /// evaluation; repeats of the same query are served from the
-    /// retained fixpoint without touching the engine (the returned
-    /// value is a clone — use [`Session::output`] for a zero-copy
-    /// borrow), and [`Session::apply`] keeps that fixpoint current
-    /// across deltas. A *different* query value re-runs cold and
-    /// becomes the program's retained query.
+    /// Serving is **non-evicting**: the program retains one warm
+    /// fixpoint (its *retained query*, set by the first-ever query and
+    /// switched only by [`Session::retain_query`]) that
+    /// [`Session::apply`] keeps current across deltas, and every other
+    /// query value is answered by a cold run that does *not* disturb
+    /// that state, cached in a small bounded per-program answer cache
+    /// (capacity via [`SessionBuilder::answer_cache`], MRU eviction).
+    /// Repeats of the retained query or of a cached value never touch
+    /// the engine; the returned value is a clone — use
+    /// [`Session::output`] for a zero-copy borrow, or a
+    /// [`Session::reader`] handle for `Arc`-cheap concurrent reads.
     ///
-    /// On a durable session the retained-query *switch* itself is an
-    /// in-memory event: state files record the query as of the last
-    /// [`Session::checkpoint`], and a restore resumes that query (the
-    /// applied delta stream — what the log records — replays exactly
-    /// either way; re-querying the newer value after restore is one
-    /// cold run). Checkpoint after switching queries if the switch
-    /// itself must survive a crash.
+    /// Applying a delta clears the answer cache (its entries described
+    /// the pre-apply graph) and warm-advances only the retained query.
+    /// Every freshly computed answer is epoch-published for readers.
+    ///
+    /// On a durable session only the retained query is checkpointed:
+    /// state files record it as of the last [`Session::checkpoint`],
+    /// and a restore resumes it (the applied delta stream — what the
+    /// log records — replays exactly either way; re-querying other
+    /// values after restore is one cold run each).
     pub fn query<P>(&mut self, name: &str, q: &P::Query) -> Result<P::Out, SessionError>
     where
         P: WarmStart<V, E> + 'static,
-        P::Query: Clone + PartialEq + 'static,
-        P::Out: Clone + 'static,
+        P::Query: Clone + PartialEq + Send + Sync + 'static,
+        P::Out: Clone + Send + Sync + 'static,
     {
         // `query` mutates the slot while borrowing the backend, so it
         // needs the split-borrow form of `typed_slot` inline.
         let idx = self.slot_index(name)?;
-        let Session { slots, backend, .. } = self;
+        let Session { slots, backend, version, .. } = self;
         let slot = slots[idx]
             .1
             .as_any_mut()
             .downcast_mut::<Slot<V, E, P>>()
             .ok_or_else(|| SessionError::ProgramType { name: name.to_string() })?;
-        Ok(slot.query(backend, q))
+        let (out, fresh) = slot.serve(backend, q);
+        if fresh {
+            *version += 1;
+            slot.publish_at(*version);
+        }
+        Ok((*out).clone())
+    }
+
+    /// Make `q` program `name`'s **retained** query — the one fixpoint
+    /// [`Session::apply`] warm-advances — via a cold retained run that
+    /// replaces the current warm state. The previous retained answer is
+    /// demoted into the answer cache (it still describes the current
+    /// graph). Use this deliberately when the serving focus moves;
+    /// plain [`Session::query`] never evicts.
+    pub fn retain_query<P>(&mut self, name: &str, q: &P::Query) -> Result<P::Out, SessionError>
+    where
+        P: WarmStart<V, E> + 'static,
+        P::Query: Clone + PartialEq + Send + Sync + 'static,
+        P::Out: Clone + Send + Sync + 'static,
+    {
+        let idx = self.slot_index(name)?;
+        let Session { slots, backend, version, .. } = self;
+        let slot = slots[idx]
+            .1
+            .as_any_mut()
+            .downcast_mut::<Slot<V, E, P>>()
+            .ok_or_else(|| SessionError::ProgramType { name: name.to_string() })?;
+        let out = slot.retain(backend, q);
+        *version += 1;
+        slot.publish_at(*version);
+        Ok((*out).clone())
+    }
+
+    /// Answer every query value readers have
+    /// [requested](SessionReader::request) since the last admission
+    /// window, program by program: each distinct queued value is served
+    /// from the retained fixpoint, the answer cache, or one cold run,
+    /// and every program that computed something republishes. Returns
+    /// the number of newly computed answers across all programs.
+    pub fn serve_admitted(&mut self) -> Result<usize, SessionError> {
+        let Session { slots, backend, version, .. } = self;
+        let mut fresh = 0;
+        for (_, slot) in slots.iter_mut() {
+            let n = slot.serve_pending(backend);
+            if n > 0 {
+                *version += 1;
+                slot.publish(*version);
+                fresh += n;
+            }
+        }
+        Ok(fresh)
+    }
+
+    /// A cheaply-cloneable read handle over every program's published
+    /// fixpoint: clone one per thread and serve
+    /// [`SessionReader::query`] / [`SessionReader::output`] by `&self`
+    /// while this session (the single writer) keeps applying deltas.
+    /// Readers observe complete pre- or post-apply fixpoints only —
+    /// never a torn mix — and values the writer has not served read as
+    /// `None` until admitted ([`SessionReader::request`] +
+    /// [`Session::serve_admitted`]).
+    pub fn reader(&self) -> SessionReader<V, E> {
+        SessionReader::from_parts(
+            self.slots
+                .iter()
+                .map(|(n, s)| {
+                    let (cell, pending) = s.reader_parts();
+                    (n.clone(), cell, pending)
+                })
+                .collect(),
+        )
     }
 
     /// Borrow program `name`'s cached assembled output for its retained
@@ -669,8 +803,8 @@ where
     pub fn output<P>(&self, name: &str) -> Result<Option<&P::Out>, SessionError>
     where
         P: WarmStart<V, E> + 'static,
-        P::Query: Clone + PartialEq + 'static,
-        P::Out: Clone + 'static,
+        P::Query: Clone + PartialEq + Send + Sync + 'static,
+        P::Out: Clone + Send + Sync + 'static,
     {
         Ok(self.typed_slot::<P>(name)?.output())
     }
@@ -681,8 +815,8 @@ where
     pub fn run_state<P>(&self, name: &str) -> Result<Option<&RunState<P::State>>, SessionError>
     where
         P: WarmStart<V, E> + 'static,
-        P::Query: Clone + PartialEq + 'static,
-        P::Out: Clone + 'static,
+        P::Query: Clone + PartialEq + Send + Sync + 'static,
+        P::Out: Clone + Send + Sync + 'static,
     {
         Ok(self.typed_slot::<P>(name)?.state())
     }
@@ -691,8 +825,8 @@ where
     pub fn retained_query<P>(&self, name: &str) -> Result<Option<&P::Query>, SessionError>
     where
         P: WarmStart<V, E> + 'static,
-        P::Query: Clone + PartialEq + 'static,
-        P::Out: Clone + 'static,
+        P::Query: Clone + PartialEq + Send + Sync + 'static,
+        P::Out: Clone + Send + Sync + 'static,
     {
         Ok(self.typed_slot::<P>(name)?.current_query())
     }
@@ -728,20 +862,35 @@ where
                 self.backend.fragments().iter().map(|a| &**a).collect();
             self.slots.iter_mut().map(|(_, s)| s.plan(&view, delta)).collect()
         };
-        // 2. One in-place fragment mutation, shared by all programs.
+        // 2. One in-place fragment mutation, shared by all programs —
+        // the touched-fragment repacks run on the backend's worker
+        // budget (byte-identical to serial; see `aap_graph::mutate`).
+        let threads = self.backend.apply_threads();
         let applied = {
             let mut frags = self.backend.fragments_mut().ok_or(SessionError::SharedFragments)?;
-            apply_to_fragments_with(&mut frags, delta, &mut self.bufs)
+            apply_to_fragments_par(&mut frags, delta, &mut self.bufs, threads)
         };
-        // 3. Advance every program that holds retained state.
+        // 3. Advance every program that holds retained state, then
+        // publish every advanced fixpoint under one version so readers
+        // flip from the pre-apply epoch to the post-apply one whole.
         let mut programs = Vec::new();
-        for ((name, slot), plan) in self.slots.iter_mut().zip(planned) {
+        let mut advanced = vec![false; self.slots.len()];
+        for (i, ((name, slot), plan)) in self.slots.iter_mut().zip(planned).enumerate() {
             if let Some(adv) = slot.advance(&self.backend, &applied, plan) {
+                advanced[i] = true;
                 programs.push(ProgramApply {
                     name: name.clone(),
                     strategy: adv.strategy,
                     updates: adv.stats.total_updates(),
                 });
+            }
+        }
+        if advanced.iter().any(|&a| a) {
+            self.version += 1;
+            for (i, (_, slot)) in self.slots.iter().enumerate() {
+                if advanced[i] {
+                    slot.publish(self.version);
+                }
             }
         }
         Ok(ApplyReport { summary: applied.summary, programs })
@@ -780,9 +929,100 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aap_algos::Sssp;
+    use aap_algos::{ConnectedComponents, Sssp};
     use aap_delta::DeltaBuilder;
     use aap_graph::generate;
+
+    /// Satellite (ISSUE 6): a typo'd program name must say what IS
+    /// registered, not just echo the typo back.
+    #[test]
+    fn unknown_program_error_names_the_registered_programs() {
+        let g = generate::small_world(40, 2, 0.2, 1);
+        let mut session = Session::builder(g)
+            .partition(edge_cut(2))
+            .program("sssp", Sssp)
+            .program("cc", ConnectedComponents)
+            .open()
+            .unwrap();
+        let err = session.query::<Sssp>("ssps", &0).expect_err("typo'd name must fail");
+        assert!(matches!(
+            &err,
+            SessionError::UnknownProgram { name, registered }
+                if name == "ssps" && registered == &["sssp".to_string(), "cc".to_string()]
+        ));
+        let msg = err.to_string();
+        assert!(msg.contains("\"ssps\""), "{msg}");
+        assert!(msg.contains("\"sssp\"") && msg.contains("\"cc\""), "{msg}");
+
+        let g = generate::small_world(40, 2, 0.2, 1);
+        let mut empty = Session::<(), u32, _>::builder(g).partition(edge_cut(2)).open().unwrap();
+        let msg = empty.query::<Sssp>("sssp", &0).expect_err("nothing registered").to_string();
+        assert!(msg.contains("no programs are registered"), "{msg}");
+    }
+
+    /// The admission semantics end to end: `query` never evicts the
+    /// retained fixpoint, cache hits publish nothing, `retain_query`
+    /// switches explicitly and demotes the old retained answer.
+    #[test]
+    fn query_is_non_evicting_and_retain_query_switches() {
+        let g = generate::small_world(80, 2, 0.2, 9);
+        let mut session =
+            Session::builder(g).partition(edge_cut(2)).program("sssp", Sssp).open().unwrap();
+        let from0 = session.query::<Sssp>("sssp", &0).unwrap();
+        assert_eq!(session.retained_query::<Sssp>("sssp").unwrap(), Some(&0));
+        let v1 = session.version();
+        let from5 = session.query::<Sssp>("sssp", &5).unwrap();
+        assert_ne!(from0, from5);
+        assert_eq!(
+            session.retained_query::<Sssp>("sssp").unwrap(),
+            Some(&0),
+            "a different query value must NOT evict the retained fixpoint"
+        );
+        assert!(session.version() > v1, "a freshly computed answer is published");
+        let v2 = session.version();
+        assert_eq!(session.query::<Sssp>("sssp", &5).unwrap(), from5);
+        assert_eq!(session.version(), v2, "an answer-cache hit publishes nothing");
+
+        assert_eq!(session.retain_query::<Sssp>("sssp", &5).unwrap(), from5);
+        assert_eq!(session.retained_query::<Sssp>("sssp").unwrap(), Some(&5));
+        let v3 = session.version();
+        assert_eq!(session.query::<Sssp>("sssp", &0).unwrap(), from0);
+        assert_eq!(session.version(), v3, "the demoted retained answer serves from cache");
+
+        // The retained fixpoint (now 5) warm-advances; caches drop.
+        let mut b = DeltaBuilder::new();
+        b.add_edge(5, 40, 1);
+        let report = session.apply(&b.build()).unwrap();
+        assert_eq!(report.strategy("sssp"), Some(WarmStrategy::WarmDecrease));
+        let v4 = session.version();
+        session.query::<Sssp>("sssp", &0).unwrap();
+        assert!(session.version() > v4, "post-apply, cached answers were dropped (cold re-run)");
+    }
+
+    /// Reader admission: requests queue distinct values; one
+    /// `serve_admitted` answers the window and publishes.
+    #[test]
+    fn admitted_requests_are_served_in_one_window() {
+        let g = generate::small_world(80, 2, 0.2, 9);
+        let mut session =
+            Session::builder(g).partition(edge_cut(2)).program("sssp", Sssp).open().unwrap();
+        session.query::<Sssp>("sssp", &0).unwrap();
+        let reader = session.reader();
+        assert!(reader.query::<Sssp>("sssp", &3).unwrap().is_none());
+        assert!(reader.request::<Sssp>("sssp", &3).unwrap());
+        assert!(!reader.request::<Sssp>("sssp", &3).unwrap(), "distinct values only");
+        assert!(reader.request::<Sssp>("sssp", &4).unwrap());
+        assert!(reader.request::<Sssp>("sssp", &0).unwrap(), "already-served values queue too");
+        assert_eq!(session.serve_admitted().unwrap(), 2, "0 was a cache hit, 3 and 4 computed");
+        assert!(reader.query::<Sssp>("sssp", &3).unwrap().is_some());
+        assert!(reader.query::<Sssp>("sssp", &4).unwrap().is_some());
+        assert_eq!(
+            session.retained_query::<Sssp>("sssp").unwrap(),
+            Some(&0),
+            "admission never moves the retained query"
+        );
+        assert_eq!(session.serve_admitted().unwrap(), 0, "window drained");
+    }
 
     /// An always-failing log append, standing in for a full disk.
     fn failing_write(

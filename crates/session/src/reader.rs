@@ -1,0 +1,226 @@
+//! The read side of concurrent serving: [`SessionReader`], a cheaply
+//! cloneable handle over a session's epoch-published fixpoints.
+//!
+//! A [`crate::Session`] is a single-writer object (`query`, `apply`,
+//! `checkpoint` all take `&mut self`). Every publication-worthy event —
+//! a fresh fixpoint, a cache-filled answer, a delta advance — pushes the
+//! slot's complete serving surface through an
+//! [`EpochCell`](aap_core::publish::EpochCell), so any number of
+//! `SessionReader` clones on other threads serve from the *last
+//! published* fixpoint by `&self`, lock-free in the steady state, while
+//! the writer streams `apply()` batches. Readers never observe a torn
+//! mix of two publications: each read is one complete pre- or
+//! post-apply [`Fix`].
+//!
+//! Readers cannot compute. A query value the writer has never served
+//! reads as `None`; [`SessionReader::request`] enqueues it for
+//! admission, and the writer answers the whole admission window with
+//! [`crate::Session::serve_admitted`].
+
+use crate::SessionError;
+use aap_core::pie::WarmStart;
+use aap_core::publish::{EpochCell, EpochReader};
+use std::any::Any;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::{Arc, Mutex};
+
+/// One program's published serving surface: the session-wide version it
+/// was published at, plus the type-erased [`Fix`] (re-typed by the
+/// reader's `P` turbofish, like `Session::query`).
+pub(crate) struct Published {
+    pub(crate) version: u64,
+    pub(crate) fix: Arc<dyn Any + Send + Sync>,
+}
+
+/// The typed content behind one [`Published`]: the retained query and
+/// its assembled output, plus the bounded answer cache — all `Arc`
+/// clones of the writer's slot, so publishing is O(cache size) pointer
+/// copies, never a data copy.
+pub(crate) struct Fix<Q, O> {
+    pub(crate) query: Option<Q>,
+    pub(crate) out: Option<Arc<O>>,
+    pub(crate) answers: Vec<(Q, Arc<O>)>,
+}
+
+/// One reader-side slot: the program's name, a reader-local epoch cache
+/// over its publication cell, and the shared admission queue.
+struct ReaderSlot {
+    name: String,
+    cell: RefCell<EpochReader<Published>>,
+    pending: Arc<dyn Any + Send + Sync>,
+}
+
+/// A cheaply-cloneable read handle over a [`crate::Session`]'s published
+/// fixpoints (see the module docs for the writer/reader split).
+///
+/// `Send` but deliberately **not** `Sync`: clone one per thread (the
+/// clone is a few `Arc` bumps; its epoch cache starts cold and warms on
+/// first read). All serving methods take `&self`; a steady-state
+/// [`SessionReader::query`] hit is one atomic epoch load plus an
+/// `Arc` clone of the cached output — it never locks against the writer
+/// and never clones the output data.
+///
+/// ```
+/// use aap_session::{edge_cut, Session};
+/// use aap_algos::Sssp;
+/// use aap_graph::generate;
+///
+/// let g = generate::small_world(120, 2, 0.1, 3);
+/// let mut session =
+///     Session::builder(g).partition(edge_cut(2)).program("sssp", Sssp).open()?;
+/// session.query::<Sssp>("sssp", &0)?; // writer materializes + publishes
+///
+/// let reader = session.reader();
+/// let worker = std::thread::spawn(move || {
+///     // `&self` serving from another thread: an Arc of the published
+///     // fixpoint, or None for a query the writer never served.
+///     let dist = reader.query::<Sssp>("sssp", &0).unwrap().expect("published");
+///     assert_eq!(dist[0], 0);
+///     assert!(reader.query::<Sssp>("sssp", &99).unwrap().is_none());
+///     reader.request::<Sssp>("sssp", &99).unwrap(); // enqueue for admission
+/// });
+/// worker.join().unwrap();
+/// assert_eq!(session.serve_admitted()?, 1); // writer answers the window
+/// let reader = session.reader();
+/// assert!(reader.query::<Sssp>("sssp", &99)?.is_some());
+/// # Ok::<(), aap_session::SessionError>(())
+/// ```
+pub struct SessionReader<V, E> {
+    slots: Vec<ReaderSlot>,
+    _marker: PhantomData<fn() -> (V, E)>,
+}
+
+impl<V, E> Clone for SessionReader<V, E> {
+    fn clone(&self) -> Self {
+        SessionReader {
+            slots: self
+                .slots
+                .iter()
+                .map(|s| ReaderSlot {
+                    name: s.name.clone(),
+                    cell: RefCell::new(s.cell.borrow().clone()),
+                    pending: Arc::clone(&s.pending),
+                })
+                .collect(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// One slot's publication wiring as handed from the session to a
+/// reader: program name, the epoch cell, and the admission queue.
+pub(crate) type ReaderPart = (String, Arc<EpochCell<Published>>, Arc<dyn Any + Send + Sync>);
+
+impl<V, E> SessionReader<V, E> {
+    /// Assembled by [`crate::Session::reader`] from each slot's
+    /// publication cell + admission queue.
+    pub(crate) fn from_parts(parts: Vec<ReaderPart>) -> Self {
+        SessionReader {
+            slots: parts
+                .into_iter()
+                .map(|(name, cell, pending)| ReaderSlot {
+                    name,
+                    cell: RefCell::new(cell.reader()),
+                    pending,
+                })
+                .collect(),
+            _marker: PhantomData,
+        }
+    }
+
+    fn index(&self, name: &str) -> Result<usize, SessionError> {
+        self.slots.iter().position(|s| s.name == name).ok_or_else(|| SessionError::UnknownProgram {
+            name: name.to_string(),
+            registered: self.slots.iter().map(|s| s.name.clone()).collect(),
+        })
+    }
+
+    /// Look the published fix up and serve `f(fix)`; distinguishes
+    /// "nothing published yet" (`Ok(None)`) from a type mismatch.
+    fn with_fix<P, R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&Fix<P::Query, P::Out>) -> Option<R>,
+    ) -> Result<Option<R>, SessionError>
+    where
+        P: WarmStart<V, E>,
+        P::Query: Send + Sync + 'static,
+        P::Out: Send + Sync + 'static,
+    {
+        let i = self.index(name)?;
+        let mut cell = self.slots[i].cell.borrow_mut();
+        match cell.with(|p| p.fix.downcast_ref::<Fix<P::Query, P::Out>>().map(f)) {
+            None => Ok(None), // nothing published yet
+            Some(None) => Err(SessionError::ProgramType { name: name.to_string() }),
+            Some(Some(r)) => Ok(r),
+        }
+    }
+
+    /// Serve query `q` against program `name` from the last published
+    /// fixpoint: the retained output when `q` is the retained query, a
+    /// cached answer when the writer has served `q` this window, and
+    /// `None` otherwise (readers never compute —
+    /// [`SessionReader::request`] admission for unseen values).
+    ///
+    /// The returned `Arc` stays valid forever; it simply stops being
+    /// current once the writer publishes again.
+    pub fn query<P>(&self, name: &str, q: &P::Query) -> Result<Option<Arc<P::Out>>, SessionError>
+    where
+        P: WarmStart<V, E>,
+        P::Query: PartialEq + Send + Sync + 'static,
+        P::Out: Send + Sync + 'static,
+    {
+        self.with_fix::<P, _>(name, |fix| {
+            if fix.query.as_ref() == Some(q) {
+                return fix.out.clone();
+            }
+            fix.answers.iter().find(|(aq, _)| aq == q).map(|(_, o)| Arc::clone(o))
+        })
+    }
+
+    /// The last published *retained* output of program `name`, whatever
+    /// its retained query currently is (`None` until the writer's first
+    /// query materializes one).
+    pub fn output<P>(&self, name: &str) -> Result<Option<Arc<P::Out>>, SessionError>
+    where
+        P: WarmStart<V, E>,
+        P::Query: Send + Sync + 'static,
+        P::Out: Send + Sync + 'static,
+    {
+        self.with_fix::<P, _>(name, |fix| fix.out.clone())
+    }
+
+    /// The session-wide version of program `name`'s last publication
+    /// (`None` before the first): monotone per program, bumped by every
+    /// publication event, so a reader can tell which writer state — e.g.
+    /// which `apply` — an answer reflects.
+    pub fn version(&self, name: &str) -> Result<Option<u64>, SessionError> {
+        let i = self.index(name)?;
+        let (_, p) = self.slots[i].cell.borrow_mut().load();
+        Ok(p.map(|p| p.version))
+    }
+
+    /// Enqueue query value `q` for admission: the writer's next
+    /// [`crate::Session::serve_admitted`] answers every distinct queued
+    /// value from one shared serving pass and publishes the results.
+    /// Returns `false` when `q` was already queued (the queue holds
+    /// distinct values only).
+    pub fn request<P>(&self, name: &str, q: &P::Query) -> Result<bool, SessionError>
+    where
+        P: WarmStart<V, E>,
+        P::Query: Clone + PartialEq + Send + 'static,
+    {
+        let i = self.index(name)?;
+        let queue = self.slots[i]
+            .pending
+            .downcast_ref::<Mutex<Vec<P::Query>>>()
+            .ok_or_else(|| SessionError::ProgramType { name: name.to_string() })?;
+        let mut queued = queue.lock().unwrap_or_else(|e| e.into_inner());
+        if queued.iter().any(|p| p == q) {
+            return Ok(false);
+        }
+        queued.push(q.clone());
+        Ok(true)
+    }
+}

@@ -1,19 +1,33 @@
 //! Type-erased program slots: one registered PIE program with its
-//! retained query, [`RunState`], and cached output, behind an object-safe
-//! trait so a [`crate::Session`] can hold SSSP, CC, and future programs
-//! with heterogeneous `Query`/`State`/`Out` types in one map.
+//! retained query, [`RunState`], cached output, bounded answer cache,
+//! and epoch-publication cell, behind an object-safe trait so a
+//! [`crate::Session`] can hold SSSP, CC, and future programs with
+//! heterogeneous `Query`/`State`/`Out` types in one map.
 //!
 //! The erased surface is exactly the per-program half of the session
 //! lifecycle: *plan* (pre-apply invalidation planning), *advance* (warm
-//! or cold evaluation after the shared fragment apply), and the durable
+//! or cold evaluation after the shared fragment apply), *publish* /
+//! *serve_pending* (the concurrent-serving hooks), and the durable
 //! *save*/*load* hooks. The typed half — `query` — goes through a
 //! downcast in `Session::query`, which re-unites the caller's program
 //! type with the slot's.
+//!
+//! ## Serving discipline (ISSUE 6)
+//!
+//! A slot retains **one** warm fixpoint (query + [`RunState`]) that
+//! deltas advance, and serves every *other* query value through a small
+//! bounded answer cache (MRU at the front) filled by cold runs that do
+//! **not** disturb the retained state. The first-ever query becomes the
+//! retained one; switching it later is explicit
+//! ([`crate::Session::retain_query`]). Applying a delta clears the
+//! answer cache — those outputs described the pre-apply graph.
 
 use crate::backend::Backend;
+use crate::reader::{Fix, Published};
 use crate::SessionError;
 use aap_core::engine::RunState;
 use aap_core::pie::WarmStart;
+use aap_core::publish::EpochCell;
 use aap_core::{Engine, RunStats, WarmStrategy};
 use aap_delta::{plan_incremental, remap_invalid, Applied, GraphDelta};
 use aap_graph::{Fragment, LocalId};
@@ -22,7 +36,7 @@ use aap_snapshot::{load_program_state, save_program_state, Codec, SnapshotError}
 use std::any::Any;
 use std::marker::PhantomData;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The pre-apply half of one program's delta handling: the strategy its
 /// `delta_strategy` chose and, for `warm-increase`, the invalidated
@@ -48,13 +62,24 @@ pub(crate) trait AnySlot<V, E, B>: Any {
     fn plan(&mut self, frags: &[&Fragment<V, E>], delta: &GraphDelta<V, E>) -> Option<Planned>;
     /// Post-apply advance: warm (`run_incremental` through the applied
     /// remaps/seeds) or cold (`run_retained`), refreshing the cached
-    /// output and the state's plan cache.
+    /// output and the state's plan cache. Drops the answer cache — its
+    /// entries described the pre-apply graph.
     fn advance(
         &mut self,
         backend: &B,
         applied: &Applied,
         planned: Option<Planned>,
     ) -> Option<SlotAdvance>;
+    /// Publish the slot's current serving surface (retained query +
+    /// output, answer cache) to its epoch cell at session `version`.
+    fn publish(&self, version: u64);
+    /// Drain the reader-admitted queue, answering every distinct queued
+    /// value from the retained fixpoint, the answer cache, or one cold
+    /// run each. Returns how many answers were **newly computed**.
+    fn serve_pending(&mut self, backend: &B) -> usize;
+    /// The shared publication cell + admission queue, for reader
+    /// handles ([`crate::Session::reader`]).
+    fn reader_parts(&self) -> (Arc<EpochCell<Published>>, Arc<dyn Any + Send + Sync>);
     /// Persist query + exported state to `path`; `Ok(false)` when the
     /// slot has no state yet (nothing written).
     fn save_state(&self, path: &Path, frags: &[Arc<Fragment<V, E>>])
@@ -73,36 +98,111 @@ where
     prog: P,
     query: Option<P::Query>,
     state: Option<RunState<P::State>>,
-    out: Option<P::Out>,
+    out: Option<Arc<P::Out>>,
+    /// Bounded per-program answer cache for non-retained query values,
+    /// most-recently-used first.
+    answers: Vec<(P::Query, Arc<P::Out>)>,
+    answer_cap: usize,
+    /// Epoch-published serving surface (shared with every reader).
+    cell: Arc<EpochCell<Published>>,
+    /// Reader-admitted query values awaiting `serve_pending`.
+    pending: Arc<Mutex<Vec<P::Query>>>,
     _marker: PhantomData<fn() -> (V, E)>,
 }
 
 impl<V, E, P> Slot<V, E, P>
 where
     P: WarmStart<V, E>,
-    P::Query: Clone + PartialEq,
-    P::Out: Clone,
+    P::Query: Clone + PartialEq + Send + Sync + 'static,
+    P::Out: Send + Sync + 'static,
 {
-    pub(crate) fn new(prog: P) -> Self {
-        Slot { prog, query: None, state: None, out: None, _marker: PhantomData }
+    pub(crate) fn new(prog: P, answer_cap: usize) -> Self {
+        Slot {
+            prog,
+            query: None,
+            state: None,
+            out: None,
+            answers: Vec::new(),
+            answer_cap,
+            cell: Arc::new(EpochCell::new()),
+            pending: Arc::new(Mutex::new(Vec::new())),
+            _marker: PhantomData,
+        }
     }
 
-    /// Serve a query: from the cached fixpoint when `q` matches the
-    /// retained query, otherwise by a cold retained run that replaces
-    /// the slot's state (the new query becomes the one future deltas
-    /// warm-advance).
-    pub(crate) fn query<B: Backend<V, E>>(&mut self, backend: &B, q: &P::Query) -> P::Out {
-        if let (Some(cq), Some(out)) = (&self.query, &self.out) {
-            if cq == q {
-                return out.clone();
+    /// Serve a query without evicting the retained fixpoint: retained
+    /// hit, answer-cache hit (moved to front), or one cold run. The
+    /// first-ever query becomes the retained one (there is nothing to
+    /// protect yet); later distinct values land in the bounded answer
+    /// cache and leave the retained state untouched. The `bool` is true
+    /// when the answer was newly computed (callers republish then).
+    pub(crate) fn serve<B: Backend<V, E>>(
+        &mut self,
+        backend: &B,
+        q: &P::Query,
+    ) -> (Arc<P::Out>, bool) {
+        if let Some(out) = self.lookup(q) {
+            return (out, false);
+        }
+        if self.query.is_none() {
+            return (self.retain(backend, q), true);
+        }
+        let (out, _stats, _state) = backend.run_retained(&self.prog, q);
+        let out = Arc::new(out);
+        self.cache_answer(q.clone(), Arc::clone(&out));
+        (out, true)
+    }
+
+    /// A cache-only probe: the retained output when `q` is retained,
+    /// else the cached answer moved to the front.
+    fn lookup(&mut self, q: &P::Query) -> Option<Arc<P::Out>> {
+        if self.query.as_ref() == Some(q) {
+            return self.out.clone();
+        }
+        let pos = self.answers.iter().position(|(aq, _)| aq == q)?;
+        let hit = self.answers.remove(pos);
+        let out = Arc::clone(&hit.1);
+        self.answers.insert(0, hit);
+        Some(out)
+    }
+
+    fn cache_answer(&mut self, q: P::Query, out: Arc<P::Out>) {
+        self.answers.retain(|(aq, _)| *aq != q);
+        self.answers.insert(0, (q, out));
+        self.answers.truncate(self.answer_cap);
+    }
+
+    /// Make `q` the retained query via a cold retained run, replacing
+    /// the slot's warm state (the old behaviour of re-querying, now
+    /// explicit). The previous retained answer is demoted into the
+    /// answer cache — it is still a valid answer for the current graph.
+    pub(crate) fn retain<B: Backend<V, E>>(&mut self, backend: &B, q: &P::Query) -> Arc<P::Out> {
+        if self.query.as_ref() == Some(q) {
+            if let Some(out) = self.out.clone() {
+                return out;
             }
         }
         let (out, _stats, mut state) = backend.run_retained(&self.prog, q);
         self.prog.refresh_plan_cache(&out, state.plan_cache_mut());
+        let out = Arc::new(out);
+        if let (Some(oq), Some(oo)) = (self.query.take(), self.out.take()) {
+            self.cache_answer(oq, oo);
+        }
+        self.answers.retain(|(aq, _)| aq != q);
         self.query = Some(q.clone());
         self.state = Some(state);
-        self.out = Some(out.clone());
+        self.out = Some(Arc::clone(&out));
         out
+    }
+
+    /// Build the publishable snapshot of the serving surface — `Arc`
+    /// bumps only, no data copies.
+    fn fix(&self) -> Fix<P::Query, P::Out> {
+        Fix { query: self.query.clone(), out: self.out.clone(), answers: self.answers.clone() }
+    }
+
+    pub(crate) fn publish_at(&self, version: u64) {
+        self.cell.publish(Arc::new(Published { version, fix: Arc::new(self.fix()) }));
     }
 
     /// The retained state, if a query materialized one (test/diagnostic
@@ -118,7 +218,7 @@ where
 
     /// The cached assembled output, if any (zero-copy serving path).
     pub(crate) fn output(&self) -> Option<&P::Out> {
-        self.out.as_ref()
+        self.out.as_deref()
     }
 }
 
@@ -128,9 +228,9 @@ where
     E: Clone + PartialOrd + Send + Sync + 'static,
     B: Backend<V, E>,
     P: WarmStart<V, E> + 'static,
-    P::Query: Clone + PartialEq + Codec + 'static,
+    P::Query: Clone + PartialEq + Codec + Send + Sync + 'static,
     P::State: Clone + Codec,
-    P::Out: Clone + 'static,
+    P::Out: Clone + Send + Sync + 'static,
 {
     fn as_any(&self) -> &dyn Any {
         self
@@ -174,8 +274,32 @@ where
             self.state = Some(state);
             (out, stats)
         };
-        self.out = Some(out);
+        self.out = Some(Arc::new(out));
+        // Cached answers described the pre-apply graph.
+        self.answers.clear();
         Some(SlotAdvance { strategy: planned.strategy, stats })
+    }
+
+    fn publish(&self, version: u64) {
+        self.publish_at(version);
+    }
+
+    fn serve_pending(&mut self, backend: &B) -> usize {
+        let drained: Vec<P::Query> = {
+            let mut queued = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *queued)
+        };
+        let mut fresh = 0;
+        for q in &drained {
+            if self.serve(backend, q).1 {
+                fresh += 1;
+            }
+        }
+        fresh
+    }
+
+    fn reader_parts(&self) -> (Arc<EpochCell<Published>>, Arc<dyn Any + Send + Sync>) {
+        (Arc::clone(&self.cell), self.pending.clone())
     }
 
     fn save_state(
@@ -211,7 +335,7 @@ where
         self.prog.refresh_plan_cache(&out, state.plan_cache_mut());
         self.query = Some(q);
         self.state = Some(state);
-        self.out = Some(out);
+        self.out = Some(Arc::new(out));
         Ok(true)
     }
 }
@@ -221,8 +345,8 @@ where
 /// a slot for the concrete backend. Two monomorphic constructors stand
 /// in for the generic method a boxed trait cannot have.
 pub(crate) trait SlotFactory<V, E> {
-    fn engine_slot(self: Box<Self>) -> Box<dyn AnySlot<V, E, Engine<V, E>>>;
-    fn sim_slot(self: Box<Self>) -> Box<dyn AnySlot<V, E, SimEngine<V, E>>>;
+    fn engine_slot(self: Box<Self>, answer_cap: usize) -> Box<dyn AnySlot<V, E, Engine<V, E>>>;
+    fn sim_slot(self: Box<Self>, answer_cap: usize) -> Box<dyn AnySlot<V, E, SimEngine<V, E>>>;
 }
 
 pub(crate) struct ProgramFactory<V, E, P> {
@@ -241,15 +365,15 @@ where
     V: Clone + Send + Sync + 'static,
     E: Clone + PartialOrd + Send + Sync + 'static,
     P: WarmStart<V, E> + 'static,
-    P::Query: Clone + PartialEq + Codec + 'static,
+    P::Query: Clone + PartialEq + Codec + Send + Sync + 'static,
     P::State: Clone + Codec,
-    P::Out: Clone + 'static,
+    P::Out: Clone + Send + Sync + 'static,
 {
-    fn engine_slot(self: Box<Self>) -> Box<dyn AnySlot<V, E, Engine<V, E>>> {
-        Box::new(Slot::new(self.prog))
+    fn engine_slot(self: Box<Self>, answer_cap: usize) -> Box<dyn AnySlot<V, E, Engine<V, E>>> {
+        Box::new(Slot::new(self.prog, answer_cap))
     }
 
-    fn sim_slot(self: Box<Self>) -> Box<dyn AnySlot<V, E, SimEngine<V, E>>> {
-        Box::new(Slot::new(self.prog))
+    fn sim_slot(self: Box<Self>, answer_cap: usize) -> Box<dyn AnySlot<V, E, SimEngine<V, E>>> {
+        Box::new(Slot::new(self.prog, answer_cap))
     }
 }

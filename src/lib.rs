@@ -70,7 +70,7 @@ pub use aap_session as session;
 pub use aap_sim as sim;
 pub use aap_snapshot as snapshot;
 
-pub use aap_session::{Session, SessionBuilder};
+pub use aap_session::{Session, SessionBuilder, SessionReader};
 
 /// Most-used items in one import.
 pub mod prelude {
@@ -78,6 +78,8 @@ pub mod prelude {
     pub use aap_core::prelude::*;
     pub use aap_delta::{DeltaBuilder, GraphDelta};
     pub use aap_graph::{Fragment, Graph, GraphBuilder, VertexId};
-    pub use aap_session::{edge_cut, vertex_cut, Session, SessionBuilder, SessionError};
+    pub use aap_session::{
+        edge_cut, vertex_cut, Session, SessionBuilder, SessionError, SessionReader,
+    };
     pub use aap_sim::{CostModel, SimEngine, SimOpts};
 }

@@ -74,8 +74,10 @@ fn session_sim_backend_matches_manual_composition() {
     }
 }
 
-/// Re-querying with a *different* query value replaces the retained
-/// fixpoint (cold rerun) and later deltas warm-advance the new query.
+/// Serving is non-evicting (ISSUE 6): a *different* query value is
+/// answered from the bounded answer cache without disturbing the
+/// retained fixpoint; `retain_query` switches it explicitly (cold
+/// rerun) and later deltas warm-advance the new query.
 #[test]
 fn requery_replaces_the_retained_fixpoint() {
     let g = grape_aap::graph::generate::small_world(100, 2, 0.2, 9);
@@ -84,6 +86,12 @@ fn requery_replaces_the_retained_fixpoint() {
     let from0 = session.query::<Sssp>("sssp", &0).unwrap();
     let from7 = session.query::<Sssp>("sssp", &7).unwrap();
     assert_ne!(from0, from7, "different sources answer differently");
+    assert_eq!(
+        session.retained_query::<Sssp>("sssp").unwrap(),
+        Some(&0),
+        "plain query never evicts the retained fixpoint"
+    );
+    assert_eq!(session.retain_query::<Sssp>("sssp", &7).unwrap(), from7);
     assert_eq!(session.retained_query::<Sssp>("sssp").unwrap(), Some(&7));
     let mut b = DeltaBuilder::new();
     b.add_edge(7, 50, 1);
@@ -115,7 +123,9 @@ fn session_error_surface() {
     let g = grape_aap::graph::generate::small_world(40, 2, 0.2, 1);
     let mut session =
         Session::builder(g.clone()).partition(edge_cut(2)).program("sssp", Sssp).open().unwrap();
-    assert!(matches!(session.query::<Sssp>("nope", &0), Err(SessionError::UnknownProgram(_))));
+    let err = session.query::<Sssp>("nope", &0).expect_err("unknown name");
+    assert!(matches!(&err, SessionError::UnknownProgram { .. }));
+    assert!(err.to_string().contains("\"sssp\""), "message names the registered programs: {err}");
     assert!(matches!(
         session.query::<ConnectedComponents>("sssp", &()),
         Err(SessionError::ProgramType { .. })
@@ -260,7 +270,9 @@ fn restore_resumes_the_checkpointed_query() {
         .unwrap();
     session.query::<Sssp>("sssp", &0).unwrap();
     session.checkpoint().unwrap(); // durable: retained query = 0
-    let from5 = session.query::<Sssp>("sssp", &5).unwrap(); // in-memory switch
+                                   // In-memory switch of the retained query (explicit since ISSUE 6 —
+                                   // plain `query` would serve 5 from the answer cache, not retain it).
+    let from5 = session.retain_query::<Sssp>("sssp", &5).unwrap();
     assert!(session.output::<Sssp>("sssp").unwrap().is_some());
     let mut b = DeltaBuilder::new();
     b.add_edge(5, 30, 1);
