@@ -18,4 +18,5 @@
 pub mod baseline;
 pub mod experiments;
 pub mod runner;
+pub mod tracecheck;
 pub mod workloads;

@@ -1,0 +1,188 @@
+//! Well-formedness checks over exported Chrome trace JSON — the
+//! consumer-side contract of `aap-trace`'s writer, shared by the
+//! `repro trace` experiment, the `trace_capture` example, and the
+//! format test suite. Parsing reuses [`crate::baseline::Json`], the
+//! same hand-rolled parser the bench gate runs on, so a trace that
+//! passes here is structurally loadable by anything that speaks the
+//! trace-event format.
+
+use crate::baseline::Json;
+use std::collections::BTreeMap;
+
+/// Aggregate shape of a parsed trace, for assertions and reporting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Total events, including metadata records.
+    pub events: usize,
+    /// Distinct process ids observed (sorted).
+    pub pids: Vec<u32>,
+    /// Distinct `(pid, tid)` tracks observed (metadata excluded).
+    pub tracks: usize,
+    /// Completed `B`/`E` span pairs.
+    pub spans: usize,
+    /// Instant (`i`) events.
+    pub instants: usize,
+    /// Counter (`C`) samples.
+    pub counters: usize,
+    /// Distinct `(name, cat)` pairs seen on non-metadata events.
+    pub names: Vec<(String, String)>,
+}
+
+impl TraceCheck {
+    /// True if any non-metadata event on process `pid` carries `name`.
+    pub fn has(&self, name: &str) -> bool {
+        self.names.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn field<'a>(ev: &'a Json, key: &str, i: usize) -> Result<&'a Json, String> {
+    ev.get(key).ok_or_else(|| format!("event {i}: missing {key:?}"))
+}
+
+fn num(ev: &Json, key: &str, i: usize) -> Result<u64, String> {
+    let v =
+        field(ev, key, i)?.as_f64().ok_or_else(|| format!("event {i}: {key:?} is not a number"))?;
+    if !(v.is_finite() && v >= 0.0) {
+        return Err(format!("event {i}: {key:?} = {v} out of range"));
+    }
+    Ok(v as u64)
+}
+
+/// Parse `text` as Chrome trace JSON (object form) and verify the
+/// structural invariants every consumer relies on: each event carries
+/// `name`/`ph`/`ts`/`pid`/`tid`, `B`/`E` spans are balanced per
+/// `(pid, tid)` track with properly nested names, timestamps are
+/// monotone non-decreasing per track, and counters carry an args
+/// object. Returns the aggregate [`TraceCheck`] or the first violation.
+pub fn check_chrome_trace(text: &str) -> Result<TraceCheck, String> {
+    let root = Json::parse(text)?;
+    let events = root
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .ok_or("root must be an object with a traceEvents array")?;
+
+    let mut check = TraceCheck { events: events.len(), ..TraceCheck::default() };
+    let mut pids: Vec<u32> = Vec::new();
+    let mut names: Vec<(String, String)> = Vec::new();
+    // Per (pid, tid): open-span name stack and last timestamp.
+    let mut tracks: BTreeMap<(u64, u64), (Vec<String>, u64)> = BTreeMap::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let ph = field(ev, "ph", i)?.as_str().ok_or_else(|| format!("event {i}: ph"))?;
+        let name =
+            field(ev, "name", i)?.as_str().ok_or_else(|| format!("event {i}: name"))?.to_string();
+        if ph == "M" {
+            continue; // metadata: process_name / thread_name records
+        }
+        let pid = num(ev, "pid", i)?;
+        let tid = num(ev, "tid", i)?;
+        let ts = num(ev, "ts", i)?;
+        if !pids.contains(&(pid as u32)) {
+            pids.push(pid as u32);
+        }
+        let cat = ev.get("cat").and_then(|c| c.as_str()).unwrap_or("").to_string();
+        if !names.iter().any(|(n, c)| *n == name && *c == cat) {
+            names.push((name.clone(), cat));
+        }
+        let (stack, last_ts) = tracks.entry((pid, tid)).or_insert_with(|| (Vec::new(), 0));
+        if ts < *last_ts {
+            return Err(format!(
+                "event {i} ({name:?}): ts {ts} < previous {last_ts} on track ({pid},{tid})"
+            ));
+        }
+        *last_ts = ts;
+        match ph {
+            "B" => stack.push(name),
+            "E" => {
+                let open = stack
+                    .pop()
+                    .ok_or_else(|| format!("event {i}: E {name:?} with no open span"))?;
+                if open != name {
+                    return Err(format!(
+                        "event {i}: E {name:?} closes open span {open:?} on track ({pid},{tid})"
+                    ));
+                }
+                check.spans += 1;
+            }
+            "i" => check.instants += 1,
+            "C" => {
+                field(ev, "args", i)?;
+                check.counters += 1;
+            }
+            other => return Err(format!("event {i}: unknown phase {other:?}")),
+        }
+    }
+    for ((pid, tid), (stack, _)) in &tracks {
+        if let Some(open) = stack.last() {
+            return Err(format!("unclosed span {open:?} on track ({pid},{tid})"));
+        }
+    }
+    pids.sort_unstable();
+    check.pids = pids;
+    check.tracks = tracks.len();
+    check.names = names;
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_minimal_balanced_trace() {
+        let t = r#"{"traceEvents":[
+            {"name":"process_name","ph":"M","pid":1,"args":{"name":"engine"}},
+            {"name":"round","cat":"round","ph":"B","ts":0,"pid":1,"tid":0},
+            {"name":"eval","cat":"phase","ph":"B","ts":1,"pid":1,"tid":0},
+            {"name":"eval","cat":"phase","ph":"E","ts":5,"pid":1,"tid":0},
+            {"name":"round","cat":"round","ph":"E","ts":6,"pid":1,"tid":0},
+            {"name":"batch","cat":"msg","ph":"i","ts":6,"pid":1,"tid":0},
+            {"name":"version","cat":"counter","ph":"C","ts":7,"pid":4,"tid":0,"args":{"version":1}}
+        ]}"#;
+        let c = check_chrome_trace(t).expect("valid trace");
+        assert_eq!(c.spans, 2);
+        assert_eq!(c.instants, 1);
+        assert_eq!(c.counters, 1);
+        assert_eq!(c.pids, vec![1, 4]);
+        assert_eq!(c.tracks, 2);
+        assert!(c.has("round") && c.has("version"));
+    }
+
+    #[test]
+    fn rejects_unbalanced_and_non_monotone() {
+        let unbalanced = r#"{"traceEvents":[
+            {"name":"round","cat":"round","ph":"B","ts":0,"pid":1,"tid":0}
+        ]}"#;
+        assert!(check_chrome_trace(unbalanced).unwrap_err().contains("unclosed"));
+
+        let crossed = r#"{"traceEvents":[
+            {"name":"a","cat":"x","ph":"B","ts":0,"pid":1,"tid":0},
+            {"name":"b","cat":"x","ph":"B","ts":1,"pid":1,"tid":0},
+            {"name":"a","cat":"x","ph":"E","ts":2,"pid":1,"tid":0}
+        ]}"#;
+        assert!(check_chrome_trace(crossed).unwrap_err().contains("closes open span"));
+
+        let backwards = r#"{"traceEvents":[
+            {"name":"a","cat":"x","ph":"i","ts":5,"pid":1,"tid":0},
+            {"name":"b","cat":"x","ph":"i","ts":4,"pid":1,"tid":0}
+        ]}"#;
+        assert!(check_chrome_trace(backwards).unwrap_err().contains("<"));
+
+        // Distinct tracks have independent clocks and stacks.
+        let tracks = r#"{"traceEvents":[
+            {"name":"a","cat":"x","ph":"B","ts":9,"pid":1,"tid":0},
+            {"name":"b","cat":"x","ph":"B","ts":0,"pid":1,"tid":1},
+            {"name":"b","cat":"x","ph":"E","ts":1,"pid":1,"tid":1},
+            {"name":"a","cat":"x","ph":"E","ts":10,"pid":1,"tid":0}
+        ]}"#;
+        assert_eq!(check_chrome_trace(tracks).expect("ok").spans, 2);
+    }
+
+    #[test]
+    fn rejects_counters_without_args() {
+        let t = r#"{"traceEvents":[
+            {"name":"v","cat":"counter","ph":"C","ts":0,"pid":4,"tid":0}
+        ]}"#;
+        assert!(check_chrome_trace(t).unwrap_err().contains("args"));
+    }
+}

@@ -27,6 +27,7 @@ use crate::scratch::{Scratch, SharedPool};
 use crate::stats::{RunStats, WorkerStats, BATCH_HEADER_BYTES, UPDATE_KEY_BYTES};
 use aap_graph::mutate::StateRemap;
 use aap_graph::{Fragment, LocalId, VertexId};
+use aap_trace::{cat, pid, Args, Tracer};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
@@ -395,6 +396,9 @@ impl<St> PortableRunState<St> {
 pub struct Engine<V, E> {
     frags: Vec<Arc<Fragment<V, E>>>,
     opts: EngineOpts,
+    /// Structured-event tracer; disabled by default (one branch per
+    /// emission site, nothing allocated — see `tests/alloc_trace.rs`).
+    tracer: Tracer,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -480,7 +484,21 @@ where
 {
     /// Create an engine over pre-built fragments.
     pub fn new(frags: Vec<Fragment<V, E>>, opts: EngineOpts) -> Self {
-        Engine { frags: frags.into_iter().map(Arc::new).collect(), opts }
+        Engine { frags: frags.into_iter().map(Arc::new).collect(), opts, tracer: Tracer::default() }
+    }
+
+    /// Attach a structured-event tracer; every subsequent run emits
+    /// per-worker round/phase spans, message-batch instants, and policy
+    /// decisions on the `pid::ENGINE` tracks. Pass `Tracer::default()`
+    /// to turn tracing back off.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The tracer runs report into (disabled unless
+    /// [`Engine::set_tracer`] was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The fragments this engine computes over.
@@ -601,6 +619,19 @@ where
         attach_shared_pool(&cells);
         let nthreads = self.opts.threads.clamp(1, m.max(1));
         let mut aborted = false;
+        let traced = self.tracer.enabled();
+        if traced {
+            self.tracer.instant(
+                pid::ENGINE,
+                0,
+                cat::POLICY,
+                "mode",
+                Args::new()
+                    .with("mode", self.opts.mode.name())
+                    .with("workers", m)
+                    .with("threads", nthreads),
+            );
+        }
 
         // Superstep 0: PEval everywhere.
         let mut active: Vec<usize> = (0..m).collect();
@@ -629,15 +660,52 @@ where
                         let cell = &cells[w];
                         let mut scratch = cell.scratch.lock();
                         let t0 = Instant::now();
+                        if traced {
+                            self.tracer.begin(
+                                pid::ENGINE,
+                                w as u32,
+                                cat::ROUND,
+                                "round",
+                                Args::new().with("round", superstep).with("frag", w),
+                            );
+                            self.tracer.begin(
+                                pid::ENGINE,
+                                w as u32,
+                                cat::PHASE,
+                                "drain",
+                                Args::new(),
+                            );
+                        }
                         {
                             let mut inbox = cell.inbox.lock();
                             let info = inbox.drain_into(prog, frag, &mut scratch);
                             cell.eta.store(0, Ordering::Relaxed);
                             scratch.reserve_for_traffic(info.raw_updates, info.batches);
+                            if traced {
+                                self.tracer.end(
+                                    pid::ENGINE,
+                                    w as u32,
+                                    cat::PHASE,
+                                    "drain",
+                                    Args::new()
+                                        .with("batches", info.batches)
+                                        .with("updates", info.raw_updates),
+                                );
+                            }
                         }
                         let mut msgs = scratch.take_msgs();
                         let delivered = msgs.len() as u64;
                         let mut ctx = UpdateCtx::with_buffer(scratch.take_updates_buf());
+                        let eval_name = if superstep == 0 { "eval0" } else { "inceval" };
+                        if traced {
+                            self.tracer.begin(
+                                pid::ENGINE,
+                                w as u32,
+                                cat::PHASE,
+                                eval_name,
+                                Args::new(),
+                            );
+                        }
                         if superstep == 0 {
                             let st = eval0(w, frag, &mut ctx);
                             *cell.state.lock() = Some(st);
@@ -650,6 +718,24 @@ where
                         let dt = t0.elapsed().as_secs_f64();
                         let (effective, redundant) = ctx.effect_counts();
                         let (mut updates, local_work) = ctx.take();
+                        if traced {
+                            self.tracer.end(
+                                pid::ENGINE,
+                                w as u32,
+                                cat::PHASE,
+                                eval_name,
+                                Args::new()
+                                    .with("effective", effective)
+                                    .with("redundant", redundant),
+                            );
+                            self.tracer.begin(
+                                pid::ENGINE,
+                                w as u32,
+                                cat::PHASE,
+                                "route",
+                                Args::new(),
+                            );
+                        }
                         let mut batches = std::mem::take(&mut scratch.out);
                         route_updates_into(
                             prog,
@@ -660,6 +746,15 @@ where
                             &mut batches,
                         );
                         scratch.give_updates_buf(updates);
+                        if traced {
+                            self.tracer.end(
+                                pid::ENGINE,
+                                w as u32,
+                                cat::PHASE,
+                                "route",
+                                Args::new().with("batches", batches.len()),
+                            );
+                        }
                         {
                             let mut st = cell.stats.lock();
                             st.rounds += 1;
@@ -681,6 +776,15 @@ where
                         cell.rounds.fetch_add(1, Ordering::Relaxed);
                         *outs[i].lock() = batches;
                         *next_work[i].lock() = local_work;
+                        if traced {
+                            self.tracer.end(
+                                pid::ENGINE,
+                                w as u32,
+                                cat::ROUND,
+                                "round",
+                                Args::new(),
+                            );
+                        }
                     });
                 }
             });
@@ -691,6 +795,15 @@ where
                 want_local[active[i]] = *next_work[i].lock();
                 let mut out = std::mem::take(&mut *out.lock());
                 for (dst, b) in out.drain(..) {
+                    if traced {
+                        self.tracer.instant(
+                            pid::ENGINE,
+                            active[i] as u32,
+                            cat::MSG,
+                            "batch",
+                            Args::new().with("dst", dst as u32).with("updates", b.updates.len()),
+                        );
+                    }
                     let cell = &cells[dst as usize];
                     {
                         let mut st = cell.stats.lock();
@@ -745,6 +858,18 @@ where
         });
         let cv = Condvar::new();
         let nthreads = self.opts.threads.clamp(1, m.max(1));
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                pid::ENGINE,
+                0,
+                cat::POLICY,
+                "mode",
+                Args::new()
+                    .with("mode", self.opts.mode.name())
+                    .with("workers", m)
+                    .with("threads", nthreads),
+            );
+        }
 
         std::thread::scope(|s| {
             for _ in 0..nthreads {
@@ -814,11 +939,24 @@ where
             let now0 = start.elapsed().as_secs_f64();
             let t0 = Instant::now();
             let round = cell.rounds.load(Ordering::Relaxed);
+            let traced = self.tracer.enabled();
+            if traced {
+                self.tracer.begin(
+                    pid::ENGINE,
+                    w as u32,
+                    cat::ROUND,
+                    "round",
+                    Args::new().with("round", round).with("frag", w),
+                );
+            }
             // PEval (round 0) must NOT drain: messages from faster peers'
             // PEval rounds may already be buffered and belong to IncEval.
             let mut msgs = if round == 0 {
                 scratch.take_msgs()
             } else {
+                if traced {
+                    self.tracer.begin(pid::ENGINE, w as u32, cat::PHASE, "drain", Args::new());
+                }
                 let info = {
                     let mut inbox = cell.inbox.lock();
                     let info = inbox.drain_into(prog, frag, &mut scratch);
@@ -840,10 +978,23 @@ where
                     avg,
                     fast,
                 );
+                if traced {
+                    self.tracer.end(
+                        pid::ENGINE,
+                        w as u32,
+                        cat::PHASE,
+                        "drain",
+                        Args::new().with("batches", info.batches).with("updates", info.raw_updates),
+                    );
+                }
                 scratch.take_msgs()
             };
             let delivered = msgs.len() as u64;
             let mut ctx = UpdateCtx::with_buffer(scratch.take_updates_buf());
+            let eval_name = if round == 0 { "eval0" } else { "inceval" };
+            if traced {
+                self.tracer.begin(pid::ENGINE, w as u32, cat::PHASE, eval_name, Args::new());
+            }
             if round == 0 {
                 let st = eval0(w, frag, &mut ctx);
                 *cell.state.lock() = Some(st);
@@ -856,9 +1007,28 @@ where
             let dt = t0.elapsed().as_secs_f64();
             let (effective, redundant) = ctx.effect_counts();
             let (mut updates, local_work) = ctx.take();
+            if traced {
+                self.tracer.end(
+                    pid::ENGINE,
+                    w as u32,
+                    cat::PHASE,
+                    eval_name,
+                    Args::new().with("effective", effective).with("redundant", redundant),
+                );
+                self.tracer.begin(pid::ENGINE, w as u32, cat::PHASE, "route", Args::new());
+            }
             let mut batches = std::mem::take(&mut scratch.out);
             route_updates_into(prog, frag, round, &mut updates, &mut scratch, &mut batches);
             scratch.give_updates_buf(updates);
+            if traced {
+                self.tracer.end(
+                    pid::ENGINE,
+                    w as u32,
+                    cat::PHASE,
+                    "route",
+                    Args::new().with("batches", batches.len()),
+                );
+            }
 
             // --- self stats ---
             {
@@ -886,6 +1056,15 @@ where
             let mut dests = std::mem::take(&mut scratch.touched_dests);
             dests.clear();
             for (dst, b) in batches.drain(..) {
+                if traced {
+                    self.tracer.instant(
+                        pid::ENGINE,
+                        w as u32,
+                        cat::MSG,
+                        "batch",
+                        Args::new().with("dst", dst as u32).with("updates", b.updates.len()),
+                    );
+                }
                 let dcell = &cells[dst as usize];
                 {
                     let mut st = dcell.stats.lock();
@@ -899,6 +1078,9 @@ where
                 dests.push(dst);
             }
             scratch.out = batches;
+            if traced {
+                self.tracer.end(pid::ENGINE, w as u32, cat::ROUND, "round", Args::new());
+            }
 
             // --- post-round coordination ---
             let now1 = start.elapsed().as_secs_f64();
@@ -923,6 +1105,15 @@ where
 
                 // Decide the fate of this worker.
                 let d = self.decide::<P>(&c, cells, rates, w, now1);
+                if traced {
+                    self.tracer.instant(
+                        pid::ENGINE,
+                        w as u32,
+                        cat::POLICY,
+                        "decision",
+                        Args::new().with("decision", decision_name(&d)).with("round", round + 1),
+                    );
+                }
                 apply_decision(&mut c, cells, cv, w, d, true);
 
                 // Message arrivals re-evaluate their targets (§3: "when Pi
@@ -982,6 +1173,16 @@ where
             hsync_sync: rates.hsync_sync(),
         };
         policy::delta(&self.opts.mode, &c.pstates[w], &inputs)
+    }
+}
+
+/// Static label for a δ decision (trace instants must be heap-free).
+fn decision_name(d: &Decision) -> &'static str {
+    match d {
+        Decision::Run => "run",
+        Decision::Delay(_) => "delay",
+        Decision::Hold => "hold",
+        Decision::Inactive => "inactive",
     }
 }
 

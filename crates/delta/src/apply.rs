@@ -3,11 +3,12 @@
 
 use crate::ops::GraphDelta;
 use aap_graph::mutate::{
-    apply_partition_edit, apply_partition_edit_threads, AppliedEdit, DeltaSummary, EditBuffers,
-    FragmentEdit, PartitionEdit, StateRemap,
+    apply_partition_edit_threads_traced, apply_partition_edit_traced, AppliedEdit, DeltaSummary,
+    EditBuffers, FragmentEdit, PartitionEdit, StateRemap,
 };
 use aap_graph::partition::{build_fragments_vertex_cut_n, vertex_cut_partition};
 use aap_graph::{fxhash, mutate, FragId, Fragment, FxHashMap, FxHashSet, Graph, LocalId, VertexId};
+use aap_trace::{cat, pid, Args, Tracer};
 
 /// Result of applying a delta to a fragment set: everything a warm-start
 /// engine run (`Engine::run_incremental`) consumes.
@@ -146,7 +147,7 @@ where
     if frags[0].is_vertex_cut() {
         apply_vertex_cut(frags, delta)
     } else {
-        apply_edge_cut(frags, delta, bufs)
+        apply_edge_cut(frags, delta, bufs, &Tracer::default())
     }
 }
 
@@ -166,30 +167,91 @@ where
     V: Clone + Send + Sync,
     E: Clone + PartialOrd + Send + Sync,
 {
+    apply_to_fragments_par_traced(frags, delta, bufs, threads, &Tracer::default())
+}
+
+/// [`apply_to_fragments_par`] with structured tracing: the whole apply
+/// runs under an `apply_delta` span on the delta track, the edit
+/// resolution gets its own `resolve_edit` phase span, and every
+/// repacked fragment emits a `repack` span (tid = fragment id) from the
+/// graph layer. The untraced entry point delegates here with a disabled
+/// tracer.
+pub fn apply_to_fragments_par_traced<V, E>(
+    frags: &mut [&mut Fragment<V, E>],
+    delta: &GraphDelta<V, E>,
+    bufs: &mut EditBuffers,
+    threads: usize,
+    tracer: &Tracer,
+) -> Applied
+where
+    V: Clone + Send + Sync,
+    E: Clone + PartialOrd + Send + Sync,
+{
     let m = frags.len();
     assert!(m > 0, "cannot apply a delta to an empty fragment set");
     if frags[0].is_vertex_cut() {
         apply_vertex_cut(frags, delta)
     } else if threads <= 1 {
-        apply_edge_cut(frags, delta, bufs)
+        apply_edge_cut(frags, delta, bufs, tracer)
     } else {
-        let edit = resolve_edge_cut_edit(frags, delta);
-        let applied = apply_partition_edit_threads(frags, &edit, bufs, threads);
+        let traced = tracer.enabled();
+        if traced {
+            tracer.begin(pid::DELTA, 0, cat::APPLY, "apply_delta", delta_args(delta, threads));
+        }
+        let edit = {
+            if traced {
+                tracer.begin(pid::DELTA, 0, cat::APPLY, "resolve_edit", Args::new());
+            }
+            let edit = resolve_edge_cut_edit(frags, delta);
+            if traced {
+                let touched = edit.touched.iter().filter(|&&t| t).count();
+                tracer.end(
+                    pid::DELTA,
+                    0,
+                    cat::APPLY,
+                    "resolve_edit",
+                    Args::new().with("touched", touched),
+                );
+            }
+            edit
+        };
+        let applied = apply_partition_edit_threads_traced(frags, &edit, bufs, threads, tracer);
+        if traced {
+            tracer.end(pid::DELTA, 0, cat::APPLY, "apply_delta", Args::new());
+        }
         finish_edge_cut(delta, applied)
     }
+}
+
+/// Batch-shape args for the `apply_delta` span.
+fn delta_args<V, E>(delta: &GraphDelta<V, E>, threads: usize) -> Args {
+    let s = delta.summary();
+    Args::new()
+        .with("edges_added", s.edges_added)
+        .with("edges_removed", s.edges_removed)
+        .with("weight_updates", delta.weight_updates().len())
+        .with("threads", threads)
 }
 
 fn apply_edge_cut<V, E>(
     frags: &mut [&mut Fragment<V, E>],
     delta: &GraphDelta<V, E>,
     bufs: &mut EditBuffers,
+    tracer: &Tracer,
 ) -> Applied
 where
     V: Clone,
     E: Clone + PartialOrd,
 {
+    let traced = tracer.enabled();
+    if traced {
+        tracer.begin(pid::DELTA, 0, cat::APPLY, "apply_delta", delta_args(delta, 1));
+    }
     let edit = resolve_edge_cut_edit(frags, delta);
-    let applied = apply_partition_edit(frags, &edit, bufs);
+    let applied = apply_partition_edit_traced(frags, &edit, bufs, tracer);
+    if traced {
+        tracer.end(pid::DELTA, 0, cat::APPLY, "apply_delta", Args::new());
+    }
     finish_edge_cut(delta, applied)
 }
 

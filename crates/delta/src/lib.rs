@@ -60,11 +60,15 @@ pub mod generate;
 pub mod ops;
 pub mod run;
 
-pub use apply::{apply_to_fragments, apply_to_fragments_par, apply_to_graph, Applied};
+pub use apply::{
+    apply_to_fragments, apply_to_fragments_par, apply_to_fragments_par_traced, apply_to_graph,
+    Applied,
+};
 pub use ops::{DeltaBuilder, GraphDelta};
 pub use run::{
-    plan_incremental, remap_invalid, replay, replay_sim, run_incremental, run_incremental_sim,
-    run_incremental_sim_with, run_incremental_with, IncrementalOutput, IncrementalSimOutput,
+    plan_incremental, plan_incremental_traced, remap_invalid, replay, replay_sim, run_incremental,
+    run_incremental_sim, run_incremental_sim_with, run_incremental_with, IncrementalOutput,
+    IncrementalSimOutput,
 };
 
 pub use aap_core::pie::WarmStrategy;

@@ -36,6 +36,7 @@ use aap_core::{Engine, RunStats};
 use aap_graph::mutate::{stored_directed, weight_change, DeltaSummary, EditBuffers, WeightChange};
 use aap_graph::{Fragment, LocalId, VertexId};
 use aap_sim::{SimEngine, SimOutput, Timeline};
+use aap_trace::{cat, pid, Args, Tracer};
 
 /// Result of one incremental driver call on the threaded engine: the
 /// assembled answer and stats of [`RunOutput`], plus the delta that was
@@ -137,19 +138,67 @@ where
     E: PartialOrd,
     P: WarmStart<V, E>,
 {
+    plan_incremental_traced(frags, prog, q, delta, state, &Tracer::default())
+}
+
+/// [`plan_incremental`] emitting the batch's chosen strategy as a
+/// `strategy` instant (with the resolved batch shape as args) and, for
+/// `warm-increase` batches, a `plan_invalidation` span around the
+/// program's affected-region planning — both on the delta track. The
+/// untraced entry point delegates here with a disabled tracer.
+pub fn plan_incremental_traced<V, E, P>(
+    frags: &[&Fragment<V, E>],
+    prog: &P,
+    q: &P::Query,
+    delta: &GraphDelta<V, E>,
+    state: &mut RunState<P::State>,
+    tracer: &Tracer,
+) -> (WarmStrategy, Vec<Vec<LocalId>>)
+where
+    E: PartialOrd,
+    P: WarmStart<V, E>,
+{
+    let traced = tracer.enabled();
     let resolved = resolve(frags, delta);
     let strategy = prog.delta_strategy(&resolved.summary);
+    if traced {
+        tracer.instant(
+            pid::DELTA,
+            0,
+            cat::STRATEGY,
+            "strategy",
+            Args::new()
+                .with("chosen", strategy.name())
+                .with("edges_added", resolved.summary.edges_added)
+                .with("edges_removed", resolved.summary.edges_removed)
+                .with("weights_increased", resolved.summary.weights_increased),
+        );
+    }
     let invalid_old = if strategy == WarmStrategy::WarmIncrease {
         let changes = DeltaChanges {
             removed_edges: delta.edges_removed(),
             removed_vertices: delta.vertices_removed(),
             increased_edges: &resolved.increased,
         };
+        if traced {
+            tracer.begin(pid::DELTA, 0, cat::STRATEGY, "plan_invalidation", Args::new());
+        }
         // States read-only, plan cache writable: the program serves its
         // global owner-value gather from the cache when the previous
         // run's `refresh_plan_cache` filled it.
         let (states, cache) = state.states_and_plan_cache();
-        prog.plan_invalidation(q, frags, states, &changes, cache)
+        let planned = prog.plan_invalidation(q, frags, states, &changes, cache);
+        if traced {
+            let invalid: usize = planned.iter().map(Vec::len).sum();
+            tracer.end(
+                pid::DELTA,
+                0,
+                cat::STRATEGY,
+                "plan_invalidation",
+                Args::new().with("invalidated", invalid),
+            );
+        }
+        planned
     } else {
         frags.iter().map(|_| Vec::new()).collect()
     };

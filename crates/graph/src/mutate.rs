@@ -34,6 +34,7 @@
 use crate::fragment::Fragment;
 use crate::partition::routing_table_for;
 use crate::{FragId, FxHashMap, FxHashSet, Graph, LocalId, VertexId};
+use aap_trace::{cat, pid, Args, Tracer};
 
 /// Maps one fragment's local ids across a structural mutation.
 ///
@@ -772,6 +773,24 @@ where
     V: Clone,
     E: Clone + PartialOrd,
 {
+    apply_partition_edit_traced(frags, edit, bufs, &Tracer::default())
+}
+
+/// [`apply_partition_edit`] emitting a per-fragment `repack` span (on
+/// the delta process track, one tid per fragment) around each
+/// fragment commit. The untraced entry point delegates here with a
+/// disabled tracer, so the instrumentation costs one branch per
+/// repacked fragment when off.
+pub fn apply_partition_edit_traced<V, E>(
+    frags: &mut [&mut Fragment<V, E>],
+    edit: &PartitionEdit<V, E>,
+    bufs: &mut EditBuffers,
+    tracer: &Tracer,
+) -> AppliedEdit
+where
+    V: Clone,
+    E: Clone + PartialOrd,
+{
     let m = frags.len();
     assert_eq!(edit.frags.len(), m, "one FragmentEdit per fragment");
     assert_eq!(edit.touched.len(), m);
@@ -812,6 +831,7 @@ where
     let mut seeds: Vec<Vec<LocalId>> = vec![Vec::new(); m];
     let mut rebuilt = vec![false; m];
     {
+        let traced = tracer.enabled();
         let wb = &mut bufs.split(1)[0];
         for i in 0..m {
             if cores[i].is_none() && holder_events[i].is_empty() {
@@ -820,7 +840,25 @@ where
             }
             rebuilt[i] = true;
             let core = cores[i].take();
+            if traced {
+                tracer.begin(
+                    pid::DELTA,
+                    i as u32,
+                    cat::APPLY,
+                    "repack",
+                    Args::new().with("frag", i).with("locals", frags[i].local_count()),
+                );
+            }
             let (remap, s) = commit_fragment(frags[i], &edit.frags[i], core, &holder_events[i], wb);
+            if traced {
+                tracer.end(
+                    pid::DELTA,
+                    i as u32,
+                    cat::APPLY,
+                    "repack",
+                    Args::new().with("locals", frags[i].local_count()).with("seeds", s.len()),
+                );
+            }
             remaps.push(remap);
             seeds[i] = s;
         }
@@ -866,6 +904,26 @@ where
     V: Clone + Send + Sync,
     E: Clone + PartialOrd + Send + Sync,
 {
+    apply_partition_edit_threads_traced(frags, edit, bufs, threads, &Tracer::default())
+}
+
+/// [`apply_partition_edit_threads`] emitting per-fragment `repack`
+/// spans (delta track, tid = fragment id) from whichever worker commits
+/// each fragment. Serial fallbacks keep tracing: the `threads <= 1` and
+/// single-touched-fragment paths route through
+/// [`apply_partition_edit_traced`], so repack spans appear regardless
+/// of which driver ends up running.
+pub fn apply_partition_edit_threads_traced<V, E>(
+    frags: &mut [&mut Fragment<V, E>],
+    edit: &PartitionEdit<V, E>,
+    bufs: &mut EditBuffers,
+    threads: usize,
+    tracer: &Tracer,
+) -> AppliedEdit
+where
+    V: Clone + Send + Sync,
+    E: Clone + PartialOrd + Send + Sync,
+{
     let m = frags.len();
     assert_eq!(edit.frags.len(), m, "one FragmentEdit per fragment");
     assert_eq!(edit.touched.len(), m);
@@ -879,7 +937,7 @@ where
     let touched: Vec<usize> = (0..m).filter(|&i| edit.touched[i]).collect();
     let threads = threads.min(touched.len()).max(1);
     if threads <= 1 {
-        return apply_partition_edit(frags, edit, bufs);
+        return apply_partition_edit_traced(frags, edit, bufs, tracer);
     }
     for i in 0..m {
         if !edit.touched[i] {
@@ -955,6 +1013,7 @@ where
         let events = &holder_events[..];
         let per = work.len().div_ceil(threads).max(1);
         let wbufs = bufs.split(threads);
+        let traced = tracer.enabled();
         let results: Vec<(usize, StateRemap, Vec<LocalId>)> = std::thread::scope(|s| {
             let handles: Vec<_> = work
                 .chunks_mut(per)
@@ -964,6 +1023,17 @@ where
                         chunk
                             .iter_mut()
                             .map(|(i, frag, core)| {
+                                if traced {
+                                    tracer.begin(
+                                        pid::DELTA,
+                                        *i as u32,
+                                        cat::APPLY,
+                                        "repack",
+                                        Args::new()
+                                            .with("frag", *i)
+                                            .with("locals", frag.local_count()),
+                                    );
+                                }
                                 let (remap, sds) = commit_fragment(
                                     &mut **frag,
                                     &edit.frags[*i],
@@ -971,6 +1041,17 @@ where
                                     &events[*i],
                                     wb,
                                 );
+                                if traced {
+                                    tracer.end(
+                                        pid::DELTA,
+                                        *i as u32,
+                                        cat::APPLY,
+                                        "repack",
+                                        Args::new()
+                                            .with("locals", frag.local_count())
+                                            .with("seeds", sds.len()),
+                                    );
+                                }
                                 (*i, remap, sds)
                             })
                             .collect::<Vec<_>>()

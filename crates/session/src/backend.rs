@@ -9,6 +9,7 @@ use aap_core::{Engine, RunStats};
 use aap_graph::mutate::StateRemap;
 use aap_graph::{Fragment, LocalId};
 use aap_sim::{SimEngine, SimOutput};
+use aap_trace::Tracer;
 use std::sync::Arc;
 
 /// What a session needs from an engine: fragment access (shared for
@@ -32,6 +33,12 @@ pub trait Backend<V, E>: Sized + 'static {
     fn apply_threads(&self) -> usize {
         1
     }
+
+    /// Hand the backend a [`Tracer`] so its internal runs emit engine-
+    /// level events (round/phase spans, message instants) alongside the
+    /// session's own. Default: ignore — a backend without built-in
+    /// instrumentation still serves sessions.
+    fn set_tracer(&mut self, _tracer: Tracer) {}
 
     /// Cold evaluation retaining per-fragment states (`run_retained`).
     fn run_retained<P>(&self, prog: &P, q: &P::Query) -> (P::Out, RunStats, RunState<P::State>)
@@ -71,6 +78,10 @@ where
         self.opts().threads
     }
 
+    fn set_tracer(&mut self, tracer: Tracer) {
+        Engine::set_tracer(self, tracer);
+    }
+
     fn run_retained<P>(&self, prog: &P, q: &P::Query) -> (P::Out, RunStats, RunState<P::State>)
     where
         P: WarmStart<V, E>,
@@ -108,6 +119,10 @@ where
 
     fn fragments_mut(&mut self) -> Option<Vec<&mut Fragment<V, E>>> {
         SimEngine::fragments_mut(self)
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        SimEngine::set_tracer(self, tracer);
     }
 
     fn run_retained<P>(&self, prog: &P, q: &P::Query) -> (P::Out, RunStats, RunState<P::State>)

@@ -77,7 +77,7 @@ use crate::slot::{AnySlot, Planned, ProgramFactory, Slot, SlotFactory};
 use aap_core::engine::RunState;
 use aap_core::pie::WarmStart;
 use aap_core::{Engine, EngineOpts, Mode, WarmStrategy};
-use aap_delta::apply::apply_to_fragments_par;
+use aap_delta::apply::apply_to_fragments_par_traced;
 use aap_delta::{DeltaSummary, GraphDelta};
 use aap_graph::mutate::EditBuffers;
 use aap_graph::partition::{
@@ -86,6 +86,7 @@ use aap_graph::partition::{
 use aap_graph::{Fragment, Graph};
 use aap_sim::{SimEngine, SimOpts};
 use aap_snapshot::{Codec, DeltaLog, SnapshotError};
+use aap_trace::{cat, pid, Args, TraceSink, Tracer};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -249,6 +250,38 @@ impl PartitionSpec {
 }
 
 // ---------------------------------------------------------------------
+// Serving metrics
+// ---------------------------------------------------------------------
+
+/// Protocol-level serving counters, maintained by every session and
+/// readable via [`Session::metrics`]. All counters are exact integers
+/// independent of thread scheduling (they count facade events, not
+/// engine work), so they are directly comparable across runs — the
+/// `serving_sssp` bench gate diffs them against a checked-in baseline.
+/// With tracing enabled they are additionally emitted as Chrome counter
+/// tracks on the session process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionMetrics {
+    /// The publication version ([`Session::version`]): one bump per
+    /// publication event (fresh query, admission window, apply batch,
+    /// restore).
+    pub publications: u64,
+    /// [`Session::query`] calls that computed (and published) a new
+    /// answer.
+    pub fresh_queries: u64,
+    /// [`Session::query`] calls served from the retained fixpoint or
+    /// the bounded answer cache (no engine run, no publication).
+    pub answer_cache_hits: u64,
+    /// Answers newly computed across all [`Session::serve_admitted`]
+    /// windows.
+    pub admitted: u64,
+    /// Delta batches applied (including batches replayed by restore).
+    pub applies: u64,
+    /// Durable checkpoints written.
+    pub checkpoints: u64,
+}
+
+// ---------------------------------------------------------------------
 // Apply report
 // ---------------------------------------------------------------------
 
@@ -338,6 +371,7 @@ pub struct SessionBuilder<V, E> {
     answer_cache: usize,
     durable_spec: Option<DurableSpec<V, E>>,
     programs: Vec<(String, Box<dyn SlotFactory<V, E>>)>,
+    tracer: Tracer,
 }
 
 /// Default per-program answer-cache capacity (distinct non-retained
@@ -365,6 +399,7 @@ where
             answer_cache: DEFAULT_ANSWER_CACHE,
             durable_spec: None,
             programs: Vec::new(),
+            tracer: Tracer::default(),
         }
     }
 
@@ -386,6 +421,7 @@ where
             answer_cache: DEFAULT_ANSWER_CACHE,
             durable_spec: Some(DurableSpec::new(dir.as_ref().to_path_buf())),
             programs: Vec::new(),
+            tracer: Tracer::default(),
         }
     }
 
@@ -414,6 +450,34 @@ where
     /// unbounded on the threaded backend).
     pub fn max_rounds(mut self, max_rounds: u32) -> Self {
         self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Attach a structured-tracing sink: the session emits apply /
+    /// serve / checkpoint / restore spans and counter tracks, and the
+    /// backend is handed the same tracer so engine rounds, delta
+    /// strategies, and per-fragment repacks land in one merged trace
+    /// (write it out with [`aap_trace::write_chrome_trace`]). Share one
+    /// sink across sessions by passing `Arc` clones of it. Without this
+    /// call tracing is disabled and costs one branch per call site.
+    ///
+    /// ```no_run
+    /// # use aap_session::{edge_cut, Session};
+    /// # use aap_algos::Sssp;
+    /// # use aap_graph::generate;
+    /// use std::sync::Arc;
+    /// let rec = Arc::new(aap_trace::Recorder::with_capacity(1 << 16));
+    /// let mut session = Session::builder(generate::small_world(100, 2, 0.1, 1))
+    ///     .partition(edge_cut(2))
+    ///     .program("sssp", Sssp)
+    ///     .trace(Arc::clone(&rec))
+    ///     .open()?;
+    /// session.query::<Sssp>("sssp", &0)?;
+    /// aap_trace::write_chrome_trace("run.trace.json", &rec.events())?;
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn trace(mut self, sink: impl TraceSink + 'static) -> Self {
+        self.tracer = Tracer::new(sink);
         self
     }
 
@@ -504,11 +568,12 @@ where
         MB: FnOnce(Vec<Fragment<V, E>>) -> B,
         MS: Fn(Box<dyn SlotFactory<V, E>>) -> Box<dyn AnySlot<V, E, B>>,
     {
-        let SessionBuilder { source, partition, durable_spec, programs, .. } = self;
+        let SessionBuilder { source, partition, durable_spec, programs, tracer, .. } = self;
         match source {
             Source::Graph(g) => {
                 let frags = partition.build(&g);
-                let backend = make_backend(frags);
+                let mut backend = make_backend(frags);
+                backend.set_tracer(tracer.clone());
                 let slots: Slots<V, E, B> =
                     programs.into_iter().map(|(n, f)| (n, make_slot(f))).collect();
                 let mut session = Session {
@@ -517,6 +582,8 @@ where
                     durable: None,
                     bufs: EditBuffers::default(),
                     version: 0,
+                    tracer,
+                    metrics: SessionMetrics::default(),
                 };
                 if let Some(spec) = durable_spec {
                     if read_manifest(&spec.dir)?.is_some() {
@@ -531,10 +598,15 @@ where
             }
             Source::Restore => {
                 let spec = durable_spec.expect("restore builders always carry a durable spec");
+                let traced = tracer.enabled();
+                if traced {
+                    tracer.begin(pid::SESSION, 0, cat::DURABLE, "restore", Args::new());
+                }
                 let epoch = read_manifest(&spec.dir)?
                     .ok_or_else(|| SessionError::MissingManifest(spec.dir.clone()))?;
                 let frags = (spec.load_frags)(&graph_path(&spec.dir, epoch))?;
-                let backend = make_backend(frags);
+                let mut backend = make_backend(frags);
+                backend.set_tracer(tracer.clone());
                 let slots: Slots<V, E, B> =
                     programs.into_iter().map(|(n, f)| (n, make_slot(f))).collect();
                 let mut session = Session {
@@ -543,6 +615,8 @@ where
                     durable: None,
                     bufs: EditBuffers::default(),
                     version: 0,
+                    tracer,
+                    metrics: SessionMetrics::default(),
                 };
                 // Every persisted state must have a registration: a
                 // later checkpoint would silently drop an unregistered
@@ -575,6 +649,16 @@ where
                 // manifest flip and its cleanup (or mid-checkpoint).
                 sweep_stale_epochs(&spec.dir, epoch);
                 session.durable = Some(Durable { spec, epoch, log, log_wedged: false });
+                if traced {
+                    session.tracer.end(
+                        pid::SESSION,
+                        0,
+                        cat::DURABLE,
+                        "restore",
+                        Args::new().with("epoch", epoch).with("replayed", deltas.len()),
+                    );
+                    session.emit_counters();
+                }
                 Ok(session)
             }
         }
@@ -598,6 +682,12 @@ pub struct Session<V, E, B: Backend<V, E>> {
     /// (fresh query, admission window, apply batch, restore), stamped
     /// into every slot publication so readers can order what they see.
     version: u64,
+    /// Structured-event tracer ([`SessionBuilder::trace`]); disabled —
+    /// one branch per call site — unless a sink was attached.
+    tracer: Tracer,
+    /// Serving counters; `publications` is filled from `version` at
+    /// read time ([`Session::metrics`]), the rest accumulate here.
+    metrics: SessionMetrics,
 }
 
 impl<V, E> Session<V, E, Engine<V, E>>
@@ -660,6 +750,26 @@ where
         self.version
     }
 
+    /// Protocol-level serving counters (see [`SessionMetrics`]):
+    /// publication version, fresh vs cache-served queries, admitted
+    /// answers, applies, checkpoints. Exact integers independent of
+    /// thread scheduling; with tracing enabled the same values are
+    /// emitted as counter tracks.
+    pub fn metrics(&self) -> SessionMetrics {
+        SessionMetrics { publications: self.version, ..self.metrics }
+    }
+
+    /// Emit every serving counter as a Chrome counter event on the
+    /// session process — one sample per call, stepped tracks in the
+    /// viewer. Callers guard with `tracer.enabled()`.
+    fn emit_counters(&self) {
+        let m = self.metrics();
+        self.tracer.counter(pid::SESSION, 0, "publications", m.publications);
+        self.tracer.counter(pid::SESSION, 0, "fresh_queries", m.fresh_queries);
+        self.tracer.counter(pid::SESSION, 0, "answer_cache_hits", m.answer_cache_hits);
+        self.tracer.counter(pid::SESSION, 0, "admitted", m.admitted);
+    }
+
     fn slot_index(&self, name: &str) -> Result<usize, SessionError> {
         self.slots.iter().position(|(n, _)| n == name).ok_or_else(|| SessionError::UnknownProgram {
             name: name.to_string(),
@@ -717,16 +827,38 @@ where
         // `query` mutates the slot while borrowing the backend, so it
         // needs the split-borrow form of `typed_slot` inline.
         let idx = self.slot_index(name)?;
-        let Session { slots, backend, version, .. } = self;
-        let slot = slots[idx]
-            .1
-            .as_any_mut()
-            .downcast_mut::<Slot<V, E, P>>()
-            .ok_or_else(|| SessionError::ProgramType { name: name.to_string() })?;
-        let (out, fresh) = slot.serve(backend, q);
-        if fresh {
-            *version += 1;
-            slot.publish_at(*version);
+        let out = {
+            let Session { slots, backend, version, tracer, metrics, .. } = self;
+            let slot = slots[idx]
+                .1
+                .as_any_mut()
+                .downcast_mut::<Slot<V, E, P>>()
+                .ok_or_else(|| SessionError::ProgramType { name: name.to_string() })?;
+            let traced = tracer.enabled();
+            if traced {
+                tracer.begin(pid::SESSION, idx as u32, cat::SERVE, "query", Args::new());
+            }
+            let (out, fresh) = slot.serve(backend, q);
+            if fresh {
+                *version += 1;
+                slot.publish_at(*version);
+                metrics.fresh_queries += 1;
+            } else {
+                metrics.answer_cache_hits += 1;
+            }
+            if traced {
+                tracer.end(
+                    pid::SESSION,
+                    idx as u32,
+                    cat::SERVE,
+                    "query",
+                    Args::new().with("fresh", fresh).with("version", *version),
+                );
+            }
+            out
+        };
+        if self.tracer.enabled() {
+            self.emit_counters();
         }
         Ok((*out).clone())
     }
@@ -744,15 +876,28 @@ where
         P::Out: Clone + Send + Sync + 'static,
     {
         let idx = self.slot_index(name)?;
-        let Session { slots, backend, version, .. } = self;
+        let Session { slots, backend, version, tracer, .. } = self;
         let slot = slots[idx]
             .1
             .as_any_mut()
             .downcast_mut::<Slot<V, E, P>>()
             .ok_or_else(|| SessionError::ProgramType { name: name.to_string() })?;
+        let traced = tracer.enabled();
+        if traced {
+            tracer.begin(pid::SESSION, idx as u32, cat::SERVE, "retain_query", Args::new());
+        }
         let out = slot.retain(backend, q);
         *version += 1;
         slot.publish_at(*version);
+        if traced {
+            tracer.end(
+                pid::SESSION,
+                idx as u32,
+                cat::SERVE,
+                "retain_query",
+                Args::new().with("version", *version),
+            );
+        }
         Ok((*out).clone())
     }
 
@@ -763,6 +908,10 @@ where
     /// and every program that computed something republishes. Returns
     /// the number of newly computed answers across all programs.
     pub fn serve_admitted(&mut self) -> Result<usize, SessionError> {
+        let traced = self.tracer.enabled();
+        if traced {
+            self.tracer.begin(pid::SESSION, 0, cat::SERVE, "serve_admitted", Args::new());
+        }
         let Session { slots, backend, version, .. } = self;
         let mut fresh = 0;
         for (_, slot) in slots.iter_mut() {
@@ -772,6 +921,17 @@ where
                 slot.publish(*version);
                 fresh += n;
             }
+        }
+        self.metrics.admitted += fresh as u64;
+        if traced {
+            self.tracer.end(
+                pid::SESSION,
+                0,
+                cat::SERVE,
+                "serve_admitted",
+                Args::new().with("computed", fresh).with("version", self.version),
+            );
+            self.emit_counters();
         }
         Ok(fresh)
     }
@@ -845,7 +1005,26 @@ where
         if self.durable.as_ref().is_some_and(|d| d.log_wedged) {
             return Err(SessionError::LogWedged);
         }
-        let report = self.apply_inner(delta)?;
+        let traced = self.tracer.enabled();
+        if traced {
+            self.tracer.begin(pid::SESSION, 0, cat::APPLY, "apply", Args::new());
+        }
+        let result = self.apply_inner(delta);
+        if traced {
+            let advanced = result.as_ref().map(|r| r.programs.len()).unwrap_or(0);
+            self.tracer.end(
+                pid::SESSION,
+                0,
+                cat::APPLY,
+                "apply",
+                Args::new()
+                    .with("ok", result.is_ok())
+                    .with("advanced", advanced)
+                    .with("version", self.version),
+            );
+            self.emit_counters();
+        }
+        let report = result?;
         if let Some(d) = &mut self.durable {
             if let Err(e) = (d.spec.write_delta)(&mut d.log, delta) {
                 d.log_wedged = true;
@@ -860,7 +1039,8 @@ where
         let planned: Vec<Option<Planned>> = {
             let view: Vec<&Fragment<V, E>> =
                 self.backend.fragments().iter().map(|a| &**a).collect();
-            self.slots.iter_mut().map(|(_, s)| s.plan(&view, delta)).collect()
+            let tracer = &self.tracer;
+            self.slots.iter_mut().map(|(_, s)| s.plan(&view, delta, tracer)).collect()
         };
         // 2. One in-place fragment mutation, shared by all programs —
         // the touched-fragment repacks run on the backend's worker
@@ -868,8 +1048,9 @@ where
         let threads = self.backend.apply_threads();
         let applied = {
             let mut frags = self.backend.fragments_mut().ok_or(SessionError::SharedFragments)?;
-            apply_to_fragments_par(&mut frags, delta, &mut self.bufs, threads)
+            apply_to_fragments_par_traced(&mut frags, delta, &mut self.bufs, threads, &self.tracer)
         };
+        self.metrics.applies += 1;
         // 3. Advance every program that holds retained state, then
         // publish every advanced fixpoint under one version so readers
         // flip from the pre-apply epoch to the post-apply one whole.
@@ -905,8 +1086,18 @@ where
         let Some(durable) = self.durable.as_mut() else {
             return Err(SessionError::NotDurable);
         };
+        let traced = self.tracer.enabled();
         let dir = durable.spec.dir.clone();
         let next = durable.epoch + 1;
+        if traced {
+            self.tracer.begin(
+                pid::SESSION,
+                0,
+                cat::DURABLE,
+                "checkpoint",
+                Args::new().with("epoch", next),
+            );
+        }
         (durable.spec.save_frags)(&graph_path(&dir, next), self.backend.fragments())?;
         for (name, slot) in &self.slots {
             slot.save_state(&state_path(&dir, next, name), self.backend.fragments())?;
@@ -922,6 +1113,16 @@ where
         // the immediate predecessor, so generations stranded by a crash
         // in this window are reclaimed by the next checkpoint/restore.
         sweep_stale_epochs(&dir, next);
+        self.metrics.checkpoints += 1;
+        if traced {
+            self.tracer.end(
+                pid::SESSION,
+                0,
+                cat::DURABLE,
+                "checkpoint",
+                Args::new().with("epoch", next),
+            );
+        }
         Ok(next)
     }
 }

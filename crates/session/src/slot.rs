@@ -29,10 +29,11 @@ use aap_core::engine::RunState;
 use aap_core::pie::WarmStart;
 use aap_core::publish::EpochCell;
 use aap_core::{Engine, RunStats, WarmStrategy};
-use aap_delta::{plan_incremental, remap_invalid, Applied, GraphDelta};
+use aap_delta::{plan_incremental_traced, remap_invalid, Applied, GraphDelta};
 use aap_graph::{Fragment, LocalId};
 use aap_sim::SimEngine;
 use aap_snapshot::{load_program_state, save_program_state, Codec, SnapshotError};
+use aap_trace::Tracer;
 use std::any::Any;
 use std::marker::PhantomData;
 use std::path::Path;
@@ -58,8 +59,14 @@ pub(crate) trait AnySlot<V, E, B>: Any {
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
     /// Pre-apply planning on the old fragments; `None` when no state is
-    /// retained yet (nothing to advance).
-    fn plan(&mut self, frags: &[&Fragment<V, E>], delta: &GraphDelta<V, E>) -> Option<Planned>;
+    /// retained yet (nothing to advance). An enabled `tracer` records
+    /// the chosen strategy and the invalidation planning span.
+    fn plan(
+        &mut self,
+        frags: &[&Fragment<V, E>],
+        delta: &GraphDelta<V, E>,
+        tracer: &Tracer,
+    ) -> Option<Planned>;
     /// Post-apply advance: warm (`run_incremental` through the applied
     /// remaps/seeds) or cold (`run_retained`), refreshing the cached
     /// output and the state's plan cache. Drops the answer cache — its
@@ -240,10 +247,16 @@ where
         self
     }
 
-    fn plan(&mut self, frags: &[&Fragment<V, E>], delta: &GraphDelta<V, E>) -> Option<Planned> {
+    fn plan(
+        &mut self,
+        frags: &[&Fragment<V, E>],
+        delta: &GraphDelta<V, E>,
+        tracer: &Tracer,
+    ) -> Option<Planned> {
         let q = self.query.clone()?;
         let state = self.state.as_mut()?;
-        let (strategy, invalid_old) = plan_incremental(frags, &self.prog, &q, delta, state);
+        let (strategy, invalid_old) =
+            plan_incremental_traced(frags, &self.prog, &q, delta, state, tracer);
         Some(Planned { strategy, invalid_old })
     }
 

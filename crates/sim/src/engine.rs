@@ -8,7 +8,7 @@
 //! fully deterministic (events tie-break on a sequence number).
 
 use crate::cost::CostModel;
-use crate::timeline::{Span, SpanKind, Timeline};
+use crate::timeline::{timeline_to_trace, Span, SpanKind, Timeline};
 use aap_core::engine::RunState;
 use aap_core::inbox::Inbox;
 use aap_core::pie::{route_updates_into, Batch, PieProgram, UpdateCtx, WarmStart};
@@ -17,6 +17,7 @@ use aap_core::scratch::{Scratch, SharedPool};
 use aap_core::stats::{RunStats, WorkerStats, BATCH_HEADER_BYTES, UPDATE_KEY_BYTES};
 use aap_graph::mutate::StateRemap;
 use aap_graph::{FragId, Fragment, LocalId};
+use aap_trace::{cat, pid, Args, Tracer};
 use std::cell::RefCell;
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
@@ -61,6 +62,15 @@ pub struct SimOutput<Out> {
 pub struct SimEngine<V, E> {
     frags: Vec<Arc<Fragment<V, E>>>,
     opts: SimOpts,
+    /// Structured-event tracer; after each run, the virtual-time
+    /// timelines are re-emitted as Chrome trace spans on `pid::SIM`.
+    tracer: Tracer,
+    /// Trace-time offset (µs) for the next run's re-emitted spans.
+    /// Every run starts its virtual clock at 0; laying consecutive runs
+    /// end-to-end keeps per-track timestamps monotone, which trace
+    /// viewers (and the format checks) require. Atomic only to stay
+    /// `Sync` — runs take `&self`.
+    virt_base_us: std::sync::atomic::AtomicU64,
 }
 
 /// Internal result of one simulated run, before assembly.
@@ -131,7 +141,26 @@ struct SimWorker<Val, St> {
 impl<V, E> SimEngine<V, E> {
     /// Create a simulator over pre-built fragments.
     pub fn new(frags: Vec<Fragment<V, E>>, opts: SimOpts) -> Self {
-        SimEngine { frags: frags.into_iter().map(Arc::new).collect(), opts }
+        SimEngine {
+            frags: frags.into_iter().map(Arc::new).collect(),
+            opts,
+            tracer: Tracer::default(),
+            virt_base_us: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Attach a structured-event tracer: each subsequent run re-emits
+    /// its per-worker [`Timeline`]s as virtual-time trace spans (see
+    /// [`timeline_to_trace`]) plus a `mode` instant, on the `pid::SIM`
+    /// tracks. Pass `Tracer::default()` to turn tracing back off.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The tracer runs report into (disabled unless
+    /// [`SimEngine::set_tracer`] was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The fragments under simulation.
@@ -219,10 +248,39 @@ impl<V, E> SimEngine<V, E> {
         P: PieProgram<V, E>,
         F: Fn(usize, &Fragment<V, E>, &mut UpdateCtx<P::Val>) -> P::State,
     {
-        match self.opts.mode {
+        let run = match self.opts.mode {
             Mode::Bsp => self.run_bsp(prog, q, eval0),
             _ => self.run_async(prog, q, eval0),
+        };
+        // Timelines already hold the whole schedule in virtual time, so
+        // tracing costs nothing during the event loop: one re-emission
+        // pass per run, only when a sink is attached.
+        if self.tracer.enabled() {
+            use crate::timeline::TRACE_US_PER_UNIT;
+            use std::sync::atomic::Ordering;
+            // Consecutive runs lay out end-to-end on the virtual clock
+            // (each starts at 0 internally); claim this run's window up
+            // front so timestamps stay monotone per track.
+            let span_us = (run.0.makespan.max(0.0) * TRACE_US_PER_UNIT).ceil() as u64
+                + TRACE_US_PER_UNIT as u64;
+            let base = self.virt_base_us.fetch_add(span_us, Ordering::Relaxed);
+            self.tracer.instant_at(
+                base,
+                pid::SIM,
+                0,
+                cat::POLICY,
+                "mode",
+                Args::new()
+                    .with("mode", self.opts.mode.name())
+                    .with("workers", run.2.len())
+                    .with("virt_makespan", run.0.makespan),
+            );
+            for mut ev in timeline_to_trace(&run.2) {
+                ev.ts_us += base;
+                self.tracer.emit(ev);
+            }
         }
+        run
     }
 
     // ------------------------------------------------------------------

@@ -37,4 +37,4 @@ pub mod timeline;
 pub use cost::CostModel;
 pub use engine::{SimEngine, SimOpts, SimOutput};
 pub use fault::{run_with_failure, FailurePlan, RecoveredRun};
-pub use timeline::{render_gantt, Span, SpanKind, Timeline};
+pub use timeline::{render_gantt, timeline_to_trace, Span, SpanKind, Timeline, TRACE_US_PER_UNIT};

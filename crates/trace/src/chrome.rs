@@ -1,0 +1,207 @@
+//! Chrome trace-event JSON export — the format `chrome://tracing` and
+//! Perfetto's legacy importer load directly.
+//!
+//! The writer is hand-rolled (no serde in this workspace) and emits the
+//! object form `{"traceEvents":[...]}` with `process_name` /
+//! `thread_name` metadata synthesized from the pids and tids actually
+//! observed, so the viewer shows labelled lanes out of the box.
+
+use crate::event::{pid, ArgVal, Phase, TraceEvent};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Render events as a complete Chrome trace-event JSON document.
+///
+/// Events are written in the given order (the format does not require
+/// sorting); metadata records for every observed process and thread are
+/// prepended.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    // Rough sizing: ~120 bytes per event keeps growth to a handful of
+    // doublings even for large captures.
+    let mut out = String::with_capacity(64 + events.len() * 120);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for meta in metadata_events(events) {
+        push_sep(&mut out, &mut first);
+        out.push_str(&meta);
+    }
+    for ev in events {
+        push_sep(&mut out, &mut first);
+        write_event(&mut out, ev);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Write a complete trace file to `path` (see [`chrome_trace_json`]).
+pub fn write_chrome_trace(path: impl AsRef<Path>, events: &[TraceEvent]) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace_json(events))
+}
+
+fn push_sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+/// `process_name` for each pid and `thread_name` for each (pid, tid)
+/// seen in the capture, in sorted order.
+fn metadata_events(events: &[TraceEvent]) -> Vec<String> {
+    let mut pids: BTreeSet<u32> = BTreeSet::new();
+    let mut tracks: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for ev in events {
+        pids.insert(ev.pid);
+        tracks.insert((ev.pid, ev.tid));
+    }
+    let mut out = Vec::with_capacity(pids.len() + tracks.len());
+    for p in &pids {
+        out.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{p},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            pid::name(*p)
+        ));
+    }
+    for (p, t) in &tracks {
+        let lane = match *p {
+            pid::ENGINE | pid::SIM => "worker",
+            pid::DELTA => "fragment",
+            _ => "track",
+        };
+        out.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{p},\"tid\":{t},\
+             \"args\":{{\"name\":\"{lane} {t}\"}}}}"
+        ));
+    }
+    out
+}
+
+fn write_event(out: &mut String, ev: &TraceEvent) {
+    out.push_str("{\"name\":\"");
+    escape_into(out, ev.name);
+    out.push_str("\",\"cat\":\"");
+    escape_into(out, ev.cat);
+    let _ = write!(
+        out,
+        "\",\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+        ev.ph.code(),
+        ev.ts_us,
+        ev.pid,
+        ev.tid
+    );
+    // Counter events need an args object even when empty (the series
+    // live there); spans/instants may omit it.
+    if !ev.args.is_empty() || ev.ph == Phase::Counter {
+        out.push_str(",\"args\":{");
+        let mut first = true;
+        for (k, v) in ev.args.iter() {
+            push_sep(out, &mut first);
+            out.push('"');
+            escape_into(out, k);
+            out.push_str("\":");
+            write_val(out, v);
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+fn write_val(out: &mut String, v: ArgVal) {
+    match v {
+        ArgVal::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        ArgVal::Uint(u) => {
+            let _ = write!(out, "{u}");
+        }
+        ArgVal::Float(f) if f.is_finite() => {
+            let _ = write!(out, "{f}");
+        }
+        // JSON has no NaN/Infinity; observability must stay parseable.
+        ArgVal::Float(_) => out.push('0'),
+        ArgVal::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{cat, Args};
+
+    fn ev(ph: Phase, ts: u64, p: u32, t: u32, args: Args) -> TraceEvent {
+        TraceEvent { name: "round", cat: cat::ROUND, ph, ts_us: ts, pid: p, tid: t, args }
+    }
+
+    #[test]
+    fn empty_capture_is_valid_and_minimal() {
+        assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn span_pair_round_trips_the_fields() {
+        let args = Args::new().with("round", 3u64).with("mode", "aap");
+        let json = chrome_trace_json(&[
+            ev(Phase::Begin, 10, pid::ENGINE, 2, args),
+            ev(Phase::End, 25, pid::ENGINE, 2, Args::new()),
+        ]);
+        assert!(json.contains("\"ph\":\"B\",\"ts\":10,\"pid\":1,\"tid\":2"));
+        assert!(json.contains("\"args\":{\"round\":3,\"mode\":\"aap\"}"));
+        assert!(json.contains("\"ph\":\"E\",\"ts\":25"));
+        // The E event has no args, so no args object at all.
+        assert!(json.contains("\"ph\":\"E\",\"ts\":25,\"pid\":1,\"tid\":2}"));
+    }
+
+    #[test]
+    fn metadata_names_every_observed_track() {
+        let json = chrome_trace_json(&[
+            ev(Phase::Instant, 1, pid::ENGINE, 0, Args::new()),
+            ev(Phase::Instant, 2, pid::ENGINE, 3, Args::new()),
+            ev(Phase::Counter, 3, pid::SESSION, 0, Args::new().with("version", 1u64)),
+        ]);
+        assert!(json.contains("\"name\":\"process_name\""));
+        assert!(json.contains("{\"name\":\"engine\"}"));
+        assert!(json.contains("{\"name\":\"session\"}"));
+        assert!(json.contains("{\"name\":\"worker 3\"}"));
+        assert!(json.contains("{\"name\":\"track 0\"}"));
+    }
+
+    #[test]
+    fn counter_always_carries_args_object() {
+        let json = chrome_trace_json(&[ev(Phase::Counter, 5, pid::SESSION, 0, Args::new())]);
+        assert!(json.contains("\"ph\":\"C\",\"ts\":5,\"pid\":4,\"tid\":0,\"args\":{}"));
+    }
+
+    #[test]
+    fn floats_and_escapes_stay_parseable() {
+        let mut s = String::new();
+        write_val(&mut s, ArgVal::Float(1.5));
+        write_val(&mut s, ArgVal::Float(f64::NAN));
+        write_val(&mut s, ArgVal::Float(f64::INFINITY));
+        assert_eq!(s, "1.500");
+        let mut e = String::new();
+        escape_into(&mut e, "a\"b\\c\nd\u{1}");
+        assert_eq!(e, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -1,0 +1,275 @@
+//! The event model: phases, argument values, and the [`TraceEvent`] record.
+//!
+//! Everything here is `Copy` and built from `&'static str` names so that
+//! constructing an event never touches the heap — the property the
+//! zero-allocation steady-state tests (`tests/alloc_trace.rs`) hold the
+//! whole subsystem to.
+
+/// Well-known trace process ids, one per instrumented layer.
+///
+/// Chrome trace viewers group tracks by `pid`; giving each subsystem a
+/// stable process id means an exported file shows four labelled lanes
+/// (engine, sim, delta, session) regardless of which OS threads did the
+/// work.
+pub mod pid {
+    /// The threaded AAP engine (`aap-core`): one track per virtual worker.
+    pub const ENGINE: u32 = 1;
+    /// The discrete-event simulator (`aap-sim`): virtual-time tracks.
+    pub const SIM: u32 = 2;
+    /// The dynamic-graph delta path (`aap-delta` + the fragment repack
+    /// in `aap-graph`): one track per touched fragment.
+    pub const DELTA: u32 = 3;
+    /// The serving facade (`aap-session`): apply/publish/durability spans
+    /// and the counter tracks.
+    pub const SESSION: u32 = 4;
+
+    /// Human-readable name for a layer pid (used for `process_name`
+    /// metadata in the exported file; unknown pids get `"proc"`).
+    pub fn name(p: u32) -> &'static str {
+        match p {
+            ENGINE => "engine",
+            SIM => "sim",
+            DELTA => "delta",
+            SESSION => "session",
+            _ => "proc",
+        }
+    }
+}
+
+/// Event categories, matching the `cat` field of the Chrome trace format.
+///
+/// Categories are what the viewer's filter box matches on; the README's
+/// Observability section documents what each one means.
+pub mod cat {
+    /// Per-worker round spans (one per superstep / async round).
+    pub const ROUND: &str = "round";
+    /// Phases inside a round: drain, eval, route, deliver.
+    pub const PHASE: &str = "phase";
+    /// Message-batch instants (update counts riding as args).
+    pub const MSG: &str = "msg";
+    /// Adaptive-policy decisions (run/delay/hold/inactive) and mode.
+    pub const POLICY: &str = "policy";
+    /// Warm-delta strategy selection and invalidation planning.
+    pub const STRATEGY: &str = "strategy";
+    /// Graph-delta application (plan, repack, routing rebuild).
+    pub const APPLY: &str = "apply";
+    /// Session serving: query/publish/admission.
+    pub const SERVE: &str = "serve";
+    /// Durability: checkpoint, restore, log replay.
+    pub const DURABLE: &str = "durable";
+    /// Counter tracks (session version, cache hits, ...).
+    pub const COUNTER: &str = "counter";
+}
+
+/// Chrome trace-event phase of a [`TraceEvent`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Duration-span begin (`"B"`). Must be balanced by an [`Phase::End`]
+    /// on the same `(pid, tid)` track; nesting is stack-disciplined.
+    Begin,
+    /// Duration-span end (`"E"`).
+    End,
+    /// A point event (`"i"`).
+    Instant,
+    /// A counter sample (`"C"`); args carry the series values.
+    Counter,
+}
+
+impl Phase {
+    /// The single-character phase code used by the JSON format.
+    pub fn code(self) -> char {
+        match self {
+            Phase::Begin => 'B',
+            Phase::End => 'E',
+            Phase::Instant => 'i',
+            Phase::Counter => 'C',
+        }
+    }
+}
+
+/// An argument value attached to an event.
+///
+/// Only types that are `Copy` and heap-free are representable; strings
+/// must be `&'static str` (categories, strategy names, modes — all
+/// compile-time constants in this codebase).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArgVal {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (counters, counts, versions).
+    Uint(u64),
+    /// Floating point (virtual time, ratios).
+    Float(f64),
+    /// Static string (mode names, strategy names).
+    Str(&'static str),
+}
+
+impl From<i64> for ArgVal {
+    fn from(v: i64) -> Self {
+        ArgVal::Int(v)
+    }
+}
+impl From<i32> for ArgVal {
+    fn from(v: i32) -> Self {
+        ArgVal::Int(v as i64)
+    }
+}
+impl From<u64> for ArgVal {
+    fn from(v: u64) -> Self {
+        ArgVal::Uint(v)
+    }
+}
+impl From<u32> for ArgVal {
+    fn from(v: u32) -> Self {
+        ArgVal::Uint(v as u64)
+    }
+}
+impl From<u16> for ArgVal {
+    fn from(v: u16) -> Self {
+        ArgVal::Uint(v as u64)
+    }
+}
+impl From<usize> for ArgVal {
+    fn from(v: usize) -> Self {
+        ArgVal::Uint(v as u64)
+    }
+}
+impl From<f64> for ArgVal {
+    fn from(v: f64) -> Self {
+        ArgVal::Float(v)
+    }
+}
+impl From<bool> for ArgVal {
+    fn from(v: bool) -> Self {
+        ArgVal::Uint(u64::from(v))
+    }
+}
+impl From<&'static str> for ArgVal {
+    fn from(v: &'static str) -> Self {
+        ArgVal::Str(v)
+    }
+}
+
+/// Maximum number of key/value args per event.
+///
+/// Fixed so [`Args`] stays `Copy` and stack-only; events needing more
+/// context should be split, not grown.
+pub const MAX_ARGS: usize = 4;
+
+/// A fixed-capacity, heap-free bag of key/value arguments.
+///
+/// Built with the chainable [`Args::with`]; pushes past [`MAX_ARGS`] are
+/// silently dropped (observability must never panic the workload).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Args {
+    kv: [Option<(&'static str, ArgVal)>; MAX_ARGS],
+}
+
+impl Args {
+    /// An empty argument bag.
+    pub const fn new() -> Self {
+        Args { kv: [None; MAX_ARGS] }
+    }
+
+    /// Add one key/value pair, returning the extended bag.
+    pub fn with(mut self, key: &'static str, val: impl Into<ArgVal>) -> Self {
+        for slot in &mut self.kv {
+            if slot.is_none() {
+                *slot = Some((key, val.into()));
+                break;
+            }
+        }
+        self
+    }
+
+    /// Number of stored pairs.
+    pub fn len(&self) -> usize {
+        self.kv.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True when no pairs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.kv[0].is_none()
+    }
+
+    /// Iterate the stored pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, ArgVal)> + '_ {
+        self.kv.iter().filter_map(|s| *s)
+    }
+
+    /// Look up a value by key (first match).
+    pub fn get(&self, key: &str) -> Option<ArgVal> {
+        self.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// One structured trace event.
+///
+/// `Copy` by construction: names and categories are `&'static str`, args
+/// are a fixed-size array. Timestamps are microseconds — wall-clock
+/// (since the tracer's epoch) for real runs, scaled virtual time for the
+/// simulator — matching the `ts` unit of the Chrome trace format.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Event name (span or counter name).
+    pub name: &'static str,
+    /// Category, one of the [`cat`] constants (or any static string).
+    pub cat: &'static str,
+    /// Phase: begin/end/instant/counter.
+    pub ph: Phase,
+    /// Timestamp in microseconds.
+    pub ts_us: u64,
+    /// Process id — the instrumented layer, see [`pid`].
+    pub pid: u32,
+    /// Thread id — virtual worker, fragment, or 0 for the serving thread.
+    pub tid: u32,
+    /// Attached key/value context.
+    pub args: Args,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_push_and_overflow() {
+        let a = Args::new()
+            .with("a", 1u64)
+            .with("b", -2i64)
+            .with("c", 0.5f64)
+            .with("d", "x")
+            .with("e", 9u64); // dropped: past MAX_ARGS
+        assert_eq!(a.len(), MAX_ARGS);
+        assert_eq!(a.get("a"), Some(ArgVal::Uint(1)));
+        assert_eq!(a.get("b"), Some(ArgVal::Int(-2)));
+        assert_eq!(a.get("d"), Some(ArgVal::Str("x")));
+        assert_eq!(a.get("e"), None);
+        let keys: Vec<_> = a.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn empty_args() {
+        let a = Args::new();
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+        assert_eq!(a.iter().count(), 0);
+    }
+
+    #[test]
+    fn phase_codes() {
+        assert_eq!(Phase::Begin.code(), 'B');
+        assert_eq!(Phase::End.code(), 'E');
+        assert_eq!(Phase::Instant.code(), 'i');
+        assert_eq!(Phase::Counter.code(), 'C');
+    }
+
+    #[test]
+    fn pid_names() {
+        assert_eq!(pid::name(pid::ENGINE), "engine");
+        assert_eq!(pid::name(pid::SIM), "sim");
+        assert_eq!(pid::name(pid::DELTA), "delta");
+        assert_eq!(pid::name(pid::SESSION), "session");
+        assert_eq!(pid::name(99), "proc");
+    }
+}

@@ -1,0 +1,297 @@
+//! # aap-trace
+//!
+//! Structured event tracing for the GRAPE+/AAP workspace, with export in
+//! the Chrome trace-event JSON format that Perfetto and
+//! `chrome://tracing` load directly.
+//!
+//! The design point is a serving system whose hot loop does **zero heap
+//! allocation in steady state** (see `tests/alloc_routing.rs` /
+//! `tests/alloc_trace.rs` at the workspace root): tracing must cost one
+//! predictable branch when disabled and nothing on the allocator either
+//! way. Hence:
+//!
+//! * [`TraceEvent`] is `Copy` — `&'static str` names/categories and a
+//!   fixed-capacity [`Args`] array, built entirely on the stack;
+//! * [`Tracer`] is an `Option<Arc<…>>` behind the scenes — a disabled
+//!   tracer (the [`Default`]) is a `None` check and nothing else;
+//! * [`Recorder`] pre-allocates a bounded ring and overwrites the oldest
+//!   event once full, so a week-long capture holds memory constant.
+//!
+//! Producers are the four instrumented layers, each with a stable
+//! process id ([`pid`]): the threaded engine (per-worker round and phase
+//! spans), the discrete-event simulator (virtual-time spans via
+//! `timestamp`-explicit `*_at` methods), the delta path (strategy
+//! instants, per-fragment repack spans), and the session facade
+//! (apply/publish/durability spans plus counter tracks).
+//!
+//! ## Capturing a trace
+//!
+//! ```
+//! use aap_trace::{cat, chrome_trace_json, pid, Args, Recorder, Tracer};
+//! use std::sync::Arc;
+//!
+//! let rec = Arc::new(Recorder::with_capacity(1 << 16));
+//! let tracer = Tracer::new(rec.clone());
+//!
+//! // What an instrumented layer does per round:
+//! if tracer.enabled() {
+//!     tracer.begin(pid::ENGINE, 0, cat::ROUND, "round", Args::new().with("round", 1u32));
+//!     tracer.instant(pid::ENGINE, 0, cat::MSG, "batch", Args::new().with("updates", 17u32));
+//!     tracer.end(pid::ENGINE, 0, cat::ROUND, "round", Args::new());
+//!     tracer.counter(pid::SESSION, 0, "version", 2u64);
+//! }
+//!
+//! let json = chrome_trace_json(&rec.events());
+//! assert!(json.starts_with("{\"traceEvents\":["));
+//! assert!(json.contains("\"ph\":\"B\"") && json.contains("\"ph\":\"C\""));
+//! // `json` is what `chrome://tracing` / Perfetto open.
+//! ```
+//!
+//! The simulator uses the `*_at` variants with **virtual** microseconds,
+//! so simulated and wall-clock runs open in the same viewer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod event;
+mod recorder;
+mod sink;
+
+pub use chrome::{chrome_trace_json, write_chrome_trace};
+pub use event::{cat, pid, ArgVal, Args, Phase, TraceEvent, MAX_ARGS};
+pub use recorder::Recorder;
+pub use sink::{NoopSink, TraceSink};
+
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Inner {
+    sink: Box<dyn TraceSink>,
+    /// Wall-clock zero of this tracer; `ts_us` is measured from here.
+    epoch: Instant,
+}
+
+/// A cheap, cloneable handle that instrumented code calls into.
+///
+/// The default tracer is **disabled**: every method is a single
+/// `Option` check, no timestamp is read, no event is built, and nothing
+/// is allocated — instrumentation can stay unconditionally wired into
+/// hot loops. An enabled tracer ([`Tracer::new`]) stamps events with
+/// microseconds since its construction and forwards them to the sink.
+///
+/// Clones share the sink and the epoch, so handles can be pushed down
+/// through layers (engine workers, scoped repack threads) and their
+/// timestamps stay on one timeline.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Tracer {
+    /// An enabled tracer feeding `sink`, with its epoch set to now.
+    pub fn new(sink: impl TraceSink + 'static) -> Self {
+        Tracer { inner: Some(Arc::new(Inner { sink: Box::new(sink), epoch: Instant::now() })) }
+    }
+
+    /// The disabled tracer (same as [`Tracer::default`]).
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// Whether events will reach a sink.
+    ///
+    /// Call sites wrap arg construction in `if tracer.enabled() { … }`
+    /// so a disabled tracer costs exactly this branch.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Microseconds since this tracer's epoch (0 when disabled).
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    /// Forward a pre-built event as-is (used by exporters that already
+    /// carry their own timestamps, e.g. the sim's `timeline_to_trace`).
+    #[inline]
+    pub fn emit(&self, ev: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            inner.sink.event(&ev);
+        }
+    }
+
+    #[inline]
+    fn record(
+        &self,
+        ph: Phase,
+        pid: u32,
+        tid: u32,
+        cat: &'static str,
+        name: &'static str,
+        args: Args,
+    ) {
+        if let Some(inner) = &self.inner {
+            inner.sink.event(&TraceEvent {
+                name,
+                cat,
+                ph,
+                ts_us: inner.epoch.elapsed().as_micros() as u64,
+                pid,
+                tid,
+                args,
+            });
+        }
+    }
+
+    /// Open a duration span on track `(pid, tid)` at the current time.
+    #[inline]
+    pub fn begin(&self, pid: u32, tid: u32, cat: &'static str, name: &'static str, args: Args) {
+        self.record(Phase::Begin, pid, tid, cat, name, args);
+    }
+
+    /// Close the innermost open span on track `(pid, tid)`.
+    #[inline]
+    pub fn end(&self, pid: u32, tid: u32, cat: &'static str, name: &'static str, args: Args) {
+        self.record(Phase::End, pid, tid, cat, name, args);
+    }
+
+    /// A point event at the current time.
+    #[inline]
+    pub fn instant(&self, pid: u32, tid: u32, cat: &'static str, name: &'static str, args: Args) {
+        self.record(Phase::Instant, pid, tid, cat, name, args);
+    }
+
+    /// Sample a counter series: renders as a named counter track whose
+    /// series key is `name`.
+    #[inline]
+    pub fn counter(&self, pid: u32, tid: u32, name: &'static str, value: impl Into<ArgVal>) {
+        self.record(Phase::Counter, pid, tid, cat::COUNTER, name, Args::new().with(name, value));
+    }
+
+    /// [`begin`](Tracer::begin) with an explicit timestamp (virtual time).
+    #[inline]
+    pub fn begin_at(
+        &self,
+        ts_us: u64,
+        pid: u32,
+        tid: u32,
+        cat: &'static str,
+        name: &'static str,
+        args: Args,
+    ) {
+        self.emit(TraceEvent { name, cat, ph: Phase::Begin, ts_us, pid, tid, args });
+    }
+
+    /// [`end`](Tracer::end) with an explicit timestamp (virtual time).
+    #[inline]
+    pub fn end_at(
+        &self,
+        ts_us: u64,
+        pid: u32,
+        tid: u32,
+        cat: &'static str,
+        name: &'static str,
+        args: Args,
+    ) {
+        self.emit(TraceEvent { name, cat, ph: Phase::End, ts_us, pid, tid, args });
+    }
+
+    /// [`instant`](Tracer::instant) with an explicit timestamp.
+    #[inline]
+    pub fn instant_at(
+        &self,
+        ts_us: u64,
+        pid: u32,
+        tid: u32,
+        cat: &'static str,
+        name: &'static str,
+        args: Args,
+    ) {
+        self.emit(TraceEvent { name, cat, ph: Phase::Instant, ts_us, pid, tid, args });
+    }
+
+    /// [`counter`](Tracer::counter) with an explicit timestamp.
+    #[inline]
+    pub fn counter_at(
+        &self,
+        ts_us: u64,
+        pid: u32,
+        tid: u32,
+        name: &'static str,
+        value: impl Into<ArgVal>,
+    ) {
+        self.emit(TraceEvent {
+            name,
+            cat: cat::COUNTER,
+            ph: Phase::Counter,
+            ts_us,
+            pid,
+            tid,
+            args: Args::new().with(name, value),
+        });
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer").field("enabled", &self.enabled()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::default();
+        assert!(!t.enabled());
+        assert_eq!(t.now_us(), 0);
+        // None of these may panic or do anything observable.
+        t.begin(pid::ENGINE, 0, cat::ROUND, "r", Args::new());
+        t.end(pid::ENGINE, 0, cat::ROUND, "r", Args::new());
+        t.instant(pid::ENGINE, 0, cat::MSG, "b", Args::new().with("n", 1u64));
+        t.counter(pid::SESSION, 0, "v", 1u64);
+        t.begin_at(5, pid::SIM, 0, cat::ROUND, "r", Args::new());
+        let t2 = t.clone();
+        assert!(!t2.enabled());
+    }
+
+    #[test]
+    fn enabled_tracer_stamps_and_forwards() {
+        let rec = Arc::new(Recorder::with_capacity(16));
+        let t = Tracer::new(rec.clone());
+        assert!(t.enabled());
+        t.begin(pid::ENGINE, 1, cat::ROUND, "round", Args::new().with("round", 0u32));
+        t.end(pid::ENGINE, 1, cat::ROUND, "round", Args::new());
+        t.counter(pid::SESSION, 0, "version", 7u64);
+        let evs = rec.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].ph, Phase::Begin);
+        assert_eq!(evs[1].ph, Phase::End);
+        assert!(evs[1].ts_us >= evs[0].ts_us, "timestamps must be monotone");
+        assert_eq!(evs[2].args.get("version"), Some(ArgVal::Uint(7)));
+        // Clones share the sink.
+        t.clone().instant(pid::ENGINE, 1, cat::MSG, "batch", Args::new());
+        assert_eq!(rec.len(), 4);
+    }
+
+    #[test]
+    fn explicit_timestamps_pass_through_untouched() {
+        let rec = Arc::new(Recorder::with_capacity(16));
+        let t = Tracer::new(rec.clone());
+        t.begin_at(1_000, pid::SIM, 2, cat::ROUND, "round", Args::new());
+        t.end_at(2_500, pid::SIM, 2, cat::ROUND, "round", Args::new());
+        t.counter_at(2_500, pid::SIM, 0, "updates", 42u64);
+        let evs = rec.events();
+        assert_eq!(evs[0].ts_us, 1_000);
+        assert_eq!(evs[1].ts_us, 2_500);
+        assert_eq!(evs[2].args.get("updates"), Some(ArgVal::Uint(42)));
+    }
+}

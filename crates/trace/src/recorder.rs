@@ -1,0 +1,155 @@
+//! A bounded in-memory sink: the default way to capture a trace.
+
+use crate::event::TraceEvent;
+use crate::sink::TraceSink;
+use std::sync::Mutex;
+
+/// A bounded ring-buffer sink.
+///
+/// Holds at most `capacity` events; once full, the oldest event is
+/// overwritten and a `dropped` counter ticks, so memory stays capped no
+/// matter how long the traced run streams (`tests/alloc_trace.rs` pins
+/// this down under a counting allocator). All storage is reserved up
+/// front — pushes after the first wrap never allocate.
+///
+/// Share it as `Arc<Recorder>`: hand a clone to
+/// [`Tracer::new`](crate::Tracer::new) and keep one to read
+/// [`events`](Recorder::events) back after the run.
+pub struct Recorder {
+    state: Mutex<Ring>,
+}
+
+struct Ring {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Index of the oldest event once the buffer has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl Recorder {
+    /// A recorder that keeps the most recent `capacity` events
+    /// (`capacity` is clamped to at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        Recorder {
+            state: Mutex::new(Ring { buf: Vec::with_capacity(cap), cap, head: 0, dropped: 0 }),
+        }
+    }
+
+    /// Number of events currently held (at most the capacity).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("recorder poisoned").buf.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many events were overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().expect("recorder poisoned").dropped
+    }
+
+    /// Snapshot the held events in chronological (arrival) order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let ring = self.state.lock().expect("recorder poisoned");
+        let mut out = Vec::with_capacity(ring.buf.len());
+        out.extend_from_slice(&ring.buf[ring.head..]);
+        out.extend_from_slice(&ring.buf[..ring.head]);
+        out
+    }
+
+    /// Drain the held events (chronological order) and reset the
+    /// dropped counter, leaving the recorder empty but reusable.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        let mut ring = self.state.lock().expect("recorder poisoned");
+        let head = ring.head;
+        ring.head = 0;
+        ring.dropped = 0;
+        let mut buf = std::mem::take(&mut ring.buf);
+        ring.buf = Vec::with_capacity(ring.cap);
+        buf.rotate_left(head);
+        buf
+    }
+}
+
+impl TraceSink for Recorder {
+    fn event(&self, ev: &TraceEvent) {
+        let mut ring = self.state.lock().expect("recorder poisoned");
+        if ring.buf.len() < ring.cap {
+            ring.buf.push(*ev);
+        } else {
+            let head = ring.head;
+            ring.buf[head] = *ev;
+            ring.head = (head + 1) % ring.cap;
+            ring.dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{cat, pid, Args, Phase};
+
+    fn ev(ts: u64) -> TraceEvent {
+        TraceEvent {
+            name: "e",
+            cat: cat::ROUND,
+            ph: Phase::Instant,
+            ts_us: ts,
+            pid: pid::ENGINE,
+            tid: 0,
+            args: Args::new(),
+        }
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything_in_order() {
+        let r = Recorder::with_capacity(8);
+        for t in 0..5 {
+            r.event(&ev(t));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        let ts: Vec<u64> = r.events().iter().map(|e| e.ts_us).collect();
+        assert_eq!(ts, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overwrites_oldest_and_counts_drops() {
+        let r = Recorder::with_capacity(4);
+        for t in 0..10 {
+            r.event(&ev(t));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let ts: Vec<u64> = r.events().iter().map(|e| e.ts_us).collect();
+        assert_eq!(ts, [6, 7, 8, 9], "ring must keep the most recent events");
+    }
+
+    #[test]
+    fn take_drains_and_resets() {
+        let r = Recorder::with_capacity(3);
+        for t in 0..5 {
+            r.event(&ev(t));
+        }
+        let ts: Vec<u64> = r.take().iter().map(|e| e.ts_us).collect();
+        assert_eq!(ts, [2, 3, 4]);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        r.event(&ev(9));
+        assert_eq!(r.events()[0].ts_us, 9);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let r = Recorder::with_capacity(0);
+        r.event(&ev(1));
+        r.event(&ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.events()[0].ts_us, 2);
+    }
+}

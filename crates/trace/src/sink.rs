@@ -1,0 +1,70 @@
+//! The sink trait: where events go once the tracer is enabled.
+
+use crate::event::TraceEvent;
+use std::sync::Arc;
+
+/// A destination for trace events.
+///
+/// Sinks receive events from many threads concurrently (`&self`,
+/// `Send + Sync`) and must never panic into the workload. The bundled
+/// implementations are [`Recorder`](crate::Recorder) (bounded in-memory
+/// ring) and [`NoopSink`]; custom sinks are one method:
+///
+/// ```
+/// use aap_trace::{pid, Args, TraceEvent, TraceSink, Tracer};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// /// A sink that just counts events per layer.
+/// #[derive(Default)]
+/// struct CountSink {
+///     engine: AtomicU64,
+///     other: AtomicU64,
+/// }
+///
+/// impl TraceSink for CountSink {
+///     fn event(&self, ev: &TraceEvent) {
+///         let c = if ev.pid == pid::ENGINE { &self.engine } else { &self.other };
+///         c.fetch_add(1, Ordering::Relaxed);
+///     }
+/// }
+///
+/// let sink = std::sync::Arc::new(CountSink::default());
+/// let tracer = Tracer::new(sink.clone());
+/// tracer.instant(pid::ENGINE, 0, "round", "tick", Args::new());
+/// tracer.counter(pid::SESSION, 0, "version", 3u64);
+/// assert_eq!(sink.engine.load(Ordering::Relaxed), 1);
+/// assert_eq!(sink.other.load(Ordering::Relaxed), 1);
+///
+/// // A default tracer is disabled: events vanish before reaching a sink.
+/// let off = Tracer::default();
+/// assert!(!off.enabled());
+/// off.instant(pid::ENGINE, 0, "round", "tick", Args::new());
+/// ```
+pub trait TraceSink: Send + Sync {
+    /// Receive one event. Called from the thread that produced it.
+    fn event(&self, ev: &TraceEvent);
+}
+
+/// A sink that discards everything.
+///
+/// Useful as an explicit "tracing wired but off" value; note that a
+/// [`Tracer::default()`](crate::Tracer) is cheaper still — it skips the
+/// virtual call entirely.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn event(&self, _ev: &TraceEvent) {}
+}
+
+impl<T: TraceSink + ?Sized> TraceSink for Arc<T> {
+    fn event(&self, ev: &TraceEvent) {
+        (**self).event(ev);
+    }
+}
+
+impl<T: TraceSink + ?Sized> TraceSink for &'static T {
+    fn event(&self, ev: &TraceEvent) {
+        (**self).event(ev);
+    }
+}

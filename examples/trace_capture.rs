@@ -1,0 +1,77 @@
+//! Trace capture: attach a bounded [`Recorder`] to a serving session,
+//! run a query/apply workload, and export the capture as Chrome
+//! trace-event JSON — loadable in `chrome://tracing` or
+//! <https://ui.perfetto.dev>.
+//!
+//! ```sh
+//! cargo run --release --example trace_capture
+//! ```
+//!
+//! Writes `trace_capture.trace.json` next to the working directory and
+//! validates it with the bench harness's format checker before exiting,
+//! so a malformed export fails the run (CI uploads the file as an
+//! artifact).
+
+use grape_aap::graph::generate;
+use grape_aap::prelude::*;
+use grape_aap::trace::{pid, write_chrome_trace};
+use std::sync::Arc;
+
+const OUT: &str = "trace_capture.trace.json";
+
+fn main() -> Result<(), SessionError> {
+    // A bounded ring: memory stays capped no matter how long the traced
+    // run streams; `dropped()` says if the window was too small.
+    let recorder = Arc::new(Recorder::with_capacity(1 << 18));
+
+    let g = generate::rmat(11, 8, true, 7);
+    let mut session = Session::builder(g.clone())
+        .partition(edge_cut(4))
+        .mode(Mode::aap())
+        .program("sssp", Sssp)
+        .program("cc", ConnectedComponents)
+        .trace(Arc::clone(&recorder))
+        .open()?;
+
+    // Queries retain fixpoints (engine round/eval/route spans), repeats
+    // hit the answer cache (session spans only), applies stream deltas
+    // through the warm-start planner (strategy instants, repack spans).
+    let reader = session.reader();
+    for round in 0..3u64 {
+        for src in [0u32, 17, 0] {
+            session.query::<Sssp>("sssp", &src)?;
+        }
+        session.query::<ConnectedComponents>("cc", &())?;
+        reader.request::<Sssp>("sssp", &(100 + round as u32))?;
+        let admitted = session.serve_admitted()?;
+        let delta = grape_aap::delta::generate::insert_batch(&g, 64, 9, 0xACE ^ round);
+        let report = session.apply(&delta)?;
+        println!(
+            "round {round}: admitted {admitted}, applied {} program(s), version {}",
+            report.programs.len(),
+            session.version()
+        );
+    }
+    let metrics = session.metrics();
+    println!(
+        "metrics: {} fresh, {} cache hits, {} publications",
+        metrics.fresh_queries, metrics.answer_cache_hits, metrics.publications
+    );
+    drop(session);
+
+    assert_eq!(recorder.dropped(), 0, "recorder window too small for this run");
+    let events = recorder.events();
+    write_chrome_trace(OUT, &events).expect("write trace file");
+
+    // Round-trip the exported file through the bench format checker:
+    // balanced B/E nesting and monotone timestamps per (pid, tid) track.
+    let text = std::fs::read_to_string(OUT).expect("read trace back");
+    let check = aap_bench::tracecheck::check_chrome_trace(&text).expect("well-formed trace");
+    assert!(check.pids.contains(&pid::ENGINE) && check.pids.contains(&pid::SESSION));
+    assert!(check.has("round") && check.has("strategy") && check.has("apply"));
+    println!(
+        "wrote {OUT}: {} events, {} tracks, {} span pairs, {} counter samples",
+        check.events, check.tracks, check.spans, check.counters
+    );
+    Ok(())
+}

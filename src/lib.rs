@@ -20,7 +20,9 @@
 //!   state + replayable delta logs, for warm restarts;
 //! * [`session`] — the serving facade: one [`Session`] owning the
 //!   partition, the engine, multiple retained programs, and durability;
-//! * [`mapreduce`] — MapReduce/PRAM on AAP (Theorem 4).
+//! * [`mapreduce`] — MapReduce/PRAM on AAP (Theorem 4);
+//! * [`trace`] — structured event tracing with Chrome/Perfetto export
+//!   (wired through every layer above, off by default and free when off).
 //!
 //! ## Quickstart
 //!
@@ -69,6 +71,7 @@ pub use aap_mapreduce as mapreduce;
 pub use aap_session as session;
 pub use aap_sim as sim;
 pub use aap_snapshot as snapshot;
+pub use aap_trace as trace;
 
 pub use aap_session::{Session, SessionBuilder, SessionReader};
 
@@ -82,4 +85,5 @@ pub mod prelude {
         edge_cut, vertex_cut, Session, SessionBuilder, SessionError, SessionReader,
     };
     pub use aap_sim::{CostModel, SimEngine, SimOpts};
+    pub use aap_trace::{Recorder, Tracer};
 }

@@ -1,0 +1,109 @@
+//! Trace-format contract: everything the instrumented layers emit must
+//! export as Chrome trace-event JSON that survives a round trip through
+//! the bench harness's independent parser/checker
+//! ([`aap_bench::tracecheck`]) — balanced `B`/`E` nesting per
+//! `(pid, tid)` track, monotone timestamps per track, every expected
+//! process present — for the threaded engine AND the simulator backend,
+//! on scripted workloads and on proptest-generated random runs.
+
+use aap_bench::tracecheck::{check_chrome_trace, TraceCheck};
+use aap_testkit::{adversarial_stream, arb_graph, cases};
+use grape_aap::graph::Graph;
+use grape_aap::prelude::*;
+use grape_aap::trace::{chrome_trace_json, pid};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Build a traced session on `g`, run [`drive`], export, and validate.
+fn run_and_check(g: &Graph<(), u32>, deltas: &[GraphDelta<(), u32>], sim: bool) -> TraceCheck {
+    let rec = Arc::new(Recorder::with_capacity(1 << 18));
+    let builder = Session::builder(g.clone())
+        .partition(edge_cut(3))
+        .mode(Mode::aap())
+        .program("sssp", Sssp)
+        .trace(Arc::clone(&rec));
+    if sim {
+        drive(builder.open_sim().expect("sim session"), deltas);
+    } else {
+        drive(builder.open().expect("session"), deltas);
+    }
+    assert_eq!(rec.dropped(), 0, "recorder window too small");
+    let json = chrome_trace_json(&rec.events());
+    check_chrome_trace(&json).expect("exported trace must round-trip the bench parser")
+}
+
+/// Run the serving workload against `session` (queries incl. cache
+/// hits, an admission window, delta applies), then drop it.
+fn drive<B: grape_aap::session::Backend<(), u32>>(
+    mut session: Session<(), u32, B>,
+    deltas: &[GraphDelta<(), u32>],
+) {
+    let reader = session.reader();
+    for (i, delta) in deltas.iter().enumerate() {
+        for q in [0u32, 1, 0] {
+            session.query::<Sssp>("sssp", &q).expect("query");
+        }
+        reader.request::<Sssp>("sssp", &(i as u32 % 3)).expect("request");
+        session.serve_admitted().expect("admission");
+        session.apply(delta).expect("apply");
+    }
+}
+
+#[test]
+fn threaded_engine_capture_round_trips_the_bench_parser() {
+    let g = grape_aap::graph::generate::rmat(10, 8, true, 5);
+    let deltas: Vec<_> =
+        (0..3u64).map(|i| grape_aap::delta::generate::insert_batch(&g, 32, 9, i)).collect();
+    let check = run_and_check(&g, &deltas, false);
+
+    for p in [pid::ENGINE, pid::DELTA, pid::SESSION] {
+        assert!(check.pids.contains(&p), "pid {p} missing: {:?}", check.pids);
+    }
+    // Per-worker round spans, strategy instants, per-fragment repacks,
+    // session spans and counter series — the acceptance set.
+    for name in
+        ["round", "eval0", "inceval", "strategy", "repack", "query", "apply", "publications"]
+    {
+        assert!(check.has(name), "{name:?} missing from {:?}", check.names);
+    }
+    assert!(check.spans > 0 && check.instants > 0 && check.counters > 0);
+    // Several engine workers → several (pid, tid) tracks under ENGINE.
+    assert!(check.tracks > 3, "expected per-worker tracks, got {}", check.tracks);
+}
+
+#[test]
+fn sim_backend_capture_is_well_formed_across_consecutive_runs() {
+    let g = grape_aap::graph::generate::small_world(400, 3, 0.2, 11);
+    let deltas: Vec<_> =
+        (0..4u64).map(|i| grape_aap::delta::generate::insert_batch(&g, 16, 9, 100 + i)).collect();
+    // Each query/apply re-runs the simulator, which re-emits a fresh
+    // virtual-time timeline; the checker's per-track monotonicity proves
+    // the captures are laid end-to-end rather than overlapping at ts 0.
+    let check = run_and_check(&g, &deltas, true);
+
+    assert!(check.pids.contains(&pid::SIM), "sim pid missing: {:?}", check.pids);
+    assert!(check.pids.contains(&pid::SESSION));
+    for name in ["compute", "query", "apply", "strategy"] {
+        assert!(check.has(name), "{name:?} missing from {:?}", check.names);
+    }
+    assert!(check.counters > 0, "session counter tracks missing");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: cases(6), ..ProptestConfig::default() })]
+
+    /// Random small graphs × adversarial delta streams (insertions,
+    /// deletions, weight changes — both warm-strategy directions) on
+    /// both backends: whatever path the run takes, the export must
+    /// parse, balance, and stay monotone per track.
+    #[test]
+    fn random_runs_export_valid_traces(g in arb_graph(), seed in 0u64..500) {
+        let deltas = adversarial_stream(&g, 3, seed);
+        let threaded = run_and_check(&g, &deltas, false);
+        prop_assert!(threaded.pids.contains(&pid::ENGINE));
+        prop_assert!(threaded.has("query") && threaded.has("apply"));
+        let sim = run_and_check(&g, &deltas, true);
+        prop_assert!(sim.pids.contains(&pid::SIM));
+        prop_assert!(sim.counters > 0);
+    }
+}
