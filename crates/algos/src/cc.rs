@@ -23,7 +23,7 @@ use aap_core::pie::{DeltaChanges, Messages, PieProgram, UpdateCtx, WarmStart, Wa
 use aap_core::PlanCache;
 use aap_graph::mutate::{stored_directed, DeltaSummary, StateRemap};
 use aap_graph::{Fragment, FxHashSet, LocalId, VertexId};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The CC PIE program: connected components of undirected graphs, or
 /// *weakly* connected components of directed ones. Supports edge-cut and
@@ -49,7 +49,7 @@ fn cc_emits<V, E>(frag: &Fragment<V, E>, l: LocalId) -> bool {
 }
 
 /// Per-fragment CC state.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct CcState {
     /// Local vertex -> local component index.
     comp_of: Vec<u32>,
@@ -57,7 +57,37 @@ pub struct CcState {
     comp_cid: Vec<VertexId>,
     /// Component -> its border members (emission targets).
     comp_border: Vec<Vec<LocalId>>,
+    /// Cached local [`SpanningForest`], retained across batches so
+    /// consecutive removal batches skip the O(E_i) rebuild in
+    /// [`ConnectedComponents::plan_invalidation`]. Purely derivable
+    /// acceleration state: excluded from `Clone`/`PartialEq` and from
+    /// the snapshot `Codec` (rebuilt on demand after a restore), and
+    /// interior-mutable because planning sees states by `&`.
+    forest: Mutex<Option<SpanningForest>>,
 }
+
+impl Clone for CcState {
+    fn clone(&self) -> Self {
+        // Clones serve snapshot export (and test duplication) paths,
+        // where the forest cache is derivable noise: start cold.
+        CcState {
+            comp_of: self.comp_of.clone(),
+            comp_cid: self.comp_cid.clone(),
+            comp_border: self.comp_border.clone(),
+            forest: Mutex::new(None),
+        }
+    }
+}
+
+impl PartialEq for CcState {
+    fn eq(&self, other: &Self) -> bool {
+        self.comp_of == other.comp_of
+            && self.comp_cid == other.comp_cid
+            && self.comp_border == other.comp_border
+    }
+}
+
+impl Eq for CcState {}
 
 impl CcState {
     /// The current cid of local vertex `l`.
@@ -103,7 +133,18 @@ impl CcState {
         if comp_border.iter().flatten().any(|&l| (l as usize) >= n) {
             return Err("border member out of range".into());
         }
-        Ok(CcState { comp_of, comp_cid, comp_border })
+        Ok(CcState { comp_of, comp_cid, comp_border, forest: Mutex::new(None) })
+    }
+
+    /// Take the cached spanning forest out of the cell (leaving it
+    /// empty), if one was persisted by a previous batch's planning.
+    fn take_forest(&self) -> Option<SpanningForest> {
+        self.forest.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+
+    /// Persist a (maintained) spanning forest for the next batch.
+    fn put_forest(&self, f: SpanningForest) {
+        *self.forest.lock().unwrap_or_else(|e| e.into_inner()) = Some(f);
     }
 
     /// Local vertex -> local component index (encode hook).
@@ -171,7 +212,7 @@ fn local_components<V, E>(frag: &Fragment<V, E>) -> CcState {
             comp_border[comp_of[l as usize] as usize].push(l);
         }
     }
-    CcState { comp_of, comp_cid, comp_border }
+    CcState { comp_of, comp_cid, comp_border, forest: Mutex::new(None) }
 }
 
 impl<V: Sync + Send, E: Sync + Send> PieProgram<V, E> for ConnectedComponents {
@@ -283,7 +324,16 @@ impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
             return prior; // untouched fragment: keep the fixpoint, emit nothing
         }
         let n = frag.local_count();
-        let CcState { comp_of: old_comp_of, comp_cid: old_cid, comp_border: _ } = prior;
+        let CcState { comp_of: old_comp_of, comp_cid: old_cid, comp_border: _, forest } = prior;
+        // The persisted forest survives only while the local id space
+        // does (identity remap). Planning already unlinked this batch's
+        // removals; the seed loop below links seed-incident edges, so
+        // insertions keep it maximal over the post-apply adjacency.
+        let mut forest = if remap.is_identity() {
+            forest.into_inner().unwrap_or_else(|e| e.into_inner())
+        } else {
+            None
+        };
         // 1. Migrate vertex -> component across the mutation; fresh locals
         //    (new mirrors / added vertices) become singleton components,
         //    and so do the *invalidated* locals — their old component
@@ -344,6 +394,16 @@ impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
                 let b = find(&mut parent, comp_of[t as usize]);
                 if a != b {
                     parent[a.max(b) as usize] = a.min(b);
+                }
+            }
+        }
+        // Forest maintenance rides the same seed sweep: every inserted
+        // edge is seed-incident, and linking a pre-existing edge is an
+        // O(α) same-tree no-op.
+        if let Some(f) = forest.as_mut() {
+            for &s in seeds {
+                for &t in frag.neighbors(s) {
+                    f.link(s, t);
                 }
             }
         }
@@ -411,7 +471,7 @@ impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
             }
         }
         ctx.charge_work(work + n as u64);
-        CcState { comp_of, comp_cid: new_cid, comp_border }
+        CcState { comp_of, comp_cid: new_cid, comp_border, forest: Mutex::new(forest) }
     }
 
     fn assemble_ref(
@@ -455,7 +515,11 @@ impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
     ///    fragment of the pair under edge-cut — keeps its endpoints
     ///    weakly connected and is excluded before it can feed a forest
     ///    split. Random deletions on anything cyclic overwhelmingly
-    ///    stop here, with an empty plan.
+    ///    stop here, with an empty plan. On undirected graphs with a
+    ///    stable vertex set the forests **persist** in the state
+    ///    between batches (removals are unlinked here, insertions
+    ///    linked by `warm_eval`), so consecutive batches skip the
+    ///    O(E_i) per-fragment rebuild.
     /// 2. **Global re-connectivity of the suspect components only.** One
     ///    sequential union-find pass over the suspect components'
     ///    surviving stored edges computes their true new pieces; exactly
@@ -513,7 +577,13 @@ impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
         };
 
         // Filter 1: per-fragment forests classify the edge removals.
-        for f in frags {
+        // The forest persists in the state's cell across batches when
+        // that is sound: undirected graphs (a directed forest overlays
+        // remote-reciprocal knowledge — see `pair_survives` — that the
+        // next batch cannot trust) and no removed vertices (those change
+        // the local id space; the remap drops the cache anyway).
+        let persist = !directed && changes.removed_vertices.is_empty();
+        for (f, s) in frags.iter().zip(states) {
             // The removed logical edges that actually *disconnect* a
             // locally stored pair: some stored orientation dies and no
             // orientation survives. Edges of removed vertices are
@@ -543,10 +613,16 @@ impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
                 continue; // removed vertices alone pre-marked their components
             }
             let removed_here: Vec<LocalId> = removed_v.iter().filter_map(|&w| f.local(w)).collect();
-            let mut forest = SpanningForest::build(
-                f.local_count(),
-                f.local_vertices().flat_map(|u| f.neighbors(u).iter().map(move |&t| (u, t))),
-            );
+            let mut forest = s
+                .take_forest()
+                .filter(|fo| fo.vertex_count() == f.local_count())
+                .unwrap_or_else(|| {
+                    SpanningForest::build(
+                        f.local_count(),
+                        f.local_vertices()
+                            .flat_map(|u| f.neighbors(u).iter().map(move |&t| (u, t))),
+                    )
+                });
             // Replacement searches need the symmetric surviving
             // adjacency; pack it as a flat CSR (three linear passes, no
             // nested allocation) — but only once a removal actually hits
@@ -593,8 +669,11 @@ impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
                 (offsets, targets, dead_pairs)
             };
             for &(lu, lv) in &removed_local {
-                // A component already suspect cannot get more suspect.
-                if suspect[cid_of[f.global(lu) as usize] as usize] {
+                // A component already suspect cannot get more suspect —
+                // but a *persisted* forest must still process the
+                // removal, or it would keep an edge the apply deletes.
+                let already = suspect[cid_of[f.global(lu) as usize] as usize];
+                if already && !persist {
                     continue;
                 }
                 if !forest.is_tree_edge(lu, lv) {
@@ -613,10 +692,15 @@ impl<V: Sync + Send, E: Sync + Send> WarmStart<V, E> for ConnectedComponents {
                 match forest.remove_edge(lu, lv, &surviving) {
                     EdgeRemoval::NonTree | EdgeRemoval::Replaced(..) => {}
                     EdgeRemoval::Split(side) => {
-                        suspect[cid_of[f.global(side[0]) as usize] as usize] = true;
-                        any_suspect = true;
+                        if !already {
+                            suspect[cid_of[f.global(side[0]) as usize] as usize] = true;
+                            any_suspect = true;
+                        }
                     }
                 }
+            }
+            if persist {
+                s.put_forest(forest);
             }
         }
 

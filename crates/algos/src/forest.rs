@@ -64,6 +64,21 @@ pub struct SpanningForest {
     /// Replacement edges linked after the build, as unordered pairs —
     /// at most one per processed removal, scanned linearly.
     extra: Vec<(u32, u32)>,
+    /// Union-find over the current trees, giving [`SpanningForest::link`]
+    /// its O(α) same-tree test. A genuine split leaves it stale (it can
+    /// only over-merge); the next `link` refreshes it from the tree
+    /// edges in O(n + tree edges) — cheaper than the O(E) build the
+    /// refresh replaces.
+    parent: Vec<u32>,
+    parent_stale: bool,
+}
+
+fn find(parent: &mut [u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        parent[x as usize] = parent[parent[x as usize] as usize];
+        x = parent[x as usize];
+    }
+    x
 }
 
 impl SpanningForest {
@@ -71,13 +86,6 @@ impl SpanningForest {
     /// (duplicates and self-loops are skipped; direction is ignored).
     pub fn build(n: usize, edges: impl Iterator<Item = (u32, u32)>) -> Self {
         let mut parent: Vec<u32> = (0..n as u32).collect();
-        fn find(parent: &mut [u32], mut x: u32) -> u32 {
-            while parent[x as usize] != x {
-                parent[x as usize] = parent[parent[x as usize] as usize];
-                x = parent[x as usize];
-            }
-            x
-        }
         let mut tree_edges: Vec<(u32, u32)> = Vec::new();
         for (u, v) in edges {
             if u == v {
@@ -107,7 +115,59 @@ impl SpanningForest {
             cursor[v as usize] += 1;
         }
         let live = (0..n).map(|x| offsets[x + 1] - offsets[x]).collect();
-        SpanningForest { offsets, targets, live, extra: Vec::new() }
+        SpanningForest { offsets, targets, live, extra: Vec::new(), parent, parent_stale: false }
+    }
+
+    /// Number of vertices the forest was built over.
+    pub fn vertex_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Add edge `(u, v)` to the forest's graph: linked as a tree edge
+    /// when it joins two distinct trees (keeping the forest maximal),
+    /// ignored as a non-tree edge otherwise. Returns whether it became
+    /// a tree edge. This is what lets a forest persist across insertion
+    /// batches instead of being rebuilt from the full adjacency.
+    pub fn link(&mut self, u: u32, v: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        if self.parent_stale {
+            self.refresh_parent();
+        }
+        let (ru, rv) = (find(&mut self.parent, u), find(&mut self.parent, v));
+        if ru == rv {
+            return false;
+        }
+        self.parent[ru.max(rv) as usize] = ru.min(rv);
+        self.extra.push((u, v));
+        true
+    }
+
+    /// Rebuild the tree union-find from the current tree edges — run
+    /// lazily after a split stales it.
+    fn refresh_parent(&mut self) {
+        let n = self.live.len();
+        self.parent.clear();
+        self.parent.extend(0..n as u32);
+        for x in 0..n as u32 {
+            let start = self.offsets[x as usize];
+            for i in 0..self.live[x as usize] {
+                let y = self.targets[(start + i) as usize];
+                let (rx, ry) = (find(&mut self.parent, x), find(&mut self.parent, y));
+                if rx != ry {
+                    self.parent[rx.max(ry) as usize] = rx.min(ry);
+                }
+            }
+        }
+        for i in 0..self.extra.len() {
+            let (a, b) = self.extra[i];
+            let (ra, rb) = (find(&mut self.parent, a), find(&mut self.parent, b));
+            if ra != rb {
+                self.parent[ra.max(rb) as usize] = ra.min(rb);
+            }
+        }
+        self.parent_stale = false;
     }
 
     /// The live CSR segment of `x` (excludes `extra` links).
@@ -186,10 +246,15 @@ impl SpanningForest {
         }
         match replacement {
             Some((x, y)) => {
+                // Connectivity is unchanged, so the tree union-find
+                // stays valid.
                 self.extra.push((x, y));
                 EdgeRemoval::Replaced(x, y)
             }
-            None => EdgeRemoval::Split(side),
+            None => {
+                self.parent_stale = true;
+                EdgeRemoval::Split(side)
+            }
         }
     }
 
@@ -338,6 +403,28 @@ mod tests {
         let mut f = SpanningForest::build(2, edges.iter().copied());
         match f.remove_edge(0, 1, &adj_of(&edges, &[(0, 1)])) {
             EdgeRemoval::Split(side) => assert_eq!(side.len(), 1),
+            other => panic!("expected split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn link_restores_maximality_after_a_split() {
+        // Path 0-1-2-3: removing (1,2) splits {0,1} off; linking (0,3)
+        // must rejoin the trees (and be a tree edge), after which the
+        // next removal classifies against the *linked* forest.
+        let edges = [(0, 1), (1, 2), (2, 3)];
+        let mut f = SpanningForest::build(4, edges.iter().copied());
+        assert!(matches!(f.remove_edge(1, 2, &adj_of(&edges, &[(1, 2)])), EdgeRemoval::Split(_)));
+        assert!(f.link(0, 3), "joins two trees");
+        assert!(!f.link(1, 3), "same tree now: non-tree edge");
+        assert!(f.is_tree_edge(0, 3));
+        // The surviving graph is the path 1-0-3-2; removing the linked
+        // edge (0,3) with no replacement splits it again.
+        let surviving = [(0, 1), (2, 3), (0, 3)];
+        match f.remove_edge(0, 3, &adj_of(&surviving, &[(0, 3)])) {
+            EdgeRemoval::Split(side) => {
+                assert!(side == vec![0, 1] || side == vec![2, 3], "side {side:?}")
+            }
             other => panic!("expected split, got {other:?}"),
         }
     }

@@ -7,16 +7,22 @@
 //! * `log_write` — append one 0.1% delta record (flushed) to the log;
 //! * `log_replay_parse` — parse a 16-record log back;
 //! * `cold_baseline` — partition + cold run, the work a warm restart
-//!   avoids.
+//!   avoids;
+//! * `checkpoint_full` / `checkpoint_diff` — a session checkpoint after
+//!   a *localized* 0.1% batch (all endpoints in one fragment), full
+//!   rewrite vs the differential epoch. The byte ratio is asserted
+//!   ≥5x before the timed rows run.
 
 use aap_algos::{Sssp, SsspState};
 use aap_core::{Engine, EngineOpts, Mode, RunState};
-use aap_delta::generate::insert_batch;
+use aap_delta::generate::{insert_batch, insert_batch_within};
 use aap_graph::generate;
 use aap_graph::partition::{build_fragments_n, hash_partition};
+use aap_session::{edge_cut, DurabilityPolicy, Session};
 use aap_snapshot::{snapshot_from_bytes, snapshot_to_bytes, DeltaLog};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 const WORKERS: usize = 8;
 
@@ -82,10 +88,83 @@ fn bench_snapshot(c: &mut Criterion) {
             black_box(engine.run(&Sssp, &0).out.len())
         })
     });
+
+    // ------------------------------------------------------------------
+    // Checkpoint rows: the same 0.1% churn, but *localized* — every
+    // endpoint owned by fragment 0 under the edge-cut hash partition —
+    // so a differential epoch only has to rewrite the one touched
+    // fragment (plus whichever state shards actually moved).
+    // ------------------------------------------------------------------
+    let assignment = hash_partition(&g, WORKERS);
+    let pool: Vec<u32> =
+        (0..g.num_vertices() as u32).filter(|&v| assignment[v as usize] == 0).collect();
+    let batch = (g.num_edges() / 1000).max(8);
+    let scratch = dir.join(format!("aap_bench_ckpt_{}", std::process::id()));
+    let open = |name: &str, make: fn(DurabilityPolicy) -> DurabilityPolicy| {
+        let d = scratch.join(name);
+        std::fs::remove_dir_all(&d).ok();
+        let mut s = Session::builder(g.clone())
+            .partition(edge_cut(WORKERS))
+            .program("sssp", Sssp)
+            .durability(make(DurabilityPolicy::new(&d)))
+            .expect("durability")
+            .open()
+            .expect("durable session");
+        s.query::<Sssp>("sssp", &0).expect("retain the fixpoint");
+        s.checkpoint().expect("baseline epoch");
+        s
+    };
+    let mut full = open("full", |p| p.differential(false));
+    // Periodic compaction keeps the chain (and the scratch dir) bounded
+    // across however many iterations criterion decides to run.
+    let mut diff = open("diff", |p| p.compact_after(32));
+
+    // The headline claim, asserted on bytes (not time) so it holds on
+    // any machine: one localized batch, full vs differential epoch.
+    let probe = insert_batch_within(&pool, batch, 16, 0xA5A5);
+    full.apply(&probe).expect("apply");
+    diff.apply(&probe).expect("apply");
+    let rf = full.checkpoint().expect("full checkpoint");
+    let rd = diff.checkpoint().expect("differential checkpoint");
+    assert!(!rf.differential && rd.differential, "policies must diverge");
+    assert!(rd.fragments_skipped > 0, "a localized batch must skip untouched fragments");
+    let ratio = rf.bytes as f64 / rd.bytes.max(1) as f64;
+    assert!(
+        ratio >= 5.0,
+        "differential checkpoint must be >=5x cheaper than full after a localized \
+         0.1% batch: full {} bytes vs differential {} bytes ({ratio:.1}x)",
+        rf.bytes,
+        rd.bytes
+    );
+
+    let mut bench_checkpoint = |name: &str, session: &mut Session<(), u32, _>, seed0: u64| {
+        let mut seed = seed0;
+        group.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    // The apply is setup (untimed): only the checkpoint
+                    // itself is measured, on a fresh localized batch.
+                    seed += 1;
+                    let d = insert_batch_within(&pool, batch, 16, seed);
+                    session.apply(&d).expect("apply");
+                    let t = Instant::now();
+                    black_box(session.checkpoint().expect("checkpoint").bytes);
+                    total += t.elapsed();
+                }
+                total
+            })
+        });
+    };
+    bench_checkpoint("checkpoint_full", &mut full, 0x1000);
+    bench_checkpoint("checkpoint_diff", &mut diff, 0x2000);
+    drop(full);
+    drop(diff);
     group.finish();
 
     std::fs::remove_file(&snap_path).ok();
     std::fs::remove_file(&log_path).ok();
+    std::fs::remove_dir_all(&scratch).ok();
 }
 
 criterion_group!(benches, bench_snapshot);

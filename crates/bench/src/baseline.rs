@@ -231,6 +231,43 @@ pub fn parse_runner_output(text: &str) -> Result<Vec<(String, Json)>, String> {
 /// The staleness counters compared per record.
 const COUNTERS: [&str; 2] = ["effective_updates", "redundant_updates"];
 
+/// The durability counters, compared at the top level of any record
+/// that carries them in the baseline (the `durability` experiment).
+const DURABILITY_COUNTERS: [&str; 5] = [
+    "checkpoints",
+    "fragments_written",
+    "fragments_skipped",
+    "checkpoint_bytes",
+    "log_records_compacted",
+];
+
+/// Compare one named counter with relative-drift tolerance (floored so
+/// tiny baselines don't amplify noise). Missing on either side is a
+/// violation — the gate must not pass because a counter vanished.
+fn check_counter(
+    report: &mut GateReport,
+    label: &str,
+    key: &str,
+    baseline: &Json,
+    current: &Json,
+    tolerance: f64,
+) {
+    let (b, c) =
+        match (baseline.get(key).and_then(Json::as_f64), current.get(key).and_then(Json::as_f64)) {
+            (Some(b), Some(c)) => (b, c),
+            _ => {
+                report.violations.push(format!("{label}: counter {key} missing"));
+                return;
+            }
+        };
+    let drift = (c - b).abs() / b.max(100.0);
+    let line = format!("{label}: {key} baseline {b:.0} current {c:.0} drift {drift:.3}");
+    if drift > tolerance {
+        report.violations.push(line.clone());
+    }
+    report.checks.push(line);
+}
+
 fn check_record(
     report: &mut GateReport,
     label: &str,
@@ -239,23 +276,7 @@ fn check_record(
     tolerance: f64,
 ) {
     for key in COUNTERS {
-        let (b, c) = match (
-            baseline.get(key).and_then(Json::as_f64),
-            current.get(key).and_then(Json::as_f64),
-        ) {
-            (Some(b), Some(c)) => (b, c),
-            _ => {
-                report.violations.push(format!("{label}: counter {key} missing"));
-                continue;
-            }
-        };
-        // Relative drift, floored so tiny baselines don't amplify noise.
-        let drift = (c - b).abs() / b.max(100.0);
-        let line = format!("{label}: {key} baseline {b:.0} current {c:.0} drift {drift:.3}");
-        if drift > tolerance {
-            report.violations.push(line.clone());
-        }
-        report.checks.push(line);
+        check_counter(report, label, key, baseline, current, tolerance);
     }
     // Staleness ratio is compared absolutely (it lives in 0..1). A
     // vanished metric is a violation like any other — the gate must not
@@ -349,6 +370,12 @@ pub fn compare(baseline: &str, current: &str, tolerance: f64) -> Result<GateRepo
                         }
                     }
                 }
+            }
+        }
+        // Durability form: flat counters on the record itself.
+        for key in DURABILITY_COUNTERS {
+            if bv.get(key).is_some() {
+                check_counter(&mut report, name, key, bv, cv, tolerance);
             }
         }
     }
@@ -457,6 +484,26 @@ mod tests {
         assert!(ok.passed(), "{:?}", ok.violations);
         let bad = compare(&mk(100), &mk(400), 0.10).unwrap();
         assert!(!bad.passed());
+    }
+
+    #[test]
+    fn durability_counters_are_compared() {
+        let mk = |bytes: u64| {
+            format!(
+                "{{\"experiment\":\"durability\",\"seed\":1,\"checkpoints\":5,\
+                 \"fragments_written\":9,\"fragments_skipped\":7,\
+                 \"checkpoint_bytes\":{bytes},\"log_records_compacted\":4}}"
+            )
+        };
+        let ok = compare(&mk(100_000), &mk(101_000), 0.10).unwrap();
+        assert!(ok.passed(), "{:?}", ok.violations);
+        assert!(ok.checks.iter().any(|c| c.contains("fragments_skipped")));
+        let bad = compare(&mk(100_000), &mk(200_000), 0.10).unwrap();
+        assert!(bad.violations.iter().any(|v| v.contains("checkpoint_bytes")));
+        // A vanished durability counter fails like any other.
+        let gone = "{\"experiment\":\"durability\",\"seed\":1,\"checkpoints\":5}";
+        let r = compare(&mk(100_000), gone, 0.10).unwrap();
+        assert!(r.violations.iter().any(|v| v.contains("fragments_written missing")), "{r:?}");
     }
 
     #[test]

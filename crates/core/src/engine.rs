@@ -330,6 +330,11 @@ impl<St> PortableRunState<St> {
         &self.entries
     }
 
+    /// Move the per-fragment entries out (chain-resolution use).
+    pub fn into_entries(self) -> Vec<PortableFragState<St>> {
+        self.entries
+    }
+
     /// Number of per-fragment entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -518,6 +523,21 @@ where
             }
         }
         Some(out)
+    }
+
+    /// Copy-on-write access to the fragments, for in-place delta
+    /// application *while a consistent cut is being serialized*: a
+    /// shared `Arc` (the cut holds a clone) is detached by deep-cloning
+    /// the fragment — the cut keeps the pre-apply bytes, the engine
+    /// moves on — and an exclusively-held one is borrowed in place with
+    /// no copy, so the cost is proportional to the overlap between the
+    /// in-flight snapshot and the fragments the next delta touches.
+    pub fn fragments_cow(&mut self) -> Vec<&mut Fragment<V, E>>
+    where
+        V: Clone,
+        E: Clone,
+    {
+        self.frags.iter_mut().map(Arc::make_mut).collect()
     }
 
     /// Engine options.

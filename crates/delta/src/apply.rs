@@ -22,6 +22,10 @@ pub struct Applied {
     pub remaps: Vec<StateRemap>,
     /// Per-fragment delta-affected vertices (new local ids, sorted).
     pub seeds: Vec<Vec<LocalId>>,
+    /// Per-fragment: whether persisted bytes changed (see
+    /// [`AppliedEdit::changed`]). The vertex-cut fallback re-partitions
+    /// everything, so every fragment reports changed there.
+    pub changed: Vec<bool>,
 }
 
 /// Replay `delta` onto a global graph, returning the mutated graph.
@@ -361,7 +365,7 @@ fn finish_edge_cut<V, E>(delta: &GraphDelta<V, E>, applied: AppliedEdit) -> Appl
     let mut summary = delta.summary();
     summary.weights_decreased = applied.weights_decreased;
     summary.weights_increased = applied.weights_increased;
-    Applied { summary, remaps: applied.remaps, seeds: applied.seeds }
+    Applied { summary, remaps: applied.remaps, seeds: applied.seeds, changed: applied.changed }
 }
 
 /// Vertex-cut path: reassemble, mutate globally, re-partition with the
@@ -421,7 +425,7 @@ where
     let mut summary = delta.summary();
     summary.weights_decreased = wdec;
     summary.weights_increased = winc;
-    Applied { summary, remaps, seeds }
+    Applied { summary, remaps, seeds, changed: vec![true; m] }
 }
 
 #[cfg(test)]

@@ -257,6 +257,13 @@ pub struct AppliedEdit {
     pub weights_decreased: u64,
     /// Weight updates that increased a stored weight (or incomparable).
     pub weights_increased: u64,
+    /// Per-fragment: whether the fragment's *persisted* bytes changed —
+    /// its core was repacked (or, on the weight-only path, it held
+    /// patched copies). Routing-only rebuilds are excluded: routing
+    /// tables are derivable and never persisted (`aap-snapshot` loaders
+    /// re-derive them). This is the dirty set differential checkpoints
+    /// accumulate.
+    pub changed: Vec<bool>,
 }
 
 /// Reusable buffers for [`apply_partition_edit`] — the delta-side analog
@@ -751,7 +758,8 @@ where
         seeds[i].sort_unstable();
         seeds[i].dedup();
     }
-    AppliedEdit { remaps, seeds, weights_decreased, weights_increased }
+    let changed = edit.touched.clone();
+    AppliedEdit { remaps, seeds, weights_decreased, weights_increased, changed }
 }
 
 /// Apply one resolved delta batch to an edge-cut fragment set, in place.
@@ -865,6 +873,7 @@ where
     }
 
     // Phase 3: routing (see `routing_targets`).
+    let changed = rebuilt.clone();
     let needs_routing = routing_targets(&old_dests, &remaps, rebuilt);
     {
         let view: Vec<&Fragment<V, E>> = frags.iter().map(|f| &**f).collect();
@@ -880,7 +889,7 @@ where
         }
     }
 
-    AppliedEdit { remaps, seeds, weights_decreased, weights_increased }
+    AppliedEdit { remaps, seeds, weights_decreased, weights_increased, changed }
 }
 
 /// [`apply_partition_edit`] with the per-fragment work of all three
@@ -1069,6 +1078,7 @@ where
         remaps_opt.into_iter().map(|r| r.expect("every fragment remapped")).collect();
 
     // Phase 3: routing tables over the committed shared view.
+    let changed = rebuilt.clone();
     let needs_routing = routing_targets(&old_dests, &remaps, rebuilt);
     let tables: Vec<(usize, crate::RoutingTable)> = {
         let view: Vec<&Fragment<V, E>> = frags.iter().map(|f| &**f).collect();
@@ -1097,7 +1107,7 @@ where
         frags[j].set_routing(t);
     }
 
-    AppliedEdit { remaps, seeds, weights_decreased, weights_increased }
+    AppliedEdit { remaps, seeds, weights_decreased, weights_increased, changed }
 }
 
 /// Reconstruct the global graph from a fragment set (each stored edge

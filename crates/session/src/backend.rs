@@ -26,6 +26,17 @@ pub trait Backend<V, E>: Sized + 'static {
     /// while any `Arc` is shared (a run output still borrows them).
     fn fragments_mut(&mut self) -> Option<Vec<&mut Fragment<V, E>>>;
 
+    /// Copy-on-write access to the fragments for in-place mutation
+    /// *while a consistent cut shares them*: shared `Arc`s detach by
+    /// cloning the fragment (the cut keeps the pre-apply bytes),
+    /// exclusive ones borrow in place with no copy. Only called when
+    /// `V: Clone, E: Clone` holds — i.e. from `Session::apply`, whose
+    /// delta application already requires it.
+    fn fragments_cow(&mut self) -> Vec<&mut Fragment<V, E>>
+    where
+        V: Clone,
+        E: Clone;
+
     /// How many worker threads in-place delta application may use for
     /// the per-touched-fragment repacks (`apply_to_fragments_par`).
     /// Defaults to 1 (serial); the threaded engine reuses its configured
@@ -74,6 +85,14 @@ where
         Engine::fragments_mut(self)
     }
 
+    fn fragments_cow(&mut self) -> Vec<&mut Fragment<V, E>>
+    where
+        V: Clone,
+        E: Clone,
+    {
+        Engine::fragments_cow(self)
+    }
+
     fn apply_threads(&self) -> usize {
         self.opts().threads
     }
@@ -119,6 +138,14 @@ where
 
     fn fragments_mut(&mut self) -> Option<Vec<&mut Fragment<V, E>>> {
         SimEngine::fragments_mut(self)
+    }
+
+    fn fragments_cow(&mut self) -> Vec<&mut Fragment<V, E>>
+    where
+        V: Clone,
+        E: Clone,
+    {
+        SimEngine::fragments_cow(self)
     }
 
     fn set_tracer(&mut self, tracer: Tracer) {

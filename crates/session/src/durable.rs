@@ -2,30 +2,49 @@
 //! one directory, flipped atomically by a `MANIFEST` rename.
 //!
 //! ```text
-//! <dir>/MANIFEST                   "epoch=N"  (atomic rename)
-//! <dir>/graph.N.snap               the fragment set (FRAG-only snapshot)
-//! <dir>/state.<program>.N.snap     one per program with retained state
+//! <dir>/MANIFEST                   "epoch=N\nchain=N,M,...,B"
+//! <dir>/graph.N.snap               fragment set: full (FRAG) at a
+//!                                  baseline, changed subset (DFRG) at
+//!                                  a differential epoch
+//! <dir>/state.<program>.N.snap     one per program whose state moved
 //! <dir>/deltas.N.dlog              append-only log of applied deltas
 //! ```
 //!
+//! The manifest names the whole **epoch chain**, newest first, ending
+//! at a full baseline; restore resolves the newest version of each
+//! fragment (and each program-state shard) across it. A single-epoch
+//! manifest carries no `chain=` line, so directories written by the
+//! pre-differential format (and by `differential(false)` policies)
+//! parse unchanged.
+//!
 //! A checkpoint writes the *next* epoch's files first and flips the
 //! manifest last, so a crash at any point leaves a consistent
-//! generation: either the old epoch (manifest not yet flipped — its
-//! snapshot + its complete log still replay to the current state) or
-//! the new one (flipped — the fresh snapshot with an empty log).
-//! Superseded files are deleted best-effort after the flip.
+//! generation: either the old chain (manifest not yet flipped — its
+//! files + the complete old log still replay to the current state) or
+//! the new one. Only the newest epoch's delta log is live: flipping the
+//! manifest is also the **log compaction** point — every record of the
+//! superseded log is embodied by the new epoch's files, and the sweep
+//! deletes it, keeping directory size proportional to churn rather than
+//! to history.
 //!
 //! All `Codec` obligations are captured here as plain `fn` pointers at
 //! [`DurableSpec::new`] time, so `Session::apply`/`checkpoint` need no
-//! serialization bounds of their own.
+//! serialization bounds of their own — and crash-injection tests can
+//! swap any single step (fragment save, manifest flip) for a failing
+//! stand-in to cut the process "mid-checkpoint" at an exact point.
 
-use crate::SessionError;
+use crate::{CheckpointReport, DurabilityPolicy, SessionError};
 use aap_core::PortableRunState;
 use aap_delta::GraphDelta;
 use aap_graph::Fragment;
-use aap_snapshot::{load_snapshot, save_snapshot, Codec, DeltaLog, SnapshotError};
+use aap_snapshot::{
+    diff_snapshot_to_bytes, load_fragment_parts, snapshot_to_bytes, write_file_atomic, Codec,
+    DeltaLog, FragmentParts, SnapshotError,
+};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 pub(crate) const MANIFEST_FILE: &str = "MANIFEST";
 
@@ -45,108 +64,172 @@ pub(crate) fn log_path(dir: &Path, epoch: u64) -> PathBuf {
     dir.join(format!("deltas.{epoch}.dlog"))
 }
 
-/// Program names that have a `state.<name>.<epoch>.snap` file in `dir`
-/// — what restore checks its registrations against. Checkpoint writes
-/// state files only for *registered* programs and checkpoint's cleanup
-/// deletes only registered names, so an unregistered-but-present state
-/// would be silently dropped at the next checkpoint; restore refuses
+/// Program names that have a `state.<name>.<epoch>.snap` file at any
+/// chain epoch — what restore checks its registrations against.
+/// Checkpoint writes state files only for *registered* programs and its
+/// sweep keeps only chain files, so an unregistered-but-present state
+/// would be silently dropped at the next compaction; restore refuses
 /// that instead of losing durable warm state.
-pub(crate) fn state_file_programs(dir: &Path, epoch: u64) -> Result<Vec<String>, SessionError> {
-    let suffix = format!(".{epoch}.snap");
+pub(crate) fn state_file_programs(dir: &Path, chain: &[u64]) -> Result<Vec<String>, SessionError> {
+    let suffixes: Vec<String> = chain.iter().map(|e| format!(".{e}.snap")).collect();
     let mut out = Vec::new();
     let entries = std::fs::read_dir(dir).map_err(|e| SessionError::Io(dir.to_path_buf(), e))?;
     for entry in entries {
         let entry = entry.map_err(|e| SessionError::Io(dir.to_path_buf(), e))?;
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
-        if let Some(prog) = name.strip_prefix("state.").and_then(|r| r.strip_suffix(&suffix)) {
-            // Program names are [A-Za-z0-9_-]+ (enforced at
-            // registration), so a dot means this is some other file.
-            if !prog.is_empty() && !prog.contains('.') {
-                out.push(prog.to_string());
+        let Some(rest) = name.strip_prefix("state.") else { continue };
+        for suffix in &suffixes {
+            if let Some(prog) = rest.strip_suffix(suffix.as_str()) {
+                // Program names are [A-Za-z0-9_-]+ (enforced at
+                // registration), so a dot means this is some other file.
+                if !prog.is_empty() && !prog.contains('.') {
+                    out.push(prog.to_string());
+                    break;
+                }
             }
         }
     }
     out.sort_unstable();
+    out.dedup();
     Ok(out)
 }
 
-/// The epoch a durable file name belongs to, if it is one of ours:
-/// `graph.<e>.snap`, `deltas.<e>.dlog`, or `state.<name>.<e>.snap`.
-fn file_epoch(name: &str) -> Option<u64> {
-    name.strip_prefix("graph.")
+/// What kind of durable file a name is, and which epoch it belongs to.
+enum DurableFile {
+    /// `graph.<e>.snap` or `state.<name>.<e>.snap`.
+    Snap(u64),
+    /// `deltas.<e>.dlog`.
+    Log(u64),
+}
+
+fn classify(name: &str) -> Option<DurableFile> {
+    let snap = name
+        .strip_prefix("graph.")
         .and_then(|r| r.strip_suffix(".snap"))
-        .or_else(|| name.strip_prefix("deltas.").and_then(|r| r.strip_suffix(".dlog")))
         .or_else(|| {
             name.strip_prefix("state.")
                 .and_then(|r| r.strip_suffix(".snap"))
                 .and_then(|r| r.rsplit_once('.').map(|(_, e)| e))
         })
+        .and_then(|e| e.parse().ok());
+    if let Some(e) = snap {
+        return Some(DurableFile::Snap(e));
+    }
+    name.strip_prefix("deltas.")
+        .and_then(|r| r.strip_suffix(".dlog"))
         .and_then(|e| e.parse().ok())
+        .map(DurableFile::Log)
 }
 
-/// Delete every durable file whose epoch differs from `keep`
-/// (best-effort). Called after a manifest flip (checkpoint) and after a
-/// successful restore: a crash *between* a flip and its cleanup — or
-/// mid-checkpoint, leaving half-written next-epoch files the manifest
-/// never adopted — would otherwise strand whole snapshot generations
-/// forever, since ordinary cleanup only targets the immediate
-/// predecessor epoch.
-pub(crate) fn sweep_stale_epochs(dir: &Path, keep: u64) {
+/// Delete every durable file the chain `keep` (newest first) does not
+/// reference, best-effort: snapshot/state files of every chain epoch
+/// stay, but only the **newest** epoch's delta log is live — older
+/// logs are fully embodied by the checkpoints above them, so sweeping
+/// them *is* the log compaction. Called after a manifest flip
+/// (checkpoint) and after a successful restore: a crash *between* a
+/// flip and its cleanup — or mid-checkpoint, leaving half-written
+/// next-epoch files the manifest never adopted — would otherwise strand
+/// whole snapshot generations forever.
+pub(crate) fn sweep_stale_epochs(dir: &Path, keep: &[u64]) {
     let Ok(entries) = std::fs::read_dir(dir) else { return };
     for entry in entries.flatten() {
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
-        if file_epoch(name).is_some_and(|e| e != keep) {
+        let stale = match classify(name) {
+            Some(DurableFile::Snap(e)) => !keep.contains(&e),
+            Some(DurableFile::Log(e)) => e != keep[0],
+            None => false,
+        };
+        if stale {
             let _ = std::fs::remove_file(entry.path());
         }
     }
 }
 
-/// Read the manifest; `Ok(None)` when the directory holds none (a fresh
-/// directory), a tagged error when it exists but does not parse.
-pub(crate) fn read_manifest(dir: &Path) -> Result<Option<u64>, SessionError> {
+/// Read the manifest as an epoch chain, newest first; `Ok(None)` when
+/// the directory holds none (a fresh directory), a tagged error when it
+/// exists but does not parse. A manifest without a `chain=` line — the
+/// pre-differential format — is the single-epoch chain `[N]`.
+pub(crate) fn read_manifest(dir: &Path) -> Result<Option<Vec<u64>>, SessionError> {
     let path = manifest_path(dir);
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(SessionError::Io(path, e)),
     };
-    let epoch = text.trim().strip_prefix("epoch=").and_then(|v| v.parse::<u64>().ok()).ok_or_else(
-        || SessionError::Manifest {
-            path: path.clone(),
-            detail: format!("expected \"epoch=N\", found {:?}", text.trim()),
-        },
-    )?;
-    Ok(Some(epoch))
+    let bad = |detail: String| SessionError::Manifest { path: path.clone(), detail };
+    let mut lines = text.lines();
+    let first = lines.next().unwrap_or("").trim();
+    let epoch = first
+        .strip_prefix("epoch=")
+        .and_then(|v| v.parse::<u64>().ok())
+        .ok_or_else(|| bad(format!("expected \"epoch=N\", found {first:?}")))?;
+    let mut chain = vec![epoch];
+    if let Some(line) = lines.next() {
+        let line = line.trim();
+        if !line.is_empty() {
+            let parsed: Option<Vec<u64>> = line
+                .strip_prefix("chain=")
+                .map(|v| v.split(',').map(|e| e.trim().parse::<u64>()))
+                .and_then(|it| it.collect::<Result<Vec<u64>, _>>().ok());
+            chain =
+                parsed.ok_or_else(|| bad(format!("expected \"chain=N,M,...\", found {line:?}")))?;
+            if chain.first() != Some(&epoch) {
+                return Err(bad(format!("chain does not start at epoch {epoch}: {line:?}")));
+            }
+            if !chain.windows(2).all(|w| w[0] > w[1]) {
+                return Err(bad(format!("chain is not strictly decreasing: {line:?}")));
+            }
+        }
+    }
+    Ok(Some(chain))
 }
 
 /// Write the manifest atomically (temp file + **fsync** + rename, via
-/// the shared [`aap_snapshot::write_file_atomic`]): the epoch flip is
-/// the commit point of both `open()` initialization and `checkpoint()`
-/// — checkpoint deletes the *old* epoch's files right after it, so the
-/// flip itself must be crash-durable, not merely rename-atomic.
-pub(crate) fn write_manifest(dir: &Path, epoch: u64) -> Result<(), SessionError> {
-    let path = manifest_path(dir);
-    aap_snapshot::write_file_atomic(&path, format!("epoch={epoch}\n").as_bytes())?;
+/// the shared [`aap_snapshot::write_file_atomic`]): the flip is the
+/// commit point of `open()`, `checkpoint()`, and the background cut —
+/// checkpoint deletes superseded files right after it, so the flip
+/// itself must be crash-durable, not merely rename-atomic. Single-epoch
+/// chains omit the `chain=` line, staying byte-identical to the
+/// pre-differential manifest format.
+pub fn write_manifest(dir: &Path, chain: &[u64]) -> Result<(), SessionError> {
+    let mut text = format!("epoch={}\n", chain[0]);
+    if chain.len() > 1 {
+        let epochs: Vec<String> = chain.iter().map(|e| e.to_string()).collect();
+        text.push_str(&format!("chain={}\n", epochs.join(",")));
+    }
+    write_file_atomic(&manifest_path(dir), text.as_bytes())?;
     Ok(())
 }
 
 pub(crate) type WriteDeltaFn<V, E> =
     fn(&mut DeltaLog, &GraphDelta<V, E>) -> Result<(), SnapshotError>;
-pub(crate) type SaveFragsFn<V, E> = fn(&Path, &[Arc<Fragment<V, E>>]) -> Result<(), SnapshotError>;
-pub(crate) type LoadFragsFn<V, E> = fn(&Path) -> Result<Vec<Fragment<V, E>>, SnapshotError>;
+/// Full (baseline) fragment save; returns the bytes written.
+pub type SaveFragsFn<V, E> = fn(&Path, &[Arc<Fragment<V, E>>]) -> Result<u64, SnapshotError>;
+/// Differential fragment save: only fragments whose `dirty` bit is set
+/// are written (tagged with their ids); returns the bytes written.
+pub type SaveDiffFragsFn<V, E> =
+    fn(&Path, u16, &[Arc<Fragment<V, E>>], &[bool]) -> Result<u64, SnapshotError>;
+/// Parse one chain file's fragments (full or differential).
+pub(crate) type LoadFragPartsFn<V, E> = fn(&Path) -> Result<FragmentParts<V, E>, SnapshotError>;
 pub(crate) type ReadLogFn<V, E> = fn(&Path) -> Result<(Vec<GraphDelta<V, E>>, bool), SnapshotError>;
+/// The manifest flip — a vtable entry so crash tests can fail (or
+/// intercept) the exact commit point.
+pub type WriteManifestFn = fn(&Path, &[u64]) -> Result<(), SessionError>;
 
 /// The serialization vtable of a durable session, captured where the
-/// `Codec` bounds hold (builder `durable()`/`restore()`); everything
-/// downstream calls through plain `fn` pointers.
+/// `Codec` bounds hold (builder `durability()`/`restore()`); everything
+/// downstream — including the background checkpoint thread — calls
+/// through plain `fn` pointers.
 pub(crate) struct DurableSpec<V, E> {
     pub(crate) dir: PathBuf,
     pub(crate) write_delta: WriteDeltaFn<V, E>,
     pub(crate) save_frags: SaveFragsFn<V, E>,
-    pub(crate) load_frags: LoadFragsFn<V, E>,
+    pub(crate) save_diff_frags: SaveDiffFragsFn<V, E>,
+    pub(crate) load_frag_parts: LoadFragPartsFn<V, E>,
     pub(crate) read_log: ReadLogFn<V, E>,
+    pub(crate) write_manifest: WriteManifestFn,
 }
 
 fn write_delta_impl<V: Codec, E: Codec>(
@@ -159,13 +242,30 @@ fn write_delta_impl<V: Codec, E: Codec>(
 fn save_frags_impl<V: Codec, E: Codec>(
     path: &Path,
     frags: &[Arc<Fragment<V, E>>],
-) -> Result<(), SnapshotError> {
+) -> Result<u64, SnapshotError> {
     // Topology only: per-program states live in their own files.
-    save_snapshot::<V, E, (), _, _>(path, frags, None::<&PortableRunState<()>>)
+    let bytes = snapshot_to_bytes::<V, E, (), _>(frags, None::<&PortableRunState<()>>);
+    write_file_atomic(path, &bytes)?;
+    Ok(bytes.len() as u64)
 }
 
-fn load_frags_impl<V: Codec, E: Codec>(path: &Path) -> Result<Vec<Fragment<V, E>>, SnapshotError> {
-    Ok(load_snapshot::<V, E, (), _>(path)?.fragments)
+fn save_diff_frags_impl<V: Codec, E: Codec>(
+    path: &Path,
+    num_frags: u16,
+    frags: &[Arc<Fragment<V, E>>],
+    dirty: &[bool],
+) -> Result<u64, SnapshotError> {
+    let subset: Vec<&Fragment<V, E>> =
+        frags.iter().zip(dirty).filter(|(_, d)| **d).map(|(f, _)| &**f).collect();
+    let bytes = diff_snapshot_to_bytes(num_frags, &subset);
+    write_file_atomic(path, &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+fn load_frag_parts_impl<V: Codec, E: Codec>(
+    path: &Path,
+) -> Result<FragmentParts<V, E>, SnapshotError> {
+    load_fragment_parts(path)
 }
 
 /// Restore reads the log through [`DeltaLog::recover`], not the strict
@@ -185,24 +285,91 @@ impl<V: Codec, E: Codec> DurableSpec<V, E> {
             dir,
             write_delta: write_delta_impl::<V, E>,
             save_frags: save_frags_impl::<V, E>,
-            load_frags: load_frags_impl::<V, E>,
+            save_diff_frags: save_diff_frags_impl::<V, E>,
+            load_frag_parts: load_frag_parts_impl::<V, E>,
             read_log: read_log_impl::<V, E>,
+            write_manifest,
         }
     }
 }
 
-/// The live durable attachment of an open session: the spec plus the
-/// current epoch and its open append log.
+/// Per-shard fingerprints of one program's last-checkpointed state: a
+/// CRC32 per fragment shard plus one over the encoded retained query.
+/// A differential checkpoint writes only the shards whose fingerprint
+/// moved — exact byte-level dirtiness, independent of which strategy
+/// advanced the program.
+#[derive(Debug, Clone)]
+pub(crate) struct StateCrcs {
+    pub(crate) query: u32,
+    pub(crate) shards: Vec<u32>,
+}
+
+/// The completion cell a background cut publishes into: the report (or
+/// the failure rendered to a string — `SnapshotError` is not `Clone`)
+/// plus a condvar for blocking waiters.
+pub(crate) type CheckpointCell = Arc<(Mutex<Option<Result<CheckpointReport, String>>>, Condvar)>;
+
+/// Writer-side state of an in-flight background checkpoint: the cut was
+/// taken (fragment `Arc`s cloned, states encoded, next epoch's log
+/// created), the serialize-and-flip runs on `handle`, and until the
+/// session harvests the result every applied delta is written to
+/// **both** logs — so whichever epoch a crash leaves committed has a
+/// complete log.
+pub(crate) struct PendingCut {
+    /// The next epoch's log, receiving dual-written deltas.
+    pub(crate) new_log: DeltaLog,
+    /// The chain the background thread commits (newest first).
+    pub(crate) new_chain: Vec<u64>,
+    /// Dirty set captured (and reset) at the cut — ORed back on failure
+    /// so the fragments it named are still written by the next attempt.
+    pub(crate) cut_dirty: Vec<bool>,
+    /// State fingerprints as of the cut, installed on success.
+    pub(crate) new_crcs: HashMap<String, StateCrcs>,
+    /// Records dual-written to `new_log` since the cut.
+    pub(crate) new_log_records: u64,
+    /// A log append failed *after* the cut: the new epoch's log is also
+    /// missing that delta, so a successful flip must NOT clear the
+    /// wedge latch.
+    pub(crate) wedged_since_cut: bool,
+    pub(crate) handle: Option<JoinHandle<()>>,
+    pub(crate) result: CheckpointCell,
+}
+
+/// The live durable attachment of an open session: the spec and policy
+/// plus the current epoch chain, its open append log, and differential
+/// bookkeeping.
 ///
 /// `log_wedged` latches when a delta was applied in memory but its log
 /// append failed — from that point the on-disk history is missing a
 /// delta, so replaying it would silently diverge from the live state.
 /// Further applies are refused until a successful `checkpoint()`
-/// re-baselines (the fresh snapshot embodies the unlogged delta and
-/// opens an empty log), which clears the latch.
+/// re-baselines (the fresh epoch embodies the unlogged delta and opens
+/// an empty log), which clears the latch.
 pub(crate) struct Durable<V, E> {
     pub(crate) spec: DurableSpec<V, E>,
-    pub(crate) epoch: u64,
+    pub(crate) policy: DurabilityPolicy,
+    /// The committed epoch chain, newest first (`chain[0]` is current).
+    pub(crate) chain: Vec<u64>,
     pub(crate) log: DeltaLog,
     pub(crate) log_wedged: bool,
+    /// Per-fragment: persisted bytes changed since the last checkpoint
+    /// (the union of `Applied::changed` over applies) — what the next
+    /// differential checkpoint writes.
+    pub(crate) dirty: Vec<bool>,
+    /// Per-program state fingerprints as of the last checkpoint; absent
+    /// entries (fresh open, post-restore) force a full state write.
+    pub(crate) state_crcs: HashMap<String, StateCrcs>,
+    /// Records in the current log (to be reported as compacted when the
+    /// next checkpoint supersedes it).
+    pub(crate) log_records: u64,
+    /// Applies since the last checkpoint (drives `checkpoint_every`).
+    pub(crate) applies_since_checkpoint: u64,
+    /// An in-flight background cut, if any.
+    pub(crate) pending: Option<PendingCut>,
+}
+
+impl<V, E> Durable<V, E> {
+    pub(crate) fn epoch(&self) -> u64 {
+        self.chain[0]
+    }
 }

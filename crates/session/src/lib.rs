@@ -69,9 +69,17 @@ mod slot;
 pub use backend::Backend;
 pub use reader::SessionReader;
 
+// Crash-injection surface (test suites only): the durable vtable's
+// step signatures plus the real manifest flip, so a failing stand-in
+// can wrap it ("commit, then die") at the exact point under test.
+#[doc(hidden)]
+pub use durable::{
+    write_manifest as default_write_manifest, SaveDiffFragsFn, SaveFragsFn, WriteManifestFn,
+};
+
 use crate::durable::{
     graph_path, log_path, read_manifest, state_file_programs, state_path, sweep_stale_epochs,
-    write_manifest, Durable, DurableSpec,
+    CheckpointCell, Durable, DurableSpec, PendingCut, StateCrcs,
 };
 use crate::slot::{AnySlot, Planned, ProgramFactory, Slot, SlotFactory};
 use aap_core::engine::RunState;
@@ -85,10 +93,13 @@ use aap_graph::partition::{
 };
 use aap_graph::{Fragment, Graph};
 use aap_sim::{SimEngine, SimOpts};
-use aap_snapshot::{Codec, DeltaLog, SnapshotError};
+use aap_snapshot::{
+    resolve_fragment_chain, write_file_atomic, Codec, DeltaLog, FragmentParts, SnapshotError,
+};
 use aap_trace::{cat, pid, Args, TraceSink, Tracer};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 // ---------------------------------------------------------------------
 // Errors
@@ -150,6 +161,12 @@ pub enum SessionError {
         /// The attach failure.
         detail: String,
     },
+    /// A background checkpoint failed; the session is re-wedged (like
+    /// [`SessionError::LogWedged`]) until a successful checkpoint.
+    Checkpoint {
+        /// The failure, rendered (it crossed a thread boundary).
+        detail: String,
+    },
     /// An underlying snapshot/log error (tagged with its path).
     Snapshot(SnapshotError),
     /// A plain filesystem error.
@@ -199,6 +216,9 @@ impl std::fmt::Display for SessionError {
                 write!(f, "{}: bad manifest: {detail}", path.display())
             }
             SessionError::Restore { detail } => write!(f, "restore: {detail}"),
+            SessionError::Checkpoint { detail } => {
+                write!(f, "background checkpoint failed: {detail}")
+            }
             SessionError::Snapshot(e) => write!(f, "{e}"),
             SessionError::Io(path, e) => write!(f, "{}: {e}", path.display()),
         }
@@ -250,6 +270,172 @@ impl PartitionSpec {
 }
 
 // ---------------------------------------------------------------------
+// Durability policy
+// ---------------------------------------------------------------------
+
+/// How a durable session checkpoints: where the epoch-chained directory
+/// lives, whether checkpoints are differential (only fragments and
+/// program-state shards whose bytes changed since the parent epoch) or
+/// full baselines, how long the epoch chain may grow before it is
+/// compacted into a fresh baseline, whether checkpoints run on a
+/// background thread behind a consistent cut, and how often one fires
+/// automatically.
+///
+/// ```
+/// use aap_session::DurabilityPolicy;
+///
+/// let dir = std::env::temp_dir().join(format!("aap_policy_doc_{}", std::process::id()));
+/// let policy = DurabilityPolicy::new(&dir)
+///     .checkpoint_every(64) // auto-checkpoint every 64 applies
+///     .compact_after(8)     // rewrite the chain as a baseline at 8 epochs
+///     .background(true);    // serialize + commit off the apply path
+/// assert!(policy.is_differential());
+/// ```
+///
+/// Attached with [`SessionBuilder::durability`]:
+///
+/// ```
+/// use aap_session::{edge_cut, DurabilityPolicy, Session};
+/// use aap_algos::Sssp;
+/// use aap_delta::DeltaBuilder;
+/// use aap_graph::generate;
+///
+/// let dir = std::env::temp_dir().join(format!("aap_policy_doc2_{}", std::process::id()));
+/// let g = generate::small_world(120, 2, 0.1, 3);
+/// let mut session = Session::builder(g)
+///     .partition(edge_cut(3))
+///     .program("sssp", Sssp)
+///     .durability(DurabilityPolicy::new(&dir).compact_after(4))?
+///     .open()?;
+/// session.query::<Sssp>("sssp", &0)?;
+/// let mut b = DeltaBuilder::new();
+/// b.add_edge(0, 60, 1);
+/// session.apply(&b.build())?;
+/// let report = session.checkpoint()?; // differential: only dirty fragments
+/// assert!(report.differential);
+/// assert!(report.fragments_written >= 1);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), aap_session::SessionError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DurabilityPolicy {
+    pub(crate) dir: PathBuf,
+    pub(crate) checkpoint_every: Option<u64>,
+    pub(crate) compact_after: Option<u64>,
+    pub(crate) background: bool,
+    pub(crate) differential: bool,
+}
+
+impl DurabilityPolicy {
+    /// A differential, foreground, manually-checkpointed policy rooted
+    /// at `dir` (created at `open` if missing).
+    pub fn new(dir: impl AsRef<Path>) -> Self {
+        DurabilityPolicy {
+            dir: dir.as_ref().to_path_buf(),
+            checkpoint_every: None,
+            compact_after: None,
+            background: false,
+            differential: true,
+        }
+    }
+
+    /// Checkpoint automatically after every `applies` successful
+    /// applies (in addition to explicit [`Session::checkpoint`] calls).
+    /// Default: manual checkpoints only.
+    pub fn checkpoint_every(mut self, applies: u64) -> Self {
+        self.checkpoint_every = Some(applies.max(1));
+        self
+    }
+
+    /// When the epoch chain reaches `epochs` files, the next checkpoint
+    /// rewrites it as one fresh full baseline instead of appending —
+    /// bounding both restore's chain walk and directory size. Default:
+    /// the chain grows until an explicit full checkpoint.
+    pub fn compact_after(mut self, epochs: u64) -> Self {
+        self.compact_after = Some(epochs.max(1));
+        self
+    }
+
+    /// Run checkpoints on a background thread behind a consistent cut:
+    /// the writer clones fragment `Arc`s and encodes program states at
+    /// the cut, then keeps applying (copy-on-write detaches shared
+    /// fragments) while serialization and the manifest flip proceed off
+    /// the apply path. [`Session::checkpoint`] still works and runs
+    /// foreground; `true` here routes *automatic* checkpoints (and
+    /// [`Session::checkpoint_background`] calls) through the cut.
+    pub fn background(mut self, yes: bool) -> Self {
+        self.background = yes;
+        self
+    }
+
+    /// Differential (default) writes only fragments and state shards
+    /// whose bytes changed since the parent epoch, chaining epochs back
+    /// to a baseline; `false` restores the original behaviour — every
+    /// checkpoint is a full snapshot and the chain is always one epoch.
+    pub fn differential(mut self, yes: bool) -> Self {
+        self.differential = yes;
+        self
+    }
+
+    /// Whether checkpoints are differential.
+    pub fn is_differential(&self) -> bool {
+        self.differential
+    }
+}
+
+/// What one checkpoint wrote, returned by [`Session::checkpoint`] and
+/// published by background cuts (via [`CheckpointHandle`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// The committed epoch.
+    pub epoch: u64,
+    /// Fragments serialized into this epoch's graph file.
+    pub fragments_written: u64,
+    /// Fragments skipped as byte-identical to their chained version.
+    pub fragments_skipped: u64,
+    /// Total bytes written (graph file + state files).
+    pub bytes: u64,
+    /// Delta-log records superseded (and deleted) by this checkpoint.
+    pub log_records_compacted: u64,
+    /// True when this epoch is a differential link, false for a full
+    /// baseline (fresh chain).
+    pub differential: bool,
+}
+
+/// Completion handle of a background checkpoint
+/// ([`Session::checkpoint_background`]): observe or await the cut's
+/// commit from any thread. The *session-side* bookkeeping (epoch
+/// advance, log rotation) lands when the writer next touches the
+/// durable state — any `apply`, `checkpoint`, or
+/// [`Session::finish_checkpoint`].
+pub struct CheckpointHandle {
+    cell: CheckpointCell,
+}
+
+impl CheckpointHandle {
+    /// True once the background thread has committed or failed.
+    pub fn is_done(&self) -> bool {
+        self.cell.0.lock().unwrap_or_else(|e| e.into_inner()).is_some()
+    }
+
+    /// Block until the cut commits (its report) or fails
+    /// ([`SessionError::Checkpoint`]). Does not perform the writer-side
+    /// harvest; pair with [`Session::finish_checkpoint`] when the
+    /// session itself should settle.
+    pub fn wait(&self) -> Result<CheckpointReport, SessionError> {
+        let (lock, cvar) = &*self.cell;
+        let mut slot = lock.lock().unwrap_or_else(|e| e.into_inner());
+        while slot.is_none() {
+            slot = cvar.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+        match slot.as_ref().expect("loop exits on Some") {
+            Ok(report) => Ok(report.clone()),
+            Err(detail) => Err(SessionError::Checkpoint { detail: detail.clone() }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Serving metrics
 // ---------------------------------------------------------------------
 
@@ -279,6 +465,15 @@ pub struct SessionMetrics {
     pub applies: u64,
     /// Durable checkpoints written.
     pub checkpoints: u64,
+    /// Fragments serialized across all checkpoints.
+    pub checkpoint_fragments_written: u64,
+    /// Fragments skipped (byte-identical to their chained version)
+    /// across all differential checkpoints.
+    pub checkpoint_fragments_skipped: u64,
+    /// Bytes written across all checkpoints (graph + state files).
+    pub checkpoint_bytes: u64,
+    /// Delta-log records superseded (and deleted) by checkpoints.
+    pub log_records_compacted: u64,
 }
 
 // ---------------------------------------------------------------------
@@ -369,7 +564,7 @@ pub struct SessionBuilder<V, E> {
     threads: Option<usize>,
     max_rounds: Option<u32>,
     answer_cache: usize,
-    durable_spec: Option<DurableSpec<V, E>>,
+    durable: Option<(DurableSpec<V, E>, DurabilityPolicy)>,
     programs: Vec<(String, Box<dyn SlotFactory<V, E>>)>,
     tracer: Tracer,
 }
@@ -397,21 +592,25 @@ where
             threads: None,
             max_rounds: None,
             answer_cache: DEFAULT_ANSWER_CACHE,
-            durable_spec: None,
+            durable: None,
             programs: Vec::new(),
             tracer: Tracer::default(),
         }
     }
 
     /// Start a builder that restores a durable session directory at
-    /// open (load snapshot → attach per-program states → replay the
-    /// delta log). Register the same programs the directory was
-    /// checkpointed with; [`Session::restore`] is the usual spelling.
+    /// open (resolve the manifest's epoch chain → attach per-program
+    /// states → replay the delta log). Register the same programs the
+    /// directory was checkpointed with; [`Session::restore`] is the
+    /// usual spelling. The restored session keeps the conservative
+    /// full-snapshot policy unless [`SessionBuilder::durability`]
+    /// overrides it.
     pub fn restore_from(dir: impl AsRef<Path>) -> Self
     where
         V: Codec,
         E: Codec,
     {
+        let dir = dir.as_ref().to_path_buf();
         SessionBuilder {
             source: Source::Restore,
             partition: PartitionSpec::EdgeCut(EngineOpts::default().threads.max(2)),
@@ -419,7 +618,10 @@ where
             threads: None,
             max_rounds: None,
             answer_cache: DEFAULT_ANSWER_CACHE,
-            durable_spec: Some(DurableSpec::new(dir.as_ref().to_path_buf())),
+            durable: Some((
+                DurableSpec::new(dir.clone()),
+                DurabilityPolicy::new(dir).differential(false),
+            )),
             programs: Vec::new(),
             tracer: Tracer::default(),
         }
@@ -521,19 +723,37 @@ where
         self
     }
 
-    /// Make the session durable in `dir` (created if missing): the
-    /// partition is snapshotted at open, every applied delta is logged,
-    /// and [`Session::checkpoint`] rotates snapshot epochs. Fails if
-    /// `dir` already holds a session (resume those with
-    /// [`Session::restore`]).
-    pub fn durable(mut self, dir: impl AsRef<Path>) -> Result<Self, SessionError>
+    /// Make the session durable in `dir` (created if missing) with the
+    /// original full-snapshot, foreground, manual-checkpoint behaviour:
+    /// shorthand for
+    /// `.durability(DurabilityPolicy::new(dir).differential(false))`.
+    /// Prefer [`SessionBuilder::durability`], which defaults to
+    /// differential checkpoints and exposes compaction, cadence, and
+    /// background cuts; this shim stays so existing call sites compile
+    /// (and behave) unchanged.
+    pub fn durable(self, dir: impl AsRef<Path>) -> Result<Self, SessionError>
     where
         V: Codec,
         E: Codec,
     {
-        let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir).map_err(|e| SessionError::Io(dir.clone(), e))?;
-        self.durable_spec = Some(DurableSpec::new(dir));
+        self.durability(DurabilityPolicy::new(dir).differential(false))
+    }
+
+    /// Make the session durable under `policy` (its directory is
+    /// created if missing): the partition is snapshotted at open, every
+    /// applied delta is logged, and checkpoints follow the policy —
+    /// differential epoch chains, compaction thresholds, automatic
+    /// cadence, background cuts (see [`DurabilityPolicy`]). Fails at
+    /// `open` if the directory already holds a session (resume those
+    /// with [`Session::restore`]).
+    pub fn durability(mut self, policy: DurabilityPolicy) -> Result<Self, SessionError>
+    where
+        V: Codec,
+        E: Codec,
+    {
+        std::fs::create_dir_all(&policy.dir)
+            .map_err(|e| SessionError::Io(policy.dir.clone(), e))?;
+        self.durable = Some((DurableSpec::new(policy.dir.clone()), policy));
         Ok(self)
     }
 
@@ -568,7 +788,7 @@ where
         MB: FnOnce(Vec<Fragment<V, E>>) -> B,
         MS: Fn(Box<dyn SlotFactory<V, E>>) -> Box<dyn AnySlot<V, E, B>>,
     {
-        let SessionBuilder { source, partition, durable_spec, programs, tracer, .. } = self;
+        let SessionBuilder { source, partition, durable, programs, tracer, .. } = self;
         match source {
             Source::Graph(g) => {
                 let frags = partition.build(&g);
@@ -585,26 +805,45 @@ where
                     tracer,
                     metrics: SessionMetrics::default(),
                 };
-                if let Some(spec) = durable_spec {
+                if let Some((spec, policy)) = durable {
                     if read_manifest(&spec.dir)?.is_some() {
                         return Err(SessionError::AlreadyInitialized(spec.dir));
                     }
                     (spec.save_frags)(&graph_path(&spec.dir, 0), session.backend.fragments())?;
                     let log = DeltaLog::create(log_path(&spec.dir, 0))?;
-                    write_manifest(&spec.dir, 0)?;
-                    session.durable = Some(Durable { spec, epoch: 0, log, log_wedged: false });
+                    (spec.write_manifest)(&spec.dir, &[0])?;
+                    let m = session.backend.fragments().len();
+                    session.durable = Some(Durable {
+                        spec,
+                        policy,
+                        chain: vec![0],
+                        log,
+                        log_wedged: false,
+                        dirty: vec![false; m],
+                        state_crcs: HashMap::new(),
+                        log_records: 0,
+                        applies_since_checkpoint: 0,
+                        pending: None,
+                    });
                 }
                 Ok(session)
             }
             Source::Restore => {
-                let spec = durable_spec.expect("restore builders always carry a durable spec");
+                let (spec, policy) = durable.expect("restore builders always carry a durable spec");
                 let traced = tracer.enabled();
                 if traced {
                     tracer.begin(pid::SESSION, 0, cat::DURABLE, "restore", Args::new());
                 }
-                let epoch = read_manifest(&spec.dir)?
+                let chain = read_manifest(&spec.dir)?
                     .ok_or_else(|| SessionError::MissingManifest(spec.dir.clone()))?;
-                let frags = (spec.load_frags)(&graph_path(&spec.dir, epoch))?;
+                // Resolve the newest version of each fragment across the
+                // epoch chain (a pre-differential directory is the
+                // single-file chain `[N]`).
+                let mut parts: Vec<FragmentParts<V, E>> = Vec::with_capacity(chain.len());
+                for &e in &chain {
+                    parts.push((spec.load_frag_parts)(&graph_path(&spec.dir, e))?);
+                }
+                let frags = resolve_fragment_chain(parts)?;
                 let mut backend = make_backend(frags);
                 backend.set_tracer(tracer.clone());
                 let slots: Slots<V, E, B> =
@@ -620,9 +859,9 @@ where
                 };
                 // Every persisted state must have a registration: a
                 // later checkpoint would silently drop an unregistered
-                // program's durable warm state (its file is neither
+                // program's durable warm state (its files are neither
                 // carried forward nor cleaned up).
-                for prog in state_file_programs(&spec.dir, epoch)? {
+                for prog in state_file_programs(&spec.dir, &chain)? {
                     if !session.slots.iter().any(|(n, _)| *n == prog) {
                         return Err(SessionError::UnregisteredProgramState { name: prog });
                     }
@@ -630,7 +869,12 @@ where
                 {
                     let Session { slots, backend, version, .. } = &mut session;
                     for (name, slot) in slots.iter_mut() {
-                        if slot.load_state(&state_path(&spec.dir, epoch, name), backend)? {
+                        let paths: Vec<PathBuf> = chain
+                            .iter()
+                            .map(|&e| state_path(&spec.dir, e, name))
+                            .filter(|p| p.exists())
+                            .collect();
+                        if slot.load_state_chain(&paths, backend)? {
                             *version += 1;
                             slot.publish(*version);
                         }
@@ -639,16 +883,37 @@ where
                 // Replay the log: apply each delta once, advancing every
                 // attached program — without re-logging. The read is the
                 // tolerant `recover`: a torn, never-acknowledged tail
-                // record from a crash mid-append is truncated away.
-                let (deltas, _dropped_torn_tail) = (spec.read_log)(&log_path(&spec.dir, epoch))?;
+                // record from a crash mid-append is truncated away. The
+                // replayed deltas' changed fragments seed the dirty set:
+                // they live only in the log, so the next (differential)
+                // checkpoint must write them.
+                let (deltas, _dropped_torn_tail) = (spec.read_log)(&log_path(&spec.dir, chain[0]))?;
+                let mut dirty = vec![false; session.backend.fragments().len()];
                 for delta in &deltas {
-                    session.apply_inner(delta)?;
+                    let (_, changed) = session.apply_inner(delta)?;
+                    for (d, c) in dirty.iter_mut().zip(&changed) {
+                        *d |= *c;
+                    }
                 }
-                let log = DeltaLog::open_append(log_path(&spec.dir, epoch))?;
+                let log = DeltaLog::open_append(log_path(&spec.dir, chain[0]))?;
                 // Reclaim generations stranded by a crash between a
                 // manifest flip and its cleanup (or mid-checkpoint).
-                sweep_stale_epochs(&spec.dir, epoch);
-                session.durable = Some(Durable { spec, epoch, log, log_wedged: false });
+                sweep_stale_epochs(&spec.dir, &chain);
+                let epoch = chain[0];
+                session.durable = Some(Durable {
+                    spec,
+                    policy,
+                    chain,
+                    log,
+                    log_wedged: false,
+                    dirty,
+                    // No fingerprints from the previous process: the
+                    // first state write per program is a full file.
+                    state_crcs: HashMap::new(),
+                    log_records: deltas.len() as u64,
+                    applies_since_checkpoint: 0,
+                    pending: None,
+                });
                 if traced {
                     session.tracer.end(
                         pid::SESSION,
@@ -741,7 +1006,14 @@ where
 
     /// The current durable snapshot epoch, if durable.
     pub fn epoch(&self) -> Option<u64> {
-        self.durable.as_ref().map(|d| d.epoch)
+        self.durable.as_ref().map(|d| d.epoch())
+    }
+
+    /// The committed epoch chain (newest first, ending at a full
+    /// baseline), if durable. Always a single epoch under
+    /// `differential(false)` policies.
+    pub fn epoch_chain(&self) -> Option<&[u64]> {
+        self.durable.as_ref().map(|d| d.chain.as_slice())
     }
 
     /// The session-wide publication version (0 until something is
@@ -768,6 +1040,23 @@ where
         self.tracer.counter(pid::SESSION, 0, "fresh_queries", m.fresh_queries);
         self.tracer.counter(pid::SESSION, 0, "answer_cache_hits", m.answer_cache_hits);
         self.tracer.counter(pid::SESSION, 0, "admitted", m.admitted);
+        if self.durable.is_some() {
+            self.tracer.counter(pid::SESSION, 0, "checkpoints", m.checkpoints);
+            self.tracer.counter(
+                pid::SESSION,
+                0,
+                "checkpoint_fragments_written",
+                m.checkpoint_fragments_written,
+            );
+            self.tracer.counter(
+                pid::SESSION,
+                0,
+                "checkpoint_fragments_skipped",
+                m.checkpoint_fragments_skipped,
+            );
+            self.tracer.counter(pid::SESSION, 0, "checkpoint_bytes", m.checkpoint_bytes);
+            self.tracer.counter(pid::SESSION, 0, "log_records_compacted", m.log_records_compacted);
+        }
     }
 
     fn slot_index(&self, name: &str) -> Result<usize, SessionError> {
@@ -1002,6 +1291,9 @@ where
     /// successful [`Session::checkpoint`] re-baselines the directory
     /// (queries keep serving the consistent in-memory state meanwhile).
     pub fn apply(&mut self, delta: &GraphDelta<V, E>) -> Result<ApplyReport, SessionError> {
+        // Settle a finished background cut first: its epoch flip (or
+        // failure wedge) must land before this delta is logged.
+        self.harvest_pending(false);
         if self.durable.as_ref().is_some_and(|d| d.log_wedged) {
             return Err(SessionError::LogWedged);
         }
@@ -1011,7 +1303,7 @@ where
         }
         let result = self.apply_inner(delta);
         if traced {
-            let advanced = result.as_ref().map(|r| r.programs.len()).unwrap_or(0);
+            let advanced = result.as_ref().map(|(r, _)| r.programs.len()).unwrap_or(0);
             self.tracer.end(
                 pid::SESSION,
                 0,
@@ -1024,17 +1316,58 @@ where
             );
             self.emit_counters();
         }
-        let report = result?;
+        let (report, changed) = result?;
         if let Some(d) = &mut self.durable {
+            // Dirty bits accumulate before the log append so a wedged
+            // delta's fragments are still written by the healing
+            // checkpoint.
+            for (bit, c) in d.dirty.iter_mut().zip(&changed) {
+                *bit |= *c;
+            }
+            d.applies_since_checkpoint += 1;
             if let Err(e) = (d.spec.write_delta)(&mut d.log, delta) {
                 d.log_wedged = true;
+                if let Some(p) = &mut d.pending {
+                    p.wedged_since_cut = true;
+                }
                 return Err(SessionError::Snapshot(e));
+            }
+            d.log_records += 1;
+            // During an in-flight background cut, dual-write: whichever
+            // epoch a crash leaves committed has a complete log.
+            if let Some(p) = &mut d.pending {
+                if let Err(e) = (d.spec.write_delta)(&mut p.new_log, delta) {
+                    d.log_wedged = true;
+                    p.wedged_since_cut = true;
+                    return Err(SessionError::Snapshot(e));
+                }
+                p.new_log_records += 1;
+            }
+        }
+        // Automatic cadence: fire once the policy's apply budget is
+        // spent (never while a cut is already in flight).
+        let due = self.durable.as_ref().is_some_and(|d| {
+            d.pending.is_none()
+                && d.policy.checkpoint_every.is_some_and(|n| d.applies_since_checkpoint >= n)
+        });
+        if due {
+            if self.durable.as_ref().is_some_and(|d| d.policy.background) {
+                self.checkpoint_background()?;
+            } else {
+                self.checkpoint()?;
             }
         }
         Ok(report)
     }
 
-    fn apply_inner(&mut self, delta: &GraphDelta<V, E>) -> Result<ApplyReport, SessionError> {
+    /// The shared core of `apply` and restore's replay: mutate, advance,
+    /// and publish, returning the report plus the per-fragment
+    /// changed-bytes set (what differential checkpoints accumulate).
+    #[allow(clippy::type_complexity)]
+    fn apply_inner(
+        &mut self,
+        delta: &GraphDelta<V, E>,
+    ) -> Result<(ApplyReport, Vec<bool>), SessionError> {
         // 1. Pre-apply planning on the old fragments + old states.
         let planned: Vec<Option<Planned>> = {
             let view: Vec<&Fragment<V, E>> =
@@ -1047,7 +1380,17 @@ where
         // budget (byte-identical to serial; see `aap_graph::mutate`).
         let threads = self.backend.apply_threads();
         let applied = {
-            let mut frags = self.backend.fragments_mut().ok_or(SessionError::SharedFragments)?;
+            // While a background cut holds fragment `Arc`s, mutate
+            // copy-on-write: shared fragments detach (the cut keeps the
+            // pre-apply bytes), exclusive ones mutate in place free.
+            // Otherwise keep the strict path — a run output still
+            // borrowing the fragments is a caller bug to surface.
+            let cow = self.durable.as_ref().is_some_and(|d| d.pending.is_some());
+            let mut frags = if cow {
+                self.backend.fragments_cow()
+            } else {
+                self.backend.fragments_mut().ok_or(SessionError::SharedFragments)?
+            };
             apply_to_fragments_par_traced(&mut frags, delta, &mut self.bufs, threads, &self.tracer)
         };
         self.metrics.applies += 1;
@@ -1074,57 +1417,383 @@ where
                 }
             }
         }
-        Ok(ApplyReport { summary: applied.summary, programs })
+        Ok((ApplyReport { summary: applied.summary, programs }, applied.changed))
     }
 
-    /// Write the next durable epoch — fragment snapshot plus one state
-    /// file per retained program — flip the manifest, and start a fresh
-    /// delta log (the snapshot supersedes the old log's prefix). The
-    /// old epoch's files are deleted best-effort after the flip.
-    /// Returns the new epoch.
-    pub fn checkpoint(&mut self) -> Result<u64, SessionError> {
-        let Some(durable) = self.durable.as_mut() else {
-            return Err(SessionError::NotDurable);
+    /// Take the cut a checkpoint commits: decide full vs differential
+    /// (policy + compaction threshold), consume the dirty set, and
+    /// encode every program's state delta on the calling thread. After
+    /// this the epoch's *contents* are fixed; only serialization and
+    /// the manifest flip remain (inline for [`Session::checkpoint`], on
+    /// a thread for [`Session::checkpoint_background`]).
+    fn plan_cut(&mut self) -> CutMaterials {
+        let Session { backend, slots, durable, .. } = self;
+        let d = durable.as_mut().expect("callers checked durability");
+        let frags = backend.fragments();
+        let m = frags.len();
+        let next = d.chain[0] + 1;
+        let compacting = d.policy.compact_after.is_some_and(|k| d.chain.len() as u64 >= k);
+        let full = !d.policy.differential || compacting;
+        let new_chain: Vec<u64> = if full {
+            vec![next]
+        } else {
+            std::iter::once(next).chain(d.chain.iter().copied()).collect()
         };
+        let cut_dirty = std::mem::replace(&mut d.dirty, vec![false; m]);
+        let mut state_files = Vec::new();
+        let mut new_crcs = HashMap::new();
+        let mut state_bytes = 0u64;
+        for (name, slot) in slots.iter() {
+            let prev = if full { None } else { d.state_crcs.get(name) };
+            if let Some(enc) = slot.encode_state(frags, prev) {
+                new_crcs.insert(name.clone(), enc.crcs);
+                if let Some(bytes) = enc.file {
+                    state_bytes += bytes.len() as u64;
+                    state_files.push((state_path(&d.spec.dir, next, name), bytes));
+                }
+            }
+        }
+        d.applies_since_checkpoint = 0;
+        CutMaterials {
+            next,
+            new_chain,
+            full,
+            cut_dirty,
+            state_files,
+            new_crcs,
+            state_bytes,
+            log_records_at_cut: d.log_records,
+        }
+    }
+
+    /// Accumulate a committed checkpoint into the serving counters.
+    fn record_checkpoint(&mut self, report: &CheckpointReport) {
+        self.metrics.checkpoints += 1;
+        self.metrics.checkpoint_fragments_written += report.fragments_written;
+        self.metrics.checkpoint_fragments_skipped += report.fragments_skipped;
+        self.metrics.checkpoint_bytes += report.bytes;
+        self.metrics.log_records_compacted += report.log_records_compacted;
+    }
+
+    /// Settle a background cut whose thread has finished (or, with
+    /// `block`, wait for it): on success install the new chain, rotate
+    /// to the dual-written log, and adopt the cut's state fingerprints;
+    /// on failure re-wedge (exactly like a failed log append) and merge
+    /// the cut's dirty set back so the next attempt still writes those
+    /// fragments. `None` when nothing was pending (or, non-blocking,
+    /// nothing finished yet).
+    fn harvest_pending(&mut self, block: bool) -> Option<Result<CheckpointReport, SessionError>> {
+        let outcome = {
+            let d = self.durable.as_mut()?;
+            {
+                let p = d.pending.as_ref()?;
+                let (lock, cvar) = &*p.result;
+                let mut slot = lock.lock().unwrap_or_else(|e| e.into_inner());
+                if block {
+                    while slot.is_none() {
+                        slot = cvar.wait(slot).unwrap_or_else(|e| e.into_inner());
+                    }
+                } else if slot.is_none() {
+                    return None;
+                }
+            }
+            let mut p = d.pending.take().expect("checked above");
+            if let Some(h) = p.handle.take() {
+                let _ = h.join();
+            }
+            // Clone, don't take: `CheckpointHandle`s observe the same
+            // cell and must keep seeing the result after the harvest.
+            let result = p
+                .result
+                .0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone()
+                .expect("joined thread published its result");
+            match result {
+                Ok(report) => {
+                    d.chain = p.new_chain;
+                    d.log = p.new_log;
+                    d.state_crcs = p.new_crcs;
+                    d.log_records = p.new_log_records;
+                    // The flip heals a wedge from *before* the cut (the
+                    // committed epoch embodies the unlogged delta) but
+                    // not one from after it — the new log is missing
+                    // that delta too.
+                    d.log_wedged = p.wedged_since_cut;
+                    Ok(report)
+                }
+                Err(detail) => {
+                    d.log_wedged = true;
+                    for (bit, c) in d.dirty.iter_mut().zip(&p.cut_dirty) {
+                        *bit |= *c;
+                    }
+                    Err(SessionError::Checkpoint { detail })
+                }
+            }
+        };
+        if let Ok(report) = &outcome {
+            self.record_checkpoint(report);
+            if self.tracer.enabled() {
+                self.tracer.instant(
+                    pid::SESSION,
+                    0,
+                    cat::DURABLE,
+                    "checkpoint_committed",
+                    Args::new().with("epoch", report.epoch),
+                );
+                self.emit_counters();
+            }
+        }
+        Some(outcome)
+    }
+
+    /// Write the next durable epoch — per policy a full baseline or a
+    /// differential link carrying only fragments (and program-state
+    /// shards) whose bytes changed — flip the manifest, and start a
+    /// fresh delta log. The superseded log's records are compacted away
+    /// with every file the new chain no longer references. Runs
+    /// foreground (an in-flight background cut is settled first); see
+    /// [`Session::checkpoint_background`] for the non-blocking form.
+    pub fn checkpoint(&mut self) -> Result<CheckpointReport, SessionError> {
+        // Settle an in-flight cut first: its flip (or failure wedge)
+        // precedes this epoch, which supersedes it either way.
+        self.harvest_pending(true);
+        if self.durable.is_none() {
+            return Err(SessionError::NotDurable);
+        }
         let traced = self.tracer.enabled();
-        let dir = durable.spec.dir.clone();
-        let next = durable.epoch + 1;
+        let cut = self.plan_cut();
         if traced {
             self.tracer.begin(
                 pid::SESSION,
                 0,
                 cat::DURABLE,
                 "checkpoint",
-                Args::new().with("epoch", next),
+                Args::new().with("epoch", cut.next).with("differential", !cut.full),
             );
         }
-        (durable.spec.save_frags)(&graph_path(&dir, next), self.backend.fragments())?;
-        for (name, slot) in &self.slots {
-            slot.save_state(&state_path(&dir, next, name), self.backend.fragments())?;
-        }
-        let new_log = DeltaLog::create(log_path(&dir, next))?;
-        write_manifest(&dir, next)?;
-        durable.log = new_log;
-        durable.epoch = next;
-        // The fresh snapshot embodies every applied delta, logged or
-        // not: a wedged log (failed append) is healed by re-baselining.
-        durable.log_wedged = false;
-        // Best-effort cleanup of every superseded generation — not just
-        // the immediate predecessor, so generations stranded by a crash
-        // in this window are reclaimed by the next checkpoint/restore.
-        sweep_stale_epochs(&dir, next);
-        self.metrics.checkpoints += 1;
+        let result = (|| -> Result<(u64, DeltaLog), SessionError> {
+            let d = self.durable.as_ref().expect("checked above");
+            let frags = self.backend.fragments();
+            let graph_bytes = if cut.full {
+                (d.spec.save_frags)(&graph_path(&d.spec.dir, cut.next), frags)?
+            } else {
+                (d.spec.save_diff_frags)(
+                    &graph_path(&d.spec.dir, cut.next),
+                    frags.len() as u16,
+                    frags,
+                    &cut.cut_dirty,
+                )?
+            };
+            for (path, bytes) in &cut.state_files {
+                write_file_atomic(path, bytes)?;
+            }
+            let new_log = DeltaLog::create(log_path(&d.spec.dir, cut.next))?;
+            (d.spec.write_manifest)(&d.spec.dir, &cut.new_chain)?;
+            Ok((graph_bytes, new_log))
+        })();
+        let outcome = match result {
+            Err(e) => {
+                // Nothing committed: put the consumed dirty set back so
+                // the next attempt still writes those fragments.
+                let d = self.durable.as_mut().expect("checked above");
+                for (bit, c) in d.dirty.iter_mut().zip(&cut.cut_dirty) {
+                    *bit |= *c;
+                }
+                Err(e)
+            }
+            Ok((graph_bytes, new_log)) => {
+                let d = self.durable.as_mut().expect("checked above");
+                let m = cut.cut_dirty.len() as u64;
+                let fragments_written =
+                    if cut.full { m } else { cut.cut_dirty.iter().filter(|b| **b).count() as u64 };
+                let report = CheckpointReport {
+                    epoch: cut.next,
+                    fragments_written,
+                    fragments_skipped: m - fragments_written,
+                    bytes: graph_bytes + cut.state_bytes,
+                    log_records_compacted: cut.log_records_at_cut,
+                    differential: !cut.full,
+                };
+                d.chain = cut.new_chain;
+                d.log = new_log;
+                d.state_crcs = cut.new_crcs;
+                d.log_records = 0;
+                // The fresh epoch embodies every applied delta, logged
+                // or not: a wedged log is healed by re-baselining.
+                d.log_wedged = false;
+                // Best-effort cleanup of everything the new chain no
+                // longer references — including generations stranded by
+                // a crash mid-checkpoint.
+                sweep_stale_epochs(&d.spec.dir, &d.chain);
+                self.record_checkpoint(&report);
+                Ok(report)
+            }
+        };
         if traced {
             self.tracer.end(
                 pid::SESSION,
                 0,
                 cat::DURABLE,
                 "checkpoint",
-                Args::new().with("epoch", next),
+                Args::new().with("epoch", cut.next).with("ok", outcome.is_ok()),
+            );
+            self.emit_counters();
+        }
+        outcome
+    }
+
+    /// Start a checkpoint behind a **consistent cut** and return
+    /// immediately: the cut clones fragment `Arc`s and encodes program
+    /// states (cheap), creates the next epoch's log, and hands
+    /// serialization + the atomic manifest flip to a background thread
+    /// while this session keeps applying and serving — applies during
+    /// the window mutate copy-on-write and are written to *both* logs,
+    /// so whichever epoch a crash leaves committed replays completely.
+    ///
+    /// Completion is observable on the returned [`CheckpointHandle`];
+    /// the session itself settles the result (epoch advance, or a
+    /// [`SessionError::Checkpoint`] re-wedge on failure) at its next
+    /// `apply`/`checkpoint`/[`Session::finish_checkpoint`]. Dropping
+    /// the session lets an in-flight cut finish on its own.
+    pub fn checkpoint_background(&mut self) -> Result<CheckpointHandle, SessionError> {
+        // One cut at a time: settle any previous one first.
+        self.harvest_pending(true);
+        if self.durable.is_none() {
+            return Err(SessionError::NotDurable);
+        }
+        let traced = self.tracer.enabled();
+        let cut = self.plan_cut();
+        let frags: Vec<Arc<Fragment<V, E>>> = self.backend.fragments().to_vec();
+        let d = self.durable.as_mut().expect("checked above");
+        let new_log = match DeltaLog::create(log_path(&d.spec.dir, cut.next)) {
+            Ok(log) => log,
+            Err(e) => {
+                for (bit, c) in d.dirty.iter_mut().zip(&cut.cut_dirty) {
+                    *bit |= *c;
+                }
+                return Err(SessionError::Snapshot(e));
+            }
+        };
+        let cell: CheckpointCell = Arc::new((Mutex::new(None), Condvar::new()));
+        let dir = d.spec.dir.clone();
+        let save_frags = d.spec.save_frags;
+        let save_diff_frags = d.spec.save_diff_frags;
+        let write_manifest_fn = d.spec.write_manifest;
+        let CutMaterials {
+            next,
+            new_chain,
+            full,
+            cut_dirty,
+            state_files,
+            new_crcs,
+            state_bytes,
+            log_records_at_cut,
+        } = cut;
+        let write_set = cut_dirty.clone();
+        let thread_chain = new_chain.clone();
+        let thread_cell = Arc::clone(&cell);
+        let handle = std::thread::spawn(move || {
+            let result = (move || -> Result<CheckpointReport, String> {
+                let m = frags.len() as u64;
+                let graph_bytes = if full {
+                    save_frags(&graph_path(&dir, next), &frags)
+                } else {
+                    save_diff_frags(&graph_path(&dir, next), frags.len() as u16, &frags, &write_set)
+                }
+                .map_err(|e| e.to_string())?;
+                for (path, bytes) in &state_files {
+                    write_file_atomic(path, bytes).map_err(|e| e.to_string())?;
+                }
+                write_manifest_fn(&dir, &thread_chain).map_err(|e| e.to_string())?;
+                sweep_stale_epochs(&dir, &thread_chain);
+                let fragments_written =
+                    if full { m } else { write_set.iter().filter(|b| **b).count() as u64 };
+                Ok(CheckpointReport {
+                    epoch: next,
+                    fragments_written,
+                    fragments_skipped: m - fragments_written,
+                    bytes: graph_bytes + state_bytes,
+                    log_records_compacted: log_records_at_cut,
+                    differential: !full,
+                })
+            })();
+            let (lock, cvar) = &*thread_cell;
+            *lock.lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+            cvar.notify_all();
+        });
+        d.pending = Some(PendingCut {
+            new_log,
+            new_chain,
+            cut_dirty,
+            new_crcs,
+            new_log_records: 0,
+            wedged_since_cut: false,
+            handle: Some(handle),
+            result: Arc::clone(&cell),
+        });
+        if traced {
+            self.tracer.instant(
+                pid::SESSION,
+                0,
+                cat::DURABLE,
+                "checkpoint_cut",
+                Args::new().with("epoch", next).with("differential", !full),
             );
         }
-        Ok(next)
+        Ok(CheckpointHandle { cell })
     }
+
+    /// Block until an in-flight background checkpoint commits and
+    /// settle it on the session: `Ok(Some(report))` on commit,
+    /// `Ok(None)` when nothing was pending, and the re-wedging
+    /// [`SessionError::Checkpoint`] if the cut failed.
+    pub fn finish_checkpoint(&mut self) -> Result<Option<CheckpointReport>, SessionError> {
+        match self.harvest_pending(true) {
+            None => Ok(None),
+            Some(Ok(report)) => Ok(Some(report)),
+            Some(Err(e)) => Err(e),
+        }
+    }
+
+    /// Swap individual steps of the durable vtable — crash-injection
+    /// suites cut the process at an exact checkpoint point (fragment
+    /// save, manifest flip) by substituting a failing stand-in. `None`
+    /// leaves a step unchanged. No-op on non-durable sessions.
+    #[doc(hidden)]
+    pub fn inject_durable_vtable(
+        &mut self,
+        save_frags: Option<SaveFragsFn<V, E>>,
+        save_diff_frags: Option<SaveDiffFragsFn<V, E>>,
+        write_manifest: Option<WriteManifestFn>,
+    ) {
+        if let Some(d) = &mut self.durable {
+            if let Some(f) = save_frags {
+                d.spec.save_frags = f;
+            }
+            if let Some(f) = save_diff_frags {
+                d.spec.save_diff_frags = f;
+            }
+            if let Some(f) = write_manifest {
+                d.spec.write_manifest = f;
+            }
+        }
+    }
+}
+
+/// Everything a checkpoint writes, fixed at the cut: the epoch, the
+/// chain it commits, the fragment write set, and the pre-encoded
+/// program-state files.
+struct CutMaterials {
+    next: u64,
+    new_chain: Vec<u64>,
+    full: bool,
+    cut_dirty: Vec<bool>,
+    state_files: Vec<(PathBuf, Vec<u8>)>,
+    new_crcs: HashMap<String, StateCrcs>,
+    state_bytes: u64,
+    log_records_at_cut: u64,
 }
 
 #[cfg(test)]

@@ -23,21 +23,38 @@
 //! answer cache — those outputs described the pre-apply graph.
 
 use crate::backend::Backend;
+use crate::durable::StateCrcs;
 use crate::reader::{Fix, Published};
 use crate::SessionError;
 use aap_core::engine::RunState;
 use aap_core::pie::WarmStart;
 use aap_core::publish::EpochCell;
-use aap_core::{Engine, RunStats, WarmStrategy};
+use aap_core::{Engine, PortableFragState, RunStats, WarmStrategy};
 use aap_delta::{plan_incremental_traced, remap_invalid, Applied, GraphDelta};
 use aap_graph::{Fragment, LocalId};
 use aap_sim::SimEngine;
-use aap_snapshot::{load_program_state, save_program_state, Codec, SnapshotError};
+use aap_snapshot::wire::{crc32, Writer};
+use aap_snapshot::{
+    diff_program_state_to_bytes, frag_state_crc, load_program_state_parts, program_state_to_bytes,
+    resolve_state_chain, Codec,
+};
 use aap_trace::Tracer;
 use std::any::Any;
 use std::marker::PhantomData;
-use std::path::Path;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
+
+/// One program's durable form, encoded for the next checkpoint epoch by
+/// [`AnySlot::encode_state`] on the writer thread (cheap relative to
+/// fragment serialization, and it keeps slots off background threads).
+pub(crate) struct EncodedState {
+    /// The file to write at the new epoch — `None` when nothing changed
+    /// since the parent epoch (the chain resolves the shards from older
+    /// files, so no file is written at all).
+    pub(crate) file: Option<Vec<u8>>,
+    /// Fingerprints to diff the *next* checkpoint against.
+    pub(crate) crcs: StateCrcs,
+}
 
 /// The pre-apply half of one program's delta handling: the strategy its
 /// `delta_strategy` chose and, for `warm-increase`, the invalidated
@@ -87,14 +104,21 @@ pub(crate) trait AnySlot<V, E, B>: Any {
     /// The shared publication cell + admission queue, for reader
     /// handles ([`crate::Session::reader`]).
     fn reader_parts(&self) -> (Arc<EpochCell<Published>>, Arc<dyn Any + Send + Sync>);
-    /// Persist query + exported state to `path`; `Ok(false)` when the
-    /// slot has no state yet (nothing written).
-    fn save_state(&self, path: &Path, frags: &[Arc<Fragment<V, E>>])
-        -> Result<bool, SnapshotError>;
-    /// Load query + state from `path` (if it exists), attach against the
-    /// backend's fragments, and settle non-identity remaps through one
-    /// warm round. `Ok(false)` when no file exists.
-    fn load_state(&mut self, path: &Path, backend: &B) -> Result<bool, SessionError>;
+    /// Encode query + exported state for the next checkpoint epoch;
+    /// `None` when the slot has no state yet. With `prev` fingerprints
+    /// the encoding is differential — only changed shards — and may
+    /// skip the file entirely (`file: None`); without them (fresh open,
+    /// post-restore, full baseline) it is a full `STAT` file.
+    fn encode_state(
+        &self,
+        frags: &[Arc<Fragment<V, E>>],
+        prev: Option<&StateCrcs>,
+    ) -> Option<EncodedState>;
+    /// Load query + state from an epoch chain's files (**newest
+    /// first**), resolve the newest version of each shard, attach
+    /// against the backend's fragments, and settle non-identity remaps
+    /// through one warm round. `Ok(false)` when `paths` is empty.
+    fn load_state_chain(&mut self, paths: &[PathBuf], backend: &B) -> Result<bool, SessionError>;
 }
 
 /// The concrete slot for program `P`.
@@ -315,23 +339,53 @@ where
         (Arc::clone(&self.cell), self.pending.clone())
     }
 
-    fn save_state(
+    fn encode_state(
         &self,
-        path: &Path,
         frags: &[Arc<Fragment<V, E>>],
-    ) -> Result<bool, SnapshotError> {
-        let (Some(q), Some(state)) = (self.query.as_ref(), self.state.as_ref()) else {
-            return Ok(false);
+        prev: Option<&StateCrcs>,
+    ) -> Option<EncodedState> {
+        let (q, state) = (self.query.as_ref()?, self.state.as_ref()?);
+        let portable = state.export(frags);
+        let mut qw = Writer::new();
+        q.encode(&mut qw);
+        let crcs = StateCrcs {
+            query: crc32(qw.bytes()),
+            shards: portable.entries().iter().map(frag_state_crc).collect(),
         };
-        save_program_state(path, q, &state.export(frags))?;
-        Ok(true)
+        let total = crcs.shards.len();
+        match prev {
+            Some(p) if p.shards.len() == total => {
+                let changed: Vec<(u16, &PortableFragState<P::State>)> = portable
+                    .entries()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| p.shards[*i] != crcs.shards[*i])
+                    .map(|(i, e)| (i as u16, e))
+                    .collect();
+                let file = if changed.is_empty() && p.query == crcs.query {
+                    None
+                } else {
+                    // A changed query with unchanged shards still needs
+                    // a (shard-less) file: restore takes the retained
+                    // query from the newest chain file.
+                    Some(diff_program_state_to_bytes(q, total as u16, &changed))
+                };
+                Some(EncodedState { file, crcs })
+            }
+            _ => Some(EncodedState { file: Some(program_state_to_bytes(q, &portable)), crcs }),
+        }
     }
 
-    fn load_state(&mut self, path: &Path, backend: &B) -> Result<bool, SessionError> {
-        if !path.exists() {
+    fn load_state_chain(&mut self, paths: &[PathBuf], backend: &B) -> Result<bool, SessionError> {
+        if paths.is_empty() {
             return Ok(false);
         }
-        let (q, portable) = load_program_state::<P::Query, P::State, _>(path)?;
+        let mut parts = Vec::with_capacity(paths.len());
+        for path in paths {
+            parts.push(load_program_state_parts::<P::Query, P::State, _>(path)?);
+        }
+        let q = parts[0].query.clone();
+        let portable = resolve_state_chain(parts)?;
         let (mut state, remaps) = portable
             .attach(backend.fragments())
             .map_err(|e| SessionError::Restore { detail: e.to_string() })?;

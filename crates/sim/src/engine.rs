@@ -181,6 +181,18 @@ impl<V, E> SimEngine<V, E> {
         Some(out)
     }
 
+    /// Copy-on-write access to the fragments: shared `Arc`s (e.g. held
+    /// by an in-flight background checkpoint) are detached by cloning
+    /// the shared fragment, exclusive ones are borrowed in place. See
+    /// `Engine::fragments_cow`.
+    pub fn fragments_cow(&mut self) -> Vec<&mut Fragment<V, E>>
+    where
+        V: Clone,
+        E: Clone,
+    {
+        self.frags.iter_mut().map(Arc::make_mut).collect()
+    }
+
     /// Run one query to fixpoint in virtual time.
     pub fn run<P>(&self, prog: &P, q: &P::Query) -> SimOutput<P::Out>
     where

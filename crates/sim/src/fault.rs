@@ -15,9 +15,60 @@
 //! the configured recovery delay, and resumes. Determinism then guarantees
 //! the recovered run converges to the same fixpoint, which the tests and
 //! the `fault_tolerance` example verify.
+//!
+//! [`SimDurability`] extends the accounting with the serving session's
+//! differential-checkpoint policy: full baselines cost virtual time
+//! proportional to graph size, differential links proportional to churn,
+//! `compact_after` re-baselines the chain, and recovery pays one
+//! link-resolution per chained epoch — so cadence/compaction trade-offs
+//! can be validated in virtual time before touching the real durable
+//! layer (`aap-session`'s `DurabilityPolicy`).
 
 use crate::engine::{SimEngine, SimOutput};
 use aap_core::pie::PieProgram;
+
+/// Virtual-time cost model of the checkpoints themselves — the
+/// simulator mirror of the session's `DurabilityPolicy`: full baselines
+/// cost time proportional to graph size, differential links time
+/// proportional to churn, and `compact_after` bounds how long a chain
+/// grows before the next checkpoint re-baselines. Restoring from a
+/// chain re-reads its links, so recovery is charged per resolved link.
+///
+/// The default model is free (all costs zero, every checkpoint full),
+/// which reproduces the pre-differential accounting exactly.
+#[derive(Debug, Clone, Default)]
+pub struct SimDurability {
+    /// Virtual-time cost of writing a full baseline checkpoint.
+    pub full_cost: f64,
+    /// Virtual-time cost of writing one differential link (and of
+    /// resolving one at recovery).
+    pub diff_cost: f64,
+    /// Differential links between full baselines; `None` keeps every
+    /// checkpoint a full baseline.
+    pub compact_after: Option<usize>,
+}
+
+impl SimDurability {
+    /// Is the `i`-th checkpoint (1-based) a full baseline under this
+    /// model? Mirrors the session policy: the chain re-baselines every
+    /// `compact_after` epochs.
+    fn is_full(&self, i: usize) -> bool {
+        match self.compact_after {
+            None => true,
+            Some(k) => k == 0 || i.is_multiple_of(k),
+        }
+    }
+
+    /// Differential links the `i`-th checkpoint's chain carries — what a
+    /// recovery rolling back to it must resolve.
+    fn chain_links(&self, i: usize) -> usize {
+        match self.compact_after {
+            None => 0,
+            Some(k) if k > 0 => i % k,
+            Some(_) => 0,
+        }
+    }
+}
 
 /// A failure-injection plan for [`run_with_failure`].
 #[derive(Debug, Clone)]
@@ -30,11 +81,18 @@ pub struct FailurePlan {
     /// Extra virtual time charged for recovery (state reload, §6's
     /// "20 seconds to recover").
     pub recovery_delay: f64,
+    /// Cost model of the checkpoints themselves (free by default).
+    pub durability: SimDurability,
 }
 
 impl Default for FailurePlan {
     fn default() -> Self {
-        FailurePlan { checkpoint_every: 10.0, fail_at: 25.0, recovery_delay: 5.0 }
+        FailurePlan {
+            checkpoint_every: 10.0,
+            fail_at: 25.0,
+            recovery_delay: 5.0,
+            durability: SimDurability::default(),
+        }
     }
 }
 
@@ -48,9 +106,19 @@ pub struct RecoveredRun<Out> {
     pub checkpoints_taken: usize,
     /// Virtual time of the checkpoint the run rolled back to.
     pub rolled_back_to: f64,
-    /// Virtual time lost to the failure: work re-executed plus the
-    /// recovery delay.
+    /// Virtual time lost to the failure: work re-executed, the recovery
+    /// delay, and the chain links resolved at restore.
     pub time_lost: f64,
+    /// Full baselines among the checkpoints taken.
+    pub full_checkpoints: usize,
+    /// Differential links among the checkpoints taken.
+    pub differential_checkpoints: usize,
+    /// Virtual time spent *writing* the checkpoints before the failure,
+    /// under the plan's [`SimDurability`] cost model.
+    pub checkpoint_overhead: f64,
+    /// Differential links the recovery resolved (chain length at the
+    /// rollback epoch).
+    pub chain_resolved: usize,
 }
 
 /// Run `prog` with periodic coordinated checkpoints and one injected
@@ -74,26 +142,61 @@ where
     // Failure-free reference run gives the horizon.
     let clean = engine.run(prog, q);
     let horizon = clean.stats.makespan;
+    // Checkpoint-writing overhead under the cost model, counted per
+    // taken checkpoint (full baseline or differential link).
+    let tally = |taken: usize| -> (usize, usize, f64) {
+        let full = (1..=taken).filter(|&i| plan.durability.is_full(i)).count();
+        let diff = taken - full;
+        let overhead =
+            full as f64 * plan.durability.full_cost + diff as f64 * plan.durability.diff_cost;
+        (full, diff, overhead)
+    };
     if plan.fail_at >= horizon {
-        // Failure scheduled after completion: nothing to recover.
+        // Failure scheduled after completion: nothing to recover, but
+        // the checkpoints were still written.
+        let checkpoints_taken = (horizon / plan.checkpoint_every).floor() as usize;
+        let (full_checkpoints, differential_checkpoints, checkpoint_overhead) =
+            tally(checkpoints_taken);
+        let mut output = clean;
+        output.stats.makespan += checkpoint_overhead;
         return RecoveredRun {
-            output: clean,
-            checkpoints_taken: (horizon / plan.checkpoint_every).floor() as usize,
+            output,
+            checkpoints_taken,
             rolled_back_to: horizon,
             time_lost: 0.0,
+            full_checkpoints,
+            differential_checkpoints,
+            checkpoint_overhead,
+            chain_resolved: 0,
         };
     }
     // Only checkpoints *strictly before* the crash are usable.
     let checkpoints_taken =
         ((plan.fail_at - 1e-12) / plan.checkpoint_every).floor().max(0.0) as usize;
     let rolled_back_to = checkpoints_taken as f64 * plan.checkpoint_every;
+    let (full_checkpoints, differential_checkpoints, checkpoint_overhead) =
+        tally(checkpoints_taken);
+    // Restoring a differential epoch resolves its whole chain back to
+    // the last full baseline — one link-read per chained epoch.
+    let chain_resolved = plan.durability.chain_links(checkpoints_taken);
     // Deterministic replay: the run after recovery is the clean run with
     // the segment [rolled_back_to, fail_at] executed twice plus the
-    // recovery delay.
-    let time_lost = (plan.fail_at - rolled_back_to) + plan.recovery_delay;
+    // recovery delay and the chain resolution.
+    let time_lost = (plan.fail_at - rolled_back_to)
+        + plan.recovery_delay
+        + chain_resolved as f64 * plan.durability.diff_cost;
     let mut output = engine.run(prog, q);
-    output.stats.makespan += time_lost;
-    RecoveredRun { output, checkpoints_taken, rolled_back_to, time_lost }
+    output.stats.makespan += time_lost + checkpoint_overhead;
+    RecoveredRun {
+        output,
+        checkpoints_taken,
+        rolled_back_to,
+        time_lost,
+        full_checkpoints,
+        differential_checkpoints,
+        checkpoint_overhead,
+        chain_resolved,
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +217,7 @@ mod tests {
             checkpoint_every: clean.stats.makespan / 5.0,
             fail_at: clean.stats.makespan * 0.7,
             recovery_delay: 1.0,
+            ..FailurePlan::default()
         };
         let rec = run_with_failure(&e, &MinLabel, &(), &plan);
         assert_eq!(rec.output.out, clean.out);
@@ -127,7 +231,12 @@ mod tests {
     #[test]
     fn failure_after_completion_costs_nothing() {
         let e = engine();
-        let plan = FailurePlan { checkpoint_every: 5.0, fail_at: 1e12, recovery_delay: 9.0 };
+        let plan = FailurePlan {
+            checkpoint_every: 5.0,
+            fail_at: 1e12,
+            recovery_delay: 9.0,
+            ..FailurePlan::default()
+        };
         let rec = run_with_failure(&e, &MinLabel, &(), &plan);
         assert_eq!(rec.time_lost, 0.0);
     }
@@ -141,14 +250,92 @@ mod tests {
             &e,
             &MinLabel,
             &(),
-            &FailurePlan { checkpoint_every: fail_at, fail_at, recovery_delay: 0.0 },
+            &FailurePlan {
+                checkpoint_every: fail_at,
+                fail_at,
+                recovery_delay: 0.0,
+                ..FailurePlan::default()
+            },
         );
         let dense = run_with_failure(
             &e,
             &MinLabel,
             &(),
-            &FailurePlan { checkpoint_every: fail_at / 10.0, fail_at, recovery_delay: 0.0 },
+            &FailurePlan {
+                checkpoint_every: fail_at / 10.0,
+                fail_at,
+                recovery_delay: 0.0,
+                ..FailurePlan::default()
+            },
         );
         assert!(dense.time_lost < sparse.time_lost);
+    }
+
+    #[test]
+    fn differential_cadence_is_cheaper_at_the_same_density() {
+        // Ten checkpoints before the failure; churn-proportional links
+        // at a tenth of the full-baseline cost. The differential policy
+        // must cut the writing overhead without changing the fixpoint.
+        let e = engine();
+        let clean = e.run(&MinLabel, &());
+        let fail_at = clean.stats.makespan * 0.95;
+        let base = FailurePlan {
+            checkpoint_every: fail_at / 10.0,
+            fail_at,
+            recovery_delay: 0.0,
+            durability: SimDurability { full_cost: 8.0, diff_cost: 0.8, compact_after: None },
+        };
+        let all_full = run_with_failure(&e, &MinLabel, &(), &base);
+        let differential = run_with_failure(
+            &e,
+            &MinLabel,
+            &(),
+            &FailurePlan {
+                durability: SimDurability { compact_after: Some(5), ..base.durability.clone() },
+                ..base.clone()
+            },
+        );
+        assert_eq!(differential.output.out, all_full.output.out);
+        assert_eq!(all_full.differential_checkpoints, 0);
+        assert!(differential.differential_checkpoints > 0);
+        assert!(differential.checkpoint_overhead < all_full.checkpoint_overhead);
+        assert!(
+            differential.output.stats.makespan < all_full.output.stats.makespan,
+            "cheaper checkpoints shorten the virtual makespan"
+        );
+    }
+
+    #[test]
+    fn recovery_from_a_chain_pays_per_resolved_link() {
+        // Rolling back to an epoch with 4 chained links must charge 4
+        // link-resolutions on top of the re-execution window; rolling
+        // back to a full baseline charges none.
+        let e = engine();
+        let clean = e.run(&MinLabel, &());
+        let fail_after = |n: usize, compact_after: usize| {
+            let every = clean.stats.makespan / 20.0;
+            run_with_failure(
+                &e,
+                &MinLabel,
+                &(),
+                &FailurePlan {
+                    checkpoint_every: every,
+                    fail_at: every * (n as f64 + 0.5),
+                    recovery_delay: 0.0,
+                    durability: SimDurability {
+                        full_cost: 4.0,
+                        diff_cost: 1.0,
+                        compact_after: Some(compact_after),
+                    },
+                },
+            )
+        };
+        let mid_chain = fail_after(9, 5); // epochs 1-4 diff, 5 full, 6-9 diff
+        assert_eq!(mid_chain.chain_resolved, 4);
+        let at_baseline = fail_after(10, 5); // epoch 10 is a full baseline
+        assert_eq!(at_baseline.chain_resolved, 0);
+        // Both roll back half a cadence; the mid-chain recovery pays
+        // exactly its 4 link-resolutions (diff_cost = 1.0) on top.
+        assert!((mid_chain.time_lost - at_baseline.time_lost - 4.0).abs() < 1e-6);
     }
 }

@@ -36,5 +36,5 @@ pub mod timeline;
 
 pub use cost::CostModel;
 pub use engine::{SimEngine, SimOpts, SimOutput};
-pub use fault::{run_with_failure, FailurePlan, RecoveredRun};
+pub use fault::{run_with_failure, FailurePlan, RecoveredRun, SimDurability};
 pub use timeline::{render_gantt, timeline_to_trace, Span, SpanKind, Timeline, TRACE_US_PER_UNIT};

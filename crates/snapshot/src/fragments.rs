@@ -42,6 +42,10 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"AAPSNAP\0";
 pub const SNAPSHOT_VERSION: u16 = 1;
 const FRAG_TAG: [u8; 4] = *b"FRAG";
 const STAT_TAG: [u8; 4] = *b"STAT";
+/// Section tag of a *differential* fragment payload: a subset of the
+/// partition's fragments, each embedding its own id, resolved against
+/// older epochs by [`resolve_fragment_chain`].
+pub const DIFF_FRAG_TAG: [u8; 4] = *b"DFRG";
 
 /// A snapshot loaded back into memory: the fragment set (with routing
 /// tables re-derived) and, if the file carried one, the retained state.
@@ -181,12 +185,28 @@ fn validate_partition<V, E>(frags: &[Fragment<V, E>]) -> Result<(), SnapshotErro
     Ok(())
 }
 
+pub(crate) fn encode_frag_state<St: Codec>(entry: &PortableFragState<St>, w: &mut Writer) {
+    entry.globals.encode(w);
+    w.put_len(entry.owned);
+    entry.state.encode(w);
+}
+
+pub(crate) fn decode_frag_state<St: Codec>(
+    r: &mut Reader<'_>,
+) -> Result<PortableFragState<St>, SnapshotError> {
+    let globals = Vec::<VertexId>::decode(r)?;
+    let owned = r.get_len(0)?;
+    if owned > globals.len() {
+        return Err(SnapshotError::corrupt("owned count exceeds globals"));
+    }
+    let state = St::decode(r)?;
+    Ok(PortableFragState { globals, owned, state })
+}
+
 pub(crate) fn encode_portable_state<St: Codec>(state: &PortableRunState<St>, w: &mut Writer) {
     w.put_len(state.len());
     for entry in state.entries() {
-        entry.globals.encode(w);
-        w.put_len(entry.owned);
-        entry.state.encode(w);
+        encode_frag_state(entry, w);
     }
 }
 
@@ -196,13 +216,7 @@ pub(crate) fn decode_portable_state<St: Codec>(
     let m = r.get_len(8)?;
     let mut entries = Vec::with_capacity(m);
     for _ in 0..m {
-        let globals = Vec::<VertexId>::decode(r)?;
-        let owned = r.get_len(0)?;
-        if owned > globals.len() {
-            return Err(SnapshotError::corrupt("owned count exceeds globals"));
-        }
-        let state = St::decode(r)?;
-        entries.push(PortableFragState { globals, owned, state });
+        entries.push(decode_frag_state::<St>(r)?);
     }
     Ok(PortableRunState::from_entries(entries))
 }
@@ -334,4 +348,192 @@ where
     let path = path.as_ref();
     let bytes = std::fs::read(path).map_err(|e| SnapshotError::io(path, e))?;
     snapshot_from_bytes(&bytes).map_err(|e| e.at(path))
+}
+
+/// The fragments carried by one snapshot file in an epoch chain: either
+/// a full partition (`FRAG` section) or a differential subset (`DFRG`).
+/// Produced by [`fragment_parts_from_bytes`]; fed newest-first to
+/// [`resolve_fragment_chain`].
+#[derive(Debug)]
+pub struct FragmentParts<V, E> {
+    /// Total fragment count of the partition the file belongs to.
+    pub num_frags: u16,
+    /// The fragments this file carries (all of them for a full file).
+    pub fragments: Vec<Fragment<V, E>>,
+    /// True if the file held a `DFRG` (subset) section.
+    pub differential: bool,
+}
+
+/// Serialize a *differential* snapshot: the subset of fragments whose
+/// bytes changed since the parent epoch. `num_frags` is the partition's
+/// total fragment count (the file may carry fewer). Restore resolves
+/// the newest version of each fragment across the epoch chain with
+/// [`resolve_fragment_chain`].
+pub fn diff_snapshot_to_bytes<V, E, F>(num_frags: u16, frags: &[F]) -> Vec<u8>
+where
+    V: Codec,
+    E: Codec,
+    F: Borrow<Fragment<V, E>>,
+{
+    let mut out = Writer::new();
+    out.put_bytes(&SNAPSHOT_MAGIC);
+    out.put_u16(SNAPSHOT_VERSION);
+    out.put_u16(0); // flags, reserved
+    let mut payload = Writer::new();
+    payload.put_u16(num_frags);
+    payload.put_u16(frags.len() as u16);
+    for f in frags {
+        encode_fragment(f.borrow(), &mut payload);
+    }
+    write_section(&mut out, DIFF_FRAG_TAG, payload.bytes());
+    out.into_bytes()
+}
+
+/// Write a differential snapshot file (atomic temp-file + rename).
+pub fn save_diff_snapshot<V, E, F, P>(
+    path: P,
+    num_frags: u16,
+    frags: &[F],
+) -> Result<(), SnapshotError>
+where
+    V: Codec,
+    E: Codec,
+    F: Borrow<Fragment<V, E>>,
+    P: AsRef<Path>,
+{
+    crate::write_file_atomic(path.as_ref(), &diff_snapshot_to_bytes(num_frags, frags))
+}
+
+/// Parse the fragments of one chain file — full (`FRAG`) or
+/// differential (`DFRG`) — *without* cross-fragment validation or
+/// routing rebuild; those run once over the assembled partition in
+/// [`resolve_fragment_chain`]. A trailing `STAT` section on a full file
+/// is skipped (its frame is still checksum-verified).
+pub fn fragment_parts_from_bytes<V, E>(bytes: &[u8]) -> Result<FragmentParts<V, E>, SnapshotError>
+where
+    V: Codec,
+    E: Codec,
+{
+    let mut r = Reader::new(bytes);
+    let magic = r.get_bytes(8, "file header")?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::new(ErrorKind::BadMagic));
+    }
+    let version = r.get_u16()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::new(ErrorKind::BadVersion {
+            found: version,
+            supported: SNAPSHOT_VERSION,
+        }));
+    }
+    let _flags = r.get_u16()?;
+
+    // Peek the section tag to pick the payload shape.
+    let differential = {
+        let mut probe = Reader::new(bytes);
+        probe.get_bytes(12, "file header")?;
+        probe.get_bytes(4, "section tag")? == DIFF_FRAG_TAG
+    };
+    let (num_frags, count, payload) = if differential {
+        let payload = read_section(&mut r, DIFF_FRAG_TAG, "differential fragment section")?;
+        let mut fr = Reader::new(payload);
+        let total = fr.get_u16()?;
+        let count = fr.get_u16()? as usize;
+        (total, count, fr)
+    } else {
+        let payload = read_section(&mut r, FRAG_TAG, "fragment section")?;
+        let mut fr = Reader::new(payload);
+        let m = fr.get_u16()?;
+        (m, m as usize, fr)
+    };
+    let mut fr = payload;
+    let mut fragments: Vec<Fragment<V, E>> = Vec::with_capacity(count);
+    for _ in 0..count {
+        let f = decode_fragment::<V, E>(&mut fr)?;
+        if f.id() >= num_frags || f.num_frags() != num_frags {
+            return Err(SnapshotError::corrupt("fragment ids disagree with partition size"));
+        }
+        fragments.push(f);
+    }
+    if !fr.is_exhausted() {
+        return Err(SnapshotError::corrupt("trailing bytes in fragment section"));
+    }
+    if differential {
+        let mut seen = vec![false; num_frags as usize];
+        for f in &fragments {
+            if std::mem::replace(&mut seen[f.id() as usize], true) {
+                return Err(SnapshotError::corrupt("duplicate fragment id in differential file"));
+            }
+        }
+    }
+    if !differential {
+        // Full files must cover ids 0..m in order (same rule as
+        // `snapshot_from_bytes`).
+        for (i, f) in fragments.iter().enumerate() {
+            if f.id() as usize != i {
+                return Err(SnapshotError::corrupt("fragment ids disagree with partition size"));
+            }
+        }
+        // Skip (but still frame-verify) a trailing STAT section.
+        if r.remaining() > 0 {
+            read_section(&mut r, STAT_TAG, "state section")?;
+        }
+    }
+    if !r.is_exhausted() {
+        return Err(SnapshotError::corrupt("trailing bytes after the last section"));
+    }
+    Ok(FragmentParts { num_frags, fragments, differential })
+}
+
+/// Read one chain file's fragments; errors carry the path.
+pub fn load_fragment_parts<V, E, P>(path: P) -> Result<FragmentParts<V, E>, SnapshotError>
+where
+    V: Codec,
+    E: Codec,
+    P: AsRef<Path>,
+{
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| SnapshotError::io(path, e))?;
+    fragment_parts_from_bytes(&bytes).map_err(|e| e.at(path))
+}
+
+/// Resolve an epoch chain — files ordered **newest first**, ending at a
+/// full baseline — into the current partition: for each fragment id the
+/// newest version wins, coverage must be complete, and the assembled
+/// set is cross-validated with routing tables re-derived (exactly what
+/// [`snapshot_from_bytes`] guarantees for a single full file).
+pub fn resolve_fragment_chain<V, E>(
+    parts_newest_first: Vec<FragmentParts<V, E>>,
+) -> Result<Vec<Fragment<V, E>>, SnapshotError> {
+    let Some(first) = parts_newest_first.first() else {
+        return Err(SnapshotError::corrupt("empty snapshot chain"));
+    };
+    let m = first.num_frags as usize;
+    let mut resolved: Vec<Option<Fragment<V, E>>> = (0..m).map(|_| None).collect();
+    let mut missing = m;
+    for parts in parts_newest_first {
+        if parts.num_frags as usize != m {
+            return Err(SnapshotError::corrupt("chain files disagree on partition size"));
+        }
+        for f in parts.fragments {
+            let slot = &mut resolved[f.id() as usize];
+            if slot.is_none() {
+                *slot = Some(f);
+                missing -= 1;
+            }
+        }
+        if missing == 0 {
+            break;
+        }
+    }
+    if missing > 0 {
+        return Err(SnapshotError::corrupt(format!(
+            "snapshot chain leaves {missing} of {m} fragments unresolved"
+        )));
+    }
+    let mut fragments: Vec<Fragment<V, E>> =
+        resolved.into_iter().map(|f| f.expect("coverage checked")).collect();
+    validate_partition(&fragments)?;
+    rebuild_routing_tables(&mut fragments);
+    Ok(fragments)
 }

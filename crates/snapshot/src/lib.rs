@@ -58,13 +58,17 @@ pub mod wire;
 
 pub use codec::Codec;
 pub use fragments::{
-    load_snapshot, save_snapshot, snapshot_from_bytes, snapshot_to_bytes, LoadedSnapshot,
-    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    diff_snapshot_to_bytes, fragment_parts_from_bytes, load_fragment_parts, load_snapshot,
+    resolve_fragment_chain, save_diff_snapshot, save_snapshot, snapshot_from_bytes,
+    snapshot_to_bytes, FragmentParts, LoadedSnapshot, DIFF_FRAG_TAG, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
 };
 pub use log::{recover_bytes, replay_bytes, DeltaLog, RecoveredLog, LOG_MAGIC, LOG_VERSION};
 pub use program::{
-    load_program_state, program_state_from_bytes, program_state_to_bytes, save_program_state,
-    PROGRAM_STATE_MAGIC, PROGRAM_STATE_VERSION,
+    diff_program_state_to_bytes, frag_state_crc, load_program_state, load_program_state_parts,
+    program_state_from_bytes, program_state_parts_from_bytes, program_state_to_bytes,
+    resolve_state_chain, save_diff_program_state, save_program_state, ProgramStateParts,
+    DIFF_STAT_TAG, PROGRAM_STATE_MAGIC, PROGRAM_STATE_VERSION,
 };
 
 use aap_core::engine::{EngineOpts, RunState};

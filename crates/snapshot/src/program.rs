@@ -25,10 +25,12 @@
 //! exactly like the snapshot/delta-log formats.
 
 use crate::codec::Codec;
-use crate::fragments::{decode_portable_state, encode_portable_state};
+use crate::fragments::{
+    decode_frag_state, decode_portable_state, encode_frag_state, encode_portable_state,
+};
 use crate::wire::{read_section, write_section, Reader, Writer};
 use crate::{ErrorKind, SnapshotError};
-use aap_core::PortableRunState;
+use aap_core::{PortableFragState, PortableRunState};
 use std::path::Path;
 
 /// File magic of per-program state files.
@@ -37,6 +39,10 @@ pub const PROGRAM_STATE_MAGIC: [u8; 8] = *b"AAPPROG\0";
 pub const PROGRAM_STATE_VERSION: u16 = 1;
 const QUERY_TAG: [u8; 4] = *b"QURY";
 const STAT_TAG: [u8; 4] = *b"STAT";
+/// Section tag of a *differential* state payload: a subset of the
+/// per-fragment state shards, each tagged with its fragment id,
+/// resolved against older epochs by [`resolve_state_chain`].
+pub const DIFF_STAT_TAG: [u8; 4] = *b"DSTA";
 
 /// Serialize one program's durable form — its query plus portable
 /// retained state — to bytes.
@@ -119,4 +125,187 @@ where
     let path = path.as_ref();
     let bytes = std::fs::read(path).map_err(|e| SnapshotError::io(path, e))?;
     program_state_from_bytes(&bytes).map_err(|e| e.at(path))
+}
+
+/// One program-state chain file parsed into resolvable parts: the query
+/// plus (fragment id, shard) pairs — all ids for a full (`STAT`) file,
+/// a subset for a differential (`DSTA`) one.
+#[derive(Debug)]
+pub struct ProgramStateParts<Q, St> {
+    /// The query the retained state answers.
+    pub query: Q,
+    /// Total fragment count of the partition the state belongs to.
+    pub total: u16,
+    /// The shards this file carries, tagged with their fragment ids.
+    pub entries: Vec<(u16, PortableFragState<St>)>,
+    /// True if the file held a `DSTA` (subset) section.
+    pub differential: bool,
+}
+
+/// Serialize a *differential* program-state file: only the shards whose
+/// bytes changed since the parent epoch, each tagged with its fragment
+/// id. `total` is the partition's fragment count.
+pub fn diff_program_state_to_bytes<Q: Codec, St: Codec>(
+    query: &Q,
+    total: u16,
+    entries: &[(u16, &PortableFragState<St>)],
+) -> Vec<u8> {
+    let mut out = Writer::new();
+    out.put_bytes(&PROGRAM_STATE_MAGIC);
+    out.put_u16(PROGRAM_STATE_VERSION);
+    out.put_u16(0); // flags, reserved
+    let mut qp = Writer::new();
+    query.encode(&mut qp);
+    write_section(&mut out, QUERY_TAG, qp.bytes());
+    let mut sp = Writer::new();
+    sp.put_u16(total);
+    sp.put_u16(entries.len() as u16);
+    for (id, entry) in entries {
+        sp.put_u16(*id);
+        encode_frag_state(entry, &mut sp);
+    }
+    write_section(&mut out, DIFF_STAT_TAG, sp.bytes());
+    out.into_bytes()
+}
+
+/// Write a differential program-state file (atomic temp-file + rename).
+pub fn save_diff_program_state<Q, St, P>(
+    path: P,
+    query: &Q,
+    total: u16,
+    entries: &[(u16, &PortableFragState<St>)],
+) -> Result<(), SnapshotError>
+where
+    Q: Codec,
+    St: Codec,
+    P: AsRef<Path>,
+{
+    crate::write_file_atomic(path.as_ref(), &diff_program_state_to_bytes(query, total, entries))
+}
+
+/// CRC32 fingerprint of one shard's encoded bytes — what differential
+/// state checkpoints compare across epochs to decide which shards a
+/// [`diff_program_state_to_bytes`] file must carry.
+pub fn frag_state_crc<St: Codec>(entry: &PortableFragState<St>) -> u32 {
+    let mut w = Writer::new();
+    encode_frag_state(entry, &mut w);
+    crate::wire::crc32(w.bytes())
+}
+
+/// Parse one program-state chain file — full (`STAT`) or differential
+/// (`DSTA`) — into id-tagged shards for [`resolve_state_chain`].
+pub fn program_state_parts_from_bytes<Q: Codec, St: Codec>(
+    bytes: &[u8],
+) -> Result<ProgramStateParts<Q, St>, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.get_bytes(8, "file header")?;
+    if magic != PROGRAM_STATE_MAGIC {
+        return Err(SnapshotError::new(ErrorKind::BadMagic));
+    }
+    let version = r.get_u16()?;
+    if version != PROGRAM_STATE_VERSION {
+        return Err(SnapshotError::new(ErrorKind::BadVersion {
+            found: version,
+            supported: PROGRAM_STATE_VERSION,
+        }));
+    }
+    let _flags = r.get_u16()?;
+
+    let qp = read_section(&mut r, QUERY_TAG, "query section")?;
+    let mut qr = Reader::new(qp);
+    let query = Q::decode(&mut qr)?;
+    if !qr.is_exhausted() {
+        return Err(SnapshotError::corrupt("trailing bytes in query section"));
+    }
+
+    // Peek the next section tag to pick the payload shape.
+    let differential = {
+        let consumed = bytes.len() - r.remaining();
+        bytes.get(consumed..consumed + 4) == Some(&DIFF_STAT_TAG)
+    };
+    let (total, entries) = if differential {
+        let sp = read_section(&mut r, DIFF_STAT_TAG, "differential state section")?;
+        let mut sr = Reader::new(sp);
+        let total = sr.get_u16()?;
+        let count = sr.get_u16()? as usize;
+        let mut entries = Vec::with_capacity(count);
+        let mut seen = vec![false; total as usize];
+        for _ in 0..count {
+            let id = sr.get_u16()?;
+            if id >= total || std::mem::replace(&mut seen[id as usize], true) {
+                return Err(SnapshotError::corrupt("bad fragment id in differential state"));
+            }
+            entries.push((id, decode_frag_state::<St>(&mut sr)?));
+        }
+        if !sr.is_exhausted() {
+            return Err(SnapshotError::corrupt("trailing bytes in state section"));
+        }
+        (total, entries)
+    } else {
+        let sp = read_section(&mut r, STAT_TAG, "state section")?;
+        let mut sr = Reader::new(sp);
+        let state = decode_portable_state::<St>(&mut sr)?;
+        if !sr.is_exhausted() {
+            return Err(SnapshotError::corrupt("trailing bytes in state section"));
+        }
+        let entries: Vec<(u16, PortableFragState<St>)> =
+            state.into_entries().into_iter().enumerate().map(|(i, e)| (i as u16, e)).collect();
+        (entries.len() as u16, entries)
+    };
+    if !r.is_exhausted() {
+        return Err(SnapshotError::corrupt("trailing bytes after the last section"));
+    }
+    Ok(ProgramStateParts { query, total, entries, differential })
+}
+
+/// Read one program-state chain file; errors carry the path.
+pub fn load_program_state_parts<Q, St, P>(
+    path: P,
+) -> Result<ProgramStateParts<Q, St>, SnapshotError>
+where
+    Q: Codec,
+    St: Codec,
+    P: AsRef<Path>,
+{
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| SnapshotError::io(path, e))?;
+    program_state_parts_from_bytes(&bytes).map_err(|e| e.at(path))
+}
+
+/// Resolve a program's state across an epoch chain — parts ordered
+/// **newest first**, ending at a full baseline — into the current
+/// [`PortableRunState`]: the newest shard per fragment id wins and
+/// coverage must be complete.
+pub fn resolve_state_chain<Q, St>(
+    parts_newest_first: Vec<ProgramStateParts<Q, St>>,
+) -> Result<PortableRunState<St>, SnapshotError> {
+    let Some(first) = parts_newest_first.first() else {
+        return Err(SnapshotError::corrupt("empty program-state chain"));
+    };
+    let total = first.total as usize;
+    let mut resolved: Vec<Option<PortableFragState<St>>> = (0..total).map(|_| None).collect();
+    let mut missing = total;
+    for parts in parts_newest_first {
+        if parts.total as usize != total {
+            return Err(SnapshotError::corrupt("chain files disagree on partition size"));
+        }
+        for (id, entry) in parts.entries {
+            let slot = &mut resolved[id as usize];
+            if slot.is_none() {
+                *slot = Some(entry);
+                missing -= 1;
+            }
+        }
+        if missing == 0 {
+            break;
+        }
+    }
+    if missing > 0 {
+        return Err(SnapshotError::corrupt(format!(
+            "program-state chain leaves {missing} of {total} shards unresolved"
+        )));
+    }
+    Ok(PortableRunState::from_entries(
+        resolved.into_iter().map(|e| e.expect("coverage checked")).collect(),
+    ))
 }

@@ -21,11 +21,13 @@ use aap_graph::partition::{
     build_fragments_n, build_fragments_vertex_cut_n, hash_partition, vertex_cut_partition,
 };
 use aap_graph::{generate, Fragment, Graph};
-use aap_session::{edge_cut, vertex_cut, Session};
+use aap_session::{edge_cut, vertex_cut, DurabilityPolicy, Session, SessionError};
 use aap_sim::{SimEngine, SimOpts};
-use aap_snapshot::{program_state_to_bytes, restore_engine, save_engine, DeltaLog};
+use aap_snapshot::{
+    program_state_to_bytes, restore_engine, save_engine, write_file_atomic, DeltaLog, SnapshotError,
+};
 use proptest::prelude::*;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -369,11 +371,12 @@ fn cc_bytes(st: &RunState<CcState>, frags: &[Arc<Fragment<(), u32>>]) -> Vec<u8>
 /// after **every** batch, assert the session's outputs *and retained
 /// states* are identical to the hand-rolled composition — one
 /// `Engine` + `run_incremental_with` + `save_engine`/`DeltaLog` per
-/// program. A `checkpoint()` fires mid-stream; at the end the directory
-/// is restored into a fresh session (`load → attach → replay`) and into
-/// fresh hand-rolled engines (`restore_engine` + `replay`), and all
-/// three lineages must agree **byte-for-byte** in their exported
-/// states.
+/// program. The session checkpoints **differentially** at two points
+/// mid-stream (so restore resolves a real epoch chain, not a single
+/// baseline); at the end the directory is restored into a fresh
+/// session (`load → attach → replay`) and into fresh hand-rolled
+/// engines (`restore_engine` + `replay`), and all three lineages must
+/// agree **byte-for-byte** in their exported states.
 ///
 /// Panics (with `label` context) on any divergence; cleans up its
 /// scratch directories.
@@ -401,8 +404,8 @@ pub fn assert_session_equiv(
         .max_rounds(200_000)
         .program("sssp", Sssp)
         .program("cc", ConnectedComponents)
-        .durable(&dir)
-        .unwrap_or_else(|e| panic!("{label}: durable: {e}"))
+        .durability(DurabilityPolicy::new(&dir))
+        .unwrap_or_else(|e| panic!("{label}: durability: {e}"))
         .open()
         .unwrap_or_else(|e| panic!("{label}: open: {e}"));
     let s_out0 = session.query::<Sssp>("sssp", &src).unwrap();
@@ -425,7 +428,10 @@ pub fn assert_session_equiv(
 
     let mut report = SessionEquivReport::default();
     let mut bufs = EditBuffers::default();
-    let checkpoint_at = deltas.len() / 2;
+    // Two differential checkpoints mid-stream: restore must resolve the
+    // newest version of every fragment/state shard across a 3-epoch
+    // chain, not load one baseline.
+    let checkpoints = [deltas.len() / 3, 2 * deltas.len() / 3];
     for (i, delta) in deltas.iter().enumerate() {
         let rep = session.apply(delta).unwrap_or_else(|e| panic!("{label}: apply {i}: {e}"));
         let rs = run_incremental_with(&mut eng_s, &Sssp, &src, delta, &mut st_s, &mut bufs);
@@ -468,7 +474,7 @@ pub fn assert_session_equiv(
             "{label}: batch {i} CC state [{kind:?}, {mode:?}]"
         );
 
-        if i + 1 == checkpoint_at {
+        if checkpoints.contains(&(i + 1)) {
             session.checkpoint().unwrap_or_else(|e| panic!("{label}: checkpoint: {e}"));
             save_engine(&snap_s, &eng_s, Some(&st_s)).unwrap();
             save_engine(&snap_c, &eng_c, Some(&st_c)).unwrap();
@@ -477,6 +483,13 @@ pub fn assert_session_equiv(
         }
     }
     drop(log);
+    if deltas.len() >= 3 {
+        assert!(
+            session.epoch_chain().is_some_and(|c| c.len() >= 3),
+            "{label}: two differential checkpoints must leave a 3-epoch chain, got {:?}",
+            session.epoch_chain()
+        );
+    }
 
     // --- restart both lineages and demand byte-identical states ---
     let mut session2: Session<(), u32, _> = Session::restore(&dir)
@@ -598,4 +611,306 @@ pub fn assert_session_equiv_sim(
             "{label}: sim batch {i} CC state"
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// Crash injection
+// ---------------------------------------------------------------------
+
+/// Where [`assert_crash_restore_equiv`] kills the durable machinery
+/// (by swapping one durable-vtable step for a failing stand-in and then
+/// dropping the session — the in-process equivalent of `kill -9` at
+/// that exact instruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Between a differential epoch's commit (the manifest flip) and
+    /// the log rotation/sweep that retires the superseded log: the new
+    /// chain is durable but the old generation is stranded on disk.
+    CommittedBeforeRotation,
+    /// Mid-compaction: the chain-collapsing full baseline dies before
+    /// anything of the next epoch commits; the old chain plus its
+    /// complete log must keep serving and restoring.
+    MidCompaction,
+    /// Mid-background-serialize: the consistent cut is taken and
+    /// applies keep landing (copy-on-write, dual-logged) while the
+    /// serialize thread dies; the pre-cut chain plus the primary log
+    /// hold everything.
+    MidBackgroundSerialize,
+}
+
+/// All three kill points, for matrix loops.
+pub const CRASH_POINTS: [CrashPoint; 3] = [
+    CrashPoint::CommittedBeforeRotation,
+    CrashPoint::MidCompaction,
+    CrashPoint::MidBackgroundSerialize,
+];
+
+/// A real `SnapshotError` (not a hand-built variant): writing under a
+/// root that cannot exist.
+fn injected_io_error() -> SnapshotError {
+    write_file_atomic(Path::new("/nonexistent-aap-crashkit/die"), b"")
+        .expect_err("writing under a nonexistent root must fail")
+}
+
+/// The commit succeeds — the manifest durably flips — and the process
+/// "dies" before control returns to the rotation/sweep.
+fn flip_then_die(dir: &Path, chain: &[u64]) -> Result<(), SessionError> {
+    aap_session::default_write_manifest(dir, chain)?;
+    Err(SessionError::Checkpoint { detail: "injected kill after manifest flip".into() })
+}
+
+/// The baseline save dies before writing anything.
+fn save_frags_die(_path: &Path, _frags: &[Arc<Fragment<(), u32>>]) -> Result<u64, SnapshotError> {
+    Err(injected_io_error())
+}
+
+/// Park the background serialize thread until the driver drops the
+/// `CRASH_GO` marker next to the snapshot path (bounded, so a driver
+/// bug times out instead of hanging the suite) — the window in which
+/// the driver provably overlaps applies with the in-flight cut.
+fn wait_for_go(snap_path: &Path) {
+    let go = snap_path.parent().expect("snap path lives in the session dir").join("CRASH_GO");
+    for _ in 0..5000 {
+        if go.exists() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+
+fn save_frags_block_then_die(
+    path: &Path,
+    _frags: &[Arc<Fragment<(), u32>>],
+) -> Result<u64, SnapshotError> {
+    wait_for_go(path);
+    Err(injected_io_error())
+}
+
+fn save_diff_frags_block_then_die(
+    path: &Path,
+    _num_frags: u16,
+    _frags: &[Arc<Fragment<(), u32>>],
+    _dirty: &[bool],
+) -> Result<u64, SnapshotError> {
+    wait_for_go(path);
+    Err(injected_io_error())
+}
+
+/// The crash-injection driver: run a durable session (SSSP + CC) to a
+/// non-trivial epoch chain, kill it at `point`, and assert a restore of
+/// the directory lands **byte-identical** with the live session at the
+/// moment of the kill — then that the revived directory still applies
+/// and checkpoints. Needs `deltas.len() >= 3`.
+#[allow(clippy::too_many_arguments)]
+pub fn assert_crash_restore_equiv(
+    g0: &Graph<(), u32>,
+    src: u32,
+    deltas: &[GraphDelta<(), u32>],
+    kind: PartitionKind,
+    m: usize,
+    mode: Mode,
+    point: CrashPoint,
+    label: &str,
+) {
+    assert!(deltas.len() >= 3, "{label}: need pre-checkpoint, pre-crash and in-crash batches");
+    let dir = scratch_dir("crash");
+    let spec = match kind {
+        PartitionKind::EdgeCut => edge_cut(m),
+        PartitionKind::VertexCut => vertex_cut(m),
+    };
+    let mut policy = DurabilityPolicy::new(&dir);
+    if point == CrashPoint::MidCompaction {
+        policy = policy.compact_after(2); // the crashing checkpoint compacts
+    }
+    if point == CrashPoint::MidBackgroundSerialize {
+        policy = policy.background(true);
+    }
+    let mut session = Session::builder(g0.clone())
+        .partition(spec)
+        .mode(mode.clone())
+        .threads(4)
+        .max_rounds(200_000)
+        .program("sssp", Sssp)
+        .program("cc", ConnectedComponents)
+        .durability(policy)
+        .unwrap_or_else(|e| panic!("{label}: durability: {e}"))
+        .open()
+        .unwrap_or_else(|e| panic!("{label}: open: {e}"));
+    session.query::<Sssp>("sssp", &src).unwrap();
+    session.query::<ConnectedComponents>("cc", &()).unwrap();
+
+    // Apply all but the last batch, checkpointing after the first so
+    // the crash lands on the differential chain [1, 0].
+    let (head, tail) = deltas.split_at(deltas.len() - 1);
+    for (i, delta) in head.iter().enumerate() {
+        session.apply(delta).unwrap_or_else(|e| panic!("{label}: apply {i}: {e}"));
+        if i == 0 {
+            session.checkpoint().unwrap_or_else(|e| panic!("{label}: checkpoint: {e}"));
+        }
+    }
+    assert_eq!(session.epoch_chain(), Some(&[1, 0][..]), "{label}: pre-crash chain");
+
+    match point {
+        CrashPoint::CommittedBeforeRotation => {
+            session.inject_durable_vtable(None, None, Some(flip_then_die));
+            let err = session.checkpoint().expect_err("flip-then-die must surface");
+            assert!(matches!(err, SessionError::Checkpoint { .. }), "{label}: {err}");
+            // Epoch 2 is durably committed; the rotation never ran.
+            assert!(dir.join("graph.2.snap").exists(), "{label}: committed epoch file");
+            assert!(dir.join("deltas.1.dlog").exists(), "{label}: superseded log stranded");
+        }
+        CrashPoint::MidCompaction => {
+            session.inject_durable_vtable(Some(save_frags_die), None, None);
+            let err = session.checkpoint().expect_err("compaction save must die");
+            assert!(matches!(err, SessionError::Snapshot(_)), "{label}: {err}");
+            assert!(!dir.join("graph.2.snap").exists(), "{label}: nothing of epoch 2 on disk");
+            // A failed compaction is recoverable: the dirty set is
+            // restored and the session keeps applying against the old
+            // chain and its still-live log.
+            session.apply(&tail[0]).unwrap_or_else(|e| panic!("{label}: post-crash apply: {e}"));
+        }
+        CrashPoint::MidBackgroundSerialize => {
+            session.inject_durable_vtable(
+                Some(save_frags_block_then_die),
+                Some(save_diff_frags_block_then_die),
+                None,
+            );
+            let handle =
+                session.checkpoint_background().unwrap_or_else(|e| panic!("{label}: cut: {e}"));
+            // The cut is in flight (its thread parks on the marker):
+            // this apply mutates copy-on-write and dual-writes its
+            // delta to both epoch logs.
+            session.apply(&tail[0]).unwrap_or_else(|e| panic!("{label}: in-cut apply: {e}"));
+            std::fs::write(dir.join("CRASH_GO"), b"").unwrap();
+            let err = handle.wait().expect_err("injected serialize failure");
+            assert!(matches!(err, SessionError::Checkpoint { .. }), "{label}: {err}");
+            // Killed before the writer harvests: the session-side epoch
+            // never advances and restore sees the pre-cut chain.
+        }
+    }
+
+    // The "kill": capture the live truth, then drop the process image.
+    let frags = session.fragments();
+    let live_s = sssp_bytes(src, session.run_state::<Sssp>("sssp").unwrap().unwrap(), frags);
+    let live_c = cc_bytes(session.run_state::<ConnectedComponents>("cc").unwrap().unwrap(), frags);
+    let out_s = session.query::<Sssp>("sssp", &src).unwrap();
+    let out_c = session.query::<ConnectedComponents>("cc", &()).unwrap();
+    drop(session);
+
+    let mut restored: Session<(), u32, _> = Session::restore(&dir)
+        .mode(mode.clone())
+        .threads(4)
+        .max_rounds(200_000)
+        .program("sssp", Sssp)
+        .program("cc", ConnectedComponents)
+        .open()
+        .unwrap_or_else(|e| panic!("{label}: restore after {point:?}: {e}"));
+    let frags2 = restored.fragments();
+    let rest_s = sssp_bytes(src, restored.run_state::<Sssp>("sssp").unwrap().unwrap(), frags2);
+    let rest_c =
+        cc_bytes(restored.run_state::<ConnectedComponents>("cc").unwrap().unwrap(), frags2);
+    assert_eq!(live_s, rest_s, "{label}: SSSP state byte-identical across the crash");
+    assert_eq!(live_c, rest_c, "{label}: CC state byte-identical across the crash");
+    assert_eq!(restored.query::<Sssp>("sssp", &src).unwrap(), out_s, "{label}: SSSP serve");
+    assert_eq!(
+        restored.query::<ConnectedComponents>("cc", &()).unwrap(),
+        out_c,
+        "{label}: CC serve"
+    );
+    if point == CrashPoint::CommittedBeforeRotation {
+        assert_eq!(
+            restored.epoch_chain(),
+            Some(&[2, 1, 0][..]),
+            "{label}: restore adopts the committed chain"
+        );
+        assert!(
+            !dir.join("deltas.1.dlog").exists(),
+            "{label}: restore completed the interrupted rotation"
+        );
+    }
+    // The revived directory is healthy: a real (un-injected) checkpoint
+    // commits the replayed state.
+    restored.checkpoint().unwrap_or_else(|e| panic!("{label}: post-restore checkpoint: {e}"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `full == chain-resolved` driver: one graph + stream through two
+/// durable sessions — all-full (`differential(false)`) vs differential
+/// with a short compaction threshold — checkpointing **both after every
+/// batch**. The two live states, both restores, and each other must
+/// agree byte-for-byte: resolving a fragment/state-shard chain (with a
+/// compaction mid-stream when the stream is long enough) reconstructs
+/// exactly what the full baselines wrote.
+pub fn assert_full_equals_chain_restore(
+    g0: &Graph<(), u32>,
+    src: u32,
+    deltas: &[GraphDelta<(), u32>],
+    kind: PartitionKind,
+    m: usize,
+    label: &str,
+) {
+    let dir_full = scratch_dir("ckfull");
+    let dir_chain = scratch_dir("ckchain");
+    let open = |policy: DurabilityPolicy| {
+        let spec = match kind {
+            PartitionKind::EdgeCut => edge_cut(m),
+            PartitionKind::VertexCut => vertex_cut(m),
+        };
+        let mut s = Session::builder(g0.clone())
+            .partition(spec)
+            .mode(Mode::aap())
+            .threads(4)
+            .max_rounds(200_000)
+            .program("sssp", Sssp)
+            .program("cc", ConnectedComponents)
+            .durability(policy)
+            .unwrap_or_else(|e| panic!("{label}: durability: {e}"))
+            .open()
+            .unwrap_or_else(|e| panic!("{label}: open: {e}"));
+        s.query::<Sssp>("sssp", &src).unwrap();
+        s.query::<ConnectedComponents>("cc", &()).unwrap();
+        s
+    };
+    let mut full = open(DurabilityPolicy::new(&dir_full).differential(false));
+    let mut chain = open(DurabilityPolicy::new(&dir_chain).compact_after(3));
+    let mut saw_differential = false;
+    for (i, delta) in deltas.iter().enumerate() {
+        full.apply(delta).unwrap_or_else(|e| panic!("{label}: full apply {i}: {e}"));
+        chain.apply(delta).unwrap_or_else(|e| panic!("{label}: chain apply {i}: {e}"));
+        let rf = full.checkpoint().unwrap_or_else(|e| panic!("{label}: full ckpt {i}: {e}"));
+        let rc = chain.checkpoint().unwrap_or_else(|e| panic!("{label}: chain ckpt {i}: {e}"));
+        assert!(!rf.differential, "{label}: the full session writes baselines only");
+        saw_differential |= rc.differential;
+    }
+    if !deltas.is_empty() {
+        assert!(saw_differential, "{label}: the chained session never wrote a differential epoch");
+    }
+    let frags_f = full.fragments();
+    let live_s = sssp_bytes(src, full.run_state::<Sssp>("sssp").unwrap().unwrap(), frags_f);
+    let live_c = cc_bytes(full.run_state::<ConnectedComponents>("cc").unwrap().unwrap(), frags_f);
+    drop(full);
+    drop(chain);
+
+    let mut states = Vec::new();
+    for dir in [&dir_full, &dir_chain] {
+        let restored: Session<(), u32, _> = Session::restore(dir)
+            .mode(Mode::aap())
+            .threads(4)
+            .max_rounds(200_000)
+            .program("sssp", Sssp)
+            .program("cc", ConnectedComponents)
+            .open()
+            .unwrap_or_else(|e| panic!("{label}: restore {dir:?}: {e}"));
+        let frags = restored.fragments();
+        states.push((
+            sssp_bytes(src, restored.run_state::<Sssp>("sssp").unwrap().unwrap(), frags),
+            cc_bytes(restored.run_state::<ConnectedComponents>("cc").unwrap().unwrap(), frags),
+        ));
+    }
+    assert_eq!(states[0].0, live_s, "{label}: full restore == live SSSP");
+    assert_eq!(states[0].1, live_c, "{label}: full restore == live CC");
+    assert_eq!(states[1].0, live_s, "{label}: chain-resolved restore == full SSSP");
+    assert_eq!(states[1].1, live_c, "{label}: chain-resolved restore == full CC");
+    std::fs::remove_dir_all(&dir_full).ok();
+    std::fs::remove_dir_all(&dir_chain).ok();
 }

@@ -108,8 +108,11 @@ fn main() -> Result<(), SessionError> {
                 session.version(),
             );
             if batch == BATCHES / 2 {
-                let epoch = session.checkpoint().unwrap();
-                println!("         mid-stream checkpoint -> epoch {epoch} (readers undisturbed)");
+                let ckpt = session.checkpoint().unwrap();
+                println!(
+                    "         mid-stream checkpoint -> epoch {} (readers undisturbed)",
+                    ckpt.epoch
+                );
             }
         }
         session.serve_admitted().unwrap();

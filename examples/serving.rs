@@ -101,8 +101,8 @@ fn main() -> Result<(), SessionError> {
             );
         }
         if batch == 2 {
-            let epoch = session.checkpoint()?;
-            println!("  checkpoint -> epoch {epoch} (snapshot rotated, log reset)");
+            let ckpt = session.checkpoint()?;
+            println!("  checkpoint -> epoch {} (snapshot rotated, log reset)", ckpt.epoch);
         }
     }
     let served_sssp = session.query::<Sssp>("sssp", &0)?;

@@ -102,8 +102,8 @@ fn main() -> Result<(), SessionError> {
         "post-restart batch: {} updates ({}) — the stream continues",
         report.programs[0].updates, report.programs[0].strategy,
     );
-    let epoch = restored.checkpoint()?;
-    println!("checkpoint -> epoch {epoch} (fresh snapshot, log reset)");
+    let ckpt = restored.checkpoint()?;
+    println!("checkpoint -> epoch {} (fresh snapshot, log reset)", ckpt.epoch);
 
     std::fs::remove_dir_all(&dir).ok();
     Ok(())

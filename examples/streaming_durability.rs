@@ -1,0 +1,150 @@
+//! Streaming durability end to end: a long delta stream over a durable
+//! [`Session`] whose [`DurabilityPolicy`] checkpoints **differentially**
+//! every 8 applies on a **background** thread and **compacts** the epoch
+//! chain every 4 links — so the directory stays proportional to churn,
+//! not to stream length. Then a kill -9 style abandon (the process
+//! "dies" with a committed cut the writer never acknowledged) and a
+//! [`Session::restore`] that resumes serving byte-identically.
+//!
+//! ```sh
+//! cargo run --release --example streaming_durability
+//! ```
+
+use grape_aap::delta::generate::{insert_batch, insert_batch_within, Xorshift};
+use grape_aap::graph::partition::hash_partition;
+use grape_aap::graph::{generate, VertexId};
+use grape_aap::prelude::*;
+use std::path::Path;
+
+/// Count the files (and their total bytes) in the durable directory.
+fn dir_files(dir: &Path) -> (usize, u64) {
+    let mut files = 0usize;
+    let mut bytes = 0u64;
+    for entry in std::fs::read_dir(dir).expect("read durable dir") {
+        let md = entry.expect("dir entry").metadata().expect("metadata");
+        if md.is_file() {
+            files += 1;
+            bytes += md.len();
+        }
+    }
+    (files, bytes)
+}
+
+fn main() -> Result<(), SessionError> {
+    let dir = std::env::temp_dir().join(format!("aap_streaming_dur_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let g = generate::rmat(12, 8, true, 42);
+    println!("graph: {} vertices, {} stored edges", g.num_vertices(), g.num_edges());
+
+    // Most of the stream is *localized* — every endpoint owned by
+    // fragment 0 under the edge-cut hash partition — which is exactly
+    // the churn differential checkpoints are built for.
+    let assignment = hash_partition(&g, 4);
+    let pool: Vec<VertexId> =
+        (0..g.num_vertices() as u32).filter(|&v| assignment[v as usize] == 0).collect();
+
+    // -- open: checkpoint every 8 applies, in the background, keep the
+    //    epoch chain at most 4 links long ------------------------------
+    let policy = DurabilityPolicy::new(&dir).checkpoint_every(8).compact_after(4).background(true);
+    let mut session = Session::builder(g.clone())
+        .partition(edge_cut(4))
+        .mode(Mode::aap())
+        .program("sssp", Sssp)
+        .program("cc", ConnectedComponents)
+        .durability(policy)?
+        .open()?;
+    session.query::<Sssp>("sssp", &0)?;
+    session.query::<ConnectedComponents>("cc", &())?;
+
+    // -- the long stream: background cuts fire on cadence --------------
+    // Rare global churn: one batch in sixteen dirties every fragment,
+    // so alternate 8-apply checkpoint windows stay purely localized —
+    // those are the epochs where the differential writer gets to skip.
+    let mut rng = Xorshift::new(0xD00D);
+    for batch in 0..64u64 {
+        let delta = if batch % 16 == 15 {
+            insert_batch(&g, 16, 9, 0xACE0 + batch)
+        } else {
+            insert_batch_within(&pool, 16, 9, 0xACE0 + batch)
+        };
+        session.apply(&delta)?;
+        let _ = rng.next_u64();
+    }
+    // Settle the last in-flight cut before reading the books.
+    session.finish_checkpoint()?;
+    let m = session.metrics();
+    let chain = session.epoch_chain().expect("durable session").to_vec();
+    let (files, bytes) = dir_files(&dir);
+    println!(
+        "streamed 64 batches: {} checkpoints (auto, background), \
+         {} fragments written / {} skipped, {} log records compacted",
+        m.checkpoints,
+        m.checkpoint_fragments_written,
+        m.checkpoint_fragments_skipped,
+        m.log_records_compacted
+    );
+    println!("directory after the stream: {files} files, {bytes} bytes, epoch chain {chain:?}");
+    assert!(m.checkpoints >= 4, "the 8-apply cadence must have fired");
+    assert!(m.checkpoint_fragments_skipped > 0, "localized batches must skip fragments");
+    assert!(m.log_records_compacted > 0, "checkpoints must truncate the delta log");
+    assert!(chain.len() <= 4, "compact_after(4) must bound the chain, got {chain:?}");
+    assert!(files <= 20, "the directory must stay proportional to churn, found {files} files");
+
+    // -- compaction, caught in the act ---------------------------------
+    // Differential checkpoints grow the chain link by link; when it
+    // reaches 4, the next checkpoint rewrites a fresh full baseline and
+    // sweeps the superseded epochs (and their logs).
+    while session.epoch_chain().expect("durable").len() < 4 {
+        session.apply(&insert_batch_within(&pool, 8, 9, rng.next_u64()))?;
+        let report = session.checkpoint()?;
+        assert!(report.differential, "below the threshold every epoch is a link");
+    }
+    let (files_before, bytes_before) = dir_files(&dir);
+    session.apply(&insert_batch_within(&pool, 8, 9, rng.next_u64()))?;
+    let rebase = session.checkpoint()?;
+    let (files_after, bytes_after) = dir_files(&dir);
+    assert!(!rebase.differential, "at the threshold the checkpoint must compact");
+    assert_eq!(session.epoch_chain().expect("durable").len(), 1, "chain collapsed");
+    assert!(files_after < files_before, "compaction must sweep the superseded chain");
+    println!(
+        "compaction: epoch {} rebased the chain, {files_before} files / {bytes_before} bytes \
+         -> {files_after} files / {bytes_after} bytes",
+        rebase.epoch
+    );
+
+    // -- kill -9 --------------------------------------------------------
+    // Five more batches land in the delta log only; a background cut
+    // commits on disk; then the process "dies" before the writer ever
+    // harvests it — the on-disk MANIFEST is ahead of what the session
+    // knew when it vanished.
+    for i in 0..5u64 {
+        session.apply(&insert_batch(&g, 16, 9, 0xBEEF + i))?;
+    }
+    let live_sssp = session.query::<Sssp>("sssp", &0)?;
+    let live_cc = session.query::<ConnectedComponents>("cc", &())?;
+    let handle = session.checkpoint_background()?;
+    let committed = handle.wait()?;
+    drop(session); // kill -9: no finish_checkpoint, no goodbye
+    println!(
+        "\n-- kill -9 -- (cut for epoch {} committed, writer never acknowledged it)\n",
+        committed.epoch
+    );
+
+    // -- restore --------------------------------------------------------
+    let mut restored: Session<(), u32, _> = Session::restore(&dir)
+        .mode(Mode::aap())
+        .program("sssp", Sssp)
+        .program("cc", ConnectedComponents)
+        .open()?;
+    assert_eq!(restored.query::<Sssp>("sssp", &0)?, live_sssp);
+    assert_eq!(restored.query::<ConnectedComponents>("cc", &())?, live_cc);
+    println!("restored serve == pre-kill serve, for BOTH programs");
+
+    // The directory is healthy: the stream and the checkpoints go on.
+    restored.apply(&insert_batch(&g, 16, 9, 0xCAFE))?;
+    let next = restored.checkpoint()?;
+    println!("post-restore checkpoint -> epoch {} — the stream never noticed", next.epoch);
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

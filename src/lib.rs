@@ -82,7 +82,8 @@ pub mod prelude {
     pub use aap_delta::{DeltaBuilder, GraphDelta};
     pub use aap_graph::{Fragment, Graph, GraphBuilder, VertexId};
     pub use aap_session::{
-        edge_cut, vertex_cut, Session, SessionBuilder, SessionError, SessionReader,
+        edge_cut, vertex_cut, CheckpointHandle, CheckpointReport, DurabilityPolicy, Session,
+        SessionBuilder, SessionError, SessionReader,
     };
     pub use aap_sim::{CostModel, SimEngine, SimOpts};
     pub use aap_trace::{Recorder, Tracer};

@@ -11,8 +11,9 @@
 //! surface.
 
 use aap_testkit::{
-    adversarial_stream, all_modes, arb_graph, assert_session_equiv, assert_session_equiv_sim,
-    cases, scratch_dir, PartitionKind, PARTITIONS,
+    adversarial_stream, all_modes, arb_graph, assert_crash_restore_equiv,
+    assert_full_equals_chain_restore, assert_session_equiv, assert_session_equiv_sim, cases,
+    scratch_dir, PartitionKind, CRASH_POINTS, PARTITIONS,
 };
 use grape_aap::prelude::*;
 use grape_aap::runtime::WarmStrategy;
@@ -153,6 +154,35 @@ fn session_error_surface() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The crash-injection matrix (ISSUE 8): kill the durable machinery at
+/// three exact points — between a differential commit and its log
+/// rotation, mid-compaction, and mid-background-serialize (with an
+/// apply landing inside the cut window) — across all five modes × both
+/// partition kinds. Restore must land byte-identical with the live
+/// session at the moment of the kill, and the revived directory must
+/// still checkpoint.
+#[test]
+fn crash_points_restore_byte_identical() {
+    let g = grape_aap::graph::generate::small_world(90, 2, 0.2, 23);
+    let deltas = adversarial_stream(&g, 4, 0xFEED);
+    for kind in PARTITIONS {
+        for mode in all_modes() {
+            for point in CRASH_POINTS {
+                assert_crash_restore_equiv(
+                    &g,
+                    0,
+                    &deltas,
+                    kind,
+                    3,
+                    mode.clone(),
+                    point,
+                    &format!("crash[{kind:?},{mode:?},{point:?}]"),
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: cases(4), ..ProptestConfig::default() })]
 
@@ -166,6 +196,18 @@ proptest! {
         for kind in PARTITIONS {
             assert_session_equiv(&g, 0, &deltas, kind, 3, Mode::aap(),
                 &format!("random[{seed},{kind:?}]"));
+        }
+    }
+
+    /// `full == chain-resolved` over random apply streams: a session
+    /// checkpointing full baselines and one chaining differentials
+    /// (compacting mid-stream) restore to byte-identical states.
+    #[test]
+    fn full_equals_chain_restore_random(g in arb_graph(), seed in 0u64..500) {
+        let deltas = adversarial_stream(&g, 4, seed);
+        for kind in PARTITIONS {
+            assert_full_equals_chain_restore(&g, 0, &deltas, kind, 3,
+                &format!("fullchain[{seed},{kind:?}]"));
         }
     }
 }

@@ -59,6 +59,17 @@ impl<'a> Bencher<'a> {
         }
     }
 
+    /// Caller-timed loop: `routine(iters)` runs `iters` iterations and
+    /// returns the total `Duration` of the measured region only — the
+    /// caller excludes its own per-iteration setup. The shim samples
+    /// one iteration at a time.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        std::hint::black_box(routine(1)); // warm-up
+        for _ in 0..self.sample_size {
+            self.samples.push(routine(1).as_secs_f64());
+        }
+    }
+
     /// Time `routine` on fresh inputs produced by `setup`; setup time is
     /// excluded from the measurement.
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
@@ -221,6 +232,15 @@ mod tests {
         group.bench_function("noop", |b| b.iter(|| 1 + 1));
         group.bench_function("batched", |b| {
             b.iter_batched(|| vec![1u64; 16], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        group.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(1 + 1);
+                }
+                t0.elapsed()
+            })
         });
         group.finish();
     }
