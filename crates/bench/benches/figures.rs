@@ -25,8 +25,10 @@ fn bench_fig1(c: &mut Criterion) {
                         latency: 1.0,
                         cost: CostModel::FixedPerWorker(vec![3.0, 3.0, 6.0]),
                         max_rounds: Some(10_000),
+                        ..SimOpts::default()
                     },
-                );
+                )
+                .expect("valid opts");
                 black_box(sim.run(&ConnectedComponents, &()).stats.makespan)
             })
         });

@@ -241,6 +241,13 @@ const DURABILITY_COUNTERS: [&str; 5] = [
     "log_records_compacted",
 ];
 
+/// The schedule-fuzz counters, compared the same way (the `fuzz`
+/// experiment). `divergences` is compared absolutely — the canonical
+/// fixpoint is law, so a single diverging seed must fail the gate even
+/// though the relative-drift floor would otherwise let it slide.
+const FUZZ_COUNTERS: [&str; 5] =
+    ["cells", "seeds_per_cell", "fuzzed_runs", "fuzz_rounds_total", "fuzz_updates_total"];
+
 /// Compare one named counter with relative-drift tolerance (floored so
 /// tiny baselines don't amplify noise). Missing on either side is a
 /// violation — the gate must not pass because a counter vanished.
@@ -378,6 +385,26 @@ pub fn compare(baseline: &str, current: &str, tolerance: f64) -> Result<GateRepo
                 check_counter(&mut report, name, key, bv, cv, tolerance);
             }
         }
+        // Schedule-fuzz form: flat counters, plus an exact-zero check on
+        // divergences (one hostile interleaving reaching a different
+        // fixpoint is a correctness bug, not drift).
+        for key in FUZZ_COUNTERS {
+            if bv.get(key).is_some() {
+                check_counter(&mut report, name, key, bv, cv, tolerance);
+            }
+        }
+        if bv.get("divergences").is_some() {
+            match cv.get("divergences").and_then(Json::as_f64) {
+                Some(d) => {
+                    let line = format!("{name}: divergences current {d:.0} (must be 0)");
+                    if d != 0.0 {
+                        report.violations.push(line.clone());
+                    }
+                    report.checks.push(line);
+                }
+                None => report.violations.push(format!("{name}: counter divergences missing")),
+            }
+        }
     }
 
     for (name, _) in &curr {
@@ -504,6 +531,32 @@ mod tests {
         let gone = "{\"experiment\":\"durability\",\"seed\":1,\"checkpoints\":5}";
         let r = compare(&mk(100_000), gone, 0.10).unwrap();
         assert!(r.violations.iter().any(|v| v.contains("fragments_written missing")), "{r:?}");
+    }
+
+    #[test]
+    fn fuzz_counters_are_compared_and_divergences_are_exact() {
+        let mk = |div: u64, rounds: u64| {
+            format!(
+                "{{\"experiment\":\"fuzz\",\"seed\":1,\"cells\":10,\"seeds_per_cell\":8,\
+                 \"fuzzed_runs\":80,\"divergences\":{div},\
+                 \"fuzz_rounds_total\":{rounds},\"fuzz_updates_total\":50000}}"
+            )
+        };
+        let ok = compare(&mk(0, 4000), &mk(0, 4100), 0.10).unwrap();
+        assert!(ok.passed(), "{:?}", ok.violations);
+        assert!(ok.checks.iter().any(|c| c.contains("fuzz_rounds_total")));
+        // A single diverging seed fails even though 1/100 is far inside
+        // the relative-drift tolerance.
+        let bad = compare(&mk(0, 4000), &mk(1, 4000), 0.10).unwrap();
+        assert!(bad.violations.iter().any(|v| v.contains("divergences")), "{bad:?}");
+        // Large drift in the round totals fails like any counter.
+        let drift = compare(&mk(0, 4000), &mk(0, 9000), 0.10).unwrap();
+        assert!(drift.violations.iter().any(|v| v.contains("fuzz_rounds_total")));
+        // A vanished divergences counter fails too.
+        let gone = "{\"experiment\":\"fuzz\",\"seed\":1,\"cells\":10,\"seeds_per_cell\":8,\
+                    \"fuzzed_runs\":80,\"fuzz_rounds_total\":4000,\"fuzz_updates_total\":50000}";
+        let r = compare(&mk(0, 4000), gone, 0.10).unwrap();
+        assert!(r.violations.iter().any(|v| v.contains("divergences missing")), "{r:?}");
     }
 
     #[test]

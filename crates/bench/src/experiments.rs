@@ -67,8 +67,10 @@ pub fn fig1() -> String {
                 latency: 1.0,
                 cost: CostModel::FixedPerWorker(vec![3.0, 3.0, 6.0]),
                 max_rounds: Some(10_000),
+                ..SimOpts::default()
             },
-        );
+        )
+        .expect("fig1 sim opts are valid");
         let out = sim.run(&ConnectedComponents, &());
         assert!(out.out.iter().all(|&c| c == 0));
         s.push_str(&format!(
@@ -1087,6 +1089,117 @@ pub fn trace_capture_to(path: &str) -> String {
     )
 }
 
+// ---------------------------------------------------------------------
+// Schedule-fuzz sweep: seeded hostile interleavings vs the canonical
+// schedule, across all five modes and both partitionings.
+// ---------------------------------------------------------------------
+
+/// Seeds swept per cell by [`fuzz`] and the gated `fuzz` JSON record.
+pub const FUZZ_SWEEP_SEEDS: u64 = 8;
+
+/// Aggregate result of one schedule-fuzz sweep.
+struct FuzzSweep {
+    cells: u64,
+    runs: u64,
+    /// `"partition/mode seed N"` for every fuzzed run whose fixpoint
+    /// differed from the canonical one. Must be empty.
+    diverging: Vec<String>,
+    fuzz_rounds_total: u64,
+    fuzz_updates_total: u64,
+    /// Per-cell markdown rows for the report table.
+    lines: Vec<String>,
+}
+
+/// Run SSSP on every (partitioning × mode) cell, once canonically and
+/// once per fuzz seed, comparing fixpoints byte-for-byte. Deterministic:
+/// the graph, the partitionings, and every fuzzed timeline are seeded.
+fn fuzz_sweep() -> FuzzSweep {
+    use aap_graph::partition::{
+        build_fragments_vertex_cut_n, hash_partition, vertex_cut_partition,
+    };
+    use aap_sim::ScheduleFuzz;
+
+    let g = aap_graph::generate::rmat(11, 8, true, 0xF022);
+    let m = 8;
+    let parts: Vec<(&str, Vec<Fragment<(), u32>>)> = vec![
+        ("edge-cut", build_fragments_n(&g, &hash_partition(&g, m), m)),
+        ("vertex-cut", build_fragments_vertex_cut_n(&g, &vertex_cut_partition(&g, m), m)),
+    ];
+    let mut sweep = FuzzSweep {
+        cells: 0,
+        runs: 0,
+        diverging: Vec::new(),
+        fuzz_rounds_total: 0,
+        fuzz_updates_total: 0,
+        lines: Vec::new(),
+    };
+    for (pname, frags) in &parts {
+        for (label, mode) in crate::runner::all_modes() {
+            let opts = SimOpts { mode, max_rounds: Some(1_000_000), ..SimOpts::default() };
+            let canonical = SimEngine::new(frags.clone(), opts.clone())
+                .expect("fuzz sweep opts are valid")
+                .run(&Sssp, &0);
+            let mut cell_div = 0u64;
+            let (mut tmin, mut tmax) = (f64::INFINITY, f64::NEG_INFINITY);
+            for seed in 1..=FUZZ_SWEEP_SEEDS {
+                let fopts = opts.clone().schedule(ScheduleFuzz::seeded(seed));
+                let fr = SimEngine::new(frags.clone(), fopts)
+                    .expect("seeded fuzz opts are valid")
+                    .run(&Sssp, &0);
+                if fr.out != canonical.out {
+                    cell_div += 1;
+                    sweep.diverging.push(format!("{pname}/{label} seed {seed}"));
+                }
+                sweep.runs += 1;
+                sweep.fuzz_rounds_total += fr.stats.total_rounds();
+                sweep.fuzz_updates_total += fr.stats.total_updates();
+                tmin = tmin.min(fr.stats.makespan);
+                tmax = tmax.max(fr.stats.makespan);
+            }
+            sweep.cells += 1;
+            sweep.lines.push(format!(
+                "| {pname} | {label} | {} | {cell_div} | {:.1} | {:.1} | {:.1} |",
+                FUZZ_SWEEP_SEEDS, canonical.stats.makespan, tmin, tmax
+            ));
+        }
+    }
+    sweep
+}
+
+/// Schedule-fuzz report: every mode × partitioning cell re-run under
+/// [`aap_sim::ScheduleFuzz`]-seeded hostile interleavings, with fixpoints
+/// compared byte-for-byte against the canonical schedule (`repro fuzz`).
+pub fn fuzz() -> String {
+    let sweep = fuzz_sweep();
+    let mut s = String::from(
+        "## Schedule fuzz — seeded hostile interleavings vs the canonical schedule\n\n\
+         SSSP on rmat 2^11 (8 workers) across all five modes and both\n\
+         partitionings; each cell re-runs under `ScheduleFuzz::seeded(1..=8)`\n\
+         (wake-order shuffle, bounded delivery reorder, per-worker speed\n\
+         skew) and its fixpoint is compared against the canonical run.\n\
+         Reproduce any cell with\n\
+         `SimOpts { mode, .. }.schedule(ScheduleFuzz::seeded(seed))`.\n\n\
+         | partition | mode | seeds | divergences | canonical time | fuzz time min | fuzz time max |\n\
+         |---|---|---:|---:|---:|---:|---:|\n",
+    );
+    for line in &sweep.lines {
+        s.push_str(line);
+        s.push('\n');
+    }
+    s.push_str(&format!(
+        "\nSwept {} seeded runs over {} cells: {} divergence(s).\n\n",
+        sweep.runs,
+        sweep.cells,
+        sweep.diverging.len()
+    ));
+    assert!(
+        sweep.diverging.is_empty(),
+        "schedule fuzz found diverging fixpoints — reproduce with ScheduleFuzz::seeded(seed): {:?}",
+        sweep.diverging
+    );
+    s
+}
+
 /// The seed `repro json` runs with unless `--seed` overrides it — the
 /// seed `BENCH_baseline.json` is generated with, so CI's gate compares
 /// like with like.
@@ -1133,7 +1246,7 @@ pub fn stats_json_seeded(seed: u64) -> String {
     // 0.1% insert batch (virtual time, deterministic). Full per-worker
     // detail via `RunStats::to_json`.
     let frags = cluster.fragments(&fr);
-    let mut sim = SimEngine::new(frags, SimOpts::default());
+    let mut sim = SimEngine::new(frags, SimOpts::default()).expect("default sim opts are valid");
     let (_, mut state) = sim.run_retained(&Sssp, &0);
     let delta = aap_delta::generate::insert_batch(&fr, (fr.num_edges() / 1000).max(4), 9, seed);
     let warm = aap_delta::run_incremental_sim(&mut sim, &Sssp, &0, &delta, &mut state);
@@ -1149,7 +1262,7 @@ pub fn stats_json_seeded(seed: u64) -> String {
     // strategy tag is recorded so the gate notices if deletions ever
     // silently degrade back to a cold recompute.
     let frags = cluster.fragments(&fr);
-    let mut sim = SimEngine::new(frags, SimOpts::default());
+    let mut sim = SimEngine::new(frags, SimOpts::default()).expect("default sim opts are valid");
     let (_, mut state) = sim.run_retained(&Sssp, &0);
     let delta = aap_delta::generate::remove_batch(&fr, (fr.num_edges() / 1000).max(4), seed);
     let warm = aap_delta::run_incremental_sim(&mut sim, &Sssp, &0, &delta, &mut state);
@@ -1263,6 +1376,35 @@ pub fn stats_json_seeded(seed: u64) -> String {
         drop(session);
         std::fs::remove_dir_all(&dir).ok();
     }
+
+    // Schedule-fuzz round: the full mode × partitioning sweep under
+    // seeded hostile interleavings. Divergences must be zero — any
+    // nonzero count panics right here naming the reproducing seeds,
+    // because the gate's drift tolerance would otherwise let a small
+    // count slide. The round/update totals are exact deterministic
+    // integers (every fuzzed timeline is seeded), so the gate notices if
+    // the fuzzed schedules silently stop exercising different
+    // interleavings (totals collapsing back to the canonical counts).
+    {
+        let sweep = fuzz_sweep();
+        assert!(
+            sweep.diverging.is_empty(),
+            "schedule fuzz found diverging fixpoints — reproduce with \
+             ScheduleFuzz::seeded(seed): {:?}",
+            sweep.diverging
+        );
+        out.push_str(&format!(
+            "{{\"experiment\":\"fuzz\",\"seed\":{seed},\
+             \"cells\":{},\"seeds_per_cell\":{},\"fuzzed_runs\":{},\"divergences\":{},\
+             \"fuzz_rounds_total\":{},\"fuzz_updates_total\":{}}}\n",
+            sweep.cells,
+            FUZZ_SWEEP_SEEDS,
+            sweep.runs,
+            sweep.diverging.len(),
+            sweep.fuzz_rounds_total,
+            sweep.fuzz_updates_total,
+        ));
+    }
     out
 }
 
@@ -1282,6 +1424,7 @@ pub fn all() -> String {
     s.push_str(&serving());
     s.push_str(&durability());
     s.push_str(&ablate());
+    s.push_str(&fuzz());
     s
 }
 

@@ -5,7 +5,7 @@ use aap_core::pie::PieProgram;
 use aap_core::policy::{AapConfig, HsyncConfig};
 use aap_core::Mode;
 use aap_graph::{partition, FragId, Graph};
-use aap_sim::{CostModel, SimEngine, SimOpts, Timeline};
+use aap_sim::{CostModel, ScheduleFuzz, SimEngine, SimOpts, Timeline};
 
 /// One measured run.
 #[derive(Debug, Clone)]
@@ -102,6 +102,7 @@ impl Cluster {
             latency: self.latency,
             cost: CostModel::skewed_work(self.speed.clone()),
             max_rounds: Some(1_000_000),
+            ..SimOpts::default()
         }
     }
 }
@@ -121,7 +122,44 @@ where
     E: Clone + Send + Sync,
     P: PieProgram<V, E>,
 {
-    let engine = SimEngine::new(cluster.fragments(g), cluster.opts(mode));
+    run_sim_with(cluster, g, prog, q, label, cluster.opts(mode))
+}
+
+/// [`run_sim`] under a seeded hostile schedule: same cluster and mode,
+/// with [`ScheduleFuzz::seeded`] perturbing wake order, delivery
+/// interleaving and per-worker speed.
+pub fn run_sim_fuzzed<V, E, P>(
+    cluster: &Cluster,
+    g: &Graph<V, E>,
+    prog: &P,
+    q: &P::Query,
+    label: &str,
+    mode: Mode,
+    seed: u64,
+) -> (Row, P::Out, Vec<Timeline>)
+where
+    V: Clone + Send + Sync,
+    E: Clone + Send + Sync,
+    P: PieProgram<V, E>,
+{
+    let opts = cluster.opts(mode).schedule(ScheduleFuzz::seeded(seed));
+    run_sim_with(cluster, g, prog, q, label, opts)
+}
+
+fn run_sim_with<V, E, P>(
+    cluster: &Cluster,
+    g: &Graph<V, E>,
+    prog: &P,
+    q: &P::Query,
+    label: &str,
+    opts: SimOpts,
+) -> (Row, P::Out, Vec<Timeline>)
+where
+    V: Clone + Send + Sync,
+    E: Clone + Send + Sync,
+    P: PieProgram<V, E>,
+{
+    let engine = SimEngine::new(cluster.fragments(g), opts).expect("cluster sim opts are valid");
     let out = engine.run(prog, q);
     assert!(!out.stats.aborted, "run aborted: {label}");
     let row = Row {

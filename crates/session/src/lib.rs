@@ -775,7 +775,11 @@ where
         let opts = SimOpts { mode: self.mode.clone(), ..SimOpts::default() };
         let opts = SimOpts { max_rounds: self.max_rounds.or(opts.max_rounds), ..opts };
         let cap = self.answer_cache;
-        self.open_with(|frags| SimEngine::new(frags, opts), move |f| f.sim_slot(cap))
+        // Default latency/cost/schedule knobs always validate.
+        self.open_with(
+            |frags| SimEngine::new(frags, opts).expect("default sim opts are valid"),
+            move |f| f.sim_slot(cap),
+        )
     }
 
     fn open_with<B, MB, MS>(

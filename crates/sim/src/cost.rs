@@ -54,7 +54,12 @@ impl CostModel {
     /// * `raw_in` — raw (pre-aggregation) updates consumed.
     pub fn round_cost(&self, w: usize, work: u64, raw_in: usize) -> f64 {
         match self {
-            CostModel::FixedPerWorker(costs) => costs[w],
+            // Workers beyond the vector inherit the last cost (mirrors
+            // `Work`'s `speed.get(w)` fallback); an empty vector — which
+            // `SimEngine::new` rejects up front — prices rounds at 1.
+            CostModel::FixedPerWorker(costs) => {
+                costs.get(w).or(costs.last()).copied().unwrap_or(1.0)
+            }
             CostModel::Work { base, per_work, per_raw, speed } => {
                 let sp = speed.get(w).copied().unwrap_or(1.0);
                 sp * (base + per_work * work as f64 + per_raw * raw_in as f64)
@@ -72,6 +77,16 @@ mod tests {
         let c = CostModel::FixedPerWorker(vec![3.0, 6.0]);
         assert_eq!(c.round_cost(0, 100, 100), 3.0);
         assert_eq!(c.round_cost(1, 0, 0), 6.0);
+    }
+
+    #[test]
+    fn fixed_falls_back_past_the_vector() {
+        // More workers than costs used to index out of bounds; now the
+        // tail inherits the last cost, and empty vectors price at unit.
+        let c = CostModel::FixedPerWorker(vec![3.0, 6.0]);
+        assert_eq!(c.round_cost(2, 10, 0), 6.0);
+        assert_eq!(c.round_cost(99, 0, 0), 6.0);
+        assert_eq!(CostModel::FixedPerWorker(Vec::new()).round_cost(5, 1, 1), 1.0);
     }
 
     #[test]

@@ -5,9 +5,13 @@
 //! [`CostModel::round_cost`] time units, messages arrive `latency` units
 //! after the sending round completes, and the δ policy of
 //! `aap_core::policy` is evaluated in virtual time. Single-threaded and
-//! fully deterministic (events tie-break on a sequence number).
+//! fully deterministic: events carry an explicit `(time, tie, seq)` key,
+//! where the canonical tie is the owning worker's id — so the schedule is
+//! stable under heap internals and insertion order, and a seeded
+//! [`ScheduleFuzz`] is the *only* source of order variation.
 
 use crate::cost::CostModel;
+use crate::fuzz::ScheduleFuzz;
 use crate::timeline::{timeline_to_trace, Span, SpanKind, Timeline};
 use aap_core::engine::RunState;
 use aap_core::inbox::Inbox;
@@ -34,6 +38,8 @@ pub struct SimOpts {
     pub cost: CostModel,
     /// Abort if any worker exceeds this many rounds.
     pub max_rounds: Option<u32>,
+    /// Seeded schedule perturbation ([`ScheduleFuzz::off`] = canonical).
+    pub schedule: ScheduleFuzz,
 }
 
 impl Default for SimOpts {
@@ -43,9 +49,46 @@ impl Default for SimOpts {
             latency: 0.1,
             cost: CostModel::uniform_work(),
             max_rounds: Some(1_000_000),
+            schedule: ScheduleFuzz::off(),
         }
     }
 }
+
+impl SimOpts {
+    /// Builder-style knob: run under the given schedule fuzzer.
+    ///
+    /// ```
+    /// use aap_sim::{ScheduleFuzz, SimOpts};
+    /// let opts = SimOpts::default().schedule(ScheduleFuzz::seeded(42));
+    /// ```
+    pub fn schedule(mut self, fuzz: ScheduleFuzz) -> Self {
+        self.schedule = fuzz;
+        self
+    }
+}
+
+/// Construction-time errors from [`SimEngine::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// `CostModel::FixedPerWorker` was given an empty cost vector — no
+    /// worker could ever be priced.
+    EmptyCostVector,
+    /// A [`ScheduleFuzz`] knob is out of range.
+    InvalidSchedule(&'static str),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::EmptyCostVector => {
+                write!(f, "CostModel::FixedPerWorker needs at least one cost")
+            }
+            SimError::InvalidSchedule(why) => write!(f, "invalid ScheduleFuzz: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Result of a simulated run.
 #[derive(Debug)]
@@ -84,13 +127,19 @@ enum EventKind<Val> {
 
 struct Event<Val> {
     time: f64,
+    /// Explicit same-time priority: the owning worker's id under the
+    /// canonical schedule, a seeded hash under [`ScheduleFuzz`]. Without
+    /// it, same-time ordering would fall through to `seq` — i.e. to
+    /// insertion order, which heap internals and unrelated code motion
+    /// can silently reshuffle.
+    tie: u64,
     seq: u64,
     kind: EventKind<Val>,
 }
 
 impl<Val> PartialEq for Event<Val> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.tie == other.tie && self.seq == other.seq
     }
 }
 impl<Val> Eq for Event<Val> {}
@@ -101,8 +150,13 @@ impl<Val> PartialOrd for Event<Val> {
 }
 impl<Val> Ord for Event<Val> {
     fn cmp(&self, other: &Self) -> CmpOrdering {
-        // BinaryHeap is a max-heap; reverse for earliest-first.
-        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        // BinaryHeap is a max-heap; reverse for earliest-first on the
+        // full (time, tie, seq) key.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.tie.cmp(&self.tie))
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -140,13 +194,21 @@ struct SimWorker<Val, St> {
 
 impl<V, E> SimEngine<V, E> {
     /// Create a simulator over pre-built fragments.
-    pub fn new(frags: Vec<Fragment<V, E>>, opts: SimOpts) -> Self {
-        SimEngine {
+    ///
+    /// Fails fast on unusable options — an empty
+    /// [`CostModel::FixedPerWorker`] vector or out-of-range
+    /// [`ScheduleFuzz`] knobs — instead of panicking mid-run.
+    pub fn new(frags: Vec<Fragment<V, E>>, opts: SimOpts) -> Result<Self, SimError> {
+        if matches!(&opts.cost, CostModel::FixedPerWorker(costs) if costs.is_empty()) {
+            return Err(SimError::EmptyCostVector);
+        }
+        opts.schedule.validate().map_err(SimError::InvalidSchedule)?;
+        Ok(SimEngine {
             frags: frags.into_iter().map(Arc::new).collect(),
             opts,
             tracer: Tracer::default(),
             virt_base_us: std::sync::atomic::AtomicU64::new(0),
-        }
+        })
     }
 
     /// Attach a structured-event tracer: each subsequent run re-emits
@@ -317,6 +379,11 @@ impl<V, E> SimEngine<V, E> {
                     break;
                 }
             }
+            // Under fuzz, each superstep executes (and therefore routes)
+            // in a seeded permutation of worker order, and the
+            // post-barrier delivery lands in a second permutation — BSP's
+            // equivalents of wake-order and interleaving perturbation.
+            self.opts.schedule.shuffle_wake(&mut active, superstep as u64);
             let mut t_end = t;
             let mut all_batches: Vec<(FragId, Batch<P::Val>)> = Vec::new();
             for &w in &active {
@@ -328,6 +395,7 @@ impl<V, E> SimEngine<V, E> {
                 workers[w].wstate = WState::Inactive;
             }
             let sent_any = !all_batches.is_empty();
+            self.opts.schedule.shuffle_delivery(&mut all_batches, superstep as u64);
             for (dst, b) in all_batches {
                 let dw = &mut workers[dst as usize];
                 dw.stats.batches_in += 1;
@@ -371,7 +439,8 @@ impl<V, E> SimEngine<V, E> {
         for w in 0..m {
             let cost = self.execute_round(prog, q, eval0, &mut workers[w], w, 0.0, true);
             seq += 1;
-            queue.push(Event { time: cost, seq, kind: EventKind::Finish { w } });
+            let tie = self.opts.schedule.tie(w, seq);
+            queue.push(Event { time: cost, tie, seq, kind: EventKind::Finish { w } });
         }
 
         while let Some(ev) = queue.pop() {
@@ -399,8 +468,16 @@ impl<V, E> SimEngine<V, E> {
                     let mut outs = std::mem::take(&mut workers[w].pending_out);
                     for (dst, b) in outs.drain(..) {
                         seq += 1;
+                        // Fuzzed delivery: stretch this batch's latency by
+                        // a per-(link, message) factor in
+                        // [1, 1 + reorder_window] — bounded reorder, never
+                        // earlier than the configured latency.
+                        let latency = self.opts.latency
+                            * self.opts.schedule.delivery_factor(w, dst as usize, seq);
+                        let tie = self.opts.schedule.tie(dst as usize, seq);
                         queue.push(Event {
-                            time: now + self.opts.latency,
+                            time: now + latency,
+                            tie,
                             seq,
                             kind: EventKind::Arrive { w: dst as usize, batch: b },
                         });
@@ -595,6 +672,7 @@ impl<V, E> SimEngine<V, E> {
                 *seq += 1;
                 queue.push(Event {
                     time: now + ds,
+                    tie: self.opts.schedule.tie(w, *seq),
                     seq: *seq,
                     kind: EventKind::Wake { w, gen: workers[w].gen },
                 });
@@ -641,7 +719,8 @@ impl<V, E> SimEngine<V, E> {
         let cost = self.execute_round(prog, q, eval0, &mut workers[w], w, t, is_peval);
         workers[w].gen += 1; // cancel pending wakes
         *seq += 1;
-        queue.push(Event { time: t + cost, seq: *seq, kind: EventKind::Finish { w } });
+        let tie = self.opts.schedule.tie(w, *seq);
+        queue.push(Event { time: t + cost, tie, seq: *seq, kind: EventKind::Finish { w } });
     }
 
     /// Drain + run PEval/IncEval + route updates; returns the round cost and
@@ -710,7 +789,9 @@ impl<V, E> SimEngine<V, E> {
         let old = std::mem::replace(&mut wk.pending_out, batches);
         wk.scratch.give_out(old);
         let work = if charged > 0 { charged } else { (delivered + emitted) as u64 };
-        let cost = self.opts.cost.round_cost(w, work, raw_in);
+        // Fuzzed speed skew composes onto the configured model: the same
+        // seed always slows the same workers by the same factor.
+        let cost = self.opts.cost.round_cost(w, work, raw_in) * self.opts.schedule.speed_factor(w);
         wk.stats.compute_time += cost;
         wk.round_started = t;
         wk.wstate = WState::Computing;
@@ -929,7 +1010,8 @@ mod tests {
             let engine = SimEngine::new(
                 ring_frags(120, 5),
                 SimOpts { mode: mode.clone(), ..SimOpts::default() },
-            );
+            )
+            .expect("valid opts");
             let out = engine.run(&MinLabel, &());
             assert!(out.out.iter().all(|&l| l == 0), "mode {mode:?} failed: {:?}", &out.out[..10]);
             assert!(!out.stats.aborted);
@@ -940,7 +1022,8 @@ mod tests {
     #[test]
     fn deterministic_replay() {
         let run = || {
-            let engine = SimEngine::new(ring_frags(200, 7), SimOpts::default());
+            let engine =
+                SimEngine::new(ring_frags(200, 7), SimOpts::default()).expect("valid opts");
             let out = engine.run(&MinLabel, &());
             (out.stats.makespan, out.stats.total_updates(), out.stats.total_rounds())
         };
@@ -960,8 +1043,10 @@ mod tests {
                     latency: 0.05,
                     cost: CostModel::skewed_work(speed),
                     max_rounds: Some(100_000),
+                    ..SimOpts::default()
                 },
-            );
+            )
+            .expect("valid opts");
             engine.run(&MinLabel, &()).stats.makespan
         };
         let bsp = mk(Mode::Bsp);
@@ -974,7 +1059,7 @@ mod tests {
 
     #[test]
     fn timelines_record_rounds() {
-        let engine = SimEngine::new(ring_frags(60, 3), SimOpts::default());
+        let engine = SimEngine::new(ring_frags(60, 3), SimOpts::default()).expect("valid opts");
         let out = engine.run(&MinLabel, &());
         assert_eq!(out.timelines.len(), 3);
         for (tl, ws) in out.timelines.iter().zip(&out.stats.workers) {
@@ -994,11 +1079,147 @@ mod tests {
                 latency: 1.0,
                 cost: CostModel::FixedPerWorker(vec![3.0, 3.0, 6.0]),
                 max_rounds: Some(10_000),
+                ..SimOpts::default()
             },
-        );
+        )
+        .expect("valid opts");
         let out = engine.run(&MinLabel, &());
         // Every BSP superstep costs max(3,3,6) + 1 = 7.
         let supersteps = out.stats.max_rounds();
         assert!((out.stats.makespan - (supersteps as f64 * 7.0)).abs() < 7.0 + 1e-9);
+    }
+
+    /// Satellite regression: same-virtual-time events must pop in the
+    /// explicit `(time, worker, seq)` order no matter how they were
+    /// inserted. Before the explicit `tie` key, same-time order fell
+    /// through to `seq` — i.e. to insertion order.
+    #[test]
+    fn same_time_events_pop_independent_of_insertion_order() {
+        let base: Vec<(f64, usize)> =
+            vec![(1.0, 3), (1.0, 0), (2.0, 2), (1.0, 2), (2.0, 0), (1.0, 1), (0.5, 4)];
+        let pop_order = |evs: &[(f64, usize)]| -> Vec<(u64, usize)> {
+            let fuzz = ScheduleFuzz::off();
+            let mut q: BinaryHeap<Event<u32>> = BinaryHeap::new();
+            for (i, &(t, w)) in evs.iter().enumerate() {
+                q.push(Event {
+                    time: t,
+                    tie: fuzz.tie(w, i as u64),
+                    seq: i as u64,
+                    kind: EventKind::Finish { w },
+                });
+            }
+            std::iter::from_fn(|| q.pop())
+                .map(|e| {
+                    let EventKind::Finish { w } = e.kind else { unreachable!() };
+                    (e.time.to_bits(), w)
+                })
+                .collect()
+        };
+        let expect = pop_order(&base);
+        // Heap's algorithm: every permutation of the insertion order.
+        let mut perm = base.clone();
+        let n = perm.len();
+        let mut c = vec![0usize; n];
+        let mut i = 0;
+        while i < n {
+            if c[i] < i {
+                if i % 2 == 0 {
+                    perm.swap(0, i);
+                } else {
+                    perm.swap(c[i], i);
+                }
+                assert_eq!(pop_order(&perm), expect, "insertion order leaked into pop order");
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn fuzzed_runs_reach_the_canonical_fixpoint_in_every_mode() {
+        for mode in modes() {
+            let canonical = SimEngine::new(
+                ring_frags(120, 5),
+                SimOpts { mode: mode.clone(), ..SimOpts::default() },
+            )
+            .expect("valid opts")
+            .run(&MinLabel, &());
+            for seed in 0..8u64 {
+                let opts = SimOpts { mode: mode.clone(), ..SimOpts::default() }
+                    .schedule(ScheduleFuzz::seeded(seed));
+                let out = SimEngine::new(ring_frags(120, 5), opts)
+                    .expect("valid opts")
+                    .run(&MinLabel, &());
+                assert_eq!(
+                    out.out, canonical.out,
+                    "mode {mode:?} diverged from the canonical fixpoint under fuzz seed {seed}"
+                );
+                assert!(!out.stats.aborted, "mode {mode:?} aborted under fuzz seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_timeline_bit_identically() {
+        let run = |seed: u64| {
+            SimEngine::new(
+                ring_frags(200, 7),
+                SimOpts::default().schedule(ScheduleFuzz::seeded(seed)),
+            )
+            .expect("valid opts")
+            .run(&MinLabel, &())
+        };
+        let (a, b) = (run(7), run(7));
+        assert_eq!(a.stats.makespan.to_bits(), b.stats.makespan.to_bits());
+        assert_eq!(a.out, b.out);
+        assert_eq!(a.timelines.len(), b.timelines.len());
+        for (ta, tb) in a.timelines.iter().zip(&b.timelines) {
+            assert_eq!(ta.spans.len(), tb.spans.len());
+            for (sa, sb) in ta.spans.iter().zip(&tb.spans) {
+                assert_eq!(sa.start.to_bits(), sb.start.to_bits(), "span starts must be bit-equal");
+                assert_eq!(sa.end.to_bits(), sb.end.to_bits(), "span ends must be bit-equal");
+                assert_eq!(sa.round, sb.round);
+                assert_eq!(sa.kind, sb.kind);
+            }
+        }
+        // A different seed is a genuinely different hostile timeline
+        // (speed skew alone guarantees different round costs).
+        let c = run(8);
+        assert_ne!(a.stats.makespan.to_bits(), c.stats.makespan.to_bits());
+    }
+
+    #[test]
+    fn more_workers_than_fixed_costs_no_longer_panics() {
+        // 5 fragments priced by 3 costs: the tail inherits 6.0.
+        let engine = SimEngine::new(
+            ring_frags(100, 5),
+            SimOpts {
+                mode: Mode::Bsp,
+                latency: 1.0,
+                cost: CostModel::FixedPerWorker(vec![3.0, 3.0, 6.0]),
+                max_rounds: Some(10_000),
+                ..SimOpts::default()
+            },
+        )
+        .expect("valid opts");
+        let out = engine.run(&MinLabel, &());
+        assert!(out.out.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn bad_opts_are_construction_errors() {
+        let empty = SimEngine::new(
+            ring_frags(10, 2),
+            SimOpts { cost: CostModel::FixedPerWorker(Vec::new()), ..SimOpts::default() },
+        );
+        assert_eq!(empty.err(), Some(SimError::EmptyCostVector));
+        let bad_fuzz = SimEngine::new(
+            ring_frags(10, 2),
+            SimOpts::default().schedule(ScheduleFuzz::seeded(1).reorder_window(-1.0)),
+        );
+        assert!(matches!(bad_fuzz.err(), Some(SimError::InvalidSchedule(_))));
     }
 }

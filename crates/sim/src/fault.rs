@@ -206,7 +206,7 @@ mod tests {
     use crate::{SimEngine, SimOpts};
 
     fn engine() -> SimEngine<(), u32> {
-        SimEngine::new(ring_frags(300, 5), SimOpts::default())
+        SimEngine::new(ring_frags(300, 5), SimOpts::default()).expect("valid opts")
     }
 
     #[test]

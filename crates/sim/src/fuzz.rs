@@ -1,0 +1,287 @@
+//! Seeded hostile-schedule fuzzing.
+//!
+//! The simulator is deterministic: one `(mode, cost, latency)` triple
+//! yields one canonical schedule, so schedule-dependent bugs in the
+//! warm-delta and serving paths stay invisible no matter how many graphs
+//! the equivalence suites sweep. [`ScheduleFuzz`] closes that gap. A
+//! single `u64` seed deterministically perturbs three things:
+//!
+//! * **wake order** — same-virtual-time events are re-prioritised by a
+//!   seeded hash instead of the canonical worker-id order;
+//! * **delivery interleaving** — each message batch's latency is
+//!   stretched by a per-(link, message) jitter factor drawn in
+//!   `[1, 1 + reorder_window]`, so batches reorder within a bounded
+//!   delivery window (never arriving earlier than the configured
+//!   latency, so causality is preserved);
+//! * **speed skew** — each worker's round cost is multiplied by a
+//!   per-worker factor in `[1, 1 + speed_skew]`, composed onto whatever
+//!   [`crate::CostModel`] is configured.
+//!
+//! Draws are *stateless*: every decision hashes `(seed, salt, indices)`
+//! through a tiny in-crate xorshift PRNG seeded per draw, so the value a
+//! draw produces depends only on its identity, never on how many other
+//! draws ran before it. The same seed therefore replays the same hostile
+//! timeline bit-identically, which is what makes a failing seed a
+//! one-line reproduction:
+//!
+//! ```
+//! use aap_sim::{ScheduleFuzz, SimOpts};
+//! let opts = SimOpts::default().schedule(ScheduleFuzz::seeded(0xBAD5EED));
+//! ```
+
+/// Deterministic schedule perturbation for [`crate::SimEngine`].
+///
+/// The default (`ScheduleFuzz::off()`) is inert: the engine runs its
+/// canonical schedule, where same-time events tie-break on the explicit
+/// `(time, worker, seq)` key. `ScheduleFuzz::seeded(seed)` turns every
+/// knob on at its default strength; the builder methods tune or disable
+/// individual knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleFuzz {
+    seed: Option<u64>,
+    reorder_window: f64,
+    speed_skew: f64,
+    wake_shuffle: bool,
+}
+
+impl Default for ScheduleFuzz {
+    fn default() -> Self {
+        ScheduleFuzz::off()
+    }
+}
+
+impl ScheduleFuzz {
+    /// The inert fuzzer: canonical schedule, no perturbation.
+    pub fn off() -> Self {
+        ScheduleFuzz { seed: None, reorder_window: 0.0, speed_skew: 0.0, wake_shuffle: false }
+    }
+
+    /// A fuzzer with every knob at its default strength: wake-order
+    /// shuffling on, delivery jitter up to 1.5× the configured latency,
+    /// per-worker speed skew up to 1.5× the modelled cost.
+    pub fn seeded(seed: u64) -> Self {
+        ScheduleFuzz { seed: Some(seed), reorder_window: 1.5, speed_skew: 0.5, wake_shuffle: true }
+    }
+
+    /// Set the delivery reorder window: each batch's latency is scaled
+    /// by a factor in `[1, 1 + window]` (0 disables delivery jitter).
+    pub fn reorder_window(mut self, window: f64) -> Self {
+        self.reorder_window = window;
+        self
+    }
+
+    /// Set the per-worker speed skew: round costs are scaled by a
+    /// factor in `[1, 1 + skew]` (0 disables skew).
+    pub fn speed_skew(mut self, skew: f64) -> Self {
+        self.speed_skew = skew;
+        self
+    }
+
+    /// Enable/disable the same-time wake-order shuffle.
+    pub fn wake_shuffle(mut self, on: bool) -> Self {
+        self.wake_shuffle = on;
+        self
+    }
+
+    /// The reproducing seed, if fuzzing is active.
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// True when any perturbation can occur.
+    pub fn is_active(&self) -> bool {
+        self.seed.is_some()
+    }
+
+    /// Knob validation, run by `SimEngine::new`: windows and skews must
+    /// be finite and non-negative (a negative window would deliver
+    /// messages before they were sent).
+    pub(crate) fn validate(&self) -> Result<(), &'static str> {
+        if !self.reorder_window.is_finite() || self.reorder_window < 0.0 {
+            return Err("reorder_window must be finite and >= 0");
+        }
+        if !self.speed_skew.is_finite() || self.speed_skew < 0.0 {
+            return Err("speed_skew must be finite and >= 0");
+        }
+        Ok(())
+    }
+
+    /// Tie-break priority for a same-time event owned by worker `w`.
+    /// Canonical: the worker id itself (explicit, insertion-independent).
+    /// Fuzzed: a seeded hash of `(w, seq)` — a per-event shuffle.
+    pub(crate) fn tie(&self, w: usize, seq: u64) -> u64 {
+        match self.seed {
+            Some(s) if self.wake_shuffle => draw(s, salt::TIE, w as u64, seq),
+            _ => w as u64,
+        }
+    }
+
+    /// Latency multiplier (≥ 1) for message `seq` on link `src → dst`.
+    pub(crate) fn delivery_factor(&self, src: usize, dst: usize, seq: u64) -> f64 {
+        match self.seed {
+            Some(s) if self.reorder_window > 0.0 => {
+                let link = (src as u64) << 32 | dst as u64;
+                1.0 + self.reorder_window * unit(draw(s, salt::DELIVERY, link, seq))
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// Compute-cost multiplier (≥ 1) for worker `w`, composed onto the
+    /// configured [`crate::CostModel`]. Constant per (seed, worker) so a
+    /// fuzzed run behaves like a cluster with genuinely skewed machines.
+    pub(crate) fn speed_factor(&self, w: usize) -> f64 {
+        match self.seed {
+            Some(s) if self.speed_skew > 0.0 => {
+                1.0 + self.speed_skew * unit(draw(s, salt::SPEED, w as u64, 0))
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// Seeded Fisher–Yates shuffle of a BSP superstep's wake order
+    /// (no-op when inactive or wake shuffling is off).
+    pub(crate) fn shuffle_wake<T>(&self, items: &mut [T], superstep: u64) {
+        if let Some(s) = self.seed {
+            if self.wake_shuffle {
+                shuffle(items, s, salt::WAKE, superstep);
+            }
+        }
+    }
+
+    /// Seeded Fisher–Yates shuffle of a BSP superstep's post-barrier
+    /// delivery order (no-op when inactive or the reorder window is 0).
+    pub(crate) fn shuffle_delivery<T>(&self, items: &mut [T], superstep: u64) {
+        if let Some(s) = self.seed {
+            if self.reorder_window > 0.0 {
+                shuffle(items, s, salt::DELIVERY, superstep);
+            }
+        }
+    }
+}
+
+/// Domain-separation salts: each knob draws from its own stream, so
+/// e.g. changing the reorder window never shifts the speed factors.
+mod salt {
+    pub const TIE: u64 = 0x7A1E_0001;
+    pub const DELIVERY: u64 = 0x7A1E_0002;
+    pub const SPEED: u64 = 0x7A1E_0003;
+    pub const WAKE: u64 = 0x7A1E_0004;
+}
+
+/// Tiny xorshift64* PRNG (Marsaglia 2003). In-crate on purpose: the
+/// workspace has zero RNG deps, and `aap_delta::generate::Xorshift`
+/// lives downstream of this crate.
+struct Xorshift64(u64);
+
+impl Xorshift64 {
+    fn new(seed: u64) -> Self {
+        // Zero is the one absorbing state of xorshift; avoid it.
+        Xorshift64(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// One stateless draw: seed the PRNG from `(seed, salt, a, b)` and step
+/// twice so inputs differing in one bit decorrelate.
+fn draw(seed: u64, salt: u64, a: u64, b: u64) -> u64 {
+    let mut rng = Xorshift64::new(
+        seed ^ salt.rotate_left(17)
+            ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+    );
+    rng.next();
+    rng.next()
+}
+
+/// Map a draw to `[0, 1)` using the top 53 bits.
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Seeded Fisher–Yates over `items`, keyed by `(seed, salt, tag, i)`.
+fn shuffle<T>(items: &mut [T], seed: u64, salt: u64, tag: u64) {
+    for i in (1..items.len()).rev() {
+        let j = (draw(seed, salt, tag, i as u64) % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_inert() {
+        let f = ScheduleFuzz::off();
+        assert!(!f.is_active());
+        assert_eq!(f.tie(3, 99), 3);
+        assert_eq!(f.delivery_factor(0, 1, 5), 1.0);
+        assert_eq!(f.speed_factor(2), 1.0);
+        let mut v = vec![1, 2, 3, 4];
+        f.shuffle_wake(&mut v, 0);
+        f.shuffle_delivery(&mut v, 0);
+        assert_eq!(v, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn draws_are_stateless_and_seed_dependent() {
+        let f = ScheduleFuzz::seeded(7);
+        assert_eq!(f.tie(1, 10), f.tie(1, 10));
+        assert_eq!(f.delivery_factor(0, 2, 3), f.delivery_factor(0, 2, 3));
+        assert_eq!(f.speed_factor(4), f.speed_factor(4));
+        let g = ScheduleFuzz::seeded(8);
+        assert_ne!(
+            (f.tie(1, 10), f.tie(2, 10), f.tie(3, 10)),
+            (g.tie(1, 10), g.tie(2, 10), g.tie(3, 10)),
+            "different seeds must draw different tie orders"
+        );
+    }
+
+    #[test]
+    fn factors_stay_in_their_windows() {
+        let f = ScheduleFuzz::seeded(42).reorder_window(2.0).speed_skew(0.25);
+        for i in 0..200u64 {
+            let d = f.delivery_factor(i as usize % 7, (i as usize + 1) % 7, i);
+            assert!((1.0..3.0).contains(&d), "delivery factor {d} out of [1,3)");
+            let s = f.speed_factor(i as usize);
+            assert!((1.0..1.25).contains(&s), "speed factor {s} out of [1,1.25)");
+        }
+    }
+
+    #[test]
+    fn knobs_can_be_disabled_individually() {
+        let f = ScheduleFuzz::seeded(9).reorder_window(0.0).speed_skew(0.0).wake_shuffle(false);
+        assert!(f.is_active());
+        assert_eq!(f.tie(5, 1), 5);
+        assert_eq!(f.delivery_factor(0, 1, 1), 1.0);
+        assert_eq!(f.speed_factor(1), 1.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        assert!(ScheduleFuzz::seeded(1).reorder_window(-0.5).validate().is_err());
+        assert!(ScheduleFuzz::seeded(1).speed_skew(f64::NAN).validate().is_err());
+        assert!(ScheduleFuzz::seeded(1).validate().is_ok());
+        assert!(ScheduleFuzz::off().validate().is_ok());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let f = ScheduleFuzz::seeded(3);
+        let mut v: Vec<usize> = (0..20).collect();
+        f.shuffle_wake(&mut v, 1);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        let mut w: Vec<usize> = (0..20).collect();
+        f.shuffle_wake(&mut w, 1);
+        assert_eq!(v, w, "same (seed, superstep) must shuffle identically");
+    }
+}

@@ -16,7 +16,10 @@
 //!   in virtual time;
 //! * per-round compute costs come from a [`CostModel`] (fixed per worker,
 //!   or proportional to actual work done with per-worker speed factors),
-//!   and messages arrive after a configurable latency.
+//!   and messages arrive after a configurable latency;
+//! * a seeded [`ScheduleFuzz`] deterministically perturbs wake order,
+//!   delivery interleavings and per-worker speed, so one `u64` seed
+//!   reproduces one exact hostile schedule for Church–Rosser checks.
 //!
 //! This is the "simulate what you don't have" substitution documented in
 //! DESIGN.md: stragglers and staleness are functions of compute skew and
@@ -30,11 +33,13 @@
 pub mod cost;
 pub mod engine;
 pub mod fault;
+pub mod fuzz;
 #[cfg(test)]
 pub(crate) mod testutil;
 pub mod timeline;
 
 pub use cost::CostModel;
-pub use engine::{SimEngine, SimOpts, SimOutput};
+pub use engine::{SimEngine, SimError, SimOpts, SimOutput};
 pub use fault::{run_with_failure, FailurePlan, RecoveredRun, SimDurability};
+pub use fuzz::ScheduleFuzz;
 pub use timeline::{render_gantt, timeline_to_trace, Span, SpanKind, Timeline, TRACE_US_PER_UNIT};

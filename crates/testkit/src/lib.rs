@@ -22,7 +22,7 @@ use aap_graph::partition::{
 };
 use aap_graph::{generate, Fragment, Graph};
 use aap_session::{edge_cut, vertex_cut, DurabilityPolicy, Session, SessionError};
-use aap_sim::{SimEngine, SimOpts};
+use aap_sim::{ScheduleFuzz, SimEngine, SimOpts};
 use aap_snapshot::{
     program_state_to_bytes, restore_engine, save_engine, write_file_atomic, DeltaLog, SnapshotError,
 };
@@ -37,6 +37,24 @@ use std::sync::Arc;
 /// patching them.
 pub fn cases(default: u32) -> u32 {
     std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// The schedule-fuzz seed sweep: `default` seeds per call site,
+/// overridable through the `AAP_FUZZ_SEEDS` environment variable — how
+/// CI's nightly `proptest-deep` job deepens the hostile-schedule matrix
+/// without patching the suites. Seeds are sequential on purpose: every
+/// fuzz-path assertion names its reproducing seed, so
+/// `ScheduleFuzz::seeded(<that seed>)` replays the exact timeline.
+pub fn fuzz_seeds(default: usize) -> Vec<u64> {
+    let n = std::env::var("AAP_FUZZ_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(default);
+    (1..=n as u64).collect()
+}
+
+/// Simulator options for one cell of the fuzz matrix: `mode` under the
+/// seeded hostile schedule (bounded rounds, like [`test_opts`]).
+pub fn fuzz_opts(mode: Mode, seed: u64) -> SimOpts {
+    SimOpts { mode, max_rounds: Some(200_000), ..SimOpts::default() }
+        .schedule(ScheduleFuzz::seeded(seed))
 }
 
 // ---------------------------------------------------------------------
@@ -237,6 +255,12 @@ impl EquivReport {
 /// current graph — then replay an empty delta and assert the retained
 /// state sits at the fixpoint with zero messages.
 ///
+/// `fuzz_seeds` adds the hostile-schedule dimension: after each batch,
+/// the current graph is additionally solved cold by a simulator running
+/// `mode` under [`ScheduleFuzz::seeded`] for every listed seed, and each
+/// fuzzed fixpoint must equal the incremental answer (the failure names
+/// the reproducing seed). Pass `&[]` to skip.
+///
 /// Panics (with `label` context) on any divergence.
 #[allow(clippy::too_many_arguments)]
 pub fn assert_equiv<P>(
@@ -247,6 +271,7 @@ pub fn assert_equiv<P>(
     kind: PartitionKind,
     m: usize,
     mode: Mode,
+    fuzz_seeds: &[u64],
     label: &str,
 ) -> EquivReport
 where
@@ -274,6 +299,17 @@ where
              [{kind:?}, {m} frags, mode {mode:?}]",
             r.strategy
         );
+        for &seed in fuzz_seeds {
+            let fuzzed =
+                SimEngine::new(build_parts(&g_cur, kind, m), fuzz_opts(mode.clone(), seed))
+                    .expect("fuzz opts are valid")
+                    .run(prog, q);
+            assert_eq!(
+                fuzzed.out, r.out,
+                "{label}: batch {i} fuzzed cold run diverged [{kind:?}, {m} frags, \
+                 mode {mode:?}] — reproduce with ScheduleFuzz::seeded({seed})"
+            );
+        }
         if i + 1 == deltas.len() {
             report.cold_updates = cold.stats.total_updates();
             report.cold_effective =
@@ -294,7 +330,16 @@ where
 }
 
 /// The simulator mirror of [`assert_equiv`]: deterministic virtual time,
-/// same after-every-batch cold comparison.
+/// same after-every-batch cold comparison, running `mode`.
+///
+/// `fuzz_seeds` adds the hostile-schedule dimension *on the warm path*:
+/// for every listed seed, a whole second incremental lineage (own
+/// retained state, own fragments) streams the same deltas under
+/// [`ScheduleFuzz::seeded`], and its answer must match the canonical
+/// lineage after **every** batch — so warm-increase invalidation and
+/// deletion splits are proven schedule-independent, not just cold
+/// recomputation. Failures name the reproducing seed.
+#[allow(clippy::too_many_arguments)]
 pub fn assert_equiv_sim<P>(
     prog: &P,
     q: &P::Query,
@@ -302,14 +347,31 @@ pub fn assert_equiv_sim<P>(
     deltas: &[GraphDelta<(), u32>],
     kind: PartitionKind,
     m: usize,
+    mode: Mode,
+    fuzz_seeds: &[u64],
     label: &str,
 ) -> EquivReport
 where
     P: WarmStart<(), u32>,
     P::Out: PartialEq + std::fmt::Debug,
 {
-    let mut sim = SimEngine::new(build_parts(g0, kind, m), SimOpts::default());
+    let opts = SimOpts { mode: mode.clone(), max_rounds: Some(200_000), ..SimOpts::default() };
+    let mut sim =
+        SimEngine::new(build_parts(g0, kind, m), opts.clone()).expect("sim opts are valid");
     let (_, mut state): (_, RunState<P::State>) = sim.run_retained(prog, q);
+
+    // One fuzzed warm lineage per seed, advanced in lockstep with the
+    // canonical one.
+    type FuzzLineage<S> = Vec<(u64, SimEngine<(), u32>, RunState<S>)>;
+    let mut fuzzed: FuzzLineage<P::State> = fuzz_seeds
+        .iter()
+        .map(|&seed| {
+            let s = SimEngine::new(build_parts(g0, kind, m), fuzz_opts(mode.clone(), seed))
+                .expect("fuzz opts are valid");
+            let (_, st) = s.run_retained(prog, q);
+            (seed, s, st)
+        })
+        .collect();
 
     let mut report = EquivReport::default();
     let mut bufs = EditBuffers::default();
@@ -320,12 +382,23 @@ where
         report.strategies.push(r.strategy);
         report.incremental_updates += r.stats.total_updates();
         g_cur = apply_to_graph(&g_cur, delta);
-        let cold = SimEngine::new(build_parts(&g_cur, kind, m), SimOpts::default()).run(prog, q);
+        let cold = SimEngine::new(build_parts(&g_cur, kind, m), opts.clone())
+            .expect("sim opts are valid")
+            .run(prog, q);
         assert_eq!(
             r.out, cold.out,
-            "{label}: batch {i} ({}) diverged from cold on the current graph [sim, {kind:?}]",
+            "{label}: batch {i} ({}) diverged from cold on the current graph \
+             [sim, {kind:?}, mode {mode:?}]",
             r.strategy
         );
+        for (seed, fsim, fstate) in &mut fuzzed {
+            let fr = aap_delta::run_incremental_sim_with(fsim, prog, q, delta, fstate, &mut bufs);
+            assert_eq!(
+                fr.out, r.out,
+                "{label}: batch {i} fuzzed warm lineage diverged [sim, {kind:?}, \
+                 mode {mode:?}] — reproduce with ScheduleFuzz::seeded({seed})"
+            );
+        }
         if i + 1 == deltas.len() {
             report.cold_updates = cold.stats.total_updates();
         }
@@ -378,8 +451,16 @@ fn cc_bytes(st: &RunState<CcState>, frags: &[Arc<Fragment<(), u32>>]) -> Vec<u8>
 /// engines (`restore_engine` + `replay`), and all three lineages must
 /// agree **byte-for-byte** in their exported states.
 ///
+/// `fuzz_seeds` closes the loop on restore-then-replay: after the
+/// restored lineages are proven byte-identical, the final graph is
+/// solved cold under [`ScheduleFuzz::seeded`] for every listed seed, and
+/// each hostile-schedule fixpoint must equal the restored session's
+/// answers — restore lands on the schedule-independent fixpoint, not on
+/// an artifact of one canonical schedule. Failures name the seed.
+///
 /// Panics (with `label` context) on any divergence; cleans up its
 /// scratch directories.
+#[allow(clippy::too_many_arguments)]
 pub fn assert_session_equiv(
     g0: &Graph<(), u32>,
     src: u32,
@@ -387,6 +468,7 @@ pub fn assert_session_equiv(
     kind: PartitionKind,
     m: usize,
     mode: Mode,
+    fuzz_seeds: &[u64],
     label: &str,
 ) -> SessionEquivReport {
     let dir = scratch_dir("session");
@@ -428,11 +510,13 @@ pub fn assert_session_equiv(
 
     let mut report = SessionEquivReport::default();
     let mut bufs = EditBuffers::default();
+    let mut g_cur = g0.clone();
     // Two differential checkpoints mid-stream: restore must resolve the
     // newest version of every fragment/state shard across a 3-epoch
     // chain, not load one baseline.
     let checkpoints = [deltas.len() / 3, 2 * deltas.len() / 3];
     for (i, delta) in deltas.iter().enumerate() {
+        g_cur = apply_to_graph(&g_cur, delta);
         let rep = session.apply(delta).unwrap_or_else(|e| panic!("{label}: apply {i}: {e}"));
         let rs = run_incremental_with(&mut eng_s, &Sssp, &src, delta, &mut st_s, &mut bufs);
         let rc = run_incremental_with(
@@ -538,6 +622,30 @@ pub fn assert_session_equiv(
         "{label}: restored CC serve"
     );
 
+    // Restore-then-replay must land on the schedule-independent
+    // fixpoint: every hostile schedule solving the final graph cold
+    // agrees with what the restored session serves.
+    for &seed in fuzz_seeds {
+        let fuzzed_s = SimEngine::new(build_parts(&g_cur, kind, m), fuzz_opts(mode.clone(), seed))
+            .expect("fuzz opts are valid")
+            .run(&Sssp, &src);
+        assert_eq!(
+            session2.query::<Sssp>("sssp", &src).unwrap(),
+            fuzzed_s.out,
+            "{label}: restored SSSP diverged from a hostile schedule [{kind:?}, {mode:?}] \
+             — reproduce with ScheduleFuzz::seeded({seed})"
+        );
+        let fuzzed_c = SimEngine::new(build_parts(&g_cur, kind, m), fuzz_opts(mode.clone(), seed))
+            .expect("fuzz opts are valid")
+            .run(&ConnectedComponents, &());
+        assert_eq!(
+            session2.query::<ConnectedComponents>("cc", &()).unwrap(),
+            fuzzed_c.out,
+            "{label}: restored CC diverged from a hostile schedule [{kind:?}, {mode:?}] \
+             — reproduce with ScheduleFuzz::seeded({seed})"
+        );
+    }
+
     std::fs::remove_dir_all(&dir).ok();
     std::fs::remove_dir_all(&manual_dir).ok();
     report
@@ -548,12 +656,17 @@ pub fn assert_session_equiv(
 /// hand-rolled `SimEngine` + `run_incremental_sim_with` composition in
 /// deterministic virtual time (no durability — the threaded driver
 /// already proves the file cycle; this proves the backend genericity).
+///
+/// `fuzz_seeds` runs one extra hand-rolled SSSP lineage per seed under
+/// [`ScheduleFuzz::seeded`]; each must agree with the session after
+/// every batch, and failures name the reproducing seed.
 pub fn assert_session_equiv_sim(
     g0: &Graph<(), u32>,
     src: u32,
     deltas: &[GraphDelta<(), u32>],
     kind: PartitionKind,
     m: usize,
+    fuzz_seeds: &[u64],
     label: &str,
 ) {
     let spec = match kind {
@@ -566,10 +679,21 @@ pub fn assert_session_equiv_sim(
         .program("cc", ConnectedComponents)
         .open_sim()
         .unwrap_or_else(|e| panic!("{label}: open_sim: {e}"));
-    let mut sim_s = SimEngine::new(build_parts(g0, kind, m), SimOpts::default());
-    let mut sim_c = SimEngine::new(build_parts(g0, kind, m), SimOpts::default());
+    let mut sim_s =
+        SimEngine::new(build_parts(g0, kind, m), SimOpts::default()).expect("sim opts are valid");
+    let mut sim_c =
+        SimEngine::new(build_parts(g0, kind, m), SimOpts::default()).expect("sim opts are valid");
     let (r_s, mut st_s) = sim_s.run_retained(&Sssp, &src);
     let (r_c, mut st_c) = sim_c.run_retained(&ConnectedComponents, &());
+    let mut fuzzed: Vec<(u64, SimEngine<(), u32>, RunState<SsspState>)> = fuzz_seeds
+        .iter()
+        .map(|&seed| {
+            let s = SimEngine::new(build_parts(g0, kind, m), fuzz_opts(Mode::aap(), seed))
+                .expect("fuzz opts are valid");
+            let (_, st) = s.run_retained(&Sssp, &src);
+            (seed, s, st)
+        })
+        .collect();
     assert_eq!(session.query::<Sssp>("sssp", &src).unwrap(), r_s.out, "{label}: sim SSSP");
     assert_eq!(
         session.query::<ConnectedComponents>("cc", &()).unwrap(),
@@ -610,6 +734,15 @@ pub fn assert_session_equiv_sim(
             &st_c,
             "{label}: sim batch {i} CC state"
         );
+        for (seed, fsim, fstate) in &mut fuzzed {
+            let fr =
+                aap_delta::run_incremental_sim_with(fsim, &Sssp, &src, delta, fstate, &mut bufs);
+            assert_eq!(
+                fr.out, rs.out,
+                "{label}: sim batch {i} fuzzed SSSP lineage diverged \
+                 — reproduce with ScheduleFuzz::seeded({seed})"
+            );
+        }
     }
 }
 

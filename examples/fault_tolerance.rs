@@ -14,7 +14,7 @@ use grape_aap::sim::{run_with_failure, FailurePlan, SimDurability};
 fn main() {
     let g = generate::rmat(12, 8, true, 31);
     let frags = partition::build_fragments(&g, &partition::hash_partition(&g, 8));
-    let engine = SimEngine::new(frags, SimOpts::default());
+    let engine = SimEngine::new(frags, SimOpts::default()).expect("default sim opts are valid");
 
     let clean = engine.run(&ConnectedComponents, &());
     println!(

@@ -55,8 +55,9 @@ fn main() {
             latency: 1.0,
             cost: CostModel::FixedPerWorker(vec![3.0, 3.0, 6.0]),
             max_rounds: Some(10_000),
+            ..SimOpts::default()
         };
-        let sim = SimEngine::new(fig1_fragments(), opts);
+        let sim = SimEngine::new(fig1_fragments(), opts).expect("valid opts");
         let out = sim.run(&ConnectedComponents, &());
         assert!(out.out.iter().all(|&c| c == 0), "one connected component");
         println!(

@@ -85,6 +85,6 @@ pub mod prelude {
         edge_cut, vertex_cut, CheckpointHandle, CheckpointReport, DurabilityPolicy, Session,
         SessionBuilder, SessionError, SessionReader,
     };
-    pub use aap_sim::{CostModel, SimEngine, SimOpts};
+    pub use aap_sim::{CostModel, ScheduleFuzz, SimEngine, SimError, SimOpts};
     pub use aap_trace::{Recorder, Tracer};
 }

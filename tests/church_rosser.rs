@@ -21,7 +21,7 @@ fn arb_graph() -> impl Strategy<Value = Graph<(), u32>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: aap_testkit::cases(24), ..ProptestConfig::default() })]
 
     #[test]
     fn cc_fixpoint_is_schedule_independent_in_sim(
@@ -43,7 +43,8 @@ proptest! {
                 latency,
                 cost: CostModel::skewed_work(speed),
                 max_rounds: Some(100_000),
-            });
+                ..SimOpts::default()
+            }).expect("valid opts");
             let out = sim.run(&ConnectedComponents, &());
             prop_assert_eq!(&out.out, &expect);
         }
@@ -67,9 +68,101 @@ proptest! {
                 latency: rng.gen_range(0.01..2.0),
                 cost: CostModel::skewed_work(speed),
                 max_rounds: Some(100_000),
-            });
+                ..SimOpts::default()
+            }).expect("valid opts");
             let out = sim.run(&Sssp, &src);
             prop_assert_eq!(&out.out, &expect);
+        }
+    }
+}
+
+/// The schedule-fuzz matrix (Theorem 2 under *seeded hostile*
+/// interleavings): all five modes × both partitionings, each cell
+/// re-solved under every fuzz seed — wake-order shuffles, bounded
+/// delivery reorder, per-worker speed skew. Every fuzzed fixpoint must
+/// be byte-identical to the canonical schedule's (itself pinned to the
+/// sequential answer). Tier-1 sweeps 8 seeds; `AAP_FUZZ_SEEDS` deepens
+/// the sweep nightly. Any divergence names its reproducing seed.
+#[test]
+fn fuzzed_schedules_reach_the_canonical_fixpoint_in_every_mode() {
+    use aap_testkit::{all_modes, build_parts, fuzz_seeds, PARTITIONS};
+    let g = generate::small_world(160, 2, 0.15, 0xC0);
+    let expect = seq::dijkstra(&g, 1);
+    let seeds = fuzz_seeds(8);
+    for kind in PARTITIONS {
+        for mode in all_modes() {
+            let opts = SimOpts { mode: mode.clone(), ..SimOpts::default() };
+            let canonical = SimEngine::new(build_parts(&g, kind, 4), opts.clone())
+                .expect("valid opts")
+                .run(&Sssp, &1);
+            assert_eq!(canonical.out, expect, "[{kind:?}, {mode:?}] canonical run is wrong");
+            for &seed in &seeds {
+                let fuzzed = SimEngine::new(
+                    build_parts(&g, kind, 4),
+                    opts.clone().schedule(ScheduleFuzz::seeded(seed)),
+                )
+                .expect("valid opts")
+                .run(&Sssp, &1);
+                assert_eq!(
+                    fuzzed.out, canonical.out,
+                    "[{kind:?}, {mode:?}] fuzzed fixpoint diverged — reproduce with \
+                     ScheduleFuzz::seeded({seed})"
+                );
+            }
+        }
+    }
+}
+
+/// Fuzzed runs must still be *simulations*, not noise: the same seed
+/// replays the identical timeline bit-for-bit, every per-worker span
+/// sequence is chronological, and each worker's compute rounds (its
+/// state-version counter) increase monotonically — hostile scheduling
+/// may reorder work *across* workers, never time-travel within one.
+#[test]
+fn fuzzed_timelines_replay_bit_identically_with_monotone_versions() {
+    use grape_aap::sim::SpanKind;
+    let g = generate::rmat(8, 6, true, 0xC1);
+    for seed in aap_testkit::fuzz_seeds(8) {
+        let run = || {
+            let frags = build_fragments_n(&g, &hash_partition(&g, 5), 5);
+            SimEngine::new(frags, SimOpts::default().schedule(ScheduleFuzz::seeded(seed)))
+                .expect("valid opts")
+                .run(&ConnectedComponents, &())
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.out, b.out, "seed {seed}: outputs must replay identically");
+        assert_eq!(
+            a.stats.makespan.to_bits(),
+            b.stats.makespan.to_bits(),
+            "seed {seed}: makespan must replay bit-identically"
+        );
+        for (w, (ta, tb)) in a.timelines.iter().zip(&b.timelines).enumerate() {
+            assert_eq!(
+                ta.spans.len(),
+                tb.spans.len(),
+                "seed {seed}: worker {w} span count must replay"
+            );
+            for (sa, sb) in ta.spans.iter().zip(&tb.spans) {
+                assert_eq!(sa.start.to_bits(), sb.start.to_bits(), "seed {seed} worker {w}");
+                assert_eq!(sa.end.to_bits(), sb.end.to_bits(), "seed {seed} worker {w}");
+            }
+            let mut t = f64::NEG_INFINITY;
+            let mut round = 0u32;
+            for s in &ta.spans {
+                assert!(
+                    s.start >= t && s.end >= s.start,
+                    "seed {seed}: worker {w} timeline is not chronological"
+                );
+                t = s.end;
+                if s.kind == SpanKind::Compute {
+                    assert!(
+                        s.round >= round,
+                        "seed {seed}: worker {w} round went backwards ({} < {round})",
+                        s.round
+                    );
+                    round = s.round;
+                }
+            }
         }
     }
 }

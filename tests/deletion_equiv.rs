@@ -12,8 +12,8 @@
 //! performs ≥5x fewer effective updates than a cold recompute.
 
 use aap_testkit::{
-    adversarial_stream, all_modes, arb_graph, assert_equiv, assert_equiv_sim, PartitionKind,
-    PARTITIONS,
+    adversarial_stream, all_modes, arb_graph, assert_equiv, assert_equiv_sim, fuzz_seeds,
+    PartitionKind, PARTITIONS,
 };
 use grape_aap::delta::generate::remove_batch;
 use grape_aap::delta::WarmStrategy;
@@ -40,11 +40,11 @@ proptest! {
         let mode = all_modes().swap_remove(mode_pick);
         for kind in PARTITIONS {
             let r = assert_equiv(&Sssp, &src, &g, &deltas, kind, m, mode.clone(),
-                                 "sssp_adversarial");
+                                 &fuzz_seeds(0), "sssp_adversarial");
             prop_assert!(!r.saw(WarmStrategy::Cold),
                 "SSSP cold-fell-back on {kind:?}: {:?}", r.strategies);
             let r = assert_equiv(&ConnectedComponents, &(), &g, &deltas, kind, m, mode.clone(),
-                                 "cc_adversarial");
+                                 &fuzz_seeds(0), "cc_adversarial");
             prop_assert!(!r.saw(WarmStrategy::Cold),
                 "CC cold-fell-back on {kind:?}: {:?}", r.strategies);
         }
@@ -58,21 +58,27 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let deltas = adversarial_stream(&g, 4, seed);
-        assert_equiv_sim(&Sssp, &0, &g, &deltas, PartitionKind::VertexCut, m, "sssp_sim");
+        assert_equiv_sim(&Sssp, &0, &g, &deltas, PartitionKind::VertexCut, m, Mode::aap(),
+                         &fuzz_seeds(1), "sssp_sim");
         assert_equiv_sim(&ConnectedComponents, &(), &g, &deltas, PartitionKind::EdgeCut, m,
-                         "cc_sim");
+                         Mode::aap(), &fuzz_seeds(1), "cc_sim");
     }
 }
 
 /// Full five-mode × two-partition matrix on one fixed adversarial
 /// stream — the guarantee the proptest samples, pinned exhaustively.
+/// Every cell additionally re-solves each post-batch graph under ≥8
+/// seeded hostile schedules ([`ScheduleFuzz`]); any divergence panics
+/// naming the reproducing seed. `AAP_FUZZ_SEEDS` deepens the sweep.
 #[test]
 fn fixed_stream_full_mode_matrix() {
     let g = generate::small_world(120, 2, 0.2, 0xF1);
     let deltas = adversarial_stream(&g, 4, 0xF2);
+    let seeds = fuzz_seeds(8);
     for mode in all_modes() {
         for kind in PARTITIONS {
-            let r = assert_equiv(&Sssp, &3, &g, &deltas, kind, 3, mode.clone(), "matrix_sssp");
+            let r =
+                assert_equiv(&Sssp, &3, &g, &deltas, kind, 3, mode.clone(), &seeds, "matrix_sssp");
             assert!(!r.saw(WarmStrategy::Cold));
             let r = assert_equiv(
                 &ConnectedComponents,
@@ -82,6 +88,7 @@ fn fixed_stream_full_mode_matrix() {
                 kind,
                 3,
                 mode.clone(),
+                &seeds,
                 "matrix_cc",
             );
             assert!(!r.saw(WarmStrategy::Cold));
@@ -105,6 +112,7 @@ fn deletion_only_does_5x_less_work_than_cold() {
         PartitionKind::EdgeCut,
         6,
         Mode::aap(),
+        &[],
         "sssp_delete_5x",
     );
     assert_eq!(r.strategies, vec![WarmStrategy::WarmIncrease]);
@@ -123,6 +131,7 @@ fn deletion_only_does_5x_less_work_than_cold() {
         PartitionKind::EdgeCut,
         6,
         Mode::aap(),
+        &[],
         "cc_delete_5x",
     );
     assert_eq!(r.strategies, vec![WarmStrategy::WarmIncrease]);

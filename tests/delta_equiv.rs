@@ -10,7 +10,9 @@
 //! answers must match. The shared scaffolding (graph/delta strategies,
 //! mode matrix, the after-every-batch driver) lives in `aap-testkit`.
 
-use aap_testkit::{all_modes, arb_delta, arb_graph, assert_equiv, assert_equiv_sim, PartitionKind};
+use aap_testkit::{
+    all_modes, arb_delta, arb_graph, assert_equiv, assert_equiv_sim, fuzz_seeds, PartitionKind,
+};
 use grape_aap::delta::WarmStrategy;
 use grape_aap::graph::Graph;
 use grape_aap::prelude::*;
@@ -32,10 +34,10 @@ proptest! {
         let src = src_pick % g.num_vertices() as u32;
         let deltas = [delta];
         let r = assert_equiv(&Sssp, &src, &g, &deltas, PartitionKind::EdgeCut, m,
-                             Mode::aap(), "sssp_monotone");
+                             Mode::aap(), &fuzz_seeds(1), "sssp_monotone");
         prop_assert!(!r.saw(WarmStrategy::Cold));
         assert_equiv(&ConnectedComponents, &(), &g, &deltas, PartitionKind::EdgeCut, m,
-                     Mode::aap(), "cc_monotone");
+                     Mode::aap(), &fuzz_seeds(1), "cc_monotone");
     }
 
     #[test]
@@ -51,10 +53,10 @@ proptest! {
         // SSSP and CC both have invalidation plans: no batch shape may
         // reach the cold fallback.
         let r = assert_equiv(&Sssp, &src, &g, &deltas, PartitionKind::EdgeCut, m,
-                             Mode::aap(), "sssp_removals");
+                             Mode::aap(), &fuzz_seeds(1), "sssp_removals");
         prop_assert!(!r.saw(WarmStrategy::Cold), "SSSP never cold-falls-back: {:?}", r.strategies);
         let r = assert_equiv(&ConnectedComponents, &(), &g, &deltas, PartitionKind::EdgeCut, m,
-                             Mode::aap(), "cc_removals");
+                             Mode::aap(), &fuzz_seeds(1), "cc_removals");
         prop_assert!(!r.saw(WarmStrategy::Cold), "CC never cold-falls-back: {:?}", r.strategies);
     }
 
@@ -68,9 +70,10 @@ proptest! {
         let delta = arb_delta(&g, seed, false);
         let src = src_pick % g.num_vertices() as u32;
         let deltas = [delta];
-        assert_equiv_sim(&Sssp, &src, &g, &deltas, PartitionKind::VertexCut, m, "sssp_vc");
+        assert_equiv_sim(&Sssp, &src, &g, &deltas, PartitionKind::VertexCut, m, Mode::aap(),
+                         &fuzz_seeds(1), "sssp_vc");
         assert_equiv_sim(&ConnectedComponents, &(), &g, &deltas, PartitionKind::VertexCut, m,
-                         "cc_vc");
+                         Mode::aap(), &fuzz_seeds(1), "cc_vc");
     }
 }
 
@@ -86,7 +89,17 @@ fn warm_start_agrees_under_all_modes() {
     b.add_edge(150, 5, 1);
     let deltas = [b.build()];
     for mode in all_modes() {
-        assert_equiv(&Sssp, &0, &g, &deltas, PartitionKind::EdgeCut, 4, mode, "all_modes");
+        assert_equiv(
+            &Sssp,
+            &0,
+            &g,
+            &deltas,
+            PartitionKind::EdgeCut,
+            4,
+            mode,
+            &fuzz_seeds(2),
+            "all_modes",
+        );
     }
 }
 
@@ -99,7 +112,7 @@ fn warm_start_does_less_work_than_cold() {
     b.add_edge(1, 900, 2);
     b.add_edge(40, 1500, 3);
     let deltas = [b.build()];
-    let r = assert_equiv(&Sssp, &0, &g, &deltas, PartitionKind::EdgeCut, 6, Mode::aap(), "5x");
+    let r = assert_equiv(&Sssp, &0, &g, &deltas, PartitionKind::EdgeCut, 6, Mode::aap(), &[], "5x");
     assert!(
         r.incremental_updates * 5 < r.cold_updates.max(1),
         "warm run ({} updates) should ship far less than cold ({} updates)",

@@ -17,7 +17,8 @@ fn frags(g: &Graph<(), u32>, m: usize) -> Vec<Fragment<(), u32>> {
 #[test]
 fn bsp_supersteps_start_together() {
     let g = generate::small_world(240, 2, 0.1, 3);
-    let sim = SimEngine::new(frags(&g, 4), SimOpts { mode: Mode::Bsp, ..SimOpts::default() });
+    let sim = SimEngine::new(frags(&g, 4), SimOpts { mode: Mode::Bsp, ..SimOpts::default() })
+        .expect("valid opts");
     let out = sim.run(&ConnectedComponents, &());
     // Group compute spans by round: all starts within a round are equal.
     let mut starts: std::collections::BTreeMap<u32, Vec<f64>> = Default::default();
@@ -48,8 +49,10 @@ fn ssp_bounds_the_lead_in_time() {
             latency: 0.5,
             cost: CostModel::skewed_work(speed),
             max_rounds: Some(100_000),
+            ..SimOpts::default()
         },
-    );
+    )
+    .expect("valid opts");
     let out = sim.run(&ConnectedComponents, &());
     // completion time of round r per worker
     let done_at = |w: usize, r: u32| -> Option<f64> {
@@ -99,8 +102,10 @@ fn aap_suspends_ap_does_not() {
                 latency: 2.0,
                 cost: CostModel::skewed_work(speed.clone()),
                 max_rounds: Some(200_000),
+                ..SimOpts::default()
             },
         )
+        .expect("valid opts")
         .run(&PageRank { damping: 0.85, epsilon: 1e-3 }, &())
     };
     let ap = mk(Mode::Ap);
@@ -131,8 +136,10 @@ fn hsync_runs_and_converges() {
             latency: 1.0,
             cost: CostModel::skewed_work(speed),
             max_rounds: Some(200_000),
+            ..SimOpts::default()
         },
-    );
+    )
+    .expect("valid opts");
     let out = sim.run(&ConnectedComponents, &());
     let expect = grape_aap::algos::seq::connected_components(&g);
     assert_eq!(out.out, expect);

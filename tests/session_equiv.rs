@@ -13,7 +13,7 @@
 use aap_testkit::{
     adversarial_stream, all_modes, arb_graph, assert_crash_restore_equiv,
     assert_full_equals_chain_restore, assert_session_equiv, assert_session_equiv_sim, cases,
-    scratch_dir, PartitionKind, CRASH_POINTS, PARTITIONS,
+    fuzz_seeds, scratch_dir, PartitionKind, CRASH_POINTS, PARTITIONS,
 };
 use grape_aap::prelude::*;
 use grape_aap::runtime::WarmStrategy;
@@ -36,6 +36,7 @@ fn session_matches_manual_composition_across_modes_and_partitions() {
                 kind,
                 3,
                 mode.clone(),
+                &fuzz_seeds(4),
                 &format!("matrix[{kind:?},{mode:?}]"),
             );
             assert_eq!(report.strategies.len(), deltas.len());
@@ -51,7 +52,7 @@ fn session_streams_stay_warm() {
     let g = grape_aap::graph::generate::small_world(90, 2, 0.2, 23);
     let deltas = adversarial_stream(&g, 4, 0xBEEF);
     let report =
-        assert_session_equiv(&g, 0, &deltas, PartitionKind::EdgeCut, 3, Mode::aap(), "warmth");
+        assert_session_equiv(&g, 0, &deltas, PartitionKind::EdgeCut, 3, Mode::aap(), &[], "warmth");
     assert!(
         report.strategies.iter().any(|(s, _)| *s == WarmStrategy::WarmIncrease),
         "stream never hit warm-increase: {:?}",
@@ -71,7 +72,15 @@ fn session_sim_backend_matches_manual_composition() {
     let g = grape_aap::graph::generate::small_world(80, 2, 0.2, 5);
     let deltas = adversarial_stream(&g, 3, 0xD00D);
     for kind in PARTITIONS {
-        assert_session_equiv_sim(&g, 0, &deltas, kind, 3, &format!("sim[{kind:?}]"));
+        assert_session_equiv_sim(
+            &g,
+            0,
+            &deltas,
+            kind,
+            3,
+            &fuzz_seeds(2),
+            &format!("sim[{kind:?}]"),
+        );
     }
 }
 
@@ -194,7 +203,7 @@ proptest! {
     fn session_equiv_random(g in arb_graph(), seed in 0u64..500) {
         let deltas = adversarial_stream(&g, 3, seed);
         for kind in PARTITIONS {
-            assert_session_equiv(&g, 0, &deltas, kind, 3, Mode::aap(),
+            assert_session_equiv(&g, 0, &deltas, kind, 3, Mode::aap(), &[],
                 &format!("random[{seed},{kind:?}]"));
         }
     }

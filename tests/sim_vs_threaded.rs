@@ -24,6 +24,7 @@ fn sssp_same_answer_in_both_runtimes() {
         .run(&Sssp, &2);
         let simulated =
             SimEngine::new(frags(&g, 5), SimOpts { mode: mode.clone(), ..SimOpts::default() })
+                .expect("valid opts")
                 .run(&Sssp, &2);
         assert_eq!(threaded.out, expect, "threaded, {mode:?}");
         assert_eq!(simulated.out, expect, "simulated, {mode:?}");
@@ -41,6 +42,7 @@ fn cc_same_answer_in_both_runtimes() {
         )
         .run(&ConnectedComponents, &());
         let s = SimEngine::new(frags(&g, 6), SimOpts { mode, ..SimOpts::default() })
+            .expect("valid opts")
             .run(&ConnectedComponents, &());
         assert_eq!(t.out, expect);
         assert_eq!(s.out, expect);
@@ -52,7 +54,7 @@ fn bfs_same_answer_in_both_runtimes() {
     let g = generate::lattice2d(14, 14, 46);
     let expect = seq::bfs(&g, 5);
     let t = Engine::new(frags(&g, 4), EngineOpts::default()).run(&Bfs, &5);
-    let s = SimEngine::new(frags(&g, 4), SimOpts::default()).run(&Bfs, &5);
+    let s = SimEngine::new(frags(&g, 4), SimOpts::default()).expect("valid opts").run(&Bfs, &5);
     assert_eq!(t.out, expect);
     assert_eq!(s.out, expect);
 }
@@ -63,7 +65,7 @@ fn pagerank_close_in_both_runtimes() {
     let pr = PageRank { damping: 0.85, epsilon: 1e-8 };
     let expect = seq::pagerank_delta(&g, 0.85, 1e-8);
     let t = Engine::new(frags(&g, 4), EngineOpts::default()).run(&pr, &());
-    let s = SimEngine::new(frags(&g, 4), SimOpts::default()).run(&pr, &());
+    let s = SimEngine::new(frags(&g, 4), SimOpts::default()).expect("valid opts").run(&pr, &());
     for (v, &e) in expect.iter().enumerate() {
         assert!((t.out[v] - e).abs() < 1e-3, "threaded v{v}");
         assert!((s.out[v] - e).abs() < 1e-3, "sim v{v}");
@@ -73,7 +75,11 @@ fn pagerank_close_in_both_runtimes() {
 #[test]
 fn sim_stats_are_deterministic_but_threaded_times_vary() {
     let g = generate::rmat(8, 6, true, 48);
-    let run = || SimEngine::new(frags(&g, 5), SimOpts::default()).run(&ConnectedComponents, &());
+    let run = || {
+        SimEngine::new(frags(&g, 5), SimOpts::default())
+            .expect("valid opts")
+            .run(&ConnectedComponents, &())
+    };
     let (a, b) = (run(), run());
     assert_eq!(a.stats.makespan, b.stats.makespan);
     assert_eq!(a.stats.total_updates(), b.stats.total_updates());
