@@ -1,0 +1,137 @@
+//! The `rebalance` group: elastic-partition primitives (ISSUE 10).
+//!
+//! Planner: `plan_migration` on a skewed 8-fragment edge-cut — a pure
+//! read-only scan whose cost bounds how often auto-rebalancing can
+//! afford to deliberate. Executor: `migrate_edge_cut` applying a fixed
+//! plan in place, vs the full re-partition (reassemble → re-hash →
+//! rebuild) it replaces — the gap between those rows is the subsystem's
+//! reason to exist. Vertex-cut: a one-bucket delta apply (repacks only
+//! the fragments it touches) vs the retired full re-partition fallback,
+//! showing touched-fragment-proportional cost.
+
+use aap_balance::{execute_migration, plan_migration, BalancePolicy};
+use aap_delta::apply::apply_to_fragments_par;
+use aap_delta::generate::Xorshift;
+use aap_delta::DeltaBuilder;
+use aap_graph::generate;
+use aap_graph::mutate::{reassemble, EditBuffers};
+use aap_graph::partition::{
+    build_fragments_n, build_fragments_vertex_cut_n, hash_partition, vertex_cut_partition,
+};
+use aap_graph::Fragment;
+use aap_trace::Tracer;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+const WORKERS: usize = 8;
+
+/// An edge-cut fragment set with fragment 0 overloaded: the base rmat
+/// graph plus a skewed insert wave, pre-applied so every benchmark row
+/// starts from the same drifted partition.
+fn skewed_fragments() -> Vec<Fragment<(), u32>> {
+    let g = generate::rmat(13, 8, true, 21);
+    let assignment = hash_partition(&g, WORKERS);
+    let hot: Vec<u32> =
+        (0..g.num_vertices() as u32).filter(|&v| assignment[v as usize] == 0).collect();
+    let mut rng = Xorshift::new(0xE1A);
+    let mut b: DeltaBuilder<(), u32> = DeltaBuilder::new();
+    for _ in 0..(g.num_edges() / 16) {
+        let u = hot[rng.below(hot.len() as u64) as usize];
+        let v = rng.below(g.num_vertices() as u64) as u32;
+        if u != v {
+            b.add_edge(u, v, 1);
+        }
+    }
+    let mut frags = build_fragments_n(&g, &assignment, WORKERS);
+    let mut refs: Vec<_> = frags.iter_mut().collect();
+    let mut bufs = EditBuffers::default();
+    apply_to_fragments_par(&mut refs, &b.build(), &mut bufs, WORKERS);
+    frags
+}
+
+fn bench_rebalance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rebalance");
+    group.sample_size(10);
+    let tracer = Tracer::default();
+    let policy = BalancePolicy::new().max_imbalance(1.15).migration_budget(1 << 13);
+
+    // --- planner (read-only) -----------------------------------------
+    let frags = skewed_fragments();
+    let plan = plan_migration(&frags, &policy, &tracer);
+    assert!(!plan.is_empty(), "the skewed fixture must force a plan");
+    group.bench_function("plan_skewed_8frags", |b| {
+        b.iter(|| black_box(plan_migration(&frags, &policy, &tracer)))
+    });
+
+    // --- executor vs the full re-partition it replaces ---------------
+    group.bench_function("migrate_in_place", |b| {
+        b.iter_batched(
+            skewed_fragments,
+            |mut frags| {
+                let mut refs: Vec<_> = frags.iter_mut().collect();
+                black_box(execute_migration(&mut refs, &plan, &tracer))
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("full_repartition", |b| {
+        b.iter_batched(
+            skewed_fragments,
+            |frags| {
+                let view: Vec<&Fragment<(), u32>> = frags.iter().collect();
+                let g = reassemble(&view);
+                black_box(build_fragments_n(&g, &hash_partition(&g, WORKERS), WORKERS))
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // --- vertex-cut: touched-fragment-proportional apply -------------
+    let gv = generate::rmat(12, 8, true, 21);
+    let m = WORKERS;
+    let vfrags = build_fragments_vertex_cut_n(&gv, &vertex_cut_partition(&gv, m), m);
+    // A batch confined to one pair-hash bucket (fragment 0 stores it)
+    // between endpoints fragment 0 already copies.
+    let mut rng = Xorshift::new(7);
+    let mut b: DeltaBuilder<(), u32> = DeltaBuilder::new();
+    let mut placed = 0;
+    while placed < (gv.num_edges() / 1000).max(8) {
+        let u = rng.below(gv.num_vertices() as u64) as u32;
+        let v = rng.below(gv.num_vertices() as u64) as u32;
+        if u != v
+            && aap_graph::partition::vertex_cut_edge_frag(u, v, WORKERS) == 0
+            && vfrags[0].local(u).is_some()
+            && vfrags[0].local(v).is_some()
+        {
+            b.add_edge(u, v, 1);
+            placed += 1;
+        }
+    }
+    let local_delta = b.build();
+    group.bench_function("vertex_cut_apply_one_bucket", |b| {
+        let mut bufs = EditBuffers::default();
+        b.iter_batched(
+            || vfrags.clone(),
+            |mut frags| {
+                let mut refs: Vec<_> = frags.iter_mut().collect();
+                black_box(apply_to_fragments_par(&mut refs, &local_delta, &mut bufs, WORKERS))
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("vertex_cut_full_repartition", |b| {
+        b.iter_batched(
+            || vfrags.clone(),
+            |frags| {
+                let view: Vec<&Fragment<(), u32>> = frags.iter().collect();
+                let g = reassemble(&view);
+                black_box(build_fragments_vertex_cut_n(&g, &vertex_cut_partition(&g, m), m))
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rebalance);
+criterion_main!(benches);

@@ -28,6 +28,11 @@ experiments:
   durability  differential vs full checkpoint bytes and reader QPS
            during in-flight background cuts (wall-clock, asserts the
            >=5x byte and >=0.8x QPS acceptance bars)
+  rebalance  elastic in-place migration vs full re-partition after a
+           skewed delta stream (wall-clock, asserts <=1.15 post-
+           rebalance load ratio, >=5x over full re-partition, and
+           identical fixpoints), plus the vertex-cut touched-fragment-
+           proportional apply cost
   ablate   design-choice ablations
   fuzz     schedule-fuzz sweep: every mode x partitioning cell re-run
            under seeded hostile interleavings (ScheduleFuzz), fixpoints
@@ -98,6 +103,7 @@ fn main() {
             "single" => exp::single_thread(),
             "serving" => exp::serving(),
             "durability" => exp::durability(),
+            "rebalance" => exp::rebalance(),
             "ablate" => exp::ablate(),
             "fuzz" => exp::fuzz(),
             "trace" => exp::trace_capture(),

@@ -3,10 +3,10 @@
 
 use crate::ops::GraphDelta;
 use aap_graph::mutate::{
-    apply_partition_edit_threads_traced, apply_partition_edit_traced, AppliedEdit, DeltaSummary,
-    EditBuffers, FragmentEdit, PartitionEdit, StateRemap,
+    apply_partition_edit_threads_traced, apply_partition_edit_traced, patch_vertex_cut_traced,
+    AppliedEdit, DeltaSummary, EditBuffers, FragmentEdit, PartitionEdit, StateRemap, VertexCutEdit,
 };
-use aap_graph::partition::{build_fragments_vertex_cut_n, vertex_cut_partition};
+use aap_graph::partition::vertex_cut_edge_frag;
 use aap_graph::{fxhash, mutate, FragId, Fragment, FxHashMap, FxHashSet, Graph, LocalId, VertexId};
 use aap_trace::{cat, pid, Args, Tracer};
 
@@ -23,8 +23,8 @@ pub struct Applied {
     /// Per-fragment delta-affected vertices (new local ids, sorted).
     pub seeds: Vec<Vec<LocalId>>,
     /// Per-fragment: whether persisted bytes changed (see
-    /// [`AppliedEdit::changed`]). The vertex-cut fallback re-partitions
-    /// everything, so every fragment reports changed there.
+    /// [`AppliedEdit::changed`]). Both cut kinds patch in place, so this
+    /// covers exactly the repacked fragments.
     pub changed: Vec<bool>,
 }
 
@@ -114,13 +114,13 @@ where
 
 /// Replay `delta` onto a partitioned fragment set, **in place**.
 ///
-/// Edge-cut partitions are patched locally: only fragments named by the
-/// delta (or linked to them through mirrors/holders) are touched; dense
+/// Both cut kinds are patched locally: only fragments named by the delta
+/// (or linked to them through mirrors/holders/copies) are touched; dense
 /// routing tables are rebuilt for exactly the affected destinations (see
-/// `aap_graph::mutate`). Vertex-cut partitions are re-partitioned from
-/// the reassembled graph with the hash vertex-cut strategy — a
-/// correctness-first fallback (re-using the hash rule keeps unchanged
-/// edges on their fragments).
+/// `aap_graph::mutate`). Vertex-cut batches route each edge op to its
+/// canonical pair-hash fragment and repack just the holders of affected
+/// vertices (`patch_vertex_cut`) — the old reassemble + re-partition
+/// fallback is gone.
 ///
 /// New vertices are owned by `hash(id) % m`, consistent with
 /// [`aap_graph::partition::hash_partition`].
@@ -149,7 +149,7 @@ where
     let m = frags.len();
     assert!(m > 0, "cannot apply a delta to an empty fragment set");
     if frags[0].is_vertex_cut() {
-        apply_vertex_cut(frags, delta)
+        apply_vertex_cut(frags, delta, &Tracer::default())
     } else {
         apply_edge_cut(frags, delta, bufs, &Tracer::default())
     }
@@ -159,8 +159,8 @@ where
 /// repacks out over up to `threads` scoped worker threads. Byte-identical
 /// to the serial path (see
 /// [`aap_graph::mutate::apply_partition_edit_threads`], pinned by the
-/// mutate proptests); edge-cut only — the vertex-cut fallback stays
-/// serial regardless of `threads`.
+/// mutate proptests); edge-cut only — the vertex-cut patch is serial
+/// regardless of `threads` (its batches touch few fragments).
 pub fn apply_to_fragments_par<V, E>(
     frags: &mut [&mut Fragment<V, E>],
     delta: &GraphDelta<V, E>,
@@ -194,7 +194,7 @@ where
     let m = frags.len();
     assert!(m > 0, "cannot apply a delta to an empty fragment set");
     if frags[0].is_vertex_cut() {
-        apply_vertex_cut(frags, delta)
+        apply_vertex_cut(frags, delta, tracer)
     } else if threads <= 1 {
         apply_edge_cut(frags, delta, bufs, tracer)
     } else {
@@ -368,64 +368,100 @@ fn finish_edge_cut<V, E>(delta: &GraphDelta<V, E>, applied: AppliedEdit) -> Appl
     Applied { summary, remaps: applied.remaps, seeds: applied.seeds, changed: applied.changed }
 }
 
-/// Vertex-cut path: reassemble, mutate globally, re-partition with the
-/// hash vertex-cut rule, and diff the old/new fragments into remaps and
-/// seeds. Copies migrate when holder sets change, so seeds additionally
-/// cover every vertex that is new to a fragment (its fresh copy starts
-/// uninitialised) and its owner (which must re-announce the value).
-fn apply_vertex_cut<V, E>(frags: &mut [&mut Fragment<V, E>], delta: &GraphDelta<V, E>) -> Applied
+/// Vertex-cut path: route each stored-edge op to its canonical pair-hash
+/// fragment and patch only the holders of affected vertices in place
+/// (`aap_graph::mutate::patch_vertex_cut`) — at parity with the edge-cut
+/// path, touched-fragment-proportional, no reassembly.
+fn apply_vertex_cut<V, E>(
+    frags: &mut [&mut Fragment<V, E>],
+    delta: &GraphDelta<V, E>,
+    tracer: &Tracer,
+) -> Applied
+where
+    V: Clone,
+    E: Clone + PartialOrd,
+{
+    let traced = tracer.enabled();
+    if traced {
+        tracer.begin(pid::DELTA, 0, cat::APPLY, "apply_delta", delta_args(delta, 1));
+    }
+    let edit = {
+        if traced {
+            tracer.begin(pid::DELTA, 0, cat::APPLY, "resolve_edit", Args::new());
+        }
+        let edit = resolve_vertex_cut_edit(frags, delta);
+        if traced {
+            let touched = edit.frags.iter().filter(|fe| !fe.is_empty()).count();
+            tracer.end(
+                pid::DELTA,
+                0,
+                cat::APPLY,
+                "resolve_edit",
+                Args::new().with("touched", touched),
+            );
+        }
+        edit
+    };
+    let applied = patch_vertex_cut_traced(frags, &edit, tracer);
+    if traced {
+        tracer.end(pid::DELTA, 0, cat::APPLY, "apply_delta", Args::new());
+    }
+    finish_edge_cut(delta, applied)
+}
+
+/// Resolve a delta against a vertex-cut partition into a
+/// [`VertexCutEdit`]: every edge op lands at its canonical pair-hash
+/// fragment (both stored directions of an undirected logical edge share
+/// it), vertex ops pass through.
+fn resolve_vertex_cut_edit<V, E>(
+    frags: &[&mut Fragment<V, E>],
+    delta: &GraphDelta<V, E>,
+) -> VertexCutEdit<V, E>
 where
     V: Clone,
     E: Clone + PartialOrd,
 {
     let m = frags.len();
-    let g_old = {
-        let view: Vec<&Fragment<V, E>> = frags.iter().map(|f| &**f).collect();
-        mutate::reassemble(&view)
-    };
-    let (g_new, wdec, winc) = apply_to_graph_counting(&g_old, delta);
-    let assignment = vertex_cut_partition(&g_new, m);
-    let new_frags = build_fragments_vertex_cut_n(&g_new, &assignment, m);
-
-    let mut affected_set: FxHashSet<VertexId> = delta.mentioned_vertices().collect();
-    // First diff pass: vertices new to some fragment affect themselves
-    // (fresh copy) and must be re-announced by their owner.
-    for (old, new) in frags.iter().zip(&new_frags) {
-        for l in new.local_vertices() {
-            let g = new.global(l);
-            if old.local(g).is_none() {
-                affected_set.insert(g);
-            }
+    let directed = frags
+        .iter()
+        .find(|f| f.local_count() > 0)
+        .map(|f| f.local_graph().is_directed())
+        .unwrap_or(true);
+    // Same contract as the edge-cut resolver and apply_to_graph: added
+    // ids extend the dense id space contiguously.
+    let total_owned: usize = frags.iter().map(|f| f.owned_count()).sum();
+    for (i, (v, _)) in delta.vertices_added().iter().enumerate() {
+        assert_eq!(
+            *v as usize,
+            total_owned + i,
+            "added vertex ids must extend the dense id space contiguously"
+        );
+    }
+    let mut edit = VertexCutEdit::empty(m);
+    edit.removed_vertices = delta.vertices_removed().iter().copied().collect();
+    edit.added = delta.vertices_added().to_vec();
+    for (u, v, d) in delta.edges_added() {
+        let t = vertex_cut_edge_frag(*u, *v, m) as usize;
+        edit.frags[t].insert_edges.push((*u, *v, d.clone()));
+        if !directed {
+            edit.frags[t].insert_edges.push((*v, *u, d.clone()));
         }
     }
-    let affected: Vec<VertexId> = affected_set.into_iter().collect();
-    let mut seeds: Vec<Vec<LocalId>> = vec![Vec::new(); m];
-    for &g in &affected {
-        // Seed the vertex at every fragment holding a copy (the owner
-        // re-announces; fresh copies pick the value up).
-        for (i, nf) in new_frags.iter().enumerate() {
-            if let Some(l) = nf.local(g) {
-                seeds[i].push(l);
-            }
+    for (u, v) in delta.edges_removed() {
+        let t = vertex_cut_edge_frag(*u, *v, m) as usize;
+        edit.frags[t].remove_edges.push((*u, *v));
+        if !directed {
+            edit.frags[t].remove_edges.push((*v, *u));
         }
     }
-    let mut remaps = Vec::with_capacity(m);
-    for (old, new) in frags.iter().zip(&new_frags) {
-        let table: Vec<LocalId> =
-            old.globals().iter().map(|&g| new.local(g).unwrap_or(LocalId::MAX)).collect();
-        remaps.push(StateRemap::from_table(table, new.local_count()));
+    for (u, v, d) in delta.weight_updates() {
+        let t = vertex_cut_edge_frag(*u, *v, m) as usize;
+        edit.frags[t].set_weights.push((*u, *v, d.clone()));
+        if !directed {
+            edit.frags[t].set_weights.push((*v, *u, d.clone()));
+        }
     }
-    for (slot, nf) in frags.iter_mut().zip(new_frags) {
-        **slot = nf;
-    }
-    for s in &mut seeds {
-        s.sort_unstable();
-        s.dedup();
-    }
-    let mut summary = delta.summary();
-    summary.weights_decreased = wdec;
-    summary.weights_increased = winc;
-    Applied { summary, remaps, seeds, changed: vec![true; m] }
+    edit
 }
 
 #[cfg(test)]
@@ -433,7 +469,9 @@ mod tests {
     use super::*;
     use crate::DeltaBuilder;
     use aap_graph::generate;
-    use aap_graph::partition::{build_fragments_n, hash_partition};
+    use aap_graph::partition::{
+        build_fragments_n, build_fragments_vertex_cut_n, hash_partition, vertex_cut_partition,
+    };
 
     #[test]
     fn graph_apply_inserts_removes_and_updates() {

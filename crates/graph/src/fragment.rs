@@ -340,6 +340,15 @@ impl<V, E> Fragment<V, E> {
         self.routing = routing;
     }
 
+    /// Re-point one mirror's owner hint after its vertex migrated to a
+    /// new fragment (elastic rebalancing; see
+    /// [`crate::mutate::migrate_edge_cut`]). `l` must be a mirror.
+    pub(crate) fn set_mirror_owner(&mut self, l: LocalId, owner: FragId) {
+        debug_assert!((l as usize) >= self.owned, "owner hints exist only for mirrors");
+        debug_assert!((owner as usize) < self.num_frags as usize);
+        self.mirror_owner[l as usize - self.owned] = owner;
+    }
+
     /// Replace the holder CSR and `Fi.I` after a peer gained or lost a
     /// mirror of one of this fragment's owned vertices (delta application;
     /// see [`crate::mutate`]). The local id space is untouched.
@@ -557,8 +566,79 @@ pub struct PartitionStats {
     pub cut_edges: usize,
     /// `‖Fmax‖ / ‖Fmedian‖` over stored edges — the skew measure `r` of §7.
     pub skew_r: f64,
-    /// Average copies per vertex (1.0 means no replication).
+    /// Average copies per vertex (1.0 means no replication). For
+    /// vertex-cut partitions this is the replication factor in the
+    /// PowerGraph sense (total copies / distinct vertices).
     pub replication_factor: f64,
+    /// `max(owned) / mean(owned)` — ownership (load) imbalance,
+    /// 1.0 when perfectly balanced.
+    pub load_balance: f64,
+    /// `max(edges) / mean(edges)` — stored-edge imbalance, 1.0 when
+    /// perfectly balanced.
+    pub edge_balance: f64,
+}
+
+impl PartitionStats {
+    /// Derive the full statistics record from per-fragment counts.
+    ///
+    /// This is the single source of truth for every derived metric
+    /// (`skew_r`, `replication_factor`, `load_balance`, `edge_balance`):
+    /// [`partition_stats`] delegates here after a full scan, and
+    /// incremental consumers (the balance monitor) call it directly with
+    /// counts they maintain across applies.
+    pub fn from_counts(
+        owned: Vec<usize>,
+        edges: Vec<usize>,
+        mirrors: Vec<usize>,
+        cut_edges: usize,
+    ) -> PartitionStats {
+        let mut sorted = edges.clone();
+        sorted.sort_unstable();
+        let max = *sorted.last().unwrap_or(&0) as f64;
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0) as f64;
+        let skew_r = if median > 0.0 { max / median } else { 1.0 };
+        let total_owned: usize = owned.iter().sum();
+        let total_local: usize = total_owned + mirrors.iter().sum::<usize>();
+        let replication_factor =
+            if total_owned > 0 { total_local as f64 / total_owned as f64 } else { 1.0 };
+        let ratio = |counts: &[usize]| -> f64 {
+            let total: usize = counts.iter().sum();
+            if total == 0 || counts.is_empty() {
+                return 1.0;
+            }
+            let mean = total as f64 / counts.len() as f64;
+            let max = counts.iter().copied().max().unwrap_or(0) as f64;
+            max / mean
+        };
+        let load_balance = ratio(&owned);
+        let edge_balance = ratio(&edges);
+        PartitionStats {
+            owned,
+            edges,
+            mirrors,
+            cut_edges,
+            skew_r,
+            replication_factor,
+            load_balance,
+            edge_balance,
+        }
+    }
+
+    /// Ownership imbalance `max/mean` — the metric the rebalance policy
+    /// thresholds on.
+    #[inline]
+    pub fn imbalance(&self) -> f64 {
+        self.load_balance
+    }
+}
+
+/// Count the cut (cross-fragment) directed edges stored in one fragment.
+///
+/// For edge-cut fragments these are edges whose target is a mirror; for
+/// vertex-cut fragments every stored edge is local, so this counts edges
+/// into copies (a replication proxy).
+pub fn fragment_cut_edges<V, E>(f: &Fragment<V, E>) -> usize {
+    f.local_vertices().flat_map(|l| f.neighbors(l)).filter(|&&t| !f.is_owned(t)).count()
 }
 
 /// Compute [`PartitionStats`] for a set of fragments. Accepts both
@@ -571,22 +651,8 @@ pub fn partition_stats<V, E, F: std::borrow::Borrow<Fragment<V, E>>>(
     let owned: Vec<usize> = frags.iter().map(|f| f.owned_count()).collect();
     let edges: Vec<usize> = frags.iter().map(|f| f.edge_count()).collect();
     let mirrors: Vec<usize> = frags.iter().map(|f| f.mirror_count()).collect();
-    let cut_edges = frags
-        .iter()
-        .map(|f| {
-            f.local_vertices().flat_map(|l| f.neighbors(l)).filter(|&&t| !f.is_owned(t)).count()
-        })
-        .sum();
-    let mut sorted = edges.clone();
-    sorted.sort_unstable();
-    let max = *sorted.last().unwrap_or(&0) as f64;
-    let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0) as f64;
-    let skew_r = if median > 0.0 { max / median } else { 1.0 };
-    let total_owned: usize = owned.iter().sum();
-    let total_local: usize = frags.iter().map(|f| f.local_count()).sum();
-    let replication_factor =
-        if total_owned > 0 { total_local as f64 / total_owned as f64 } else { 1.0 };
-    PartitionStats { owned, edges, mirrors, cut_edges, skew_r, replication_factor }
+    let cut_edges = frags.iter().map(|f| fragment_cut_edges(f)).sum();
+    PartitionStats::from_counts(owned, edges, mirrors, cut_edges)
 }
 
 #[cfg(test)]

@@ -1110,9 +1110,1094 @@ where
     AppliedEdit { remaps, seeds, weights_decreased, weights_increased, changed }
 }
 
+/// A delta batch resolved against a **vertex-cut** partition: per-fragment
+/// stored-edge ops already routed to the fragment the canonical pair-hash
+/// rule ([`crate::partition::vertex_cut_edge_frag`]) assigns them to, plus
+/// vertex additions/removals and — for elastic migration — forced
+/// ownership assignments.
+///
+/// Unlike [`PartitionEdit`] there is no per-fragment `add_owned`: under
+/// vertex-cut, vertex *placement* is derived from edge incidence (plus
+/// the isolated-home rule), so [`patch_vertex_cut`] computes holder sets
+/// and owners itself. The patch is shared by the delta path (`aap-delta`)
+/// and the migration executor (`aap-balance`), which expresses an
+/// ownership move as a pure `owner_overrides` edit with no edge ops.
+#[derive(Debug, Clone)]
+pub struct VertexCutEdit<V, E> {
+    /// One edit per fragment; `add_owned` must be empty (placement is
+    /// derived). Both stored directions of an undirected logical edge
+    /// must land at the same fragment (the pair-hash rule guarantees
+    /// this).
+    pub frags: Vec<FragmentEdit<V, E>>,
+    /// Vertices to isolate: every incident edge is dropped, the dense id
+    /// survives as an edgeless owned vertex at its isolated home.
+    pub removed_vertices: FxHashSet<VertexId>,
+    /// Node payloads for vertices added in this batch.
+    pub added: Vec<(VertexId, V)>,
+    /// Forced owners (migration): each named vertex must be a member of
+    /// its post-edit holder set. Vertices not named follow the default
+    /// rule: keep the current owner when the holder set is unchanged,
+    /// else the canonical `hs[v % |hs|]`.
+    pub owner_overrides: FxHashMap<VertexId, FragId>,
+}
+
+impl<V, E> VertexCutEdit<V, E> {
+    /// An empty edit over `m` fragments.
+    pub fn empty(m: usize) -> Self {
+        VertexCutEdit {
+            frags: (0..m).map(|_| FragmentEdit::default()).collect(),
+            removed_vertices: FxHashSet::default(),
+            added: Vec::new(),
+            owner_overrides: FxHashMap::default(),
+        }
+    }
+}
+
+/// Apply one resolved vertex-cut delta batch in place — the vertex-cut
+/// peer of [`apply_partition_edit`], with cost proportional to the
+/// *touched* fragments (those with edge ops, those holding an affected
+/// vertex, and isolated homes), never a global rebuild.
+///
+/// The locality argument: the pair-hash rule assigns each stored edge a
+/// fragment from its endpoints alone, so edges never migrate when other
+/// edges change. A batch can therefore only change (a) the edge lists of
+/// the fragments it names and (b) the holder sets / owners of the
+/// vertices incident to changed edges — and every fragment involved in
+/// (b) already holds the vertex or gains it through a named edge.
+pub fn patch_vertex_cut<V, E>(
+    frags: &mut [&mut Fragment<V, E>],
+    edit: &VertexCutEdit<V, E>,
+) -> AppliedEdit
+where
+    V: Clone,
+    E: Clone + PartialOrd,
+{
+    patch_vertex_cut_traced(frags, edit, &Tracer::default())
+}
+
+/// [`patch_vertex_cut`] emitting a per-fragment `repack` span (delta
+/// track, tid = fragment id) around each rebuilt fragment.
+pub fn patch_vertex_cut_traced<V, E>(
+    frags: &mut [&mut Fragment<V, E>],
+    edit: &VertexCutEdit<V, E>,
+    tracer: &Tracer,
+) -> AppliedEdit
+where
+    V: Clone,
+    E: Clone + PartialOrd,
+{
+    let m = frags.len();
+    assert_eq!(edit.frags.len(), m, "one FragmentEdit per fragment");
+    assert!(frags.iter().all(|f| f.is_vertex_cut()), "patch_vertex_cut needs a vertex-cut set");
+    assert!(
+        edit.frags.iter().all(|fe| fe.add_owned.is_empty()),
+        "vertex-cut placement is derived; add vertices via `VertexCutEdit::added`"
+    );
+
+    // Affected vertices: endpoints of every edge op, removed/added ids,
+    // migration targets — plus endpoints of edges dropped *implicitly* by
+    // a vertex removal (their holder sets may shrink too).
+    let mut affected: FxHashSet<VertexId> = FxHashSet::default();
+    for fe in &edit.frags {
+        for (u, v, _) in fe.insert_edges.iter().chain(fe.set_weights.iter()) {
+            affected.insert(*u);
+            affected.insert(*v);
+        }
+        for (u, v) in &fe.remove_edges {
+            affected.insert(*u);
+            affected.insert(*v);
+        }
+    }
+    affected.extend(edit.removed_vertices.iter().copied());
+    affected.extend(edit.added.iter().map(|&(v, _)| v));
+    affected.extend(edit.owner_overrides.keys().copied());
+    if !edit.removed_vertices.is_empty() {
+        for f in frags.iter() {
+            if !edit.removed_vertices.iter().any(|v| f.local(*v).is_some()) {
+                continue;
+            }
+            for l in f.local_vertices() {
+                let gu = f.global(l);
+                let u_removed = edit.removed_vertices.contains(&gu);
+                for &t in f.neighbors(l) {
+                    let gt = f.global(t);
+                    if u_removed || edit.removed_vertices.contains(&gt) {
+                        affected.insert(gu);
+                        affected.insert(gt);
+                    }
+                }
+            }
+        }
+    }
+    let mut affected_sorted: Vec<VertexId> = affected.iter().copied().collect();
+    affected_sorted.sort_unstable();
+
+    // Old holder sets, owners, and one node payload per affected vertex.
+    let added_payload: FxHashMap<VertexId, &V> = edit.added.iter().map(|(v, d)| (*v, d)).collect();
+    let mut hs_old: FxHashMap<VertexId, Vec<FragId>> = FxHashMap::default();
+    let mut owner_old: FxHashMap<VertexId, FragId> = FxHashMap::default();
+    let mut payload: FxHashMap<VertexId, V> = FxHashMap::default();
+    for &v in &affected_sorted {
+        let mut hs = Vec::new();
+        for (i, f) in frags.iter().enumerate() {
+            if let Some(l) = f.local(v) {
+                hs.push(i as FragId);
+                if f.is_owned(l) {
+                    owner_old.insert(v, i as FragId);
+                }
+                if !payload.contains_key(&v) {
+                    payload.insert(v, f.node(l).clone());
+                }
+            }
+        }
+        if hs.is_empty() {
+            let d = added_payload
+                .get(&v)
+                .unwrap_or_else(|| panic!("vertex {v} not found in any fragment and not added"));
+            payload.insert(v, (*d).clone());
+        }
+        hs_old.insert(v, hs);
+    }
+    for v in &edit.removed_vertices {
+        assert!(!hs_old[v].is_empty(), "removed vertex {v} does not exist");
+    }
+
+    // Touched fragments: direct edits + every holder of an affected vertex.
+    let mut touched = vec![false; m];
+    for (i, fe) in edit.frags.iter().enumerate() {
+        if !fe.is_empty() {
+            touched[i] = true;
+        }
+    }
+    for &v in &affected_sorted {
+        for &h in &hs_old[&v] {
+            touched[h as usize] = true;
+        }
+    }
+
+    // Derive the post-edit edge list of every touched fragment and
+    // collect the post-edit incidence of affected vertices.
+    let mut edges_new: Vec<Option<Vec<(VertexId, VertexId, E)>>> = (0..m).map(|_| None).collect();
+    let mut edge_diff = vec![false; m];
+    let mut weights_decreased = 0u64;
+    let mut weights_increased = 0u64;
+    let mut inc_new: FxHashMap<VertexId, Vec<FragId>> =
+        affected_sorted.iter().map(|&v| (v, Vec::new())).collect();
+    for i in 0..m {
+        if !touched[i] {
+            continue;
+        }
+        let f: &Fragment<V, E> = frags[i];
+        let fe = &edit.frags[i];
+        let removed_pairs: FxHashSet<(VertexId, VertexId)> =
+            fe.remove_edges.iter().copied().collect();
+        let setw: FxHashMap<(VertexId, VertexId), &E> =
+            fe.set_weights.iter().map(|(u, v, w)| ((*u, *v), w)).collect();
+        let mut edges: Vec<(VertexId, VertexId, E)> =
+            Vec::with_capacity(f.edge_count() + fe.insert_edges.len());
+        let mut diff = !fe.insert_edges.is_empty();
+        for l in f.local_vertices() {
+            let gu = f.global(l);
+            let u_removed = edit.removed_vertices.contains(&gu);
+            for (t, d) in f.edges(l) {
+                let gt = f.global(t);
+                if u_removed
+                    || edit.removed_vertices.contains(&gt)
+                    || removed_pairs.contains(&(gu, gt))
+                {
+                    diff = true;
+                    continue;
+                }
+                if let Some(w) = setw.get(&(gu, gt)) {
+                    match weight_change(*w, d) {
+                        WeightChange::Decreased => {
+                            weights_decreased += 1;
+                            diff = true;
+                        }
+                        WeightChange::Unchanged => {}
+                        WeightChange::Increased => {
+                            weights_increased += 1;
+                            diff = true;
+                        }
+                    }
+                    edges.push((gu, gt, (*w).clone()));
+                } else {
+                    edges.push((gu, gt, d.clone()));
+                }
+            }
+        }
+        for (u, v, d) in &fe.insert_edges {
+            assert!(
+                !edit.removed_vertices.contains(u) && !edit.removed_vertices.contains(v),
+                "inserted edge ({u}, {v}) touches a removed vertex"
+            );
+            edges.push((*u, *v, d.clone()));
+        }
+        for &(u, v, _) in &edges {
+            if let Some(e) = inc_new.get_mut(&u) {
+                e.push(i as FragId);
+            }
+            if u != v {
+                if let Some(e) = inc_new.get_mut(&v) {
+                    e.push(i as FragId);
+                }
+            }
+        }
+        edge_diff[i] = diff;
+        edges_new[i] = Some(edges);
+    }
+
+    // New holder sets and owners.
+    let mut hs_new: FxHashMap<VertexId, Vec<FragId>> = FxHashMap::default();
+    let mut owner_new: FxHashMap<VertexId, FragId> = FxHashMap::default();
+    let mut extra_homes: Vec<FragId> = Vec::new();
+    for &v in &affected_sorted {
+        let mut hs = inc_new.remove(&v).expect("affected vertex tracked");
+        hs.sort_unstable();
+        hs.dedup();
+        if hs.is_empty() {
+            hs.push(crate::partition::vertex_cut_isolated_home(v, m));
+        }
+        let owner = if let Some(&o) = edit.owner_overrides.get(&v) {
+            assert!(hs.contains(&o), "owner override {o} for vertex {v} is not a holder");
+            o
+        } else if hs == hs_old[&v] {
+            owner_old[&v]
+        } else {
+            hs[v as usize % hs.len()]
+        };
+        for &h in &hs {
+            if !touched[h as usize] {
+                extra_homes.push(h);
+            }
+        }
+        owner_new.insert(v, owner);
+        hs_new.insert(v, hs);
+    }
+    // Isolated homes not previously holding anything affected: their edge
+    // lists are untouched (any affected endpoint would have made them a
+    // holder), but they gain an edgeless local and must repack.
+    for h in extra_homes {
+        let i = h as usize;
+        if touched[i] {
+            continue;
+        }
+        touched[i] = true;
+        let f: &Fragment<V, E> = frags[i];
+        let mut edges = Vec::with_capacity(f.edge_count());
+        for l in f.local_vertices() {
+            let gu = f.global(l);
+            for (t, d) in f.edges(l) {
+                edges.push((gu, f.global(t), d.clone()));
+            }
+        }
+        edges_new[i] = Some(edges);
+    }
+
+    // Which fragments actually change bytes: edge-list diffs, plus every
+    // old/new holder of a vertex whose holder set or owner moved (the
+    // owned/copy split, mirror owners, holder CSRs and borders live
+    // there).
+    let mut rebuilt: Vec<bool> = (0..m).map(|i| touched[i] && edge_diff[i]).collect();
+    for &v in &affected_sorted {
+        let old = &hs_old[&v];
+        let new = &hs_new[&v];
+        if old != new || owner_old.get(&v) != Some(&owner_new[&v]) {
+            for &h in old.iter().chain(new.iter()) {
+                rebuilt[h as usize] = true;
+            }
+        }
+    }
+
+    // Affected vertices by post-edit holding fragment, ascending.
+    let mut affected_at: Vec<Vec<VertexId>> = vec![Vec::new(); m];
+    for &v in &affected_sorted {
+        for &h in &hs_new[&v] {
+            affected_at[h as usize].push(v);
+        }
+    }
+
+    let old_dests: Vec<Vec<FragId>> = frags.iter().map(|f| f.routing().dests().to_vec()).collect();
+    let traced = tracer.enabled();
+    let mut remaps: Vec<StateRemap> = Vec::with_capacity(m);
+    let mut seeds: Vec<Vec<LocalId>> = vec![Vec::new(); m];
+    for i in 0..m {
+        if !rebuilt[i] {
+            remaps.push(StateRemap::identity(frags[i].local_count()));
+            for &v in &affected_at[i] {
+                seeds[i].push(frags[i].local(v).expect("unchanged holder keeps its copy"));
+            }
+            seeds[i].sort_unstable();
+            seeds[i].dedup();
+            continue;
+        }
+        if traced {
+            tracer.begin(
+                pid::DELTA,
+                i as u32,
+                cat::APPLY,
+                "repack",
+                Args::new().with("frag", i).with("locals", frags[i].local_count()),
+            );
+        }
+        let (nf, remap, sds) = {
+            let f: &Fragment<V, E> = frags[i];
+            // New local layout: owned (sorted by global) then copies
+            // (sorted by global), matching the from-scratch builder.
+            let mut owned_new: Vec<(VertexId, V)> = Vec::new();
+            let mut copies_new: Vec<(VertexId, V, FragId)> = Vec::new();
+            for l in f.local_vertices() {
+                let g = f.global(l);
+                if affected.contains(&g) {
+                    continue; // re-added below if it stays
+                }
+                if f.is_owned(l) {
+                    owned_new.push((g, f.node(l).clone()));
+                } else {
+                    copies_new.push((g, f.node(l).clone(), f.owner(l)));
+                }
+            }
+            for &v in &affected_at[i] {
+                let d = payload[&v].clone();
+                let o = owner_new[&v];
+                if o == i as FragId {
+                    owned_new.push((v, d));
+                } else {
+                    copies_new.push((v, d, o));
+                }
+            }
+            owned_new.sort_unstable_by_key(|&(g, _)| g);
+            copies_new.sort_unstable_by_key(|&(g, _, _)| g);
+
+            let owned_n = owned_new.len();
+            let n_local = owned_n + copies_new.len();
+            let mut g2l: FxHashMap<VertexId, LocalId> = FxHashMap::default();
+            g2l.reserve(n_local);
+            let mut globals = Vec::with_capacity(n_local);
+            let mut node_data: Vec<V> = Vec::with_capacity(n_local);
+            for (g, d) in &owned_new {
+                g2l.insert(*g, globals.len() as LocalId);
+                globals.push(*g);
+                node_data.push(d.clone());
+            }
+            let mut mirror_owner = Vec::with_capacity(copies_new.len());
+            for (g, d, o) in &copies_new {
+                g2l.insert(*g, globals.len() as LocalId);
+                globals.push(*g);
+                node_data.push(d.clone());
+                mirror_owner.push(*o);
+            }
+
+            let edges = edges_new[i].take().expect("rebuilt fragment derived its edges");
+            let mut offsets = vec![0usize; n_local + 1];
+            for &(u, _, _) in &edges {
+                offsets[g2l[&u] as usize + 1] += 1;
+            }
+            for l in 1..=n_local {
+                offsets[l] += offsets[l - 1];
+            }
+            let mut cursor = offsets.clone();
+            let mut targets = vec![0 as LocalId; edges.len()];
+            let mut slots: Vec<Option<E>> = vec![None; edges.len()];
+            for (u, v, d) in edges {
+                let lu = g2l[&u] as usize;
+                targets[cursor[lu]] = g2l[&v];
+                slots[cursor[lu]] = Some(d);
+                cursor[lu] += 1;
+            }
+            let edge_data: Vec<E> = slots.into_iter().map(|s| s.expect("every slot filled")).collect();
+            let directed = f.local_graph().is_directed();
+            let local_graph = Graph::from_parts(directed, node_data, offsets, targets, edge_data);
+
+            // Border + holder CSR over owned: affected vertices use the
+            // recomputed holder set, unchanged ones keep their old lists.
+            let mut border: Vec<LocalId> = Vec::new();
+            let mut holder_offsets = vec![0u32; owned_n + 1];
+            let mut holders: Vec<FragId> = Vec::new();
+            for (l, (g, _)) in owned_new.iter().enumerate() {
+                let hlist: &[FragId] = if affected.contains(g) {
+                    &hs_new[g]
+                } else {
+                    f.mirror_holders(f.local(*g).expect("unchanged owned vertex"))
+                };
+                for &h in hlist {
+                    if h != i as FragId {
+                        holders.push(h);
+                        holder_offsets[l + 1] += 1;
+                    }
+                }
+                if holder_offsets[l + 1] > 0 {
+                    border.push(l as LocalId);
+                }
+            }
+            for l in 1..=owned_n {
+                holder_offsets[l] += holder_offsets[l - 1];
+            }
+
+            let table: Vec<LocalId> =
+                f.globals().iter().map(|g| g2l.get(g).copied().unwrap_or(LocalId::MAX)).collect();
+            let remap = StateRemap::from_table(table, n_local);
+            let mut sds: Vec<LocalId> = affected_at[i].iter().map(|v| g2l[v]).collect();
+            sds.sort_unstable();
+            sds.dedup();
+
+            let nf = Fragment::from_parts(
+                f.id(),
+                f.num_frags(),
+                true,
+                local_graph,
+                globals,
+                owned_n,
+                border.clone(),
+                border,
+                mirror_owner,
+                holder_offsets,
+                holders,
+            );
+            (nf, remap, sds)
+        };
+        *frags[i] = nf;
+        remaps.push(remap);
+        seeds[i] = sds;
+        if traced {
+            tracer.end(
+                pid::DELTA,
+                i as u32,
+                cat::APPLY,
+                "repack",
+                Args::new().with("locals", frags[i].local_count()).with("seeds", seeds[i].len()),
+            );
+        }
+    }
+
+    // Routing: rebuilt fragments plus peers pointing at renumbered ones.
+    let changed = rebuilt.clone();
+    let needs_routing = routing_targets(&old_dests, &remaps, rebuilt);
+    {
+        let view: Vec<&Fragment<V, E>> = frags.iter().map(|f| &**f).collect();
+        let tables: Vec<(usize, crate::RoutingTable)> = needs_routing
+            .iter()
+            .enumerate()
+            .filter(|&(_, &need)| need)
+            .map(|(j, _)| (j, routing_table_for(view[j], &|d, g| view[d as usize].local(g))))
+            .collect();
+        drop(view);
+        for (j, t) in tables {
+            frags[j].set_routing(t);
+        }
+    }
+
+    AppliedEdit { remaps, seeds, weights_decreased, weights_increased, changed }
+}
+
+/// One ownership move of the elastic rebalancer: a vertex and the
+/// fragment that should own it next.
+pub type VertexMove = (VertexId, FragId);
+
+/// [`migrate_edge_cut_traced`] without tracing.
+pub fn migrate_edge_cut<V, E>(frags: &mut [&mut Fragment<V, E>], moves: &[VertexMove]) -> AppliedEdit
+where
+    V: Clone,
+    E: Clone,
+{
+    migrate_edge_cut_traced(frags, moves, &Tracer::default())
+}
+
+/// Move ownership of selected vertices between edge-cut fragments **in
+/// place**, carrying each vertex's out-edges to its new owner — the
+/// executor half of `aap-balance`.
+///
+/// Only the *affected* fragments repack: the source and destination of
+/// every move, every fragment that held a moved vertex as a mirror (its
+/// `mirror_owner` hint changes), and the owner of every out-edge target
+/// of a moved vertex (the edge changing storage fragment can add or drop
+/// a mirror of the target, shifting the owner's holder CSR). Everything
+/// else keeps an identity [`StateRemap`], so retained warm state
+/// survives untouched; at repacked fragments the remap carries state
+/// across the renumbering. Seeds mark every surviving copy of a moved
+/// vertex (mirrors push their retained value to the new owner) plus
+/// every owner whose holder list changed (it re-announces to fresh
+/// mirrors), so a single warm incremental round settles the migrated
+/// values — the next round is warm, never cold.
+pub fn migrate_edge_cut_traced<V, E>(
+    frags: &mut [&mut Fragment<V, E>],
+    moves: &[VertexMove],
+    tracer: &Tracer,
+) -> AppliedEdit
+where
+    V: Clone,
+    E: Clone,
+{
+    let m = frags.len();
+    assert!(frags.iter().all(|f| !f.is_vertex_cut()), "migrate_edge_cut needs edge-cut fragments");
+    let traced = tracer.enabled();
+
+    // Resolve each move to (from, to); drop no-ops.
+    let mut moved: FxHashMap<VertexId, (FragId, FragId)> = FxHashMap::default();
+    for &(v, to) in moves {
+        assert!((to as usize) < m, "move target {to} out of range");
+        let from = (0..m)
+            .find(|&i| frags[i].local(v).is_some_and(|l| frags[i].is_owned(l)))
+            .unwrap_or_else(|| panic!("moved vertex {v} is not owned by any fragment"))
+            as FragId;
+        if from != to {
+            let prev = moved.insert(v, (from, to));
+            assert!(prev.is_none(), "vertex {v} appears twice in one migration plan");
+        }
+    }
+    if moved.is_empty() {
+        return AppliedEdit {
+            remaps: frags.iter().map(|f| StateRemap::identity(f.local_count())).collect(),
+            seeds: vec![Vec::new(); m],
+            weights_decreased: 0,
+            weights_increased: 0,
+            changed: vec![false; m],
+        };
+    }
+    let mut moved_sorted: Vec<VertexId> = moved.keys().copied().collect();
+    moved_sorted.sort_unstable();
+
+    if traced {
+        tracer.begin(
+            pid::DELTA,
+            0,
+            cat::BALANCE,
+            "migrate",
+            Args::new().with("moves", moved_sorted.len()),
+        );
+    }
+
+    // Gather every moved vertex's payload, out-adjacency, old holder
+    // list, and the pre-move owner of each out-edge target — all read
+    // from the source fragment — and classify the affected fragments.
+    // `structural` fragments (the from/to of some move) gain or lose
+    // owned rows, so their dense local id space shifts and they repack.
+    // The rest of the affected set only sees *metadata* change — a
+    // mirror's owner hint, an owned vertex's holder list — and is
+    // patched in place under an identity remap.
+    let n_global: usize = frags
+        .iter()
+        .map(|f| {
+            let (o, n) = (f.owned_count(), f.local_count());
+            let mut mx = 0usize;
+            if o > 0 {
+                mx = f.global((o - 1) as LocalId) as usize + 1;
+            }
+            if n > o {
+                mx = mx.max(f.global((n - 1) as LocalId) as usize + 1);
+            }
+            mx
+        })
+        .max()
+        .unwrap_or(0);
+    let mut payload: FxHashMap<VertexId, V> = FxHashMap::default();
+    let mut moved_edges: FxHashMap<VertexId, Vec<(VertexId, E)>> = FxHashMap::default();
+    let mut old_holders: FxHashMap<VertexId, Vec<FragId>> = FxHashMap::default();
+    // Dense per-global tables (global id spaces are contiguous): the
+    // phase-1 splice probes these on every retained row, where a hash
+    // per edge is the difference between O(edges) and "feels like it".
+    let mut owner_hint: Vec<FragId> = vec![FragId::MAX; n_global];
+    let mut moved_from: Vec<FragId> = vec![FragId::MAX; n_global];
+    let mut moved_to: Vec<FragId> = vec![FragId::MAX; n_global];
+    for (&v, &(from, to)) in &moved {
+        moved_from[v as usize] = from;
+        moved_to[v as usize] = to;
+    }
+    let mut structural = vec![false; m];
+    let mut affected = vec![false; m];
+    for &v in &moved_sorted {
+        let (from, to) = moved[&v];
+        structural[from as usize] = true;
+        structural[to as usize] = true;
+        let f: &Fragment<V, E> = frags[from as usize];
+        let l = f.local(v).expect("moved vertex owned at source");
+        payload.insert(v, f.node(l).clone());
+        let mut adj = Vec::new();
+        for (t, d) in f.edges(l) {
+            let gt = f.global(t);
+            let o = if f.is_owned(t) { from } else { f.owner(t) };
+            owner_hint[gt as usize] = o;
+            affected[o as usize] = true;
+            adj.push((gt, d.clone()));
+        }
+        moved_edges.insert(v, adj);
+        let hl = f.mirror_holders(l).to_vec();
+        for &h in &hl {
+            affected[h as usize] = true;
+        }
+        old_holders.insert(v, hl);
+    }
+    for i in 0..m {
+        affected[i] |= structural[i];
+    }
+
+    // Post-move owner of a global id, given its pre-move owner.
+    let owner_post = |g: VertexId, pre: FragId| {
+        let t = moved_to[g as usize];
+        if t == FragId::MAX {
+            pre
+        } else {
+            t
+        }
+    };
+
+    // Phase 1: derive each structural fragment's new layout without
+    // mutating anything yet. The rebuild splices the old CSR instead of
+    // re-sorting a gathered edge list: owned locals are sorted by global
+    // id and every row is sorted by target global id, so merging the
+    // retained rows with the (also sorted) moved-in rows reproduces the
+    // from-scratch builder's layout in O(edges) array passes — the only
+    // hashing left is for the handful of moved-in row endpoints.
+    struct MigCore<V, E> {
+        globals: Vec<VertexId>, // new locals: owned then mirrors, by global
+        owned_n: usize,
+        // Per new owned local: retained old local, or a moved-in global.
+        owned_src: Vec<Result<LocalId, VertexId>>,
+        // Per new mirror: retained/demoted old local, or fresh here.
+        mirror_src: Vec<Option<LocalId>>,
+        mirror_owner: Vec<FragId>,
+        local_graph: Graph<V, E>,
+        inner_out: Vec<LocalId>,
+        old_to_new: Vec<LocalId>, // LocalId::MAX = dropped
+    }
+    let mut cores: Vec<Option<MigCore<V, E>>> = (0..m).map(|_| None).collect();
+    for i in 0..m {
+        if !structural[i] {
+            continue;
+        }
+        let fid = i as FragId;
+        let f: &Fragment<V, E> = frags[i];
+        let old_owned = f.owned_count();
+        let old_n = f.local_count();
+        let moved_in: Vec<VertexId> =
+            moved_sorted.iter().copied().filter(|v| moved[v].1 == fid).collect();
+
+        // New owned set: retained old owned merged with moved-in, both
+        // ascending by global id.
+        let mut owned_src: Vec<Result<LocalId, VertexId>> =
+            Vec::with_capacity(old_owned + moved_in.len());
+        {
+            let mut inbound = moved_in.iter().copied().peekable();
+            for l in 0..old_owned {
+                let g = f.global(l as LocalId);
+                while inbound.peek().is_some_and(|&v| v < g) {
+                    owned_src.push(Err(inbound.next().expect("peeked")));
+                }
+                if moved_from[g as usize] == fid {
+                    continue; // moved out: its row travels with it
+                }
+                owned_src.push(Ok(l as LocalId));
+            }
+            owned_src.extend(inbound.map(Err));
+        }
+        let owned_n = owned_src.len();
+
+        // Which old locals the surviving rows still reference (plain
+        // array pass), plus endpoints arriving with moved-in rows.
+        let mut referenced = vec![false; old_n];
+        for l in 0..old_owned {
+            if moved_from[f.global(l as LocalId) as usize] == fid {
+                continue;
+            }
+            for &t in f.neighbors(l as LocalId) {
+                referenced[t as usize] = true;
+            }
+        }
+        let mut fresh: Vec<VertexId> = Vec::new();
+        for &v in &moved_in {
+            for &(gt, _) in &moved_edges[&v] {
+                match f.local(gt) {
+                    Some(t) => referenced[t as usize] = true,
+                    None => fresh.push(gt),
+                }
+            }
+        }
+        fresh.sort_unstable();
+        fresh.dedup();
+        // An endpoint that itself moved here is owned, not a mirror.
+        fresh.retain(|&g| moved_to[g as usize] != fid);
+
+        // New mirror set, ascending by global id: referenced old mirrors
+        // (minus promotions), demoted moved-out owned, fresh endpoints.
+        // The two non-mirror sources are tiny, so merge them first.
+        let mut small: Vec<(VertexId, Option<LocalId>)> =
+            fresh.iter().map(|&g| (g, None)).collect();
+        for l in 0..old_owned {
+            let g = f.global(l as LocalId);
+            if referenced[l] && moved_from[g as usize] == fid {
+                small.push((g, Some(l as LocalId)));
+            }
+        }
+        small.sort_unstable_by_key(|&(g, _)| g);
+        let mut mirrors: Vec<(VertexId, Option<LocalId>)> =
+            Vec::with_capacity(old_n - old_owned + small.len());
+        {
+            let mut extra = small.into_iter().peekable();
+            for l in old_owned..old_n {
+                if !referenced[l] {
+                    continue; // no surviving edge points at it: dropped
+                }
+                let g = f.global(l as LocalId);
+                if moved_to[g as usize] == fid {
+                    continue; // promoted to owned
+                }
+                while extra.peek().is_some_and(|&(e, _)| e < g) {
+                    mirrors.push(extra.next().expect("peeked"));
+                }
+                mirrors.push((g, Some(l as LocalId)));
+            }
+            mirrors.extend(extra);
+        }
+
+        // Globals, node data, owner hints, and the old→new local table.
+        let n_local = owned_n + mirrors.len();
+        let mut globals = Vec::with_capacity(n_local);
+        let mut node_data: Vec<V> = Vec::with_capacity(n_local);
+        let mut old_to_new = vec![LocalId::MAX; old_n];
+        // Moved-in endpoints with no old local, resolved by global id.
+        let mut ext: FxHashMap<VertexId, LocalId> = FxHashMap::default();
+        for (nl, src) in owned_src.iter().enumerate() {
+            match *src {
+                Ok(ol) => {
+                    old_to_new[ol as usize] = nl as LocalId;
+                    globals.push(f.global(ol));
+                    node_data.push(f.node(ol).clone());
+                }
+                Err(g) => {
+                    if let Some(ol) = f.local(g) {
+                        old_to_new[ol as usize] = nl as LocalId; // was a mirror
+                    } else {
+                        ext.insert(g, nl as LocalId);
+                    }
+                    globals.push(g);
+                    node_data.push(payload[&g].clone());
+                }
+            }
+        }
+        let mut mirror_owner = Vec::with_capacity(mirrors.len());
+        let mut mirror_src = Vec::with_capacity(mirrors.len());
+        for (k, &(g, src)) in mirrors.iter().enumerate() {
+            let nl = (owned_n + k) as LocalId;
+            globals.push(g);
+            mirror_src.push(src);
+            match src {
+                Some(ol) => {
+                    old_to_new[ol as usize] = nl;
+                    let pre = if f.is_owned(ol) { fid } else { f.owner(ol) };
+                    mirror_owner.push(owner_post(g, pre));
+                    node_data.push(f.node(ol).clone());
+                }
+                None => {
+                    // Fresh mirrors only arise from moved-in edges, whose
+                    // targets carry a gathered owner hint.
+                    let pre = owner_hint[g as usize];
+                    debug_assert_ne!(pre, FragId::MAX, "fresh mirror without a gathered hint");
+                    mirror_owner.push(owner_post(g, pre));
+                    ext.insert(g, nl);
+                    node_data.push(match payload.get(&g) {
+                        Some(d) => d.clone(),
+                        None => {
+                            let of: &Fragment<V, E> = frags[pre as usize];
+                            let ol = of.local(g).expect("target owned at its pre-move owner");
+                            of.node(ol).clone()
+                        }
+                    });
+                }
+            }
+        }
+
+        // CSR: splice retained rows (targets remapped through the table,
+        // order preserved) with moved-in rows. Rows stay sorted by
+        // target global id because both sources already are.
+        let mut offsets = Vec::with_capacity(n_local + 1);
+        offsets.push(0usize);
+        let mut targets: Vec<LocalId> = Vec::with_capacity(f.edge_count());
+        let mut edge_data: Vec<E> = Vec::with_capacity(f.edge_count());
+        let mut inner_out: Vec<LocalId> = Vec::new();
+        for (nl, src) in owned_src.iter().enumerate() {
+            let mut border = false;
+            match *src {
+                Ok(ol) => {
+                    for (t, d) in f.edges(ol) {
+                        let nt = old_to_new[t as usize];
+                        debug_assert_ne!(nt, LocalId::MAX, "referenced target kept");
+                        border |= nt as usize >= owned_n;
+                        targets.push(nt);
+                        edge_data.push(d.clone());
+                    }
+                }
+                Err(g) => {
+                    for (gt, d) in &moved_edges[&g] {
+                        let nt = match f.local(*gt) {
+                            Some(ol) => old_to_new[ol as usize],
+                            None => ext[gt],
+                        };
+                        border |= nt as usize >= owned_n;
+                        targets.push(nt);
+                        edge_data.push(d.clone());
+                    }
+                }
+            }
+            offsets.push(targets.len());
+            if border {
+                inner_out.push(nl as LocalId);
+            }
+        }
+        offsets.resize(n_local + 1, targets.len()); // mirrors own no rows
+        let directed = f.local_graph().is_directed();
+        let local_graph = Graph::from_parts(directed, node_data, offsets, targets, edge_data);
+        cores[i] = Some(MigCore {
+            globals,
+            owned_n,
+            owned_src,
+            mirror_src,
+            mirror_owner,
+            local_graph,
+            inner_out,
+            old_to_new,
+        });
+    }
+
+    // Phase 2: which structural fragments mirror each vertex after the
+    // migration — a per-global bitmask when fragments fit a word (they
+    // do outside stress tests), else a map. Bits read out in ascending
+    // fragment order, so holder lists stay sorted; fragments outside
+    // the structural set keep their edge stock (and thus their mirror
+    // membership) bit-for-bit.
+    let use_bits = m <= 64;
+    let mut mirror_bits: Vec<u64> = if use_bits { vec![0u64; n_global] } else { Vec::new() };
+    let mut mirror_map: FxHashMap<VertexId, Vec<FragId>> = FxHashMap::default();
+    for (i, core) in cores.iter().enumerate() {
+        if let Some(core) = core {
+            for &g in &core.globals[core.owned_n..] {
+                if use_bits {
+                    mirror_bits[g as usize] |= 1u64 << i;
+                } else {
+                    mirror_map.entry(g).or_default().push(i as FragId);
+                }
+            }
+        }
+    }
+    let extend_mirrors = |g: VertexId, fid: FragId, hl: &mut Vec<FragId>| {
+        if use_bits {
+            let mut w = mirror_bits[g as usize];
+            while w != 0 {
+                let h = w.trailing_zeros() as FragId;
+                if h != fid {
+                    hl.push(h);
+                }
+                w &= w - 1;
+            }
+        } else if let Some(ms) = mirror_map.get(&g) {
+            hl.extend(ms.iter().copied().filter(|&h| h != fid));
+        }
+    };
+
+    // Phase 3: commit the structural fragments. holders_new(v) =
+    // (old holders outside the structural set) ∪ (structural fragments
+    // whose new mirror set contains v).
+    let old_dests: Vec<Vec<FragId>> = frags.iter().map(|f| f.routing().dests().to_vec()).collect();
+    let mut changed = structural.clone();
+    let mut remaps: Vec<StateRemap> = Vec::with_capacity(m);
+    let mut seeds: Vec<Vec<LocalId>> = vec![Vec::new(); m];
+    for i in 0..m {
+        let Some(core) = cores[i].take() else {
+            remaps.push(StateRemap::identity(frags[i].local_count()));
+            continue;
+        };
+        if traced {
+            tracer.begin(
+                pid::DELTA,
+                i as u32,
+                cat::BALANCE,
+                "repack",
+                Args::new().with("frag", i).with("locals", frags[i].local_count()),
+            );
+        }
+        let (nf, remap, sds) = {
+            let f: &Fragment<V, E> = frags[i];
+            let fid = i as FragId;
+            let MigCore {
+                globals,
+                owned_n,
+                owned_src,
+                mirror_src,
+                mirror_owner,
+                local_graph,
+                inner_out,
+                old_to_new,
+            } = core;
+
+            let mut inner_in: Vec<LocalId> = Vec::new();
+            let mut holder_offsets = vec![0u32; owned_n + 1];
+            let mut holders: Vec<FragId> = Vec::new();
+            let mut sds: Vec<LocalId> = Vec::new();
+            let mut hl: Vec<FragId> = Vec::new();
+            for (l, src) in owned_src.iter().enumerate() {
+                let g = globals[l];
+                let old: &[FragId] = match *src {
+                    Err(_) => &old_holders[&g],
+                    Ok(ol) => f.mirror_holders(ol),
+                };
+                hl.clear();
+                hl.extend(old.iter().copied().filter(|&h| !structural[h as usize]));
+                extend_mirrors(g, fid, &mut hl);
+                hl.sort_unstable();
+                hl.dedup();
+                let holders_changed = hl.as_slice() != old;
+                for &h in &hl {
+                    holders.push(h);
+                    holder_offsets[l + 1] += 1;
+                }
+                if !hl.is_empty() {
+                    inner_in.push(l as LocalId);
+                }
+                if moved_to[g as usize] != FragId::MAX || holders_changed {
+                    sds.push(l as LocalId);
+                }
+            }
+            for l in 1..=owned_n {
+                holder_offsets[l] += holder_offsets[l - 1];
+            }
+            for (k, src) in mirror_src.iter().enumerate() {
+                if src.is_none() || moved_to[globals[owned_n + k] as usize] != FragId::MAX {
+                    sds.push((owned_n + k) as LocalId);
+                }
+            }
+
+            let n_local = globals.len();
+            let remap = StateRemap::from_table(old_to_new, n_local);
+            sds.sort_unstable();
+            sds.dedup();
+
+            let nf = Fragment::from_parts(
+                f.id(),
+                f.num_frags(),
+                false,
+                local_graph,
+                globals,
+                owned_n,
+                inner_in,
+                inner_out,
+                mirror_owner,
+                holder_offsets,
+                holders,
+            );
+            (nf, remap, sds)
+        };
+        *frags[i] = nf;
+        remaps.push(remap);
+        seeds[i] = sds;
+        if traced {
+            tracer.end(
+                pid::DELTA,
+                i as u32,
+                cat::BALANCE,
+                "repack",
+                Args::new().with("locals", frags[i].local_count()).with("seeds", seeds[i].len()),
+            );
+        }
+    }
+
+    // Phase 4: patch the metadata-affected fragments in place. Their
+    // vertex sets and stored edges are untouched — only a mirror's owner
+    // hint (its vertex migrated away) or an owned vertex's holder list
+    // (a structural peer gained or dropped a copy) can change, and a
+    // fragment that turns out bit-identical stays unmarked.
+    for i in 0..m {
+        if structural[i] || !affected[i] {
+            continue;
+        }
+        let fid = i as FragId;
+        let mut sds: Vec<LocalId> = Vec::new();
+        let mut owner_patch: Vec<(LocalId, FragId)> = Vec::new();
+        let mut borders: Option<(Vec<LocalId>, Vec<u32>, Vec<FragId>)> = None;
+        {
+            let f: &Fragment<V, E> = frags[i];
+            for &v in &moved_sorted {
+                if let Some(l) = f.local(v) {
+                    debug_assert!(!f.is_owned(l), "moved vertex owned outside structural set");
+                    owner_patch.push((l, moved[&v].1));
+                    sds.push(l); // retained copy re-announces to the new owner
+                }
+            }
+            let owned_n = f.owned_count();
+            let mut inner_in: Vec<LocalId> = Vec::new();
+            let mut holder_offsets = vec![0u32; owned_n + 1];
+            let mut holders: Vec<FragId> = Vec::new();
+            let mut borders_changed = false;
+            let mut hl: Vec<FragId> = Vec::new();
+            for l in 0..owned_n {
+                let old = f.mirror_holders(l as LocalId);
+                let g = f.global(l as LocalId);
+                hl.clear();
+                hl.extend(old.iter().copied().filter(|&h| !structural[h as usize]));
+                extend_mirrors(g, fid, &mut hl);
+                hl.sort_unstable();
+                hl.dedup();
+                if hl.as_slice() != old {
+                    borders_changed = true;
+                    sds.push(l as LocalId); // re-announce to the fresh holder set
+                }
+                holder_offsets[l + 1] = holder_offsets[l] + hl.len() as u32;
+                if !hl.is_empty() {
+                    inner_in.push(l as LocalId);
+                }
+                holders.extend_from_slice(&hl);
+            }
+            if borders_changed {
+                borders = Some((inner_in, holder_offsets, holders));
+            }
+        }
+        if owner_patch.is_empty() && borders.is_none() {
+            continue; // bit-identical: keep changed[i] = false
+        }
+        for &(l, to) in &owner_patch {
+            frags[i].set_mirror_owner(l, to);
+        }
+        if let Some((inner_in, holder_offsets, holders)) = borders {
+            frags[i].replace_borders(inner_in, holder_offsets, holders);
+        }
+        sds.sort_unstable();
+        sds.dedup();
+        seeds[i] = sds;
+        changed[i] = true;
+        if traced {
+            tracer.instant(
+                pid::DELTA,
+                i as u32,
+                cat::BALANCE,
+                "patch",
+                Args::new().with("frag", i).with("seeds", seeds[i].len()),
+            );
+        }
+    }
+
+    // Routing: changed fragments plus peers pointing at renumbered ones.
+    let needs_routing = routing_targets(&old_dests, &remaps, changed.clone());
+    {
+        let view: Vec<&Fragment<V, E>> = frags.iter().map(|f| &**f).collect();
+        let tables: Vec<(usize, crate::RoutingTable)> = needs_routing
+            .iter()
+            .enumerate()
+            .filter(|&(_, &need)| need)
+            .map(|(j, _)| (j, routing_table_for(view[j], &|d, g| view[d as usize].local(g))))
+            .collect();
+        drop(view);
+        for (j, t) in tables {
+            frags[j].set_routing(t);
+        }
+    }
+    if traced {
+        tracer.end(pid::DELTA, 0, cat::BALANCE, "migrate", Args::new());
+    }
+
+    AppliedEdit { remaps, seeds, weights_decreased: 0, weights_increased: 0, changed }
+}
+
 /// Reconstruct the global graph from a fragment set (each stored edge
-/// lives in exactly one fragment; node data at the owner). Used by the
-/// vertex-cut delta path, which re-partitions instead of patching.
+/// lives in exactly one fragment; node data at the owner). Used by
+/// full re-partition paths and as the reference in equivalence tests.
 pub fn reassemble<V: Clone, E: Clone>(frags: &[&Fragment<V, E>]) -> Graph<V, E> {
     let n: usize = frags.iter().map(|f| f.owned_count()).sum();
     let directed = frags
@@ -1316,6 +2401,184 @@ mod tests {
         let m2 = f0.local(2).unwrap();
         let pos = f0.neighbors(l1).iter().position(|&t| t == m2).unwrap();
         assert_eq!(f0.edge_data(l1)[pos], 7);
+    }
+
+    #[test]
+    fn vertex_cut_owner_override_moves_ownership() {
+        let g = crate::generate::small_world(40, 2, 0.2, 3);
+        let ea = crate::partition::vertex_cut_partition(&g, 3);
+        let mut frags = crate::partition::build_fragments_vertex_cut_n(&g, &ea, 3);
+        // Pick a replicated vertex to migrate: owner -> first other holder.
+        let (v, from, to) = frags
+            .iter()
+            .enumerate()
+            .find_map(|(i, f)| {
+                f.owned_vertices().find_map(|l| {
+                    let hs = f.mirror_holders(l);
+                    (!hs.is_empty()).then(|| (f.global(l), i as FragId, hs[0]))
+                })
+            })
+            .expect("some vertex is replicated");
+        let total_owned: usize = frags.iter().map(|f| f.owned_count()).sum();
+
+        let mut edit = VertexCutEdit::empty(3);
+        edit.owner_overrides.insert(v, to);
+        let applied = {
+            let mut refs: Vec<&mut Fragment<(), u32>> = frags.iter_mut().collect();
+            patch_vertex_cut(&mut refs, &edit)
+        };
+
+        // Ownership moved; the old owner keeps a copy (its edges stayed).
+        let lf = frags[from as usize].local(v).expect("old owner keeps the copy");
+        assert!(!frags[from as usize].is_owned(lf));
+        assert_eq!(frags[from as usize].owner(lf), to);
+        let lt = frags[to as usize].local(v).expect("new owner holds it");
+        assert!(frags[to as usize].is_owned(lt));
+        assert!(frags[to as usize].mirror_holders(lt).contains(&from));
+        // The dense vertex space is still owned exactly once.
+        assert_eq!(frags.iter().map(|f| f.owned_count()).sum::<usize>(), total_owned);
+        // Only the holders of v changed bytes; everyone else is identity.
+        for (i, f) in frags.iter().enumerate() {
+            if f.local(v).is_none() {
+                assert!(!applied.changed[i], "non-holder {i} marked changed");
+                assert!(applied.remaps[i].is_identity());
+            }
+        }
+        // v is seeded at every holder (owner re-announces, copies refresh).
+        for (i, f) in frags.iter().enumerate() {
+            if let Some(l) = f.local(v) {
+                assert!(applied.seeds[i].contains(&l), "frag {i} missing seed");
+            }
+        }
+        // Routing stays symmetric: the new owner fans out to its holders.
+        let (slots, _remotes) = frags[to as usize].routing().fanout(lt);
+        assert!(!slots.is_empty());
+    }
+
+    #[test]
+    fn migrate_edge_cut_matches_full_rebuild() {
+        let g = crate::generate::small_world(60, 2, 0.2, 7);
+        let mut assignment = hash_partition(&g, 3);
+        let mut frags = build_fragments_n(&g, &assignment, 3);
+
+        // Move two border vertices out of fragment 0 and one out of 2.
+        let picks: Vec<VertexId> = {
+            let f0 = &frags[0];
+            let mut p: Vec<VertexId> =
+                f0.inner_in().iter().take(2).map(|&l| f0.global(l)).collect();
+            let f2 = &frags[2];
+            p.extend(f2.inner_out().iter().take(1).map(|&l| f2.global(l)));
+            p
+        };
+        assert_eq!(picks.len(), 3, "need three border vertices to move");
+        let moves: Vec<VertexMove> = vec![(picks[0], 1), (picks[1], 2), (picks[2], 0)];
+        let applied = {
+            let mut refs: Vec<&mut Fragment<(), u32>> = frags.iter_mut().collect();
+            migrate_edge_cut(&mut refs, &moves)
+        };
+        for &(v, to) in &moves {
+            assignment[v as usize] = to;
+        }
+
+        // The in-place migration must land on exactly the layout the
+        // from-scratch builder produces for the updated assignment.
+        let expect = build_fragments_n(&g, &assignment, 3);
+        for (f, e) in frags.iter().zip(&expect) {
+            assert_eq!(f.owned_count(), e.owned_count(), "frag {} owned", f.id());
+            assert_eq!(f.globals(), e.globals(), "frag {} locals differ", f.id());
+            assert_eq!(f.inner_in(), e.inner_in());
+            assert_eq!(f.inner_out(), e.inner_out());
+            assert_eq!(f.routing().dests(), e.routing().dests());
+            for l in f.local_vertices() {
+                let mut a: Vec<_> = f.edges(l).map(|(t, d)| (f.global(t), *d)).collect();
+                let mut bb: Vec<_> = e.edges(l).map(|(t, d)| (e.global(t), *d)).collect();
+                a.sort_unstable();
+                bb.sort_unstable();
+                assert_eq!(a, bb, "frag {} vertex {} adjacency", f.id(), f.global(l));
+                assert_eq!(f.routing().fanout(l), e.routing().fanout(l));
+                if f.is_owned(l) {
+                    assert_eq!(f.mirror_holders(l), e.mirror_holders(l));
+                } else {
+                    assert_eq!(f.owner(l), e.owner(l), "mirror owner of {}", f.global(l));
+                }
+            }
+        }
+
+        // Every surviving copy of a moved vertex is seeded, and untouched
+        // fragments keep identity remaps with no seeds.
+        for (i, f) in frags.iter().enumerate() {
+            for &(v, _) in &moves {
+                if let Some(l) = f.local(v) {
+                    assert!(applied.seeds[i].contains(&l), "frag {i} missing seed for {v}");
+                }
+            }
+            if !applied.changed[i] {
+                assert!(applied.remaps[i].is_identity());
+                assert!(applied.seeds[i].is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn migrate_edge_cut_noop_is_identity() {
+        let (_, mut frags) = path4();
+        let before: Vec<Vec<VertexId>> = frags.iter().map(|f| f.globals().to_vec()).collect();
+        let applied = {
+            let mut refs: Vec<&mut Fragment<(), u32>> = frags.iter_mut().collect();
+            // Vertex 1 is already owned by fragment 0: nothing to do.
+            migrate_edge_cut(&mut refs, &[(1, 0)])
+        };
+        assert!(applied.remaps.iter().all(|r| r.is_identity()));
+        assert!(applied.seeds.iter().all(|s| s.is_empty()));
+        assert!(applied.changed.iter().all(|c| !c));
+        for (f, b) in frags.iter().zip(&before) {
+            assert_eq!(f.globals(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn vertex_cut_patch_insert_matches_full_rebuild_layout() {
+        let g = crate::generate::small_world(50, 2, 0.15, 11);
+        let ea = crate::partition::vertex_cut_partition(&g, 4);
+        let mut frags = crate::partition::build_fragments_vertex_cut_n(&g, &ea, 4);
+        // Insert undirected logical edge 3-27 via the pair-hash rule.
+        let t = crate::partition::vertex_cut_edge_frag(3, 27, 4) as usize;
+        let mut edit = VertexCutEdit::empty(4);
+        edit.frags[t].insert_edges.push((3, 27, 9u32));
+        edit.frags[t].insert_edges.push((27, 3, 9));
+        {
+            let mut refs: Vec<&mut Fragment<(), u32>> = frags.iter_mut().collect();
+            patch_vertex_cut(&mut refs, &edit);
+        }
+        // Reference: canonical rebuild of the edited graph.
+        let mut b = GraphBuilder::new_undirected(50);
+        for (u, v, d) in g.all_edges() {
+            if u < v {
+                b.add_edge(u, v, *d);
+            }
+        }
+        b.add_edge(3, 27, 9);
+        let g2 = b.build();
+        let expect = crate::partition::build_fragments_vertex_cut_n(
+            &g2,
+            &crate::partition::vertex_cut_partition(&g2, 4),
+            4,
+        );
+        for (f, e) in frags.iter().zip(&expect) {
+            assert_eq!(f.globals(), e.globals(), "frag {} layout", f.id());
+            assert_eq!(f.owned_count(), e.owned_count());
+            assert_eq!(f.inner_in(), e.inner_in());
+            for l in f.local_vertices() {
+                let mut a: Vec<_> = f.edges(l).map(|(t, d)| (f.global(t), *d)).collect();
+                let mut bb: Vec<_> = e.edges(l).map(|(t, d)| (e.global(t), *d)).collect();
+                a.sort_unstable();
+                bb.sort_unstable();
+                assert_eq!(a, bb, "frag {} vertex {} adjacency", f.id(), f.global(l));
+                if f.is_owned(l) {
+                    assert_eq!(f.mirror_holders(l), e.mirror_holders(l));
+                }
+            }
+        }
     }
 
     #[test]

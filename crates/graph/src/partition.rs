@@ -83,6 +83,51 @@ pub fn rebuild_routing_tables<V, E>(frags: &mut [Fragment<V, E>]) {
     attach_routing_tables(frags);
 }
 
+/// Re-derive the routing tables of the fragments marked in `need`,
+/// resolving destination-local ids through the complete peer set.
+///
+/// The incremental patch and migration paths use this to keep routing
+/// cost proportional to the touched fragments: a fragment needs a fresh
+/// table iff its own structure changed *or* one of its destinations was
+/// renumbered. `frags` must be the complete partition.
+pub fn rebuild_routing_tables_where<V, E>(frags: &mut [&mut Fragment<V, E>], need: &[bool]) {
+    assert_eq!(frags.len(), need.len());
+    let tables: Vec<Option<RoutingTable>> = frags
+        .iter()
+        .zip(need)
+        .map(|(f, &n)| {
+            n.then(|| routing_table_for(f, &|d, g| frags[d as usize].local(g)))
+        })
+        .collect();
+    for (f, t) in frags.iter_mut().zip(tables) {
+        if let Some(t) = t {
+            f.set_routing(t);
+        }
+    }
+}
+
+/// The fragment a (stored or logical) edge `u -> v` lives at under the
+/// hash vertex-cut assignment: the hash of the canonical endpoint pair,
+/// so both stored directions of an undirected edge land together.
+///
+/// This is the single assignment rule shared by [`vertex_cut_partition`]
+/// (initial build) and the in-place vertex-cut patch (delta apply):
+/// because the rule depends only on the endpoints, edges never migrate
+/// when *other* edges change, which is what makes the patch local.
+#[inline]
+pub fn vertex_cut_edge_frag(u: VertexId, v: VertexId, m: usize) -> FragId {
+    let (a, b) = if u <= v { (u, v) } else { (v, u) };
+    let h = hash_u64(((a as u64) << 32) | b as u64);
+    (h % m as u64) as FragId
+}
+
+/// Home fragment for a vertex with no incident edges under the hash
+/// vertex-cut assignment (shared by the initial build and the patch).
+#[inline]
+pub fn vertex_cut_isolated_home(v: VertexId, m: usize) -> FragId {
+    (hash_u64(v as u64) % m as u64) as FragId
+}
+
 /// Balanced pseudo-random edge-cut: vertex `v` goes to `hash(v) % m`.
 pub fn hash_partition<V, E>(g: &Graph<V, E>, m: usize) -> Vec<FragId> {
     assert!(m > 0 && m <= FragId::MAX as usize + 1);
@@ -174,9 +219,7 @@ pub fn vertex_cut_partition<V, E>(g: &Graph<V, E>, m: usize) -> Vec<FragId> {
     assert!(m > 0 && m <= FragId::MAX as usize + 1);
     let mut out = Vec::with_capacity(g.num_edges());
     for (u, v, _) in g.all_edges() {
-        let (a, b) = if u <= v { (u, v) } else { (v, u) };
-        let h = hash_u64(((a as u64) << 32) | b as u64);
-        out.push((h % m as u64) as FragId);
+        out.push(vertex_cut_edge_frag(u, v, m));
     }
     out
 }
@@ -352,7 +395,7 @@ pub fn build_fragments_vertex_cut_n<V: Clone, E: Clone>(
     // Isolated vertices still need a home.
     for (v, hs) in holder_sets.iter_mut().enumerate() {
         if hs.is_empty() {
-            hs.push((hash_u64(v as u64) % m as u64) as FragId);
+            hs.push(vertex_cut_isolated_home(v as VertexId, m));
         }
     }
     let owner_of: Vec<FragId> =

@@ -66,6 +66,7 @@ mod durable;
 mod reader;
 mod slot;
 
+pub use aap_balance::{BalancePolicy, BalanceReport, MigrationPlan};
 pub use backend::Backend;
 pub use reader::SessionReader;
 
@@ -82,6 +83,7 @@ use crate::durable::{
     CheckpointCell, Durable, DurableSpec, PendingCut, StateCrcs,
 };
 use crate::slot::{AnySlot, Planned, ProgramFactory, Slot, SlotFactory};
+use aap_balance::{execute_migration, plan_migration, BalanceMonitor};
 use aap_core::engine::RunState;
 use aap_core::pie::WarmStart;
 use aap_core::{Engine, EngineOpts, Mode, WarmStrategy};
@@ -128,6 +130,9 @@ pub enum SessionError {
     SharedFragments,
     /// `checkpoint` on a session opened without `.durable(dir)`.
     NotDurable,
+    /// `rebalance` on a session opened without
+    /// [`SessionBuilder::balance`].
+    NoBalancePolicy,
     /// A previous apply advanced the in-memory state but failed to
     /// append its delta to the log, so the on-disk history no longer
     /// replays to the live state. Further applies are refused until a
@@ -193,6 +198,9 @@ impl std::fmt::Display for SessionError {
             }
             SessionError::NotDurable => {
                 write!(f, "session was opened without .durable(dir); nothing to checkpoint")
+            }
+            SessionError::NoBalancePolicy => {
+                write!(f, "session was opened without .balance(policy); nothing to rebalance")
             }
             SessionError::LogWedged => write!(
                 f,
@@ -474,6 +482,12 @@ pub struct SessionMetrics {
     pub checkpoint_bytes: u64,
     /// Delta-log records superseded (and deleted) by checkpoints.
     pub log_records_compacted: u64,
+    /// Rebalance rounds that executed a non-empty migration plan.
+    pub rebalances: u64,
+    /// Ownership moves executed across all rebalance rounds.
+    pub vertices_migrated: u64,
+    /// Estimated payload bytes moved across all rebalance rounds.
+    pub migration_bytes: u64,
 }
 
 // ---------------------------------------------------------------------
@@ -509,6 +523,23 @@ pub struct ProgramApply {
     pub strategy: WarmStrategy,
     /// Updates shipped by the advancing run.
     pub updates: u64,
+}
+
+/// What one [`Session::rebalance`] round did. An empty plan yields a
+/// no-op report (`before == after`, zero moves) without touching any
+/// fragment or bumping the version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalanceReport {
+    /// Load imbalance (max/mean fragment load) when the round started.
+    pub imbalance_before: f64,
+    /// Load imbalance after the migration settled.
+    pub imbalance_after: f64,
+    /// Ownership moves the executed plan carried.
+    pub vertices_migrated: u64,
+    /// Estimated payload bytes moved (vertex values + adjacency).
+    pub migration_bytes: u64,
+    /// Fragments rebuilt in place by the migration.
+    pub fragments_repacked: usize,
 }
 
 // ---------------------------------------------------------------------
@@ -565,6 +596,7 @@ pub struct SessionBuilder<V, E> {
     max_rounds: Option<u32>,
     answer_cache: usize,
     durable: Option<(DurableSpec<V, E>, DurabilityPolicy)>,
+    balance: Option<BalancePolicy>,
     programs: Vec<(String, Box<dyn SlotFactory<V, E>>)>,
     tracer: Tracer,
 }
@@ -593,6 +625,7 @@ where
             max_rounds: None,
             answer_cache: DEFAULT_ANSWER_CACHE,
             durable: None,
+            balance: None,
             programs: Vec::new(),
             tracer: Tracer::default(),
         }
@@ -622,6 +655,7 @@ where
                 DurableSpec::new(dir.clone()),
                 DurabilityPolicy::new(dir).differential(false),
             )),
+            balance: None,
             programs: Vec::new(),
             tracer: Tracer::default(),
         }
@@ -680,6 +714,37 @@ where
     /// ```
     pub fn trace(mut self, sink: impl TraceSink + 'static) -> Self {
         self.tracer = Tracer::new(sink);
+        self
+    }
+
+    /// Configure elastic rebalancing (see [`BalancePolicy`]): the
+    /// session tracks partition drift incrementally across applies
+    /// (per-fragment owned/edge counts and delta-touch rates — no full
+    /// scans), and [`Session::rebalance`] migrates boundary vertices
+    /// from overloaded to underloaded fragments in place, carrying every
+    /// retained program's warm state along. With
+    /// `BalancePolicy::new().auto(true)` the session rebalances
+    /// opportunistically after any apply that leaves the load ratio over
+    /// `max_imbalance`.
+    ///
+    /// ```
+    /// use aap_session::{edge_cut, BalancePolicy, Session};
+    /// use aap_algos::Sssp;
+    /// use aap_graph::generate;
+    ///
+    /// let g = generate::small_world(120, 2, 0.1, 3);
+    /// let mut session = Session::builder(g)
+    ///     .partition(edge_cut(3))
+    ///     .program("sssp", Sssp)
+    ///     .balance(BalancePolicy::new().max_imbalance(1.1).migration_budget(64))
+    ///     .open()?;
+    /// session.query::<Sssp>("sssp", &0)?;
+    /// let report = session.rebalance()?;
+    /// assert!(report.imbalance_after <= report.imbalance_before);
+    /// # Ok::<(), aap_session::SessionError>(())
+    /// ```
+    pub fn balance(mut self, policy: BalancePolicy) -> Self {
+        self.balance = Some(policy);
         self
     }
 
@@ -792,7 +857,7 @@ where
         MB: FnOnce(Vec<Fragment<V, E>>) -> B,
         MS: Fn(Box<dyn SlotFactory<V, E>>) -> Box<dyn AnySlot<V, E, B>>,
     {
-        let SessionBuilder { source, partition, durable, programs, tracer, .. } = self;
+        let SessionBuilder { source, partition, durable, balance, programs, tracer, .. } = self;
         match source {
             Source::Graph(g) => {
                 let frags = partition.build(&g);
@@ -804,11 +869,15 @@ where
                     backend,
                     slots,
                     durable: None,
+                    balance: None,
                     bufs: EditBuffers::default(),
                     version: 0,
                     tracer,
                     metrics: SessionMetrics::default(),
                 };
+                let bal = balance
+                    .map(|p| (p, BalanceMonitor::new(session.backend.fragments())));
+                session.balance = bal;
                 if let Some((spec, policy)) = durable {
                     if read_manifest(&spec.dir)?.is_some() {
                         return Err(SessionError::AlreadyInitialized(spec.dir));
@@ -856,6 +925,7 @@ where
                     backend,
                     slots,
                     durable: None,
+                    balance: None,
                     bufs: EditBuffers::default(),
                     version: 0,
                     tracer,
@@ -900,6 +970,13 @@ where
                     }
                 }
                 let log = DeltaLog::open_append(log_path(&spec.dir, chain[0]))?;
+                // The drift monitor scans once *after* replay (during
+                // it `session.balance` is `None`, so `apply_inner`
+                // skips the per-batch refresh) — rebalances are never
+                // logged, so the replayed layout is the starting point.
+                let bal =
+                    balance.map(|p| (p, BalanceMonitor::new(session.backend.fragments())));
+                session.balance = bal;
                 // Reclaim generations stranded by a crash between a
                 // manifest flip and its cleanup (or mid-checkpoint).
                 sweep_stale_epochs(&spec.dir, &chain);
@@ -957,6 +1034,11 @@ pub struct Session<V, E, B: Backend<V, E>> {
     /// Serving counters; `publications` is filled from `version` at
     /// read time ([`Session::metrics`]), the rest accumulate here.
     metrics: SessionMetrics,
+    /// Elastic rebalancing ([`SessionBuilder::balance`]): the policy
+    /// plus a drift monitor whose per-fragment counts are refreshed
+    /// incrementally from each apply's changed-fragment set — no full
+    /// scans on the serving path. `None` when not configured.
+    balance: Option<(BalancePolicy, BalanceMonitor)>,
 }
 
 impl<V, E> Session<V, E, Engine<V, E>>
@@ -1060,6 +1142,11 @@ where
             );
             self.tracer.counter(pid::SESSION, 0, "checkpoint_bytes", m.checkpoint_bytes);
             self.tracer.counter(pid::SESSION, 0, "log_records_compacted", m.log_records_compacted);
+        }
+        if self.balance.is_some() {
+            self.tracer.counter(pid::SESSION, 0, "rebalances", m.rebalances);
+            self.tracer.counter(pid::SESSION, 0, "vertices_migrated", m.vertices_migrated);
+            self.tracer.counter(pid::SESSION, 0, "migration_bytes", m.migration_bytes);
         }
     }
 
@@ -1348,6 +1435,15 @@ where
                 p.new_log_records += 1;
             }
         }
+        // Auto-rebalance fires before the checkpoint cadence check so a
+        // due checkpoint persists the migrated layout in the same turn.
+        let auto_due = self
+            .balance
+            .as_ref()
+            .is_some_and(|(p, mon)| p.auto && mon.report().imbalance > p.max_imbalance);
+        if auto_due {
+            self.rebalance()?;
+        }
         // Automatic cadence: fire once the policy's apply budget is
         // spent (never while a cut is already in flight).
         let due = self.durable.as_ref().is_some_and(|d| {
@@ -1419,6 +1515,18 @@ where
                 if advanced[i] {
                     slot.publish(self.version);
                 }
+            }
+        }
+        // 4. Keep the drift monitor current: recount only the fragments
+        // this batch touched, and fold in the per-fragment delta-touch
+        // rates (invalidation seed counts) the planners use as a
+        // hotness signal.
+        if self.balance.is_some() {
+            let touches: Vec<usize> = applied.seeds.iter().map(|s| s.len()).collect();
+            let Session { backend, balance, .. } = self;
+            if let Some((_, mon)) = balance.as_mut() {
+                mon.refresh(backend.fragments(), &applied.changed);
+                mon.record_touches(&touches);
             }
         }
         Ok((ApplyReport { summary: applied.summary, programs }, applied.changed))
@@ -1550,6 +1658,132 @@ where
             }
         }
         Some(outcome)
+    }
+
+    /// Current balance snapshot from the drift monitor — per-fragment
+    /// loads, cumulative delta-touch rates, full partition statistics,
+    /// and the `max/mean` imbalance ratio — or `None` when the session
+    /// was opened without [`SessionBuilder::balance`]. Reads the
+    /// incrementally maintained counters; never scans fragments.
+    pub fn balance_report(&self) -> Option<BalanceReport> {
+        self.balance.as_ref().map(|(_, mon)| mon.report())
+    }
+
+    /// Rebalance the partition in place: plan a bounded set of
+    /// ownership moves from overloaded fragments to underloaded ones
+    /// (cost-aware: load reduction scored against new cut edges), repack
+    /// only the affected fragments, and settle every retained program's
+    /// warm state across the new layout — the next apply or query is
+    /// warm, never cold. With `BalancePolicy::auto(true)` this fires
+    /// automatically after an apply that leaves the partition over
+    /// threshold; calling it explicitly is always allowed.
+    ///
+    /// A rebalance is **not** logged on durable sessions: the delta log
+    /// replays onto the pre-rebalance partition and lands on the same
+    /// fixpoints, because assembled outputs are partition-independent.
+    /// Migrated fragments are marked dirty instead, so the next
+    /// (differential) checkpoint persists the new layout. A crash
+    /// before that checkpoint restores the pre-plan partition; after
+    /// it, the post-plan one — both consistent.
+    ///
+    /// Errors with [`SessionError::NoBalancePolicy`] when the session
+    /// was opened without [`SessionBuilder::balance`].
+    pub fn rebalance(&mut self) -> Result<RebalanceReport, SessionError> {
+        if self.balance.is_none() {
+            return Err(SessionError::NoBalancePolicy);
+        }
+        // Settle a finished background cut first: it decides whether the
+        // migration mutates in place or copy-on-write.
+        self.harvest_pending(false);
+        let traced = self.tracer.enabled();
+        if traced {
+            self.tracer.begin(pid::SESSION, 0, cat::BALANCE, "rebalance", Args::new());
+        }
+        let result = self.rebalance_inner();
+        if traced {
+            let (moved, after) = result
+                .as_ref()
+                .map(|r| (r.vertices_migrated, r.imbalance_after))
+                .unwrap_or((0, 0.0));
+            self.tracer.end(
+                pid::SESSION,
+                0,
+                cat::BALANCE,
+                "rebalance",
+                Args::new()
+                    .with("ok", result.is_ok())
+                    .with("moved", moved)
+                    .with("imbalance_after", after),
+            );
+            self.emit_counters();
+        }
+        result
+    }
+
+    fn rebalance_inner(&mut self) -> Result<RebalanceReport, SessionError> {
+        let (policy, before) = {
+            let (p, mon) = self.balance.as_ref().expect("caller checked");
+            (p.clone(), mon.report().imbalance)
+        };
+        let plan = plan_migration(self.backend.fragments(), &policy, &self.tracer);
+        if plan.is_empty() {
+            return Ok(RebalanceReport {
+                imbalance_before: before,
+                imbalance_after: before,
+                vertices_migrated: 0,
+                migration_bytes: 0,
+                fragments_repacked: 0,
+            });
+        }
+        let applied = {
+            // Same copy-on-write rule as `apply_inner`: an in-flight
+            // background cut holds the pre-migration fragment bytes.
+            let cow = self.durable.as_ref().is_some_and(|d| d.pending.is_some());
+            let mut frags = if cow {
+                self.backend.fragments_cow()
+            } else {
+                self.backend.fragments_mut().ok_or(SessionError::SharedFragments)?
+            };
+            execute_migration(&mut frags, &plan, &self.tracer)
+        };
+        // Settle retained state: one warm run per stateful program
+        // through the migration remaps and seeds, published whole under
+        // a single version bump.
+        let mut advanced = vec![false; self.slots.len()];
+        for (i, (_, slot)) in self.slots.iter_mut().enumerate() {
+            advanced[i] = slot.migrate(&self.backend, &applied.remaps, &applied.seeds);
+        }
+        if advanced.iter().any(|&a| a) {
+            self.version += 1;
+            for (i, (_, slot)) in self.slots.iter().enumerate() {
+                if advanced[i] {
+                    slot.publish(self.version);
+                }
+            }
+        }
+        let after = {
+            let Session { backend, balance, .. } = self;
+            let (_, mon) = balance.as_mut().expect("caller checked");
+            mon.refresh(backend.fragments(), &applied.changed);
+            mon.report().imbalance
+        };
+        self.metrics.rebalances += 1;
+        self.metrics.vertices_migrated += plan.moves.len() as u64;
+        self.metrics.migration_bytes += plan.bytes;
+        // Deliberately NOT logged (see the method docs): only the dirty
+        // bits advance, so the next checkpoint persists the layout.
+        if let Some(d) = &mut self.durable {
+            for (bit, c) in d.dirty.iter_mut().zip(&applied.changed) {
+                *bit |= *c;
+            }
+        }
+        Ok(RebalanceReport {
+            imbalance_before: before,
+            imbalance_after: after,
+            vertices_migrated: plan.moves.len() as u64,
+            migration_bytes: plan.bytes,
+            fragments_repacked: applied.changed.iter().filter(|c| **c).count(),
+        })
     }
 
     /// Write the next durable epoch — per policy a full baseline or a

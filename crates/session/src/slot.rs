@@ -31,6 +31,7 @@ use aap_core::pie::WarmStart;
 use aap_core::publish::EpochCell;
 use aap_core::{Engine, PortableFragState, RunStats, WarmStrategy};
 use aap_delta::{plan_incremental_traced, remap_invalid, Applied, GraphDelta};
+use aap_graph::mutate::StateRemap;
 use aap_graph::{Fragment, LocalId};
 use aap_sim::SimEngine;
 use aap_snapshot::wire::{crc32, Writer};
@@ -94,6 +95,13 @@ pub(crate) trait AnySlot<V, E, B>: Any {
         applied: &Applied,
         planned: Option<Planned>,
     ) -> Option<SlotAdvance>;
+    /// Settle retained state across an elastic migration: one warm run
+    /// through the migration remaps with its seeds (no invalidation —
+    /// the logical graph is unchanged), refreshing the cached output.
+    /// Moved vertices are seeded at every surviving copy, so retained
+    /// values re-announce and the new owner converges without a cold
+    /// start. `false` when no state is retained (nothing to settle).
+    fn migrate(&mut self, backend: &B, remaps: &[StateRemap], seeds: &[Vec<LocalId>]) -> bool;
     /// Publish the slot's current serving surface (retained query +
     /// output, answer cache) to its epoch cell at session `version`.
     fn publish(&self, version: u64);
@@ -315,6 +323,19 @@ where
         // Cached answers described the pre-apply graph.
         self.answers.clear();
         Some(SlotAdvance { strategy: planned.strategy, stats })
+    }
+
+    fn migrate(&mut self, backend: &B, remaps: &[StateRemap], seeds: &[Vec<LocalId>]) -> bool {
+        let Some(q) = self.query.clone() else { return false };
+        let Some(state) = self.state.as_mut() else { return false };
+        let invalid: Vec<Vec<LocalId>> = remaps.iter().map(|_| Vec::new()).collect();
+        let (out, _stats) = backend.run_incremental(&self.prog, &q, remaps, seeds, &invalid, state);
+        self.prog.refresh_plan_cache(&out, state.plan_cache_mut());
+        self.out = Some(Arc::new(out));
+        // The answer cache survives: a migration does not change the
+        // logical graph, so cached outputs (assembled in global ids,
+        // partition-independent) still answer their queries.
+        true
     }
 
     fn publish(&self, version: u64) {

@@ -222,6 +222,39 @@ pub fn adversarial_stream(
     out
 }
 
+/// A skewed delta stream: every batch lands its new edges on source
+/// vertices owned by fragment 0 of the `m`-way hash edge-cut, so that
+/// fragment's stored-edge load grows while the others stand still —
+/// the drift workload elastic rebalancing (`aap-balance`) exists to
+/// heal. Targets are uniform, so the cut keeps churning too.
+pub fn skewed_stream(
+    g: &Graph<(), u32>,
+    m: usize,
+    batches: usize,
+    per_batch: usize,
+    seed: u64,
+) -> Vec<GraphDelta<(), u32>> {
+    let assign = hash_partition(g, m);
+    let hot: Vec<u32> =
+        (0..g.num_vertices() as u32).filter(|&v| assign[v as usize] == 0).collect();
+    assert!(!hot.is_empty(), "fragment 0 owns no vertices of the seed graph");
+    let n = g.num_vertices() as u64;
+    let mut rng = Xorshift::new(seed);
+    (0..batches)
+        .map(|_| {
+            let mut b: DeltaBuilder<(), u32> = DeltaBuilder::new();
+            for _ in 0..per_batch {
+                let u = hot[rng.below(hot.len() as u64) as usize];
+                let v = rng.below(n) as u32;
+                if u != v {
+                    b.add_edge(u, v, 1 + rng.below(9) as u32);
+                }
+            }
+            b.build()
+        })
+        .collect()
+}
+
 // ---------------------------------------------------------------------
 // The equivalence driver
 // ---------------------------------------------------------------------

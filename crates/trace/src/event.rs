@@ -57,6 +57,8 @@ pub mod cat {
     pub const SERVE: &str = "serve";
     /// Durability: checkpoint, restore, log replay.
     pub const DURABLE: &str = "durable";
+    /// Elastic rebalancing: plan, per-fragment migration repack, remap.
+    pub const BALANCE: &str = "balance";
     /// Counter tracks (session version, cache hits, ...).
     pub const COUNTER: &str = "counter";
 }

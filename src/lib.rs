@@ -20,6 +20,9 @@
 //!   state + replayable delta logs, for warm restarts;
 //! * [`session`] — the serving facade: one [`Session`] owning the
 //!   partition, the engine, multiple retained programs, and durability;
+//! * [`balance`] — elastic partition rebalancing: drift monitor,
+//!   cost-aware migration planner, in-place executor (wired into
+//!   sessions via `SessionBuilder::balance` / `Session::rebalance`);
 //! * [`mapreduce`] — MapReduce/PRAM on AAP (Theorem 4);
 //! * [`trace`] — structured event tracing with Chrome/Perfetto export
 //!   (wired through every layer above, off by default and free when off).
@@ -64,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub use aap_algos as algos;
+pub use aap_balance as balance;
 pub use aap_core as runtime;
 pub use aap_delta as delta;
 pub use aap_graph as graph;
@@ -81,9 +85,10 @@ pub mod prelude {
     pub use aap_core::prelude::*;
     pub use aap_delta::{DeltaBuilder, GraphDelta};
     pub use aap_graph::{Fragment, Graph, GraphBuilder, VertexId};
+    pub use aap_balance::{BalancePolicy, BalanceReport};
     pub use aap_session::{
-        edge_cut, vertex_cut, CheckpointHandle, CheckpointReport, DurabilityPolicy, Session,
-        SessionBuilder, SessionError, SessionReader,
+        edge_cut, vertex_cut, CheckpointHandle, CheckpointReport, DurabilityPolicy,
+        RebalanceReport, Session, SessionBuilder, SessionError, SessionReader,
     };
     pub use aap_sim::{CostModel, ScheduleFuzz, SimEngine, SimError, SimOpts};
     pub use aap_trace::{Recorder, Tracer};
